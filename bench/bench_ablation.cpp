@@ -1,0 +1,233 @@
+// Ablation benches for the design choices DESIGN.md §5 calls out:
+//
+//  A. Transaction-size limit (Algorithm 2's clamp(10%, 1 W, 30 W)) vs
+//     unlimited grants — §3.2 argues the limit prevents hoarding and
+//     power oscillation. We measure grant-size distribution, Jain
+//     fairness of received power, and cap churn.
+//  B. Urgency on vs off — §3's starved-node recovery mechanism. A
+//     phase-flip workload (idle-then-hot vs always-hot) shows what
+//     urgency buys the flipped nodes.
+//  C. Local-take policy — Algorithm 1 read literally rate-limits a
+//     node's access to its own pool; the library defaults to draining
+//     it (see core/decider.hpp). This quantifies the difference.
+//  D. Peer discovery — uniform random (the paper) vs retry-last-
+//     successful-peer (a locality heuristic in the spirit of the
+//     paper's future work).
+//
+// Options: nodes=20 cap=70 seed=S quick=1
+#include "bench_common.hpp"
+
+using namespace penelope;
+using namespace penelope::bench;
+
+namespace {
+
+struct AblationOutcome {
+  double runtime = 0.0;
+  double fairness = 1.0;       ///< Jain over per-node received watts
+  double churn_watts = 0.0;    ///< total watts moved per node per second
+  double requests_per_grant = 0.0;
+};
+
+AblationOutcome run_case(cluster::ClusterConfig cc,
+                         std::vector<workload::WorkloadProfile> profiles) {
+  cluster::Cluster cl(std::move(cc), std::move(profiles));
+  cluster::RunResult result = cl.run();
+  AblationOutcome out;
+  out.runtime = result.runtime_seconds;
+
+  std::vector<double> per_node(
+      static_cast<std::size_t>(cl.config().n_nodes), 0.0);
+  double total_applied = 0.0;
+  std::size_t grants = 0;
+  for (const auto& ev : cl.metrics().applies()) {
+    if (ev.node >= 0 &&
+        ev.node < static_cast<int>(per_node.size())) {
+      per_node[static_cast<std::size_t>(ev.node)] += ev.watts;
+    }
+    total_applied += ev.watts;
+    ++grants;
+  }
+  out.fairness = common::jain_fairness(per_node);
+  out.churn_watts = total_applied /
+                    std::max(result.runtime_seconds, 1e-9) /
+                    cl.config().n_nodes;
+  out.requests_per_grant =
+      grants ? static_cast<double>(result.requests_sent) /
+                   static_cast<double>(grants)
+             : 0.0;
+  return out;
+}
+
+workload::WorkloadProfile phase_flip_profile(bool flips, double scale) {
+  workload::WorkloadProfile p;
+  if (flips) {
+    p.name = "flip";
+    p.phases = {workload::Phase{"idle", 60.0, 30.0 * scale},
+                workload::Phase{"hot", 240.0, 60.0 * scale}};
+  } else {
+    p.name = "steady";
+    p.phases = {workload::Phase{"hot", 230.0, 100.0 * scale}};
+  }
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string usage = "bench_ablation [nodes=20] [cap=70] [seed=S] "
+                            "[quick=1]";
+  common::Config config = parse_or_die(argc, argv, usage);
+  bool quick = config.get_bool("quick", false);
+  int nodes = config.get_int("nodes", quick ? 8 : 20);
+  double cap = config.get_double("cap", 70.0);
+  auto seed = static_cast<std::uint64_t>(config.get_int("seed", 42));
+  reject_unused(config, usage);
+
+  workload::NpbConfig npb = paper_npb_config(seed);
+  if (quick) npb.duration_scale = 0.25;
+
+  auto base_cc = [&](cluster::ManagerKind manager) {
+    cluster::ClusterConfig cc = paper_cluster_config(manager, cap, seed);
+    cc.n_nodes = nodes;
+    return cc;
+  };
+  auto pair_profiles = [&] {
+    return cluster::make_pair_workloads(workload::NpbApp::kEP,
+                                        workload::NpbApp::kDC, nodes,
+                                        npb);
+  };
+
+  double fair_runtime =
+      run_case(base_cc(cluster::ManagerKind::kFair), pair_profiles())
+          .runtime;
+
+  // --- A: transaction limit --------------------------------------------
+  common::Table limit_table({"variant", "perf_vs_fair", "jain_fairness",
+                             "churn_w_per_node_s"});
+  {
+    AblationOutcome limited = run_case(
+        base_cc(cluster::ManagerKind::kPenelope), pair_profiles());
+    cluster::ClusterConfig unlimited_cc =
+        base_cc(cluster::ManagerKind::kPenelope);
+    unlimited_cc.pool.share_fraction = 1.0;
+    unlimited_cc.pool.upper_limit_watts = 1e9;
+    unlimited_cc.pool.lower_limit_watts = 0.0;
+    AblationOutcome unlimited = run_case(unlimited_cc, pair_profiles());
+    limit_table.add_row({"clamped (paper)",
+                         common::fmt_double(fair_runtime / limited.runtime,
+                                            4),
+                         common::fmt_double(limited.fairness, 4),
+                         common::fmt_double(limited.churn_watts, 2)});
+    limit_table.add_row(
+        {"unlimited grants",
+         common::fmt_double(fair_runtime / unlimited.runtime, 4),
+         common::fmt_double(unlimited.fairness, 4),
+         common::fmt_double(unlimited.churn_watts, 2)});
+  }
+  emit(limit_table, "ablation_txn_limit",
+       "Ablation A: transaction-size limit (3.2: the clamp damps "
+       "oscillation and spreads power fairly)");
+
+  // --- B: urgency --------------------------------------------------------
+  common::Table urgency_table({"variant", "runtime_s", "perf_vs_off"});
+  {
+    auto flip_profiles = [&] {
+      std::vector<workload::WorkloadProfile> profiles;
+      double scale = quick ? 0.3 : 1.0;
+      for (int i = 0; i < nodes; ++i)
+        profiles.push_back(phase_flip_profile(i < nodes / 2, scale));
+      return profiles;
+    };
+    cluster::ClusterConfig on_cc = base_cc(cluster::ManagerKind::kPenelope);
+    cluster::ClusterConfig off_cc = on_cc;
+    off_cc.urgency_enabled = false;
+    AblationOutcome on = run_case(on_cc, flip_profiles());
+    AblationOutcome off = run_case(off_cc, flip_profiles());
+    urgency_table.add_row({"urgency on (paper)",
+                           common::fmt_double(on.runtime, 1),
+                           common::fmt_double(off.runtime / on.runtime,
+                                              4)});
+    urgency_table.add_row({"urgency off",
+                           common::fmt_double(off.runtime, 1), "1.0000"});
+  }
+  emit(urgency_table, "ablation_urgency",
+       "Ablation B: urgency on/off under a phase-flip workload "
+       "(urgency lets starved nodes reclaim their initial caps)");
+
+  // --- C: local take policy ---------------------------------------------
+  common::Table local_table({"variant", "perf_vs_fair",
+                             "requests_per_grant"});
+  {
+    AblationOutcome drain = run_case(
+        base_cc(cluster::ManagerKind::kPenelope), pair_profiles());
+    cluster::ClusterConfig literal_cc =
+        base_cc(cluster::ManagerKind::kPenelope);
+    literal_cc.local_take = core::LocalTakePolicy::kRateLimited;
+    AblationOutcome literal = run_case(literal_cc, pair_profiles());
+    local_table.add_row(
+        {"drain-all (default)",
+         common::fmt_double(fair_runtime / drain.runtime, 4),
+         common::fmt_double(drain.requests_per_grant, 3)});
+    local_table.add_row(
+        {"rate-limited (Algorithm 1 literal)",
+         common::fmt_double(fair_runtime / literal.runtime, 4),
+         common::fmt_double(literal.requests_per_grant, 3)});
+  }
+  emit(local_table, "ablation_local_take",
+       "Ablation C: local pool take policy");
+
+  // --- D: peer discovery --------------------------------------------------
+  common::Table peer_table({"variant", "perf_vs_fair",
+                            "requests_per_grant"});
+  {
+    AblationOutcome uniform = run_case(
+        base_cc(cluster::ManagerKind::kPenelope), pair_profiles());
+    cluster::ClusterConfig sticky_cc =
+        base_cc(cluster::ManagerKind::kPenelope);
+    sticky_cc.sticky_peers = true;
+    AblationOutcome sticky = run_case(sticky_cc, pair_profiles());
+    cluster::ClusterConfig hint_cc =
+        base_cc(cluster::ManagerKind::kPenelope);
+    hint_cc.hint_discovery = true;
+    AblationOutcome hinted = run_case(hint_cc, pair_profiles());
+    peer_table.add_row(
+        {"uniform random (paper)",
+         common::fmt_double(fair_runtime / uniform.runtime, 4),
+         common::fmt_double(uniform.requests_per_grant, 3)});
+    peer_table.add_row(
+        {"sticky on success",
+         common::fmt_double(fair_runtime / sticky.runtime, 4),
+         common::fmt_double(sticky.requests_per_grant, 3)});
+    peer_table.add_row(
+        {"hint forwarding (extension)",
+         common::fmt_double(fair_runtime / hinted.runtime, 4),
+         common::fmt_double(hinted.requests_per_grant, 3)});
+  }
+  emit(peer_table, "ablation_peer_discovery",
+       "Ablation D: peer discovery policy");
+
+  // --- E: push-gossip diffusion -------------------------------------------
+  common::Table push_table({"variant", "perf_vs_fair",
+                            "requests_per_grant"});
+  {
+    AblationOutcome pull_only = run_case(
+        base_cc(cluster::ManagerKind::kPenelope), pair_profiles());
+    cluster::ClusterConfig push_cc =
+        base_cc(cluster::ManagerKind::kPenelope);
+    push_cc.push_gossip = true;
+    AblationOutcome with_push = run_case(push_cc, pair_profiles());
+    push_table.add_row(
+        {"pull only (paper)",
+         common::fmt_double(fair_runtime / pull_only.runtime, 4),
+         common::fmt_double(pull_only.requests_per_grant, 3)});
+    push_table.add_row(
+        {"pull + push gossip (extension)",
+         common::fmt_double(fair_runtime / with_push.runtime, 4),
+         common::fmt_double(with_push.requests_per_grant, 3)});
+  }
+  emit(push_table, "ablation_push_gossip",
+       "Ablation E: proactive push-gossip diffusion of excess");
+
+  return 0;
+}

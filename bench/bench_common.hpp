@@ -1,0 +1,90 @@
+// Shared plumbing for the figure benches: argument handling, CSV output
+// next to the binary, and the experiment configurations used across
+// figures so every bench agrees on what "the paper's setup" means.
+//
+// Every bench accepts key=value arguments (see each binary's --help) and
+// a `quick=1` flag that shrinks sweeps for smoke runs; defaults
+// reproduce the full figure.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "workload/npb.hpp"
+
+namespace penelope::bench {
+
+/// Parse argv; on malformed input or leftover (typo) keys, print usage
+/// and exit. `used_by_help` documents the accepted keys.
+inline common::Config parse_or_die(int argc, char** argv,
+                                   const std::string& usage) {
+  common::Config config;
+  if (!config.parse_args(argc, argv)) {
+    std::fprintf(stderr, "error: %s\nusage: %s\n",
+                 config.error().c_str(), usage.c_str());
+    std::exit(2);
+  }
+  return config;
+}
+
+inline void reject_unused(const common::Config& config,
+                          const std::string& usage) {
+  auto unused = config.unused_keys();
+  if (unused.empty()) return;
+  for (const auto& key : unused)
+    std::fprintf(stderr, "error: unknown option '%s'\n", key.c_str());
+  std::fprintf(stderr, "usage: %s\n", usage.c_str());
+  std::exit(2);
+}
+
+/// Emit a table to stdout and mirror it to `<name>.csv` in the current
+/// directory.
+inline void emit(const common::Table& table, const std::string& name,
+                 const std::string& title) {
+  std::printf("\n== %s ==\n%s", title.c_str(), table.render().c_str());
+  std::string path = name + ".csv";
+  if (table.write_csv(path)) {
+    std::printf("(csv written to %s)\n", path.c_str());
+  }
+}
+
+/// The paper's five initial per-socket powercaps (§4.3).
+inline std::vector<double> paper_caps() {
+  return {60.0, 70.0, 80.0, 90.0, 100.0};
+}
+
+/// Nominal-experiment cluster configuration (§4.1): 20 client nodes,
+/// 1 s decider period, epsilon margin, RAPL-like dynamics.
+inline cluster::ClusterConfig paper_cluster_config(
+    cluster::ManagerKind manager, double per_socket_cap,
+    std::uint64_t seed) {
+  cluster::ClusterConfig cc;
+  cc.manager = manager;
+  cc.n_nodes = 20;
+  cc.per_socket_cap_watts = per_socket_cap;
+  cc.seed = seed;
+  cc.max_seconds = 3600.0;
+  return cc;
+}
+
+/// Workload generation at full class-D-like durations.
+inline workload::NpbConfig paper_npb_config(std::uint64_t seed) {
+  workload::NpbConfig npb;
+  npb.duration_scale = 1.0;
+  npb.demand_jitter_frac = 0.02;
+  npb.seed = seed;
+  return npb;
+}
+
+/// Label for one application pair, e.g. "EP+DC".
+inline std::string pair_label(workload::NpbApp a, workload::NpbApp b) {
+  return std::string(workload::app_name(a)) + "+" +
+         workload::app_name(b);
+}
+
+}  // namespace penelope::bench

@@ -1,0 +1,77 @@
+// Extension bench (paper §2.3.3 case study): the PoDD-style
+// hierarchical manager against Fair, SLURM, and Penelope on coupled
+// workloads. PoDD's profiled initial assignment should shine on
+// asymmetric couples (less reactive shifting needed) and degenerate
+// gracefully to SLURM on symmetric ones.
+//
+// Options: caps=60,80 pairs=N quick=1 seed=S
+#include "bench_common.hpp"
+
+using namespace penelope;
+using namespace penelope::bench;
+
+namespace {
+
+double run_runtime(cluster::ManagerKind manager, workload::NpbApp a,
+                   workload::NpbApp b, double cap, std::uint64_t seed) {
+  cluster::ClusterConfig cc = paper_cluster_config(manager, cap, seed);
+  cluster::Cluster cl(
+      cc, cluster::make_pair_workloads(a, b, cc.n_nodes,
+                                       paper_npb_config(seed)));
+  return cl.run().runtime_seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string usage =
+      "bench_hierarchy [caps=60,80] [pairs=N] [quick=1] [seed=S]";
+  common::Config config = parse_or_die(argc, argv, usage);
+  bool quick = config.get_bool("quick", false);
+  std::vector<double> caps = config.get_double_list(
+      "caps", quick ? std::vector<double>{70.0}
+                    : std::vector<double>{60.0, 80.0});
+  auto all_pairs = workload::unique_pairs();
+  int n_pairs = config.get_int(
+      "pairs", quick ? 4 : static_cast<int>(all_pairs.size()));
+  n_pairs = std::min<int>(n_pairs, static_cast<int>(all_pairs.size()));
+  auto seed = static_cast<std::uint64_t>(config.get_int("seed", 42));
+  reject_unused(config, usage);
+
+  common::Table figure({"cap_w_per_socket", "slurm_geomean",
+                        "podd_geomean", "penelope_geomean",
+                        "podd_vs_slurm"});
+
+  for (double cap : caps) {
+    std::vector<double> slurm_norms;
+    std::vector<double> podd_norms;
+    std::vector<double> pen_norms;
+    for (int p = 0; p < n_pairs; ++p) {
+      auto [a, b] = all_pairs[static_cast<std::size_t>(p)];
+      double fair =
+          run_runtime(cluster::ManagerKind::kFair, a, b, cap, seed);
+      slurm_norms.push_back(
+          fair / run_runtime(cluster::ManagerKind::kCentral, a, b, cap,
+                             seed));
+      podd_norms.push_back(
+          fair / run_runtime(cluster::ManagerKind::kHierarchical, a, b,
+                             cap, seed));
+      pen_norms.push_back(
+          fair / run_runtime(cluster::ManagerKind::kPenelope, a, b, cap,
+                             seed));
+    }
+    double slurm_geo = common::geomean(slurm_norms);
+    double podd_geo = common::geomean(podd_norms);
+    double pen_geo = common::geomean(pen_norms);
+    figure.add_row({common::fmt_double(cap, 0),
+                    common::fmt_double(slurm_geo, 4),
+                    common::fmt_double(podd_geo, 4),
+                    common::fmt_double(pen_geo, 4),
+                    common::fmt_percent(podd_geo / slurm_geo - 1.0)});
+  }
+
+  emit(figure, "hierarchy_comparison",
+       "Extension: PoDD-style hierarchical manager vs Fair/SLURM/"
+       "Penelope on coupled workloads (geomean vs Fair)");
+  return 0;
+}

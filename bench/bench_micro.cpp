@@ -1,0 +1,185 @@
+// Google-benchmark microbenchmarks for the hot paths: the event queue,
+// pool transactions, decider steps, power-model integration, network
+// delivery, and a full simulated cluster-second. These quantify the
+// simulator's capacity (events/s) and the protocol's per-operation cost,
+// which bounds how large a cluster this substrate can reproduce.
+#include <benchmark/benchmark.h>
+
+#include "central/server.hpp"
+#include "cluster/cluster.hpp"
+#include "common/rng.hpp"
+#include "core/decider.hpp"
+#include "core/pool.hpp"
+#include "net/codec.hpp"
+#include "net/network.hpp"
+#include "net/serial_server.hpp"
+#include "power/simulated_rapl.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace penelope;
+
+void BM_SimulatorScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) {
+      sim.schedule_at(i, [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.executed_events());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorScheduleRun)->Arg(1024)->Arg(16384);
+
+void BM_SimulatorCascade(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    const int n = static_cast<int>(state.range(0));
+    int remaining = n;
+    std::function<void()> next = [&] {
+      if (--remaining > 0) sim.schedule_after(1, next);
+    };
+    sim.schedule_at(0, next);
+    sim.run();
+    benchmark::DoNotOptimize(remaining);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorCascade)->Arg(16384);
+
+void BM_PoolServe(benchmark::State& state) {
+  core::PowerPool pool;
+  pool.deposit(1e12);
+  core::PowerRequest request;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.serve(request));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PoolServe);
+
+void BM_PoolServeUrgent(benchmark::State& state) {
+  core::PowerPool pool;
+  pool.deposit(1e12);
+  core::PowerRequest request;
+  request.urgent = true;
+  request.alpha_watts = 25.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.serve(request));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PoolServeUrgent);
+
+void BM_DeciderStep(benchmark::State& state) {
+  core::PowerPool pool;
+  core::Decider decider(
+      core::DeciderConfig{160.0, 5.0,
+                          power::SafeRange{80.0, 250.0}},
+      pool);
+  common::Rng rng(7);
+  for (auto _ : state) {
+    double p = rng.uniform(90.0, 170.0);
+    core::StepOutcome out = decider.begin_step(p);
+    if (out.kind == core::StepKind::kNeedsPeer) {
+      decider.complete_peer_grant(5.0);
+    }
+    decider.finish_step();
+    benchmark::DoNotOptimize(decider.cap());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DeciderStep);
+
+void BM_CentralServerRequest(benchmark::State& state) {
+  central::ServerLogic server;
+  server.handle_donation(central::CentralDonation{1e12});
+  central::CentralRequest request;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(server.handle_request(request));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CentralServerRequest);
+
+void BM_RaplAdvance(benchmark::State& state) {
+  power::SimulatedRaplConfig cfg;
+  power::SimulatedRapl rapl(cfg);
+  rapl.set_demand(180.0, 0);
+  common::Ticks t = 0;
+  for (auto _ : state) {
+    t += 1000;
+    benchmark::DoNotOptimize(rapl.read_average_power(t));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RaplAdvance);
+
+void BM_NetworkRoundTrip(benchmark::State& state) {
+  sim::Simulator sim;
+  net::Network net(sim, net::NetworkConfig{});
+  std::uint64_t delivered = 0;
+  net.register_endpoint(1, [&](const net::Message& m) {
+    ++delivered;
+    net.send(1, 0, m.id);
+  });
+  net.register_endpoint(0, [&](const net::Message&) { ++delivered; });
+  for (auto _ : state) {
+    net.send(0, 1, 42);
+    sim.run();
+  }
+  benchmark::DoNotOptimize(delivered);
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_NetworkRoundTrip);
+
+void BM_CodecEncode(benchmark::State& state) {
+  core::PowerRequest request;
+  request.urgent = true;
+  request.alpha_watts = 42.0;
+  request.txn_id = 7;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::encode(net::WirePayload{request}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CodecEncode);
+
+void BM_CodecDecode(benchmark::State& state) {
+  auto bytes = net::encode(net::WirePayload{core::PowerGrant{30.0, 7, -1}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::decode(bytes));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CodecDecode);
+
+void BM_ClusterSimulatedSecond(benchmark::State& state) {
+  // Cost of one virtual second of a Penelope cluster at the given node
+  // count — the number that bounds the scale study's wall time.
+  const int nodes = static_cast<int>(state.range(0));
+  cluster::ClusterConfig cc;
+  cc.manager = cluster::ManagerKind::kPenelope;
+  cc.n_nodes = nodes;
+  cc.per_socket_cap_watts = 60.0;
+  cc.measurement_noise_watts = 0.0;
+  std::vector<workload::WorkloadProfile> profiles;
+  for (int i = 0; i < nodes; ++i) {
+    workload::WorkloadProfile p;
+    p.name = "x";
+    p.phases.push_back(
+        workload::Phase{"hot", i % 2 ? 240.0 : 100.0, 1e9});
+    profiles.push_back(std::move(p));
+  }
+  cluster::Cluster cl(cc, std::move(profiles));
+  for (auto _ : state) {
+    cl.run_for(1.0);
+  }
+  state.SetItemsProcessed(state.iterations() * nodes);
+}
+BENCHMARK(BM_ClusterSimulatedSecond)->Arg(64)->Arg(256)->Arg(1056);
+
+}  // namespace

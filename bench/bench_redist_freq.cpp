@@ -1,0 +1,86 @@
+// Figures 4 and 5 — power redistribution time versus local decider
+// frequency, at maximum simulated scale (1056 nodes, §4.5).
+//
+// Figure 4: median redistribution time (time to shift 50% of the burst).
+// Figure 5: total redistribution time (100%); when a system never
+// finishes shifting within the window (SLURM once its server drops
+// packets, near ~10-20 req/s at this scale), the paper charges the full
+// experiment runtime — so does this bench.
+//
+// Expected shape: Penelope starts slower at 1 Hz (random discovery) but
+// improves rapidly with frequency and converges toward SLURM (Fig. 4);
+// SLURM's total time explodes at the drop threshold (Fig. 5).
+//
+// Options: nodes=1056 freqs=0.5,1,... reps=3 quick=1 seed=S
+#include "cluster/scale.hpp"
+
+#include "bench_common.hpp"
+
+using namespace penelope;
+using namespace penelope::bench;
+
+int main(int argc, char** argv) {
+  const std::string usage =
+      "bench_redist_freq [nodes=1056] [freqs=0.5,1,2,...] [reps=3] "
+      "[quick=1] [seed=S]";
+  common::Config config = parse_or_die(argc, argv, usage);
+  bool quick = config.get_bool("quick", false);
+  int nodes = config.get_int("nodes", quick ? 128 : 1056);
+  std::vector<double> freqs = config.get_double_list(
+      "freqs", quick ? std::vector<double>{1.0, 8.0, 20.0}
+                     : std::vector<double>{0.5, 1.0, 2.0, 4.0, 8.0, 12.0,
+                                           16.0, 20.0, 24.0, 32.0});
+  int reps = config.get_int("reps", quick ? 1 : 3);
+  auto seed = static_cast<std::uint64_t>(config.get_int("seed", 42));
+  reject_unused(config, usage);
+
+  common::Table fig4({"freq_hz", "slurm_median_s", "penelope_median_s"});
+  common::Table fig5({"freq_hz", "slurm_total_s", "penelope_total_s",
+                      "slurm_drops", "slurm_total_capped"});
+
+  for (double freq : freqs) {
+    std::vector<double> slurm_median;
+    std::vector<double> slurm_total;
+    std::vector<double> pen_median;
+    std::vector<double> pen_total;
+    std::uint64_t drops = 0;
+    bool slurm_capped = false;
+    for (int r = 0; r < reps; ++r) {
+      cluster::ScaleConfig sc;
+      sc.n_nodes = nodes;
+      sc.frequency_hz = freq;
+      sc.seed = seed + static_cast<std::uint64_t>(r);
+      // The window must comfortably contain full redistribution at low
+      // frequency (Penelope moves the long tail at >= 1 W per probe).
+      sc.window_seconds = 120.0 / freq + 40.0;
+
+      sc.manager = cluster::ManagerKind::kCentral;
+      cluster::ScaleResult slurm = run_scale_experiment(sc);
+      sc.manager = cluster::ManagerKind::kPenelope;
+      cluster::ScaleResult pen = run_scale_experiment(sc);
+
+      slurm_median.push_back(slurm.median_redistribution_s);
+      slurm_total.push_back(slurm.total_redistribution_s);
+      pen_median.push_back(pen.median_redistribution_s);
+      pen_total.push_back(pen.total_redistribution_s);
+      drops += slurm.server_drops;
+      slurm_capped |= !slurm.total_reached;
+    }
+    fig4.add_row({common::fmt_double(freq, 1),
+                  common::fmt_double(common::median(slurm_median), 3),
+                  common::fmt_double(common::median(pen_median), 3)});
+    fig5.add_row({common::fmt_double(freq, 1),
+                  common::fmt_double(common::median(slurm_total), 3),
+                  common::fmt_double(common::median(pen_total), 3),
+                  std::to_string(drops),
+                  slurm_capped ? "yes" : "no"});
+  }
+
+  emit(fig4, "fig4_median_redist_vs_freq",
+       "Figure 4: median redistribution time (50%) vs decider frequency "
+       "(paper: Penelope converges toward SLURM as frequency rises)");
+  emit(fig5, "fig5_total_redist_vs_freq",
+       "Figure 5: total redistribution time (100%) vs decider frequency "
+       "(paper: SLURM blows up once the server drops packets)");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 6 — median power redistribution time versus scale at a fixed
+// 1 Hz decider frequency (44 -> 1056 nodes, §4.5.1).
+//
+// Expected shape: both systems' curves are essentially flat — "at 1056
+// nodes with a one second period, SLURM does not degrade; however,
+// Penelope does not either. As scale increases ... the gap in
+// redistribution time remains essentially unchanged."
+//
+// Options: scales=44,88,... reps=3 quick=1 seed=S
+#include "cluster/scale.hpp"
+
+#include "bench_common.hpp"
+
+using namespace penelope;
+using namespace penelope::bench;
+
+int main(int argc, char** argv) {
+  const std::string usage =
+      "bench_redist_scale [scales=44,88,...] [reps=3] [quick=1] [seed=S]";
+  common::Config config = parse_or_die(argc, argv, usage);
+  bool quick = config.get_bool("quick", false);
+  std::vector<int> scales = config.get_int_list(
+      "scales", quick ? std::vector<int>{44, 176, 704}
+                      : std::vector<int>{44, 88, 176, 352, 704, 1056});
+  int reps = config.get_int("reps", quick ? 1 : 3);
+  auto seed = static_cast<std::uint64_t>(config.get_int("seed", 42));
+  reject_unused(config, usage);
+
+  common::Table fig6({"nodes", "slurm_median_s", "penelope_median_s",
+                      "gap_s"});
+
+  for (int nodes : scales) {
+    std::vector<double> slurm_median;
+    std::vector<double> pen_median;
+    for (int r = 0; r < reps; ++r) {
+      cluster::ScaleConfig sc;
+      sc.n_nodes = nodes;
+      sc.frequency_hz = 1.0;
+      sc.seed = seed + static_cast<std::uint64_t>(r);
+      sc.window_seconds = 160.0;
+
+      sc.manager = cluster::ManagerKind::kCentral;
+      slurm_median.push_back(
+          run_scale_experiment(sc).median_redistribution_s);
+      sc.manager = cluster::ManagerKind::kPenelope;
+      pen_median.push_back(
+          run_scale_experiment(sc).median_redistribution_s);
+    }
+    double slurm = common::median(slurm_median);
+    double pen = common::median(pen_median);
+    fig6.add_row({std::to_string(nodes), common::fmt_double(slurm, 3),
+                  common::fmt_double(pen, 3),
+                  common::fmt_double(pen - slurm, 3)});
+  }
+
+  emit(fig6, "fig6_median_redist_vs_scale",
+       "Figure 6: median redistribution time (50%) vs scale at 1 Hz "
+       "(paper: both flat, constant gap)");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// §4.5.2 in-text numbers — central-server service time and the
+// saturation extrapolation.
+//
+// Measures the per-request service time of the SLURM-style server under
+// load (paper: 80-100 us) and reproduces the two extrapolations:
+//   * nodes at 1 Hz that saturate the server: 1 s / service  (~12,500 at
+//     80 us in the paper)
+//   * frequency that saturates 1056 nodes: 1 / (1056 * service) (~11.8
+//     iterations/s in the paper)
+//
+// Options: nodes=1056 seconds=20 seed=S
+#include "cluster/scale.hpp"
+
+#include "bench_common.hpp"
+
+using namespace penelope;
+using namespace penelope::bench;
+
+int main(int argc, char** argv) {
+  const std::string usage =
+      "bench_server_service [nodes=1056] [seconds=20] [seed=S]";
+  common::Config config = parse_or_die(argc, argv, usage);
+  int nodes = config.get_int("nodes", 1056);
+  double seconds = config.get_double("seconds", 20.0);
+  auto seed = static_cast<std::uint64_t>(config.get_int("seed", 42));
+  reject_unused(config, usage);
+
+  // Drive a loaded central cluster and read the serial server's stats.
+  cluster::ScaleConfig sc;
+  sc.manager = cluster::ManagerKind::kCentral;
+  sc.n_nodes = nodes;
+  sc.frequency_hz = 1.0;
+  sc.window_seconds = seconds;
+  sc.seed = seed;
+  cluster::ClusterConfig cc = cluster::make_scale_cluster_config(sc);
+
+  // Build the cluster directly so the service stats stay accessible.
+  std::vector<workload::WorkloadProfile> profiles;
+  for (int i = 0; i < nodes; ++i) {
+    workload::WorkloadProfile p;
+    p.name = "hungry";
+    p.phases.push_back(workload::Phase{"hot", 240.0, 1e6});
+    profiles.push_back(std::move(p));
+  }
+  cluster::Cluster cl(cc, std::move(profiles));
+  cl.run_for(seconds);
+  cluster::RunResult result = cl.collect_result();
+
+  if (!result.server_stats) {
+    std::fprintf(stderr, "error: no server stats (not a central run?)\n");
+    return 1;
+  }
+  const auto& stats = *result.server_stats;
+  double service_us =
+      stats.processed
+          ? static_cast<double>(stats.total_service_time) /
+                static_cast<double>(stats.processed)
+          : 0.0;
+  double wait_us = stats.mean_queue_wait_us();
+
+  common::Table table({"metric", "value", "paper"});
+  table.add_row({"requests processed", std::to_string(stats.processed),
+                 "-"});
+  table.add_row({"mean service time (us)",
+                 common::fmt_double(service_us, 1), "80-100"});
+  table.add_row({"mean queue wait (ms)",
+                 common::fmt_double(wait_us / 1000.0, 2), "tens of ms"});
+  table.add_row({"saturation nodes @ 1 Hz",
+                 common::fmt_double(1e6 / service_us, 0),
+                 "~12500 (at 80 us)"});
+  table.add_row({"saturation freq @ 1056 nodes (Hz)",
+                 common::fmt_double(1e6 / (1056.0 * service_us), 1),
+                 "~11.8 (at 80 us)"});
+
+  emit(table, "server_service",
+       "Section 4.5.2: central-server service time and saturation "
+       "extrapolation");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figure 7 — mean turnaround time (decider's wait for a pool/server
+// response) versus decider frequency at 1056 nodes (§4.5.2).
+//
+// Expected shape: SLURM's mean turnaround climbs toward a ceiling and
+// levels off (slightly declining) once the server starts dropping
+// packets; its standard deviation grows with frequency. Penelope stays
+// flat and sub-millisecond throughout.
+//
+// Options: nodes=1056 freqs=... reps=3 quick=1 seed=S
+#include "cluster/scale.hpp"
+
+#include "bench_common.hpp"
+
+using namespace penelope;
+using namespace penelope::bench;
+
+int main(int argc, char** argv) {
+  const std::string usage =
+      "bench_turnaround_freq [nodes=1056] [freqs=...] [reps=3] [quick=1] "
+      "[seed=S]";
+  common::Config config = parse_or_die(argc, argv, usage);
+  bool quick = config.get_bool("quick", false);
+  int nodes = config.get_int("nodes", quick ? 128 : 1056);
+  std::vector<double> freqs = config.get_double_list(
+      "freqs", quick ? std::vector<double>{1.0, 8.0, 20.0}
+                     : std::vector<double>{0.5, 1.0, 2.0, 4.0, 8.0, 12.0,
+                                           16.0, 20.0, 24.0, 32.0});
+  int reps = config.get_int("reps", quick ? 1 : 3);
+  auto seed = static_cast<std::uint64_t>(config.get_int("seed", 42));
+  reject_unused(config, usage);
+
+  common::Table fig7({"freq_hz", "slurm_mean_ms", "slurm_stddev_ms",
+                      "penelope_mean_ms", "penelope_stddev_ms",
+                      "slurm_drops"});
+
+  for (double freq : freqs) {
+    common::OnlineStats slurm_mean;
+    common::OnlineStats slurm_sd;
+    common::OnlineStats pen_mean;
+    common::OnlineStats pen_sd;
+    std::uint64_t drops = 0;
+    for (int r = 0; r < reps; ++r) {
+      cluster::ScaleConfig sc;
+      sc.n_nodes = nodes;
+      sc.frequency_hz = freq;
+      sc.seed = seed + static_cast<std::uint64_t>(r);
+      sc.window_seconds = 30.0;  // turnaround needs samples, not t100
+
+      sc.manager = cluster::ManagerKind::kCentral;
+      cluster::ScaleResult slurm = run_scale_experiment(sc);
+      sc.manager = cluster::ManagerKind::kPenelope;
+      cluster::ScaleResult pen = run_scale_experiment(sc);
+
+      slurm_mean.add(slurm.mean_turnaround_ms);
+      slurm_sd.add(slurm.stddev_turnaround_ms);
+      pen_mean.add(pen.mean_turnaround_ms);
+      pen_sd.add(pen.stddev_turnaround_ms);
+      drops += slurm.server_drops;
+    }
+    fig7.add_row({common::fmt_double(freq, 1),
+                  common::fmt_double(slurm_mean.mean(), 3),
+                  common::fmt_double(slurm_sd.mean(), 3),
+                  common::fmt_double(pen_mean.mean(), 3),
+                  common::fmt_double(pen_sd.mean(), 3),
+                  std::to_string(drops)});
+  }
+
+  emit(fig7, "fig7_turnaround_vs_freq",
+       "Figure 7: mean turnaround time vs decider frequency "
+       "(paper: SLURM approaches a ceiling then levels off at the packet-"
+       "drop point; Penelope flat)");
+  return 0;
+}

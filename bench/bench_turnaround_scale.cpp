@@ -1,0 +1,87 @@
+// Figure 8 — mean turnaround time versus scale at 1 Hz (§4.5.2).
+//
+// Expected shape: SLURM grows roughly linearly with node count (the
+// server drains each synchronized burst serially at 80-100 us per
+// request — the basis of the paper's 12,500-node extrapolation), landing
+// in the tens of milliseconds at 1056 nodes; Penelope stays flat because
+// the same load is split over N pools.
+//
+// Options: scales=44,... reps=3 quick=1 seed=S
+#include "cluster/scale.hpp"
+
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "common/histogram.hpp"
+
+using namespace penelope;
+using namespace penelope::bench;
+
+int main(int argc, char** argv) {
+  const std::string usage =
+      "bench_turnaround_scale [scales=44,...] [reps=3] [quick=1] [seed=S]";
+  common::Config config = parse_or_die(argc, argv, usage);
+  bool quick = config.get_bool("quick", false);
+  std::vector<int> scales = config.get_int_list(
+      "scales", quick ? std::vector<int>{44, 176, 704}
+                      : std::vector<int>{44, 88, 176, 352, 704, 1056});
+  int reps = config.get_int("reps", quick ? 1 : 3);
+  auto seed = static_cast<std::uint64_t>(config.get_int("seed", 42));
+  reject_unused(config, usage);
+
+  common::Table fig8({"nodes", "slurm_mean_ms", "slurm_p99_ms",
+                      "penelope_mean_ms", "penelope_p99_ms",
+                      "slurm_ms_per_node"});
+
+  std::vector<double> largest_scale_samples;
+  int largest_scale = 0;
+  for (int nodes : scales) {
+    common::OnlineStats slurm_mean;
+    common::OnlineStats slurm_p99;
+    common::OnlineStats pen_mean;
+    common::OnlineStats pen_p99;
+    for (int r = 0; r < reps; ++r) {
+      cluster::ScaleConfig sc;
+      sc.n_nodes = nodes;
+      sc.frequency_hz = 1.0;
+      sc.seed = seed + static_cast<std::uint64_t>(r);
+      sc.window_seconds = 30.0;
+
+      sc.manager = cluster::ManagerKind::kCentral;
+      cluster::ScaleResult slurm = run_scale_experiment(sc);
+      slurm_mean.add(slurm.mean_turnaround_ms);
+      slurm_p99.add(slurm.p99_turnaround_ms);
+      if (nodes >= largest_scale && r == 0) {
+        largest_scale = nodes;
+        largest_scale_samples = slurm.turnaround_ms;
+      }
+      sc.manager = cluster::ManagerKind::kPenelope;
+      cluster::ScaleResult pen = run_scale_experiment(sc);
+      pen_mean.add(pen.mean_turnaround_ms);
+      pen_p99.add(pen.p99_turnaround_ms);
+    }
+    fig8.add_row(
+        {std::to_string(nodes), common::fmt_double(slurm_mean.mean(), 3),
+         common::fmt_double(slurm_p99.mean(), 3),
+         common::fmt_double(pen_mean.mean(), 3),
+         common::fmt_double(pen_p99.mean(), 3),
+         common::fmt_double(slurm_mean.mean() / nodes * 1000.0, 3)});
+  }
+
+  emit(fig8, "fig8_turnaround_vs_scale",
+       "Figure 8: mean turnaround time vs scale at 1 Hz "
+       "(paper: SLURM ~linear in N, tens of ms at 1056; Penelope flat)");
+
+  // The distribution behind the largest-scale SLURM point: a ramp from
+  // ~0 to the full burst-drain time — the uniform queue-position wait
+  // the serial server imposes on a synchronized burst.
+  if (!largest_scale_samples.empty()) {
+    double max_ms =
+        common::percentile(largest_scale_samples, 100.0) * 1.05;
+    common::Histogram histogram(0.0, std::max(max_ms, 1.0), 20);
+    for (double ms : largest_scale_samples) histogram.add(ms);
+    std::printf("\nSLURM turnaround distribution at %d nodes (ms):\n%s",
+                largest_scale, histogram.render(48).c_str());
+  }
+  return 0;
+}

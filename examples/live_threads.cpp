@@ -1,0 +1,77 @@
+// Live real-thread Penelope: the same decider/pool logic the simulator
+// drives, running as actual threads with wall-clock periods — one
+// decider thread plus one pool-service thread per "node", in-process
+// mailboxes as the fabric.
+//
+// On a machine with Intel RAPL exposed (and writable) under
+// /sys/class/powercap, this example also probes the real power backend
+// and reports what it found; everywhere else it falls back to the
+// simulated RAPL model, exactly as §3.3 allows ("Penelope only requires
+// an interface through which power can be read and node-level powercaps
+// can be set").
+//
+// Usage: ./examples/live_threads [nodes=4] [seconds=2]
+#include <cstdio>
+
+#include "common/config.hpp"
+#include "power/sysfs_rapl.hpp"
+#include "rt/thread_cluster.hpp"
+
+using namespace penelope;
+
+int main(int argc, char** argv) {
+  common::Config config;
+  if (!config.parse_args(argc, argv)) {
+    std::fprintf(stderr, "usage: live_threads [nodes=4] [seconds=2]\n");
+    return 2;
+  }
+  int nodes = config.get_int("nodes", 4);
+  double seconds = config.get_double("seconds", 2.0);
+
+  // Probe for real RAPL hardware first.
+  power::SysfsRapl rapl(power::SysfsRaplConfig{});
+  if (rapl.available()) {
+    std::printf("intel-rapl: %zu package domain(s) found, caps %s; "
+                "package power now: %.1f W\n",
+                rapl.package_count(),
+                rapl.cap_writable() ? "writable" : "READ-ONLY",
+                rapl.read_average_power(0));
+  } else {
+    std::printf("intel-rapl: not available on this host — using the "
+                "simulated RAPL model\n");
+  }
+
+  // Half the nodes want little power, half want more than their cap.
+  rt::ThreadClusterConfig tc;
+  tc.n_nodes = nodes;
+  tc.initial_cap_watts = 120.0;
+  tc.period = common::from_millis(20);
+  tc.request_timeout = common::from_millis(20);
+  std::vector<std::vector<rt::DemandPhase>> scripts;
+  for (int i = 0; i < nodes; ++i) {
+    double demand = (i < nodes / 2) ? 60.0 : 240.0;
+    scripts.push_back(
+        {rt::DemandPhase{demand, common::from_seconds(3600.0)}});
+  }
+
+  std::printf("\nrunning %d real-thread nodes for %.1f s "
+              "(period %.0f ms)...\n\n",
+              nodes, seconds, common::to_millis(tc.period));
+  rt::ThreadCluster cluster(tc, std::move(scripts));
+  cluster.run_for(common::from_seconds(seconds));
+
+  for (const auto& report : cluster.reports()) {
+    std::printf(
+        "node %d: cap %6.1f W  pool %6.1f W  steps %-4llu "
+        "grants %-3llu timeouts %-3llu donated %.0f W received %.0f W\n",
+        report.id, report.final_cap, report.final_pool,
+        static_cast<unsigned long long>(report.decider.steps),
+        static_cast<unsigned long long>(report.grants_received),
+        static_cast<unsigned long long>(report.timeouts),
+        report.decider.watts_donated, report.decider.watts_received);
+  }
+  std::printf("\nbudget %.0f W, live total %.2f W (conserved to "
+              "floating point)\n",
+              cluster.budget(), cluster.total_live_watts());
+  return 0;
+}

@@ -1,0 +1,163 @@
+// Configurable experiment runner: assemble any cluster the library can
+// express from the command line, run it, and get a summary plus an
+// optional per-node trajectory CSV for plotting.
+//
+// Examples:
+//   ./run_experiment manager=penelope apps=EP,DC nodes=20 cap=80
+//   ./run_experiment manager=central apps=FT,CG kill_server_at=60
+//       trace=run.csv
+//   ./run_experiment manager=penelope apps=EP,DC loss=0.05
+//       hint_discovery=1 period_ms=250
+#include <cstdio>
+#include <cstring>
+
+#include "cluster/cluster.hpp"
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "workload/npb.hpp"
+
+using namespace penelope;
+
+namespace {
+
+const char* kUsage =
+    "run_experiment [manager=penelope|central|fair] [apps=EP,DC]\n"
+    "  [nodes=20] [cap=80] [period_ms=1000] [epsilon=5] [seed=42]\n"
+    "  [duration_scale=1.0] [loss=0.0] [kill_server_at=S]\n"
+    "  [kill_mgmt_node=I] [kill_mgmt_at=S] [urgency=1]\n"
+    "  [sticky_peers=0] [hint_discovery=0] [local_take=drain|limited]\n"
+    "  [trace=FILE.csv] [trace_ms=1000]";
+
+bool parse_app(const std::string& name, workload::NpbApp* out) {
+  for (auto app : workload::all_apps()) {
+    if (name == workload::app_name(app)) {
+      *out = app;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::Config config;
+  if (!config.parse_args(argc, argv)) {
+    std::fprintf(stderr, "error: %s\n%s\n", config.error().c_str(),
+                 kUsage);
+    return 2;
+  }
+
+  cluster::ClusterConfig cc;
+  std::string manager = config.get_string("manager", "penelope");
+  if (manager == "penelope") {
+    cc.manager = cluster::ManagerKind::kPenelope;
+  } else if (manager == "central" || manager == "slurm") {
+    cc.manager = cluster::ManagerKind::kCentral;
+  } else if (manager == "fair") {
+    cc.manager = cluster::ManagerKind::kFair;
+  } else {
+    std::fprintf(stderr, "error: unknown manager '%s'\n%s\n",
+                 manager.c_str(), kUsage);
+    return 2;
+  }
+
+  cc.n_nodes = config.get_int("nodes", 20);
+  cc.per_socket_cap_watts = config.get_double("cap", 80.0);
+  cc.period = common::from_millis(config.get_double("period_ms", 1000.0));
+  cc.epsilon_watts = config.get_double("epsilon", 5.0);
+  cc.seed = static_cast<std::uint64_t>(config.get_int("seed", 42));
+  cc.network.loss_probability = config.get_double("loss", 0.0);
+  cc.urgency_enabled = config.get_bool("urgency", true);
+  cc.sticky_peers = config.get_bool("sticky_peers", false);
+  cc.hint_discovery = config.get_bool("hint_discovery", false);
+  if (config.get_string("local_take", "drain") == "limited")
+    cc.local_take = core::LocalTakePolicy::kRateLimited;
+
+  double kill_server_at = config.get_double("kill_server_at", 0.0);
+  if (kill_server_at > 0.0) {
+    cc.faults.push_back(
+        cluster::FaultEvent{cluster::FaultEvent::Kind::kKillServer,
+                            common::from_seconds(kill_server_at), 0});
+  }
+  double kill_mgmt_at = config.get_double("kill_mgmt_at", 0.0);
+  if (kill_mgmt_at > 0.0) {
+    cc.faults.push_back(cluster::FaultEvent{
+        cluster::FaultEvent::Kind::kKillManagement,
+        common::from_seconds(kill_mgmt_at),
+        config.get_int("kill_mgmt_node", 0)});
+  }
+
+  std::string trace_path = config.get_string("trace", "");
+  if (!trace_path.empty()) {
+    cc.trace_interval =
+        common::from_millis(config.get_double("trace_ms", 1000.0));
+  }
+
+  std::string apps = config.get_string("apps", "EP,DC");
+  auto comma = apps.find(',');
+  workload::NpbApp app_a{};
+  workload::NpbApp app_b{};
+  if (comma == std::string::npos ||
+      !parse_app(apps.substr(0, comma), &app_a) ||
+      !parse_app(apps.substr(comma + 1), &app_b)) {
+    std::fprintf(stderr, "error: apps must be two of "
+                         "BT,CG,EP,FT,LU,MG,SP,UA,DC\n%s\n",
+                 kUsage);
+    return 2;
+  }
+
+  workload::NpbConfig npb;
+  npb.duration_scale = config.get_double("duration_scale", 1.0);
+  npb.demand_jitter_frac = 0.02;
+  npb.seed = cc.seed;
+
+  for (const auto& key : config.unused_keys()) {
+    std::fprintf(stderr, "error: unknown option '%s'\n%s\n", key.c_str(),
+                 kUsage);
+    return 2;
+  }
+
+  cluster::Cluster cl(
+      cc, cluster::make_pair_workloads(app_a, app_b, cc.n_nodes, npb));
+  cluster::RunResult result = cl.run();
+
+  std::printf("manager            %s\n",
+              cluster::manager_name(cc.manager));
+  std::printf("workloads          %s (nodes 0-%d) + %s (nodes %d-%d)\n",
+              workload::app_name(app_a), cc.n_nodes / 2 - 1,
+              workload::app_name(app_b), cc.n_nodes / 2, cc.n_nodes - 1);
+  std::printf("completed          %s\n",
+              result.all_completed ? "yes" : "NO (deadline)");
+  std::printf("runtime            %.2f s\n", result.runtime_seconds);
+  std::printf("performance        %.6f (1/runtime)\n", result.performance);
+  std::printf("requests sent      %llu (%llu timeouts)\n",
+              static_cast<unsigned long long>(result.requests_sent),
+              static_cast<unsigned long long>(result.timeouts));
+  if (!result.turnaround_ms.empty()) {
+    common::Summary turnaround = common::summarize(result.turnaround_ms);
+    std::printf("turnaround (ms)    mean %.3f  p50 %.3f  p75 %.3f  "
+                "max %.3f\n",
+                turnaround.mean, turnaround.median, turnaround.p75,
+                turnaround.max);
+  }
+  std::printf("messages           %llu sent, %llu dropped\n",
+              static_cast<unsigned long long>(result.net_stats.sent),
+              static_cast<unsigned long long>(
+                  result.net_stats.dropped_total()));
+  std::printf("stranded power     %.2f W\n", result.stranded_watts);
+  std::printf("conservation       max |error| %.2e W, live overshoot "
+              "%.2e W over %zu audits\n",
+              result.audit.max_abs_conservation_error,
+              result.audit.max_live_overshoot, result.audit.audits);
+
+  if (!trace_path.empty()) {
+    if (cl.trace().write_csv(trace_path)) {
+      std::printf("trace              %zu samples -> %s "
+                  "(mean cap oscillation %.2f W)\n",
+                  cl.trace().samples().size(), trace_path.c_str(),
+                  cl.trace().mean_cap_oscillation());
+    }
+  }
+  return result.all_completed ? 0 : 1;
+}

@@ -1,0 +1,133 @@
+#include "central/client.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+
+namespace penelope::central {
+
+Client::Client(ClientConfig config) : config_(config) {
+  PEN_CHECK(config_.epsilon_watts >= 0.0);
+  PEN_CHECK_MSG(config_.safe_range.contains(config_.initial_cap_watts),
+                "initial cap must lie inside the safe range");
+  cap_ = config_.initial_cap_watts;
+}
+
+ClientStepOutcome Client::begin_step(double avg_power_watts) {
+  ++stats_.steps;
+  ClientStepOutcome out;
+
+  if (avg_power_watts < cap_ - config_.epsilon_watts) {
+    ++stats_.excess_steps;
+    last_urgent_ = false;
+    double new_cap =
+        std::max(avg_power_watts, config_.safe_range.min_watts);
+    double delta = cap_ - new_cap;
+    if (delta <= 0.0) {
+      out.kind = ClientStepKind::kHeld;
+      return out;
+    }
+    cap_ = new_cap;  // lowered before the donation leaves the node
+    // Retirement debt (budget cut) is paid before anything is donated:
+    // those watts leave the system.
+    double retired = std::min(delta, retirement_debt_);
+    retirement_debt_ -= retired;
+    delta -= retired;
+    if (delta <= 0.0) {
+      out.kind = ClientStepKind::kHeld;
+      return out;
+    }
+    stats_.watts_donated += delta;
+    out.kind = ClientStepKind::kDonate;
+    out.delta_watts = delta;
+    return out;
+  }
+
+  ++stats_.hungry_steps;
+  last_urgent_ = common::watts_less(cap_, config_.initial_cap_watts);
+
+  if (cap_ >= config_.safe_range.max_watts - common::kWattEpsilon) {
+    out.kind = ClientStepKind::kHeld;
+    return out;
+  }
+
+  ++stats_.requests;
+  if (last_urgent_) ++stats_.urgent_requests;
+  out.kind = ClientStepKind::kNeedsServer;
+  out.request.urgent = last_urgent_;
+  out.request.alpha_watts =
+      last_urgent_ ? config_.initial_cap_watts - cap_ : 0.0;
+  out.request.txn_id = next_txn_++;
+  return out;
+}
+
+GrantApplication Client::apply_grant(const CentralGrant& grant) {
+  GrantApplication result;
+
+  if (grant.release_to_initial && !last_urgent_) {
+    ++stats_.release_orders_obeyed;
+    double above = cap_ - config_.initial_cap_watts;
+    if (above > common::kWattEpsilon) {
+      cap_ = config_.initial_cap_watts;
+      result.donate_back_watts += above;
+      stats_.watts_donated += above;
+    }
+  }
+
+  double watts = std::max(grant.watts, 0.0);
+  if (watts > 0.0) {
+    double headroom = config_.safe_range.max_watts - cap_;
+    double applied = std::min(watts, std::max(headroom, 0.0));
+    cap_ += applied;
+    stats_.watts_received += applied;
+    result.applied_watts = applied;
+    result.donate_back_watts += watts - applied;
+  }
+  return result;
+}
+
+double Client::reassign(double new_initial_cap_watts) {
+  PEN_CHECK_MSG(config_.safe_range.contains(new_initial_cap_watts),
+                "reassigned cap must lie inside the safe range");
+  config_.initial_cap_watts = new_initial_cap_watts;
+  double give_back = cap_ - new_initial_cap_watts;
+  if (give_back > common::kWattEpsilon) {
+    cap_ = new_initial_cap_watts;
+    stats_.watts_donated += give_back;
+    return give_back;
+  }
+  return 0.0;
+}
+
+Client::BudgetDeltaResult Client::apply_budget_delta(double delta_watts) {
+  BudgetDeltaResult result;
+  if (delta_watts >= 0.0) {
+    config_.initial_cap_watts = std::min(
+        config_.initial_cap_watts + delta_watts,
+        config_.safe_range.max_watts);
+    double headroom = config_.safe_range.max_watts - cap_;
+    double applied = std::min(delta_watts, std::max(headroom, 0.0));
+    cap_ += applied;
+    result.donate_watts = delta_watts - applied;
+    return result;
+  }
+
+  double owed = -delta_watts;
+  config_.initial_cap_watts = std::max(
+      config_.initial_cap_watts - owed, config_.safe_range.min_watts);
+  double from_cap =
+      std::min(owed, std::max(cap_ - config_.safe_range.min_watts, 0.0));
+  cap_ -= from_cap;
+  owed -= from_cap;
+  retirement_debt_ += owed;
+  result.retired_now = from_cap;
+  return result;
+}
+
+void Client::on_grant_timeout() {
+  // Nothing: the power the request hoped for never moved, so no state
+  // needs repair. Statistics of timed-out requests live in the driver.
+}
+
+}  // namespace penelope::central

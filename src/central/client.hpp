@@ -1,0 +1,106 @@
+// SLURM-style local decider (client side of the centralized manager).
+//
+// Same epsilon classification as Penelope's decider (§2.3.2), but all
+// power motion goes through the server: excess is donated upward
+// (fire-and-forget, after lowering the local cap), hunger becomes a
+// request and the cap rises only when the server's grant arrives. The
+// grant can instead carry a release order (centralized urgency), in which
+// case the client drops to its initial cap and donates the difference.
+#pragma once
+
+#include <cstdint>
+
+#include "central/protocol.hpp"
+#include "power/power_interface.hpp"
+
+namespace penelope::central {
+
+struct ClientConfig {
+  double initial_cap_watts = 160.0;
+  double epsilon_watts = 5.0;
+  power::SafeRange safe_range;
+};
+
+struct ClientStats {
+  std::uint64_t steps = 0;
+  std::uint64_t excess_steps = 0;
+  std::uint64_t hungry_steps = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t urgent_requests = 0;
+  std::uint64_t release_orders_obeyed = 0;
+  double watts_donated = 0.0;
+  double watts_received = 0.0;
+};
+
+enum class ClientStepKind {
+  kDonate,       ///< excess: send CentralDonation{delta_watts}
+  kNeedsServer,  ///< hungry: send `request`
+  kHeld,         ///< hungry at the safe ceiling, or nothing to do
+};
+
+struct ClientStepOutcome {
+  ClientStepKind kind = ClientStepKind::kHeld;
+  double delta_watts = 0.0;  ///< donation size for kDonate
+  CentralRequest request;    ///< valid for kNeedsServer
+};
+
+/// Result of applying a server grant.
+struct GrantApplication {
+  double applied_watts = 0.0;  ///< cap increase actually realised
+  /// Watts the client must donate back (release order, or grant overflow
+  /// beyond the safe ceiling). The driver sends this as a
+  /// CentralDonation so no power is stranded on the client.
+  double donate_back_watts = 0.0;
+};
+
+class Client {
+ public:
+  explicit Client(ClientConfig config);
+
+  ClientStepOutcome begin_step(double avg_power_watts);
+
+  GrantApplication apply_grant(const CentralGrant& grant);
+
+  /// Timeout: the request went unanswered (dead server, dropped packet).
+  /// No state changes — the cap simply stays where it was, which is
+  /// exactly the failure mode Figure 3 measures.
+  void on_grant_timeout();
+
+  /// PoDD-style reassignment (hierarchy/): adopt a new initial cap. If
+  /// the current cap exceeds it, the difference is returned and must be
+  /// donated back to the server (the caller sends the message); if the
+  /// current cap is below it, the node is now under its initial
+  /// assignment and climbs back through the normal urgency path.
+  double reassign(double new_initial_cap_watts);
+
+  /// Dynamic system-budget reconfiguration: this node's share changed
+  /// by `delta_watts`. Increase: the initial cap and cap rise together;
+  /// any part the safe ceiling rejects is returned as `donate_watts`
+  /// for the server to redistribute. Cut: retire from the cap down to
+  /// the safe minimum immediately; the remainder becomes retirement
+  /// debt, paid from future excess before it is donated.
+  struct BudgetDeltaResult {
+    double retired_now = 0.0;
+    double donate_watts = 0.0;
+  };
+  BudgetDeltaResult apply_budget_delta(double delta_watts);
+
+  double retirement_debt() const { return retirement_debt_; }
+
+  double cap() const { return cap_; }
+  double initial_cap() const { return config_.initial_cap_watts; }
+  bool last_step_urgent() const { return last_urgent_; }
+
+  const ClientStats& stats() const { return stats_; }
+  const ClientConfig& config() const { return config_; }
+
+ private:
+  ClientConfig config_;
+  double cap_;
+  double retirement_debt_ = 0.0;
+  bool last_urgent_ = false;
+  std::uint64_t next_txn_ = 1;
+  ClientStats stats_;
+};
+
+}  // namespace penelope::central

@@ -1,0 +1,35 @@
+// Wire protocol for the centralized (SLURM-style) power manager: clients
+// ship excess to the server and request power from it; the server's
+// grants may instead instruct a client to release down to its initial cap
+// (the centralized urgency mechanism of §4.1).
+#pragma once
+
+#include <cstdint>
+
+namespace penelope::central {
+
+/// Client -> server: excess power freed by lowering the local cap. The
+/// cap was lowered before this message was sent, so the watts it carries
+/// are already outside every node-level cap.
+struct CentralDonation {
+  double watts = 0.0;
+};
+
+/// Client -> server: the node is power-hungry.
+struct CentralRequest {
+  bool urgent = false;       ///< hungry and below the initial cap
+  double alpha_watts = 0.0;  ///< urgent only: deficit to the initial cap
+  std::uint64_t txn_id = 0;
+};
+
+/// Server -> client: response to a CentralRequest.
+struct CentralGrant {
+  double watts = 0.0;
+  /// Centralized urgency: an urgent node elsewhere could not reach its
+  /// initial cap, so this (non-urgent) client must release everything
+  /// above its own initial cap back to the server.
+  bool release_to_initial = false;
+  std::uint64_t txn_id = 0;
+};
+
+}  // namespace penelope::central

@@ -1,0 +1,63 @@
+#include "central/server.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+
+namespace penelope::central {
+
+ServerLogic::ServerLogic(ServerConfig config) : config_(config) {
+  PEN_CHECK(config_.share_fraction > 0.0 && config_.share_fraction <= 1.0);
+  PEN_CHECK(config_.upper_limit_watts >= config_.lower_limit_watts);
+}
+
+void ServerLogic::handle_donation(const CentralDonation& donation) {
+  PEN_CHECK_MSG(donation.watts >= -common::kWattEpsilon,
+                "donations cannot be negative");
+  double watts = std::max(donation.watts, 0.0);
+  cache_ += watts;
+  ++stats_.donations;
+  stats_.watts_collected += watts;
+  // Returning power satisfies the outstanding urgent deficit: the urgent
+  // node will collect it on its next request.
+  unmet_urgent_ = std::max(0.0, unmet_urgent_ - watts);
+}
+
+double ServerLogic::non_urgent_grant_size() const {
+  double share = config_.share_fraction * cache_;
+  if (!config_.clamp_grants) return share;
+  return common::clamp_watts(share, config_.lower_limit_watts,
+                             config_.upper_limit_watts);
+}
+
+CentralGrant ServerLogic::handle_request(const CentralRequest& request) {
+  ++stats_.requests;
+  CentralGrant grant;
+  grant.txn_id = request.txn_id;
+
+  if (request.urgent) {
+    ++stats_.urgent_requests;
+    double alpha = std::max(request.alpha_watts, 0.0);
+    grant.watts = std::min(cache_, alpha);
+    cache_ -= grant.watts;
+    // Remember how far this urgent node remains from its initial cap;
+    // the most recent observation wins (re-requests would otherwise
+    // double-count the same deficit).
+    unmet_urgent_ = alpha - grant.watts;
+  } else if (unmet_urgent_ > common::kWattEpsilon) {
+    // Centralized urgency: withhold power from non-urgent nodes and
+    // order them back to their initial caps until the deficit clears.
+    grant.watts = 0.0;
+    grant.release_to_initial = true;
+    ++stats_.release_orders;
+  } else {
+    grant.watts = std::min(cache_, non_urgent_grant_size());
+    grant.watts = std::max(grant.watts, 0.0);
+    cache_ -= grant.watts;
+  }
+  stats_.watts_granted += grant.watts;
+  return grant;
+}
+
+}  // namespace penelope::central

@@ -1,0 +1,72 @@
+// The central power server: SLURM's dynamic power-management behaviour
+// as the paper describes it (§2.3.2, §4.1).
+//
+// The server is the global cache of excess power. Donations accumulate;
+// hungry clients receive "a percentage of the total excess". We clamp
+// non-urgent grants with the same (share, lower, upper) rule Penelope's
+// pools use — this is the "modified rate limiting scheme to account for
+// scale" of §4.5, and using identical limits keeps the comparison between
+// the two systems about *architecture*, not tuning.
+//
+// Centralized urgency (§4.1): urgent requests are served greedily up to
+// their initial-cap deficit. When an urgent request cannot be fully met,
+// the server remembers the unmet deficit and instructs subsequent
+// non-urgent hungry clients to release down to their initial caps until
+// enough power has come back.
+//
+// This class is pure decision logic — the cluster driver parks it behind
+// a net::SerialServer so that queueing, service time (80–100 µs per the
+// paper's measurement) and packet drops emerge from the network model.
+#pragma once
+
+#include <cstdint>
+
+#include "central/protocol.hpp"
+
+namespace penelope::central {
+
+struct ServerConfig {
+  /// Non-urgent grant = clamp(share_fraction * cache, lower, upper).
+  double share_fraction = 0.10;
+  double lower_limit_watts = 1.0;
+  double upper_limit_watts = 30.0;
+  /// Ablation knob: disable the clamp (original unbounded percentage
+  /// hand-out) to reproduce the oscillation the paper warns about.
+  bool clamp_grants = true;
+};
+
+struct ServerStats {
+  std::uint64_t donations = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t urgent_requests = 0;
+  std::uint64_t release_orders = 0;  ///< grants carrying release_to_initial
+  double watts_collected = 0.0;
+  double watts_granted = 0.0;
+};
+
+class ServerLogic {
+ public:
+  explicit ServerLogic(ServerConfig config = {});
+
+  void handle_donation(const CentralDonation& donation);
+
+  CentralGrant handle_request(const CentralRequest& request);
+
+  /// Current cached excess.
+  double cache_watts() const { return cache_; }
+
+  /// Outstanding urgent deficit driving release orders.
+  double unmet_urgent_watts() const { return unmet_urgent_; }
+
+  const ServerStats& stats() const { return stats_; }
+
+ private:
+  double non_urgent_grant_size() const;
+
+  ServerConfig config_;
+  double cache_ = 0.0;
+  double unmet_urgent_ = 0.0;
+  ServerStats stats_;
+};
+
+}  // namespace penelope::central

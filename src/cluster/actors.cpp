@@ -1,0 +1,597 @@
+#include "cluster/actors.hpp"
+
+#include <utility>
+
+#include "central/protocol.hpp"
+#include "common/check.hpp"
+#include "common/log.hpp"
+#include "core/protocol.hpp"
+
+namespace penelope::cluster {
+
+// ---------------------------------------------------------------------------
+// NodeBody
+
+NodeBody::NodeBody(sim::Simulator& sim, const NodeConfig& config,
+                   workload::WorkloadProfile profile)
+    : sim_(sim),
+      config_(config),
+      rapl_([&] {
+        power::SimulatedRaplConfig rc = config.rapl;
+        rc.initial_cap_watts = config.initial_cap_watts;
+        rc.initial_demand_watts = profile.phases.front().demand_watts;
+        rc.seed = config.seed ^ 0x9d2c5680u;
+        return rc;
+      }()),
+      perf_(config.perf),
+      app_(std::move(profile), config.rapl.idle_watts),
+      noise_rng_(config.seed ^ 0xb5297a4du) {}
+
+double NodeBody::tick(common::Ticks now) {
+  PEN_CHECK(now >= last_tick_);
+  // True average power delivered since the last tick drives application
+  // progress; the manager sees this value plus measurement noise.
+  double avg = rapl_.read_average_power(now);
+  bool was_done = app_.done();
+  bool demand_changed = app_.advance(last_tick_, now, avg, perf_);
+  if (demand_changed) {
+    rapl_.set_demand(app_.current_demand(), now);
+  }
+  if (!was_done && app_.done() && !completion_reported_) {
+    completion_reported_ = true;
+    if (on_complete_) {
+      on_complete_(config_.id, app_.completion_time().value());
+    }
+  }
+  last_tick_ = now;
+  if (config_.measurement_noise_watts > 0.0) {
+    avg += noise_rng_.normal(0.0, config_.measurement_noise_watts);
+    if (avg < 0.0) avg = 0.0;
+  }
+  return avg;
+}
+
+// ---------------------------------------------------------------------------
+// FairNodeActor
+
+FairNodeActor::FairNodeActor(sim::Simulator& sim, const NodeConfig& config,
+                             workload::WorkloadProfile profile)
+    : body_(sim, config, std::move(profile)),
+      tick_task_(sim, config.start_offset, config.period,
+                 [this](common::Ticks now) { body_.tick(now); }) {
+  body_.rapl().set_cap(config.initial_cap_watts);
+}
+
+// ---------------------------------------------------------------------------
+// PenelopeNodeActor
+
+PenelopeNodeActor::PenelopeNodeActor(
+    sim::Simulator& sim, net::Network& net, const NodeConfig& config,
+    const core::PoolConfig& pool_config,
+    const net::SerialServerConfig& pool_service,
+    workload::WorkloadProfile profile, std::function<NodeId()> pick_peer,
+    ClusterMetrics& metrics)
+    : sim_(sim),
+      net_(net),
+      body_(sim, config, std::move(profile)),
+      pool_(pool_config),
+      decider_(
+          core::DeciderConfig{config.initial_cap_watts,
+                              config.epsilon_watts,
+                              config.rapl.safe_range,
+                              config.local_take,
+                              config.urgency_enabled},
+          pool_),
+      pool_service_(
+          sim,
+          [&] {
+            net::SerialServerConfig sc = pool_service;
+            sc.seed = config.seed ^ 0x1f83d9abu;
+            return sc;
+          }(),
+          [this](const net::Message& m) { on_pool_request(m); }),
+      pick_peer_(std::move(pick_peer)),
+      metrics_(metrics),
+      tick_task_(sim, config.start_offset, config.period,
+                 [this](common::Ticks now) { on_tick(now); }) {
+  PEN_CHECK(pick_peer_ != nullptr);
+  body_.rapl().set_cap(decider_.cap());
+  net_.register_endpoint(config.id,
+                         [this](const net::Message& m) { on_message(m); });
+}
+
+bool PenelopeNodeActor::peer_blacklisted(NodeId peer) const {
+  if (body_.config().blacklist_after_timeouts <= 0) return false;
+  auto it = peer_health_.find(peer);
+  return it != peer_health_.end() &&
+         it->second.blacklisted_until > sim_.now();
+}
+
+void PenelopeNodeActor::note_peer_timeout(NodeId peer) {
+  if (body_.config().blacklist_after_timeouts <= 0 ||
+      peer == net::kNoNode)
+    return;
+  PeerHealth& health = peer_health_[peer];
+  if (++health.consecutive_timeouts >=
+      body_.config().blacklist_after_timeouts) {
+    health.blacklisted_until =
+        sim_.now() + body_.config().blacklist_duration;
+    health.consecutive_timeouts = 0;
+  }
+}
+
+void PenelopeNodeActor::note_peer_answered(NodeId peer) {
+  if (body_.config().blacklist_after_timeouts <= 0 ||
+      peer == net::kNoNode)
+    return;
+  auto it = peer_health_.find(peer);
+  if (it != peer_health_.end()) {
+    it->second.consecutive_timeouts = 0;
+    it->second.blacklisted_until = 0;
+  }
+}
+
+double PenelopeNodeActor::apply_budget_delta(double delta_watts) {
+  double retired = decider_.apply_budget_delta(delta_watts);
+  body_.rapl().set_cap(decider_.cap());
+  return retired;
+}
+
+void PenelopeNodeActor::kill_management() {
+  management_alive_ = false;
+  pool_service_.halt();
+  // The workload keeps running at the frozen cap; only the decision
+  // plane is gone. Peer requests still arriving are dropped by the
+  // halted service (empty-handed peers simply time out).
+}
+
+void PenelopeNodeActor::on_message(const net::Message& msg) {
+  if (msg.as<core::PowerRequest>() != nullptr) {
+    // Requests contend for the pool's serial service (this is where a
+    // pool being "overburdened with requests" would show up — it never
+    // does, because load spreads across N pools).
+    pool_service_.inbox(msg);
+  } else if (msg.as<core::PowerGrant>() != nullptr) {
+    on_grant(msg);
+  } else if (const auto* push = msg.as<core::PowerPush>()) {
+    // Push-gossip deposit: the watts were withdrawn from the sender's
+    // pool; they land in ours (or strand if our management is dead).
+    if (push->watts > 0.0) {
+      if (management_alive_) {
+        metrics_.grant_arrived(push->watts);
+        pool_.deposit(push->watts);
+      } else {
+        metrics_.watts_stranded(push->watts);
+      }
+    }
+  } else {
+    PEN_LOG_WARN("penelope node %d: unexpected payload from %d",
+                 body_.config().id, msg.src);
+  }
+}
+
+void PenelopeNodeActor::on_pool_request(const net::Message& msg) {
+  const auto* request = msg.as<core::PowerRequest>();
+  PEN_CHECK(request != nullptr);
+  if (!management_alive_) return;
+  double granted = pool_.serve(*request);
+  if (granted > 0.0) metrics_.grant_departed(granted);
+  core::PowerGrant grant{granted, request->txn_id};
+  if (body_.config().hint_discovery && granted <= 0.0 &&
+      sticky_peer_ != net::kNoNode && sticky_peer_ != msg.src) {
+    // Empty-handed: refer the requester to the peer that last paid us.
+    grant.hint_peer = sticky_peer_;
+  }
+  net_.send(body_.config().id, msg.src, grant);
+}
+
+void PenelopeNodeActor::resolve_outstanding_as_timeout() {
+  if (!outstanding_ || !management_alive_) return;
+  metrics_.record_timeout();
+  sticky_peer_ = net::kNoNode;  // a silent peer is not worth retrying
+  note_peer_timeout(outstanding_->peer);
+  stale_sent_times_[outstanding_->txn] = outstanding_->sent_at;
+  // Bound the map: entries whose grants were genuinely lost would
+  // otherwise accumulate over long lossy runs.
+  if (stale_sent_times_.size() > 256) {
+    common::Ticks horizon = sim_.now() - 64 * body_.config().period;
+    std::erase_if(stale_sent_times_,
+                  [horizon](const auto& kv) { return kv.second < horizon; });
+  }
+  sim_.cancel(outstanding_->timeout_event);
+  outstanding_.reset();
+  // The decider's pending step resolves with nothing; the localUrgency
+  // check still runs so a timed-out urgent round cannot wedge releases.
+  decider_.complete_peer_grant(0.0);
+  finish_step(sim_.now());
+}
+
+void PenelopeNodeActor::on_tick(common::Ticks now) {
+  double measured = body_.tick(now);
+  if (!management_alive_) return;
+
+  // A request from the previous period that never resolved is a timeout
+  // (dead peer, lost packet): Figure 3's fault tolerance comes from this
+  // path — the decider just moves on.
+  if (outstanding_) resolve_outstanding_as_timeout();
+
+  core::StepOutcome outcome = decider_.begin_step(measured);
+  body_.rapl().set_cap(decider_.cap());
+
+  switch (outcome.kind) {
+    case core::StepKind::kDepositedExcess:
+      metrics_.record_release(now, outcome.delta_watts,
+                              body_.config().id);
+      finish_step(now);
+      break;
+    case core::StepKind::kTookLocal:
+      metrics_.record_apply(now, outcome.delta_watts, body_.config().id);
+      finish_step(now);
+      break;
+    case core::StepKind::kHeld:
+      finish_step(now);
+      break;
+    case core::StepKind::kNeedsPeer: {
+      NodeId peer;
+      if (body_.config().sticky_peers && sticky_peer_ != net::kNoNode) {
+        peer = sticky_peer_;
+      } else if (body_.config().hint_discovery &&
+                 hinted_peer_ != net::kNoNode &&
+                 hinted_peer_ != body_.config().id) {
+        peer = hinted_peer_;
+        hinted_peer_ = net::kNoNode;  // hints are one-shot
+      } else {
+        peer = pick_peer_();
+        // Skip blacklisted peers with a few bounded redraws; if the
+        // whole sample comes up blacklisted, probe anyway (the list
+        // could be stale and starving discovery entirely is worse).
+        for (int attempt = 0;
+             attempt < 4 && peer_blacklisted(peer); ++attempt) {
+          peer = pick_peer_();
+        }
+      }
+      PEN_DCHECK(peer != body_.config().id);
+      last_queried_peer_ = peer;
+      metrics_.record_request_sent();
+      net_.send(body_.config().id, peer, outcome.request);
+      Outstanding out;
+      out.txn = outcome.request.txn_id;
+      out.sent_at = now;
+      out.peer = peer;
+      out.timeout_event = sim_.schedule_after(
+          body_.config().request_timeout, [this] {
+            // This event is firing, so it must not be cancel()ed later.
+            if (outstanding_)
+              outstanding_->timeout_event = sim::kInvalidEventId;
+            resolve_outstanding_as_timeout();
+          });
+      outstanding_ = out;
+      break;
+    }
+  }
+}
+
+void PenelopeNodeActor::on_grant(const net::Message& msg) {
+  const auto* grant = msg.as<core::PowerGrant>();
+  PEN_CHECK(grant != nullptr);
+
+  if (!management_alive_) {
+    // Management died with a request in flight: the watts would strand
+    // inside a dead process; account them as lost.
+    if (grant->watts > 0.0) metrics_.watts_stranded(grant->watts);
+    return;
+  }
+
+  if (outstanding_ && outstanding_->txn == grant->txn_id) {
+    sim_.cancel(outstanding_->timeout_event);
+    metrics_.record_turnaround(outstanding_->sent_at, sim_.now());
+    note_peer_answered(outstanding_->peer);
+    outstanding_.reset();
+    if (body_.config().sticky_peers || body_.config().hint_discovery) {
+      sticky_peer_ = grant->watts > 0.0 ? last_queried_peer_ : net::kNoNode;
+    }
+    if (body_.config().hint_discovery && grant->hint_peer >= 0 &&
+        grant->hint_peer != body_.config().id) {
+      hinted_peer_ = grant->hint_peer;
+    }
+    if (grant->watts > 0.0) {
+      metrics_.grant_arrived(grant->watts);
+      decider_.complete_peer_grant(grant->watts);
+      body_.rapl().set_cap(decider_.cap());
+      metrics_.record_apply(sim_.now(), grant->watts, body_.config().id);
+    } else {
+      decider_.complete_peer_grant(0.0);
+    }
+    finish_step(sim_.now());
+    return;
+  }
+
+  // A grant for a transaction we already gave up on. The power is real —
+  // the peer debited its pool — so bank it in the local pool; the next
+  // hungry step takes it from there. Nothing is lost, just late, and the
+  // waiting time still belongs in the turnaround distribution.
+  auto stale = stale_sent_times_.find(grant->txn_id);
+  if (stale != stale_sent_times_.end()) {
+    metrics_.record_turnaround(stale->second, sim_.now());
+    stale_sent_times_.erase(stale);
+  } else {
+    PEN_LOG_WARN("penelope node %d: grant for unknown txn %llu",
+                 body_.config().id,
+                 static_cast<unsigned long long>(grant->txn_id));
+  }
+  if (grant->watts > 0.0) {
+    metrics_.grant_arrived(grant->watts);
+    pool_.deposit(grant->watts);
+  }
+}
+
+void PenelopeNodeActor::finish_step(common::Ticks now) {
+  double released = decider_.finish_step();
+  if (released > 0.0) {
+    body_.rapl().set_cap(decider_.cap());
+    metrics_.record_release(now, released, body_.config().id);
+  }
+  if (body_.config().push_gossip &&
+      pool_.available() > body_.config().push_threshold_watts) {
+    double push_watts =
+        pool_.withdraw(body_.config().push_fraction * pool_.available());
+    if (push_watts > 0.0) {
+      metrics_.grant_departed(push_watts);
+      net_.send(body_.config().id, pick_peer_(),
+                core::PowerPush{push_watts});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CentralClientActor
+
+CentralClientActor::CentralClientActor(sim::Simulator& sim,
+                                       net::Network& net,
+                                       const NodeConfig& config,
+                                       NodeId server_id,
+                                       workload::WorkloadProfile profile,
+                                       ClusterMetrics& metrics,
+                                       bool hierarchical)
+    : sim_(sim),
+      net_(net),
+      body_(sim, config, std::move(profile)),
+      client_(central::ClientConfig{config.initial_cap_watts,
+                                    config.epsilon_watts,
+                                    config.rapl.safe_range}),
+      server_id_(server_id),
+      metrics_(metrics),
+      tick_task_(sim, config.start_offset, config.period,
+                 [this](common::Ticks now) { on_tick(now); }),
+      awaiting_assignment_(hierarchical) {
+  body_.rapl().set_cap(client_.cap());
+  net_.register_endpoint(
+      config.id, [this](const net::Message& m) { on_message(m); });
+}
+
+void CentralClientActor::on_message(const net::Message& msg) {
+  if (const auto* assignment = msg.as<hierarchy::CapAssignment>()) {
+    // PoDD's top-level assignment arrived: adopt it. A cap reduction is
+    // donated back immediately; a raise is claimed through the normal
+    // urgency path (the node is now below its initial cap).
+    awaiting_assignment_ = false;
+    double give_back = client_.reassign(assignment->initial_cap_watts);
+    body_.rapl().set_cap(client_.cap());
+    donate(give_back, sim_.now());
+    return;
+  }
+  on_grant(msg);
+}
+
+double CentralClientActor::apply_budget_delta(double delta_watts) {
+  central::Client::BudgetDeltaResult result =
+      client_.apply_budget_delta(delta_watts);
+  body_.rapl().set_cap(client_.cap());
+  // Share the unusable part of a budget increase through the server.
+  donate(result.donate_watts, sim_.now());
+  return result.retired_now;
+}
+
+void CentralClientActor::donate(double watts, common::Ticks now) {
+  if (watts <= 0.0) return;
+  metrics_.record_release(now, watts, body_.config().id);
+  metrics_.donation_departed(watts);
+  net_.send(body_.config().id, server_id_, central::CentralDonation{watts});
+}
+
+void CentralClientActor::resolve_outstanding_as_timeout() {
+  if (!outstanding_) return;
+  metrics_.record_timeout();
+  stale_sent_times_[outstanding_->txn] = outstanding_->sent_at;
+  if (stale_sent_times_.size() > 256) {
+    common::Ticks horizon = sim_.now() - 64 * body_.config().period;
+    std::erase_if(stale_sent_times_,
+                  [horizon](const auto& kv) { return kv.second < horizon; });
+  }
+  sim_.cancel(outstanding_->timeout_event);
+  outstanding_.reset();
+  client_.on_grant_timeout();
+}
+
+void CentralClientActor::on_tick(common::Ticks now) {
+  double measured = body_.tick(now);
+
+  if (awaiting_assignment_) {
+    // PoDD profiling phase: report, don't shift. The cap stays at the
+    // uniform initial assignment while the server learns demands.
+    net_.send(body_.config().id, server_id_,
+              hierarchy::ProfileReport{measured});
+    return;
+  }
+
+  if (outstanding_) resolve_outstanding_as_timeout();
+
+  central::ClientStepOutcome outcome = client_.begin_step(measured);
+  body_.rapl().set_cap(client_.cap());
+
+  switch (outcome.kind) {
+    case central::ClientStepKind::kDonate:
+      donate(outcome.delta_watts, now);
+      break;
+    case central::ClientStepKind::kHeld:
+      break;
+    case central::ClientStepKind::kNeedsServer: {
+      metrics_.record_request_sent();
+      net_.send(body_.config().id, server_id_, outcome.request);
+      Outstanding out;
+      out.txn = outcome.request.txn_id;
+      out.sent_at = now;
+      out.timeout_event = sim_.schedule_after(
+          body_.config().request_timeout, [this] {
+            if (outstanding_)
+              outstanding_->timeout_event = sim::kInvalidEventId;
+            resolve_outstanding_as_timeout();
+          });
+      outstanding_ = out;
+      break;
+    }
+  }
+}
+
+void CentralClientActor::on_grant(const net::Message& msg) {
+  const auto* grant = msg.as<central::CentralGrant>();
+  if (grant == nullptr) {
+    PEN_LOG_WARN("central client %d: unexpected payload",
+                 body_.config().id);
+    return;
+  }
+
+  bool matches = outstanding_ && outstanding_->txn == grant->txn_id;
+  if (matches) {
+    sim_.cancel(outstanding_->timeout_event);
+    metrics_.record_turnaround(outstanding_->sent_at, sim_.now());
+    outstanding_.reset();
+  } else {
+    auto stale = stale_sent_times_.find(grant->txn_id);
+    if (stale != stale_sent_times_.end()) {
+      metrics_.record_turnaround(stale->second, sim_.now());
+      stale_sent_times_.erase(stale);
+    }
+  }
+
+  if (grant->watts > 0.0) metrics_.grant_arrived(grant->watts);
+  central::GrantApplication applied = client_.apply_grant(*grant);
+  body_.rapl().set_cap(client_.cap());
+  if (applied.applied_watts > 0.0) {
+    metrics_.record_apply(sim_.now(), applied.applied_watts,
+                          body_.config().id);
+  }
+  // Release orders (and safe-ceiling overflow) send power straight back.
+  donate(applied.donate_back_watts, sim_.now());
+}
+
+// ---------------------------------------------------------------------------
+// HierarchicalServerActor
+
+HierarchicalServerActor::HierarchicalServerActor(
+    sim::Simulator& sim, net::Network& net, NodeId id,
+    const hierarchy::PoddConfig& config,
+    const net::SerialServerConfig& service, ClusterMetrics& metrics)
+    : sim_(sim),
+      net_(net),
+      id_(id),
+      logic_(config),
+      service_(sim, service,
+               [this](const net::Message& m) { process(m); }),
+      metrics_(metrics) {
+  net_.register_endpoint(
+      id_, [this](const net::Message& m) { service_.inbox(m); });
+  service_.set_drop_handler([this](const net::Message& m) {
+    if (const auto* donation = m.as<central::CentralDonation>()) {
+      if (donation->watts > 0.0) metrics_.watts_stranded(donation->watts);
+    }
+  });
+}
+
+void HierarchicalServerActor::process(const net::Message& msg) {
+  if (const auto* report = msg.as<hierarchy::ProfileReport>()) {
+    bool still_profiling = logic_.handle_profile_report(msg.src, *report);
+    if (!still_profiling && !assignments_sent_ &&
+        logic_.profiling_complete()) {
+      assignments_sent_ = true;
+      // Broadcast the learned assignments. Nodes losing cap donate back
+      // first; nodes gaining cap become urgent and the embedded central
+      // logic funds them greedily from those donations.
+      for (int node = 0; node < logic_.config_n_nodes(); ++node) {
+        net_.send(id_, node,
+                  hierarchy::CapAssignment{logic_.assigned_cap(node)});
+      }
+    }
+    return;
+  }
+  if (const auto* donation = msg.as<central::CentralDonation>()) {
+    metrics_.donation_arrived(donation->watts);
+    logic_.central().handle_donation(*donation);
+    return;
+  }
+  if (const auto* request = msg.as<central::CentralRequest>()) {
+    central::CentralGrant grant = logic_.central().handle_request(*request);
+    if (grant.watts > 0.0) metrics_.grant_departed(grant.watts);
+    net_.send(id_, msg.src, grant);
+    return;
+  }
+  PEN_LOG_WARN("hierarchical server: unexpected payload from %d", msg.src);
+}
+
+void HierarchicalServerActor::kill() {
+  if (!alive_) return;
+  alive_ = false;
+  service_.halt();
+  net_.fail_node(id_);
+}
+
+// ---------------------------------------------------------------------------
+// CentralServerActor
+
+CentralServerActor::CentralServerActor(
+    sim::Simulator& sim, net::Network& net, NodeId id,
+    const central::ServerConfig& config,
+    const net::SerialServerConfig& service, ClusterMetrics& metrics)
+    : sim_(sim),
+      net_(net),
+      id_(id),
+      logic_(config),
+      service_(sim, service,
+               [this](const net::Message& m) { process(m); }),
+      metrics_(metrics) {
+  net_.register_endpoint(
+      id_, [this](const net::Message& m) { service_.inbox(m); });
+  // Messages lost in the bounded inbox strand their watts (donations).
+  service_.set_drop_handler([this](const net::Message& m) {
+    if (const auto* donation = m.as<central::CentralDonation>()) {
+      if (donation->watts > 0.0) metrics_.watts_stranded(donation->watts);
+    }
+  });
+}
+
+void CentralServerActor::process(const net::Message& msg) {
+  if (const auto* donation = msg.as<central::CentralDonation>()) {
+    metrics_.donation_arrived(donation->watts);
+    logic_.handle_donation(*donation);
+    return;
+  }
+  if (const auto* request = msg.as<central::CentralRequest>()) {
+    central::CentralGrant grant = logic_.handle_request(*request);
+    if (grant.watts > 0.0) metrics_.grant_departed(grant.watts);
+    net_.send(id_, msg.src, grant);
+    return;
+  }
+  PEN_LOG_WARN("central server: unexpected payload from %d", msg.src);
+}
+
+void CentralServerActor::kill() {
+  if (!alive_) return;
+  alive_ = false;
+  // Order matters: halting the service strands queued donations through
+  // the drop handler; failing the node makes the network strand
+  // everything already in flight toward it on arrival.
+  service_.halt();
+  net_.fail_node(id_);
+}
+
+}  // namespace penelope::cluster

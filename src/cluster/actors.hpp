@@ -1,0 +1,333 @@
+// Simulation drivers ("actors") that wire the protocol logic to the
+// discrete-event substrate: one per node kind.
+//
+//   FairNodeActor     — static cap; only advances the workload (§2.3.1)
+//   PenelopeNodeActor — decider + power pool + peer transactions (§3)
+//   CentralClientActor / CentralServerActor — the SLURM-style system
+//                       (§2.3.2, §4.1)
+//
+// Each actor owns a NodeBody (power model + application) ticked on the
+// node's control period. All messaging goes through net::Network; pool
+// and server request processing sits behind net::SerialServer so
+// queueing delay and packet drops come out of the model, not out of
+// special cases.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "central/client.hpp"
+#include "central/server.hpp"
+#include "cluster/metrics.hpp"
+#include "hierarchy/podd_server.hpp"
+#include "common/rng.hpp"
+#include "core/decider.hpp"
+#include "core/pool.hpp"
+#include "net/network.hpp"
+#include "net/serial_server.hpp"
+#include "power/performance_model.hpp"
+#include "power/simulated_rapl.hpp"
+#include "sim/simulator.hpp"
+#include "workload/application.hpp"
+
+namespace penelope::cluster {
+
+using net::NodeId;
+
+struct NodeConfig {
+  NodeId id = 0;
+  double initial_cap_watts = 160.0;
+  double epsilon_watts = 5.0;
+  common::Ticks period = common::kTicksPerSecond;
+  /// How long a decider waits for a grant before giving up; defaults to
+  /// one period in ClusterConfig.
+  common::Ticks request_timeout = common::kTicksPerSecond;
+  /// First tick fires at this offset (decider start jitter).
+  common::Ticks start_offset = 0;
+  power::SimulatedRaplConfig rapl;
+  power::PerformanceModelConfig perf;
+  /// Gaussian noise added to the power reading the *manager* sees (the
+  /// application always progresses on true delivered power).
+  double measurement_noise_watts = 0.0;
+  /// Penelope protocol knobs (see core/decider.hpp); exposed here so the
+  /// ablation benches can sweep them per cluster.
+  core::LocalTakePolicy local_take = core::LocalTakePolicy::kDrainAll;
+  bool urgency_enabled = true;
+  /// Peer-discovery ablation: remember the last peer that granted power
+  /// and retry it while it keeps paying out, instead of sampling
+  /// uniformly every time.
+  bool sticky_peers = false;
+  /// Peer-discovery extension: empty-handed pools forward a hint (their
+  /// own last-successful peer) and requesters follow it on their next
+  /// probe. Composes with uniform random (hints expire after one use).
+  bool hint_discovery = false;
+  /// Fault-tolerance refinement: after this many *consecutive* timeouts
+  /// from the same peer, stop probing it for blacklist_duration (a dead
+  /// node otherwise keeps eating one probe period per unlucky draw).
+  /// 0 disables blacklisting.
+  int blacklist_after_timeouts = 0;
+  common::Ticks blacklist_duration = 30 * common::kTicksPerSecond;
+  /// Push-gossip extension: when the local pool exceeds the threshold
+  /// at the end of a step, push `push_fraction` of it to a uniformly
+  /// random peer's pool. The dual of the paper's pull discovery —
+  /// excess diffuses instead of waiting to be found.
+  bool push_gossip = false;
+  double push_threshold_watts = 20.0;
+  double push_fraction = 0.25;
+  std::uint64_t seed = 1;
+};
+
+/// Power model + workload progress shared by every actor kind.
+class NodeBody {
+ public:
+  NodeBody(sim::Simulator& sim, const NodeConfig& config,
+           workload::WorkloadProfile profile);
+
+  /// Advance power and application to `now`; returns the *measured*
+  /// average power since the previous tick (true average plus
+  /// measurement noise). Fires `on_complete` once when the app finishes.
+  double tick(common::Ticks now);
+
+  void set_on_complete(std::function<void(NodeId, common::Ticks)> fn) {
+    on_complete_ = std::move(fn);
+  }
+
+  bool app_done() const { return app_.done(); }
+  std::optional<common::Ticks> completion_time() const {
+    return app_.completion_time();
+  }
+  double fraction_complete() const { return app_.fraction_complete(); }
+  power::SimulatedRapl& rapl() { return rapl_; }
+  const power::SimulatedRapl& rapl() const { return rapl_; }
+  const NodeConfig& config() const { return config_; }
+
+ private:
+  sim::Simulator& sim_;
+  NodeConfig config_;
+  power::SimulatedRapl rapl_;
+  power::PerformanceModel perf_;
+  workload::Application app_;
+  common::Rng noise_rng_;
+  common::Ticks last_tick_ = 0;
+  bool completion_reported_ = false;
+  std::function<void(NodeId, common::Ticks)> on_complete_;
+};
+
+/// Static allocation: the Fair baseline. The cap is set once and the
+/// node merely runs its workload.
+class FairNodeActor {
+ public:
+  FairNodeActor(sim::Simulator& sim, const NodeConfig& config,
+                workload::WorkloadProfile profile);
+
+  NodeBody& body() { return body_; }
+  double cap() const { return body_.rapl().cap(); }
+
+ private:
+  NodeBody body_;
+  sim::PeriodicTask tick_task_;
+};
+
+/// A Penelope node: local decider + local power pool. The pool listens
+/// behind a SerialServer; the decider issues peer requests chosen by
+/// `pick_peer` and resolves them on grant arrival or timeout.
+class PenelopeNodeActor {
+ public:
+  PenelopeNodeActor(sim::Simulator& sim, net::Network& net,
+                    const NodeConfig& config,
+                    const core::PoolConfig& pool_config,
+                    const net::SerialServerConfig& pool_service,
+                    workload::WorkloadProfile profile,
+                    std::function<NodeId()> pick_peer,
+                    ClusterMetrics& metrics);
+
+  /// Fault injection: stop the decider and the pool service while the
+  /// application keeps running at its frozen cap (a management-plane
+  /// crash, the Penelope analogue of losing SLURM's server process).
+  void kill_management();
+  bool management_alive() const { return management_alive_; }
+
+  NodeBody& body() { return body_; }
+  const core::Decider& decider() const { return decider_; }
+  const core::PowerPool& pool() const { return pool_; }
+  double cap() const { return decider_.cap(); }
+  double pool_watts() const { return pool_.available(); }
+  double retirement_debt() const { return decider_.retirement_debt(); }
+
+  /// Dynamic budget reconfiguration: adjust this node's share. Returns
+  /// the watts retired immediately (cut) — the rest becomes debt.
+  double apply_budget_delta(double delta_watts);
+  const net::SerialServerStats& pool_service_stats() const {
+    return pool_service_.stats();
+  }
+
+ private:
+  void on_tick(common::Ticks now);
+  void on_message(const net::Message& msg);
+  void on_pool_request(const net::Message& msg);
+  void on_grant(const net::Message& msg);
+  void finish_step(common::Ticks now);
+  void resolve_outstanding_as_timeout();
+
+  struct Outstanding {
+    std::uint64_t txn = 0;
+    common::Ticks sent_at = 0;
+    NodeId peer = net::kNoNode;
+    sim::EventId timeout_event = sim::kInvalidEventId;
+  };
+
+  bool peer_blacklisted(NodeId peer) const;
+  void note_peer_timeout(NodeId peer);
+  void note_peer_answered(NodeId peer);
+
+  sim::Simulator& sim_;
+  net::Network& net_;
+  NodeBody body_;
+  core::PowerPool pool_;
+  core::Decider decider_;
+  net::SerialServer pool_service_;
+  std::function<NodeId()> pick_peer_;
+  ClusterMetrics& metrics_;
+  sim::PeriodicTask tick_task_;
+  std::optional<Outstanding> outstanding_;
+  /// Requests that timed out locally but whose grants may still arrive
+  /// (the peer debited its pool; the watts must be banked, and the true
+  /// waiting time still belongs in the turnaround distribution).
+  std::unordered_map<std::uint64_t, common::Ticks> stale_sent_times_;
+  /// sticky_peers ablation: the last peer whose grant paid out.
+  NodeId sticky_peer_ = net::kNoNode;
+  NodeId last_queried_peer_ = net::kNoNode;
+  /// hint_discovery: a one-shot referral received in an empty grant.
+  NodeId hinted_peer_ = net::kNoNode;
+  /// Blacklist bookkeeping: consecutive timeouts and expiry per peer.
+  struct PeerHealth {
+    int consecutive_timeouts = 0;
+    common::Ticks blacklisted_until = 0;
+  };
+  std::unordered_map<NodeId, PeerHealth> peer_health_;
+  bool management_alive_ = true;
+};
+
+/// SLURM-style client: classifies locally, moves all power through the
+/// central server. With `hierarchical = true` the client first runs the
+/// PoDD profiling phase — reporting its power draw each period instead
+/// of shifting — until the server sends its learned CapAssignment, then
+/// proceeds exactly like a central client from the assigned cap.
+class CentralClientActor {
+ public:
+  CentralClientActor(sim::Simulator& sim, net::Network& net,
+                     const NodeConfig& config, NodeId server_id,
+                     workload::WorkloadProfile profile,
+                     ClusterMetrics& metrics, bool hierarchical = false);
+
+  NodeBody& body() { return body_; }
+  const central::Client& client() const { return client_; }
+  double cap() const { return client_.cap(); }
+  bool awaiting_assignment() const { return awaiting_assignment_; }
+  double retirement_debt() const { return client_.retirement_debt(); }
+
+  /// Dynamic budget reconfiguration (see PenelopeNodeActor).
+  double apply_budget_delta(double delta_watts);
+
+ private:
+  void on_tick(common::Ticks now);
+  void on_message(const net::Message& msg);
+  void on_grant(const net::Message& msg);
+  void resolve_outstanding_as_timeout();
+  void donate(double watts, common::Ticks now);
+
+  struct Outstanding {
+    std::uint64_t txn = 0;
+    common::Ticks sent_at = 0;
+    sim::EventId timeout_event = sim::kInvalidEventId;
+  };
+
+  sim::Simulator& sim_;
+  net::Network& net_;
+  NodeBody body_;
+  central::Client client_;
+  NodeId server_id_;
+  ClusterMetrics& metrics_;
+  sim::PeriodicTask tick_task_;
+  std::optional<Outstanding> outstanding_;
+  /// Send times of requests that timed out; late grants (the norm when a
+  /// saturated server answers slower than the decider period) still
+  /// produce honest turnaround samples from these.
+  std::unordered_map<std::uint64_t, common::Ticks> stale_sent_times_;
+  /// Hierarchical (PoDD) mode: true until the server's CapAssignment
+  /// arrives; while true, ticks send ProfileReports and do not shift.
+  bool awaiting_assignment_ = false;
+};
+
+/// PoDD-style hierarchical server (§2.3.3): collects profile reports,
+/// computes per-group initial-cap assignments, broadcasts them, then
+/// behaves as a central power server for steady-state refinement. Uses
+/// the same serial-service queue model as the central server.
+class HierarchicalServerActor {
+ public:
+  HierarchicalServerActor(sim::Simulator& sim, net::Network& net,
+                          NodeId id,
+                          const hierarchy::PoddConfig& config,
+                          const net::SerialServerConfig& service,
+                          ClusterMetrics& metrics);
+
+  void kill();
+  bool alive() const { return alive_; }
+
+  NodeId id() const { return id_; }
+  const hierarchy::PoddServerLogic& logic() const { return logic_; }
+  double cache_watts() const { return logic_.central().cache_watts(); }
+  const net::SerialServerStats& service_stats() const {
+    return service_.stats();
+  }
+
+ private:
+  void process(const net::Message& msg);
+
+  sim::Simulator& sim_;
+  net::Network& net_;
+  NodeId id_;
+  hierarchy::PoddServerLogic logic_;
+  net::SerialServer service_;
+  ClusterMetrics& metrics_;
+  bool alive_ = true;
+  bool assignments_sent_ = false;
+};
+
+/// The central power server, parked behind the serial-service queue that
+/// produces the paper's 80–100 µs per-request behaviour and its
+/// saturation knee.
+class CentralServerActor {
+ public:
+  CentralServerActor(sim::Simulator& sim, net::Network& net, NodeId id,
+                     const central::ServerConfig& config,
+                     const net::SerialServerConfig& service,
+                     ClusterMetrics& metrics);
+
+  /// Fault injection for Figure 3: the node dies; queued and future
+  /// messages are lost (donation watts in them are stranded).
+  void kill();
+  bool alive() const { return alive_; }
+
+  NodeId id() const { return id_; }
+  const central::ServerLogic& logic() const { return logic_; }
+  double cache_watts() const { return logic_.cache_watts(); }
+  const net::SerialServerStats& service_stats() const {
+    return service_.stats();
+  }
+
+ private:
+  void process(const net::Message& msg);
+
+  sim::Simulator& sim_;
+  net::Network& net_;
+  NodeId id_;
+  central::ServerLogic logic_;
+  net::SerialServer service_;
+  ClusterMetrics& metrics_;
+  bool alive_ = true;
+};
+
+}  // namespace penelope::cluster

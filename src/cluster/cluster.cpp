@@ -1,0 +1,453 @@
+#include "cluster/cluster.hpp"
+
+#include <algorithm>
+
+#include "central/protocol.hpp"
+#include "common/check.hpp"
+#include "common/log.hpp"
+#include "core/protocol.hpp"
+
+namespace penelope::cluster {
+
+const char* manager_name(ManagerKind kind) {
+  switch (kind) {
+    case ManagerKind::kFair: return "Fair";
+    case ManagerKind::kCentral: return "SLURM";
+    case ManagerKind::kPenelope: return "Penelope";
+    case ManagerKind::kHierarchical: return "PoDD";
+  }
+  return "??";
+}
+
+Cluster::Cluster(ClusterConfig config,
+                 std::vector<workload::WorkloadProfile> profiles)
+    : config_(config),
+      rng_(config.seed),
+      peer_rng_(config.seed ^ 0xe6546b64u) {
+  PEN_CHECK(config_.n_nodes > 0);
+  PEN_CHECK_MSG(static_cast<int>(profiles.size()) == config_.n_nodes,
+                "need one workload profile per client node");
+  if (config_.request_timeout == 0)
+    config_.request_timeout = config_.period;
+
+  net::NetworkConfig net_config = config_.network;
+  net_config.seed = config_.seed ^ 0x85ebca6bu;
+  net_ = std::make_unique<net::Network>(sim_, net_config);
+
+  // Watts lost inside the fabric (dropped grant/donation messages) are
+  // stranded: they left one cap and will never reach another.
+  net_->set_drop_handler([this](const net::Message& msg) {
+    if (const auto* grant = msg.as<core::PowerGrant>()) {
+      if (grant->watts > 0.0) metrics_.watts_stranded(grant->watts);
+    } else if (const auto* push = msg.as<core::PowerPush>()) {
+      if (push->watts > 0.0) metrics_.watts_stranded(push->watts);
+    } else if (const auto* cgrant = msg.as<central::CentralGrant>()) {
+      if (cgrant->watts > 0.0) metrics_.watts_stranded(cgrant->watts);
+    } else if (const auto* donation = msg.as<central::CentralDonation>()) {
+      if (donation->watts > 0.0)
+        metrics_.watts_stranded(donation->watts);
+    }
+  });
+
+  completions_.resize(static_cast<std::size_t>(config_.n_nodes));
+  current_budget_ = config_.system_budget();
+  build(std::move(profiles));
+  arm_faults();
+
+  audit_task_ = std::make_unique<sim::PeriodicTask>(
+      sim_, config_.audit_interval, config_.audit_interval,
+      [this](common::Ticks) { audit_summary_.observe(audit()); });
+
+  if (config_.trace_interval > 0) {
+    trace_task_ = std::make_unique<sim::PeriodicTask>(
+        sim_, config_.trace_interval, config_.trace_interval,
+        [this](common::Ticks now) {
+          for (int i = 0; i < config_.n_nodes; ++i) {
+            TraceSample sample;
+            sample.at = now;
+            sample.node = i;
+            sample.cap_watts = node_cap(i);
+            sample.pool_watts = node_pool_watts(i);
+            sample.power_watts = node_power(i);
+            sample.demand_watts = node_demand(i);
+            sample.fraction_complete = node_fraction_complete(i);
+            trace_.add(sample);
+          }
+        });
+  }
+}
+
+Cluster::~Cluster() = default;
+
+NodeConfig Cluster::make_node_config(int node) {
+  NodeConfig nc;
+  nc.id = node;
+  nc.initial_cap_watts = config_.initial_node_cap();
+  nc.epsilon_watts = config_.epsilon_watts;
+  nc.period = config_.period;
+  nc.request_timeout = config_.request_timeout;
+  nc.start_offset =
+      config_.start_jitter > 0
+          ? static_cast<common::Ticks>(rng_.next_below(
+                static_cast<std::uint32_t>(config_.start_jitter))) +
+                1
+          : 1;  // never 0: the first tick needs a nonempty interval
+  nc.rapl = config_.rapl;
+  nc.perf = config_.perf;
+  nc.measurement_noise_watts = config_.measurement_noise_watts;
+  nc.local_take = config_.local_take;
+  nc.urgency_enabled = config_.urgency_enabled;
+  nc.sticky_peers = config_.sticky_peers;
+  nc.hint_discovery = config_.hint_discovery;
+  nc.blacklist_after_timeouts = config_.blacklist_after_timeouts;
+  nc.blacklist_duration = config_.blacklist_duration;
+  nc.push_gossip = config_.push_gossip;
+  nc.push_threshold_watts = config_.push_threshold_watts;
+  nc.push_fraction = config_.push_fraction;
+  nc.seed = config_.seed ^ (0x9e3779b9u * static_cast<unsigned>(node + 1));
+  return nc;
+}
+
+void Cluster::build(std::vector<workload::WorkloadProfile> profiles) {
+  const int n = config_.n_nodes;
+
+  for (int i = 0; i < n; ++i) {
+    NodeConfig nc = make_node_config(i);
+    auto profile = std::move(profiles[static_cast<std::size_t>(i)]);
+
+    switch (config_.manager) {
+      case ManagerKind::kFair: {
+        auto actor =
+            std::make_unique<FairNodeActor>(sim_, nc, std::move(profile));
+        actor->body().set_on_complete(
+            [this](net::NodeId id, common::Ticks at) {
+              on_node_complete(id, at);
+            });
+        fair_nodes_.push_back(std::move(actor));
+        break;
+      }
+      case ManagerKind::kPenelope: {
+        // Uniform random peer discovery (§3.1): any client but self.
+        auto pick_peer = [this, i]() -> net::NodeId {
+          auto peer = static_cast<net::NodeId>(peer_rng_.next_below(
+              static_cast<std::uint32_t>(config_.n_nodes - 1)));
+          if (peer >= i) ++peer;
+          return peer;
+        };
+        auto actor = std::make_unique<PenelopeNodeActor>(
+            sim_, *net_, nc, config_.pool, config_.pool_service,
+            std::move(profile), pick_peer, metrics_);
+        actor->body().set_on_complete(
+            [this](net::NodeId id, common::Ticks at) {
+              on_node_complete(id, at);
+            });
+        penelope_nodes_.push_back(std::move(actor));
+        break;
+      }
+      case ManagerKind::kCentral:
+      case ManagerKind::kHierarchical: {
+        auto actor = std::make_unique<CentralClientActor>(
+            sim_, *net_, nc, /*server_id=*/n, std::move(profile),
+            metrics_,
+            /*hierarchical=*/config_.manager ==
+                ManagerKind::kHierarchical);
+        actor->body().set_on_complete(
+            [this](net::NodeId id, common::Ticks at) {
+              on_node_complete(id, at);
+            });
+        central_clients_.push_back(std::move(actor));
+        break;
+      }
+    }
+  }
+
+  if (config_.manager == ManagerKind::kCentral) {
+    net::SerialServerConfig service = config_.server_service;
+    service.seed = config_.seed ^ 0xc2b2ae35u;
+    server_ = std::make_unique<CentralServerActor>(
+        sim_, *net_, /*id=*/n, config_.server, service, metrics_);
+  } else if (config_.manager == ManagerKind::kHierarchical) {
+    net::SerialServerConfig service = config_.server_service;
+    service.seed = config_.seed ^ 0xc2b2ae35u;
+    hierarchy::PoddConfig podd;
+    podd.n_nodes = n;
+    podd.initial_cap_watts = config_.initial_node_cap();
+    podd.safe_range = config_.rapl.safe_range;
+    podd.central = config_.server;
+    podd.profile_periods = config_.podd_profile_periods;
+    podd_server_ = std::make_unique<HierarchicalServerActor>(
+        sim_, *net_, /*id=*/n, podd, service, metrics_);
+  }
+}
+
+void Cluster::arm_faults() {
+  for (const FaultEvent& fault : config_.faults) {
+    switch (fault.kind) {
+      case FaultEvent::Kind::kKillServer:
+        sim_.schedule_at(fault.at, [this] {
+          if (server_) server_->kill();
+          if (podd_server_) podd_server_->kill();
+        });
+        break;
+      case FaultEvent::Kind::kKillManagement:
+        sim_.schedule_at(fault.at, [this, node = fault.node] {
+          if (config_.manager == ManagerKind::kPenelope &&
+              node >= 0 && node < config_.n_nodes) {
+            penelope_nodes_[static_cast<std::size_t>(node)]
+                ->kill_management();
+          }
+        });
+        break;
+      case FaultEvent::Kind::kPartition:
+        sim_.schedule_at(fault.at, [this, split = fault.node] {
+          std::vector<net::NodeId> left;
+          std::vector<net::NodeId> right;
+          for (int i = 0; i < config_.n_nodes; ++i) {
+            (i < split ? left : right).push_back(i);
+          }
+          // Server node (if any) joins the right island.
+          right.push_back(config_.n_nodes);
+          net_->set_partition({left, right});
+        });
+        break;
+      case FaultEvent::Kind::kHealPartition:
+        sim_.schedule_at(fault.at, [this] { net_->clear_partition(); });
+        break;
+    }
+  }
+}
+
+void Cluster::on_node_complete(net::NodeId node, common::Ticks at) {
+  PEN_CHECK(node >= 0 && node < config_.n_nodes);
+  auto& slot = completions_[static_cast<std::size_t>(node)];
+  PEN_CHECK_MSG(!slot.has_value(), "node completed twice");
+  slot = at;
+  last_completion_ = std::max(last_completion_, at);
+  if (++completed_nodes_ == config_.n_nodes) sim_.stop();
+}
+
+RunResult Cluster::run() {
+  common::Ticks deadline = common::from_seconds(config_.max_seconds);
+  while (completed_nodes_ < config_.n_nodes && sim_.now() < deadline &&
+         sim_.pending_events() > 0) {
+    sim_.run_until(deadline);
+    // run_until returns on stop() (all nodes complete) or deadline.
+    if (sim_.stopped()) break;
+  }
+  return collect_result();
+}
+
+void Cluster::run_for(double seconds) {
+  sim_.run_until(sim_.now() + common::from_seconds(seconds));
+}
+
+RunResult Cluster::collect_result() const {
+  RunResult result;
+  result.all_completed = completed_nodes_ == config_.n_nodes;
+  common::Ticks end =
+      result.all_completed ? last_completion_ : sim_.now();
+  result.runtime_seconds = common::to_seconds(end);
+  result.performance =
+      result.runtime_seconds > 0.0 ? 1.0 / result.runtime_seconds : 0.0;
+  for (const auto& completion : completions_) {
+    result.node_completion_seconds.push_back(
+        completion ? common::to_seconds(*completion) : -1.0);
+  }
+  result.turnaround_ms = metrics_.turnaround_ms();
+  result.requests_sent = metrics_.requests_sent();
+  result.timeouts = metrics_.timeouts();
+  result.total_energy_joules = total_energy_joules();
+  result.net_stats = net_->stats();
+  if (server_) result.server_stats = server_->service_stats();
+  if (podd_server_) result.server_stats = podd_server_->service_stats();
+  result.stranded_watts = metrics_.stranded_watts();
+  result.audit = audit_summary_;
+  return result;
+}
+
+double Cluster::total_retirement_debt() const {
+  double total = 0.0;
+  for (const auto& node : penelope_nodes_)
+    total += node->retirement_debt();
+  for (const auto& node : central_clients_)
+    total += node->retirement_debt();
+  return total;
+}
+
+double Cluster::set_system_budget(double new_total_watts) {
+  PEN_CHECK(new_total_watts > 0.0);
+  double delta_per_node =
+      (new_total_watts - current_budget_) / config_.n_nodes;
+  double applied_total = 0.0;
+
+  switch (config_.manager) {
+    case ManagerKind::kFair:
+      // Static manager: rescale every cap; the safe range bounds what
+      // can actually be applied.
+      for (const auto& node : fair_nodes_) {
+        auto& rapl = node->body().rapl();
+        double before = rapl.cap();
+        rapl.set_cap(before + delta_per_node);
+        applied_total += rapl.cap() - before;
+      }
+      break;
+    case ManagerKind::kPenelope:
+      for (const auto& node : penelope_nodes_) {
+        node->apply_budget_delta(delta_per_node);
+      }
+      applied_total = new_total_watts - current_budget_;
+      break;
+    case ManagerKind::kCentral:
+    case ManagerKind::kHierarchical:
+      for (const auto& node : central_clients_) {
+        node->apply_budget_delta(delta_per_node);
+      }
+      applied_total = new_total_watts - current_budget_;
+      break;
+  }
+
+  current_budget_ += applied_total;
+  PEN_LOG_INFO("budget reconfigured to %.1f W (requested %.1f) at "
+               "t=%.3fs, outstanding debt %.1f W",
+               current_budget_, new_total_watts,
+               common::to_seconds(sim_.now()), total_retirement_debt());
+  return current_budget_;
+}
+
+ConservationAudit Cluster::audit() const {
+  ConservationAudit audit;
+  audit.budget = current_budget_;
+  audit.retirement_debt = total_retirement_debt();
+  for (const auto& node : fair_nodes_) audit.cap_total += node->cap();
+  for (const auto& node : penelope_nodes_) {
+    audit.cap_total += node->cap();
+    audit.pool_total += node->pool_watts();
+  }
+  for (const auto& node : central_clients_) audit.cap_total += node->cap();
+  if (server_) audit.server_cache = server_->cache_watts();
+  if (podd_server_) audit.server_cache = podd_server_->cache_watts();
+  audit.in_flight = metrics_.in_flight_watts();
+  audit.stranded = metrics_.stranded_watts();
+  return audit;
+}
+
+double Cluster::node_cap(int node) const {
+  auto idx = static_cast<std::size_t>(node);
+  switch (config_.manager) {
+    case ManagerKind::kFair: return fair_nodes_.at(idx)->cap();
+    case ManagerKind::kPenelope: return penelope_nodes_.at(idx)->cap();
+    case ManagerKind::kHierarchical:
+    case ManagerKind::kCentral: return central_clients_.at(idx)->cap();
+  }
+  return 0.0;
+}
+
+double Cluster::node_pool_watts(int node) const {
+  if (config_.manager != ManagerKind::kPenelope) return 0.0;
+  return penelope_nodes_.at(static_cast<std::size_t>(node))->pool_watts();
+}
+
+double Cluster::server_cache_watts() const {
+  if (server_) return server_->cache_watts();
+  if (podd_server_) return podd_server_->cache_watts();
+  return 0.0;
+}
+
+bool Cluster::node_app_done(int node) const {
+  auto idx = static_cast<std::size_t>(node);
+  switch (config_.manager) {
+    case ManagerKind::kFair:
+      return fair_nodes_.at(idx)->body().app_done();
+    case ManagerKind::kPenelope:
+      return penelope_nodes_.at(idx)->body().app_done();
+    case ManagerKind::kHierarchical:
+    case ManagerKind::kCentral:
+      return central_clients_.at(idx)->body().app_done();
+  }
+  return false;
+}
+
+double Cluster::node_power(int node) const {
+  auto idx = static_cast<std::size_t>(node);
+  // instantaneous_power advances the analytic model to now(), which is
+  // a const-view operation conceptually but mutates cached state; the
+  // actors expose non-const bodies for exactly this reason.
+  auto* self = const_cast<Cluster*>(this);
+  switch (config_.manager) {
+    case ManagerKind::kFair:
+      return self->fair_nodes_.at(idx)->body().rapl().instantaneous_power(
+          sim_.now());
+    case ManagerKind::kPenelope:
+      return self->penelope_nodes_.at(idx)
+          ->body()
+          .rapl()
+          .instantaneous_power(sim_.now());
+    case ManagerKind::kHierarchical:
+    case ManagerKind::kCentral:
+      return self->central_clients_.at(idx)
+          ->body()
+          .rapl()
+          .instantaneous_power(sim_.now());
+  }
+  return 0.0;
+}
+
+double Cluster::total_energy_joules() const {
+  // Advancing the analytic model to now() mutates cached state (same
+  // note as node_power).
+  auto* self = const_cast<Cluster*>(this);
+  double total = 0.0;
+  for (auto& node : self->fair_nodes_)
+    total += node->body().rapl().total_energy_joules(sim_.now());
+  for (auto& node : self->penelope_nodes_)
+    total += node->body().rapl().total_energy_joules(sim_.now());
+  for (auto& node : self->central_clients_)
+    total += node->body().rapl().total_energy_joules(sim_.now());
+  return total;
+}
+
+double Cluster::node_demand(int node) const {
+  auto idx = static_cast<std::size_t>(node);
+  switch (config_.manager) {
+    case ManagerKind::kFair:
+      return fair_nodes_.at(idx)->body().rapl().demand();
+    case ManagerKind::kPenelope:
+      return penelope_nodes_.at(idx)->body().rapl().demand();
+    case ManagerKind::kHierarchical:
+    case ManagerKind::kCentral:
+      return central_clients_.at(idx)->body().rapl().demand();
+  }
+  return 0.0;
+}
+
+double Cluster::node_fraction_complete(int node) const {
+  auto idx = static_cast<std::size_t>(node);
+  switch (config_.manager) {
+    case ManagerKind::kFair:
+      return fair_nodes_.at(idx)->body().fraction_complete();
+    case ManagerKind::kPenelope:
+      return penelope_nodes_.at(idx)->body().fraction_complete();
+    case ManagerKind::kHierarchical:
+    case ManagerKind::kCentral:
+      return central_clients_.at(idx)->body().fraction_complete();
+  }
+  return 0.0;
+}
+
+std::vector<workload::WorkloadProfile> make_pair_workloads(
+    workload::NpbApp a, workload::NpbApp b, int n_nodes,
+    workload::NpbConfig config) {
+  PEN_CHECK(n_nodes >= 2);
+  std::vector<workload::WorkloadProfile> profiles;
+  profiles.reserve(static_cast<std::size_t>(n_nodes));
+  for (int i = 0; i < n_nodes; ++i) {
+    workload::NpbConfig node_config = config;
+    node_config.seed =
+        config.seed ^ (0x9e3779b97f4a7c15ULL * static_cast<unsigned>(i + 1));
+    profiles.push_back(
+        workload::npb_profile(i < n_nodes / 2 ? a : b, node_config));
+  }
+  return profiles;
+}
+
+}  // namespace penelope::cluster

@@ -1,0 +1,233 @@
+// Cluster assembly and experiment runner: builds a simulated cluster
+// under one of the three power-management systems the paper evaluates
+// (Fair, SLURM-style central, Penelope), runs the workload, and collects
+// the measurements every figure is computed from.
+//
+// Topology mirrors §4.1: N client nodes run applications; the central
+// manager adds one extra node (id = N) hosting the server — "20 of these
+// are client nodes that run actual applications, and 1 is used to host
+// the server for SLURM. Penelope and Fair use only the 20 client nodes."
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "central/server.hpp"
+#include "cluster/actors.hpp"
+#include "cluster/invariants.hpp"
+#include "cluster/metrics.hpp"
+#include "cluster/trace.hpp"
+#include "core/pool.hpp"
+#include "net/network.hpp"
+#include "net/serial_server.hpp"
+#include "workload/npb.hpp"
+
+namespace penelope::cluster {
+
+enum class ManagerKind {
+  kFair,          ///< static even split (§2.3.1)
+  kCentral,       ///< SLURM-style central manager (§2.3.2)
+  kPenelope,      ///< the paper's peer-to-peer system (§3)
+  kHierarchical,  ///< PoDD-style profiled assignment + central (§2.3.3)
+};
+
+const char* manager_name(ManagerKind kind);
+
+struct FaultEvent {
+  enum class Kind {
+    /// Kill the central server node (network + service): Figure 3.
+    kKillServer,
+    /// Kill one node's management plane (decider + pool); the workload
+    /// keeps running at the frozen cap. Penelope's analogue of losing a
+    /// coordinator process.
+    kKillManagement,
+    /// Split the network into two islands: client nodes [0, node) vs
+    /// [node, N) — the server node (central managers) lands in the
+    /// second island. §1 names partitions as the failure that halts a
+    /// centralized manager entirely.
+    kPartition,
+    /// Heal any active partition.
+    kHealPartition,
+  };
+  Kind kind = Kind::kKillServer;
+  common::Ticks at = 0;
+  /// For kKillManagement: which client node. For kPartition: the split
+  /// point.
+  net::NodeId node = 0;
+};
+
+struct ClusterConfig {
+  ManagerKind manager = ManagerKind::kPenelope;
+  int n_nodes = 20;
+  double per_socket_cap_watts = 80.0;
+  int sockets_per_node = 2;
+  double epsilon_watts = 5.0;
+  common::Ticks period = common::kTicksPerSecond;
+  /// 0 means "one period".
+  common::Ticks request_timeout = 0;
+  /// Deciders start at a uniform offset in [0, start_jitter]. Small by
+  /// default: deciders launched together stay roughly in phase, which is
+  /// what loads a central server in bursts (§4.5.2's N x 80 µs
+  /// extrapolation assumes exactly this).
+  common::Ticks start_jitter = common::from_millis(10);
+  double measurement_noise_watts = 0.5;
+  power::SimulatedRaplConfig rapl;
+  power::PerformanceModelConfig perf;
+  core::PoolConfig pool;
+  /// Penelope ablation knobs (see core/decider.hpp and actors.hpp).
+  core::LocalTakePolicy local_take = core::LocalTakePolicy::kDrainAll;
+  bool urgency_enabled = true;
+  bool sticky_peers = false;
+  bool hint_discovery = false;
+  int blacklist_after_timeouts = 0;  ///< 0 disables peer blacklisting
+  common::Ticks blacklist_duration = 30 * common::kTicksPerSecond;
+  bool push_gossip = false;  ///< proactive excess diffusion (DESIGN §5b)
+  double push_threshold_watts = 20.0;
+  double push_fraction = 0.25;
+  central::ServerConfig server;
+  net::NetworkConfig network;
+  /// Central server request processing: the paper's measured 80–100 µs.
+  net::SerialServerConfig server_service;
+  /// Hierarchical manager: profile reports per node before assignment.
+  int podd_profile_periods = 5;
+  /// Penelope pool request processing: a local cache probe.
+  net::SerialServerConfig pool_service =
+      net::SerialServerConfig{.service_min = 5, .service_max = 10,
+                              .queue_capacity = 1024, .seed = 7};
+  std::vector<FaultEvent> faults;
+  /// Hard deadline for run(); experiments that do not finish report
+  /// all_completed = false with runtime == deadline.
+  double max_seconds = 3600.0;
+  common::Ticks audit_interval = common::kTicksPerSecond;
+  /// Per-node trajectory sampling cadence; 0 disables tracing.
+  common::Ticks trace_interval = 0;
+  std::uint64_t seed = 42;
+
+  double initial_node_cap() const {
+    return per_socket_cap_watts * sockets_per_node;
+  }
+  double system_budget() const {
+    return initial_node_cap() * n_nodes;
+  }
+};
+
+struct RunResult {
+  bool all_completed = false;
+  /// Time for all nodes to finish their workloads (the paper's runtime
+  /// definition), or the deadline if they did not.
+  double runtime_seconds = 0.0;
+  /// 1 / runtime — the paper's performance metric.
+  double performance = 0.0;
+  std::vector<double> node_completion_seconds;
+  std::vector<double> turnaround_ms;
+  std::uint64_t requests_sent = 0;
+  std::uint64_t timeouts = 0;
+  /// Total package energy consumed across all client nodes.
+  double total_energy_joules = 0.0;
+  net::NetworkStats net_stats;
+  /// Central manager only.
+  std::optional<net::SerialServerStats> server_stats;
+  double stranded_watts = 0.0;
+  AuditSummary audit;
+};
+
+class Cluster {
+ public:
+  /// `profiles` must contain exactly config.n_nodes workloads (node i
+  /// runs profiles[i]).
+  Cluster(ClusterConfig config,
+          std::vector<workload::WorkloadProfile> profiles);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Run until every node's workload completes (or the deadline).
+  RunResult run();
+
+  /// Run for a fixed virtual-time window (scale study); the cluster
+  /// remains inspectable afterwards.
+  void run_for(double seconds);
+
+  /// Snapshot the conservation audit right now.
+  ConservationAudit audit() const;
+
+  /// Dynamic system-budget reconfiguration: change the system-wide cap
+  /// at the current virtual time. The delta is split evenly across
+  /// nodes; increases take effect immediately (safe-ceiling overflow is
+  /// pooled/donated), cuts retire power from caps and pools at once and
+  /// leave the remainder as per-node retirement debt that drains from
+  /// future excess. Returns the effective new budget (requested changes
+  /// that no node could absorb — e.g. Fair at the safe ceiling — are
+  /// not counted). Supported by all managers.
+  double set_system_budget(double new_total_watts);
+
+  /// The budget the audit currently enforces (config budget until the
+  /// first set_system_budget call).
+  double current_budget() const { return current_budget_; }
+
+  /// Outstanding retirement debt across all nodes.
+  double total_retirement_debt() const;
+
+  RunResult collect_result() const;
+
+  ClusterMetrics& metrics() { return metrics_; }
+  sim::Simulator& simulator() { return sim_; }
+  net::Network& network() { return *net_; }
+  const ClusterConfig& config() const { return config_; }
+
+  double node_cap(int node) const;
+  double node_pool_watts(int node) const;  ///< Penelope only, else 0
+  double server_cache_watts() const;       ///< central only, else 0
+  bool node_app_done(int node) const;
+  double node_fraction_complete(int node) const;
+  /// Instantaneous delivered power / current workload demand at now().
+  double node_power(int node) const;
+  double node_demand(int node) const;
+
+  /// Package energy consumed by all client nodes since t=0, advanced to
+  /// now().
+  double total_energy_joules() const;
+
+  /// Recorded trajectory (empty unless config.trace_interval > 0).
+  const Trace& trace() const { return trace_; }
+
+ private:
+  void build(std::vector<workload::WorkloadProfile> profiles);
+  void arm_faults();
+  void on_node_complete(net::NodeId node, common::Ticks at);
+  NodeConfig make_node_config(int node);
+
+  ClusterConfig config_;
+  sim::Simulator sim_;
+  std::unique_ptr<net::Network> net_;
+  ClusterMetrics metrics_;
+  common::Rng rng_;
+  common::Rng peer_rng_;
+
+  std::vector<std::unique_ptr<FairNodeActor>> fair_nodes_;
+  std::vector<std::unique_ptr<PenelopeNodeActor>> penelope_nodes_;
+  std::vector<std::unique_ptr<CentralClientActor>> central_clients_;
+  std::unique_ptr<CentralServerActor> server_;
+  std::unique_ptr<HierarchicalServerActor> podd_server_;
+  std::unique_ptr<sim::PeriodicTask> audit_task_;
+  std::unique_ptr<sim::PeriodicTask> trace_task_;
+  Trace trace_;
+
+  double current_budget_ = 0.0;
+  int completed_nodes_ = 0;
+  common::Ticks last_completion_ = 0;
+  std::vector<std::optional<common::Ticks>> completions_;
+  AuditSummary audit_summary_;
+};
+
+/// Build the paper's half/half workload assignment: nodes [0, n/2) run
+/// `a`, nodes [n/2, n) run `b`, with per-node demand jitter derived from
+/// `config.seed` so replicas are not bit-identical.
+std::vector<workload::WorkloadProfile> make_pair_workloads(
+    workload::NpbApp a, workload::NpbApp b, int n_nodes,
+    workload::NpbConfig config);
+
+}  // namespace penelope::cluster

@@ -1,0 +1,4 @@
+// Intentionally header-only logic; this TU exists so the target has a
+// stable archive member for the module and a home for future non-inline
+// audit helpers.
+#include "cluster/invariants.hpp"

@@ -1,0 +1,63 @@
+// Conservation audit for the two requirements every power manager must
+// meet (§2.1 / §3): the system-wide cap is never exceeded, and no power
+// silently leaks out of the accounting. Power in this system lives in
+// exactly five places — node caps, local pools, the central cache,
+// messages in flight, and the "stranded" ledger for watts lost to drops
+// and dead nodes — and their sum must equal the system budget exactly.
+#pragma once
+
+#include <cmath>
+
+namespace penelope::cluster {
+
+struct ConservationAudit {
+  double cap_total = 0.0;
+  double pool_total = 0.0;
+  double server_cache = 0.0;
+  double in_flight = 0.0;
+  double stranded = 0.0;
+  double budget = 0.0;
+  /// Watts still circulating that a system-budget cut has earmarked for
+  /// retirement (they disappear as nodes pay their debt from excess).
+  double retirement_debt = 0.0;
+
+  /// Everything the accounting can see.
+  double system_total() const {
+    return cap_total + pool_total + server_cache + in_flight + stranded;
+  }
+
+  /// Signed conservation error; should be ~0 (floating-point only).
+  /// During a budget cut the not-yet-retired debt legitimately floats
+  /// above the new budget, so it is part of the ledger.
+  double conservation_error() const {
+    return system_total() - budget - retirement_debt;
+  }
+
+  /// The safety property: *live* power (excluding stranded watts, which
+  /// can never be spent) must not exceed the budget plus the declared
+  /// transitional debt.
+  bool cap_exceeded(double tolerance_watts) const {
+    return cap_total + pool_total + server_cache + in_flight >
+           budget + retirement_debt + tolerance_watts;
+  }
+};
+
+/// Running worst-case tracker filled in by the Cluster's periodic audit.
+struct AuditSummary {
+  double max_abs_conservation_error = 0.0;
+  double max_live_overshoot = 0.0;  ///< max(live - budget), clamped at 0
+  std::size_t audits = 0;
+
+  void observe(const ConservationAudit& audit) {
+    ++audits;
+    max_abs_conservation_error =
+        std::fmax(max_abs_conservation_error,
+                  std::fabs(audit.conservation_error()));
+    double live = audit.cap_total + audit.pool_total +
+                  audit.server_cache + audit.in_flight;
+    max_live_overshoot = std::fmax(
+        max_live_overshoot, live - audit.budget - audit.retirement_debt);
+  }
+};
+
+}  // namespace penelope::cluster

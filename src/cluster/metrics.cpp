@@ -1,0 +1,53 @@
+#include "cluster/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace penelope::cluster {
+
+void ClusterMetrics::record_turnaround(common::Ticks sent_at,
+                                       common::Ticks resolved_at) {
+  PEN_CHECK(resolved_at >= sent_at);
+  turnaround_ms_.push_back(common::to_millis(resolved_at - sent_at));
+}
+
+void ClusterMetrics::record_release(common::Ticks at, double watts,
+                                    int node) {
+  if (watts <= 0.0) return;
+  releases_.push_back(TransferEvent{at, watts, node});
+}
+
+void ClusterMetrics::record_apply(common::Ticks at, double watts,
+                                  int node) {
+  if (watts <= 0.0) return;
+  applies_.push_back(TransferEvent{at, watts, node});
+}
+
+RedistributionResult analyze_redistribution(const ClusterMetrics& metrics,
+                                            common::Ticks burst_at,
+                                            double fraction) {
+  PEN_CHECK(fraction > 0.0 && fraction <= 1.0);
+  RedistributionResult result;
+  for (const auto& ev : metrics.releases()) {
+    if (ev.at >= burst_at) result.available_watts += ev.watts;
+  }
+  if (result.available_watts <= 0.0) return result;
+
+  // The transfer streams are appended in virtual-time order (the
+  // simulator is single-threaded), so a single forward scan finds the
+  // crossing.
+  double target = fraction * result.available_watts;
+  double cumulative = 0.0;
+  for (const auto& ev : metrics.applies()) {
+    if (ev.at < burst_at) continue;
+    cumulative += ev.watts;
+    if (!result.time_to_fraction_s && cumulative >= target - 1e-9) {
+      result.time_to_fraction_s = common::to_seconds(ev.at - burst_at);
+    }
+  }
+  result.shifted_watts = cumulative;
+  return result;
+}
+
+}  // namespace penelope::cluster

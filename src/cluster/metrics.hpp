@@ -1,0 +1,93 @@
+// Cluster-wide measurement: everything the paper's evaluation reports is
+// computed from the event streams collected here.
+//
+//   * turnaround time — per-transaction send→grant latency (Figures 7, 8)
+//   * redistribution timeline — timestamped watts applied to caps through
+//     transactions, against the excess released by a completion burst
+//     (Figures 4, 5, 6)
+//   * conservation accounting — grants in flight and watts stranded by
+//     dropped messages or dead nodes, so the system-cap invariant can be
+//     audited at any instant
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace penelope::cluster {
+
+struct TransferEvent {
+  common::Ticks at = 0;
+  double watts = 0.0;
+  int node = -1;
+};
+
+class ClusterMetrics {
+ public:
+  /// --- turnaround -------------------------------------------------------
+  void record_turnaround(common::Ticks sent_at, common::Ticks resolved_at);
+  void record_timeout() { ++timeouts_; }
+
+  const std::vector<double>& turnaround_ms() const { return turnaround_ms_; }
+  std::uint64_t timeouts() const { return timeouts_; }
+
+  /// --- redistribution ---------------------------------------------------
+  /// Watts released by a node lowering its cap (donation into a pool or
+  /// to the server).
+  void record_release(common::Ticks at, double watts, int node);
+  /// Watts applied to a node's cap through a transaction (peer grant,
+  /// server grant, or local pool take).
+  void record_apply(common::Ticks at, double watts, int node);
+
+  const std::vector<TransferEvent>& releases() const { return releases_; }
+  const std::vector<TransferEvent>& applies() const { return applies_; }
+
+  /// --- conservation accounting -----------------------------------------
+  /// A grant of `watts` left a pool/server and is now in a message.
+  void grant_departed(double watts) { in_flight_watts_ += watts; }
+  /// The grant arrived and was applied/banked.
+  void grant_arrived(double watts) { in_flight_watts_ -= watts; }
+  /// The grant (or donation) was lost: dropped packet or dead recipient.
+  void watts_stranded(double watts) {
+    in_flight_watts_ -= watts;
+    stranded_watts_ += watts;
+  }
+  /// A donation left a client for the central server.
+  void donation_departed(double watts) { in_flight_watts_ += watts; }
+  void donation_arrived(double watts) { in_flight_watts_ -= watts; }
+
+  double in_flight_watts() const { return in_flight_watts_; }
+  double stranded_watts() const { return stranded_watts_; }
+
+  /// --- misc counters ----------------------------------------------------
+  void record_request_sent() { ++requests_sent_; }
+  std::uint64_t requests_sent() const { return requests_sent_; }
+
+ private:
+  std::vector<double> turnaround_ms_;
+  std::uint64_t timeouts_ = 0;
+  std::vector<TransferEvent> releases_;
+  std::vector<TransferEvent> applies_;
+  double in_flight_watts_ = 0.0;
+  double stranded_watts_ = 0.0;
+  std::uint64_t requests_sent_ = 0;
+};
+
+/// Redistribution-time analysis for the scale study (§4.5): given the
+/// metrics of a completion-burst run, compute the time to shift the given
+/// fraction of the burst's released power.
+struct RedistributionResult {
+  double available_watts = 0.0;   ///< released by burst nodes after t0
+  double shifted_watts = 0.0;     ///< applied via transactions after t0
+  /// Time from the burst until `fraction` of available was applied;
+  /// empty if never reached within the run.
+  std::optional<double> time_to_fraction_s;
+};
+
+RedistributionResult analyze_redistribution(const ClusterMetrics& metrics,
+                                            common::Ticks burst_at,
+                                            double fraction);
+
+}  // namespace penelope::cluster

@@ -1,0 +1,131 @@
+#include "cluster/scale.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+#include "power/performance_model.hpp"
+
+namespace penelope::cluster {
+
+ClusterConfig make_scale_cluster_config(const ScaleConfig& config) {
+  PEN_CHECK(config.n_nodes >= 2);
+  PEN_CHECK(config.frequency_hz > 0.0);
+
+  ClusterConfig cc;
+  cc.manager = config.manager;
+  cc.n_nodes = config.n_nodes;
+  cc.per_socket_cap_watts = config.per_socket_cap_watts;
+  cc.period = common::from_seconds(1.0 / config.frequency_hz);
+  PEN_CHECK_MSG(cc.period >= 1000,
+                "decider frequency above 1 kHz is not meaningful here");
+  cc.request_timeout = cc.period;
+  // Deciders launched together iterate in phase; this is what loads a
+  // central server in bursts (see DESIGN.md §4 and the §4.5.2
+  // N x 80 µs extrapolation, which assumes synchronized arrival).
+  cc.start_jitter = std::min<common::Ticks>(common::from_millis(10),
+                                            cc.period / 4);
+  // Scale runs measure protocol behaviour, not sensor realism.
+  cc.measurement_noise_watts = 0.0;
+  cc.rapl.read_noise_watts = 0.0;
+  cc.seed = config.seed;
+  cc.max_seconds =
+      config.burst_at_seconds + config.window_seconds + 10.0;
+  return cc;
+}
+
+namespace {
+
+std::vector<workload::WorkloadProfile> make_burst_workloads(
+    const ScaleConfig& config, const ClusterConfig& cc) {
+  const double initial_cap = cc.initial_node_cap();
+  const double burst_demand =
+      initial_cap + config.burst_demand_margin_watts;
+
+  // The bursting half runs capped below its demand, so it progresses at
+  // the model's reduced speed; size its work so it completes at
+  // burst_at_seconds of *wall* time under the initial cap.
+  power::PerformanceModel model(cc.perf);
+  double speed = model.speed(initial_cap, burst_demand);
+  PEN_CHECK_MSG(speed > 0.0, "burst nodes must make progress when capped");
+  double burst_work = config.burst_at_seconds * speed;
+
+  // The hungry half must outlive the window by a wide margin.
+  double hungry_work =
+      (config.burst_at_seconds + config.window_seconds + 100.0) * 2.0;
+
+  std::vector<workload::WorkloadProfile> profiles;
+  profiles.reserve(static_cast<std::size_t>(config.n_nodes));
+  for (int i = 0; i < config.n_nodes; ++i) {
+    workload::WorkloadProfile profile;
+    if (i < config.n_nodes / 2) {
+      profile.name = "burst";
+      profile.phases.push_back(
+          workload::Phase{"hot", burst_demand, burst_work});
+    } else {
+      profile.name = "hungry";
+      profile.phases.push_back(workload::Phase{
+          "hot", config.hungry_demand_watts, hungry_work});
+    }
+    profiles.push_back(std::move(profile));
+  }
+  return profiles;
+}
+
+}  // namespace
+
+ScaleResult run_scale_experiment(const ScaleConfig& config) {
+  ClusterConfig cc = make_scale_cluster_config(config);
+  Cluster cluster(cc, make_burst_workloads(config, cc));
+
+  double horizon =
+      config.burst_at_seconds + config.window_seconds + 2.0;
+  cluster.run_for(horizon);
+
+  ScaleResult result;
+  const ClusterMetrics& metrics = cluster.metrics();
+
+  // The burst instant is the first release of excess power (nothing is
+  // released before the bursting half completes — both halves run hungry
+  // until then).
+  common::Ticks burst_at = 0;
+  if (!metrics.releases().empty()) {
+    burst_at = metrics.releases().front().at;
+  }
+
+  RedistributionResult median =
+      analyze_redistribution(metrics, burst_at, 0.5);
+  RedistributionResult total =
+      analyze_redistribution(metrics, burst_at, 1.0 - 1e-6);
+
+  result.available_watts = total.available_watts;
+  result.shifted_watts = total.shifted_watts;
+  result.median_reached = median.time_to_fraction_s.has_value();
+  result.median_redistribution_s =
+      median.time_to_fraction_s.value_or(config.window_seconds);
+  result.total_reached = total.time_to_fraction_s.has_value();
+  result.total_redistribution_s =
+      total.time_to_fraction_s.value_or(config.window_seconds);
+
+  const auto& turnaround = metrics.turnaround_ms();
+  result.turnaround_samples = turnaround.size();
+  result.mean_turnaround_ms = common::mean_of(turnaround);
+  result.stddev_turnaround_ms = common::stddev_of(turnaround);
+  result.p99_turnaround_ms = common::percentile(turnaround, 99.0);
+  result.turnaround_ms = turnaround;
+  result.timeouts = metrics.timeouts();
+  result.requests_sent = metrics.requests_sent();
+  result.stranded_watts = metrics.stranded_watts();
+
+  RunResult run = cluster.collect_result();
+  if (run.server_stats) {
+    result.server_drops = run.server_stats->dropped_overflow;
+    result.server_mean_queue_wait_ms =
+        run.server_stats->mean_queue_wait_us() / 1000.0;
+  }
+  result.max_conservation_error =
+      run.audit.max_abs_conservation_error;
+  return result;
+}
+
+}  // namespace penelope::cluster

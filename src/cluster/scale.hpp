@@ -1,0 +1,74 @@
+// Scale-study runner (§4.5): reproduces the methodology the paper uses
+// when it runs out of hardware — deciders no longer drive real
+// applications but replay a completion-burst window: half the cluster
+// runs an application that finishes mid-window, flooding the system with
+// excess power that must move "from the now idle nodes to those still
+// running". The two §4.5 metrics fall out:
+//
+//   power redistribution time — time from the burst until X% of the
+//     released power has been applied to power-hungry caps (Figs 4–6);
+//     when a system never reaches X% (a saturated SLURM server dropping
+//     packets), the paper charges it the whole experiment runtime, and so
+//     do we.
+//   turnaround time — per-request wait for a pool/server response
+//     (Figs 7–8).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "cluster/cluster.hpp"
+
+namespace penelope::cluster {
+
+struct ScaleConfig {
+  ManagerKind manager = ManagerKind::kPenelope;
+  int n_nodes = 1056;
+  /// Local decider iteration frequency (x-axis of Figures 4, 5, 7).
+  double frequency_hz = 1.0;
+  /// When the bursting half completes (full-speed work seconds).
+  double burst_at_seconds = 5.0;
+  /// Measurement window after the burst.
+  double window_seconds = 60.0;
+  /// Per-socket initial cap; 60 W keeps plenty of absorption headroom so
+  /// full redistribution is feasible (see DESIGN.md §4).
+  double per_socket_cap_watts = 60.0;
+  /// Demand of the still-running half (well above its cap: hungry).
+  double hungry_demand_watts = 240.0;
+  /// Demand of the bursting half while it runs (slightly above its cap).
+  double burst_demand_margin_watts = 30.0;
+  std::uint64_t seed = 42;
+};
+
+struct ScaleResult {
+  /// Excess released by the bursting half (watts).
+  double available_watts = 0.0;
+  double shifted_watts = 0.0;
+  /// Time to redistribute 50% of the excess; the full window if never.
+  double median_redistribution_s = 0.0;
+  bool median_reached = false;
+  /// Time to redistribute 100%; the full window if never (the paper's
+  /// convention for a dropping server).
+  double total_redistribution_s = 0.0;
+  bool total_reached = false;
+  double mean_turnaround_ms = 0.0;
+  double stddev_turnaround_ms = 0.0;
+  double p99_turnaround_ms = 0.0;
+  std::uint64_t turnaround_samples = 0;
+  /// Raw turnaround samples (ms) for distribution plots.
+  std::vector<double> turnaround_ms;
+  std::uint64_t timeouts = 0;
+  std::uint64_t requests_sent = 0;
+  std::uint64_t server_drops = 0;   ///< central only: inbox overflow
+  double server_mean_queue_wait_ms = 0.0;
+  double stranded_watts = 0.0;
+  double max_conservation_error = 0.0;
+};
+
+/// Run one completion-burst experiment and analyze it.
+ScaleResult run_scale_experiment(const ScaleConfig& config);
+
+/// The ClusterConfig a scale experiment uses (exposed for tests).
+ClusterConfig make_scale_cluster_config(const ScaleConfig& config);
+
+}  // namespace penelope::cluster

@@ -1,0 +1,105 @@
+#include "cluster/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+
+#include "common/log.hpp"
+
+namespace penelope::cluster {
+
+std::vector<TraceSample> Trace::node_series(int node) const {
+  std::vector<TraceSample> series;
+  for (const auto& s : samples_) {
+    if (s.node == node) series.push_back(s);
+  }
+  return series;
+}
+
+double Trace::cap_oscillation(int node) const {
+  double prev = 0.0;
+  bool have_prev = false;
+  double total = 0.0;
+  std::size_t steps = 0;
+  for (const auto& s : samples_) {
+    if (s.node != node) continue;
+    if (have_prev) {
+      total += std::fabs(s.cap_watts - prev);
+      ++steps;
+    }
+    prev = s.cap_watts;
+    have_prev = true;
+  }
+  return steps ? total / static_cast<double>(steps) : 0.0;
+}
+
+double Trace::mean_cap_oscillation() const {
+  auto ids = nodes();
+  if (ids.empty()) return 0.0;
+  double total = 0.0;
+  for (int id : ids) total += cap_oscillation(id);
+  return total / static_cast<double>(ids.size());
+}
+
+double Trace::mean_cap(int node) const {
+  double total = 0.0;
+  std::size_t count = 0;
+  for (const auto& s : samples_) {
+    if (s.node != node) continue;
+    total += s.cap_watts;
+    ++count;
+  }
+  return count ? total / static_cast<double>(count) : 0.0;
+}
+
+double Trace::peak_cap_swing() const {
+  std::map<int, std::pair<double, double>> ranges;  // node -> (min, max)
+  for (const auto& s : samples_) {
+    auto [it, inserted] = ranges.try_emplace(
+        s.node, std::make_pair(s.cap_watts, s.cap_watts));
+    if (!inserted) {
+      it->second.first = std::min(it->second.first, s.cap_watts);
+      it->second.second = std::max(it->second.second, s.cap_watts);
+    }
+  }
+  double peak = 0.0;
+  for (const auto& [node, range] : ranges) {
+    (void)node;
+    peak = std::max(peak, range.second - range.first);
+  }
+  return peak;
+}
+
+std::vector<int> Trace::nodes() const {
+  std::set<int> ids;
+  for (const auto& s : samples_) ids.insert(s.node);
+  return {ids.begin(), ids.end()};
+}
+
+std::string Trace::to_csv() const {
+  std::string out = "t_s,node,cap_w,pool_w,power_w,demand_w,frac\n";
+  char line[160];
+  for (const auto& s : samples_) {
+    std::snprintf(line, sizeof line, "%.3f,%d,%.3f,%.3f,%.3f,%.3f,%.4f\n",
+                  common::to_seconds(s.at), s.node, s.cap_watts,
+                  s.pool_watts, s.power_watts, s.demand_watts,
+                  s.fraction_complete);
+    out += line;
+  }
+  return out;
+}
+
+bool Trace::write_csv(const std::string& path) const {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) {
+    PEN_LOG_WARN("trace: failed to open %s", path.c_str());
+    return false;
+  }
+  f << to_csv();
+  return static_cast<bool>(f);
+}
+
+}  // namespace penelope::cluster

@@ -1,0 +1,61 @@
+// Per-node trajectory tracing: samples every node's cap, pool, actual
+// power and progress on a fixed cadence so runs can be plotted and so
+// the ablation benches can measure *power oscillation* (§3.2) directly
+// instead of through proxies.
+//
+// Tracing is off by default (ClusterConfig::trace_interval == 0); a
+// 1056-node scale run would otherwise accumulate millions of samples.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace penelope::cluster {
+
+struct TraceSample {
+  common::Ticks at = 0;
+  int node = -1;
+  double cap_watts = 0.0;
+  double pool_watts = 0.0;
+  double power_watts = 0.0;   ///< instantaneous delivered power
+  double demand_watts = 0.0;  ///< what the workload currently wants
+  double fraction_complete = 0.0;
+};
+
+class Trace {
+ public:
+  void add(TraceSample sample) { samples_.push_back(sample); }
+
+  const std::vector<TraceSample>& samples() const { return samples_; }
+  bool empty() const { return samples_.empty(); }
+
+  /// Samples of one node, in time order.
+  std::vector<TraceSample> node_series(int node) const;
+
+  /// Mean |cap(t) - cap(t-1)| for one node — the §3.2 oscillation
+  /// metric. Returns 0 with fewer than two samples.
+  double cap_oscillation(int node) const;
+
+  /// Mean oscillation across all nodes present in the trace.
+  double mean_cap_oscillation() const;
+
+  /// Time-averaged cap of one node.
+  double mean_cap(int node) const;
+
+  /// Largest cap swing (max - min) seen on any node.
+  double peak_cap_swing() const;
+
+  /// Node ids present in the trace, ascending.
+  std::vector<int> nodes() const;
+
+  /// CSV with header: t_s,node,cap_w,pool_w,power_w,demand_w,frac.
+  std::string to_csv() const;
+  bool write_csv(const std::string& path) const;
+
+ private:
+  std::vector<TraceSample> samples_;
+};
+
+}  // namespace penelope::cluster

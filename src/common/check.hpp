@@ -1,0 +1,40 @@
+// Lightweight runtime assertion macros.
+//
+// PEN_CHECK is always on (benches rely on invariant checking staying active
+// in release builds); PEN_DCHECK compiles out in NDEBUG builds and is meant
+// for hot paths. Failures print the expression and location and abort —
+// an invariant violation in a power manager means the system-wide cap can
+// no longer be trusted, so there is nothing sensible to continue with.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace penelope::common {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "PEN_CHECK failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg && msg[0] ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace penelope::common
+
+#define PEN_CHECK(expr)                                                  \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::penelope::common::check_failed(#expr, __FILE__, __LINE__, "");   \
+  } while (0)
+
+#define PEN_CHECK_MSG(expr, msg)                                         \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::penelope::common::check_failed(#expr, __FILE__, __LINE__, msg);  \
+  } while (0)
+
+#ifdef NDEBUG
+#define PEN_DCHECK(expr) ((void)0)
+#else
+#define PEN_DCHECK(expr) PEN_CHECK(expr)
+#endif

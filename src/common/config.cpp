@@ -1,0 +1,100 @@
+#include "common/config.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace penelope::common {
+
+bool Config::parse_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (!parse_entry(argv[i])) return false;
+  }
+  return true;
+}
+
+bool Config::parse_entry(const std::string& entry) {
+  auto eq = entry.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    error_ = "expected key=value, got: " + entry;
+    return false;
+  }
+  values_[entry.substr(0, eq)] = entry.substr(eq + 1);
+  return true;
+}
+
+bool Config::has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::string Config::get_string(const std::string& key,
+                               const std::string& def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  read_.insert(key);
+  return it->second;
+}
+
+double Config::get_double(const std::string& key, double def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  read_.insert(key);
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+int Config::get_int(const std::string& key, int def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  read_.insert(key);
+  return static_cast<int>(std::strtol(it->second.c_str(), nullptr, 10));
+}
+
+bool Config::get_bool(const std::string& key, bool def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  read_.insert(key);
+  const std::string& v = it->second;
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+namespace {
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> parts;
+  std::stringstream ss(s);
+  std::string part;
+  while (std::getline(ss, part, ',')) parts.push_back(part);
+  return parts;
+}
+}  // namespace
+
+std::vector<double> Config::get_double_list(
+    const std::string& key, std::vector<double> def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  read_.insert(key);
+  std::vector<double> out;
+  for (const auto& p : split_commas(it->second))
+    out.push_back(std::strtod(p.c_str(), nullptr));
+  return out;
+}
+
+std::vector<int> Config::get_int_list(const std::string& key,
+                                      std::vector<int> def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  read_.insert(key);
+  std::vector<int> out;
+  for (const auto& p : split_commas(it->second))
+    out.push_back(static_cast<int>(std::strtol(p.c_str(), nullptr, 10)));
+  return out;
+}
+
+std::vector<std::string> Config::unused_keys() const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : values_) {
+    (void)v;
+    if (!read_.count(k)) out.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace penelope::common

@@ -1,0 +1,50 @@
+// Tiny key=value configuration used by examples and bench binaries to
+// accept command-line overrides (`./bench_nominal pairs=6 caps=60,80`).
+// Unknown keys are an error so typos fail loudly.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace penelope::common {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse argv entries of the form key=value. Returns false (and records
+  /// an error string) on malformed input.
+  bool parse_args(int argc, char** argv);
+
+  /// Parse a single "key=value" token.
+  bool parse_entry(const std::string& entry);
+
+  bool has(const std::string& key) const;
+
+  std::string get_string(const std::string& key,
+                         const std::string& def) const;
+  double get_double(const std::string& key, double def) const;
+  int get_int(const std::string& key, int def) const;
+  bool get_bool(const std::string& key, bool def) const;
+
+  /// Comma-separated list of doubles, e.g. "60,70,80".
+  std::vector<double> get_double_list(const std::string& key,
+                                      std::vector<double> def) const;
+  std::vector<int> get_int_list(const std::string& key,
+                                std::vector<int> def) const;
+
+  /// Keys that were parsed but never read — surfaced so binaries can
+  /// reject typos.
+  std::vector<std::string> unused_keys() const;
+
+  const std::string& error() const { return error_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::set<std::string> read_;
+  std::string error_;
+};
+
+}  // namespace penelope::common

@@ -1,0 +1,84 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace penelope::common {
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  PEN_CHECK(hi > lo);
+  PEN_CHECK(buckets > 0);
+  bucket_width_ = (hi - lo) / static_cast<double>(buckets);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - lo_) / bucket_width_);
+  idx = std::min(idx, counts_.size() - 1);
+  ++counts_[idx];
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  return lo_ + bucket_width_ * static_cast<double>(i);
+}
+
+double Histogram::bucket_hi(std::size_t i) const {
+  return bucket_lo(i) + bucket_width_;
+}
+
+double Histogram::quantile(double q) const {
+  PEN_CHECK(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) return lo_;
+  auto target = static_cast<std::size_t>(
+      q * static_cast<double>(total_));
+  std::size_t seen = underflow_;
+  if (seen > target) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (seen + counts_[i] > target) {
+      // Interpolate inside the bucket.
+      double frac = counts_[i] == 0
+                        ? 0.0
+                        : static_cast<double>(target - seen) /
+                              static_cast<double>(counts_[i]);
+      return bucket_lo(i) + frac * bucket_width_;
+    }
+    seen += counts_[i];
+  }
+  return hi_;
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::size_t peak = 0;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char line[160];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    std::size_t bar =
+        peak == 0 ? 0 : counts_[i] * width / peak;
+    std::snprintf(line, sizeof line, "[%10.3f, %10.3f) %8zu |",
+                  bucket_lo(i), bucket_hi(i), counts_[i]);
+    out += line;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  if (underflow_ || overflow_) {
+    std::snprintf(line, sizeof line, "underflow=%zu overflow=%zu\n",
+                  underflow_, overflow_);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace penelope::common

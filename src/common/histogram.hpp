@@ -1,0 +1,44 @@
+// Fixed-width-bucket histogram for latency / power distributions, plus an
+// ASCII renderer the benches use to show distribution shape inline.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace penelope::common {
+
+class Histogram {
+ public:
+  /// Buckets of equal width covering [lo, hi); samples outside the range
+  /// are counted in underflow/overflow.
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+
+  std::size_t total() const { return total_; }
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::size_t bucket(std::size_t i) const { return counts_.at(i); }
+  double bucket_lo(std::size_t i) const;
+  double bucket_hi(std::size_t i) const;
+
+  /// Approximate quantile from bucket boundaries (q in [0,1]).
+  double quantile(double q) const;
+
+  /// Multi-line ASCII bar rendering, `width` characters for the largest
+  /// bucket.
+  std::string render(std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bucket_width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace penelope::common

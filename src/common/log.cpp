@@ -1,0 +1,56 @@
+#include "common/log.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace penelope::common {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_emit_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >=
+         g_level.load(std::memory_order_relaxed);
+}
+
+void log_message(LogLevel level, const char* file, int line,
+                 const char* fmt, ...) {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  char body[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(body, sizeof body, fmt, args);
+  va_end(args);
+
+  std::scoped_lock lock(g_emit_mutex);
+  std::fprintf(stderr, "[%9.4f] %s %s:%d  %s\n", elapsed,
+               level_name(level), file, line, body);
+}
+
+}  // namespace penelope::common

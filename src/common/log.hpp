@@ -1,0 +1,40 @@
+// Minimal leveled logging. The simulator is single-threaded, but the rt::
+// runtime logs from many threads, so emission is serialized with one
+// mutex. Level is a process-wide atomic so hot paths can early-out with a
+// relaxed load before formatting anything.
+#pragma once
+
+#include <atomic>
+#include <cstdarg>
+
+namespace penelope::common {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3,
+                            kOff = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+bool log_enabled(LogLevel level);
+
+/// printf-style emission; prefixed with level and monotonic timestamp.
+void log_message(LogLevel level, const char* file, int line,
+                 const char* fmt, ...) __attribute__((format(printf, 4, 5)));
+
+}  // namespace penelope::common
+
+#define PEN_LOG_IMPL(level, ...)                                        \
+  do {                                                                  \
+    if (::penelope::common::log_enabled(level))                         \
+      ::penelope::common::log_message(level, __FILE__, __LINE__,        \
+                                      __VA_ARGS__);                     \
+  } while (0)
+
+#define PEN_LOG_DEBUG(...) \
+  PEN_LOG_IMPL(::penelope::common::LogLevel::kDebug, __VA_ARGS__)
+#define PEN_LOG_INFO(...) \
+  PEN_LOG_IMPL(::penelope::common::LogLevel::kInfo, __VA_ARGS__)
+#define PEN_LOG_WARN(...) \
+  PEN_LOG_IMPL(::penelope::common::LogLevel::kWarn, __VA_ARGS__)
+#define PEN_LOG_ERROR(...) \
+  PEN_LOG_IMPL(::penelope::common::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,76 @@
+// Deterministic pseudo-random number generation.
+//
+// Library code never touches std::random_device: every stochastic choice
+// (peer selection, latency jitter, demand noise, service times) flows from
+// a seed the experiment runner owns, so a run is exactly reproducible from
+// its config. Rng is PCG32 — small state, good statistical quality, cheap
+// to fork into independent per-node streams.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace penelope::common {
+
+/// splitmix64 step — used to expand a user seed into PCG state and to
+/// derive independent child seeds.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// PCG32 (O'Neill, pcg-random.org, XSH-RR variant).
+class Rng {
+ public:
+  /// Seeds state and stream from `seed` via splitmix64 so that nearby user
+  /// seeds still give unrelated sequences.
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL);
+
+  /// Uniform 32-bit value.
+  std::uint32_t next_u32();
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Unbiased uniform integer in [0, bound). `bound` must be > 0.
+  std::uint32_t next_below(std::uint32_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int uniform_int(int lo, int hi);
+
+  /// Standard normal via Box–Muller (cached second value).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Bernoulli trial with probability `p` of returning true.
+  bool chance(double p);
+
+  /// Derive an independent child generator; deterministic in (this state).
+  Rng fork();
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = next_below(static_cast<std::uint32_t>(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace penelope::common

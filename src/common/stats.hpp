@@ -1,0 +1,73 @@
+// Statistics used by the experiment harness: online mean/variance
+// (Welford), geometric means (the paper reports geomean performance
+// normalised to Fair), percentiles over sample vectors, and Jain's
+// fairness index (used by the ablation benches to quantify power
+// hoarding).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace penelope::common {
+
+/// Numerically stable online mean / variance / min / max accumulator.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  /// Merge another accumulator (parallel Welford combination).
+  void merge(const OnlineStats& other);
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return mean() * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Geometric mean of strictly positive values; returns 0 on empty input.
+double geomean(const std::vector<double>& values);
+
+/// p-th percentile (p in [0,100]) by linear interpolation between closest
+/// ranks. The input is copied and sorted. Returns 0 on empty input.
+double percentile(std::vector<double> values, double p);
+
+/// Median — percentile(values, 50).
+double median(std::vector<double> values);
+
+/// Arithmetic mean; 0 on empty input.
+double mean_of(const std::vector<double>& values);
+
+/// Sample standard deviation; 0 with fewer than two samples.
+double stddev_of(const std::vector<double>& values);
+
+/// Jain's fairness index: (Σx)² / (n · Σx²), in (0, 1]; 1 is perfectly
+/// fair. Returns 1 on empty input.
+double jain_fairness(const std::vector<double>& values);
+
+/// Summary bundle for reporting a distribution in one table row.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double max = 0.0;
+};
+
+Summary summarize(const std::vector<double>& values);
+
+}  // namespace penelope::common

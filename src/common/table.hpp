@@ -1,0 +1,41 @@
+// Console table and CSV emission for the benchmark harness. Every bench
+// prints the paper's rows/series as an aligned table and mirrors them to a
+// CSV file so downstream plotting is trivial.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace penelope::common {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  void add_row_values(const std::vector<double>& values, int precision = 3);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Render with column alignment and a separator under the header.
+  std::string render() const;
+
+  /// RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines).
+  std::string to_csv() const;
+
+  /// Write CSV to `path`; returns false (and logs) on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers used across benches.
+std::string fmt_double(double v, int precision = 3);
+std::string fmt_percent(double fraction, int precision = 1);
+
+}  // namespace penelope::common

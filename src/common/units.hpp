@@ -1,0 +1,63 @@
+// Physical units and time representation used throughout the library.
+//
+// Power values are plain doubles in watts — the arithmetic (shares,
+// clamps, exponential decay) is too dense for strong types to pay off —
+// but all public APIs name their parameters `*_watts` / `*_joules` and the
+// helpers here centralise epsilon handling so modules never invent their
+// own tolerance.
+//
+// Virtual time is an integer count of microseconds (`Ticks`). Integer time
+// keeps the discrete-event simulator exact: two events scheduled for the
+// same instant compare equal and are ordered by sequence number instead of
+// floating-point luck.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace penelope::common {
+
+/// Virtual (or real) time in microseconds.
+using Ticks = std::int64_t;
+
+inline constexpr Ticks kTicksPerMicrosecond = 1;
+inline constexpr Ticks kTicksPerMillisecond = 1'000;
+inline constexpr Ticks kTicksPerSecond = 1'000'000;
+
+constexpr Ticks from_seconds(double s) {
+  return static_cast<Ticks>(s * static_cast<double>(kTicksPerSecond));
+}
+constexpr Ticks from_millis(double ms) {
+  return static_cast<Ticks>(ms * static_cast<double>(kTicksPerMillisecond));
+}
+constexpr double to_seconds(Ticks t) {
+  return static_cast<double>(t) / static_cast<double>(kTicksPerSecond);
+}
+constexpr double to_millis(Ticks t) {
+  return static_cast<double>(t) / static_cast<double>(kTicksPerMillisecond);
+}
+
+/// Tolerance for comparing power values in watts. RAPL-class hardware
+/// reports in units of ~61 µW; anything below a milliwatt is noise for
+/// power *management* purposes.
+inline constexpr double kWattEpsilon = 1e-6;
+
+/// True if two power values are equal within kWattEpsilon.
+inline bool watts_equal(double a, double b) {
+  return std::fabs(a - b) <= kWattEpsilon;
+}
+
+/// True if `a` is definitely less than `b` (outside the tolerance band).
+inline bool watts_less(double a, double b) { return a < b - kWattEpsilon; }
+
+/// Clamp a power value into [lo, hi].
+inline double clamp_watts(double w, double lo, double hi) {
+  return w < lo ? lo : (w > hi ? hi : w);
+}
+
+/// Energy accumulated by a constant power over a tick interval, in joules.
+inline double joules_over(double watts, Ticks dt) {
+  return watts * to_seconds(dt);
+}
+
+}  // namespace penelope::common

@@ -1,0 +1,153 @@
+#include "core/decider.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+
+namespace penelope::core {
+
+Decider::Decider(DeciderConfig config, PowerPool& local_pool)
+    : config_(config), pool_(local_pool) {
+  PEN_CHECK(config_.epsilon_watts >= 0.0);
+  PEN_CHECK_MSG(
+      config_.safe_range.contains(config_.initial_cap_watts),
+      "initial cap must lie inside the safe range");
+  cap_ = config_.initial_cap_watts;
+}
+
+double Decider::raise_cap(double watts) {
+  if (watts <= 0.0) return 0.0;
+  double headroom = config_.safe_range.max_watts - cap_;
+  double applied = std::min(watts, std::max(headroom, 0.0));
+  cap_ += applied;
+  double overflow = watts - applied;
+  if (overflow > 0.0) pool_.deposit(overflow);
+  stats_.watts_received += applied;
+  return applied;
+}
+
+StepOutcome Decider::begin_step(double avg_power_watts) {
+  ++stats_.steps;
+  StepOutcome out;
+
+  if (avg_power_watts < cap_ - config_.epsilon_watts) {
+    // Excess branch: C_{t+1} = P (never below the safe minimum); the
+    // difference goes to the local pool. Cap is lowered before the
+    // deposit so the freed watts are never double-counted. Outstanding
+    // retirement debt (from a system-budget cut) is paid first — those
+    // watts leave the system instead of entering the pool.
+    ++stats_.excess_steps;
+    last_hungry_ = false;
+    last_urgent_ = false;
+    double new_cap =
+        std::max(avg_power_watts, config_.safe_range.min_watts);
+    double delta = cap_ - new_cap;
+    if (delta > 0.0) {
+      cap_ = new_cap;
+      double retired = std::min(delta, retirement_debt_);
+      retirement_debt_ -= retired;
+      double to_pool = delta - retired;
+      if (to_pool > 0.0) {
+        pool_.deposit(to_pool);
+        stats_.watts_donated += to_pool;
+      }
+      out.delta_watts = to_pool;
+    }
+    out.kind = StepKind::kDepositedExcess;
+    return out;
+  }
+
+  // Power-hungry branch.
+  ++stats_.hungry_steps;
+  last_hungry_ = true;
+  last_urgent_ = config_.urgency_enabled &&
+                 common::watts_less(cap_, config_.initial_cap_watts);
+
+  if (cap_ >= config_.safe_range.max_watts - common::kWattEpsilon) {
+    // Already at the hardware ceiling: more power could not be applied,
+    // so don't take any out of the system.
+    out.kind = StepKind::kHeld;
+    return out;
+  }
+
+  double local = config_.local_take == LocalTakePolicy::kDrainAll
+                     ? pool_.drain()
+                     : pool_.take_local();
+  if (local > 0.0) {
+    ++stats_.local_takes;
+    out.kind = StepKind::kTookLocal;
+    // raise_cap returns what fit under the safe ceiling; any remainder
+    // was re-deposited into the pool, so nothing is lost.
+    out.delta_watts = raise_cap(local);
+    return out;
+  }
+
+  ++stats_.peer_requests;
+  out.kind = StepKind::kNeedsPeer;
+  out.request.urgent = last_urgent_;
+  out.request.alpha_watts =
+      last_urgent_ ? config_.initial_cap_watts - cap_ : 0.0;
+  out.request.txn_id = next_txn_++;
+  if (last_urgent_) ++stats_.urgent_requests;
+  return out;
+}
+
+double Decider::complete_peer_grant(double granted_watts) {
+  PEN_CHECK_MSG(granted_watts >= -common::kWattEpsilon,
+                "grants cannot be negative");
+  return raise_cap(std::max(granted_watts, 0.0));
+}
+
+double Decider::apply_budget_delta(double delta_watts) {
+  if (delta_watts >= 0.0) {
+    // Budget grew: raise the assignment and hand the node its share
+    // immediately. raise_cap banks any overflow in the pool.
+    config_.initial_cap_watts = std::min(
+        config_.initial_cap_watts + delta_watts,
+        config_.safe_range.max_watts);
+    raise_cap(delta_watts);
+    return 0.0;
+  }
+
+  double owed = -delta_watts;
+  config_.initial_cap_watts = std::max(
+      config_.initial_cap_watts - owed, config_.safe_range.min_watts);
+
+  // Retire from the cap first (live power the node is entitled to),
+  // then from the local pool, then remember the rest as debt.
+  double from_cap =
+      std::min(owed, std::max(cap_ - config_.safe_range.min_watts, 0.0));
+  cap_ -= from_cap;
+  owed -= from_cap;
+
+  double from_pool = pool_.withdraw(owed);
+  owed -= from_pool;
+
+  retirement_debt_ += owed;
+  return from_cap + from_pool;
+}
+
+double Decider::finish_step() {
+  // Algorithm 1's closing block: a pool that served an urgent request
+  // induces its own node to give back everything above the initial cap —
+  // unless this node is itself urgent. The flag survives while the node
+  // is urgent (the pseudocode clears it only inside the release branch).
+  if (!config_.urgency_enabled) return 0.0;
+  if (last_urgent_) return 0.0;
+  if (!pool_.peek_local_urgency()) return 0.0;
+  double delta = cap_ - config_.initial_cap_watts;
+  if (delta <= common::kWattEpsilon) {
+    // Nothing to release, but the signal is consumed: the node examined
+    // it and has no power above its initial assignment.
+    (void)pool_.consume_local_urgency();
+    return 0.0;
+  }
+  (void)pool_.consume_local_urgency();
+  cap_ = config_.initial_cap_watts;
+  pool_.deposit(delta);
+  ++stats_.urgency_releases;
+  return delta;
+}
+
+}  // namespace penelope::core

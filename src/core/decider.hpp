@@ -1,0 +1,147 @@
+// The local decider — Algorithm 1 of the paper, as a transport- and
+// clock-agnostic state machine.
+//
+// Every period the driver (sim actor or real thread) feeds the decider
+// the average power since the previous step. The decider classifies the
+// node:
+//   excess (P < C − ε):  lower the cap *first*, then deposit the freed
+//                        watts in the local pool (ordering preserves the
+//                        system-wide cap: power is never exposed while
+//                        still counted in the cap);
+//   hungry (P ≥ C − ε):  drain the local pool (bounded by the
+//                        transaction limit); if it is empty, ask the
+//                        driver to query one uniformly random peer —
+//                        urgently, with alpha = initialCap − C, when the
+//                        node sits below its initial assignment.
+// After the grant (or timeout) resolves, the step finishes with the
+// localUrgency check: if this node's pool served an urgent request and
+// the node is not itself urgent, it releases everything above its initial
+// cap back into the pool so the urgent node can find it.
+//
+// The decider never sets the cap outside the safe range, whatever the
+// transaction traffic does (§3: deciders "can ensure that nodes do not
+// exceed that safe range"); watts that cannot be applied because the cap
+// is pinned at the safe maximum go back to the local pool instead of
+// vanishing, preserving conservation.
+#pragma once
+
+#include <cstdint>
+
+#include "core/pool.hpp"
+#include "core/protocol.hpp"
+#include "power/power_interface.hpp"
+
+namespace penelope::core {
+
+/// How a hungry decider drains its own local pool before querying peers.
+///
+/// Algorithm 1 as printed applies the same getMaxSize rate limit to the
+/// local take as to remote transactions (kRateLimited). Read literally,
+/// that makes a node crawl through its own cached watts at as little as
+/// LOWER_LIMIT per period while remote excess sits undiscovered — which
+/// cannot be the deployed behaviour given the paper's measured
+/// near-parity with SLURM (Fig. 2). kDrainAll takes the whole local
+/// cache in one step: it cannot hoard (the power was already local) and
+/// cannot oscillate the network (no transaction occurs). The ablation
+/// bench compares both policies; kDrainAll is the default.
+enum class LocalTakePolicy { kDrainAll, kRateLimited };
+
+struct DeciderConfig {
+  /// Initial (and urgency-threshold) node-level cap.
+  double initial_cap_watts = 160.0;
+  /// Power margin epsilon: within epsilon of the cap counts as hungry.
+  double epsilon_watts = 5.0;
+  power::SafeRange safe_range;
+  LocalTakePolicy local_take = LocalTakePolicy::kDrainAll;
+  /// Ablation knob: disable the urgency mechanism entirely — requests
+  /// are never urgent and localUrgency releases never fire. The paper's
+  /// §3 motivates urgency; bench_ablation measures what it buys.
+  bool urgency_enabled = true;
+};
+
+struct DeciderStats {
+  std::uint64_t steps = 0;
+  std::uint64_t excess_steps = 0;
+  std::uint64_t hungry_steps = 0;
+  std::uint64_t local_takes = 0;
+  std::uint64_t peer_requests = 0;
+  std::uint64_t urgent_requests = 0;
+  std::uint64_t urgency_releases = 0;  ///< localUrgency-induced releases
+  double watts_donated = 0.0;          ///< deposits from the excess branch
+  double watts_received = 0.0;         ///< cap increases from transactions
+};
+
+enum class StepKind {
+  kDepositedExcess,  ///< excess branch: cap lowered, pool credited
+  kTookLocal,        ///< hungry, satisfied from the local pool
+  kNeedsPeer,        ///< hungry, local pool empty: driver must query a peer
+  kHeld,             ///< hungry but cap pinned at safe max — nothing to do
+};
+
+struct StepOutcome {
+  StepKind kind = StepKind::kHeld;
+  /// Watts moved (deposited for kDepositedExcess, applied to the cap for
+  /// kTookLocal, 0 otherwise).
+  double delta_watts = 0.0;
+  /// Valid when kind == kNeedsPeer.
+  PowerRequest request;
+};
+
+class Decider {
+ public:
+  Decider(DeciderConfig config, PowerPool& local_pool);
+
+  /// Run the classification half of one control step. The caller applies
+  /// the resulting cap via cap() to its PowerInterface.
+  StepOutcome begin_step(double avg_power_watts);
+
+  /// Resolve the peer transaction issued by the last kNeedsPeer step with
+  /// the granted watts (0 for an empty grant or a timeout). Returns the
+  /// watts actually applied to the cap; any remainder that would push the
+  /// cap past the safe maximum is deposited back into the local pool.
+  double complete_peer_grant(double granted_watts);
+
+  /// End-of-step localUrgency release (Algorithm 1's final block). Call
+  /// once per step, after the grant resolution if a request was sent.
+  /// Returns the watts released into the local pool (0 if none).
+  double finish_step();
+
+  double cap() const { return cap_; }
+  double initial_cap() const { return config_.initial_cap_watts; }
+
+  /// --- dynamic system-budget reconfiguration -------------------------
+  /// The cluster's share-per-node changed. A budget *increase* raises
+  /// the initial cap and grants the node the headroom immediately
+  /// (overflow past the safe ceiling banks in the pool). A budget *cut*
+  /// lowers the initial cap and retires the node's share: first from
+  /// the cap (down to the safe minimum), then from the local pool;
+  /// whatever cannot be retired now becomes retirement debt, paid off
+  /// from the node's future excess before it reaches the pool. Returns
+  /// the watts retired immediately.
+  double apply_budget_delta(double delta_watts);
+
+  /// Outstanding watts this node still owes to a budget cut.
+  double retirement_debt() const { return retirement_debt_; }
+
+  /// Whether the most recent step classified this node as urgent.
+  bool last_step_urgent() const { return last_urgent_; }
+  bool last_step_hungry() const { return last_hungry_; }
+
+  const DeciderStats& stats() const { return stats_; }
+  const DeciderConfig& config() const { return config_; }
+  PowerPool& local_pool() { return pool_; }
+
+ private:
+  double raise_cap(double watts);
+
+  DeciderConfig config_;
+  PowerPool& pool_;
+  double cap_;
+  double retirement_debt_ = 0.0;
+  bool last_urgent_ = false;
+  bool last_hungry_ = false;
+  std::uint64_t next_txn_ = 1;
+  DeciderStats stats_;
+};
+
+}  // namespace penelope::core

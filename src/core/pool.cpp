@@ -1,0 +1,103 @@
+#include "core/pool.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+
+namespace penelope::core {
+
+PowerPool::PowerPool(PoolConfig config) : config_(config) {
+  PEN_CHECK(config_.share_fraction > 0.0 && config_.share_fraction <= 1.0);
+  PEN_CHECK(config_.lower_limit_watts >= 0.0);
+  PEN_CHECK(config_.upper_limit_watts >= config_.lower_limit_watts);
+}
+
+double PowerPool::max_transaction(double pool_watts) const {
+  double size = config_.share_fraction * pool_watts;
+  if (size > config_.upper_limit_watts) return config_.upper_limit_watts;
+  if (size < config_.lower_limit_watts) return config_.lower_limit_watts;
+  return size;
+}
+
+void PowerPool::deposit(double watts) {
+  PEN_CHECK_MSG(watts >= -common::kWattEpsilon,
+                "cannot deposit negative power");
+  if (watts <= 0.0) return;
+  std::scoped_lock lock(mutex_);
+  watts_ += watts;
+  stats_.total_deposited_watts += watts;
+}
+
+double PowerPool::serve(const PowerRequest& request) {
+  std::scoped_lock lock(mutex_);
+  double delta;
+  if (request.urgent) {
+    double alpha = std::max(request.alpha_watts, 0.0);
+    delta = std::min(watts_, alpha);
+    ++stats_.urgent_requests_served;
+  } else {
+    delta = std::min(watts_, max_transaction(watts_));
+  }
+  delta = std::max(delta, 0.0);
+  watts_ -= delta;
+  ++stats_.requests_served;
+  if (delta <= 0.0) ++stats_.empty_grants;
+  stats_.total_granted_watts += delta;
+  // Algorithm 2 sets localUrgency to the request's urgency on every
+  // request; a subsequent non-urgent request would clear it before the
+  // decider sees it. We latch it instead (cleared only by the decider) so
+  // an urgent signal cannot be lost under request interleaving — without
+  // the latch, urgency propagation degrades as request rate grows, which
+  // is clearly not the paper's intent.
+  if (request.urgent) local_urgency_ = true;
+  return delta;
+}
+
+double PowerPool::take_local() {
+  std::scoped_lock lock(mutex_);
+  if (watts_ <= 0.0) return 0.0;
+  double delta = std::min(watts_, max_transaction(watts_));
+  delta = std::max(delta, 0.0);
+  watts_ -= delta;
+  return delta;
+}
+
+double PowerPool::drain() {
+  std::scoped_lock lock(mutex_);
+  double all = watts_;
+  watts_ = 0.0;
+  return all;
+}
+
+double PowerPool::withdraw(double watts) {
+  if (watts <= 0.0) return 0.0;
+  std::scoped_lock lock(mutex_);
+  double taken = std::min(watts_, watts);
+  watts_ -= taken;
+  return taken;
+}
+
+double PowerPool::available() const {
+  std::scoped_lock lock(mutex_);
+  return watts_;
+}
+
+bool PowerPool::consume_local_urgency() {
+  std::scoped_lock lock(mutex_);
+  bool was = local_urgency_;
+  local_urgency_ = false;
+  return was;
+}
+
+bool PowerPool::peek_local_urgency() const {
+  std::scoped_lock lock(mutex_);
+  return local_urgency_;
+}
+
+PoolStats PowerPool::stats() const {
+  std::scoped_lock lock(mutex_);
+  return stats_;
+}
+
+}  // namespace penelope::core

@@ -1,0 +1,89 @@
+// The local power pool — Algorithm 2 of the paper.
+//
+// Each node holds a cache of excess watts and serves requests from other
+// nodes' deciders. Non-urgent requests are rate-limited to
+// clamp(10% of pool, LOWER_LIMIT, UPPER_LIMIT) to spread excess fairly
+// and damp power oscillation (§3.2); urgent requests may take up to their
+// full deficit alpha. Serving an urgent request sets the localUrgency
+// flag, which induces the co-located decider to release power down to its
+// initial cap on its next step.
+//
+// §3.3: "some care is needed to ensure that changes to this value are
+// atomic, otherwise system-wide caps could be violated. Penelope
+// guarantees this through the use of a simple lock." Same here: the pool
+// is internally synchronized so the discrete-event driver and the
+// real-thread driver share one implementation. All mutators are
+// debit-before-expose: power is removed from the pool in the same
+// critical section that decides the grant.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "core/protocol.hpp"
+
+namespace penelope::core {
+
+struct PoolConfig {
+  /// Fraction of the pool a non-urgent transaction may take.
+  double share_fraction = 0.10;
+  /// Clamp bounds for non-urgent transactions, in watts. "Our system
+  /// sets UPPER_LIMIT to 30 watts and LOWER_LIMIT to 1 watt."
+  double lower_limit_watts = 1.0;
+  double upper_limit_watts = 30.0;
+};
+
+struct PoolStats {
+  std::uint64_t requests_served = 0;
+  std::uint64_t urgent_requests_served = 0;
+  std::uint64_t empty_grants = 0;       ///< served with 0 W available
+  double total_granted_watts = 0.0;
+  double total_deposited_watts = 0.0;
+};
+
+class PowerPool {
+ public:
+  explicit PowerPool(PoolConfig config = {});
+
+  /// getMaxSize(Pool) from Algorithm 2: the non-urgent transaction limit
+  /// for a pool of the given size.
+  double max_transaction(double pool_watts) const;
+
+  /// Deposit excess power (decider excess branch, localUrgency release).
+  void deposit(double watts);
+
+  /// Serve a remote request per Algorithm 2: computes the grant, debits
+  /// the pool, records localUrgency. Returns the granted watts.
+  double serve(const PowerRequest& request);
+
+  /// Local drain (Algorithm 1's "if Pool > 0" branch): the co-located
+  /// decider takes up to the non-urgent transaction limit from its own
+  /// cache before querying peers.
+  double take_local();
+
+  /// Drain everything (used on shutdown to return power to the cap).
+  double drain();
+
+  /// Withdraw up to `watts` exactly (budget retirement); returns the
+  /// amount actually removed (bounded by the pool's contents).
+  double withdraw(double watts);
+
+  double available() const;
+
+  /// The localUrgency flag: set by urgent remote requests, consumed by
+  /// the co-located decider (returns previous value and clears it).
+  bool consume_local_urgency();
+  bool peek_local_urgency() const;
+
+  PoolStats stats() const;
+  const PoolConfig& config() const { return config_; }
+
+ private:
+  PoolConfig config_;
+  mutable std::mutex mutex_;  // guards everything below
+  double watts_ = 0.0;
+  bool local_urgency_ = false;
+  PoolStats stats_;
+};
+
+}  // namespace penelope::core

@@ -1,0 +1,47 @@
+// Wire protocol for Penelope's peer-to-peer transactions. A transaction
+// is one PowerRequest answered by one PowerGrant (§3: "an exchange of
+// power between a local decider and a power pool"). Grants carry real
+// watts that the responding pool has already debited, so a grant message
+// in flight *owns* that power — the metrics layer accounts for in-flight
+// grants when checking the system-wide cap invariant.
+#pragma once
+
+#include <cstdint>
+
+namespace penelope::core {
+
+struct PowerRequest {
+  /// True when the requester is power-hungry *and* below its initial cap
+  /// (§3: the urgent state). Urgent requests bypass the transaction-size
+  /// limit and trigger the responder's localUrgency release.
+  bool urgent = false;
+  /// For urgent requests: watts needed to return to the initial cap
+  /// (alpha in Algorithm 1). Ignored for non-urgent requests.
+  double alpha_watts = 0.0;
+  /// Correlates the grant with the decider step that issued the request.
+  std::uint64_t txn_id = 0;
+};
+
+struct PowerGrant {
+  /// Watts transferred; zero grants are legal (empty pool).
+  double watts = 0.0;
+  std::uint64_t txn_id = 0;
+  /// Optional discovery hint (an extension beyond the paper, see
+  /// DESIGN.md §5): when an empty-handed pool knows a peer that recently
+  /// had power, it forwards that peer's id so the requester's next probe
+  /// is informed instead of uniform. -1 means no hint.
+  std::int32_t hint_peer = -1;
+};
+
+/// Extension beyond the paper (push-gossip balancing, DESIGN.md §5b):
+/// a pool holding plenty of excess proactively pushes a slice of it to
+/// a uniformly random peer's pool. Push is the dual of the paper's pull
+/// discovery — instead of hungry nodes searching for excess, excess
+/// diffuses toward where it will be found. The watts were withdrawn
+/// from the sender's pool before the message left, so a push in flight
+/// owns its power exactly like a grant does.
+struct PowerPush {
+  double watts = 0.0;
+};
+
+}  // namespace penelope::core

@@ -1,0 +1,142 @@
+#include "hierarchy/podd_server.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+namespace penelope::hierarchy {
+
+PoddServerLogic::PoddServerLogic(PoddConfig config)
+    : config_(config),
+      report_sums_(static_cast<std::size_t>(config.n_nodes), 0.0),
+      report_counts_(static_cast<std::size_t>(config.n_nodes), 0),
+      central_(config.central) {
+  PEN_CHECK(config_.n_nodes >= 2);
+  PEN_CHECK(config_.profile_periods >= 1);
+  PEN_CHECK(config_.safe_range.contains(config_.initial_cap_watts));
+}
+
+bool PoddServerLogic::handle_profile_report(int node,
+                                            const ProfileReport& report) {
+  if (profiling_complete_) return false;
+  PEN_CHECK(node >= 0 && node < config_.n_nodes);
+  auto idx = static_cast<std::size_t>(node);
+  if (report_counts_[idx] < config_.profile_periods) {
+    report_sums_[idx] += std::max(report.avg_power_watts, 0.0);
+    ++report_counts_[idx];
+  }
+  for (int count : report_counts_) {
+    if (count < config_.profile_periods) return true;
+  }
+  finalize();
+  return false;
+}
+
+double PoddServerLogic::group_a_demand() const {
+  int half = config_.n_nodes / 2;
+  double sum = 0.0;
+  int count = 0;
+  for (int i = 0; i < half; ++i) {
+    auto idx = static_cast<std::size_t>(i);
+    if (report_counts_[idx] > 0) {
+      sum += report_sums_[idx] / report_counts_[idx];
+      ++count;
+    }
+  }
+  return count ? sum / count : 0.0;
+}
+
+double PoddServerLogic::group_b_demand() const {
+  int half = config_.n_nodes / 2;
+  double sum = 0.0;
+  int count = 0;
+  for (int i = half; i < config_.n_nodes; ++i) {
+    auto idx = static_cast<std::size_t>(i);
+    if (report_counts_[idx] > 0) {
+      sum += report_sums_[idx] / report_counts_[idx];
+      ++count;
+    }
+  }
+  return count ? sum / count : 0.0;
+}
+
+GroupAssignment PoddServerLogic::split_budget(
+    double total_budget, int na, int nb, double da, double db,
+    const power::SafeRange& range) {
+  PEN_CHECK(na > 0 && nb > 0);
+  GroupAssignment out;
+  double demand_total = na * da + nb * db;
+  if (demand_total <= 0.0) {
+    out.group_a_cap = out.group_b_cap =
+        range.clamp(total_budget / (na + nb));
+    return out;
+  }
+  // Demand-proportional split, then water-fill against the safe range:
+  // a clamped group's surplus (or deficit) is absorbed by the other
+  // group, which is then clamped too. Two passes settle two groups.
+  double ca = total_budget * da / demand_total;
+  double cb = total_budget * db / demand_total;
+  for (int pass = 0; pass < 2; ++pass) {
+    double ca_clamped = range.clamp(ca);
+    double cb_clamped = range.clamp(cb);
+    double spare = (ca - ca_clamped) * na + (cb - cb_clamped) * nb;
+    ca = ca_clamped;
+    cb = cb_clamped;
+    if (spare > 0.0) {
+      // One group couldn't use its share: offer it to the other.
+      if (ca < range.max_watts) {
+        ca = range.clamp(ca + spare / na);
+      } else if (cb < range.max_watts) {
+        cb = range.clamp(cb + spare / nb);
+      }
+      // If both are at max, the budget is simply underused — legal
+      // (Delta > 0 in the paper's §2.2.2 terms).
+    } else if (spare < 0.0) {
+      // Clamping *raised* a group above its proportional share (min
+      // clamp); the other group pays for it.
+      if (cb > range.min_watts) {
+        cb = range.clamp(cb + spare / nb);
+      } else if (ca > range.min_watts) {
+        ca = range.clamp(ca + spare / na);
+      }
+    }
+  }
+  // Never exceed the budget after clamping interplay: shave the larger
+  // group if rounding pushed the total over.
+  double total = ca * na + cb * nb;
+  if (total > total_budget) {
+    double excess = total - total_budget;
+    if (ca >= cb) {
+      ca = std::max(range.min_watts, ca - excess / na);
+    } else {
+      cb = std::max(range.min_watts, cb - excess / nb);
+    }
+  }
+  out.group_a_cap = ca;
+  out.group_b_cap = cb;
+  return out;
+}
+
+void PoddServerLogic::finalize() {
+  profiling_complete_ = true;
+  int half = config_.n_nodes / 2;
+  double budget = config_.initial_cap_watts * config_.n_nodes;
+  assignment_ =
+      split_budget(budget, half, config_.n_nodes - half,
+                   group_a_demand(), group_b_demand(),
+                   config_.safe_range);
+  PEN_LOG_INFO(
+      "podd: profiling done, demands A=%.1fW B=%.1fW -> caps A=%.1fW "
+      "B=%.1fW",
+      group_a_demand(), group_b_demand(), assignment_.group_a_cap,
+      assignment_.group_b_cap);
+}
+
+double PoddServerLogic::assigned_cap(int node) const {
+  PEN_CHECK(profiling_complete_);
+  return node < config_.n_nodes / 2 ? assignment_.group_a_cap
+                                    : assignment_.group_b_cap;
+}
+
+}  // namespace penelope::hierarchy

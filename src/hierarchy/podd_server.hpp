@@ -1,0 +1,102 @@
+// PoDD-style hierarchical power management (§2.3.3 and Zhang &
+// Hoffmann [51]): for *coupled workloads* — two applications running
+// simultaneously on the two halves of the cluster, where the pair is
+// only as fast as its slower member — it pays to assign the halves
+// different initial caps so they finish together, rather than split the
+// budget evenly and shift reactively.
+//
+// PoDD "runs each application in the couple for a few iterations,
+// learns the optimal initial node-level powercaps, and assigns these —
+// a centralized process. It then launches a centralized power
+// management system to coordinate node-level power shifting similarly
+// to SLURM."
+//
+// This implementation mirrors that two-level structure:
+//   1. Profiling window: every client reports its per-period average
+//      power; the server keeps a running mean per node.
+//   2. Assignment: the budget is split between the two groups in
+//      proportion to their measured demand, water-filled against the
+//      safe cap range so no node is assigned an unreachable cap and the
+//      total never exceeds the budget.
+//   3. Steady state: an embedded central::ServerLogic refines caps via
+//      the normal donation/request traffic. Nodes whose assignment is
+//      above their current cap climb through the existing urgency
+//      mechanism (they are below their new initial cap, hence urgent),
+//      funded by the nodes whose assignment made them donate — so the
+//      reassignment is conservative by construction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "central/server.hpp"
+#include "hierarchy/protocol.hpp"
+#include "power/power_interface.hpp"
+
+namespace penelope::hierarchy {
+
+struct PoddConfig {
+  /// Number of client nodes; nodes [0, n/2) are group A, the rest B
+  /// (the paper's half/half coupled setup).
+  int n_nodes = 20;
+  /// Uniform initial cap all nodes start from (budget / n).
+  double initial_cap_watts = 160.0;
+  power::SafeRange safe_range;
+  /// Steady-state shifting configuration (SLURM-like).
+  central::ServerConfig central;
+  /// How many profile reports per node to accumulate before assigning.
+  int profile_periods = 5;
+};
+
+struct GroupAssignment {
+  double group_a_cap = 0.0;
+  double group_b_cap = 0.0;
+};
+
+class PoddServerLogic {
+ public:
+  explicit PoddServerLogic(PoddConfig config);
+
+  /// Profiling input; returns true while the server is still profiling.
+  /// Once every node has delivered `profile_periods` reports the server
+  /// transitions to the assigned state and compute_assignment() is
+  /// valid.
+  bool handle_profile_report(int node, const ProfileReport& report);
+
+  bool profiling_complete() const { return profiling_complete_; }
+
+  /// The learned per-group caps (valid after profiling completes).
+  GroupAssignment assignment() const { return assignment_; }
+
+  /// The cap assigned to a specific node.
+  double assigned_cap(int node) const;
+
+  /// Measured mean demand of each group (diagnostics / tests).
+  double group_a_demand() const;
+  double group_b_demand() const;
+
+  /// Steady-state shifting: delegate to the embedded central logic.
+  central::ServerLogic& central() { return central_; }
+  const central::ServerLogic& central() const { return central_; }
+
+  int config_n_nodes() const { return config_.n_nodes; }
+
+  /// Exposed for tests: the demand-proportional water-filled split of
+  /// `total_budget` between two groups of sizes na/nb with per-node
+  /// demands da/db, honouring the safe range.
+  static GroupAssignment split_budget(double total_budget, int na,
+                                      int nb, double da, double db,
+                                      const power::SafeRange& range);
+
+ private:
+  void finalize();
+
+  PoddConfig config_;
+  std::vector<double> report_sums_;
+  std::vector<int> report_counts_;
+  bool profiling_complete_ = false;
+  GroupAssignment assignment_;
+  central::ServerLogic central_;
+};
+
+}  // namespace penelope::hierarchy

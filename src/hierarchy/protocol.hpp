@@ -1,0 +1,24 @@
+// Wire protocol additions for the PoDD-style hierarchical manager
+// (§2.3.3): during the profiling window clients report their observed
+// power draw; when the window closes the server pushes each node a new
+// initial-cap assignment learned from the profiles. Steady-state power
+// shifting afterwards reuses the central protocol unchanged.
+#pragma once
+
+#include <cstdint>
+
+namespace penelope::hierarchy {
+
+/// Client -> server, once per period during the profiling window.
+struct ProfileReport {
+  double avg_power_watts = 0.0;
+};
+
+/// Server -> client, once, when profiling concludes: the learned
+/// initial cap for this node (PoDD's "centralized, top-level powercap
+/// assignment", after which local refinement proceeds as usual).
+struct CapAssignment {
+  double initial_cap_watts = 0.0;
+};
+
+}  // namespace penelope::hierarchy

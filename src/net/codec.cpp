@@ -1,0 +1,246 @@
+#include "net/codec.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace penelope::net {
+
+namespace {
+
+// Fixed little-endian primitives. std::bit_cast keeps the double
+// encoding exact (IEEE-754 bits, not text).
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_i32(std::vector<std::uint8_t>& out, std::int32_t v) {
+  auto u = static_cast<std::uint32_t>(v);
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(u >> (8 * i)));
+  }
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  bool ok() const { return ok_; }
+  bool exhausted() const { return pos_ == size_; }
+
+  std::uint8_t u8() {
+    if (!require(1)) return 0;
+    return data_[pos_++];
+  }
+
+  std::uint64_t u64() {
+    if (!require(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+    }
+    return v;
+  }
+
+  std::int32_t i32() {
+    if (!require(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+    }
+    return static_cast<std::int32_t>(v);
+  }
+
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  bool boolean() { return u8() != 0; }
+
+ private:
+  bool require(std::size_t n) {
+    if (!ok_ || size_ - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+std::size_t encoded_size(const WirePayload& payload) {
+  // tag byte + body
+  return 1 + std::visit(
+                 [](const auto& msg) -> std::size_t {
+                   using T = std::decay_t<decltype(msg)>;
+                   if constexpr (std::is_same_v<T, core::PowerRequest>) {
+                     return 1 + 8 + 8;  // urgent, alpha, txn
+                   } else if constexpr (std::is_same_v<T,
+                                                       core::PowerGrant>) {
+                     return 8 + 8 + 4;  // watts, txn, hint
+                   } else if constexpr (std::is_same_v<
+                                            T, central::CentralDonation>) {
+                     return 8;
+                   } else if constexpr (std::is_same_v<
+                                            T, central::CentralRequest>) {
+                     return 1 + 8 + 8;
+                   } else if constexpr (std::is_same_v<
+                                            T, central::CentralGrant>) {
+                     return 8 + 1 + 8;
+                   } else if constexpr (std::is_same_v<
+                                            T, hierarchy::ProfileReport>) {
+                     return 8;
+                   } else if constexpr (std::is_same_v<
+                                            T, hierarchy::CapAssignment>) {
+                     return 8;
+                   } else {
+                     static_assert(std::is_same_v<T, core::PowerPush>);
+                     return 8;
+                   }
+                 },
+                 payload);
+}
+
+std::vector<std::uint8_t> encode(const WirePayload& payload) {
+  std::vector<std::uint8_t> out;
+  out.reserve(encoded_size(payload));
+  std::visit(
+      [&out](const auto& msg) {
+        using T = std::decay_t<decltype(msg)>;
+        if constexpr (std::is_same_v<T, core::PowerRequest>) {
+          put_u8(out, static_cast<std::uint8_t>(WireTag::kPowerRequest));
+          put_u8(out, msg.urgent ? 1 : 0);
+          put_f64(out, msg.alpha_watts);
+          put_u64(out, msg.txn_id);
+        } else if constexpr (std::is_same_v<T, core::PowerGrant>) {
+          put_u8(out, static_cast<std::uint8_t>(WireTag::kPowerGrant));
+          put_f64(out, msg.watts);
+          put_u64(out, msg.txn_id);
+          put_i32(out, msg.hint_peer);
+        } else if constexpr (std::is_same_v<T, central::CentralDonation>) {
+          put_u8(out,
+                 static_cast<std::uint8_t>(WireTag::kCentralDonation));
+          put_f64(out, msg.watts);
+        } else if constexpr (std::is_same_v<T, central::CentralRequest>) {
+          put_u8(out,
+                 static_cast<std::uint8_t>(WireTag::kCentralRequest));
+          put_u8(out, msg.urgent ? 1 : 0);
+          put_f64(out, msg.alpha_watts);
+          put_u64(out, msg.txn_id);
+        } else if constexpr (std::is_same_v<T, central::CentralGrant>) {
+          put_u8(out, static_cast<std::uint8_t>(WireTag::kCentralGrant));
+          put_f64(out, msg.watts);
+          put_u8(out, msg.release_to_initial ? 1 : 0);
+          put_u64(out, msg.txn_id);
+        } else if constexpr (std::is_same_v<T, hierarchy::ProfileReport>) {
+          put_u8(out,
+                 static_cast<std::uint8_t>(WireTag::kProfileReport));
+          put_f64(out, msg.avg_power_watts);
+        } else if constexpr (std::is_same_v<T,
+                                            hierarchy::CapAssignment>) {
+          put_u8(out,
+                 static_cast<std::uint8_t>(WireTag::kCapAssignment));
+          put_f64(out, msg.initial_cap_watts);
+        } else {
+          static_assert(std::is_same_v<T, core::PowerPush>);
+          put_u8(out, static_cast<std::uint8_t>(WireTag::kPowerPush));
+          put_f64(out, msg.watts);
+        }
+      },
+      payload);
+  PEN_DCHECK(out.size() == encoded_size(payload));
+  return out;
+}
+
+std::optional<WirePayload> decode(const std::uint8_t* data,
+                                  std::size_t size) {
+  if (data == nullptr || size == 0) return std::nullopt;
+  Reader reader(data, size);
+  auto tag = static_cast<WireTag>(reader.u8());
+  WirePayload payload;
+  switch (tag) {
+    case WireTag::kPowerRequest: {
+      core::PowerRequest msg;
+      msg.urgent = reader.boolean();
+      msg.alpha_watts = reader.f64();
+      msg.txn_id = reader.u64();
+      payload = msg;
+      break;
+    }
+    case WireTag::kPowerGrant: {
+      core::PowerGrant msg;
+      msg.watts = reader.f64();
+      msg.txn_id = reader.u64();
+      msg.hint_peer = reader.i32();
+      payload = msg;
+      break;
+    }
+    case WireTag::kCentralDonation: {
+      central::CentralDonation msg;
+      msg.watts = reader.f64();
+      payload = msg;
+      break;
+    }
+    case WireTag::kCentralRequest: {
+      central::CentralRequest msg;
+      msg.urgent = reader.boolean();
+      msg.alpha_watts = reader.f64();
+      msg.txn_id = reader.u64();
+      payload = msg;
+      break;
+    }
+    case WireTag::kCentralGrant: {
+      central::CentralGrant msg;
+      msg.watts = reader.f64();
+      msg.release_to_initial = reader.boolean();
+      msg.txn_id = reader.u64();
+      payload = msg;
+      break;
+    }
+    case WireTag::kProfileReport: {
+      hierarchy::ProfileReport msg;
+      msg.avg_power_watts = reader.f64();
+      payload = msg;
+      break;
+    }
+    case WireTag::kCapAssignment: {
+      hierarchy::CapAssignment msg;
+      msg.initial_cap_watts = reader.f64();
+      payload = msg;
+      break;
+    }
+    case WireTag::kPowerPush: {
+      core::PowerPush msg;
+      msg.watts = reader.f64();
+      payload = msg;
+      break;
+    }
+    default:
+      return std::nullopt;
+  }
+  if (!reader.ok() || !reader.exhausted()) return std::nullopt;
+  return payload;
+}
+
+std::optional<WirePayload> decode(const std::vector<std::uint8_t>& buf) {
+  return decode(buf.data(), buf.size());
+}
+
+}  // namespace penelope::net

@@ -1,0 +1,58 @@
+// Binary wire codec for every protocol message in the system.
+//
+// The simulator passes payloads as std::any, but a real deployment of
+// Penelope speaks over sockets; this codec defines that wire format and
+// round-trips every message type the managers exchange. Encoding is a
+// 1-byte type tag followed by fixed-width little-endian fields — no
+// varints, no padding, no host-endianness leaks — so a packet is
+// decodable by any implementation of this spec.
+//
+// Decode is total: any input (truncated, wrong tag, trailing bytes)
+// yields std::nullopt rather than UB, which the fuzz-style tests lean
+// on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "central/protocol.hpp"
+#include "core/protocol.hpp"
+#include "hierarchy/protocol.hpp"
+
+namespace penelope::net {
+
+/// Every message the managers exchange.
+using WirePayload =
+    std::variant<core::PowerRequest, core::PowerGrant,
+                 central::CentralDonation, central::CentralRequest,
+                 central::CentralGrant, hierarchy::ProfileReport,
+                 hierarchy::CapAssignment, core::PowerPush>;
+
+/// Type tags on the wire (stable ABI — append only).
+enum class WireTag : std::uint8_t {
+  kPowerRequest = 1,
+  kPowerGrant = 2,
+  kCentralDonation = 3,
+  kCentralRequest = 4,
+  kCentralGrant = 5,
+  kProfileReport = 6,
+  kCapAssignment = 7,
+  kPowerPush = 8,
+};
+
+/// Serialize a payload; always succeeds (all message types are fixed
+/// size).
+std::vector<std::uint8_t> encode(const WirePayload& payload);
+
+/// Parse a packet; nullopt on truncation, unknown tag, or trailing
+/// garbage.
+std::optional<WirePayload> decode(const std::uint8_t* data,
+                                  std::size_t size);
+std::optional<WirePayload> decode(const std::vector<std::uint8_t>& buf);
+
+/// Encoded size of a payload (for buffer pre-sizing).
+std::size_t encoded_size(const WirePayload& payload);
+
+}  // namespace penelope::net

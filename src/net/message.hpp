@@ -1,0 +1,32 @@
+// Message and addressing types shared by the network substrate and the
+// protocol layers above it. The payload is type-erased so the network
+// stays protocol-agnostic; the power-management protocols define their
+// concrete payload structs in core/protocol.hpp.
+#pragma once
+
+#include <any>
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace penelope::net {
+
+using NodeId = std::int32_t;
+inline constexpr NodeId kNoNode = -1;
+
+struct Message {
+  NodeId src = kNoNode;
+  NodeId dst = kNoNode;
+  std::uint64_t id = 0;           ///< unique per network instance
+  common::Ticks sent_at = 0;      ///< virtual time the send was issued
+  std::any payload;
+
+  /// Typed payload access; returns nullptr if the payload holds a
+  /// different type.
+  template <typename T>
+  const T* as() const {
+    return std::any_cast<T>(&payload);
+  }
+};
+
+}  // namespace penelope::net

@@ -1,0 +1,116 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+namespace penelope::net {
+
+Network::Network(sim::Simulator& sim, NetworkConfig config)
+    : sim_(sim), config_(config), rng_(config.seed) {}
+
+void Network::register_endpoint(NodeId node, Handler handler) {
+  PEN_CHECK(node != kNoNode);
+  PEN_CHECK(handler != nullptr);
+  endpoints_[node] = std::move(handler);
+}
+
+void Network::remove_endpoint(NodeId node) { endpoints_.erase(node); }
+
+common::Ticks Network::sample_latency() {
+  double jitter = rng_.normal(
+      0.0, static_cast<double>(config_.latency.jitter_stddev));
+  auto latency = config_.latency.base + static_cast<common::Ticks>(jitter);
+  return std::max<common::Ticks>(latency, 1);
+}
+
+bool Network::same_island(NodeId a, NodeId b) const {
+  if (!partitioned_) return true;
+  auto island = [this](NodeId n) {
+    auto it = island_of_.find(n);
+    return it == island_of_.end() ? -1 : it->second;
+  };
+  return island(a) == island(b);
+}
+
+std::uint64_t Network::send(NodeId src, NodeId dst, std::any payload) {
+  if (!node_alive(src)) {
+    ++stats_.dropped_dead_node;
+    return 0;
+  }
+  ++stats_.sent;
+  Message msg;
+  msg.src = src;
+  msg.dst = dst;
+  msg.id = next_msg_id_++;
+  msg.sent_at = sim_.now();
+  msg.payload = std::move(payload);
+
+  if (rng_.chance(config_.loss_probability)) {
+    ++stats_.dropped_loss;
+    if (drop_handler_) drop_handler_(msg);
+    return msg.id;
+  }
+  if (!same_island(src, dst)) {
+    ++stats_.dropped_partition;
+    if (drop_handler_) drop_handler_(msg);
+    return msg.id;
+  }
+
+  std::uint64_t id = msg.id;
+  sim_.schedule_after(sample_latency(),
+                      [this, m = std::move(msg)]() mutable {
+                        deliver(std::move(m));
+                      });
+  return id;
+}
+
+void Network::deliver(Message msg) {
+  if (!node_alive(msg.dst)) {
+    ++stats_.dropped_dead_node;
+    if (drop_handler_) drop_handler_(msg);
+    return;
+  }
+  auto it = endpoints_.find(msg.dst);
+  if (it == endpoints_.end()) {
+    ++stats_.dropped_no_endpoint;
+    if (drop_handler_) drop_handler_(msg);
+    return;
+  }
+  ++stats_.delivered;
+  it->second(msg);
+}
+
+void Network::fail_node(NodeId node) {
+  failed_[node] = true;
+  PEN_LOG_INFO("network: node %d failed at t=%.3fs", node,
+               common::to_seconds(sim_.now()));
+}
+
+void Network::restore_node(NodeId node) {
+  failed_[node] = false;
+  PEN_LOG_INFO("network: node %d restored at t=%.3fs", node,
+               common::to_seconds(sim_.now()));
+}
+
+bool Network::node_alive(NodeId node) const {
+  auto it = failed_.find(node);
+  return it == failed_.end() || !it->second;
+}
+
+void Network::set_partition(
+    const std::vector<std::vector<NodeId>>& islands) {
+  island_of_.clear();
+  for (std::size_t i = 0; i < islands.size(); ++i)
+    for (NodeId n : islands[i]) island_of_[n] = static_cast<int>(i);
+  partitioned_ = true;
+}
+
+void Network::clear_partition() {
+  island_of_.clear();
+  partitioned_ = false;
+}
+
+}  // namespace penelope::net

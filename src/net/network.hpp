@@ -1,0 +1,121 @@
+// Simulated message-passing network on top of the discrete-event engine.
+//
+// Models the properties the paper's evaluation depends on:
+//   * per-message latency with jitter (turnaround-time floors),
+//   * random loss (lossy fabric),
+//   * node failures (the Figure 3 server-kill experiment),
+//   * network partitions (mentioned as a centralized failure mode in §1).
+//
+// Delivery is a scheduled simulator event that invokes the destination's
+// registered handler; the network never reorders equal-latency messages
+// (the event queue is FIFO at equal timestamps), and all jitter comes
+// from a seeded Rng so runs are reproducible.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "net/message.hpp"
+#include "sim/simulator.hpp"
+
+namespace penelope::net {
+
+struct LatencyModel {
+  /// Fixed one-way latency component.
+  common::Ticks base = common::from_millis(0.05);  // 50 us
+  /// Gaussian jitter stddev added to base (truncated at >= 1 us total).
+  common::Ticks jitter_stddev = common::from_millis(0.01);
+};
+
+struct NetworkConfig {
+  LatencyModel latency;
+  /// Probability any message is silently lost in the fabric.
+  double loss_probability = 0.0;
+  std::uint64_t seed = 1;
+};
+
+struct NetworkStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_loss = 0;        ///< random fabric loss
+  std::uint64_t dropped_dead_node = 0;   ///< src or dst failed
+  std::uint64_t dropped_partition = 0;   ///< src/dst in different islands
+  std::uint64_t dropped_no_endpoint = 0; ///< dst never registered
+
+  std::uint64_t dropped_total() const {
+    return dropped_loss + dropped_dead_node + dropped_partition +
+           dropped_no_endpoint;
+  }
+};
+
+class Network {
+ public:
+  using Handler = std::function<void(const Message&)>;
+
+  Network(sim::Simulator& sim, NetworkConfig config);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Register (or replace) the delivery handler for `node`.
+  void register_endpoint(NodeId node, Handler handler);
+
+  /// Remove an endpoint entirely (distinct from failing it: messages to a
+  /// removed endpoint count as dropped_no_endpoint).
+  void remove_endpoint(NodeId node);
+
+  /// Send a payload; returns the assigned message id, or 0 if the message
+  /// was dropped at send time (dead source). Drops at delivery time (dead
+  /// destination, loss, partition) still return a valid id.
+  std::uint64_t send(NodeId src, NodeId dst, std::any payload);
+
+  /// --- fault injection -------------------------------------------------
+
+  /// Mark a node failed: it stops receiving, and sends from it are
+  /// dropped. Delivery events already in flight to it are dropped on
+  /// arrival, matching a crash that loses the NIC.
+  void fail_node(NodeId node);
+  void restore_node(NodeId node);
+  bool node_alive(NodeId node) const;
+
+  /// Split the network into islands; messages crossing island boundaries
+  /// are dropped. Nodes absent from every island communicate freely with
+  /// each other (island -1).
+  void set_partition(const std::vector<std::vector<NodeId>>& islands);
+  void clear_partition();
+
+  /// Observer invoked for every dropped message (loss, dead node,
+  /// partition, missing endpoint) with the message that was lost. The
+  /// cluster layer uses this to account for power stranded in lost
+  /// grant/donation messages.
+  void set_drop_handler(Handler handler) {
+    drop_handler_ = std::move(handler);
+  }
+
+  const NetworkStats& stats() const { return stats_; }
+  sim::Simulator& simulator() { return sim_; }
+
+  /// The sampled one-way latency distribution, exposed for tests.
+  common::Ticks sample_latency();
+
+ private:
+  bool same_island(NodeId a, NodeId b) const;
+  void deliver(Message msg);
+
+  sim::Simulator& sim_;
+  NetworkConfig config_;
+  common::Rng rng_;
+  Handler drop_handler_;
+  std::unordered_map<NodeId, Handler> endpoints_;
+  std::unordered_map<NodeId, bool> failed_;
+  std::unordered_map<NodeId, int> island_of_;
+  bool partitioned_ = false;
+  std::uint64_t next_msg_id_ = 1;
+  NetworkStats stats_;
+};
+
+}  // namespace penelope::net

@@ -1,0 +1,73 @@
+#include "net/serial_server.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace penelope::net {
+
+SerialServer::SerialServer(sim::Simulator& sim, SerialServerConfig config,
+                           Handler handler)
+    : sim_(sim),
+      config_(config),
+      handler_(std::move(handler)),
+      rng_(config.seed) {
+  PEN_CHECK(handler_ != nullptr);
+  PEN_CHECK(config_.service_min >= 0);
+  PEN_CHECK(config_.service_max >= config_.service_min);
+  PEN_CHECK(config_.queue_capacity > 0);
+}
+
+void SerialServer::inbox(const Message& msg) {
+  if (halted_) {
+    if (drop_handler_) drop_handler_(msg);
+    return;
+  }
+  if (queue_.size() >= config_.queue_capacity) {
+    ++stats_.dropped_overflow;
+    if (drop_handler_) drop_handler_(msg);
+    return;
+  }
+  ++stats_.accepted;
+  queue_.push_back(Pending{msg, sim_.now()});
+  stats_.peak_queue_depth =
+      std::max<std::uint64_t>(stats_.peak_queue_depth, queue_.size());
+  maybe_start_service();
+}
+
+void SerialServer::halt() {
+  halted_ = true;
+  if (drop_handler_) {
+    for (const auto& pending : queue_) drop_handler_(pending.msg);
+  }
+  queue_.clear();
+}
+
+void SerialServer::maybe_start_service() {
+  if (busy_ || halted_ || queue_.empty()) return;
+  busy_ = true;
+
+  Pending item = std::move(queue_.front());
+  queue_.pop_front();
+  stats_.total_queue_wait += sim_.now() - item.enqueued_at;
+
+  common::Ticks service =
+      config_.service_min +
+      static_cast<common::Ticks>(rng_.next_below(static_cast<std::uint32_t>(
+          config_.service_max - config_.service_min + 1)));
+  stats_.total_service_time += service;
+
+  // The handler runs when service *completes*; the server is occupied for
+  // the whole interval, which is what creates the queueing backlog.
+  sim_.schedule_after(service, [this, m = std::move(item.msg)]() mutable {
+    busy_ = false;
+    if (!halted_) {
+      ++stats_.processed;
+      handler_(m);
+    }
+    maybe_start_service();
+  });
+}
+
+}  // namespace penelope::net

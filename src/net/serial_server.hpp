@@ -1,0 +1,104 @@
+// Serial-service request queue: the queueing model behind both SLURM's
+// central server and each Penelope power pool.
+//
+// The paper measures SLURM's server processing requests *serially* at
+// 80–100 µs each (§4.5.2) and observes packet drops once the arrival rate
+// overruns it (the knee in Figures 5 and 7). This class reproduces that
+// mechanism: arriving messages wait in a bounded FIFO, a single virtual
+// service loop pops them one at a time, each service occupies the server
+// for a sampled service time, and arrivals that find the queue full are
+// dropped. Queue wait + service time land in the response latency
+// automatically because everything happens in virtual time.
+//
+// Penelope's pools use the same model with a much smaller service time —
+// a pool lookup is a local cache probe, not a global allocation decision —
+// and, crucially, load is spread over N pools instead of one server.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "net/message.hpp"
+#include "sim/simulator.hpp"
+
+namespace penelope::net {
+
+struct SerialServerConfig {
+  /// Service time is sampled uniformly from [service_min, service_max].
+  common::Ticks service_min = 80;   // 80 us, paper's measured floor
+  common::Ticks service_max = 100;  // 100 us, paper's measured ceiling
+  /// Arrivals beyond this backlog are dropped (packet drop).
+  std::size_t queue_capacity = 1024;
+  std::uint64_t seed = 7;
+};
+
+struct SerialServerStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t processed = 0;
+  std::uint64_t dropped_overflow = 0;
+  std::uint64_t peak_queue_depth = 0;
+  /// Total virtual time requests spent waiting in the queue (not being
+  /// served), for mean-wait reporting.
+  common::Ticks total_queue_wait = 0;
+  /// Total service time spent processing.
+  common::Ticks total_service_time = 0;
+
+  double mean_queue_wait_us() const {
+    return processed ? static_cast<double>(total_queue_wait) /
+                           static_cast<double>(processed)
+                     : 0.0;
+  }
+};
+
+/// Wraps a message handler in the serial-service discipline. Register
+/// `inbox()` as the node's network endpoint.
+class SerialServer {
+ public:
+  using Handler = std::function<void(const Message&)>;
+
+  SerialServer(sim::Simulator& sim, SerialServerConfig config,
+               Handler handler);
+
+  SerialServer(const SerialServer&) = delete;
+  SerialServer& operator=(const SerialServer&) = delete;
+
+  /// Endpoint adapter: enqueue a message for serial processing.
+  void inbox(const Message& msg);
+
+  /// Stop accepting and processing (used when the hosting node fails).
+  /// Queued messages are discarded through the drop handler.
+  void halt();
+  bool halted() const { return halted_; }
+
+  /// Observer for messages dropped by queue overflow or halt(); used by
+  /// the cluster layer to strand the watts carried in lost donations.
+  void set_drop_handler(Handler handler) {
+    drop_handler_ = std::move(handler);
+  }
+
+  std::size_t queue_depth() const { return queue_.size(); }
+  const SerialServerStats& stats() const { return stats_; }
+
+ private:
+  struct Pending {
+    Message msg;
+    common::Ticks enqueued_at;
+  };
+
+  void maybe_start_service();
+
+  sim::Simulator& sim_;
+  SerialServerConfig config_;
+  Handler handler_;
+  Handler drop_handler_;
+  common::Rng rng_;
+  std::deque<Pending> queue_;
+  bool busy_ = false;
+  bool halted_ = false;
+  SerialServerStats stats_;
+};
+
+}  // namespace penelope::net

@@ -1,0 +1,37 @@
+#include "power/performance_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace penelope::power {
+
+PerformanceModel::PerformanceModel(PerformanceModelConfig config)
+    : config_(config) {
+  PEN_CHECK(config_.alpha > 0.0 && config_.alpha <= 1.0);
+  PEN_CHECK(config_.base_fraction >= 0.0 && config_.base_fraction < 1.0);
+}
+
+double PerformanceModel::speed(double delivered_watts,
+                               double demand_watts) const {
+  if (demand_watts <= 0.0) return 1.0;
+  if (delivered_watts >= demand_watts) return 1.0;
+  double base = config_.base_fraction * demand_watts;
+  if (delivered_watts <= base) return 0.0;
+  double effective =
+      (delivered_watts - base) / (demand_watts - base);
+  return std::pow(effective, config_.alpha);
+}
+
+double PerformanceModel::power_for_speed(double speed,
+                                         double demand_watts) const {
+  speed = std::clamp(speed, 0.0, 1.0);
+  if (demand_watts <= 0.0) return 0.0;
+  if (speed >= 1.0) return demand_watts;
+  double base = config_.base_fraction * demand_watts;
+  return base +
+         std::pow(speed, 1.0 / config_.alpha) * (demand_watts - base);
+}
+
+}  // namespace penelope::power

@@ -1,0 +1,53 @@
+// Power → application-performance model.
+//
+// §2.1: "powercaps have a proportional, albeit non-linear relationship to
+// application performance". The standard first-order account: capping
+// forces frequency down, dynamic power scales superlinearly with
+// frequency, so performance is a *concave* function of delivered power —
+// giving a starved node 10 W back buys more speed than taking 10 W from a
+// well-fed node costs. That concavity is what makes power shifting win at
+// all, so it is the property this model must get right.
+//
+// Model: an application phase with power demand d running under delivered
+// power p progresses at
+//     speed(p, d) = 1                         if p >= d
+//                 = ((p - f·d) / ((1-f)·d))^α if f·d < p < d
+//                 = 0                         if p <= f·d
+// where f is the fraction of demand that is "base" power buying no
+// progress (uncore, DRAM refresh, leakage) and α ∈ (0, 1] sets the
+// concavity (α = 1 is linear in the effective band; α ≈ 0.5 matches the
+// frequency-vs-power cube-root folklore closely enough for shape studies).
+#pragma once
+
+namespace penelope::power {
+
+struct PerformanceModelConfig {
+  /// Concavity exponent α in (0, 1].
+  double alpha = 0.5;
+  /// Fraction of demand that is progress-free base power, in [0, 1).
+  double base_fraction = 0.25;
+};
+
+class PerformanceModel {
+ public:
+  PerformanceModel() = default;
+  explicit PerformanceModel(PerformanceModelConfig config);
+
+  /// Progress rate in [0, 1]: fraction of full speed achieved when the
+  /// node draws `delivered_watts` against a phase demanding
+  /// `demand_watts`. Demand <= 0 means an idle phase that progresses at
+  /// full speed regardless of power.
+  double speed(double delivered_watts, double demand_watts) const;
+
+  /// Inverse-ish helper: the delivered power needed to achieve `speed`
+  /// against `demand_watts` (clamped to [0,1]); used by tests and by the
+  /// oscillation ablation to reason about equilibria.
+  double power_for_speed(double speed, double demand_watts) const;
+
+  const PerformanceModelConfig& config() const { return config_; }
+
+ private:
+  PerformanceModelConfig config_;
+};
+
+}  // namespace penelope::power

@@ -1,0 +1,59 @@
+// Abstract power measurement / capping interface.
+//
+// §3.3 of the paper: "Penelope only requires an interface through which
+// power can be read and node-level powercaps can be set. Therefore,
+// Penelope [can] easily be adapted to work with any power capping
+// interface." This is that interface. The deciders and all managers are
+// written against it; behind it sits either the simulated RAPL model
+// (power/simulated_rapl.hpp) or the real Linux intel-rapl powercap
+// backend (power/sysfs_rapl.hpp).
+//
+// Semantics follow RAPL's energy-counter style: read_average_power()
+// returns the mean power dissipated since the *previous* call (or since
+// construction for the first call), which is exactly the P the local
+// decider compares against its cap each period.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace penelope::power {
+
+/// Safe operating range for a node-level powercap, in watts. The decider
+/// enforces this range regardless of what transactions would allow
+/// (§3: "local deciders ... can ensure that nodes do not exceed that safe
+/// range").
+struct SafeRange {
+  double min_watts = 80.0;   // 40 W/socket x 2 sockets
+  double max_watts = 250.0;  // 125 W/socket x 2 sockets
+
+  double clamp(double w) const {
+    return common::clamp_watts(w, min_watts, max_watts);
+  }
+  bool contains(double w) const {
+    return w >= min_watts - common::kWattEpsilon &&
+           w <= max_watts + common::kWattEpsilon;
+  }
+};
+
+class PowerInterface {
+ public:
+  virtual ~PowerInterface() = default;
+
+  /// Set the node-level powercap. Implementations clamp to the safe
+  /// range; the value actually applied is returned by cap().
+  virtual void set_cap(double watts) = 0;
+
+  /// The currently enforced powercap.
+  virtual double cap() const = 0;
+
+  /// Mean power since the previous call to read_average_power() (or
+  /// since construction), at time `now`.
+  virtual double read_average_power(common::Ticks now) = 0;
+
+  /// Instantaneous power estimate at `now` (for metrics/diagnostics).
+  virtual double instantaneous_power(common::Ticks now) = 0;
+
+  virtual const SafeRange& safe_range() const = 0;
+};
+
+}  // namespace penelope::power

@@ -1,0 +1,81 @@
+#include "power/simulated_rapl.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace penelope::power {
+
+SimulatedRapl::SimulatedRapl(SimulatedRaplConfig config)
+    : config_(config), rng_(config.seed) {
+  PEN_CHECK(config_.tau_seconds > 0.0);
+  PEN_CHECK(config_.idle_watts >= 0.0);
+  cap_ = config_.safe_range.clamp(config_.initial_cap_watts);
+  demand_ = std::max(config_.initial_demand_watts, 0.0);
+  power_ = std::min(demand_, cap_);
+  power_ = std::max(power_, config_.idle_watts);
+}
+
+double SimulatedRapl::target_power() const {
+  return std::max(config_.idle_watts, std::min(demand_, cap_));
+}
+
+void SimulatedRapl::advance(common::Ticks now) {
+  PEN_CHECK_MSG(now >= last_, "power model cannot run backwards");
+  if (now == last_) return;
+  double dt = common::to_seconds(now - last_);
+  double target = target_power();
+  double decay = std::exp(-dt / config_.tau_seconds);
+  // Analytic energy of the exponential approach over [last_, now].
+  energy_joules_ += target * dt +
+                    (power_ - target) * config_.tau_seconds * (1.0 - decay);
+  power_ = target + (power_ - target) * decay;
+  last_ = now;
+}
+
+void SimulatedRapl::set_cap(double watts) {
+  // Cap changes take effect from "now" onwards; callers advance the model
+  // implicitly on their next read. We cannot advance here because the
+  // interface has no time parameter — the managers always read power (and
+  // thus advance) before adjusting caps within a control period, so the
+  // trajectory between the read and the cap write is the stale-cap one,
+  // which is also what real RAPL does (the new limit applies from the MSR
+  // write onwards).
+  cap_ = config_.safe_range.clamp(watts);
+}
+
+void SimulatedRapl::set_demand(double watts, common::Ticks now) {
+  advance(now);
+  demand_ = std::max(watts, 0.0);
+}
+
+double SimulatedRapl::read_average_power(common::Ticks now) {
+  advance(now);
+  double interval = common::to_seconds(now - last_read_time_);
+  double avg;
+  if (interval <= 0.0) {
+    avg = power_;  // two reads at the same instant: report instantaneous
+  } else {
+    avg = (energy_joules_ - energy_at_last_read_) / interval;
+  }
+  energy_at_last_read_ = energy_joules_;
+  last_read_time_ = now;
+  if (config_.read_noise_watts > 0.0) {
+    avg += rng_.normal(0.0, config_.read_noise_watts);
+    avg = std::max(avg, 0.0);
+  }
+  return avg;
+}
+
+double SimulatedRapl::instantaneous_power(common::Ticks now) {
+  advance(now);
+  return power_;
+}
+
+double SimulatedRapl::total_energy_joules(common::Ticks now) {
+  advance(now);
+  return energy_joules_;
+}
+
+}  // namespace penelope::power

@@ -1,0 +1,158 @@
+#include "power/sysfs_rapl.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+namespace penelope::power {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::int64_t monotonic_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool read_file_string(const std::string& path, std::string* out) {
+  std::ifstream f(path);
+  if (!f) return false;
+  std::getline(f, *out);
+  return true;
+}
+
+bool read_file_double(const std::string& path, double* out) {
+  std::string s;
+  if (!read_file_string(path, &s)) return false;
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end != s.c_str();
+}
+
+bool write_file_u64(const std::string& path, std::uint64_t value) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << value;
+  return static_cast<bool>(f);
+}
+
+}  // namespace
+
+SysfsRapl::SysfsRapl(SysfsRaplConfig config) : config_(std::move(config)) {
+  discover();
+  cap_ = config_.safe_range.max_watts;
+  last_read_us_ = monotonic_us();
+  if (available()) {
+    bool ok = false;
+    for (auto& pkg : packages_) {
+      double e = 0.0;
+      if (read_file_double(pkg.energy_path, &e)) pkg.last_energy_uj = e;
+    }
+    (void)read_total_energy_uj(&ok);
+  }
+}
+
+void SysfsRapl::discover() {
+  std::error_code ec;
+  fs::directory_iterator it(config_.powercap_root, ec);
+  if (ec) {
+    PEN_LOG_INFO("sysfs-rapl: %s not accessible (%s)",
+                 config_.powercap_root.c_str(), ec.message().c_str());
+    return;
+  }
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    // Package domains are intel-rapl:<n> (subdomains have a second colon
+    // segment, e.g. intel-rapl:0:0 for core — we want packages only).
+    if (name.rfind("intel-rapl:", 0) != 0) continue;
+    if (name.find(':', std::string("intel-rapl:").size()) !=
+        std::string::npos)
+      continue;
+
+    Package pkg;
+    pkg.energy_path = (entry.path() / "energy_uj").string();
+    pkg.limit_path =
+        (entry.path() / "constraint_0_power_limit_uw").string();
+    double e = 0.0;
+    if (!read_file_double(pkg.energy_path, &e)) continue;
+    pkg.last_energy_uj = e;
+    double max_e = 0.0;
+    if (read_file_double((entry.path() / "max_energy_range_uj").string(),
+                         &max_e))
+      pkg.max_energy_uj = max_e;
+    packages_.push_back(std::move(pkg));
+  }
+  // Probe writability by re-writing the current limit value.
+  cap_writable_ = !packages_.empty();
+  for (const auto& pkg : packages_) {
+    double cur = 0.0;
+    if (!read_file_double(pkg.limit_path, &cur) ||
+        !write_file_u64(pkg.limit_path,
+                        static_cast<std::uint64_t>(cur))) {
+      cap_writable_ = false;
+      break;
+    }
+  }
+  PEN_LOG_INFO("sysfs-rapl: found %zu package domain(s), caps %s",
+               packages_.size(),
+               cap_writable_ ? "writable" : "read-only");
+}
+
+void SysfsRapl::set_cap(double watts) {
+  cap_ = config_.safe_range.clamp(watts);
+  if (!cap_writable_) return;
+  double per_pkg_uw = cap_ * 1e6 / static_cast<double>(packages_.size());
+  for (const auto& pkg : packages_) {
+    if (!write_file_u64(pkg.limit_path,
+                        static_cast<std::uint64_t>(per_pkg_uw))) {
+      PEN_LOG_WARN("sysfs-rapl: failed writing %s",
+                   pkg.limit_path.c_str());
+    }
+  }
+}
+
+double SysfsRapl::read_total_energy_uj(bool* ok) {
+  *ok = true;
+  double total_delta = 0.0;
+  for (auto& pkg : packages_) {
+    double e = 0.0;
+    if (!read_file_double(pkg.energy_path, &e)) {
+      *ok = false;
+      continue;
+    }
+    double delta = e - pkg.last_energy_uj;
+    if (delta < 0.0 && pkg.max_energy_uj > 0.0)
+      delta += pkg.max_energy_uj;  // counter wrapped
+    pkg.last_energy_uj = e;
+    total_delta += delta;
+  }
+  return total_delta;
+}
+
+double SysfsRapl::read_average_power(common::Ticks /*now*/) {
+  if (!available()) return 0.0;
+  std::int64_t now_us = monotonic_us();
+  double interval_s = static_cast<double>(now_us - last_read_us_) / 1e6;
+  bool ok = false;
+  double delta_uj = read_total_energy_uj(&ok);
+  last_read_us_ = now_us;
+  if (!ok || interval_s <= 0.0) return last_interval_power_;
+  last_interval_power_ = delta_uj / 1e6 / interval_s;
+  return last_interval_power_;
+}
+
+double SysfsRapl::instantaneous_power(common::Ticks now) {
+  // Best effort on real hardware: the most recent interval average.
+  if (last_interval_power_ == 0.0) return read_average_power(now);
+  return last_interval_power_;
+}
+
+}  // namespace penelope::power

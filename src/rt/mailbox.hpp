@@ -1,0 +1,99 @@
+// Bounded multi-producer / multi-consumer mailbox for the real-thread
+// runtime. Condition-variable waits are always predicated (Core
+// Guidelines CP.42), close() wakes every waiter, and the queue is bounded
+// so a stalled consumer applies backpressure instead of growing without
+// limit.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace penelope::rt {
+
+template <typename T>
+class Mailbox {
+ public:
+  explicit Mailbox(std::size_t capacity = 1024) : capacity_(capacity) {}
+
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  /// Blocking push; returns false if the mailbox closed while waiting.
+  bool push(T value) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || queue_.size() < capacity_; });
+    if (closed_) return false;
+    queue_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; returns false when full or closed. Used where
+  /// drop-on-overload is the intended semantics (mirrors the simulated
+  /// SerialServer's bounded inbox).
+  bool try_push(T value) {
+    std::scoped_lock lock(mutex_);
+    if (closed_ || queue_.size() >= capacity_) return false;
+    queue_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking pop; empty optional means the mailbox closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+    return take_locked();
+  }
+
+  /// Pop with timeout; empty optional on timeout or closed-and-drained.
+  template <typename Rep, typename Period>
+  std::optional<T> pop_for(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait_for(lock, timeout,
+                        [this] { return closed_ || !queue_.empty(); });
+    return take_locked();
+  }
+
+  /// Close the mailbox: pending items remain poppable, pushes fail, and
+  /// all waiters wake.
+  void close() {
+    std::scoped_lock lock(mutex_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::scoped_lock lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::scoped_lock lock(mutex_);
+    return queue_.size();
+  }
+
+ private:
+  std::optional<T> take_locked() {
+    if (queue_.empty()) return std::nullopt;
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    not_full_.notify_one();
+    return value;
+  }
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;  // guards queue_ and closed_
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace penelope::rt

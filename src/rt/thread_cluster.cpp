@@ -1,0 +1,243 @@
+#include "rt/thread_cluster.hpp"
+
+#include <chrono>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+#include "power/simulated_rapl.hpp"
+
+namespace penelope::rt {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point process_epoch() {
+  static const Clock::time_point epoch = Clock::now();
+  return epoch;
+}
+
+Clock::time_point to_time_point(common::Ticks ticks) {
+  return process_epoch() + std::chrono::microseconds(ticks);
+}
+
+}  // namespace
+
+common::Ticks wall_ticks() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             Clock::now() - process_epoch())
+      .count();
+}
+
+/// A request in flight between threads: the pool replies directly into
+/// the requester's mailbox.
+struct PoolRequestMsg {
+  core::PowerRequest request;
+  Mailbox<core::PowerGrant>* reply = nullptr;
+};
+
+struct ThreadCluster::Node {
+  Node(const ThreadClusterConfig& config, int node_id,
+       std::vector<DemandPhase> demand_script)
+      : id(node_id),
+        rapl([&] {
+          power::SimulatedRaplConfig rc;
+          rc.safe_range = config.safe_range;
+          rc.tau_seconds = config.rapl_tau_seconds;
+          rc.idle_watts = config.idle_watts;
+          rc.initial_cap_watts = config.initial_cap_watts;
+          rc.initial_demand_watts = demand_script.empty()
+                                        ? config.idle_watts
+                                        : demand_script.front().demand_watts;
+          rc.seed = config.seed ^ (0x100001b3ULL * (node_id + 1));
+          return rc;
+        }()),
+        pool(config.pool),
+        decider(core::DeciderConfig{config.initial_cap_watts,
+                                    config.epsilon_watts,
+                                    config.safe_range},
+                pool),
+        script(std::move(demand_script)),
+        rng(config.seed ^ (0xc6a4a793ULL * (node_id + 1))) {}
+
+  int id;
+  power::SimulatedRapl rapl;
+  core::PowerPool pool;
+  core::Decider decider;
+  Mailbox<PoolRequestMsg> inbox;
+  Mailbox<core::PowerGrant> reply_box;
+  std::vector<DemandPhase> script;
+  common::Rng rng;
+  std::atomic<std::uint64_t> grants_received{0};
+  std::atomic<std::uint64_t> timeouts{0};
+  std::jthread pool_thread;
+  std::jthread decider_thread;
+};
+
+ThreadCluster::ThreadCluster(
+    ThreadClusterConfig config,
+    std::vector<std::vector<DemandPhase>> demand_scripts)
+    : config_(config) {
+  PEN_CHECK(config_.n_nodes >= 2);
+  PEN_CHECK_MSG(
+      demand_scripts.size() == static_cast<std::size_t>(config_.n_nodes),
+      "need one demand script per node");
+  for (int i = 0; i < config_.n_nodes; ++i) {
+    nodes_.push_back(std::make_unique<Node>(
+        config_, i, std::move(demand_scripts[static_cast<std::size_t>(i)])));
+  }
+}
+
+ThreadCluster::~ThreadCluster() = default;
+
+void ThreadCluster::pool_loop(Node& node, std::stop_token stop) {
+  while (!stop.stop_requested()) {
+    std::optional<PoolRequestMsg> msg = node.inbox.pop();
+    if (!msg) break;  // mailbox closed: shutdown
+    double granted = node.pool.serve(msg->request);
+    core::PowerGrant grant{granted, msg->request.txn_id};
+    if (!msg->reply->try_push(grant) && granted > 0.0) {
+      // Requester is gone (shutdown) or its box is full: return the
+      // watts rather than strand them in a lost message.
+      node.pool.deposit(granted);
+    }
+  }
+}
+
+void ThreadCluster::decider_loop(Node& node, std::stop_token stop) {
+  const common::Ticks start = wall_ticks();
+  std::size_t phase_idx = 0;
+  common::Ticks phase_start = start;
+  if (!node.script.empty()) {
+    node.rapl.set_demand(node.script.front().demand_watts, start);
+  }
+  node.rapl.set_cap(node.decider.cap());
+
+  common::Ticks next_tick = start + config_.period;
+  while (!stop.stop_requested()) {
+    std::this_thread::sleep_until(to_time_point(next_tick));
+    if (stop.stop_requested()) break;
+    common::Ticks now = wall_ticks();
+
+    // Walk the demand script forward; the final phase persists.
+    while (phase_idx + 1 < node.script.size() &&
+           now - phase_start >= node.script[phase_idx].duration) {
+      phase_start += node.script[phase_idx].duration;
+      ++phase_idx;
+      node.rapl.set_demand(node.script[phase_idx].demand_watts, now);
+    }
+
+    double avg_power = node.rapl.read_average_power(now);
+    core::StepOutcome outcome = node.decider.begin_step(avg_power);
+    node.rapl.set_cap(node.decider.cap());
+
+    if (outcome.kind == core::StepKind::kNeedsPeer) {
+      auto peer_idx = static_cast<int>(node.rng.next_below(
+          static_cast<std::uint32_t>(config_.n_nodes - 1)));
+      if (peer_idx >= node.id) ++peer_idx;
+      Node& peer = *nodes_[static_cast<std::size_t>(peer_idx)];
+
+      bool matched = false;
+      if (peer.inbox.try_push(
+              PoolRequestMsg{outcome.request, &node.reply_box})) {
+        auto deadline =
+            Clock::now() +
+            std::chrono::microseconds(config_.request_timeout);
+        while (!matched) {
+          auto remaining = deadline - Clock::now();
+          if (remaining <= std::chrono::microseconds(0)) break;
+          std::optional<core::PowerGrant> grant =
+              node.reply_box.pop_for(remaining);
+          if (!grant) break;
+          if (grant->txn_id == outcome.request.txn_id) {
+            node.decider.complete_peer_grant(grant->watts);
+            node.grants_received.fetch_add(1, std::memory_order_relaxed);
+            matched = true;
+          } else if (grant->watts > 0.0) {
+            // A stale grant from an earlier timed-out round: bank it.
+            node.pool.deposit(grant->watts);
+          }
+        }
+      }
+      if (!matched) {
+        node.decider.complete_peer_grant(0.0);
+        node.timeouts.fetch_add(1, std::memory_order_relaxed);
+      }
+      node.rapl.set_cap(node.decider.cap());
+    }
+
+    node.decider.finish_step();
+    node.rapl.set_cap(node.decider.cap());
+    next_tick += config_.period;
+  }
+}
+
+void ThreadCluster::run_for(common::Ticks duration) {
+  PEN_CHECK(!running_.exchange(true));
+  for (auto& node : nodes_) {
+    Node* n = node.get();
+    node->pool_thread = std::jthread(
+        [this, n](std::stop_token st) { pool_loop(*n, st); });
+    node->decider_thread = std::jthread(
+        [this, n](std::stop_token st) { decider_loop(*n, st); });
+  }
+
+  std::this_thread::sleep_for(std::chrono::microseconds(duration));
+
+  for (auto& node : nodes_) {
+    node->decider_thread.request_stop();
+    node->pool_thread.request_stop();
+  }
+  // Closing mailboxes wakes blocked pops; jthread destructors would join
+  // anyway, but joining deciders before pools avoids deciders blocking on
+  // replies from already-stopped pools longer than one timeout.
+  for (auto& node : nodes_) {
+    node->reply_box.close();
+  }
+  for (auto& node : nodes_) {
+    if (node->decider_thread.joinable()) node->decider_thread.join();
+  }
+  for (auto& node : nodes_) {
+    node->inbox.close();
+    if (node->pool_thread.joinable()) node->pool_thread.join();
+  }
+
+  // Drain reply boxes: grants that raced shutdown carry real watts.
+  for (auto& node : nodes_) {
+    while (auto grant = node->reply_box.pop_for(std::chrono::seconds(0))) {
+      if (grant->watts > 0.0) node->pool.deposit(grant->watts);
+    }
+  }
+  running_ = false;
+}
+
+std::vector<ThreadNodeReport> ThreadCluster::reports() const {
+  std::vector<ThreadNodeReport> reports;
+  for (const auto& node : nodes_) {
+    ThreadNodeReport report;
+    report.id = node->id;
+    report.final_cap = node->decider.cap();
+    report.final_pool = node->pool.available();
+    report.decider = node->decider.stats();
+    report.pool = node->pool.stats();
+    report.grants_received =
+        node->grants_received.load(std::memory_order_relaxed);
+    report.timeouts = node->timeouts.load(std::memory_order_relaxed);
+    reports.push_back(report);
+  }
+  return reports;
+}
+
+double ThreadCluster::total_live_watts() const {
+  double total = 0.0;
+  for (const auto& node : nodes_) {
+    total += node->decider.cap() + node->pool.available();
+  }
+  return total;
+}
+
+double ThreadCluster::budget() const {
+  return config_.initial_cap_watts * config_.n_nodes;
+}
+
+}  // namespace penelope::rt

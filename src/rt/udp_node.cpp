@@ -1,0 +1,323 @@
+#include "rt/udp_node.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+#include "net/codec.hpp"
+
+namespace penelope::rt {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+}  // namespace
+
+UdpPenelopeNode::UdpPenelopeNode(UdpNodeConfig config,
+                                 std::vector<DemandPhase> demand_script)
+    : config_(config),
+      script_(std::move(demand_script)),
+      rapl_([&] {
+        power::SimulatedRaplConfig rc;
+        rc.safe_range = config.safe_range;
+        rc.tau_seconds = config.rapl_tau_seconds;
+        rc.idle_watts = config.idle_watts;
+        rc.initial_cap_watts = config.initial_cap_watts;
+        rc.initial_demand_watts = script_.empty()
+                                      ? config.idle_watts
+                                      : script_.front().demand_watts;
+        rc.seed = config.seed ^ 0x2545f491ULL;
+        return rc;
+      }()),
+      pool_(config.pool),
+      decider_(core::DeciderConfig{config.initial_cap_watts,
+                                   config.epsilon_watts,
+                                   config.safe_range},
+               pool_),
+      rng_(config.seed ^ (0x9e3779b9ULL * (config.id + 1))) {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) {
+    error_ = std::string("socket: ") + std::strerror(errno);
+    return;
+  }
+  int reuse = 1;
+  (void)::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof reuse);
+  // A receive timeout lets the receiver thread poll its stop token.
+  timeval timeout{};
+  timeout.tv_usec = 20'000;  // 20 ms
+  (void)::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout,
+                     sizeof timeout);
+
+  sockaddr_in addr = loopback_addr(config_.port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    error_ = std::string("bind: ") + std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    return;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    bound_port_ = ntohs(bound.sin_port);
+  }
+}
+
+UdpPenelopeNode::~UdpPenelopeNode() {
+  stop_decider();
+  stop_receiver();
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void UdpPenelopeNode::set_peers(std::vector<UdpPeer> peers) {
+  for (const auto& peer : peers) {
+    PEN_CHECK_MSG(peer.id != config_.id, "a node cannot peer with itself");
+  }
+  peers_ = std::move(peers);
+}
+
+void UdpPenelopeNode::start() {
+  PEN_CHECK(ok());
+  PEN_CHECK_MSG(!peers_.empty(), "set_peers before start");
+  receiver_thread_ =
+      std::jthread([this](std::stop_token st) { receiver_loop(st); });
+  decider_thread_ =
+      std::jthread([this](std::stop_token st) { decider_loop(st); });
+}
+
+void UdpPenelopeNode::stop_decider() {
+  if (decider_thread_.joinable()) {
+    decider_thread_.request_stop();
+    grant_box_.close();
+    decider_thread_.join();
+  }
+}
+
+void UdpPenelopeNode::stop_receiver() {
+  if (receiver_thread_.joinable()) {
+    receiver_thread_.request_stop();
+    receiver_thread_.join();
+  }
+}
+
+bool UdpPenelopeNode::send_to_port(
+    std::uint16_t port, const std::vector<std::uint8_t>& bytes) {
+  sockaddr_in addr = loopback_addr(port);
+  ssize_t sent =
+      ::sendto(fd_, bytes.data(), bytes.size(), 0,
+               reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  return sent == static_cast<ssize_t>(bytes.size());
+}
+
+void UdpPenelopeNode::receiver_loop(std::stop_token stop) {
+  std::uint8_t buffer[256];
+  while (!stop.stop_requested()) {
+    sockaddr_in from{};
+    socklen_t from_len = sizeof from;
+    ssize_t received =
+        ::recvfrom(fd_, buffer, sizeof buffer, 0,
+                   reinterpret_cast<sockaddr*>(&from), &from_len);
+    if (received < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+        continue;  // timeout: re-check the stop token
+      }
+      PEN_LOG_WARN("udp node %d: recvfrom: %s", config_.id,
+                   std::strerror(errno));
+      continue;
+    }
+    packets_received_.fetch_add(1, std::memory_order_relaxed);
+
+    auto payload =
+        net::decode(buffer, static_cast<std::size_t>(received));
+    if (!payload) {
+      decode_failures_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+
+    if (const auto* request = std::get_if<core::PowerRequest>(&*payload)) {
+      double granted = pool_.serve(*request);
+      core::PowerGrant grant{granted, request->txn_id};
+      auto bytes = net::encode(net::WirePayload{grant});
+      if (!send_to_port(ntohs(from.sin_port), bytes) && granted > 0.0) {
+        // Could not answer: the watts must not vanish.
+        pool_.deposit(granted);
+      }
+    } else if (const auto* grant =
+                   std::get_if<core::PowerGrant>(&*payload)) {
+      if (!grant_box_.try_push(*grant) && grant->watts > 0.0) {
+        // Decider gone or box full: bank the power locally.
+        pool_.deposit(grant->watts);
+      }
+    } else {
+      decode_failures_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void UdpPenelopeNode::decider_loop(std::stop_token stop) {
+  const common::Ticks start = wall_ticks();
+  std::size_t phase_idx = 0;
+  common::Ticks phase_start = start;
+  if (!script_.empty()) {
+    rapl_.set_demand(script_.front().demand_watts, start);
+  }
+  rapl_.set_cap(decider_.cap());
+
+  common::Ticks next_tick = start + config_.period;
+  while (!stop.stop_requested()) {
+    std::this_thread::sleep_until(Clock::now() +
+                                  std::chrono::microseconds(
+                                      next_tick - wall_ticks()));
+    if (stop.stop_requested()) break;
+    common::Ticks now = wall_ticks();
+
+    while (phase_idx + 1 < script_.size() &&
+           now - phase_start >= script_[phase_idx].duration) {
+      phase_start += script_[phase_idx].duration;
+      ++phase_idx;
+      rapl_.set_demand(script_[phase_idx].demand_watts, now);
+    }
+
+    double avg_power = rapl_.read_average_power(now);
+    core::StepOutcome outcome = decider_.begin_step(avg_power);
+    rapl_.set_cap(decider_.cap());
+
+    if (outcome.kind == core::StepKind::kNeedsPeer) {
+      const UdpPeer& peer = peers_[rng_.next_below(
+          static_cast<std::uint32_t>(peers_.size()))];
+      auto bytes = net::encode(net::WirePayload{outcome.request});
+      bool matched = false;
+      if (send_to_port(peer.port, bytes)) {
+        auto deadline = Clock::now() + std::chrono::microseconds(
+                                           config_.request_timeout);
+        while (!matched) {
+          auto remaining = deadline - Clock::now();
+          if (remaining <= std::chrono::microseconds(0)) break;
+          std::optional<core::PowerGrant> grant =
+              grant_box_.pop_for(remaining);
+          if (!grant) break;
+          if (grant->txn_id == outcome.request.txn_id) {
+            decider_.complete_peer_grant(grant->watts);
+            grants_received_.fetch_add(1, std::memory_order_relaxed);
+            matched = true;
+          } else if (grant->watts > 0.0) {
+            pool_.deposit(grant->watts);  // stale round: bank it
+          }
+        }
+      }
+      if (!matched) {
+        decider_.complete_peer_grant(0.0);
+        timeouts_.fetch_add(1, std::memory_order_relaxed);
+      }
+      rapl_.set_cap(decider_.cap());
+    }
+
+    decider_.finish_step();
+    rapl_.set_cap(decider_.cap());
+    next_tick += config_.period;
+  }
+
+  // Drain any grants still queued for us into the pool so shutdown
+  // conserves power.
+  while (auto grant = grant_box_.pop_for(std::chrono::seconds(0))) {
+    if (grant->watts > 0.0) pool_.deposit(grant->watts);
+  }
+}
+
+UdpNodeReport UdpPenelopeNode::report() const {
+  UdpNodeReport report;
+  report.id = config_.id;
+  report.final_cap = decider_.cap();
+  report.final_pool = pool_.available();
+  report.grants_received =
+      grants_received_.load(std::memory_order_relaxed);
+  report.timeouts = timeouts_.load(std::memory_order_relaxed);
+  report.packets_received =
+      packets_received_.load(std::memory_order_relaxed);
+  report.decode_failures =
+      decode_failures_.load(std::memory_order_relaxed);
+  report.decider = decider_.stats();
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// UdpCluster
+
+UdpCluster::UdpCluster(int n_nodes, const UdpNodeConfig& base_config,
+                       std::vector<std::vector<DemandPhase>> scripts)
+    : initial_cap_(base_config.initial_cap_watts) {
+  PEN_CHECK(n_nodes >= 2);
+  PEN_CHECK(scripts.size() == static_cast<std::size_t>(n_nodes));
+  for (int i = 0; i < n_nodes; ++i) {
+    UdpNodeConfig config = base_config;
+    config.id = i;
+    config.port = 0;  // kernel-assigned
+    config.seed = base_config.seed + static_cast<std::uint64_t>(i);
+    nodes_.push_back(std::make_unique<UdpPenelopeNode>(
+        config, std::move(scripts[static_cast<std::size_t>(i)])));
+  }
+  // Exchange the kernel-assigned ports.
+  std::vector<UdpPeer> all;
+  for (const auto& node : nodes_) {
+    all.push_back(UdpPeer{node->id(), node->port()});
+  }
+  for (auto& node : nodes_) {
+    std::vector<UdpPeer> peers;
+    for (const auto& peer : all) {
+      if (peer.id != node->id()) peers.push_back(peer);
+    }
+    node->set_peers(std::move(peers));
+  }
+}
+
+bool UdpCluster::ok() const {
+  for (const auto& node : nodes_) {
+    if (!node->ok()) return false;
+  }
+  return true;
+}
+
+void UdpCluster::run_for(common::Ticks duration) {
+  for (auto& node : nodes_) node->start();
+  std::this_thread::sleep_for(std::chrono::microseconds(duration));
+  // Two-phase shutdown: deciders stop issuing requests, receivers keep
+  // answering/banking for a grace window so in-flight grants land, then
+  // everything stops.
+  for (auto& node : nodes_) node->stop_decider();
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  for (auto& node : nodes_) node->stop_receiver();
+}
+
+std::vector<UdpNodeReport> UdpCluster::reports() const {
+  std::vector<UdpNodeReport> reports;
+  for (const auto& node : nodes_) reports.push_back(node->report());
+  return reports;
+}
+
+double UdpCluster::total_live_watts() const {
+  double total = 0.0;
+  for (const auto& node : nodes_) {
+    total += node->cap() + node->pool_watts();
+  }
+  return total;
+}
+
+double UdpCluster::budget() const {
+  return initial_cap_ * static_cast<double>(nodes_.size());
+}
+
+}  // namespace penelope::rt

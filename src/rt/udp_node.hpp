@@ -1,0 +1,154 @@
+// Penelope over real UDP sockets.
+//
+// The discrete-event cluster and the in-process ThreadCluster prove the
+// protocol; this driver proves the *deployment path*: each node owns a
+// UDP socket (loopback in tests, any interface in a real cluster), the
+// wire format is net/codec.hpp, requests go to a random peer's
+// (address, port), and grants come back to the requester's socket. The
+// decider/pool logic is the same core/ code the other two drivers use —
+// §3.3's claim that Penelope only needs a power interface and a message
+// channel, made concrete.
+//
+// Thread structure per node:
+//   * receiver thread — blocking recvfrom (with a short timeout so stop
+//     requests are honoured); decodes packets; PowerRequests are served
+//     against the pool and answered inline; PowerGrants are routed to
+//     the decider thread through a mailbox.
+//   * decider thread — wall-clock periodic control loop, identical in
+//     shape to rt::ThreadCluster's.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "core/decider.hpp"
+#include "core/pool.hpp"
+#include "power/simulated_rapl.hpp"
+#include "rt/mailbox.hpp"
+#include "rt/thread_cluster.hpp"
+
+namespace penelope::rt {
+
+struct UdpNodeConfig {
+  int id = 0;
+  /// Port to bind on 127.0.0.1; 0 lets the kernel pick (read it back
+  /// via port()).
+  std::uint16_t port = 0;
+  double initial_cap_watts = 120.0;
+  double epsilon_watts = 5.0;
+  common::Ticks period = common::from_millis(20);
+  common::Ticks request_timeout = common::from_millis(20);
+  core::PoolConfig pool;
+  power::SafeRange safe_range{.min_watts = 40.0, .max_watts = 250.0};
+  double idle_watts = 40.0;
+  double rapl_tau_seconds = 0.02;
+  std::uint64_t seed = 42;
+};
+
+struct UdpPeer {
+  int id = 0;
+  std::uint16_t port = 0;  ///< on 127.0.0.1
+};
+
+struct UdpNodeReport {
+  int id = 0;
+  double final_cap = 0.0;
+  double final_pool = 0.0;
+  std::uint64_t grants_received = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t packets_received = 0;
+  std::uint64_t decode_failures = 0;
+  core::DeciderStats decider;
+};
+
+class UdpPenelopeNode {
+ public:
+  /// Binds the socket immediately; throws nothing — check ok().
+  UdpPenelopeNode(UdpNodeConfig config,
+                  std::vector<DemandPhase> demand_script);
+  ~UdpPenelopeNode();
+
+  UdpPenelopeNode(const UdpPenelopeNode&) = delete;
+  UdpPenelopeNode& operator=(const UdpPenelopeNode&) = delete;
+
+  /// False if the socket could not be created/bound (report via
+  /// error()).
+  bool ok() const { return fd_ >= 0; }
+  const std::string& error() const { return error_; }
+
+  /// The actually bound port (after kernel assignment for port 0).
+  std::uint16_t port() const { return bound_port_; }
+  int id() const { return config_.id; }
+
+  /// Must be called before start(); peers may not include this node.
+  void set_peers(std::vector<UdpPeer> peers);
+
+  /// Launch receiver + decider threads.
+  void start();
+
+  /// Stop the decider (no new requests); the receiver keeps banking
+  /// late grants until stop_receiver().
+  void stop_decider();
+  void stop_receiver();
+
+  UdpNodeReport report() const;
+  double cap() const { return decider_.cap(); }
+  double pool_watts() const { return pool_.available(); }
+
+ private:
+  void receiver_loop(std::stop_token stop);
+  void decider_loop(std::stop_token stop);
+  bool send_to_port(std::uint16_t port,
+                    const std::vector<std::uint8_t>& bytes);
+
+  UdpNodeConfig config_;
+  std::vector<DemandPhase> script_;
+  std::vector<UdpPeer> peers_;
+  int fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  std::string error_;
+
+  power::SimulatedRapl rapl_;
+  core::PowerPool pool_;
+  core::Decider decider_;
+  Mailbox<core::PowerGrant> grant_box_;
+  common::Rng rng_;
+
+  std::atomic<std::uint64_t> grants_received_{0};
+  std::atomic<std::uint64_t> timeouts_{0};
+  std::atomic<std::uint64_t> packets_received_{0};
+  std::atomic<std::uint64_t> decode_failures_{0};
+
+  std::jthread receiver_thread_;
+  std::jthread decider_thread_;
+};
+
+/// Convenience harness: N loopback nodes wired together, run for a wall
+/// duration with the usual donor/hungry demand split semantics.
+class UdpCluster {
+ public:
+  UdpCluster(int n_nodes, const UdpNodeConfig& base_config,
+             std::vector<std::vector<DemandPhase>> demand_scripts);
+
+  bool ok() const;
+
+  /// Start everything, sleep `duration`, stop deciders, give late
+  /// grants a grace window, stop receivers.
+  void run_for(common::Ticks duration);
+
+  std::vector<UdpNodeReport> reports() const;
+  double total_live_watts() const;
+  double budget() const;
+
+ private:
+  double initial_cap_;
+  std::vector<std::unique_ptr<UdpPenelopeNode>> nodes_;
+};
+
+}  // namespace penelope::rt

@@ -1,0 +1,110 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace penelope::sim {
+
+EventId Simulator::schedule_at(Ticks at, std::function<void()> fn) {
+  PEN_CHECK_MSG(at >= now_, "cannot schedule into the past");
+  PEN_CHECK(fn != nullptr);
+  EventId id = next_id_++;
+  queue_.push(Event{at, next_seq_++, id, std::move(fn)});
+  return id;
+}
+
+EventId Simulator::schedule_after(Ticks delay, std::function<void()> fn) {
+  PEN_CHECK(delay >= 0);
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+void Simulator::cancel(EventId id) {
+  if (id != kInvalidEventId) cancelled_.insert(id);
+}
+
+bool Simulator::pop_and_run_next() {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; the event is copied out by value. The
+    // std::function copy is cheap relative to event work and keeps the
+    // queue's invariants out of the callback's reach.
+    Event ev = queue_.top();
+    queue_.pop();
+    auto it = cancelled_.find(ev.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    PEN_DCHECK(ev.at >= now_);
+    now_ = ev.at;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!stopped_ && pop_and_run_next()) {
+  }
+}
+
+void Simulator::run_until(Ticks deadline) {
+  PEN_CHECK(deadline >= now_);
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty()) {
+    // Skip cancelled heads without advancing time.
+    Event head = queue_.top();
+    if (cancelled_.count(head.id)) {
+      queue_.pop();
+      cancelled_.erase(head.id);
+      continue;
+    }
+    if (head.at > deadline) break;
+    pop_and_run_next();
+  }
+  if (!stopped_ && now_ < deadline) now_ = deadline;
+}
+
+std::size_t Simulator::run_steps(std::size_t n) {
+  stopped_ = false;
+  std::size_t done = 0;
+  while (done < n && !stopped_ && pop_and_run_next()) ++done;
+  return done;
+}
+
+PeriodicTask::PeriodicTask(Simulator& sim, Ticks first_at, Ticks period,
+                           std::function<void(Ticks)> fn)
+    : sim_(sim), period_(period), fn_(std::move(fn)) {
+  PEN_CHECK(period_ > 0);
+  PEN_CHECK(fn_ != nullptr);
+  arm(first_at);
+}
+
+PeriodicTask::~PeriodicTask() { cancel(); }
+
+void PeriodicTask::cancel() {
+  if (!active_) return;
+  active_ = false;
+  sim_.cancel(pending_);
+  pending_ = kInvalidEventId;
+}
+
+void PeriodicTask::set_period(Ticks period) {
+  PEN_CHECK(period > 0);
+  period_ = period;
+}
+
+void PeriodicTask::arm(Ticks at) {
+  pending_ = sim_.schedule_at(at, [this] {
+    if (!active_) return;
+    Ticks fired_at = sim_.now();
+    fn_(fired_at);
+    // Re-arm after the callback so set_period() calls made inside it
+    // apply to the very next firing, and cancel() inside it sticks.
+    if (active_) arm(fired_at + period_);
+  });
+}
+
+}  // namespace penelope::sim

@@ -1,0 +1,129 @@
+// Deterministic discrete-event simulator.
+//
+// The paper's scale study (§4.5) replaces hardware with curated power
+// profiles and simulated deciders; this engine is the equivalent
+// substrate here. Virtual time is integer microseconds, events at equal
+// timestamps execute in scheduling order (a monotone sequence number
+// breaks ties), and all randomness comes from seeded common::Rng streams,
+// so a run is a pure function of its configuration.
+//
+// The engine is deliberately single-threaded: determinism and the ability
+// to simulate 1000+ nodes on one core matter more here than parallel
+// speedup, and the protocol logic it drives is shared with the rt::
+// runtime which does exercise real concurrency.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace penelope::sim {
+
+using common::Ticks;
+
+/// Handle used to cancel a scheduled event. Cancellation is lazy: the
+/// event stays in the queue but is skipped when popped.
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  Ticks now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `at` (>= now). Returns an id usable
+  /// with cancel().
+  EventId schedule_at(Ticks at, std::function<void()> fn);
+
+  /// Schedule `fn` after a relative delay (>= 0).
+  EventId schedule_after(Ticks delay, std::function<void()> fn);
+
+  /// Cancel a pending event; safe to call with ids that already fired.
+  void cancel(EventId id);
+
+  /// Run until the event queue drains or `stop()` is called.
+  void run();
+
+  /// Run events with time <= deadline; afterwards now() == deadline if
+  /// the queue outlived it (further events remain pending).
+  void run_until(Ticks deadline);
+
+  /// Execute at most `n` events; returns the number actually executed.
+  std::size_t run_steps(std::size_t n);
+
+  /// Request that run()/run_until() return after the current event.
+  void stop() { stopped_ = true; }
+
+  bool stopped() const { return stopped_; }
+
+  /// Pending (non-cancelled, best-effort) event count.
+  std::size_t pending_events() const { return queue_.size(); }
+
+  /// Total events executed since construction.
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    Ticks at;
+    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_and_run_next();
+
+  Ticks now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  EventId next_id_ = 1;
+  bool stopped_ = false;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+/// Repeating task helper: runs `fn` every `period` starting at
+/// `first_at`, until cancelled or the owner is destroyed. The callback
+/// receives the firing time; it may cancel the task or change its
+/// period, both taking effect immediately (re-arming happens after the
+/// callback returns).
+class PeriodicTask {
+ public:
+  PeriodicTask(Simulator& sim, Ticks first_at, Ticks period,
+               std::function<void(Ticks)> fn);
+  ~PeriodicTask();
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void cancel();
+  bool active() const { return active_; }
+  Ticks period() const { return period_; }
+
+  /// Change the period; takes effect at the next firing.
+  void set_period(Ticks period);
+
+ private:
+  void arm(Ticks at);
+
+  Simulator& sim_;
+  Ticks period_;
+  std::function<void(Ticks)> fn_;
+  EventId pending_ = kInvalidEventId;
+  bool active_ = true;
+};
+
+}  // namespace penelope::sim

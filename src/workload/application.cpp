@@ -1,0 +1,69 @@
+#include "workload/application.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace penelope::workload {
+
+Application::Application(WorkloadProfile profile, double idle_demand_watts)
+    : profile_(std::move(profile)),
+      idle_demand_(idle_demand_watts),
+      total_work_(profile_.total_work_seconds()) {
+  PEN_CHECK_MSG(!profile_.phases.empty(), "profile must have phases");
+  PEN_CHECK(total_work_ > 0.0);
+}
+
+double Application::current_demand() const {
+  if (done_) return idle_demand_;
+  return profile_.phases[phase_idx_].demand_watts;
+}
+
+double Application::fraction_complete() const {
+  if (done_) return 1.0;
+  return std::min(1.0, (work_done_ + phase_progress_) / total_work_);
+}
+
+bool Application::advance(common::Ticks from, common::Ticks to,
+                          double delivered_watts,
+                          const power::PerformanceModel& model) {
+  PEN_CHECK(to >= from);
+  if (done_ || to == from) return false;
+
+  bool demand_changed = false;
+  double remaining_s = common::to_seconds(to - from);
+  common::Ticks clock = from;
+
+  while (remaining_s > 0.0 && !done_) {
+    const Phase& phase = profile_.phases[phase_idx_];
+    double speed = model.speed(delivered_watts, phase.demand_watts);
+    double phase_left = phase.work_seconds - phase_progress_;
+    PEN_DCHECK(phase_left > 0.0);
+
+    if (speed <= 0.0) {
+      // Fully starved: no progress for the rest of the interval.
+      break;
+    }
+
+    double time_to_finish_phase = phase_left / speed;
+    if (time_to_finish_phase > remaining_s) {
+      phase_progress_ += speed * remaining_s;
+      break;
+    }
+
+    // Phase boundary inside the interval: cross it exactly.
+    clock += common::from_seconds(time_to_finish_phase);
+    remaining_s -= time_to_finish_phase;
+    work_done_ += phase.work_seconds;
+    phase_progress_ = 0.0;
+    ++phase_idx_;
+    demand_changed = true;
+    if (phase_idx_ >= profile_.phases.size()) {
+      done_ = true;
+      completion_time_ = clock;
+    }
+  }
+  return demand_changed;
+}
+
+}  // namespace penelope::workload

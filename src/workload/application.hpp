@@ -1,0 +1,61 @@
+// Application progress engine: advances a WorkloadProfile through virtual
+// time under whatever power the node actually received, using the concave
+// PerformanceModel. This is where "power shifting improves performance"
+// becomes measurable — a starved phase stretches in wall time, and the
+// experiment runtime (the paper's 1/runtime performance metric) is the
+// completion time of the slowest node.
+#pragma once
+
+#include <optional>
+
+#include "common/units.hpp"
+#include "power/performance_model.hpp"
+#include "workload/npb.hpp"
+
+namespace penelope::workload {
+
+class Application {
+ public:
+  /// `idle_demand_watts` is the node's demand once the workload is done
+  /// (package idle floor).
+  Application(WorkloadProfile profile, double idle_demand_watts);
+
+  /// Demand of the current phase (idle demand once done).
+  double current_demand() const;
+
+  bool done() const { return done_; }
+
+  /// Virtual time the final phase completed; empty until done.
+  std::optional<common::Ticks> completion_time() const {
+    return completion_time_;
+  }
+
+  /// Fraction of total work completed, in [0, 1].
+  double fraction_complete() const;
+
+  std::size_t current_phase_index() const { return phase_idx_; }
+  const WorkloadProfile& profile() const { return profile_; }
+
+  /// Advance from `from` to `to` assuming the node delivered a constant
+  /// `delivered_watts` over the interval. Handles any number of phase
+  /// boundaries inside the interval (progress speed changes as demand
+  /// changes, power is held constant — the caller samples power at its
+  /// control period, which bounds the error). Returns true if the demand
+  /// changed (phase transition or completion), signalling the caller to
+  /// push the new demand into the power model.
+  bool advance(common::Ticks from, common::Ticks to,
+               double delivered_watts,
+               const power::PerformanceModel& model);
+
+ private:
+  WorkloadProfile profile_;
+  double idle_demand_;
+  double total_work_;
+  double work_done_ = 0.0;          ///< across completed phases
+  std::size_t phase_idx_ = 0;
+  double phase_progress_ = 0.0;     ///< work-seconds inside current phase
+  bool done_ = false;
+  std::optional<common::Ticks> completion_time_;
+};
+
+}  // namespace penelope::workload

@@ -1,0 +1,190 @@
+#include "workload/npb.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace penelope::workload {
+
+const std::vector<NpbApp>& all_apps() {
+  static const std::vector<NpbApp> apps = {
+      NpbApp::kBT, NpbApp::kCG, NpbApp::kEP, NpbApp::kFT, NpbApp::kLU,
+      NpbApp::kMG, NpbApp::kSP, NpbApp::kUA, NpbApp::kDC};
+  return apps;
+}
+
+const char* app_name(NpbApp app) {
+  switch (app) {
+    case NpbApp::kBT: return "BT";
+    case NpbApp::kCG: return "CG";
+    case NpbApp::kEP: return "EP";
+    case NpbApp::kFT: return "FT";
+    case NpbApp::kLU: return "LU";
+    case NpbApp::kMG: return "MG";
+    case NpbApp::kSP: return "SP";
+    case NpbApp::kUA: return "UA";
+    case NpbApp::kDC: return "DC";
+  }
+  return "??";
+}
+
+double WorkloadProfile::total_work_seconds() const {
+  double total = 0.0;
+  for (const auto& p : phases) total += p.work_seconds;
+  return total;
+}
+
+double WorkloadProfile::mean_demand_watts() const {
+  double total = total_work_seconds();
+  if (total <= 0.0) return 0.0;
+  double weighted = 0.0;
+  for (const auto& p : phases)
+    weighted += p.demand_watts * p.work_seconds;
+  return weighted / total;
+}
+
+double WorkloadProfile::peak_demand_watts() const {
+  double peak = 0.0;
+  for (const auto& p : phases)
+    peak = std::max(peak, p.demand_watts);
+  return peak;
+}
+
+namespace {
+
+/// Builder that applies duration scale and demand jitter uniformly.
+class ProfileBuilder {
+ public:
+  ProfileBuilder(std::string name, const NpbConfig& config)
+      : config_(config),
+        rng_(config.seed ^ std::hash<std::string>{}(name)) {
+    profile_.name = std::move(name);
+  }
+
+  void phase(const std::string& label, double demand, double work) {
+    PEN_CHECK(work > 0.0);
+    double jittered = demand;
+    if (config_.demand_jitter_frac > 0.0) {
+      jittered *= rng_.uniform(1.0 - config_.demand_jitter_frac,
+                               1.0 + config_.demand_jitter_frac);
+    }
+    profile_.phases.push_back(
+        Phase{label, jittered, work * config_.duration_scale});
+  }
+
+  /// Repeat a [compute, comm] iteration structure `iters` times.
+  void iterations(int iters, double compute_demand, double compute_work,
+                  double comm_demand, double comm_work) {
+    for (int i = 0; i < iters; ++i) {
+      phase("compute", compute_demand, compute_work);
+      phase("comm", comm_demand, comm_work);
+    }
+  }
+
+  common::Rng& rng() { return rng_; }
+
+  WorkloadProfile take() { return std::move(profile_); }
+
+ private:
+  NpbConfig config_;
+  common::Rng rng_;
+  WorkloadProfile profile_;
+};
+
+}  // namespace
+
+WorkloadProfile npb_profile(NpbApp app, const NpbConfig& config) {
+  ProfileBuilder b(app_name(app), config);
+  switch (app) {
+    case NpbApp::kBT:
+      // Block-tridiagonal solver: long compute sweeps with a face
+      // exchange between iterations.
+      b.phase("init", 150.0, 6.0);
+      b.iterations(12, 205.0, 16.0, 150.0, 4.0);
+      break;
+    case NpbApp::kCG:
+      // Conjugate gradient: memory-bound, moderate steady demand with
+      // irregular spikes when the sparse structure hits cache.
+      b.phase("init", 140.0, 4.0);
+      for (int i = 0; i < 10; ++i) {
+        b.phase("spmv", 170.0, 11.0);
+        b.phase("reduce", i % 3 == 0 ? 190.0 : 160.0, 4.0);
+      }
+      break;
+    case NpbApp::kEP:
+      // Embarrassingly parallel: flat, compute-bound, the power hog.
+      b.phase("init", 120.0, 2.0);
+      b.phase("generate", 230.0, 130.0);
+      b.phase("tally", 180.0, 8.0);
+      break;
+    case NpbApp::kFT:
+      // 3-D FFT: compute-heavy FFT passes alternating with all-to-all
+      // transposes that drop the package power sharply.
+      b.phase("init", 160.0, 5.0);
+      b.iterations(9, 215.0, 12.0, 130.0, 6.0);
+      break;
+    case NpbApp::kLU:
+      // LU solver: SSOR sweeps, slightly spikier than BT.
+      b.phase("init", 150.0, 5.0);
+      b.iterations(14, 210.0, 13.0, 160.0, 3.0);
+      break;
+    case NpbApp::kMG:
+      // Multigrid V-cycles: demand tracks grid level — fine grids are
+      // hot, coarse grids are cheap.
+      b.phase("init", 150.0, 4.0);
+      for (int cycle = 0; cycle < 8; ++cycle) {
+        b.phase("fine", 185.0, 8.0);
+        b.phase("mid", 160.0, 5.0);
+        b.phase("coarse", 135.0, 3.0);
+        b.phase("prolong", 175.0, 5.0);
+      }
+      break;
+    case NpbApp::kSP:
+      // Scalar pentadiagonal: like BT with shorter iterations.
+      b.phase("init", 150.0, 5.0);
+      b.iterations(16, 195.0, 10.0, 155.0, 3.0);
+      break;
+    case NpbApp::kUA:
+      // Unstructured adaptive: irregular demand as the mesh refines.
+      b.phase("init", 145.0, 4.0);
+      for (int i = 0; i < 12; ++i) {
+        double demand = 150.0 + 50.0 * std::fabs(std::sin(0.9 * i + 0.4));
+        b.phase("adapt", demand, 9.0);
+        b.phase("solve", 185.0, 6.0);
+      }
+      break;
+    case NpbApp::kDC:
+      // Data cube: I/O-dominated with short compute bursts; the lowest
+      // mean power of the suite, hence the main excess-power donor.
+      b.phase("init", 110.0, 4.0);
+      for (int i = 0; i < 6; ++i) {
+        b.phase("io", 90.0, 14.0);
+        b.phase("aggregate", 180.0, 5.0);
+      }
+      break;
+  }
+  return b.take();
+}
+
+std::vector<std::pair<NpbApp, NpbApp>> unique_pairs() {
+  std::vector<std::pair<NpbApp, NpbApp>> pairs;
+  const auto& apps = all_apps();
+  for (std::size_t i = 0; i < apps.size(); ++i)
+    for (std::size_t j = i + 1; j < apps.size(); ++j)
+      pairs.emplace_back(apps[i], apps[j]);
+  return pairs;
+}
+
+WorkloadProfile completion_burst_profile(NpbApp app, double hot_seconds,
+                                         const NpbConfig& config) {
+  PEN_CHECK(hot_seconds > 0.0);
+  ProfileBuilder b(std::string("burst-") + app_name(app), config);
+  // Run the app's characteristic hot demand, then finish: the node goes
+  // idle and its entire cap headroom becomes system excess.
+  double hot = npb_profile(app, config).peak_demand_watts();
+  b.phase("hot", hot, hot_seconds);
+  return b.take();
+}
+
+}  // namespace penelope::workload

@@ -1,0 +1,80 @@
+// Synthetic power/progress profiles for the NAS Parallel Benchmarks.
+//
+// The paper runs NPB 3.4 class D — the 5 kernels and 3 pseudo-apps plus
+// the UA and DC benchmarks, omitting IS (§4.1: IS doesn't compile past
+// class C and finishes too fast). We have no 48-core Skylake nodes, so
+// each application is represented by what the power manager actually
+// sees of it: a phased power-demand trace plus total work. The phase
+// structures below encode each benchmark's well-known character —
+// EP is flat compute-bound, CG is memory-bound with irregular spikes,
+// FT alternates FFT compute with all-to-all transposes, MG walks the
+// multigrid V-cycle, BT/SP/LU are long solver iterations with
+// communication dips, UA is adaptive and irregular, DC is I/O-dominated.
+// What matters for reproducing the evaluation is exactly this diversity:
+// "applications have varying runtimes with different resource usage and
+// power needs" (§4.1). Demands are node-level watts for a dual-socket
+// Skylake-class node with a 250 W ceiling.
+//
+// All profiles are deterministic functions of (app, config.seed); the
+// per-node jitter the cluster applies on top is seeded separately.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace penelope::workload {
+
+enum class NpbApp { kBT, kCG, kEP, kFT, kLU, kMG, kSP, kUA, kDC };
+
+/// The 9 applications used in the paper's evaluation (IS omitted).
+const std::vector<NpbApp>& all_apps();
+
+const char* app_name(NpbApp app);
+
+/// One workload phase: the node wants `demand_watts`; the phase completes
+/// after `work_seconds` of full-speed progress (wall time stretches when
+/// the node is power-starved).
+struct Phase {
+  std::string label;
+  double demand_watts = 0.0;
+  double work_seconds = 0.0;
+};
+
+struct WorkloadProfile {
+  std::string name;
+  std::vector<Phase> phases;
+
+  /// Total full-speed runtime.
+  double total_work_seconds() const;
+  /// Time-weighted mean demand.
+  double mean_demand_watts() const;
+  /// Maximum phase demand.
+  double peak_demand_watts() const;
+};
+
+struct NpbConfig {
+  /// Multiplies every phase's work; < 1 shrinks experiments for tests.
+  double duration_scale = 1.0;
+  /// Relative demand perturbation (uniform ±frac) applied per phase, so
+  /// two nodes running the "same" app are not bit-identical.
+  double demand_jitter_frac = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// Build the profile for one application.
+WorkloadProfile npb_profile(NpbApp app, const NpbConfig& config = {});
+
+/// All 36 unordered pairs of distinct applications — the paper's "every
+/// unique combination of these 9 applications, yielding 36 pairs".
+std::vector<std::pair<NpbApp, NpbApp>> unique_pairs();
+
+/// Scale-study profile (§4.5): a window around one application's
+/// completion. The app runs a hot phase for `hot_seconds` of work and
+/// then goes idle, releasing a burst of excess power into the system —
+/// "power should move from the now idle nodes to those still running".
+WorkloadProfile completion_burst_profile(NpbApp app,
+                                         double hot_seconds,
+                                         const NpbConfig& config = {});
+
+}  // namespace penelope::workload

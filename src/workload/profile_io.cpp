@@ -1,0 +1,171 @@
+#include "workload/profile_io.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace penelope::workload {
+
+std::string profile_to_csv(const WorkloadProfile& profile) {
+  std::string out = "# name: " + profile.name + "\n";
+  out += "label,demand_watts,work_seconds\n";
+  char line[256];
+  for (const auto& phase : profile.phases) {
+    std::snprintf(line, sizeof line, "%s,%.6f,%.6f\n",
+                  phase.label.c_str(), phase.demand_watts,
+                  phase.work_seconds);
+    out += line;
+  }
+  return out;
+}
+
+std::optional<WorkloadProfile> profile_from_csv(const std::string& csv) {
+  std::stringstream stream(csv);
+  std::string line;
+  WorkloadProfile profile;
+  bool header_seen = false;
+
+  while (std::getline(stream, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# name:", 0) == 0) {
+      std::size_t start = line.find_first_not_of(' ', 7);
+      profile.name = start == std::string::npos ? "" : line.substr(start);
+      continue;
+    }
+    if (!header_seen) {
+      if (line != "label,demand_watts,work_seconds") return std::nullopt;
+      header_seen = true;
+      continue;
+    }
+    auto first_comma = line.find(',');
+    auto second_comma = line.find(',', first_comma + 1);
+    if (first_comma == std::string::npos ||
+        second_comma == std::string::npos)
+      return std::nullopt;
+    Phase phase;
+    phase.label = line.substr(0, first_comma);
+    char* end = nullptr;
+    std::string demand_str =
+        line.substr(first_comma + 1, second_comma - first_comma - 1);
+    phase.demand_watts = std::strtod(demand_str.c_str(), &end);
+    if (end == demand_str.c_str()) return std::nullopt;
+    std::string work_str = line.substr(second_comma + 1);
+    phase.work_seconds = std::strtod(work_str.c_str(), &end);
+    if (end == work_str.c_str()) return std::nullopt;
+    if (phase.work_seconds <= 0.0 || phase.demand_watts < 0.0)
+      return std::nullopt;
+    profile.phases.push_back(std::move(phase));
+  }
+  if (!header_seen || profile.phases.empty()) return std::nullopt;
+  return profile;
+}
+
+bool save_profile_csv(const WorkloadProfile& profile,
+                      const std::string& path) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) {
+    PEN_LOG_WARN("profile_io: cannot open %s", path.c_str());
+    return false;
+  }
+  f << profile_to_csv(profile);
+  return static_cast<bool>(f);
+}
+
+std::optional<WorkloadProfile> load_profile_csv(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return std::nullopt;
+  std::stringstream buffer;
+  buffer << f.rdbuf();
+  return profile_from_csv(buffer.str());
+}
+
+std::optional<WorkloadProfile> curate_profile(
+    const std::vector<PowerSample>& samples, const std::string& name,
+    const CurateOptions& options) {
+  if (samples.size() < 2) return std::nullopt;
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    if (samples[i].at <= samples[i - 1].at) return std::nullopt;
+  }
+
+  // Pass 1: greedy segmentation — extend the current run while the next
+  // sample stays within tolerance of the running mean.
+  struct Segment {
+    double watt_seconds = 0.0;
+    double seconds = 0.0;
+    double mean() const {
+      return seconds > 0.0 ? watt_seconds / seconds : 0.0;
+    }
+  };
+  std::vector<Segment> segments;
+  Segment current;
+  for (std::size_t i = 0; i + 1 < samples.size(); ++i) {
+    double dt = common::to_seconds(samples[i + 1].at - samples[i].at);
+    double watts = samples[i].watts;
+    if (current.seconds > 0.0 &&
+        std::fabs(watts - current.mean()) >
+            options.merge_tolerance_watts) {
+      segments.push_back(current);
+      current = Segment{};
+    }
+    current.watt_seconds += watts * dt;
+    current.seconds += dt;
+  }
+  if (current.seconds > 0.0) segments.push_back(current);
+
+  // Pass 2: suppress blips shorter than min_phase_seconds — their wall
+  // time is kept (replay durations must match the recording) but spent
+  // at the neighbouring phase's power level, since a sensor blip is not
+  // a workload phase.
+  std::vector<Segment> folded;
+  for (const auto& segment : segments) {
+    if (segment.seconds < options.min_phase_seconds && !folded.empty()) {
+      folded.back().watt_seconds +=
+          segment.seconds * folded.back().mean();
+      folded.back().seconds += segment.seconds;
+    } else {
+      folded.push_back(segment);
+    }
+  }
+  // A leading blip: spend its time at the following segment's level.
+  if (folded.size() >= 2 &&
+      folded.front().seconds < options.min_phase_seconds) {
+    double blip_seconds = folded.front().seconds;
+    folded.erase(folded.begin());
+    folded.front().watt_seconds += blip_seconds * folded.front().mean();
+    folded.front().seconds += blip_seconds;
+  }
+  if (folded.empty()) return std::nullopt;
+
+  // Pass 3: blip suppression can leave adjacent segments with nearly
+  // identical means; merge them back together.
+  std::vector<Segment> merged;
+  for (const auto& segment : folded) {
+    if (!merged.empty() &&
+        std::fabs(segment.mean() - merged.back().mean()) <=
+            options.merge_tolerance_watts) {
+      merged.back().watt_seconds += segment.watt_seconds;
+      merged.back().seconds += segment.seconds;
+    } else {
+      merged.push_back(segment);
+    }
+  }
+  folded = std::move(merged);
+
+  WorkloadProfile profile;
+  profile.name = name;
+  int index = 0;
+  for (const auto& segment : folded) {
+    Phase phase;
+    phase.label = "phase" + std::to_string(index++);
+    phase.demand_watts = segment.mean();
+    phase.work_seconds = segment.seconds;
+    profile.phases.push_back(std::move(phase));
+  }
+  return profile;
+}
+
+}  // namespace penelope::workload

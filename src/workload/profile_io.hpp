@@ -1,0 +1,56 @@
+// Workload profile persistence and trace replay.
+//
+// The paper's scale study runs deciders against "curated profiles of
+// power consumption over time for each application" (§4.5). These
+// helpers close that loop in both directions: save/load profiles as
+// CSV, and curate a profile from a recorded power timeline (e.g. a
+// cluster::Trace node series, or real RAPL samples from a production
+// node) by merging adjacent samples of similar demand into phases.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "workload/npb.hpp"
+
+namespace penelope::workload {
+
+/// CSV layout: one header line "label,demand_watts,work_seconds", one
+/// row per phase. The profile name travels as a "# name: ..." comment.
+std::string profile_to_csv(const WorkloadProfile& profile);
+
+/// Parse; nullopt on malformed input (bad header, non-numeric fields,
+/// non-positive work).
+std::optional<WorkloadProfile> profile_from_csv(const std::string& csv);
+
+bool save_profile_csv(const WorkloadProfile& profile,
+                      const std::string& path);
+std::optional<WorkloadProfile> load_profile_csv(const std::string& path);
+
+/// One point of a recorded power timeline.
+struct PowerSample {
+  common::Ticks at = 0;
+  double watts = 0.0;
+};
+
+struct CurateOptions {
+  /// Adjacent samples whose demand differs by no more than this merge
+  /// into one phase.
+  double merge_tolerance_watts = 5.0;
+  /// Phases shorter than this are folded into their neighbour (sensor
+  /// blips are not phases).
+  double min_phase_seconds = 0.5;
+};
+
+/// Build a replayable profile from a sample timeline: each maximal run
+/// of similar readings becomes a phase whose demand is the run's mean
+/// power and whose work equals the run's wall time (replaying under the
+/// same power reproduces the same duration). Requires >= 2 samples with
+/// increasing timestamps.
+std::optional<WorkloadProfile> curate_profile(
+    const std::vector<PowerSample>& samples, const std::string& name,
+    const CurateOptions& options = {});
+
+}  // namespace penelope::workload

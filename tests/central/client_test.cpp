@@ -1,0 +1,170 @@
+#include "central/client.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace penelope::central {
+namespace {
+
+ClientConfig base_config() {
+  ClientConfig cfg;
+  cfg.initial_cap_watts = 160.0;
+  cfg.epsilon_watts = 5.0;
+  cfg.safe_range = {.min_watts = 80.0, .max_watts = 250.0};
+  return cfg;
+}
+
+TEST(Client, ExcessBranchDonatesAndLowersCap) {
+  Client client(base_config());
+  ClientStepOutcome out = client.begin_step(120.0);
+  EXPECT_EQ(out.kind, ClientStepKind::kDonate);
+  EXPECT_DOUBLE_EQ(out.delta_watts, 40.0);
+  EXPECT_DOUBLE_EQ(client.cap(), 120.0);  // C_i = P_i, per §2.3.2
+}
+
+TEST(Client, ExcessClampedAtSafeMin) {
+  Client client(base_config());
+  ClientStepOutcome out = client.begin_step(20.0);
+  EXPECT_EQ(out.kind, ClientStepKind::kDonate);
+  EXPECT_DOUBLE_EQ(client.cap(), 80.0);
+  EXPECT_DOUBLE_EQ(out.delta_watts, 80.0);
+}
+
+TEST(Client, HungrySendsRequest) {
+  Client client(base_config());
+  ClientStepOutcome out = client.begin_step(157.0);
+  EXPECT_EQ(out.kind, ClientStepKind::kNeedsServer);
+  EXPECT_FALSE(out.request.urgent);
+}
+
+TEST(Client, UrgentBelowInitialCap) {
+  Client client(base_config());
+  client.begin_step(100.0);  // donate down to 100
+  ClientStepOutcome out = client.begin_step(99.0);
+  EXPECT_EQ(out.kind, ClientStepKind::kNeedsServer);
+  EXPECT_TRUE(out.request.urgent);
+  EXPECT_DOUBLE_EQ(out.request.alpha_watts, 60.0);
+  EXPECT_TRUE(client.last_step_urgent());
+}
+
+TEST(Client, HungryAtCeilingHolds) {
+  ClientConfig cfg = base_config();
+  cfg.initial_cap_watts = 250.0;
+  Client client(cfg);
+  ClientStepOutcome out = client.begin_step(249.0);
+  EXPECT_EQ(out.kind, ClientStepKind::kHeld);
+}
+
+TEST(Client, GrantRaisesCap) {
+  Client client(base_config());
+  client.begin_step(157.0);
+  GrantApplication result = client.apply_grant(CentralGrant{20.0, false, 1});
+  EXPECT_DOUBLE_EQ(result.applied_watts, 20.0);
+  EXPECT_DOUBLE_EQ(result.donate_back_watts, 0.0);
+  EXPECT_DOUBLE_EQ(client.cap(), 180.0);
+}
+
+TEST(Client, GrantOverflowBeyondCeilingDonatedBack) {
+  ClientConfig cfg = base_config();
+  cfg.initial_cap_watts = 240.0;
+  Client client(cfg);
+  client.begin_step(239.0);
+  GrantApplication result = client.apply_grant(CentralGrant{30.0, false, 1});
+  EXPECT_DOUBLE_EQ(result.applied_watts, 10.0);
+  EXPECT_DOUBLE_EQ(result.donate_back_watts, 20.0);
+  EXPECT_DOUBLE_EQ(client.cap(), 250.0);
+}
+
+TEST(Client, ReleaseOrderDropsToInitialAndDonates) {
+  Client client(base_config());
+  client.begin_step(157.0);
+  client.apply_grant(CentralGrant{30.0, false, 1});  // cap 190
+  client.begin_step(187.0);                          // hungry, not urgent
+  GrantApplication result =
+      client.apply_grant(CentralGrant{0.0, true, 2});
+  EXPECT_DOUBLE_EQ(result.donate_back_watts, 30.0);
+  EXPECT_DOUBLE_EQ(client.cap(), 160.0);
+  EXPECT_EQ(client.stats().release_orders_obeyed, 1u);
+}
+
+TEST(Client, UrgentClientIgnoresReleaseOrder) {
+  Client client(base_config());
+  client.begin_step(100.0);  // cap 100, below initial
+  client.begin_step(99.0);   // urgent request
+  GrantApplication result =
+      client.apply_grant(CentralGrant{0.0, true, 1});
+  EXPECT_DOUBLE_EQ(result.donate_back_watts, 0.0);
+  EXPECT_DOUBLE_EQ(client.cap(), 100.0);
+}
+
+TEST(Client, ReleaseOrderAtInitialCapDonatesNothing) {
+  Client client(base_config());
+  client.begin_step(157.0);
+  GrantApplication result =
+      client.apply_grant(CentralGrant{0.0, true, 1});
+  EXPECT_DOUBLE_EQ(result.donate_back_watts, 0.0);
+  EXPECT_DOUBLE_EQ(client.cap(), 160.0);
+}
+
+TEST(Client, ReleaseOrderWithGrantAppliesBoth) {
+  // Defensive: a grant carrying both watts and a release order first
+  // releases, then applies the watts.
+  Client client(base_config());
+  client.begin_step(157.0);
+  client.apply_grant(CentralGrant{40.0, false, 1});  // cap 200
+  client.begin_step(197.0);
+  GrantApplication result =
+      client.apply_grant(CentralGrant{5.0, true, 2});
+  EXPECT_DOUBLE_EQ(client.cap(), 165.0);  // 160 + 5
+  EXPECT_DOUBLE_EQ(result.donate_back_watts, 40.0);
+}
+
+TEST(Client, TimeoutLeavesStateUntouched) {
+  Client client(base_config());
+  client.begin_step(157.0);
+  double cap = client.cap();
+  client.on_grant_timeout();
+  EXPECT_DOUBLE_EQ(client.cap(), cap);
+}
+
+TEST(Client, DonationRatchetUnderDeadServer) {
+  // With a dead server the client keeps donating into the void whenever
+  // demand drops — the Figure 3 degradation mechanism. Verify the cap
+  // ratchets down monotonically and never recovers without grants.
+  Client client(base_config());
+  double readings[] = {150.0, 140.0, 155.0, 130.0, 150.0};
+  double min_cap = client.cap();
+  for (double p : readings) {
+    ClientStepOutcome out = client.begin_step(p);
+    if (out.kind == ClientStepKind::kNeedsServer) {
+      client.on_grant_timeout();  // server never answers
+    }
+    min_cap = std::min(min_cap, client.cap());
+    EXPECT_DOUBLE_EQ(client.cap(), min_cap);  // never rises
+  }
+  EXPECT_DOUBLE_EQ(client.cap(), 130.0);
+}
+
+TEST(Client, StatsAccumulate) {
+  Client client(base_config());
+  client.begin_step(100.0);
+  client.begin_step(99.0);
+  client.apply_grant(CentralGrant{10.0, false, 1});
+  const ClientStats& stats = client.stats();
+  EXPECT_EQ(stats.steps, 2u);
+  EXPECT_EQ(stats.excess_steps, 1u);
+  EXPECT_EQ(stats.hungry_steps, 1u);
+  EXPECT_EQ(stats.urgent_requests, 1u);
+  EXPECT_DOUBLE_EQ(stats.watts_donated, 60.0);
+  EXPECT_DOUBLE_EQ(stats.watts_received, 10.0);
+}
+
+TEST(ClientDeath, InitialCapOutsideSafeRangeRejected) {
+  ClientConfig cfg = base_config();
+  cfg.initial_cap_watts = 10.0;
+  EXPECT_DEATH(Client{cfg}, "safe range");
+}
+
+}  // namespace
+}  // namespace penelope::central

@@ -1,0 +1,159 @@
+#include "central/server.hpp"
+
+#include <gtest/gtest.h>
+
+namespace penelope::central {
+namespace {
+
+TEST(ServerLogic, StartsEmpty) {
+  ServerLogic server;
+  EXPECT_DOUBLE_EQ(server.cache_watts(), 0.0);
+  EXPECT_DOUBLE_EQ(server.unmet_urgent_watts(), 0.0);
+}
+
+TEST(ServerLogic, DonationsAccumulate) {
+  ServerLogic server;
+  server.handle_donation(CentralDonation{25.0});
+  server.handle_donation(CentralDonation{10.0});
+  EXPECT_DOUBLE_EQ(server.cache_watts(), 35.0);
+  EXPECT_EQ(server.stats().donations, 2u);
+  EXPECT_DOUBLE_EQ(server.stats().watts_collected, 35.0);
+}
+
+TEST(ServerLogic, NonUrgentGrantIsPercentageClamped) {
+  ServerLogic server;
+  server.handle_donation(CentralDonation{500.0});
+  CentralGrant grant = server.handle_request(CentralRequest{});
+  EXPECT_DOUBLE_EQ(grant.watts, 30.0);  // clamp(50, 1, 30)
+  EXPECT_FALSE(grant.release_to_initial);
+  EXPECT_DOUBLE_EQ(server.cache_watts(), 470.0);
+}
+
+TEST(ServerLogic, NonUrgentGrantMidRangeIsShare) {
+  ServerLogic server;
+  server.handle_donation(CentralDonation{100.0});
+  CentralGrant grant = server.handle_request(CentralRequest{});
+  EXPECT_DOUBLE_EQ(grant.watts, 10.0);
+}
+
+TEST(ServerLogic, NonUrgentGrantLowerClampBoundedByCache) {
+  ServerLogic server;
+  server.handle_donation(CentralDonation{0.5});
+  CentralGrant grant = server.handle_request(CentralRequest{});
+  EXPECT_DOUBLE_EQ(grant.watts, 0.5);  // min(cache, clamp)
+  EXPECT_DOUBLE_EQ(server.cache_watts(), 0.0);
+}
+
+TEST(ServerLogic, EmptyCacheGrantsZero) {
+  ServerLogic server;
+  CentralGrant grant = server.handle_request(CentralRequest{});
+  EXPECT_DOUBLE_EQ(grant.watts, 0.0);
+  EXPECT_FALSE(grant.release_to_initial);
+}
+
+TEST(ServerLogic, UnclampedConfigGivesRawShare) {
+  ServerConfig cfg;
+  cfg.clamp_grants = false;
+  ServerLogic server(cfg);
+  server.handle_donation(CentralDonation{500.0});
+  CentralGrant grant = server.handle_request(CentralRequest{});
+  EXPECT_DOUBLE_EQ(grant.watts, 50.0);  // 10% of 500, unclamped
+}
+
+TEST(ServerLogic, UrgentServedGreedilyUpToAlpha) {
+  ServerLogic server;
+  server.handle_donation(CentralDonation{200.0});
+  CentralRequest req;
+  req.urgent = true;
+  req.alpha_watts = 70.0;
+  CentralGrant grant = server.handle_request(req);
+  EXPECT_DOUBLE_EQ(grant.watts, 70.0);  // bypasses the 30 W clamp
+  EXPECT_DOUBLE_EQ(server.cache_watts(), 130.0);
+  EXPECT_DOUBLE_EQ(server.unmet_urgent_watts(), 0.0);
+}
+
+TEST(ServerLogic, UnmetUrgentTriggersReleaseOrders) {
+  ServerLogic server;
+  server.handle_donation(CentralDonation{10.0});
+  CentralRequest urgent;
+  urgent.urgent = true;
+  urgent.alpha_watts = 50.0;
+  CentralGrant ugrant = server.handle_request(urgent);
+  EXPECT_DOUBLE_EQ(ugrant.watts, 10.0);
+  EXPECT_DOUBLE_EQ(server.unmet_urgent_watts(), 40.0);
+
+  // Non-urgent requesters are now ordered to release, and get nothing.
+  CentralGrant grant = server.handle_request(CentralRequest{});
+  EXPECT_DOUBLE_EQ(grant.watts, 0.0);
+  EXPECT_TRUE(grant.release_to_initial);
+  EXPECT_EQ(server.stats().release_orders, 1u);
+}
+
+TEST(ServerLogic, DonationsClearUnmetUrgentDeficit) {
+  ServerLogic server;
+  CentralRequest urgent;
+  urgent.urgent = true;
+  urgent.alpha_watts = 30.0;
+  server.handle_request(urgent);  // 30 unmet
+  server.handle_donation(CentralDonation{12.0});
+  EXPECT_DOUBLE_EQ(server.unmet_urgent_watts(), 18.0);
+  server.handle_donation(CentralDonation{30.0});
+  EXPECT_DOUBLE_EQ(server.unmet_urgent_watts(), 0.0);
+  // Back to normal grants.
+  CentralGrant grant = server.handle_request(CentralRequest{});
+  EXPECT_FALSE(grant.release_to_initial);
+  EXPECT_GT(grant.watts, 0.0);
+}
+
+TEST(ServerLogic, RepeatedUrgentRequestsDoNotDoubleCount) {
+  ServerLogic server;
+  CentralRequest urgent;
+  urgent.urgent = true;
+  urgent.alpha_watts = 50.0;
+  server.handle_request(urgent);
+  server.handle_request(urgent);  // same node retries next period
+  EXPECT_DOUBLE_EQ(server.unmet_urgent_watts(), 50.0);  // not 100
+}
+
+TEST(ServerLogic, UrgentFullySatisfiedClearsDeficit) {
+  ServerLogic server;
+  CentralRequest urgent;
+  urgent.urgent = true;
+  urgent.alpha_watts = 50.0;
+  server.handle_request(urgent);  // unmet 50
+  server.handle_donation(CentralDonation{100.0});
+  CentralGrant grant = server.handle_request(urgent);
+  EXPECT_DOUBLE_EQ(grant.watts, 50.0);
+  EXPECT_DOUBLE_EQ(server.unmet_urgent_watts(), 0.0);
+}
+
+TEST(ServerLogic, ConservationAcrossMixedTraffic) {
+  ServerLogic server;
+  double donated = 0.0;
+  double granted = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    double amount = 3.0 + (i % 7);
+    server.handle_donation(CentralDonation{amount});
+    donated += amount;
+    CentralRequest req;
+    req.urgent = (i % 5 == 0);
+    req.alpha_watts = 11.0;
+    granted += server.handle_request(req).watts;
+  }
+  EXPECT_NEAR(donated, granted + server.cache_watts(), 1e-9);
+}
+
+TEST(ServerLogic, TxnIdEchoedInGrant) {
+  ServerLogic server;
+  CentralRequest req;
+  req.txn_id = 777;
+  EXPECT_EQ(server.handle_request(req).txn_id, 777u);
+}
+
+TEST(ServerLogicDeath, NegativeDonationAborts) {
+  ServerLogic server;
+  EXPECT_DEATH(server.handle_donation(CentralDonation{-5.0}), "negative");
+}
+
+}  // namespace
+}  // namespace penelope::central

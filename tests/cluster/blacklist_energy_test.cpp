@@ -1,0 +1,141 @@
+// Peer blacklisting (fault-tolerance refinement) and cluster energy
+// accounting.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+
+namespace penelope::cluster {
+namespace {
+
+ClusterConfig base_config(ManagerKind manager = ManagerKind::kPenelope) {
+  ClusterConfig cc;
+  cc.manager = manager;
+  cc.n_nodes = 8;
+  cc.per_socket_cap_watts = 70.0;
+  cc.seed = 3;
+  cc.max_seconds = 600.0;
+  return cc;
+}
+
+std::vector<workload::WorkloadProfile> donor_hungry(int nodes) {
+  std::vector<workload::WorkloadProfile> profiles;
+  for (int i = 0; i < nodes; ++i) {
+    workload::WorkloadProfile p;
+    p.name = i < nodes / 2 ? "donor" : "hungry";
+    p.phases.push_back(
+        workload::Phase{"hot", i < nodes / 2 ? 100.0 : 240.0, 1e6});
+    profiles.push_back(std::move(p));
+  }
+  return profiles;
+}
+
+TEST(Blacklist, ReducesWastedProbesWithDeadPeers) {
+  // Two donors' management planes die early; their pools stop
+  // answering, so every probe at them costs a full period. With
+  // blacklisting the hungry nodes learn to stop asking.
+  auto run_with = [](int blacklist_after) {
+    ClusterConfig cc = base_config();
+    cc.blacklist_after_timeouts = blacklist_after;
+    cc.blacklist_duration = 30 * common::kTicksPerSecond;
+    cc.faults = {
+        FaultEvent{FaultEvent::Kind::kKillManagement,
+                   common::from_seconds(1.0), 0},
+        FaultEvent{FaultEvent::Kind::kKillManagement,
+                   common::from_seconds(1.0), 1},
+    };
+    Cluster cluster(cc, donor_hungry(cc.n_nodes));
+    cluster.run_for(60.0);
+    return cluster.metrics().timeouts();
+  };
+  std::uint64_t without = run_with(0);
+  std::uint64_t with = run_with(2);
+  EXPECT_LT(with, without);
+  EXPECT_GT(without, 10u);  // dead peers really were being probed
+}
+
+TEST(Blacklist, RecoversWhenPeerComesBack) {
+  // Blacklists expire: after blacklist_duration the peer is probed
+  // again, so a *transiently* silent peer is not shunned forever.
+  ClusterConfig cc = base_config();
+  cc.n_nodes = 2;
+  cc.blacklist_after_timeouts = 1;
+  cc.blacklist_duration = 5 * common::kTicksPerSecond;
+  cc.network.loss_probability = 0.0;
+  Cluster cluster(cc, donor_hungry(cc.n_nodes));
+  // Partition the two nodes briefly: requests time out, node 1
+  // blacklists node 0; then heal.
+  cluster.network().set_partition({{0}, {1}});
+  cluster.run_for(4.0);
+  std::uint64_t timeouts_during = cluster.metrics().timeouts();
+  EXPECT_GT(timeouts_during, 0u);
+  cluster.network().clear_partition();
+  cluster.run_for(30.0);
+  // After healing and blacklist expiry, transactions complete again.
+  EXPECT_GT(cluster.metrics().turnaround_ms().size(), 0u);
+}
+
+TEST(Blacklist, NeverBlacklistsOnCleanNetwork) {
+  ClusterConfig cc = base_config();
+  cc.blacklist_after_timeouts = 2;
+  Cluster cluster(cc, donor_hungry(cc.n_nodes));
+  cluster.run_for(30.0);
+  EXPECT_EQ(cluster.metrics().timeouts(), 0u);
+}
+
+TEST(Energy, AccumulatesAndIsBoundedByBudget) {
+  ClusterConfig cc = base_config(ManagerKind::kFair);
+  Cluster cluster(cc, donor_hungry(cc.n_nodes));
+  cluster.run_for(20.0);
+  double energy = cluster.total_energy_joules();
+  EXPECT_GT(energy, 0.0);
+  // Energy can never exceed budget x elapsed time (caps enforce it).
+  EXPECT_LE(energy, cc.system_budget() * 20.0 * 1.001);
+}
+
+TEST(Energy, MonotonicallyIncreases) {
+  ClusterConfig cc = base_config();
+  Cluster cluster(cc, donor_hungry(cc.n_nodes));
+  cluster.run_for(5.0);
+  double early = cluster.total_energy_joules();
+  cluster.run_for(5.0);
+  double later = cluster.total_energy_joules();
+  EXPECT_GT(later, early);
+}
+
+TEST(Energy, ReportedInRunResult) {
+  ClusterConfig cc = base_config(ManagerKind::kCentral);
+  workload::NpbConfig npb;
+  npb.duration_scale = 0.05;
+  Cluster cluster(cc, make_pair_workloads(workload::NpbApp::kEP,
+                                          workload::NpbApp::kDC,
+                                          cc.n_nodes, npb));
+  RunResult result = cluster.run();
+  EXPECT_TRUE(result.all_completed);
+  EXPECT_GT(result.total_energy_joules, 0.0);
+}
+
+TEST(Energy, DynamicManagerUsesMorePowerForLessTime) {
+  // Power shifting converts headroom into speed: the dynamic run draws
+  // more average power but finishes sooner; energy stays comparable.
+  auto run_with = [](ManagerKind manager) {
+    ClusterConfig cc = base_config(manager);
+    workload::NpbConfig npb;
+    npb.duration_scale = 0.2;
+    npb.seed = 7;
+    Cluster cluster(cc, make_pair_workloads(workload::NpbApp::kEP,
+                                            workload::NpbApp::kDC,
+                                            cc.n_nodes, npb));
+    return cluster.run();
+  };
+  RunResult fair = run_with(ManagerKind::kFair);
+  RunResult pen = run_with(ManagerKind::kPenelope);
+  ASSERT_TRUE(fair.all_completed && pen.all_completed);
+  double fair_avg_power =
+      fair.total_energy_joules / fair.runtime_seconds;
+  double pen_avg_power = pen.total_energy_joules / pen.runtime_seconds;
+  EXPECT_LT(pen.runtime_seconds, fair.runtime_seconds);
+  EXPECT_GT(pen_avg_power, fair_avg_power * 0.98);
+}
+
+}  // namespace
+}  // namespace penelope::cluster

@@ -1,0 +1,137 @@
+// Dynamic system-budget reconfiguration: operators resize the
+// system-wide cap mid-run (demand response, time-of-day pricing). A cut
+// must retire watts — immediately where possible, via per-node
+// retirement debt otherwise — without ever violating the (new) budget
+// ledger; an increase must reach the nodes.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+
+namespace penelope::cluster {
+namespace {
+
+ClusterConfig budget_config(ManagerKind manager) {
+  ClusterConfig cc;
+  cc.manager = manager;
+  cc.n_nodes = 6;
+  cc.per_socket_cap_watts = 80.0;  // 160 W/node, budget 960 W
+  cc.seed = 13;
+  cc.max_seconds = 1200.0;
+  cc.audit_interval = common::from_millis(250);
+  return cc;
+}
+
+std::vector<workload::WorkloadProfile> steady_mixed(int nodes) {
+  std::vector<workload::WorkloadProfile> profiles;
+  for (int i = 0; i < nodes; ++i) {
+    workload::WorkloadProfile p;
+    p.name = i % 2 ? "hungry" : "donor";
+    p.phases.push_back(
+        workload::Phase{"hot", i % 2 ? 240.0 : 100.0, 1e6});
+    profiles.push_back(std::move(p));
+  }
+  return profiles;
+}
+
+double live_total(const ConservationAudit& audit) {
+  return audit.cap_total + audit.pool_total + audit.server_cache +
+         audit.in_flight;
+}
+
+class BudgetSweep : public ::testing::TestWithParam<ManagerKind> {};
+
+TEST_P(BudgetSweep, IncreaseReachesTheNodes) {
+  ClusterConfig cc = budget_config(GetParam());
+  Cluster cluster(cc, steady_mixed(cc.n_nodes));
+  cluster.run_for(10.0);
+  double before = live_total(cluster.audit());
+  double effective = cluster.set_system_budget(1200.0);
+  EXPECT_NEAR(effective, 1200.0, 1e-6);
+  cluster.run_for(10.0);
+  ConservationAudit audit = cluster.audit();
+  EXPECT_GT(live_total(audit), before + 100.0);
+  EXPECT_NEAR(audit.conservation_error(), 0.0, 1e-6);
+}
+
+TEST_P(BudgetSweep, CutRetiresPowerAndBalances) {
+  ClusterConfig cc = budget_config(GetParam());
+  Cluster cluster(cc, steady_mixed(cc.n_nodes));
+  cluster.run_for(10.0);
+  cluster.set_system_budget(720.0);  // -25%
+  EXPECT_NEAR(cluster.current_budget(), 720.0, 1e-6);
+  // Immediately after the cut the ledger must balance (debt included).
+  ConservationAudit right_after = cluster.audit();
+  EXPECT_NEAR(right_after.conservation_error(), 0.0, 1e-6);
+  cluster.run_for(30.0);
+  ConservationAudit later = cluster.audit();
+  EXPECT_NEAR(later.conservation_error(), 0.0, 1e-6);
+  // Live power has come down toward the new budget.
+  EXPECT_LT(live_total(later), 720.0 + later.retirement_debt + 1e-6);
+  EXPECT_LT(live_total(later), live_total(right_after) + 1e-6);
+}
+
+TEST_P(BudgetSweep, AuditHoldsAcrossRepeatedReconfiguration) {
+  ClusterConfig cc = budget_config(GetParam());
+  Cluster cluster(cc, steady_mixed(cc.n_nodes));
+  double budgets[] = {960.0, 700.0, 1100.0, 850.0, 960.0};
+  for (double budget : budgets) {
+    cluster.set_system_budget(budget);
+    cluster.run_for(8.0);
+    ConservationAudit audit = cluster.audit();
+    EXPECT_NEAR(audit.conservation_error(), 0.0, 1e-6)
+        << manager_name(GetParam()) << " at budget " << budget;
+    EXPECT_FALSE(audit.cap_exceeded(1e-6));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Managers, BudgetSweep,
+    ::testing::Values(ManagerKind::kFair, ManagerKind::kCentral,
+                      ManagerKind::kPenelope, ManagerKind::kHierarchical),
+    [](const ::testing::TestParamInfo<ManagerKind>& info) {
+      return manager_name(info.param);
+    });
+
+TEST(Budget, DebtDrainsFromFutureExcess) {
+  // Cut deep enough that hungry nodes cannot retire immediately, then
+  // watch the debt shrink as donors' excess is retired instead of
+  // pooled.
+  ClusterConfig cc = budget_config(ManagerKind::kPenelope);
+  Cluster cluster(cc, steady_mixed(cc.n_nodes));
+  cluster.run_for(5.0);
+  cluster.set_system_budget(620.0);
+  double debt_initial = cluster.total_retirement_debt();
+  cluster.run_for(40.0);
+  double debt_later = cluster.total_retirement_debt();
+  EXPECT_LE(debt_later, debt_initial);
+  ConservationAudit audit = cluster.audit();
+  EXPECT_NEAR(audit.conservation_error(), 0.0, 1e-6);
+}
+
+TEST(Budget, PerformanceRespondsToBudget) {
+  // More budget, faster finish: the end-to-end sanity check.
+  auto runtime_with = [](double mid_run_budget) {
+    ClusterConfig cc = budget_config(ManagerKind::kPenelope);
+    workload::NpbConfig npb;
+    npb.duration_scale = 0.3;
+    npb.seed = 5;
+    Cluster cluster(cc, make_pair_workloads(workload::NpbApp::kEP,
+                                            workload::NpbApp::kCG,
+                                            cc.n_nodes, npb));
+    cluster.run_for(10.0);
+    cluster.set_system_budget(mid_run_budget);
+    RunResult result = cluster.run();
+    EXPECT_TRUE(result.all_completed);
+    return result.runtime_seconds;
+  };
+  EXPECT_LT(runtime_with(1400.0), runtime_with(700.0));
+}
+
+TEST(BudgetDeath, NonPositiveBudgetRejected) {
+  ClusterConfig cc = budget_config(ManagerKind::kFair);
+  Cluster cluster(cc, steady_mixed(cc.n_nodes));
+  EXPECT_DEATH(cluster.set_system_budget(0.0), "new_total_watts");
+}
+
+}  // namespace
+}  // namespace penelope::cluster

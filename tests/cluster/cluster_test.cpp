@@ -1,0 +1,198 @@
+#include "cluster/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+namespace penelope::cluster {
+namespace {
+
+ClusterConfig small_config(ManagerKind manager,
+                           double per_socket_cap = 80.0) {
+  ClusterConfig cc;
+  cc.manager = manager;
+  cc.n_nodes = 6;
+  cc.per_socket_cap_watts = per_socket_cap;
+  cc.max_seconds = 600.0;
+  cc.seed = 7;
+  return cc;
+}
+
+workload::NpbConfig short_npb() {
+  workload::NpbConfig cfg;
+  cfg.duration_scale = 0.15;  // keep test runs quick
+  cfg.demand_jitter_frac = 0.02;
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(Cluster, FairRunsToCompletion) {
+  ClusterConfig cc = small_config(ManagerKind::kFair);
+  Cluster cluster(cc, make_pair_workloads(workload::NpbApp::kEP,
+                                          workload::NpbApp::kDC,
+                                          cc.n_nodes, short_npb()));
+  RunResult result = cluster.run();
+  EXPECT_TRUE(result.all_completed);
+  EXPECT_GT(result.runtime_seconds, 1.0);
+  EXPECT_GT(result.performance, 0.0);
+  // Fair never shifts power: caps are static and equal.
+  for (int i = 0; i < cc.n_nodes; ++i) {
+    EXPECT_DOUBLE_EQ(cluster.node_cap(i), cc.initial_node_cap());
+  }
+  EXPECT_EQ(result.requests_sent, 0u);
+}
+
+TEST(Cluster, PenelopeRunsToCompletion) {
+  ClusterConfig cc = small_config(ManagerKind::kPenelope);
+  Cluster cluster(cc, make_pair_workloads(workload::NpbApp::kEP,
+                                          workload::NpbApp::kDC,
+                                          cc.n_nodes, short_npb()));
+  RunResult result = cluster.run();
+  EXPECT_TRUE(result.all_completed);
+  EXPECT_GT(result.requests_sent, 0u);
+  EXPECT_FALSE(result.server_stats.has_value());
+}
+
+TEST(Cluster, CentralRunsToCompletion) {
+  ClusterConfig cc = small_config(ManagerKind::kCentral);
+  Cluster cluster(cc, make_pair_workloads(workload::NpbApp::kEP,
+                                          workload::NpbApp::kDC,
+                                          cc.n_nodes, short_npb()));
+  RunResult result = cluster.run();
+  EXPECT_TRUE(result.all_completed);
+  EXPECT_GT(result.requests_sent, 0u);
+  ASSERT_TRUE(result.server_stats.has_value());
+  EXPECT_GT(result.server_stats->processed, 0u);
+}
+
+TEST(Cluster, DynamicManagersBeatFairOnAsymmetricPair) {
+  // EP (hog) + DC (donor) is the pair where shifting pays most; both
+  // dynamic systems must beat the static baseline.
+  auto run_with = [](ManagerKind manager) {
+    ClusterConfig cc = small_config(manager, 70.0);
+    Cluster cluster(cc, make_pair_workloads(workload::NpbApp::kEP,
+                                            workload::NpbApp::kDC,
+                                            cc.n_nodes, short_npb()));
+    return cluster.run();
+  };
+  RunResult fair = run_with(ManagerKind::kFair);
+  RunResult penelope = run_with(ManagerKind::kPenelope);
+  RunResult central = run_with(ManagerKind::kCentral);
+  ASSERT_TRUE(fair.all_completed);
+  ASSERT_TRUE(penelope.all_completed);
+  ASSERT_TRUE(central.all_completed);
+  EXPECT_LT(penelope.runtime_seconds, fair.runtime_seconds);
+  EXPECT_LT(central.runtime_seconds, fair.runtime_seconds);
+}
+
+TEST(Cluster, RunsAreDeterministicForSameSeed) {
+  auto run_once = [] {
+    ClusterConfig cc = small_config(ManagerKind::kPenelope);
+    Cluster cluster(cc, make_pair_workloads(workload::NpbApp::kFT,
+                                            workload::NpbApp::kMG,
+                                            cc.n_nodes, short_npb()));
+    return cluster.run();
+  };
+  RunResult a = run_once();
+  RunResult b = run_once();
+  EXPECT_DOUBLE_EQ(a.runtime_seconds, b.runtime_seconds);
+  EXPECT_EQ(a.requests_sent, b.requests_sent);
+  EXPECT_EQ(a.turnaround_ms.size(), b.turnaround_ms.size());
+}
+
+TEST(Cluster, SeedChangesRun) {
+  auto run_with_seed = [](std::uint64_t seed) {
+    ClusterConfig cc = small_config(ManagerKind::kPenelope);
+    cc.seed = seed;
+    Cluster cluster(cc, make_pair_workloads(workload::NpbApp::kFT,
+                                            workload::NpbApp::kMG,
+                                            cc.n_nodes, short_npb()));
+    return cluster.run();
+  };
+  RunResult a = run_with_seed(1);
+  RunResult b = run_with_seed(2);
+  EXPECT_NE(a.runtime_seconds, b.runtime_seconds);
+}
+
+TEST(Cluster, ConservationAuditedThroughoutRun) {
+  for (ManagerKind manager : {ManagerKind::kFair, ManagerKind::kPenelope,
+                              ManagerKind::kCentral}) {
+    ClusterConfig cc = small_config(manager);
+    Cluster cluster(cc, make_pair_workloads(workload::NpbApp::kLU,
+                                            workload::NpbApp::kDC,
+                                            cc.n_nodes, short_npb()));
+    RunResult result = cluster.run();
+    EXPECT_GT(result.audit.audits, 0u) << manager_name(manager);
+    EXPECT_LT(result.audit.max_abs_conservation_error, 1e-6)
+        << manager_name(manager);
+    EXPECT_LE(result.audit.max_live_overshoot, 1e-6)
+        << manager_name(manager);
+  }
+}
+
+TEST(Cluster, DeadlineReportsIncomplete) {
+  ClusterConfig cc = small_config(ManagerKind::kFair);
+  cc.max_seconds = 5.0;  // far too short
+  Cluster cluster(cc, make_pair_workloads(workload::NpbApp::kEP,
+                                          workload::NpbApp::kDC,
+                                          cc.n_nodes, short_npb()));
+  RunResult result = cluster.run();
+  EXPECT_FALSE(result.all_completed);
+  EXPECT_NEAR(result.runtime_seconds, 5.0, 0.01);
+}
+
+TEST(Cluster, NodeAccessorsWork) {
+  ClusterConfig cc = small_config(ManagerKind::kPenelope);
+  Cluster cluster(cc, make_pair_workloads(workload::NpbApp::kEP,
+                                          workload::NpbApp::kDC,
+                                          cc.n_nodes, short_npb()));
+  cluster.run_for(10.0);
+  for (int i = 0; i < cc.n_nodes; ++i) {
+    EXPECT_GT(cluster.node_cap(i), 0.0);
+    EXPECT_GE(cluster.node_pool_watts(i), 0.0);
+    EXPECT_GE(cluster.node_fraction_complete(i), 0.0);
+  }
+  EXPECT_DOUBLE_EQ(cluster.server_cache_watts(), 0.0);  // not central
+}
+
+TEST(Cluster, CapsStayWithinSafeRangeUnderAllManagers) {
+  for (ManagerKind manager : {ManagerKind::kPenelope,
+                              ManagerKind::kCentral}) {
+    ClusterConfig cc = small_config(manager, 60.0);
+    Cluster cluster(cc, make_pair_workloads(workload::NpbApp::kEP,
+                                            workload::NpbApp::kDC,
+                                            cc.n_nodes, short_npb()));
+    cluster.run_for(30.0);
+    for (int i = 0; i < cc.n_nodes; ++i) {
+      EXPECT_GE(cluster.node_cap(i),
+                cc.rapl.safe_range.min_watts - 1e-9);
+      EXPECT_LE(cluster.node_cap(i),
+                cc.rapl.safe_range.max_watts + 1e-9);
+    }
+  }
+}
+
+TEST(Cluster, MakePairWorkloadsSplitsHalfHalf) {
+  auto profiles = make_pair_workloads(workload::NpbApp::kEP,
+                                      workload::NpbApp::kDC, 10,
+                                      short_npb());
+  ASSERT_EQ(profiles.size(), 10u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(profiles[i].name, "EP");
+  for (int i = 5; i < 10; ++i)
+    EXPECT_EQ(profiles[static_cast<std::size_t>(i)].name, "DC");
+}
+
+TEST(Cluster, PairWorkloadsHavePerNodeJitter) {
+  auto profiles = make_pair_workloads(workload::NpbApp::kEP,
+                                      workload::NpbApp::kEP, 4,
+                                      short_npb());
+  EXPECT_NE(profiles[0].phases[1].demand_watts,
+            profiles[1].phases[1].demand_watts);
+}
+
+TEST(ClusterDeath, ProfileCountMustMatchNodes) {
+  ClusterConfig cc = small_config(ManagerKind::kFair);
+  std::vector<workload::WorkloadProfile> too_few;
+  EXPECT_DEATH(Cluster(cc, std::move(too_few)), "one workload profile");
+}
+
+}  // namespace
+}  // namespace penelope::cluster

@@ -1,0 +1,129 @@
+// Property sweep: the two §2.1 requirements — system-wide cap enforced,
+// node caps inside the safe range — must hold for every manager, across
+// workload pairs, initial caps, frequencies, and seeds, including lossy
+// networks and mid-run faults. TEST_P drives the grid.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "cluster/cluster.hpp"
+
+namespace penelope::cluster {
+namespace {
+
+using Param = std::tuple<ManagerKind, double /*per-socket cap*/,
+                         std::uint64_t /*seed*/>;
+
+class ConservationSweep : public ::testing::TestWithParam<Param> {};
+
+std::string sweep_name(const ::testing::TestParamInfo<Param>& info) {
+  return std::string(manager_name(std::get<0>(info.param))) + "_cap" +
+         std::to_string(static_cast<int>(std::get<1>(info.param))) +
+         "_seed" + std::to_string(std::get<2>(info.param));
+}
+
+TEST_P(ConservationSweep, BudgetAndSafeRangeHold) {
+  auto [manager, cap, seed] = GetParam();
+  ClusterConfig cc;
+  cc.manager = manager;
+  cc.n_nodes = 8;
+  cc.per_socket_cap_watts = cap;
+  cc.seed = seed;
+  cc.max_seconds = 240.0;
+  cc.audit_interval = common::from_millis(500);
+
+  workload::NpbConfig npb;
+  npb.duration_scale = 0.08;
+  npb.demand_jitter_frac = 0.02;
+  npb.seed = seed;
+
+  Cluster cluster(cc, make_pair_workloads(workload::NpbApp::kEP,
+                                          workload::NpbApp::kDC,
+                                          cc.n_nodes, npb));
+  RunResult result = cluster.run();
+
+  EXPECT_TRUE(result.all_completed);
+  EXPECT_LT(result.audit.max_abs_conservation_error, 1e-6);
+  EXPECT_LE(result.audit.max_live_overshoot, 1e-6);
+  for (int i = 0; i < cc.n_nodes; ++i) {
+    EXPECT_GE(cluster.node_cap(i), cc.rapl.safe_range.min_watts - 1e-9);
+    EXPECT_LE(cluster.node_cap(i), cc.rapl.safe_range.max_watts + 1e-9);
+  }
+
+  ConservationAudit final_audit = cluster.audit();
+  EXPECT_NEAR(final_audit.conservation_error(), 0.0, 1e-6);
+  EXPECT_FALSE(final_audit.cap_exceeded(1e-6));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ConservationSweep,
+    ::testing::Combine(
+        ::testing::Values(ManagerKind::kFair, ManagerKind::kCentral,
+                          ManagerKind::kPenelope),
+        ::testing::Values(60.0, 80.0, 100.0),
+        ::testing::Values(1u, 2u)),
+    sweep_name);
+
+class LossyConservationSweep
+    : public ::testing::TestWithParam<double /*loss*/> {};
+
+TEST_P(LossyConservationSweep, StrandedPowerIsLedgeredNotLeaked) {
+  ClusterConfig cc;
+  cc.manager = ManagerKind::kPenelope;
+  cc.n_nodes = 8;
+  cc.per_socket_cap_watts = 70.0;
+  cc.seed = 9;
+  cc.max_seconds = 240.0;
+  cc.network.loss_probability = GetParam();
+
+  workload::NpbConfig npb;
+  npb.duration_scale = 0.08;
+  npb.seed = 3;
+
+  Cluster cluster(cc, make_pair_workloads(workload::NpbApp::kEP,
+                                          workload::NpbApp::kDC,
+                                          cc.n_nodes, npb));
+  RunResult result = cluster.run();
+  EXPECT_TRUE(result.all_completed);
+  EXPECT_LT(result.audit.max_abs_conservation_error, 1e-6);
+  if (GetParam() > 0.0) {
+    EXPECT_GT(result.net_stats.dropped_loss, 0u);
+  } else {
+    EXPECT_DOUBLE_EQ(result.stranded_watts, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LossRates, LossyConservationSweep,
+                         ::testing::Values(0.0, 0.02, 0.10));
+
+class FaultConservationSweep
+    : public ::testing::TestWithParam<double /*kill time s*/> {};
+
+TEST_P(FaultConservationSweep, ServerKillNeverBreaksTheBudget) {
+  ClusterConfig cc;
+  cc.manager = ManagerKind::kCentral;
+  cc.n_nodes = 8;
+  cc.per_socket_cap_watts = 70.0;
+  cc.seed = 31;
+  cc.max_seconds = 240.0;
+  cc.faults = {FaultEvent{FaultEvent::Kind::kKillServer,
+                          common::from_seconds(GetParam()), 0}};
+
+  workload::NpbConfig npb;
+  npb.duration_scale = 0.08;
+  npb.seed = 4;
+
+  Cluster cluster(cc, make_pair_workloads(workload::NpbApp::kEP,
+                                          workload::NpbApp::kDC,
+                                          cc.n_nodes, npb));
+  RunResult result = cluster.run();
+  EXPECT_TRUE(result.all_completed);
+  EXPECT_LT(result.audit.max_abs_conservation_error, 1e-6);
+  EXPECT_LE(result.audit.max_live_overshoot, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(KillTimes, FaultConservationSweep,
+                         ::testing::Values(0.5, 3.0, 10.0));
+
+}  // namespace
+}  // namespace penelope::cluster

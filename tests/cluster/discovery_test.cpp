@@ -1,0 +1,150 @@
+// Peer-discovery policies: uniform random (the paper), sticky-on-success
+// (retry the last paying peer), and hint forwarding (empty-handed pools
+// refer the requester to their own last-successful peer) — the knobs
+// bench_ablation sweeps.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cluster/cluster.hpp"
+
+namespace penelope::cluster {
+namespace {
+
+ClusterConfig discovery_config(int nodes) {
+  ClusterConfig cc;
+  cc.manager = ManagerKind::kPenelope;
+  cc.n_nodes = nodes;
+  cc.per_socket_cap_watts = 70.0;
+  cc.seed = 3;
+  cc.max_seconds = 600.0;
+  return cc;
+}
+
+/// One donor among many hungry nodes: the hardest discovery setting —
+/// a uniform probe finds the donor with probability 1/(n-1).
+std::vector<workload::WorkloadProfile> needle_workloads(int nodes) {
+  std::vector<workload::WorkloadProfile> profiles;
+  for (int i = 0; i < nodes; ++i) {
+    workload::WorkloadProfile p;
+    p.name = i == 0 ? "donor" : "hungry";
+    p.phases.push_back(workload::Phase{
+        "hot", i == 0 ? 90.0 : 240.0, 1e6});
+    profiles.push_back(std::move(p));
+  }
+  return profiles;
+}
+
+double total_received(Cluster& cluster) {
+  double total = 0.0;
+  for (const auto& ev : cluster.metrics().applies()) total += ev.watts;
+  return total;
+}
+
+TEST(Discovery, UniformFindsTheNeedleEventually) {
+  ClusterConfig cc = discovery_config(12);
+  Cluster cluster(cc, needle_workloads(cc.n_nodes));
+  cluster.run_for(60.0);
+  EXPECT_GT(total_received(cluster), 10.0);
+}
+
+TEST(Discovery, StickyReducesWastedProbesOnTheNeedle) {
+  auto probes_per_watt = [](bool sticky) {
+    ClusterConfig cc = discovery_config(12);
+    cc.sticky_peers = sticky;
+    Cluster cluster(cc, needle_workloads(cc.n_nodes));
+    cluster.run_for(60.0);
+    double received = total_received(cluster);
+    return received > 0.0
+               ? static_cast<double>(cluster.metrics().requests_sent()) /
+                     received
+               : 1e18;
+  };
+  // Sticky requesters return straight to the donor, so they spend fewer
+  // requests per received watt than uniform random probing.
+  EXPECT_LT(probes_per_watt(true), probes_per_watt(false));
+}
+
+TEST(Discovery, HintForwardingConservesPower) {
+  ClusterConfig cc = discovery_config(12);
+  cc.hint_discovery = true;
+  Cluster cluster(cc, needle_workloads(cc.n_nodes));
+  cluster.run_for(60.0);
+  RunResult result = cluster.collect_result();
+  EXPECT_LT(result.audit.max_abs_conservation_error, 1e-6);
+  EXPECT_LE(result.audit.max_live_overshoot, 1e-6);
+  EXPECT_GT(total_received(cluster), 10.0);
+}
+
+TEST(Discovery, HintsDoNotBreakDeterminism) {
+  auto run_once = [] {
+    ClusterConfig cc = discovery_config(10);
+    cc.hint_discovery = true;
+    Cluster cluster(cc, needle_workloads(cc.n_nodes));
+    cluster.run_for(30.0);
+    return cluster.metrics().requests_sent();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Discovery, PushGossipSpreadsExcessFasterOnTheNeedle) {
+  // With one donor among eleven hungry nodes, pull-only discovery finds
+  // the donor at ~1/11 per probe — and the donor's urgency keeps
+  // reclaiming whatever lingers in its pool. Push-gossip sprays the
+  // excess outward before that happens, so more power ends up resting
+  // on hungry caps.
+  auto hungry_surplus = [](bool push, double seconds) {
+    ClusterConfig cc = discovery_config(12);
+    cc.push_gossip = push;
+    Cluster cluster(cc, needle_workloads(cc.n_nodes));
+    cluster.run_for(seconds);
+    double initial = cc.initial_node_cap();
+    double surplus = 0.0;
+    for (int i = 1; i < cc.n_nodes; ++i) {
+      surplus += std::max(0.0, cluster.node_cap(i) - initial);
+    }
+    return surplus;
+  };
+  double pull_only = hungry_surplus(false, 20.0);
+  double with_push = hungry_surplus(true, 20.0);
+  EXPECT_GT(with_push, pull_only * 1.2);
+}
+
+TEST(Discovery, PushGossipConservesUnderLoss) {
+  ClusterConfig cc = discovery_config(12);
+  cc.push_gossip = true;
+  cc.network.loss_probability = 0.1;  // pushes get lost too
+  Cluster cluster(cc, needle_workloads(cc.n_nodes));
+  cluster.run_for(40.0);
+  RunResult result = cluster.collect_result();
+  EXPECT_LT(result.audit.max_abs_conservation_error, 1e-6);
+  EXPECT_LE(result.audit.max_live_overshoot, 1e-6);
+}
+
+TEST(Discovery, PushGossipOffByDefault) {
+  ClusterConfig cc = discovery_config(4);
+  EXPECT_FALSE(cc.push_gossip);
+}
+
+TEST(Discovery, PoliciesWorkOnRealWorkloads) {
+  // All three policies must complete an EP+DC pair and balance the
+  // books; discovery changes efficiency, never safety.
+  workload::NpbConfig npb;
+  npb.duration_scale = 0.15;
+  npb.seed = 9;
+  for (int policy = 0; policy < 3; ++policy) {
+    ClusterConfig cc = discovery_config(8);
+    cc.sticky_peers = (policy == 1);
+    cc.hint_discovery = (policy == 2);
+    Cluster cluster(cc, make_pair_workloads(workload::NpbApp::kEP,
+                                            workload::NpbApp::kDC,
+                                            cc.n_nodes, npb));
+    RunResult result = cluster.run();
+    EXPECT_TRUE(result.all_completed) << "policy " << policy;
+    EXPECT_LT(result.audit.max_abs_conservation_error, 1e-6)
+        << "policy " << policy;
+  }
+}
+
+}  // namespace
+}  // namespace penelope::cluster

@@ -1,0 +1,239 @@
+// Fault-injection behaviour backing Figure 3: killing SLURM's central
+// server degrades it below even the static baseline, while Penelope is
+// unaffected by that node (it doesn't use one) and tolerates losing a
+// client's management plane.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+
+namespace penelope::cluster {
+namespace {
+
+workload::NpbConfig short_npb() {
+  workload::NpbConfig cfg;
+  cfg.duration_scale = 0.15;
+  cfg.demand_jitter_frac = 0.02;
+  cfg.seed = 13;
+  return cfg;
+}
+
+ClusterConfig config_for(ManagerKind manager) {
+  ClusterConfig cc;
+  cc.manager = manager;
+  cc.n_nodes = 6;
+  cc.per_socket_cap_watts = 70.0;
+  cc.max_seconds = 600.0;
+  cc.seed = 21;
+  return cc;
+}
+
+RunResult run_one(ManagerKind manager, std::vector<FaultEvent> faults) {
+  ClusterConfig cc = config_for(manager);
+  cc.faults = std::move(faults);
+  Cluster cluster(cc, make_pair_workloads(workload::NpbApp::kEP,
+                                          workload::NpbApp::kDC,
+                                          cc.n_nodes, short_npb()));
+  return cluster.run();
+}
+
+TEST(Faults, ServerKillStopsCentralPowerShifting) {
+  RunResult healthy = run_one(ManagerKind::kCentral, {});
+  RunResult faulty = run_one(
+      ManagerKind::kCentral,
+      {FaultEvent{FaultEvent::Kind::kKillServer, common::from_seconds(5.0),
+                  0}});
+  ASSERT_TRUE(healthy.all_completed);
+  ASSERT_TRUE(faulty.all_completed);
+  // Losing the server costs real performance.
+  EXPECT_GT(faulty.runtime_seconds, healthy.runtime_seconds * 1.02);
+  // Requests into the void time out.
+  EXPECT_GT(faulty.timeouts, 0u);
+}
+
+TEST(Faults, ServerKillStrandsInFlightDonations) {
+  RunResult faulty = run_one(
+      ManagerKind::kCentral,
+      {FaultEvent{FaultEvent::Kind::kKillServer, common::from_seconds(3.0),
+                  0}});
+  // Clients keep donating into the void after the kill: those watts are
+  // stranded (the Figure 3 ratchet) — and the conservation audit must
+  // still balance because they are ledgered.
+  EXPECT_GT(faulty.stranded_watts, 0.0);
+  EXPECT_LT(faulty.audit.max_abs_conservation_error, 1e-6);
+  EXPECT_LE(faulty.audit.max_live_overshoot, 1e-6);
+}
+
+TEST(Faults, CentralDegradesBelowFairWhenServerDies) {
+  // The paper's headline fault result: "SLURM performs on average worse
+  // than even the trivial solution, Fair." The mechanism is the
+  // donation ratchet: clients keep shipping every demand dip to a dead
+  // server, so caps only ever fall. It needs phase-rich workloads (FT's
+  // compute/transpose alternation) and realistic phase lengths to bite.
+  auto run_phased = [](ManagerKind manager, std::vector<FaultEvent> faults) {
+    ClusterConfig cc = config_for(manager);
+    cc.faults = std::move(faults);
+    workload::NpbConfig npb;
+    npb.duration_scale = 0.5;
+    npb.demand_jitter_frac = 0.02;
+    npb.seed = 13;
+    Cluster cluster(cc, make_pair_workloads(workload::NpbApp::kFT,
+                                            workload::NpbApp::kCG,
+                                            cc.n_nodes, npb));
+    return cluster.run();
+  };
+  RunResult fair = run_phased(ManagerKind::kFair, {});
+  RunResult faulty_central = run_phased(
+      ManagerKind::kCentral,
+      {FaultEvent{FaultEvent::Kind::kKillServer, common::from_seconds(30.0),
+                  0}});
+  ASSERT_TRUE(fair.all_completed);
+  ASSERT_TRUE(faulty_central.all_completed);
+  EXPECT_GT(faulty_central.runtime_seconds, fair.runtime_seconds * 1.01);
+}
+
+TEST(Faults, PenelopeToleratesManagementKill) {
+  RunResult healthy = run_one(ManagerKind::kPenelope, {});
+  RunResult faulty = run_one(
+      ManagerKind::kPenelope,
+      {FaultEvent{FaultEvent::Kind::kKillManagement,
+                  common::from_seconds(5.0), 2}});
+  ASSERT_TRUE(healthy.all_completed);
+  ASSERT_TRUE(faulty.all_completed);
+  // One dead management plane barely moves the needle (paper: "not
+  // significantly perturbed by a client-node failure").
+  EXPECT_LT(faulty.runtime_seconds, healthy.runtime_seconds * 1.10);
+}
+
+TEST(Faults, PenelopeConservesWithDeadManagement) {
+  RunResult faulty = run_one(
+      ManagerKind::kPenelope,
+      {FaultEvent{FaultEvent::Kind::kKillManagement,
+                  common::from_seconds(4.0), 1}});
+  EXPECT_LT(faulty.audit.max_abs_conservation_error, 1e-6);
+  EXPECT_LE(faulty.audit.max_live_overshoot, 1e-6);
+}
+
+TEST(Faults, PenelopeSurvivesLossyNetwork) {
+  ClusterConfig cc = config_for(ManagerKind::kPenelope);
+  cc.network.loss_probability = 0.05;
+  Cluster cluster(cc, make_pair_workloads(workload::NpbApp::kEP,
+                                          workload::NpbApp::kDC,
+                                          cc.n_nodes, short_npb()));
+  RunResult result = cluster.run();
+  EXPECT_TRUE(result.all_completed);
+  EXPECT_GT(result.net_stats.dropped_loss, 0u);
+  // Lost grants strand power but the books still balance.
+  EXPECT_LT(result.audit.max_abs_conservation_error, 1e-6);
+}
+
+TEST(Faults, KillManagementOnCentralIsIgnored) {
+  // Management-kill is a Penelope concept; on the central manager the
+  // fault plan entry must be a harmless no-op.
+  RunResult result = run_one(
+      ManagerKind::kCentral,
+      {FaultEvent{FaultEvent::Kind::kKillManagement,
+                  common::from_seconds(5.0), 2}});
+  EXPECT_TRUE(result.all_completed);
+}
+
+TEST(Faults, PenelopeKeepsShiftingInsideAPartition) {
+  // §1 names network partitions as a failure that "would fully halt any
+  // power shifting" under a central server. Penelope keeps shifting
+  // within each island: put a donor and a hungry node on both sides and
+  // watch transactions continue on both.
+  ClusterConfig cc = config_for(ManagerKind::kPenelope);
+  cc.n_nodes = 8;
+  Cluster cluster(cc, [&] {
+    std::vector<workload::WorkloadProfile> profiles;
+    for (int i = 0; i < cc.n_nodes; ++i) {
+      workload::WorkloadProfile p;
+      p.name = i % 2 ? "hungry" : "donor";
+      p.phases.push_back(
+          workload::Phase{"hot", i % 2 ? 240.0 : 100.0, 1e6});
+      profiles.push_back(std::move(p));
+    }
+    return profiles;
+  }());
+  // Islands {0..3} and {4..7}: each contains donors (even) and hungry
+  // nodes (odd).
+  cluster.network().set_partition({{0, 1, 2, 3}, {4, 5, 6, 7}});
+  cluster.run_for(30.0);
+  std::size_t transactions = cluster.metrics().turnaround_ms().size();
+  EXPECT_GT(transactions, 10u);  // shifting continued despite the split
+  EXPECT_GT(cluster.metrics().timeouts(), 0u);  // cross-island probes die
+  // Power moved toward the hungry side within each island (initial cap
+  // is 140 W/node at 70 W/socket).
+  double initial = cc.initial_node_cap();
+  EXPECT_GT(cluster.node_cap(1) + cluster.node_cap(3),
+            2 * initial + 10.0);
+  EXPECT_GT(cluster.node_cap(5) + cluster.node_cap(7),
+            2 * initial + 10.0);
+  // The books balance (cross-island grant losses are ledgered).
+  ConservationAudit audit = cluster.audit();
+  EXPECT_NEAR(audit.conservation_error(), 0.0, 1e-6);
+
+  // Healing the partition restores full connectivity.
+  cluster.network().clear_partition();
+  std::uint64_t timeouts_at_heal = cluster.metrics().timeouts();
+  cluster.run_for(20.0);
+  // New timeouts should tail off sharply (only stale blacklist-free
+  // probes to busy pools could still miss).
+  EXPECT_LT(cluster.metrics().timeouts() - timeouts_at_heal,
+            timeouts_at_heal / 2 + 10);
+}
+
+TEST(Faults, CentralHaltsEntirelyAcrossPartitionFromServer) {
+  // The mirror image: when clients are partitioned away from the
+  // central server, *all* shifting stops — the §1 failure mode.
+  ClusterConfig cc = config_for(ManagerKind::kCentral);
+  cc.n_nodes = 8;
+  Cluster cluster(cc, make_pair_workloads(workload::NpbApp::kEP,
+                                          workload::NpbApp::kDC,
+                                          cc.n_nodes, short_npb()));
+  cluster.run_for(5.0);
+  std::size_t transactions_before =
+      cluster.metrics().turnaround_ms().size();
+  // Server (node 8) alone on one island.
+  cluster.network().set_partition({{0, 1, 2, 3, 4, 5, 6, 7}, {8}});
+  cluster.run_for(20.0);
+  std::size_t transactions_after =
+      cluster.metrics().turnaround_ms().size();
+  EXPECT_EQ(transactions_after, transactions_before);
+  EXPECT_GT(cluster.metrics().timeouts(), 0u);
+  EXPECT_NEAR(cluster.audit().conservation_error(), 0.0, 1e-6);
+}
+
+TEST(Faults, ConfigDrivenPartitionAndHeal) {
+  // The same partition story, driven through the fault plan instead of
+  // direct network access: split at t=5 (clients 0-3 vs 4-7 + server),
+  // heal at t=20.
+  ClusterConfig cc = config_for(ManagerKind::kCentral);
+  cc.n_nodes = 8;
+  cc.faults = {
+      FaultEvent{FaultEvent::Kind::kPartition, common::from_seconds(5.0),
+                 4},
+      FaultEvent{FaultEvent::Kind::kHealPartition,
+                 common::from_seconds(20.0), 0},
+  };
+  Cluster cluster(cc, make_pair_workloads(workload::NpbApp::kEP,
+                                          workload::NpbApp::kDC,
+                                          cc.n_nodes, short_npb()));
+  RunResult result = cluster.run();
+  EXPECT_TRUE(result.all_completed);
+  // The left island (nodes 0-3) was cut off from the server: timeouts.
+  EXPECT_GT(result.timeouts, 0u);
+  // Partition-dropped messages are counted, and the books balance.
+  EXPECT_GT(result.net_stats.dropped_partition, 0u);
+  EXPECT_LT(result.audit.max_abs_conservation_error, 1e-6);
+}
+
+TEST(Faults, ServerKillOnPenelopeIsIgnored) {
+  RunResult result = run_one(
+      ManagerKind::kPenelope,
+      {FaultEvent{FaultEvent::Kind::kKillServer, common::from_seconds(5.0),
+                  0}});
+  EXPECT_TRUE(result.all_completed);
+}
+
+}  // namespace
+}  // namespace penelope::cluster

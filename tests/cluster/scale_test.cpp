@@ -1,0 +1,149 @@
+// Scale-study machinery (§4.5): completion bursts, redistribution-time
+// analysis, and the queueing behaviours Figures 4-8 are built on —
+// exercised at small scale so the suite stays fast.
+#include "cluster/scale.hpp"
+
+#include <gtest/gtest.h>
+
+namespace penelope::cluster {
+namespace {
+
+ScaleConfig small_scale(ManagerKind manager, double freq_hz = 1.0) {
+  ScaleConfig sc;
+  sc.manager = manager;
+  sc.n_nodes = 16;
+  sc.frequency_hz = freq_hz;
+  sc.burst_at_seconds = 4.0;
+  sc.window_seconds = 40.0;
+  sc.seed = 5;
+  return sc;
+}
+
+TEST(AnalyzeRedistribution, ComputesCrossingTimes) {
+  ClusterMetrics metrics;
+  metrics.record_release(common::from_seconds(10.0), 100.0, 0);
+  metrics.record_apply(common::from_seconds(11.0), 30.0, 1);
+  metrics.record_apply(common::from_seconds(12.0), 30.0, 1);
+  metrics.record_apply(common::from_seconds(14.0), 40.0, 2);
+  RedistributionResult half =
+      analyze_redistribution(metrics, common::from_seconds(10.0), 0.5);
+  EXPECT_DOUBLE_EQ(half.available_watts, 100.0);
+  ASSERT_TRUE(half.time_to_fraction_s.has_value());
+  EXPECT_DOUBLE_EQ(*half.time_to_fraction_s, 2.0);  // 60 W at t=12
+  RedistributionResult full =
+      analyze_redistribution(metrics, common::from_seconds(10.0), 1.0);
+  ASSERT_TRUE(full.time_to_fraction_s.has_value());
+  EXPECT_DOUBLE_EQ(*full.time_to_fraction_s, 4.0);
+}
+
+TEST(AnalyzeRedistribution, NeverReachedIsEmpty) {
+  ClusterMetrics metrics;
+  metrics.record_release(common::from_seconds(1.0), 100.0, 0);
+  metrics.record_apply(common::from_seconds(2.0), 10.0, 1);
+  RedistributionResult full =
+      analyze_redistribution(metrics, common::from_seconds(1.0), 1.0);
+  EXPECT_FALSE(full.time_to_fraction_s.has_value());
+  EXPECT_DOUBLE_EQ(full.shifted_watts, 10.0);
+}
+
+TEST(AnalyzeRedistribution, EventsBeforeBurstIgnored) {
+  ClusterMetrics metrics;
+  metrics.record_release(common::from_seconds(1.0), 50.0, 0);
+  metrics.record_apply(common::from_seconds(2.0), 50.0, 1);
+  metrics.record_release(common::from_seconds(10.0), 100.0, 0);
+  metrics.record_apply(common::from_seconds(13.0), 100.0, 1);
+  RedistributionResult r =
+      analyze_redistribution(metrics, common::from_seconds(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(r.available_watts, 100.0);
+  ASSERT_TRUE(r.time_to_fraction_s.has_value());
+  EXPECT_DOUBLE_EQ(*r.time_to_fraction_s, 3.0);
+}
+
+TEST(AnalyzeRedistribution, NoReleasesGivesEmptyResult) {
+  ClusterMetrics metrics;
+  RedistributionResult r = analyze_redistribution(metrics, 0, 0.5);
+  EXPECT_DOUBLE_EQ(r.available_watts, 0.0);
+  EXPECT_FALSE(r.time_to_fraction_s.has_value());
+}
+
+TEST(ScaleExperiment, PenelopeRedistributesBurst) {
+  ScaleResult result = run_scale_experiment(
+      small_scale(ManagerKind::kPenelope));
+  EXPECT_GT(result.available_watts, 0.0);
+  EXPECT_TRUE(result.median_reached);
+  EXPECT_GT(result.shifted_watts, result.available_watts * 0.5);
+  EXPECT_GT(result.turnaround_samples, 0u);
+  EXPECT_LT(result.max_conservation_error, 1e-6);
+}
+
+TEST(ScaleExperiment, CentralRedistributesBurst) {
+  ScaleResult result = run_scale_experiment(
+      small_scale(ManagerKind::kCentral));
+  EXPECT_GT(result.available_watts, 0.0);
+  EXPECT_TRUE(result.median_reached);
+  EXPECT_TRUE(result.total_reached);
+  EXPECT_LT(result.max_conservation_error, 1e-6);
+}
+
+TEST(ScaleExperiment, CentralIsFasterAtLowScaleLowFrequency) {
+  // §3.3: "centralized approaches will converge faster than peer-to-peer
+  // power management systems at low scale" — the global cache finds all
+  // excess immediately, random probing does not.
+  ScaleResult penelope =
+      run_scale_experiment(small_scale(ManagerKind::kPenelope));
+  ScaleResult central =
+      run_scale_experiment(small_scale(ManagerKind::kCentral));
+  ASSERT_TRUE(penelope.median_reached);
+  ASSERT_TRUE(central.median_reached);
+  EXPECT_LT(central.median_redistribution_s,
+            penelope.median_redistribution_s);
+}
+
+TEST(ScaleExperiment, PenelopeImprovesWithFrequency) {
+  // Figure 4's headline: a small increase in frequency causes a major
+  // reduction in Penelope's redistribution time.
+  ScaleResult slow = run_scale_experiment(
+      small_scale(ManagerKind::kPenelope, /*freq_hz=*/1.0));
+  ScaleResult fast = run_scale_experiment(
+      small_scale(ManagerKind::kPenelope, /*freq_hz=*/8.0));
+  ASSERT_TRUE(slow.median_reached);
+  ASSERT_TRUE(fast.median_reached);
+  EXPECT_LT(fast.median_redistribution_s,
+            slow.median_redistribution_s * 0.5);
+}
+
+TEST(ScaleExperiment, TurnaroundSaneOnSmallCluster) {
+  ScaleResult penelope =
+      run_scale_experiment(small_scale(ManagerKind::kPenelope));
+  ScaleResult central =
+      run_scale_experiment(small_scale(ManagerKind::kCentral));
+  // Quiet network: both should answer in well under a period.
+  EXPECT_LT(penelope.mean_turnaround_ms, 50.0);
+  EXPECT_LT(central.mean_turnaround_ms, 50.0);
+  EXPECT_GT(penelope.mean_turnaround_ms, 0.0);
+  EXPECT_GT(central.mean_turnaround_ms, 0.0);
+}
+
+TEST(ScaleExperiment, ConfigValidation) {
+  ScaleConfig sc = small_scale(ManagerKind::kPenelope);
+  ClusterConfig cc = make_scale_cluster_config(sc);
+  EXPECT_EQ(cc.n_nodes, sc.n_nodes);
+  EXPECT_EQ(cc.period, common::kTicksPerSecond);
+  EXPECT_DOUBLE_EQ(cc.measurement_noise_watts, 0.0);
+  ScaleConfig fast = small_scale(ManagerKind::kPenelope, 20.0);
+  EXPECT_EQ(make_scale_cluster_config(fast).period,
+            common::kTicksPerSecond / 20);
+}
+
+TEST(ScaleExperiment, DeterministicForSeed) {
+  ScaleResult a =
+      run_scale_experiment(small_scale(ManagerKind::kPenelope));
+  ScaleResult b =
+      run_scale_experiment(small_scale(ManagerKind::kPenelope));
+  EXPECT_DOUBLE_EQ(a.median_redistribution_s, b.median_redistribution_s);
+  EXPECT_EQ(a.turnaround_samples, b.turnaround_samples);
+  EXPECT_DOUBLE_EQ(a.mean_turnaround_ms, b.mean_turnaround_ms);
+}
+
+}  // namespace
+}  // namespace penelope::cluster

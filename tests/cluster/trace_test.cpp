@@ -1,0 +1,157 @@
+#include "cluster/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "cluster/cluster.hpp"
+
+namespace penelope::cluster {
+namespace {
+
+TraceSample sample(double t_s, int node, double cap) {
+  TraceSample s;
+  s.at = common::from_seconds(t_s);
+  s.node = node;
+  s.cap_watts = cap;
+  return s;
+}
+
+TEST(Trace, NodeSeriesFiltersAndOrders) {
+  Trace trace;
+  trace.add(sample(1, 0, 100));
+  trace.add(sample(1, 1, 200));
+  trace.add(sample(2, 0, 110));
+  auto series = trace.node_series(0);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series[0].cap_watts, 100);
+  EXPECT_DOUBLE_EQ(series[1].cap_watts, 110);
+}
+
+TEST(Trace, CapOscillationIsMeanAbsDelta) {
+  Trace trace;
+  trace.add(sample(1, 0, 100));
+  trace.add(sample(2, 0, 130));  // +30
+  trace.add(sample(3, 0, 110));  // -20
+  EXPECT_DOUBLE_EQ(trace.cap_oscillation(0), 25.0);
+}
+
+TEST(Trace, OscillationEdgeCases) {
+  Trace trace;
+  EXPECT_DOUBLE_EQ(trace.cap_oscillation(0), 0.0);
+  trace.add(sample(1, 0, 100));
+  EXPECT_DOUBLE_EQ(trace.cap_oscillation(0), 0.0);  // single sample
+  EXPECT_DOUBLE_EQ(trace.mean_cap_oscillation(), 0.0);
+}
+
+TEST(Trace, MeanOscillationAveragesNodes) {
+  Trace trace;
+  trace.add(sample(1, 0, 100));
+  trace.add(sample(2, 0, 110));  // osc 10
+  trace.add(sample(1, 1, 100));
+  trace.add(sample(2, 1, 130));  // osc 30
+  EXPECT_DOUBLE_EQ(trace.mean_cap_oscillation(), 20.0);
+}
+
+TEST(Trace, MeanCapAndPeakSwing) {
+  Trace trace;
+  trace.add(sample(1, 0, 100));
+  trace.add(sample(2, 0, 200));
+  trace.add(sample(1, 1, 150));
+  trace.add(sample(2, 1, 160));
+  EXPECT_DOUBLE_EQ(trace.mean_cap(0), 150.0);
+  EXPECT_DOUBLE_EQ(trace.peak_cap_swing(), 100.0);
+  EXPECT_EQ(trace.nodes(), (std::vector<int>{0, 1}));
+}
+
+TEST(Trace, CsvHasHeaderAndRows) {
+  Trace trace;
+  trace.add(sample(1.5, 3, 123.456));
+  std::string csv = trace.to_csv();
+  EXPECT_NE(csv.find("t_s,node,cap_w"), std::string::npos);
+  EXPECT_NE(csv.find("1.500,3,123.456"), std::string::npos);
+}
+
+TEST(Trace, WriteCsvRoundTrip) {
+  Trace trace;
+  trace.add(sample(1, 0, 100));
+  std::string path = testing::TempDir() + "/penelope_trace_test.csv";
+  ASSERT_TRUE(trace.write_csv(path));
+  std::ifstream f(path);
+  std::string header;
+  std::getline(f, header);
+  EXPECT_EQ(header, "t_s,node,cap_w,pool_w,power_w,demand_w,frac");
+  std::remove(path.c_str());
+}
+
+TEST(ClusterTrace, RecordsWhenEnabled) {
+  ClusterConfig cc;
+  cc.manager = ManagerKind::kPenelope;
+  cc.n_nodes = 4;
+  cc.per_socket_cap_watts = 70.0;
+  cc.trace_interval = common::from_millis(500);
+  cc.seed = 5;
+  workload::NpbConfig npb;
+  npb.duration_scale = 0.05;
+  Cluster cluster(cc, make_pair_workloads(workload::NpbApp::kEP,
+                                          workload::NpbApp::kDC,
+                                          cc.n_nodes, npb));
+  cluster.run_for(5.0);
+  const Trace& trace = cluster.trace();
+  ASSERT_FALSE(trace.empty());
+  // 4 nodes x 10 samples (every 0.5 s over 5 s).
+  EXPECT_EQ(trace.samples().size(), 40u);
+  EXPECT_EQ(trace.nodes().size(), 4u);
+  for (const auto& s : trace.samples()) {
+    EXPECT_GT(s.cap_watts, 0.0);
+    EXPECT_GT(s.power_watts, 0.0);
+    EXPECT_GE(s.pool_watts, 0.0);
+    EXPECT_GT(s.demand_watts, 0.0);
+  }
+}
+
+TEST(ClusterTrace, DisabledByDefault) {
+  ClusterConfig cc;
+  cc.manager = ManagerKind::kFair;
+  cc.n_nodes = 2;
+  workload::NpbConfig npb;
+  npb.duration_scale = 0.05;
+  Cluster cluster(cc, make_pair_workloads(workload::NpbApp::kEP,
+                                          workload::NpbApp::kDC,
+                                          cc.n_nodes, npb));
+  cluster.run_for(3.0);
+  EXPECT_TRUE(cluster.trace().empty());
+}
+
+TEST(ClusterTrace, UnlimitedGrantsOscillateMoreThanClamped) {
+  // The §3.2 claim bench_ablation quantifies, held as a regression test
+  // at small scale: removing the transaction clamp increases cap
+  // oscillation.
+  auto run_with = [](bool clamped) {
+    ClusterConfig cc;
+    cc.manager = ManagerKind::kPenelope;
+    cc.n_nodes = 6;
+    cc.per_socket_cap_watts = 70.0;
+    cc.trace_interval = common::kTicksPerSecond;
+    cc.seed = 11;
+    if (!clamped) {
+      cc.pool.share_fraction = 1.0;
+      cc.pool.upper_limit_watts = 1e9;
+      cc.pool.lower_limit_watts = 0.0;
+    }
+    workload::NpbConfig npb;
+    npb.duration_scale = 0.3;
+    Cluster cluster(cc, make_pair_workloads(workload::NpbApp::kEP,
+                                            workload::NpbApp::kDC,
+                                            cc.n_nodes, npb));
+    cluster.run_for(40.0);
+    return cluster.trace().mean_cap_oscillation();
+  };
+  double clamped = run_with(true);
+  double unlimited = run_with(false);
+  EXPECT_GT(unlimited, clamped);
+}
+
+}  // namespace
+}  // namespace penelope::cluster

@@ -1,0 +1,90 @@
+#include "common/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace penelope::common {
+namespace {
+
+TEST(Config, ParsesKeyValues) {
+  Config c;
+  ASSERT_TRUE(c.parse_entry("nodes=20"));
+  ASSERT_TRUE(c.parse_entry("cap=80.5"));
+  ASSERT_TRUE(c.parse_entry("name=penelope"));
+  EXPECT_EQ(c.get_int("nodes", 0), 20);
+  EXPECT_DOUBLE_EQ(c.get_double("cap", 0.0), 80.5);
+  EXPECT_EQ(c.get_string("name", ""), "penelope");
+}
+
+TEST(Config, DefaultsWhenMissing) {
+  Config c;
+  EXPECT_EQ(c.get_int("absent", 7), 7);
+  EXPECT_DOUBLE_EQ(c.get_double("absent", 1.5), 1.5);
+  EXPECT_EQ(c.get_string("absent", "d"), "d");
+  EXPECT_TRUE(c.get_bool("absent", true));
+}
+
+TEST(Config, RejectsMalformedEntries) {
+  Config c;
+  EXPECT_FALSE(c.parse_entry("noequals"));
+  EXPECT_FALSE(c.parse_entry("=value"));
+  EXPECT_FALSE(c.error().empty());
+}
+
+TEST(Config, BoolVariants) {
+  Config c;
+  c.parse_entry("a=1");
+  c.parse_entry("b=true");
+  c.parse_entry("c=yes");
+  c.parse_entry("d=on");
+  c.parse_entry("e=0");
+  c.parse_entry("f=false");
+  EXPECT_TRUE(c.get_bool("a", false));
+  EXPECT_TRUE(c.get_bool("b", false));
+  EXPECT_TRUE(c.get_bool("c", false));
+  EXPECT_TRUE(c.get_bool("d", false));
+  EXPECT_FALSE(c.get_bool("e", true));
+  EXPECT_FALSE(c.get_bool("f", true));
+}
+
+TEST(Config, DoubleListParsing) {
+  Config c;
+  c.parse_entry("caps=60,70,80");
+  auto caps = c.get_double_list("caps", {});
+  ASSERT_EQ(caps.size(), 3u);
+  EXPECT_DOUBLE_EQ(caps[0], 60.0);
+  EXPECT_DOUBLE_EQ(caps[2], 80.0);
+}
+
+TEST(Config, IntListDefault) {
+  Config c;
+  auto v = c.get_int_list("absent", {1, 2});
+  EXPECT_EQ(v, (std::vector<int>{1, 2}));
+}
+
+TEST(Config, ParseArgsSkipsProgramName) {
+  const char* argv_c[] = {"prog", "x=1", "y=2"};
+  char** argv = const_cast<char**>(argv_c);
+  Config c;
+  ASSERT_TRUE(c.parse_args(3, argv));
+  EXPECT_EQ(c.get_int("x", 0), 1);
+  EXPECT_EQ(c.get_int("y", 0), 2);
+}
+
+TEST(Config, UnusedKeysTracksReads) {
+  Config c;
+  c.parse_entry("used=1");
+  c.parse_entry("typo=1");
+  (void)c.get_int("used", 0);
+  auto unused = c.unused_keys();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(Config, ValueWithEqualsSign) {
+  Config c;
+  ASSERT_TRUE(c.parse_entry("expr=a=b"));
+  EXPECT_EQ(c.get_string("expr", ""), "a=b");
+}
+
+}  // namespace
+}  // namespace penelope::common

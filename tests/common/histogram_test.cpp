@@ -1,0 +1,64 @@
+#include "common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace penelope::common {
+namespace {
+
+TEST(Histogram, BucketsCoverRange) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.bucket_count(), 5u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(4), 10.0);
+}
+
+TEST(Histogram, SamplesLandInCorrectBuckets) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.0);
+  h.add(1.9);
+  h.add(2.0);
+  h.add(9.9);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(4), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, UnderOverflowCounted) {
+  Histogram h(0.0, 10.0, 2);
+  h.add(-1.0);
+  h.add(10.0);
+  h.add(100.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.bucket(0) + h.bucket(1), 0u);
+}
+
+TEST(Histogram, QuantileApproximatesUniform) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 2.0);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 2.0);
+  EXPECT_NEAR(h.quantile(0.0), 0.0, 2.0);
+}
+
+TEST(Histogram, QuantileOnEmptyReturnsLo) {
+  Histogram h(5.0, 10.0, 4);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+}
+
+TEST(Histogram, RenderShowsBarsAndCounts) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(0.6);
+  h.add(1.5);
+  std::string out = h.render(10);
+  EXPECT_NE(out.find("##########"), std::string::npos);  // peak bucket
+  EXPECT_NE(out.find("2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace penelope::common

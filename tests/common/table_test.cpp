@@ -1,0 +1,69 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace penelope::common {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  // Every line has the same column start for "value" data.
+  EXPECT_NE(out.find("alpha  1"), std::string::npos);
+}
+
+TEST(Table, AddRowValuesFormatsDoubles) {
+  Table t({"a", "b"});
+  t.add_row_values({1.23456, 2.0}, 2);
+  std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("1.23"), std::string::npos);
+  EXPECT_NE(csv.find("2.00"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t({"x"});
+  t.add_row({"a,b"});
+  t.add_row({"say \"hi\""});
+  std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, CsvRoundTripStructure) {
+  Table t({"h1", "h2"});
+  t.add_row({"r1c1", "r1c2"});
+  EXPECT_EQ(t.to_csv(), "h1,h2\nr1c1,r1c2\n");
+}
+
+TEST(Table, WriteCsvCreatesFile) {
+  Table t({"k"});
+  t.add_row({"v"});
+  std::string path = testing::TempDir() + "/penelope_table_test.csv";
+  ASSERT_TRUE(t.write_csv(path));
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "k");
+  std::remove(path.c_str());
+}
+
+TEST(Table, WriteCsvFailsGracefully) {
+  Table t({"k"});
+  EXPECT_FALSE(t.write_csv("/nonexistent-dir/x.csv"));
+}
+
+TEST(FmtHelpers, Format) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_percent(0.123, 1), "12.3%");
+  EXPECT_EQ(fmt_percent(-0.05, 0), "-5%");
+}
+
+}  // namespace
+}  // namespace penelope::common

@@ -1,0 +1,43 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace penelope::common {
+namespace {
+
+TEST(Units, SecondConversionsRoundTrip) {
+  EXPECT_EQ(from_seconds(1.0), kTicksPerSecond);
+  EXPECT_EQ(from_seconds(0.5), kTicksPerSecond / 2);
+  EXPECT_DOUBLE_EQ(to_seconds(from_seconds(2.25)), 2.25);
+}
+
+TEST(Units, MillisecondConversions) {
+  EXPECT_EQ(from_millis(1.0), kTicksPerMillisecond);
+  EXPECT_DOUBLE_EQ(to_millis(from_millis(12.5)), 12.5);
+}
+
+TEST(Units, WattsEqualWithinEpsilon) {
+  EXPECT_TRUE(watts_equal(1.0, 1.0 + kWattEpsilon / 2));
+  EXPECT_FALSE(watts_equal(1.0, 1.0 + 2 * kWattEpsilon));
+}
+
+TEST(Units, WattsLessRespectsTolerance) {
+  EXPECT_TRUE(watts_less(1.0, 2.0));
+  EXPECT_FALSE(watts_less(1.0, 1.0 + kWattEpsilon / 2));
+  EXPECT_FALSE(watts_less(2.0, 1.0));
+}
+
+TEST(Units, ClampWatts) {
+  EXPECT_DOUBLE_EQ(clamp_watts(5.0, 1.0, 10.0), 5.0);
+  EXPECT_DOUBLE_EQ(clamp_watts(-1.0, 1.0, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(clamp_watts(99.0, 1.0, 10.0), 10.0);
+}
+
+TEST(Units, JoulesOverInterval) {
+  EXPECT_DOUBLE_EQ(joules_over(100.0, kTicksPerSecond), 100.0);
+  EXPECT_DOUBLE_EQ(joules_over(50.0, kTicksPerSecond * 2), 100.0);
+  EXPECT_DOUBLE_EQ(joules_over(100.0, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace penelope::common

@@ -1,0 +1,282 @@
+#include "core/decider.hpp"
+
+#include <gtest/gtest.h>
+
+namespace penelope::core {
+namespace {
+
+DeciderConfig base_config() {
+  DeciderConfig cfg;
+  cfg.initial_cap_watts = 160.0;
+  cfg.epsilon_watts = 5.0;
+  cfg.safe_range = {.min_watts = 80.0, .max_watts = 250.0};
+  return cfg;
+}
+
+struct Fixture {
+  PowerPool pool;
+  Decider decider;
+  Fixture() : decider(base_config(), pool) {}
+  explicit Fixture(DeciderConfig cfg) : decider(cfg, pool) {}
+};
+
+// --- classification (Algorithm 1) ---------------------------------------
+
+TEST(Decider, ExcessBranchLowersCapAndDeposits) {
+  Fixture f;
+  // P = 100 < 160 - 5: excess of 60.
+  StepOutcome out = f.decider.begin_step(100.0);
+  EXPECT_EQ(out.kind, StepKind::kDepositedExcess);
+  EXPECT_DOUBLE_EQ(out.delta_watts, 60.0);
+  EXPECT_DOUBLE_EQ(f.decider.cap(), 100.0);
+  EXPECT_DOUBLE_EQ(f.pool.available(), 60.0);
+  EXPECT_FALSE(f.decider.last_step_hungry());
+}
+
+TEST(Decider, WithinEpsilonIsHungryNotExcess) {
+  Fixture f;
+  // P = 156 is within epsilon (5) of cap 160: power-hungry.
+  StepOutcome out = f.decider.begin_step(156.0);
+  EXPECT_NE(out.kind, StepKind::kDepositedExcess);
+  EXPECT_TRUE(f.decider.last_step_hungry());
+  EXPECT_DOUBLE_EQ(f.decider.cap(), 160.0);
+}
+
+TEST(Decider, ExactlyAtThresholdIsHungry) {
+  Fixture f;
+  // P == C - eps: the paper's condition for excess is strict (P < C - eps).
+  StepOutcome out = f.decider.begin_step(155.0);
+  EXPECT_NE(out.kind, StepKind::kDepositedExcess);
+}
+
+TEST(Decider, ExcessNeverLowersBelowSafeMin) {
+  Fixture f;
+  StepOutcome out = f.decider.begin_step(30.0);  // below safe min 80
+  EXPECT_EQ(out.kind, StepKind::kDepositedExcess);
+  EXPECT_DOUBLE_EQ(f.decider.cap(), 80.0);
+  EXPECT_DOUBLE_EQ(f.pool.available(), 80.0);  // 160 - 80
+}
+
+// --- hungry: local pool first --------------------------------------------
+
+TEST(Decider, HungryDrainsLocalPoolFirst) {
+  Fixture f;
+  f.pool.deposit(50.0);
+  StepOutcome out = f.decider.begin_step(158.0);
+  EXPECT_EQ(out.kind, StepKind::kTookLocal);
+  // Default policy drains the whole local cache in one step.
+  EXPECT_DOUBLE_EQ(out.delta_watts, 50.0);
+  EXPECT_DOUBLE_EQ(f.decider.cap(), 210.0);
+  EXPECT_DOUBLE_EQ(f.pool.available(), 0.0);
+}
+
+TEST(Decider, LocalDrainOverflowBeyondCeilingReturnsToPool) {
+  Fixture f;
+  f.pool.deposit(120.0);
+  StepOutcome out = f.decider.begin_step(158.0);
+  EXPECT_EQ(out.kind, StepKind::kTookLocal);
+  EXPECT_DOUBLE_EQ(out.delta_watts, 90.0);  // 160 -> 250 ceiling
+  EXPECT_DOUBLE_EQ(f.decider.cap(), 250.0);
+  EXPECT_DOUBLE_EQ(f.pool.available(), 30.0);
+}
+
+TEST(Decider, RateLimitedPolicyFollowsAlgorithmOneLiterally) {
+  DeciderConfig cfg = base_config();
+  cfg.local_take = LocalTakePolicy::kRateLimited;
+  Fixture f(cfg);
+  f.pool.deposit(100.0);
+  StepOutcome out = f.decider.begin_step(158.0);
+  EXPECT_EQ(out.kind, StepKind::kTookLocal);
+  EXPECT_DOUBLE_EQ(out.delta_watts, 10.0);  // min(Pool, getMaxSize) = 10%
+  EXPECT_DOUBLE_EQ(f.decider.cap(), 170.0);
+  EXPECT_DOUBLE_EQ(f.pool.available(), 90.0);
+}
+
+TEST(Decider, HungryWithEmptyPoolNeedsPeer) {
+  Fixture f;
+  StepOutcome out = f.decider.begin_step(158.0);
+  EXPECT_EQ(out.kind, StepKind::kNeedsPeer);
+  EXPECT_FALSE(out.request.urgent);
+  EXPECT_DOUBLE_EQ(out.request.alpha_watts, 0.0);
+  EXPECT_NE(out.request.txn_id, 0u);
+}
+
+TEST(Decider, TxnIdsAreUnique) {
+  Fixture f;
+  auto a = f.decider.begin_step(158.0);
+  f.decider.complete_peer_grant(0.0);
+  auto b = f.decider.begin_step(158.0);
+  EXPECT_NE(a.request.txn_id, b.request.txn_id);
+}
+
+// --- urgency ---------------------------------------------------------------
+
+TEST(Decider, UrgentWhenHungryBelowInitialCap) {
+  Fixture f;
+  // Drop the cap below initial via an excess step, then become hungry.
+  f.decider.begin_step(100.0);  // cap -> 100
+  f.pool.drain();               // empty the local pool
+  StepOutcome out = f.decider.begin_step(98.0);  // hungry at cap 100
+  EXPECT_EQ(out.kind, StepKind::kNeedsPeer);
+  EXPECT_TRUE(out.request.urgent);
+  EXPECT_DOUBLE_EQ(out.request.alpha_watts, 60.0);  // 160 - 100
+  EXPECT_TRUE(f.decider.last_step_urgent());
+}
+
+TEST(Decider, NotUrgentAtOrAboveInitialCap) {
+  Fixture f;
+  StepOutcome out = f.decider.begin_step(158.0);
+  EXPECT_FALSE(out.request.urgent);
+  EXPECT_FALSE(f.decider.last_step_urgent());
+}
+
+TEST(Decider, LocalUrgencyReleaseDownToInitial) {
+  Fixture f;
+  // Raise the cap above initial via a local take.
+  f.pool.deposit(40.0);
+  f.decider.begin_step(158.0);  // drains 40 -> cap 200
+  ASSERT_DOUBLE_EQ(f.decider.cap(), 200.0);
+  // A remote urgent request hits our pool, latching localUrgency.
+  PowerRequest urgent;
+  urgent.urgent = true;
+  urgent.alpha_watts = 50.0;
+  f.pool.serve(urgent);
+  // Next step is hungry with an empty pool (peer request); the
+  // end-of-step release must drop everything above the initial cap.
+  StepOutcome out = f.decider.begin_step(198.0);
+  EXPECT_EQ(out.kind, StepKind::kNeedsPeer);
+  f.decider.complete_peer_grant(0.0);
+  double released = f.decider.finish_step();
+  EXPECT_DOUBLE_EQ(released, 40.0);  // 200 -> initial 160
+  EXPECT_DOUBLE_EQ(f.decider.cap(), 160.0);
+  EXPECT_FALSE(f.pool.peek_local_urgency());
+}
+
+TEST(Decider, UrgentNodeDoesNotReleaseOnLocalUrgency) {
+  Fixture f;
+  f.decider.begin_step(100.0);  // cap -> 100, below initial
+  f.pool.drain();
+  PowerRequest urgent;
+  urgent.urgent = true;
+  urgent.alpha_watts = 10.0;
+  f.pool.serve(urgent);  // latch the flag
+  // This node is itself urgent now.
+  f.decider.begin_step(98.0);
+  f.decider.complete_peer_grant(0.0);
+  EXPECT_DOUBLE_EQ(f.decider.finish_step(), 0.0);
+  // The flag must survive for a later non-urgent step (Algorithm 1
+  // clears it only in the release branch).
+  EXPECT_TRUE(f.pool.peek_local_urgency());
+}
+
+TEST(Decider, LocalUrgencyWithNothingAboveInitialConsumesFlag) {
+  Fixture f;
+  PowerRequest urgent;
+  urgent.urgent = true;
+  urgent.alpha_watts = 10.0;
+  f.pool.serve(urgent);
+  f.decider.begin_step(158.0);  // hungry at initial cap, not urgent
+  f.decider.complete_peer_grant(0.0);
+  EXPECT_DOUBLE_EQ(f.decider.finish_step(), 0.0);
+  EXPECT_FALSE(f.pool.peek_local_urgency());
+}
+
+// --- grants and the safe ceiling ------------------------------------------
+
+TEST(Decider, GrantRaisesCap) {
+  Fixture f;
+  f.decider.begin_step(158.0);
+  double applied = f.decider.complete_peer_grant(25.0);
+  EXPECT_DOUBLE_EQ(applied, 25.0);
+  EXPECT_DOUBLE_EQ(f.decider.cap(), 185.0);
+}
+
+TEST(Decider, GrantOverflowBeyondSafeMaxGoesToPool) {
+  DeciderConfig cfg = base_config();
+  cfg.initial_cap_watts = 240.0;
+  Fixture f(cfg);
+  f.decider.begin_step(238.0);  // hungry near the ceiling
+  double applied = f.decider.complete_peer_grant(30.0);
+  EXPECT_DOUBLE_EQ(applied, 10.0);  // 240 -> 250 ceiling
+  EXPECT_DOUBLE_EQ(f.decider.cap(), 250.0);
+  EXPECT_DOUBLE_EQ(f.pool.available(), 20.0);  // overflow banked
+}
+
+TEST(Decider, HungryAtCeilingHolds) {
+  DeciderConfig cfg = base_config();
+  cfg.initial_cap_watts = 250.0;
+  Fixture f(cfg);
+  StepOutcome out = f.decider.begin_step(249.0);
+  EXPECT_EQ(out.kind, StepKind::kHeld);
+  EXPECT_DOUBLE_EQ(f.decider.cap(), 250.0);
+}
+
+TEST(Decider, ZeroGrantLeavesCapUnchanged) {
+  Fixture f;
+  f.decider.begin_step(158.0);
+  EXPECT_DOUBLE_EQ(f.decider.complete_peer_grant(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.decider.cap(), 160.0);
+}
+
+// --- conservation over many steps -------------------------------------------
+
+TEST(Decider, CapPlusPoolConservedOverSteps) {
+  Fixture f;
+  double budget = f.decider.cap() + f.pool.available();
+  // Alternate excess/hungry patterns; no external grants.
+  double readings[] = {100.0, 158.0, 90.0, 150.0, 130.0, 145.0, 70.0};
+  for (double p : readings) {
+    StepOutcome out = f.decider.begin_step(p);
+    if (out.kind == StepKind::kNeedsPeer) f.decider.complete_peer_grant(0.0);
+    f.decider.finish_step();
+    EXPECT_NEAR(f.decider.cap() + f.pool.available(), budget, 1e-9);
+  }
+}
+
+TEST(Decider, StatsAccumulate) {
+  Fixture f;
+  f.decider.begin_step(100.0);  // excess
+  f.decider.finish_step();
+  f.pool.drain();
+  f.decider.begin_step(98.0);  // hungry urgent -> peer
+  f.decider.complete_peer_grant(0.0);
+  f.decider.finish_step();
+  const DeciderStats& stats = f.decider.stats();
+  EXPECT_EQ(stats.steps, 2u);
+  EXPECT_EQ(stats.excess_steps, 1u);
+  EXPECT_EQ(stats.hungry_steps, 1u);
+  EXPECT_EQ(stats.peer_requests, 1u);
+  EXPECT_EQ(stats.urgent_requests, 1u);
+  EXPECT_DOUBLE_EQ(stats.watts_donated, 60.0);
+}
+
+TEST(DeciderDeath, InitialCapOutsideSafeRangeRejected) {
+  PowerPool pool;
+  DeciderConfig cfg = base_config();
+  cfg.initial_cap_watts = 20.0;
+  EXPECT_DEATH(Decider(cfg, pool), "safe range");
+}
+
+// --- oscillation-damping property (§3.2) ------------------------------------
+
+TEST(Decider, RepeatedGrantsAreGradual) {
+  // A node that is hungry against a huge remote pool must climb in
+  // clamped steps, not jump: this is the anti-oscillation rate limit.
+  Fixture donor_side;
+  donor_side.pool.deposit(1000.0);
+  Fixture hungry;
+  double previous_cap = hungry.decider.cap();
+  for (int i = 0; i < 3; ++i) {
+    StepOutcome out = hungry.decider.begin_step(previous_cap - 1.0);
+    ASSERT_EQ(out.kind, StepKind::kNeedsPeer);
+    double granted = donor_side.pool.serve(out.request);
+    EXPECT_LE(granted, 30.0);
+    hungry.decider.complete_peer_grant(granted);
+    hungry.decider.finish_step();
+    EXPECT_LE(hungry.decider.cap() - previous_cap, 30.0 + 1e-9);
+    previous_cap = hungry.decider.cap();
+  }
+}
+
+}  // namespace
+}  // namespace penelope::core

@@ -1,0 +1,263 @@
+#include "core/pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace penelope::core {
+namespace {
+
+TEST(PowerPool, StartsEmpty) {
+  PowerPool pool;
+  EXPECT_DOUBLE_EQ(pool.available(), 0.0);
+  EXPECT_FALSE(pool.peek_local_urgency());
+}
+
+TEST(PowerPool, DepositAccumulates) {
+  PowerPool pool;
+  pool.deposit(10.0);
+  pool.deposit(5.5);
+  EXPECT_DOUBLE_EQ(pool.available(), 15.5);
+  EXPECT_DOUBLE_EQ(pool.stats().total_deposited_watts, 15.5);
+}
+
+TEST(PowerPool, ZeroDepositIsNoop) {
+  PowerPool pool;
+  pool.deposit(0.0);
+  EXPECT_DOUBLE_EQ(pool.available(), 0.0);
+  EXPECT_EQ(pool.stats().total_deposited_watts, 0.0);
+}
+
+// --- getMaxSize (Algorithm 2) -------------------------------------------
+
+TEST(PowerPool, MaxTransactionPaperExamples) {
+  // "So if the pool size is over 300 it returns 30, and if below 10 it
+  // returns 1."
+  PowerPool pool;
+  EXPECT_DOUBLE_EQ(pool.max_transaction(400.0), 30.0);
+  EXPECT_DOUBLE_EQ(pool.max_transaction(301.0), 30.0);
+  EXPECT_DOUBLE_EQ(pool.max_transaction(5.0), 1.0);
+  EXPECT_DOUBLE_EQ(pool.max_transaction(9.0), 1.0);
+}
+
+TEST(PowerPool, MaxTransactionTenPercentInMidRange) {
+  PowerPool pool;
+  EXPECT_DOUBLE_EQ(pool.max_transaction(100.0), 10.0);
+  EXPECT_DOUBLE_EQ(pool.max_transaction(200.0), 20.0);
+  EXPECT_DOUBLE_EQ(pool.max_transaction(300.0), 30.0);
+  EXPECT_DOUBLE_EQ(pool.max_transaction(10.0), 1.0);
+}
+
+// --- non-urgent serving ----------------------------------------------------
+
+TEST(PowerPool, NonUrgentGrantIsRateLimited) {
+  PowerPool pool;
+  pool.deposit(500.0);
+  PowerRequest req;
+  double granted = pool.serve(req);
+  EXPECT_DOUBLE_EQ(granted, 30.0);  // upper clamp
+  EXPECT_DOUBLE_EQ(pool.available(), 470.0);
+}
+
+TEST(PowerPool, NonUrgentGrantFromSmallPoolGivesEverything) {
+  PowerPool pool;
+  pool.deposit(0.4);
+  double granted = pool.serve(PowerRequest{});
+  // min(pool, clamp) = min(0.4, 1.0): the lower clamp cannot grant more
+  // than the pool holds.
+  EXPECT_DOUBLE_EQ(granted, 0.4);
+  EXPECT_DOUBLE_EQ(pool.available(), 0.0);
+}
+
+TEST(PowerPool, EmptyPoolGrantsZero) {
+  PowerPool pool;
+  double granted = pool.serve(PowerRequest{});
+  EXPECT_DOUBLE_EQ(granted, 0.0);
+  EXPECT_EQ(pool.stats().empty_grants, 1u);
+}
+
+TEST(PowerPool, NonUrgentDoesNotSetLocalUrgency) {
+  PowerPool pool;
+  pool.deposit(100.0);
+  pool.serve(PowerRequest{});
+  EXPECT_FALSE(pool.peek_local_urgency());
+}
+
+// --- urgent serving --------------------------------------------------------
+
+TEST(PowerPool, UrgentGrantBypassesLimit) {
+  PowerPool pool;
+  pool.deposit(500.0);
+  PowerRequest req;
+  req.urgent = true;
+  req.alpha_watts = 120.0;
+  double granted = pool.serve(req);
+  EXPECT_DOUBLE_EQ(granted, 120.0);  // far above the 30 W clamp
+  EXPECT_DOUBLE_EQ(pool.available(), 380.0);
+}
+
+TEST(PowerPool, UrgentGrantBoundedByPool) {
+  PowerPool pool;
+  pool.deposit(50.0);
+  PowerRequest req;
+  req.urgent = true;
+  req.alpha_watts = 120.0;
+  EXPECT_DOUBLE_EQ(pool.serve(req), 50.0);
+  EXPECT_DOUBLE_EQ(pool.available(), 0.0);
+}
+
+TEST(PowerPool, UrgentGrantBoundedByAlpha) {
+  PowerPool pool;
+  pool.deposit(500.0);
+  PowerRequest req;
+  req.urgent = true;
+  req.alpha_watts = 7.0;
+  EXPECT_DOUBLE_EQ(pool.serve(req), 7.0);
+}
+
+TEST(PowerPool, UrgentSetsLocalUrgencyLatched) {
+  PowerPool pool;
+  pool.deposit(10.0);
+  PowerRequest urgent;
+  urgent.urgent = true;
+  urgent.alpha_watts = 1.0;
+  pool.serve(urgent);
+  EXPECT_TRUE(pool.peek_local_urgency());
+  // A later non-urgent request must not clear the latched signal.
+  pool.serve(PowerRequest{});
+  EXPECT_TRUE(pool.peek_local_urgency());
+  EXPECT_TRUE(pool.consume_local_urgency());
+  EXPECT_FALSE(pool.peek_local_urgency());
+  EXPECT_FALSE(pool.consume_local_urgency());
+}
+
+TEST(PowerPool, NegativeAlphaTreatedAsZero) {
+  PowerPool pool;
+  pool.deposit(10.0);
+  PowerRequest req;
+  req.urgent = true;
+  req.alpha_watts = -5.0;
+  EXPECT_DOUBLE_EQ(pool.serve(req), 0.0);
+  EXPECT_DOUBLE_EQ(pool.available(), 10.0);
+}
+
+// --- local take / drain ------------------------------------------------------
+
+TEST(PowerPool, TakeLocalUsesTransactionLimit) {
+  PowerPool pool;
+  pool.deposit(500.0);
+  EXPECT_DOUBLE_EQ(pool.take_local(), 30.0);
+  EXPECT_DOUBLE_EQ(pool.available(), 470.0);
+}
+
+TEST(PowerPool, TakeLocalFromEmptyIsZero) {
+  PowerPool pool;
+  EXPECT_DOUBLE_EQ(pool.take_local(), 0.0);
+}
+
+TEST(PowerPool, DrainEmptiesEverything) {
+  PowerPool pool;
+  pool.deposit(123.0);
+  EXPECT_DOUBLE_EQ(pool.drain(), 123.0);
+  EXPECT_DOUBLE_EQ(pool.available(), 0.0);
+  EXPECT_DOUBLE_EQ(pool.drain(), 0.0);
+}
+
+// --- conservation ------------------------------------------------------------
+
+TEST(PowerPool, ServeIsZeroSum) {
+  PowerPool pool;
+  pool.deposit(100.0);
+  double taken = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    PowerRequest req;
+    req.urgent = (i % 3 == 0);
+    req.alpha_watts = 9.0;
+    taken += pool.serve(req);
+  }
+  EXPECT_NEAR(taken + pool.available(), 100.0, 1e-9);
+}
+
+TEST(PowerPool, StatsTrackGrantsAndRequests) {
+  PowerPool pool;
+  pool.deposit(100.0);
+  pool.serve(PowerRequest{});
+  PowerRequest urgent;
+  urgent.urgent = true;
+  urgent.alpha_watts = 5.0;
+  pool.serve(urgent);
+  auto stats = pool.stats();
+  EXPECT_EQ(stats.requests_served, 2u);
+  EXPECT_EQ(stats.urgent_requests_served, 1u);
+  EXPECT_DOUBLE_EQ(stats.total_granted_watts, 15.0);
+}
+
+TEST(PowerPool, ConcurrentDepositAndServeConserves) {
+  // §3.3: pool mutations must be atomic or system-wide caps could be
+  // violated. Hammer the pool from several threads and check the books.
+  PowerPool pool;
+  constexpr int kThreads = 4;
+  constexpr int kOps = 2000;
+  constexpr double kDeposit = 2.0;
+
+  std::vector<std::thread> threads;
+  std::vector<double> taken(kThreads, 0.0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, &taken, t] {
+      for (int i = 0; i < kOps; ++i) {
+        pool.deposit(kDeposit);
+        PowerRequest req;
+        req.urgent = (i % 2 == 0);
+        req.alpha_watts = 1.5;
+        taken[static_cast<std::size_t>(t)] += pool.serve(req);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  double total_taken = 0.0;
+  for (double t : taken) total_taken += t;
+  EXPECT_NEAR(total_taken + pool.available(),
+              kThreads * kOps * kDeposit, 1e-6);
+}
+
+TEST(PowerPoolDeath, NegativeDepositAborts) {
+  PowerPool pool;
+  EXPECT_DEATH(pool.deposit(-1.0), "negative");
+}
+
+TEST(PowerPoolDeath, BadConfigRejected) {
+  PoolConfig cfg;
+  cfg.share_fraction = 0.0;
+  EXPECT_DEATH(PowerPool{cfg}, "share_fraction");
+  PoolConfig cfg2;
+  cfg2.lower_limit_watts = 10.0;
+  cfg2.upper_limit_watts = 5.0;
+  EXPECT_DEATH(PowerPool{cfg2}, "upper_limit");
+}
+
+class PoolShareSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(PoolShareSweep, GrantNeverExceedsPoolOrClamp) {
+  auto [pool_size, share] = GetParam();
+  PoolConfig cfg;
+  cfg.share_fraction = share;
+  PowerPool pool(cfg);
+  pool.deposit(pool_size);
+  double granted = pool.serve(PowerRequest{});
+  EXPECT_LE(granted, pool_size + 1e-12);
+  EXPECT_LE(granted, cfg.upper_limit_watts + 1e-12);
+  EXPECT_GE(granted, 0.0);
+  EXPECT_NEAR(pool.available(), pool_size - granted, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, PoolShareSweep,
+    ::testing::Combine(::testing::Values(0.0, 0.5, 5.0, 50.0, 300.0,
+                                         5000.0),
+                       ::testing::Values(0.05, 0.10, 0.25, 1.0)));
+
+}  // namespace
+}  // namespace penelope::core

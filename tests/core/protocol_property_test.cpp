@@ -1,0 +1,201 @@
+// Randomized property tests of the decider/pool pair: drive a small
+// federation of deciders with arbitrary power readings, random grant
+// routing, message reordering and random urgency, and assert the
+// invariants that must survive *any* schedule:
+//   * every cap stays inside the safe range,
+//   * watts are conserved exactly (caps + pools + in-flight == budget),
+//   * pools never go negative,
+//   * grants never exceed what the responder debited.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/decider.hpp"
+#include "core/pool.hpp"
+
+namespace penelope::core {
+namespace {
+
+struct Node {
+  PowerPool pool;
+  Decider decider;
+  explicit Node(const DeciderConfig& config)
+      : decider(config, pool) {}
+};
+
+struct InFlight {
+  int target_node;
+  double watts;
+};
+
+class ProtocolFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProtocolFuzz, InvariantsSurviveArbitrarySchedules) {
+  common::Rng rng(GetParam());
+  DeciderConfig config;
+  config.initial_cap_watts = 160.0;
+  config.epsilon_watts = 5.0;
+  config.safe_range = {.min_watts = 80.0, .max_watts = 250.0};
+  // Half the runs use the literal Algorithm-1 local-take policy.
+  if (GetParam() % 2 == 0) {
+    config.local_take = LocalTakePolicy::kRateLimited;
+  }
+
+  constexpr int kNodes = 5;
+  std::vector<std::unique_ptr<Node>> nodes;
+  for (int i = 0; i < kNodes; ++i) {
+    nodes.push_back(std::make_unique<Node>(config));
+  }
+  // The ledger: live power must always equal budget + outstanding
+  // retirement debt, whatever the schedule does.
+  double budget = kNodes * config.initial_cap_watts;
+
+  // Grants travel through this mailbag with random delays/reordering.
+  std::vector<InFlight> in_flight;
+
+  auto live_total = [&] {
+    double total = 0.0;
+    for (const auto& node : nodes) {
+      total += node->decider.cap() + node->pool.available();
+    }
+    for (const auto& grant : in_flight) total += grant.watts;
+    return total;
+  };
+  auto debt_total = [&] {
+    double total = 0.0;
+    for (const auto& node : nodes) {
+      total += node->decider.retirement_debt();
+    }
+    return total;
+  };
+
+  for (int step = 0; step < 3000; ++step) {
+    int actor = rng.uniform_int(0, kNodes - 1);
+    Node& node = *nodes[static_cast<std::size_t>(actor)];
+
+    switch (rng.uniform_int(0, 3)) {
+      case 0: {  // decider step with an arbitrary power reading
+        double reading = rng.uniform(0.0, 300.0);
+        StepOutcome outcome = node.decider.begin_step(reading);
+        if (outcome.kind == StepKind::kNeedsPeer) {
+          // Route to a random pool; its grant enters the mailbag.
+          int peer = rng.uniform_int(0, kNodes - 1);
+          if (peer == actor) peer = (peer + 1) % kNodes;
+          double before =
+              nodes[static_cast<std::size_t>(peer)]->pool.available();
+          double granted = nodes[static_cast<std::size_t>(peer)]
+                               ->pool.serve(outcome.request);
+          EXPECT_LE(granted, before + 1e-9);
+          EXPECT_GE(granted, 0.0);
+          if (rng.chance(0.8)) {
+            in_flight.push_back(InFlight{actor, granted});
+          } else {
+            // Grant delivered immediately.
+            node.decider.complete_peer_grant(granted);
+          }
+          if (rng.chance(0.7)) node.decider.finish_step();
+        } else {
+          node.decider.finish_step();
+        }
+        break;
+      }
+      case 1: {  // deliver a random in-flight grant (reordered)
+        if (in_flight.empty()) break;
+        auto idx = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(in_flight.size()) - 1));
+        InFlight grant = in_flight[idx];
+        in_flight.erase(in_flight.begin() + static_cast<long>(idx));
+        // Late grants are banked in the pool by the driver; emulate.
+        nodes[static_cast<std::size_t>(grant.target_node)]
+            ->pool.deposit(grant.watts);
+        break;
+      }
+      case 2: {  // a random budget reconfiguration of this node
+        if (rng.chance(0.05)) {
+          double delta = rng.uniform(-20.0, 20.0);
+          (void)node.decider.apply_budget_delta(delta);
+          budget += delta;
+        }
+        break;
+      }
+      case 3: {  // spontaneous urgent probe against this node's pool
+        PowerRequest request;
+        request.urgent = rng.chance(0.5);
+        request.alpha_watts = rng.uniform(0.0, 100.0);
+        double before = node.pool.available();
+        double granted = node.pool.serve(request);
+        EXPECT_LE(granted, before + 1e-9);
+        in_flight.push_back(InFlight{rng.uniform_int(0, kNodes - 1),
+                                     granted});
+        break;
+      }
+    }
+
+    // The safety invariants hold after every single event.
+    for (const auto& n : nodes) {
+      ASSERT_GE(n->decider.cap(),
+                config.safe_range.min_watts - 1e-9);
+      ASSERT_LE(n->decider.cap(),
+                config.safe_range.max_watts + 1e-9);
+      ASSERT_GE(n->pool.available(), 0.0);
+      ASSERT_GE(n->decider.retirement_debt(), 0.0);
+    }
+    ASSERT_NEAR(live_total(), budget + debt_total(), 1e-7)
+        << "ledger broke at step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolFuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u,
+                                           8u));
+
+TEST(ProtocolConservation, ClosedSystemConservesExactly) {
+  // No budget reconfiguration, no lost messages: conservation must be
+  // exact to floating point over a long random schedule.
+  common::Rng rng(99);
+  DeciderConfig config;
+  config.initial_cap_watts = 160.0;
+  config.epsilon_watts = 5.0;
+  config.safe_range = {.min_watts = 80.0, .max_watts = 250.0};
+
+  constexpr int kNodes = 4;
+  std::vector<std::unique_ptr<Node>> nodes;
+  for (int i = 0; i < kNodes; ++i) {
+    nodes.push_back(std::make_unique<Node>(config));
+  }
+  const double budget = kNodes * config.initial_cap_watts;
+  std::vector<InFlight> in_flight;
+
+  for (int step = 0; step < 20000; ++step) {
+    int actor = rng.uniform_int(0, kNodes - 1);
+    Node& node = *nodes[static_cast<std::size_t>(actor)];
+    double reading = rng.uniform(60.0, 260.0);
+    StepOutcome outcome = node.decider.begin_step(reading);
+    if (outcome.kind == StepKind::kNeedsPeer) {
+      int peer = (actor + rng.uniform_int(1, kNodes - 1)) % kNodes;
+      double granted =
+          nodes[static_cast<std::size_t>(peer)]->pool.serve(
+              outcome.request);
+      in_flight.push_back(InFlight{actor, granted});
+    }
+    node.decider.finish_step();
+
+    if (!in_flight.empty() && rng.chance(0.6)) {
+      InFlight grant = in_flight.back();
+      in_flight.pop_back();
+      nodes[static_cast<std::size_t>(grant.target_node)]
+          ->decider.complete_peer_grant(grant.watts);
+    }
+
+    double total = 0.0;
+    for (const auto& n : nodes) {
+      total += n->decider.cap() + n->pool.available();
+    }
+    for (const auto& grant : in_flight) total += grant.watts;
+    ASSERT_NEAR(total, budget, 1e-7) << "at step " << step;
+  }
+}
+
+}  // namespace
+}  // namespace penelope::core

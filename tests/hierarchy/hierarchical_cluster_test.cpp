@@ -1,0 +1,128 @@
+// Full-cluster behaviour of the PoDD-style hierarchical manager:
+// profiling, assignment, conservation, and the coupled-workload payoff
+// (asymmetric pairs get asymmetric initial caps, so less reactive
+// shifting is needed than under SLURM's even split).
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+
+namespace penelope::cluster {
+namespace {
+
+workload::NpbConfig short_npb(std::uint64_t seed = 19) {
+  workload::NpbConfig cfg;
+  cfg.duration_scale = 0.3;
+  cfg.demand_jitter_frac = 0.02;
+  cfg.seed = seed;
+  return cfg;
+}
+
+ClusterConfig podd_config(int nodes = 8, double cap = 70.0) {
+  ClusterConfig cc;
+  cc.manager = ManagerKind::kHierarchical;
+  cc.n_nodes = nodes;
+  cc.per_socket_cap_watts = cap;
+  cc.seed = 23;
+  cc.max_seconds = 1200.0;
+  return cc;
+}
+
+TEST(HierarchicalCluster, RunsToCompletion) {
+  ClusterConfig cc = podd_config();
+  Cluster cluster(cc, make_pair_workloads(workload::NpbApp::kEP,
+                                          workload::NpbApp::kDC,
+                                          cc.n_nodes, short_npb()));
+  RunResult result = cluster.run();
+  EXPECT_TRUE(result.all_completed);
+  ASSERT_TRUE(result.server_stats.has_value());
+  EXPECT_GT(result.server_stats->processed, 0u);
+}
+
+TEST(HierarchicalCluster, AssignsAsymmetricCapsToAsymmetricPair) {
+  ClusterConfig cc = podd_config();
+  Cluster cluster(cc, make_pair_workloads(workload::NpbApp::kEP,
+                                          workload::NpbApp::kDC,
+                                          cc.n_nodes, short_npb()));
+  // Run past the profiling window (5 periods) plus assignment delivery.
+  cluster.run_for(10.0);
+  // EP (hungry, nodes 0..3) should hold more cap than DC (nodes 4..7).
+  double ep_caps = 0.0;
+  double dc_caps = 0.0;
+  for (int i = 0; i < 4; ++i) ep_caps += cluster.node_cap(i);
+  for (int i = 4; i < 8; ++i) dc_caps += cluster.node_cap(i);
+  EXPECT_GT(ep_caps, dc_caps + 40.0);
+}
+
+TEST(HierarchicalCluster, ConservationHoldsThroughReassignment) {
+  // The reassignment moves a lot of power at once (donations down,
+  // urgency up); the audit must stay exact throughout.
+  ClusterConfig cc = podd_config();
+  cc.audit_interval = common::from_millis(250);
+  Cluster cluster(cc, make_pair_workloads(workload::NpbApp::kEP,
+                                          workload::NpbApp::kDC,
+                                          cc.n_nodes, short_npb()));
+  RunResult result = cluster.run();
+  EXPECT_TRUE(result.all_completed);
+  EXPECT_LT(result.audit.max_abs_conservation_error, 1e-6);
+  EXPECT_LE(result.audit.max_live_overshoot, 1e-6);
+}
+
+TEST(HierarchicalCluster, BeatsFairOnCoupledAsymmetricPair) {
+  auto run_with = [](ManagerKind manager) {
+    ClusterConfig cc = podd_config();
+    cc.manager = manager;
+    Cluster cluster(cc, make_pair_workloads(workload::NpbApp::kEP,
+                                            workload::NpbApp::kDC,
+                                            cc.n_nodes, short_npb()));
+    return cluster.run();
+  };
+  RunResult fair = run_with(ManagerKind::kFair);
+  RunResult podd = run_with(ManagerKind::kHierarchical);
+  ASSERT_TRUE(fair.all_completed && podd.all_completed);
+  EXPECT_LT(podd.runtime_seconds, fair.runtime_seconds);
+}
+
+TEST(HierarchicalCluster, SymmetricPairKeepsEvenSplit) {
+  ClusterConfig cc = podd_config();
+  Cluster cluster(cc, make_pair_workloads(workload::NpbApp::kEP,
+                                          workload::NpbApp::kEP,
+                                          cc.n_nodes, short_npb()));
+  cluster.run_for(10.0);
+  double group_a = cluster.node_cap(0);
+  double group_b = cluster.node_cap(5);
+  // Same app on both halves: the learned split stays near even (within
+  // jitter), i.e. PoDD degenerates gracefully to SLURM's assignment.
+  EXPECT_NEAR(group_a, group_b, 12.0);
+}
+
+TEST(HierarchicalCluster, ServerKillDuringProfilingFreezesEvenSplit) {
+  ClusterConfig cc = podd_config();
+  cc.faults = {FaultEvent{FaultEvent::Kind::kKillServer,
+                          common::from_seconds(2.0), 0}};
+  Cluster cluster(cc, make_pair_workloads(workload::NpbApp::kEP,
+                                          workload::NpbApp::kDC,
+                                          cc.n_nodes, short_npb()));
+  RunResult result = cluster.run();
+  // Clients never leave the profiling state: caps stay at the even
+  // split and the run degenerates to Fair (plus report traffic into the
+  // void). It must still complete and balance.
+  EXPECT_TRUE(result.all_completed);
+  for (int i = 0; i < cc.n_nodes; ++i) {
+    EXPECT_DOUBLE_EQ(cluster.node_cap(i), cc.initial_node_cap());
+  }
+  EXPECT_LT(result.audit.max_abs_conservation_error, 1e-6);
+}
+
+TEST(HierarchicalCluster, DeterministicForSeed) {
+  auto run_once = [] {
+    ClusterConfig cc = podd_config();
+    Cluster cluster(cc, make_pair_workloads(workload::NpbApp::kFT,
+                                            workload::NpbApp::kDC,
+                                            cc.n_nodes, short_npb()));
+    return cluster.run().runtime_seconds;
+  };
+  EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace penelope::cluster

@@ -1,0 +1,136 @@
+#include "hierarchy/podd_server.hpp"
+
+#include <gtest/gtest.h>
+
+namespace penelope::hierarchy {
+namespace {
+
+PoddConfig base_config(int n_nodes = 4, int periods = 2) {
+  PoddConfig cfg;
+  cfg.n_nodes = n_nodes;
+  cfg.initial_cap_watts = 140.0;
+  cfg.safe_range = {.min_watts = 80.0, .max_watts = 250.0};
+  cfg.profile_periods = periods;
+  return cfg;
+}
+
+TEST(PoddServer, ProfilingCompletesAfterEnoughReports) {
+  PoddServerLogic server(base_config(2, 3));
+  EXPECT_FALSE(server.profiling_complete());
+  for (int round = 0; round < 3; ++round) {
+    bool last = (round == 2);
+    EXPECT_EQ(server.handle_profile_report(0, {100.0}), true);
+    EXPECT_EQ(server.handle_profile_report(1, {200.0}), !last);
+  }
+  EXPECT_TRUE(server.profiling_complete());
+}
+
+TEST(PoddServer, DemandsAreMeansOfReports) {
+  PoddServerLogic server(base_config(4, 2));
+  // Group A (nodes 0,1): 90 and 110 -> mean 100.
+  // Group B (nodes 2,3): 190 and 210 -> mean 200.
+  for (int round = 0; round < 2; ++round) {
+    server.handle_profile_report(0, {90.0});
+    server.handle_profile_report(1, {110.0});
+    server.handle_profile_report(2, {190.0});
+    server.handle_profile_report(3, {210.0});
+  }
+  EXPECT_TRUE(server.profiling_complete());
+  EXPECT_NEAR(server.group_a_demand(), 100.0, 1e-9);
+  EXPECT_NEAR(server.group_b_demand(), 200.0, 1e-9);
+}
+
+TEST(PoddServer, AssignmentIsDemandProportional) {
+  PoddServerLogic server(base_config(4, 1));
+  server.handle_profile_report(0, {100.0});
+  server.handle_profile_report(1, {100.0});
+  server.handle_profile_report(2, {200.0});
+  server.handle_profile_report(3, {200.0});
+  GroupAssignment assignment = server.assignment();
+  // Budget 4 x 140 = 560; proportional: A gets 560/3/... per node:
+  // 560 * 100 / (2*100 + 2*200) = 93.33; B: 186.67.
+  EXPECT_NEAR(assignment.group_a_cap, 560.0 * 100.0 / 600.0, 1e-6);
+  EXPECT_NEAR(assignment.group_b_cap, 560.0 * 200.0 / 600.0, 1e-6);
+  EXPECT_NEAR(assignment.group_a_cap * 2 + assignment.group_b_cap * 2,
+              560.0, 1e-6);
+  EXPECT_DOUBLE_EQ(server.assigned_cap(0), assignment.group_a_cap);
+  EXPECT_DOUBLE_EQ(server.assigned_cap(3), assignment.group_b_cap);
+}
+
+TEST(PoddServer, ExtraReportsAfterCompletionIgnored) {
+  PoddServerLogic server(base_config(2, 1));
+  server.handle_profile_report(0, {100.0});
+  server.handle_profile_report(1, {100.0});
+  ASSERT_TRUE(server.profiling_complete());
+  double before = server.group_a_demand();
+  EXPECT_FALSE(server.handle_profile_report(0, {999.0}));
+  EXPECT_DOUBLE_EQ(server.group_a_demand(), before);
+}
+
+TEST(SplitBudget, EqualDemandsSplitEvenly) {
+  power::SafeRange range{80.0, 250.0};
+  GroupAssignment a =
+      PoddServerLogic::split_budget(560.0, 2, 2, 150.0, 150.0, range);
+  EXPECT_NEAR(a.group_a_cap, 140.0, 1e-9);
+  EXPECT_NEAR(a.group_b_cap, 140.0, 1e-9);
+}
+
+TEST(SplitBudget, ClampsToSafeMinimumAndPaysFromOther) {
+  power::SafeRange range{80.0, 250.0};
+  // Extreme asymmetry: proportional share of A would be ~36 W, below
+  // the 80 W floor; B pays for the difference.
+  GroupAssignment a =
+      PoddServerLogic::split_budget(560.0, 2, 2, 30.0, 200.0, range);
+  EXPECT_DOUBLE_EQ(a.group_a_cap, 80.0);
+  EXPECT_NEAR(a.group_a_cap * 2 + a.group_b_cap * 2, 560.0, 1e-6);
+  EXPECT_GE(a.group_b_cap, range.min_watts);
+  EXPECT_LE(a.group_b_cap, range.max_watts);
+}
+
+TEST(SplitBudget, ClampsToSafeMaximumAndDonatesToOther) {
+  power::SafeRange range{80.0, 250.0};
+  // B's proportional share would exceed 250; A absorbs the surplus.
+  GroupAssignment a =
+      PoddServerLogic::split_budget(800.0, 2, 2, 50.0, 400.0, range);
+  EXPECT_DOUBLE_EQ(a.group_b_cap, 250.0);
+  EXPECT_LE(a.group_a_cap * 2 + a.group_b_cap * 2, 800.0 + 1e-6);
+  EXPECT_GE(a.group_a_cap, range.min_watts);
+}
+
+TEST(SplitBudget, NeverExceedsBudget) {
+  power::SafeRange range{80.0, 250.0};
+  for (double da : {10.0, 100.0, 200.0, 300.0}) {
+    for (double db : {10.0, 100.0, 200.0, 300.0}) {
+      for (double budget : {320.0, 560.0, 900.0}) {
+        GroupAssignment a =
+            PoddServerLogic::split_budget(budget, 2, 2, da, db, range);
+        EXPECT_LE(a.group_a_cap * 2 + a.group_b_cap * 2, budget + 1e-6)
+            << "da=" << da << " db=" << db << " budget=" << budget;
+        EXPECT_GE(a.group_a_cap, range.min_watts - 1e-9);
+        EXPECT_LE(a.group_a_cap, range.max_watts + 1e-9);
+        EXPECT_GE(a.group_b_cap, range.min_watts - 1e-9);
+        EXPECT_LE(a.group_b_cap, range.max_watts + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(SplitBudget, ZeroDemandFallsBackToEven) {
+  power::SafeRange range{80.0, 250.0};
+  GroupAssignment a =
+      PoddServerLogic::split_budget(560.0, 2, 2, 0.0, 0.0, range);
+  EXPECT_NEAR(a.group_a_cap, 140.0, 1e-9);
+  EXPECT_NEAR(a.group_b_cap, 140.0, 1e-9);
+}
+
+TEST(PoddServer, CentralDelegationWorks) {
+  PoddServerLogic server(base_config(2, 1));
+  server.central().handle_donation(central::CentralDonation{50.0});
+  EXPECT_DOUBLE_EQ(server.central().cache_watts(), 50.0);
+  central::CentralRequest req;
+  auto grant = server.central().handle_request(req);
+  EXPECT_GT(grant.watts, 0.0);
+}
+
+}  // namespace
+}  // namespace penelope::hierarchy

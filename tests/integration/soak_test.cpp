@@ -1,0 +1,82 @@
+// Soak: a long virtual-time run combining everything at once — phased
+// workloads, measurement noise, a lossy fabric, a mid-run budget cut
+// and a later restoration, plus a management-plane fault — under every
+// manager. The books must balance at every audit and no invariant may
+// crack. This is the "leave it running overnight" test, compressed into
+// virtual time.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+
+namespace penelope::cluster {
+namespace {
+
+class Soak : public ::testing::TestWithParam<ManagerKind> {};
+
+TEST_P(Soak, EverythingAtOnceForALongTime) {
+  ClusterConfig cc;
+  cc.manager = GetParam();
+  cc.n_nodes = 10;
+  cc.per_socket_cap_watts = 70.0;
+  cc.seed = 77;
+  cc.max_seconds = 4000.0;
+  cc.network.loss_probability = 0.01;
+  cc.measurement_noise_watts = 1.0;
+  cc.audit_interval = common::from_seconds(2.0);
+  if (cc.manager == ManagerKind::kPenelope) {
+    cc.blacklist_after_timeouts = 3;
+    cc.faults = {FaultEvent{FaultEvent::Kind::kKillManagement,
+                            common::from_seconds(200.0), 3}};
+  }
+
+  // Long phased workloads: cycle through compute / memory / idle over
+  // and over, with per-node jitter.
+  std::vector<workload::WorkloadProfile> profiles;
+  common::Rng rng(5);
+  for (int i = 0; i < cc.n_nodes; ++i) {
+    workload::WorkloadProfile p;
+    p.name = "soak" + std::to_string(i);
+    for (int cycle = 0; cycle < 12; ++cycle) {
+      p.phases.push_back(workload::Phase{
+          "compute", rng.uniform(190.0, 240.0), rng.uniform(15.0, 30.0)});
+      p.phases.push_back(workload::Phase{
+          "memory", rng.uniform(130.0, 170.0), rng.uniform(8.0, 15.0)});
+      p.phases.push_back(workload::Phase{
+          "idle", rng.uniform(60.0, 100.0), rng.uniform(4.0, 10.0)});
+    }
+    profiles.push_back(std::move(p));
+  }
+
+  Cluster cluster(cc, std::move(profiles));
+
+  // Budget storyline: cut 20% at t=100 s, restore at t=300 s.
+  cluster.run_for(100.0);
+  cluster.set_system_budget(cc.system_budget() * 0.8);
+  cluster.run_for(200.0);
+  cluster.set_system_budget(cc.system_budget());
+
+  RunResult result = cluster.run();
+  EXPECT_TRUE(result.all_completed) << manager_name(GetParam());
+  EXPECT_GT(result.audit.audits, 100u);
+  EXPECT_LT(result.audit.max_abs_conservation_error, 1e-6)
+      << manager_name(GetParam());
+  EXPECT_LE(result.audit.max_live_overshoot, 1e-6)
+      << manager_name(GetParam());
+  EXPECT_GT(result.total_energy_joules, 0.0);
+  // Deterministic wrap-up: all caps inside the safe range.
+  for (int i = 0; i < cc.n_nodes; ++i) {
+    EXPECT_GE(cluster.node_cap(i), cc.rapl.safe_range.min_watts - 1e-9);
+    EXPECT_LE(cluster.node_cap(i), cc.rapl.safe_range.max_watts + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Managers, Soak,
+    ::testing::Values(ManagerKind::kFair, ManagerKind::kCentral,
+                      ManagerKind::kPenelope, ManagerKind::kHierarchical),
+    [](const ::testing::TestParamInfo<ManagerKind>& info) {
+      return manager_name(info.param);
+    });
+
+}  // namespace
+}  // namespace penelope::cluster

@@ -1,0 +1,153 @@
+#include "net/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace penelope::net {
+namespace {
+
+template <typename T>
+T roundtrip(const T& msg) {
+  auto bytes = encode(WirePayload{msg});
+  auto decoded = decode(bytes);
+  EXPECT_TRUE(decoded.has_value());
+  const T* out = std::get_if<T>(&*decoded);
+  EXPECT_NE(out, nullptr);
+  return out ? *out : T{};
+}
+
+TEST(Codec, PowerRequestRoundTrip) {
+  core::PowerRequest msg;
+  msg.urgent = true;
+  msg.alpha_watts = 37.25;
+  msg.txn_id = 0xdeadbeefcafef00dULL;
+  core::PowerRequest out = roundtrip(msg);
+  EXPECT_EQ(out.urgent, msg.urgent);
+  EXPECT_DOUBLE_EQ(out.alpha_watts, msg.alpha_watts);
+  EXPECT_EQ(out.txn_id, msg.txn_id);
+}
+
+TEST(Codec, PowerGrantRoundTrip) {
+  core::PowerGrant msg;
+  msg.watts = 12.5;
+  msg.txn_id = 42;
+  msg.hint_peer = -1;
+  core::PowerGrant out = roundtrip(msg);
+  EXPECT_DOUBLE_EQ(out.watts, msg.watts);
+  EXPECT_EQ(out.txn_id, msg.txn_id);
+  EXPECT_EQ(out.hint_peer, -1);
+
+  msg.hint_peer = 1055;
+  EXPECT_EQ(roundtrip(msg).hint_peer, 1055);
+}
+
+TEST(Codec, CentralMessagesRoundTrip) {
+  central::CentralDonation donation{3.75};
+  EXPECT_DOUBLE_EQ(roundtrip(donation).watts, 3.75);
+
+  central::CentralRequest request;
+  request.urgent = true;
+  request.alpha_watts = 60.0;
+  request.txn_id = 7;
+  central::CentralRequest request_out = roundtrip(request);
+  EXPECT_TRUE(request_out.urgent);
+  EXPECT_DOUBLE_EQ(request_out.alpha_watts, 60.0);
+
+  central::CentralGrant grant;
+  grant.watts = 30.0;
+  grant.release_to_initial = true;
+  grant.txn_id = 9;
+  central::CentralGrant grant_out = roundtrip(grant);
+  EXPECT_TRUE(grant_out.release_to_initial);
+  EXPECT_DOUBLE_EQ(grant_out.watts, 30.0);
+  EXPECT_EQ(grant_out.txn_id, 9u);
+}
+
+TEST(Codec, PowerPushRoundTrip) {
+  EXPECT_DOUBLE_EQ(roundtrip(core::PowerPush{17.5}).watts, 17.5);
+}
+
+TEST(Codec, HierarchyMessagesRoundTrip) {
+  EXPECT_DOUBLE_EQ(
+      roundtrip(hierarchy::ProfileReport{151.5}).avg_power_watts, 151.5);
+  EXPECT_DOUBLE_EQ(
+      roundtrip(hierarchy::CapAssignment{186.25}).initial_cap_watts,
+      186.25);
+}
+
+TEST(Codec, SpecialDoubleValuesSurvive) {
+  core::PowerGrant msg;
+  msg.watts = 0.1 + 0.2;  // not exactly representable: bits must match
+  core::PowerGrant out = roundtrip(msg);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(out.watts),
+            std::bit_cast<std::uint64_t>(msg.watts));
+}
+
+TEST(Codec, EncodedSizeMatchesActual) {
+  WirePayload payloads[] = {
+      core::PowerRequest{}, core::PowerGrant{},
+      central::CentralDonation{}, central::CentralRequest{},
+      central::CentralGrant{}, hierarchy::ProfileReport{},
+      hierarchy::CapAssignment{}, core::PowerPush{}};
+  for (const auto& p : payloads) {
+    EXPECT_EQ(encode(p).size(), encoded_size(p));
+  }
+}
+
+TEST(Codec, TruncatedInputRejected) {
+  auto bytes = encode(WirePayload{core::PowerRequest{true, 5.0, 1, }});
+  for (std::size_t keep = 0; keep < bytes.size(); ++keep) {
+    EXPECT_FALSE(decode(bytes.data(), keep).has_value())
+        << "prefix of " << keep << " bytes must not decode";
+  }
+}
+
+TEST(Codec, TrailingGarbageRejected) {
+  auto bytes = encode(WirePayload{central::CentralDonation{1.0}});
+  bytes.push_back(0x00);
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(Codec, UnknownTagRejected) {
+  std::vector<std::uint8_t> bytes(17, 0);
+  bytes[0] = 0xff;
+  EXPECT_FALSE(decode(bytes).has_value());
+  bytes[0] = 0;  // tag 0 is reserved/unused
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(Codec, EmptyAndNullInputRejected) {
+  EXPECT_FALSE(decode(nullptr, 0).has_value());
+  EXPECT_FALSE(decode(std::vector<std::uint8_t>{}).has_value());
+}
+
+TEST(Codec, RandomBytesNeverCrash) {
+  // Fuzz-style: decode must be total over arbitrary input.
+  common::Rng rng(99);
+  int decoded_count = 0;
+  for (int trial = 0; trial < 20000; ++trial) {
+    std::size_t len = rng.next_below(40);
+    std::vector<std::uint8_t> bytes(len);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next_u32());
+    if (decode(bytes).has_value()) ++decoded_count;
+  }
+  // Some random buffers legitimately decode (valid tag + right length);
+  // the point is none of them crashed or read out of bounds.
+  SUCCEED() << decoded_count << " random buffers decoded";
+}
+
+TEST(Codec, BitFlippedPacketsEitherDecodeOrReject) {
+  auto bytes = encode(WirePayload{central::CentralGrant{30.0, true, 9}});
+  for (std::size_t byte = 0; byte < bytes.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto corrupted = bytes;
+      corrupted[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      (void)decode(corrupted);  // must be total
+    }
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace penelope::net

@@ -1,0 +1,243 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace penelope::net {
+namespace {
+
+struct Fixture {
+  sim::Simulator sim;
+  NetworkConfig config;
+  std::unique_ptr<Network> net;
+
+  explicit Fixture(NetworkConfig cfg = {}) : config(cfg) {
+    net = std::make_unique<Network>(sim, config);
+  }
+};
+
+TEST(Network, DeliversToRegisteredEndpoint) {
+  Fixture f;
+  std::vector<int> received;
+  f.net->register_endpoint(1, [&](const Message& m) {
+    received.push_back(*m.as<int>());
+  });
+  f.net->send(0, 1, 42);
+  f.sim.run();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0], 42);
+  EXPECT_EQ(f.net->stats().delivered, 1u);
+}
+
+TEST(Network, DeliveryIsDelayedByLatency) {
+  Fixture f;
+  common::Ticks delivered_at = 0;
+  f.net->register_endpoint(1, [&](const Message&) {
+    delivered_at = f.sim.now();
+  });
+  f.net->send(0, 1, 1);
+  f.sim.run();
+  EXPECT_GE(delivered_at, f.config.latency.base -
+                              3 * f.config.latency.jitter_stddev);
+  EXPECT_GT(delivered_at, 0);
+}
+
+TEST(Network, MessageCarriesMetadata) {
+  Fixture f;
+  Message captured;
+  f.net->register_endpoint(2, [&](const Message& m) { captured = m; });
+  f.sim.run_until(100);
+  std::uint64_t id = f.net->send(7, 2, std::string("hello"));
+  f.sim.run();
+  EXPECT_EQ(captured.src, 7);
+  EXPECT_EQ(captured.dst, 2);
+  EXPECT_EQ(captured.id, id);
+  EXPECT_EQ(captured.sent_at, 100);
+  ASSERT_NE(captured.as<std::string>(), nullptr);
+  EXPECT_EQ(*captured.as<std::string>(), "hello");
+  EXPECT_EQ(captured.as<int>(), nullptr);
+}
+
+TEST(Network, MissingEndpointCountsAsDrop) {
+  Fixture f;
+  f.net->send(0, 99, 1);
+  f.sim.run();
+  EXPECT_EQ(f.net->stats().dropped_no_endpoint, 1u);
+  EXPECT_EQ(f.net->stats().delivered, 0u);
+}
+
+TEST(Network, DeadDestinationDropsOnArrival) {
+  Fixture f;
+  int received = 0;
+  f.net->register_endpoint(1, [&](const Message&) { ++received; });
+  f.net->fail_node(1);
+  f.net->send(0, 1, 1);
+  f.sim.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(f.net->stats().dropped_dead_node, 1u);
+}
+
+TEST(Network, DeadSourceCannotSend) {
+  Fixture f;
+  int received = 0;
+  f.net->register_endpoint(1, [&](const Message&) { ++received; });
+  f.net->fail_node(0);
+  EXPECT_EQ(f.net->send(0, 1, 1), 0u);
+  f.sim.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(f.net->stats().sent, 0u);
+}
+
+TEST(Network, MessageInFlightWhenNodeDiesIsLost) {
+  Fixture f;
+  int received = 0;
+  f.net->register_endpoint(1, [&](const Message&) { ++received; });
+  f.net->send(0, 1, 1);
+  // Kill the destination before the latency elapses.
+  f.sim.schedule_at(1, [&] { f.net->fail_node(1); });
+  f.sim.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(f.net->stats().dropped_dead_node, 1u);
+}
+
+TEST(Network, RestoreNodeResumesDelivery) {
+  Fixture f;
+  int received = 0;
+  f.net->register_endpoint(1, [&](const Message&) { ++received; });
+  f.net->fail_node(1);
+  f.net->send(0, 1, 1);
+  f.sim.run();
+  f.net->restore_node(1);
+  f.net->send(0, 1, 2);
+  f.sim.run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(Network, FullLossDropsEverything) {
+  NetworkConfig cfg;
+  cfg.loss_probability = 1.0;
+  Fixture f(cfg);
+  int received = 0;
+  f.net->register_endpoint(1, [&](const Message&) { ++received; });
+  for (int i = 0; i < 10; ++i) f.net->send(0, 1, i);
+  f.sim.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(f.net->stats().dropped_loss, 10u);
+}
+
+TEST(Network, PartialLossRateIsApproximate) {
+  NetworkConfig cfg;
+  cfg.loss_probability = 0.3;
+  Fixture f(cfg);
+  int received = 0;
+  f.net->register_endpoint(1, [&](const Message&) { ++received; });
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) f.net->send(0, 1, i);
+  f.sim.run();
+  EXPECT_NEAR(static_cast<double>(received) / n, 0.7, 0.03);
+}
+
+TEST(Network, PartitionBlocksCrossIslandTraffic) {
+  Fixture f;
+  int received_1 = 0;
+  int received_2 = 0;
+  f.net->register_endpoint(1, [&](const Message&) { ++received_1; });
+  f.net->register_endpoint(2, [&](const Message&) { ++received_2; });
+  f.net->set_partition({{0, 1}, {2, 3}});
+  f.net->send(0, 1, 1);  // same island: delivered
+  f.net->send(0, 2, 1);  // cross island: dropped
+  f.sim.run();
+  EXPECT_EQ(received_1, 1);
+  EXPECT_EQ(received_2, 0);
+  EXPECT_EQ(f.net->stats().dropped_partition, 1u);
+}
+
+TEST(Network, ClearPartitionRestoresTraffic) {
+  Fixture f;
+  int received = 0;
+  f.net->register_endpoint(2, [&](const Message&) { ++received; });
+  f.net->set_partition({{0}, {2}});
+  f.net->send(0, 2, 1);
+  f.net->clear_partition();
+  f.net->send(0, 2, 1);
+  f.sim.run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(Network, UnpartitionedNodesShareDefaultIsland) {
+  Fixture f;
+  int received = 0;
+  f.net->register_endpoint(9, [&](const Message&) { ++received; });
+  f.net->set_partition({{0, 1}});  // 8 and 9 are in no island (-1)
+  f.net->send(8, 9, 1);
+  f.sim.run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(Network, DropHandlerSeesLostMessages) {
+  NetworkConfig cfg;
+  cfg.loss_probability = 1.0;
+  Fixture f(cfg);
+  f.net->register_endpoint(1, [](const Message&) {});
+  std::vector<int> dropped;
+  f.net->set_drop_handler([&](const Message& m) {
+    dropped.push_back(*m.as<int>());
+  });
+  f.net->send(0, 1, 17);
+  f.sim.run();
+  ASSERT_EQ(dropped.size(), 1u);
+  EXPECT_EQ(dropped[0], 17);
+}
+
+TEST(Network, DropHandlerFiresForDeadDestination) {
+  Fixture f;
+  int drops = 0;
+  f.net->set_drop_handler([&](const Message&) { ++drops; });
+  f.net->fail_node(1);
+  f.net->send(0, 1, 1);
+  f.sim.run();
+  EXPECT_EQ(drops, 1);
+}
+
+TEST(Network, LatencySamplesArePositiveAndNearBase) {
+  Fixture f;
+  common::OnlineStats stats;
+  for (int i = 0; i < 1000; ++i) {
+    auto lat = static_cast<double>(f.net->sample_latency());
+    EXPECT_GE(lat, 1.0);
+    stats.add(lat);
+  }
+  EXPECT_NEAR(stats.mean(), static_cast<double>(f.config.latency.base),
+              static_cast<double>(f.config.latency.jitter_stddev));
+}
+
+TEST(Network, RemoveEndpointStopsDelivery) {
+  Fixture f;
+  int received = 0;
+  f.net->register_endpoint(1, [&](const Message&) { ++received; });
+  f.net->remove_endpoint(1);
+  f.net->send(0, 1, 1);
+  f.sim.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(f.net->stats().dropped_no_endpoint, 1u);
+}
+
+TEST(Network, StatsTotalsAreConsistent) {
+  NetworkConfig cfg;
+  cfg.loss_probability = 0.5;
+  Fixture f(cfg);
+  f.net->register_endpoint(1, [](const Message&) {});
+  for (int i = 0; i < 1000; ++i) f.net->send(0, 1, i);
+  f.sim.run();
+  const auto& s = f.net->stats();
+  EXPECT_EQ(s.sent, 1000u);
+  EXPECT_EQ(s.delivered + s.dropped_total(), 1000u);
+}
+
+}  // namespace
+}  // namespace penelope::net

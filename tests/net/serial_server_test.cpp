@@ -1,0 +1,180 @@
+#include "net/serial_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace penelope::net {
+namespace {
+
+Message make_msg(int payload, common::Ticks sent_at = 0) {
+  Message m;
+  m.src = 1;
+  m.dst = 2;
+  m.sent_at = sent_at;
+  m.payload = payload;
+  return m;
+}
+
+TEST(SerialServer, ProcessesAfterServiceTime) {
+  sim::Simulator sim;
+  SerialServerConfig cfg;
+  cfg.service_min = 90;
+  cfg.service_max = 90;
+  std::vector<common::Ticks> processed_at;
+  SerialServer server(sim, cfg, [&](const Message&) {
+    processed_at.push_back(sim.now());
+  });
+  server.inbox(make_msg(1));
+  sim.run();
+  ASSERT_EQ(processed_at.size(), 1u);
+  EXPECT_EQ(processed_at[0], 90);
+}
+
+TEST(SerialServer, ServiceIsSerialNotParallel) {
+  sim::Simulator sim;
+  SerialServerConfig cfg;
+  cfg.service_min = 100;
+  cfg.service_max = 100;
+  std::vector<common::Ticks> processed_at;
+  SerialServer server(sim, cfg, [&](const Message&) {
+    processed_at.push_back(sim.now());
+  });
+  // Three simultaneous arrivals must drain back to back.
+  for (int i = 0; i < 3; ++i) server.inbox(make_msg(i));
+  sim.run();
+  ASSERT_EQ(processed_at.size(), 3u);
+  EXPECT_EQ(processed_at[0], 100);
+  EXPECT_EQ(processed_at[1], 200);
+  EXPECT_EQ(processed_at[2], 300);
+}
+
+TEST(SerialServer, QueueWaitAccumulates) {
+  sim::Simulator sim;
+  SerialServerConfig cfg;
+  cfg.service_min = 10;
+  cfg.service_max = 10;
+  SerialServer server(sim, cfg, [](const Message&) {});
+  for (int i = 0; i < 5; ++i) server.inbox(make_msg(i));
+  sim.run();
+  // Waits: 0, 10, 20, 30, 40 -> mean 20 us.
+  EXPECT_DOUBLE_EQ(server.stats().mean_queue_wait_us(), 20.0);
+  EXPECT_EQ(server.stats().processed, 5u);
+}
+
+TEST(SerialServer, OverflowDropsBeyondCapacity) {
+  sim::Simulator sim;
+  SerialServerConfig cfg;
+  cfg.service_min = 10;
+  cfg.service_max = 10;
+  cfg.queue_capacity = 3;
+  int processed = 0;
+  SerialServer server(sim, cfg, [&](const Message&) { ++processed; });
+  // First arrival starts service immediately (not queued); the next 3
+  // fill the queue; the rest drop.
+  for (int i = 0; i < 10; ++i) server.inbox(make_msg(i));
+  sim.run();
+  EXPECT_EQ(processed, 4);
+  EXPECT_EQ(server.stats().dropped_overflow, 6u);
+  EXPECT_EQ(server.stats().accepted, 4u);
+}
+
+TEST(SerialServer, DropHandlerSeesOverflow) {
+  sim::Simulator sim;
+  SerialServerConfig cfg;
+  cfg.queue_capacity = 1;
+  SerialServer server(sim, cfg, [](const Message&) {});
+  std::vector<int> dropped;
+  server.set_drop_handler([&](const Message& m) {
+    dropped.push_back(*m.as<int>());
+  });
+  server.inbox(make_msg(1));  // serving
+  server.inbox(make_msg(2));  // queued
+  server.inbox(make_msg(3));  // dropped
+  sim.run();
+  ASSERT_EQ(dropped.size(), 1u);
+  EXPECT_EQ(dropped[0], 3);
+}
+
+TEST(SerialServer, HaltStopsProcessingAndDropsQueue) {
+  sim::Simulator sim;
+  SerialServerConfig cfg;
+  cfg.service_min = 100;
+  cfg.service_max = 100;
+  int processed = 0;
+  SerialServer server(sim, cfg, [&](const Message&) { ++processed; });
+  int dropped = 0;
+  server.set_drop_handler([&](const Message&) { ++dropped; });
+  for (int i = 0; i < 5; ++i) server.inbox(make_msg(i));
+  sim.schedule_at(150, [&] { server.halt(); });
+  sim.run();
+  // One message finished service before the halt; the in-service one is
+  // suppressed on completion; the rest were queued and dropped.
+  EXPECT_EQ(processed, 1);
+  EXPECT_EQ(dropped, 3);
+  EXPECT_TRUE(server.halted());
+}
+
+TEST(SerialServer, HaltedServerDropsNewArrivals) {
+  sim::Simulator sim;
+  SerialServer server(sim, {}, [](const Message&) {});
+  int dropped = 0;
+  server.set_drop_handler([&](const Message&) { ++dropped; });
+  server.halt();
+  server.inbox(make_msg(1));
+  sim.run();
+  EXPECT_EQ(dropped, 1);
+  EXPECT_EQ(server.stats().processed, 0u);
+}
+
+TEST(SerialServer, ServiceTimeWithinConfiguredBounds) {
+  sim::Simulator sim;
+  SerialServerConfig cfg;
+  cfg.service_min = 80;
+  cfg.service_max = 100;
+  std::vector<common::Ticks> gaps;
+  common::Ticks last = 0;
+  SerialServer server(sim, cfg, [&](const Message&) {
+    gaps.push_back(sim.now() - last);
+    last = sim.now();
+  });
+  for (int i = 0; i < 200; ++i) server.inbox(make_msg(i));
+  sim.run();
+  for (common::Ticks gap : gaps) {
+    EXPECT_GE(gap, 80);
+    EXPECT_LE(gap, 100);
+  }
+}
+
+TEST(SerialServer, PeakQueueDepthTracked) {
+  sim::Simulator sim;
+  SerialServerConfig cfg;
+  cfg.service_min = 10;
+  cfg.service_max = 10;
+  SerialServer server(sim, cfg, [](const Message&) {});
+  for (int i = 0; i < 6; ++i) server.inbox(make_msg(i));
+  // First starts service; five wait.
+  EXPECT_EQ(server.stats().peak_queue_depth, 5u);
+  sim.run();
+}
+
+TEST(SerialServer, IdleThenBusyAgain) {
+  sim::Simulator sim;
+  SerialServerConfig cfg;
+  cfg.service_min = 10;
+  cfg.service_max = 10;
+  std::vector<common::Ticks> processed_at;
+  SerialServer server(sim, cfg, [&](const Message&) {
+    processed_at.push_back(sim.now());
+  });
+  server.inbox(make_msg(1));
+  sim.run();
+  sim.schedule_at(500, [&] { server.inbox(make_msg(2)); });
+  sim.run();
+  ASSERT_EQ(processed_at.size(), 2u);
+  EXPECT_EQ(processed_at[0], 10);
+  EXPECT_EQ(processed_at[1], 510);
+}
+
+}  // namespace
+}  // namespace penelope::net

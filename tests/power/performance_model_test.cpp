@@ -1,0 +1,108 @@
+#include "power/performance_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace penelope::power {
+namespace {
+
+TEST(PerformanceModel, FullPowerIsFullSpeed) {
+  PerformanceModel model;
+  EXPECT_DOUBLE_EQ(model.speed(200.0, 200.0), 1.0);
+  EXPECT_DOUBLE_EQ(model.speed(300.0, 200.0), 1.0);
+}
+
+TEST(PerformanceModel, ZeroOrBasePowerIsZeroSpeed) {
+  PerformanceModel model(
+      PerformanceModelConfig{.alpha = 0.5, .base_fraction = 0.25});
+  EXPECT_DOUBLE_EQ(model.speed(0.0, 200.0), 0.0);
+  EXPECT_DOUBLE_EQ(model.speed(50.0, 200.0), 0.0);  // exactly base
+  EXPECT_DOUBLE_EQ(model.speed(40.0, 200.0), 0.0);  // below base
+}
+
+TEST(PerformanceModel, IdlePhaseRunsFullSpeed) {
+  PerformanceModel model;
+  EXPECT_DOUBLE_EQ(model.speed(0.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(model.speed(100.0, -5.0), 1.0);
+}
+
+TEST(PerformanceModel, MonotoneInDeliveredPower) {
+  PerformanceModel model;
+  double prev = 0.0;
+  for (double p = 60.0; p <= 200.0; p += 10.0) {
+    double s = model.speed(p, 200.0);
+    EXPECT_GE(s, prev);
+    prev = s;
+  }
+}
+
+TEST(PerformanceModel, ConcavityGivingToStarvedBeatsTakingFromFed) {
+  // The property that makes power shifting worthwhile at all: 10 W moved
+  // from a node at 90% of demand to a node at 50% of demand increases
+  // total speed.
+  PerformanceModel model;
+  double d = 200.0;
+  double rich = 180.0;
+  double poor = 100.0;
+  double before = model.speed(rich, d) + model.speed(poor, d);
+  double after = model.speed(rich - 10.0, d) + model.speed(poor + 10.0, d);
+  EXPECT_GT(after, before);
+}
+
+TEST(PerformanceModel, AlphaOneIsLinearInEffectiveBand) {
+  PerformanceModel model(
+      PerformanceModelConfig{.alpha = 1.0, .base_fraction = 0.0});
+  EXPECT_NEAR(model.speed(100.0, 200.0), 0.5, 1e-12);
+  EXPECT_NEAR(model.speed(150.0, 200.0), 0.75, 1e-12);
+}
+
+TEST(PerformanceModel, DefaultAlphaIsConcave) {
+  PerformanceModel model(
+      PerformanceModelConfig{.alpha = 0.5, .base_fraction = 0.0});
+  // Half power gives sqrt(1/2) ~ 0.707 of speed: concave.
+  EXPECT_NEAR(model.speed(100.0, 200.0), 0.7071, 1e-3);
+}
+
+TEST(PerformanceModel, PowerForSpeedInvertsSpeed) {
+  PerformanceModel model;
+  double d = 180.0;
+  for (double target : {0.1, 0.3, 0.5, 0.7, 0.9, 1.0}) {
+    double p = model.power_for_speed(target, d);
+    EXPECT_NEAR(model.speed(p, d), target, 1e-9);
+  }
+}
+
+TEST(PerformanceModel, PowerForSpeedEdges) {
+  PerformanceModel model;
+  EXPECT_DOUBLE_EQ(model.power_for_speed(1.0, 200.0), 200.0);
+  EXPECT_DOUBLE_EQ(model.power_for_speed(2.0, 200.0), 200.0);  // clamped
+  EXPECT_DOUBLE_EQ(model.power_for_speed(0.5, 0.0), 0.0);
+}
+
+TEST(PerformanceModelDeath, RejectsBadConfig) {
+  EXPECT_DEATH(PerformanceModel(PerformanceModelConfig{.alpha = 0.0,
+                                                       .base_fraction = 0.0}),
+               "alpha");
+  EXPECT_DEATH(PerformanceModel(PerformanceModelConfig{.alpha = 0.5,
+                                                       .base_fraction = 1.0}),
+               "base_fraction");
+}
+
+class SpeedSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SpeedSweep, SpeedAlwaysInUnitInterval) {
+  PerformanceModel model(
+      PerformanceModelConfig{.alpha = GetParam(), .base_fraction = 0.25});
+  for (double p = 0.0; p <= 300.0; p += 7.0) {
+    for (double d = 0.0; d <= 300.0; d += 13.0) {
+      double s = model.speed(p, d);
+      EXPECT_GE(s, 0.0);
+      EXPECT_LE(s, 1.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, SpeedSweep,
+                         ::testing::Values(0.25, 0.5, 0.75, 1.0));
+
+}  // namespace
+}  // namespace penelope::power

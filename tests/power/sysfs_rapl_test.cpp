@@ -1,0 +1,150 @@
+#include "power/sysfs_rapl.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+namespace penelope::power {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Builds a fake /sys/class/powercap tree so the backend can be tested
+/// without RAPL hardware (and without root).
+class FakePowercapTree {
+ public:
+  FakePowercapTree() {
+    root_ = fs::temp_directory_path() /
+            ("penelope_rapl_test_" + std::to_string(::getpid()));
+    fs::create_directories(root_);
+  }
+  ~FakePowercapTree() { fs::remove_all(root_); }
+
+  void add_package(int index, double energy_uj, double limit_uw,
+                   double max_energy_uj = 262143328850.0) {
+    fs::path pkg = root_ / ("intel-rapl:" + std::to_string(index));
+    fs::create_directories(pkg);
+    write(pkg / "energy_uj", energy_uj);
+    write(pkg / "constraint_0_power_limit_uw", limit_uw);
+    write(pkg / "max_energy_range_uj", max_energy_uj);
+  }
+
+  void add_subdomain(int pkg, int sub) {
+    fs::path p = root_ / ("intel-rapl:" + std::to_string(pkg) + ":" +
+                          std::to_string(sub));
+    fs::create_directories(p);
+    write(p / "energy_uj", 123.0);
+  }
+
+  void set_energy(int index, double energy_uj) {
+    fs::path pkg = root_ / ("intel-rapl:" + std::to_string(index));
+    write(pkg / "energy_uj", energy_uj);
+  }
+
+  double read_limit(int index) const {
+    fs::path pkg = root_ / ("intel-rapl:" + std::to_string(index));
+    std::ifstream f(pkg / "constraint_0_power_limit_uw");
+    double v = 0.0;
+    f >> v;
+    return v;
+  }
+
+  std::string path() const { return root_.string(); }
+
+ private:
+  static void write(const fs::path& p, double value) {
+    std::ofstream f(p, std::ios::trunc);
+    f << static_cast<long long>(value);
+  }
+
+  fs::path root_;
+};
+
+SysfsRaplConfig config_for(const FakePowercapTree& tree) {
+  SysfsRaplConfig cfg;
+  cfg.powercap_root = tree.path();
+  cfg.safe_range = {.min_watts = 80.0, .max_watts = 250.0};
+  return cfg;
+}
+
+TEST(SysfsRapl, UnavailableWhenRootMissing) {
+  SysfsRaplConfig cfg;
+  cfg.powercap_root = "/definitely/not/a/real/path";
+  SysfsRapl rapl(cfg);
+  EXPECT_FALSE(rapl.available());
+  EXPECT_EQ(rapl.read_average_power(0), 0.0);
+}
+
+TEST(SysfsRapl, DiscoversPackageDomainsOnly) {
+  FakePowercapTree tree;
+  tree.add_package(0, 1'000'000, 100'000'000);
+  tree.add_package(1, 2'000'000, 100'000'000);
+  tree.add_subdomain(0, 0);  // core subdomain must be ignored
+  SysfsRapl rapl(config_for(tree));
+  EXPECT_TRUE(rapl.available());
+  EXPECT_EQ(rapl.package_count(), 2u);
+}
+
+TEST(SysfsRapl, SetCapSplitsAcrossPackages) {
+  FakePowercapTree tree;
+  tree.add_package(0, 0, 125'000'000);
+  tree.add_package(1, 0, 125'000'000);
+  SysfsRapl rapl(config_for(tree));
+  ASSERT_TRUE(rapl.cap_writable());
+  rapl.set_cap(200.0);
+  EXPECT_DOUBLE_EQ(rapl.cap(), 200.0);
+  EXPECT_DOUBLE_EQ(tree.read_limit(0), 100'000'000.0);
+  EXPECT_DOUBLE_EQ(tree.read_limit(1), 100'000'000.0);
+}
+
+TEST(SysfsRapl, SetCapClampsToSafeRange) {
+  FakePowercapTree tree;
+  tree.add_package(0, 0, 125'000'000);
+  SysfsRapl rapl(config_for(tree));
+  rapl.set_cap(10.0);
+  EXPECT_DOUBLE_EQ(rapl.cap(), 80.0);
+  rapl.set_cap(9000.0);
+  EXPECT_DOUBLE_EQ(rapl.cap(), 250.0);
+}
+
+TEST(SysfsRapl, EnergyDeltaBecomesPower) {
+  FakePowercapTree tree;
+  tree.add_package(0, 1'000'000, 100'000'000);
+  SysfsRapl rapl(config_for(tree));
+  // Bump the counter by 5 J; whatever wall time elapsed, power must be
+  // positive and finite. Sleep so the wall interval is measurable.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  tree.set_energy(0, 6'000'000);
+  double p = rapl.read_average_power(0);
+  EXPECT_GT(p, 0.0);
+}
+
+TEST(SysfsRapl, CounterWrapIsHandled) {
+  FakePowercapTree tree;
+  double max_range = 1'000'000'000.0;
+  tree.add_package(0, 999'999'000, 100'000'000, max_range);
+  SysfsRapl rapl(config_for(tree));
+  // Wrap: counter goes past max and restarts near zero.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  tree.set_energy(0, 1'000);
+  double p = rapl.read_average_power(0);
+  // Delta should be +2000 uJ (wrap-corrected), never negative.
+  EXPECT_GE(p, 0.0);
+}
+
+TEST(SysfsRapl, InstantaneousFallsBackToLastInterval) {
+  FakePowercapTree tree;
+  tree.add_package(0, 1'000'000, 100'000'000);
+  SysfsRapl rapl(config_for(tree));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  tree.set_energy(0, 2'000'000);
+  double avg = rapl.read_average_power(0);
+  EXPECT_DOUBLE_EQ(rapl.instantaneous_power(0), avg);
+}
+
+}  // namespace
+}  // namespace penelope::power

@@ -1,0 +1,135 @@
+#include "rt/mailbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace penelope::rt {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(Mailbox, PushPopSingleThread) {
+  Mailbox<int> box;
+  ASSERT_TRUE(box.push(1));
+  ASSERT_TRUE(box.push(2));
+  EXPECT_EQ(box.size(), 2u);
+  EXPECT_EQ(box.pop().value(), 1);
+  EXPECT_EQ(box.pop().value(), 2);
+}
+
+TEST(Mailbox, PopForTimesOutOnEmpty) {
+  Mailbox<int> box;
+  auto result = box.pop_for(5ms);
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST(Mailbox, TryPushFailsWhenFull) {
+  Mailbox<int> box(2);
+  EXPECT_TRUE(box.try_push(1));
+  EXPECT_TRUE(box.try_push(2));
+  EXPECT_FALSE(box.try_push(3));
+  box.pop();
+  EXPECT_TRUE(box.try_push(3));
+}
+
+TEST(Mailbox, CloseWakesBlockedPop) {
+  Mailbox<int> box;
+  std::atomic<bool> woke{false};
+  std::thread waiter([&] {
+    auto result = box.pop();
+    EXPECT_FALSE(result.has_value());
+    woke = true;
+  });
+  std::this_thread::sleep_for(10ms);
+  box.close();
+  waiter.join();
+  EXPECT_TRUE(woke);
+}
+
+TEST(Mailbox, CloseDrainsPendingItemsFirst) {
+  Mailbox<int> box;
+  box.push(42);
+  box.close();
+  EXPECT_EQ(box.pop().value(), 42);
+  EXPECT_FALSE(box.pop().has_value());
+}
+
+TEST(Mailbox, PushFailsAfterClose) {
+  Mailbox<int> box;
+  box.close();
+  EXPECT_FALSE(box.push(1));
+  EXPECT_FALSE(box.try_push(1));
+}
+
+TEST(Mailbox, BlockingPushWaitsForSpace) {
+  Mailbox<int> box(1);
+  box.push(1);
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    box.push(2);  // blocks until consumer pops
+    pushed = true;
+  });
+  std::this_thread::sleep_for(10ms);
+  EXPECT_FALSE(pushed);
+  EXPECT_EQ(box.pop().value(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed);
+  EXPECT_EQ(box.pop().value(), 2);
+}
+
+TEST(Mailbox, CloseWakesBlockedPush) {
+  Mailbox<int> box(1);
+  box.push(1);
+  std::atomic<bool> returned{false};
+  std::thread producer([&] {
+    EXPECT_FALSE(box.push(2));
+    returned = true;
+  });
+  std::this_thread::sleep_for(10ms);
+  box.close();
+  producer.join();
+  EXPECT_TRUE(returned);
+}
+
+TEST(Mailbox, ManyProducersOneConsumerDeliversAll) {
+  Mailbox<int> box(64);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&box, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(box.push(p * kPerProducer + i));
+      }
+    });
+  }
+  std::vector<bool> seen(kProducers * kPerProducer, false);
+  for (int i = 0; i < kProducers * kPerProducer; ++i) {
+    auto v = box.pop();
+    ASSERT_TRUE(v.has_value());
+    ASSERT_FALSE(seen[static_cast<std::size_t>(*v)]);
+    seen[static_cast<std::size_t>(*v)] = true;
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(box.size(), 0u);
+}
+
+TEST(Mailbox, FifoOrderPerProducer) {
+  Mailbox<int> box;
+  for (int i = 0; i < 100; ++i) box.push(i);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(box.pop().value(), i);
+}
+
+TEST(Mailbox, MoveOnlyPayloads) {
+  Mailbox<std::unique_ptr<int>> box;
+  box.push(std::make_unique<int>(5));
+  auto v = box.pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 5);
+}
+
+}  // namespace
+}  // namespace penelope::rt

@@ -1,0 +1,139 @@
+// Real-concurrency exercises of the shared protocol logic: on this
+// machine all threads share one core, which is the harshest interleaving
+// regime — exactly where lock or accounting bugs would surface.
+#include "rt/thread_cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rt/overhead.hpp"
+
+namespace penelope::rt {
+namespace {
+
+ThreadClusterConfig quick_config(int nodes) {
+  ThreadClusterConfig cfg;
+  cfg.n_nodes = nodes;
+  cfg.initial_cap_watts = 120.0;
+  cfg.period = common::from_millis(10);
+  cfg.request_timeout = common::from_millis(10);
+  cfg.seed = 77;
+  return cfg;
+}
+
+std::vector<std::vector<DemandPhase>> steady_scripts(
+    int nodes, double donor_demand, double hungry_demand) {
+  std::vector<std::vector<DemandPhase>> scripts;
+  for (int i = 0; i < nodes; ++i) {
+    double demand = (i < nodes / 2) ? donor_demand : hungry_demand;
+    scripts.push_back({DemandPhase{demand, common::from_seconds(60.0)}});
+  }
+  return scripts;
+}
+
+TEST(ThreadCluster, ConservesPowerUnderRealConcurrency) {
+  ThreadClusterConfig cfg = quick_config(4);
+  ThreadCluster cluster(cfg, steady_scripts(4, 60.0, 240.0));
+  cluster.run_for(common::from_millis(600));
+  EXPECT_NEAR(cluster.total_live_watts(), cluster.budget(), 1e-6);
+}
+
+TEST(ThreadCluster, PowerShiftsTowardHungryNodes) {
+  ThreadClusterConfig cfg = quick_config(4);
+  ThreadCluster cluster(cfg, steady_scripts(4, 60.0, 240.0));
+  cluster.run_for(common::from_millis(1500));
+  auto reports = cluster.reports();
+  ASSERT_EQ(reports.size(), 4u);
+  // Donors (0,1) end below the initial cap; hungry nodes (2,3) at or
+  // above it.
+  double donor_caps = reports[0].final_cap + reports[1].final_cap;
+  double hungry_caps = reports[2].final_cap + reports[3].final_cap;
+  EXPECT_LT(donor_caps, 2 * cfg.initial_cap_watts);
+  EXPECT_GT(hungry_caps, donor_caps);
+}
+
+TEST(ThreadCluster, DecidersActuallyIterate) {
+  ThreadClusterConfig cfg = quick_config(2);
+  ThreadCluster cluster(cfg, steady_scripts(2, 60.0, 240.0));
+  cluster.run_for(common::from_millis(500));
+  for (const auto& report : cluster.reports()) {
+    EXPECT_GT(report.decider.steps, 10u) << "node " << report.id;
+  }
+}
+
+TEST(ThreadCluster, TransactionsComplete) {
+  ThreadClusterConfig cfg = quick_config(4);
+  ThreadCluster cluster(cfg, steady_scripts(4, 60.0, 240.0));
+  cluster.run_for(common::from_millis(1500));
+  std::uint64_t grants = 0;
+  for (const auto& report : cluster.reports()) {
+    grants += report.grants_received;
+  }
+  EXPECT_GT(grants, 0u);
+}
+
+TEST(ThreadCluster, CapsStayInSafeRange) {
+  ThreadClusterConfig cfg = quick_config(6);
+  ThreadCluster cluster(cfg, steady_scripts(6, 50.0, 245.0));
+  cluster.run_for(common::from_millis(1000));
+  for (const auto& report : cluster.reports()) {
+    EXPECT_GE(report.final_cap, cfg.safe_range.min_watts - 1e-9);
+    EXPECT_LE(report.final_cap, cfg.safe_range.max_watts + 1e-9);
+    EXPECT_GE(report.final_pool, 0.0);
+  }
+}
+
+TEST(ThreadCluster, RepeatedRunsDoNotDeadlock) {
+  for (int i = 0; i < 3; ++i) {
+    ThreadClusterConfig cfg = quick_config(3);
+    cfg.seed = 100 + static_cast<std::uint64_t>(i);
+    ThreadCluster cluster(cfg, steady_scripts(3, 60.0, 240.0));
+    cluster.run_for(common::from_millis(200));
+    EXPECT_NEAR(cluster.total_live_watts(), cluster.budget(), 1e-6);
+  }
+}
+
+TEST(ThreadCluster, PhasedScriptsChangeRoles) {
+  // Node 0 starts as the donor then goes hot; node 1 does the reverse.
+  // After the flip the power flow must reverse too — the script walker
+  // and urgency both working under real time.
+  ThreadClusterConfig cfg = quick_config(2);
+  std::vector<std::vector<DemandPhase>> scripts;
+  scripts.push_back({DemandPhase{60.0, common::from_millis(400)},
+                     DemandPhase{240.0, common::from_seconds(60)}});
+  scripts.push_back({DemandPhase{240.0, common::from_millis(400)},
+                     DemandPhase{60.0, common::from_seconds(60)}});
+  ThreadCluster cluster(cfg, std::move(scripts));
+  cluster.run_for(common::from_millis(1500));
+  auto reports = cluster.reports();
+  // Both nodes both donated and received at some point.
+  for (const auto& report : reports) {
+    EXPECT_GT(report.decider.watts_donated, 0.0) << report.id;
+    EXPECT_GT(report.decider.excess_steps, 0u) << report.id;
+    EXPECT_GT(report.decider.hungry_steps, 0u) << report.id;
+  }
+  // And nothing leaked through the role swap.
+  EXPECT_NEAR(cluster.total_live_watts(), cluster.budget(), 1e-6);
+}
+
+TEST(SpinKernel, DeterministicAndWorkProportional) {
+  EXPECT_EQ(spin_kernel(1000), spin_kernel(1000));
+  EXPECT_NE(spin_kernel(1000), spin_kernel(1001));
+}
+
+TEST(Overhead, MeasuresAllNineWorkloads) {
+  OverheadConfig cfg;
+  cfg.work_seconds = 0.02;  // keep the test quick
+  cfg.repetitions = 1;
+  auto results = measure_overhead(cfg);
+  ASSERT_EQ(results.size(), 9u);
+  for (const auto& r : results) {
+    EXPECT_GT(r.baseline_seconds, 0.0) << r.workload;
+    EXPECT_GT(r.penelope_seconds, 0.0) << r.workload;
+    // Overhead can be noisy at this tiny scale but must not be absurd.
+    EXPECT_LT(r.overhead_fraction, 2.0) << r.workload;
+    EXPECT_GT(r.overhead_fraction, -0.9) << r.workload;
+  }
+}
+
+}  // namespace
+}  // namespace penelope::rt

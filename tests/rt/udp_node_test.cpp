@@ -1,0 +1,143 @@
+// Penelope over real loopback UDP sockets: the deployment-path driver.
+// These tests exercise actual sendto/recvfrom, the binary codec on the
+// wire, kernel port assignment, and two-phase shutdown conservation.
+#include "rt/udp_node.hpp"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace penelope::rt {
+namespace {
+
+UdpNodeConfig quick_config() {
+  UdpNodeConfig cfg;
+  cfg.initial_cap_watts = 120.0;
+  cfg.period = common::from_millis(10);
+  cfg.request_timeout = common::from_millis(15);
+  cfg.seed = 11;
+  return cfg;
+}
+
+std::vector<std::vector<DemandPhase>> donor_hungry_scripts(int nodes) {
+  std::vector<std::vector<DemandPhase>> scripts;
+  for (int i = 0; i < nodes; ++i) {
+    double demand = (i < nodes / 2) ? 60.0 : 240.0;
+    scripts.push_back({DemandPhase{demand, common::from_seconds(60.0)}});
+  }
+  return scripts;
+}
+
+TEST(UdpNode, BindsAndReportsKernelAssignedPort) {
+  UdpPenelopeNode node(quick_config(), {DemandPhase{100.0, 1000000}});
+  ASSERT_TRUE(node.ok()) << node.error();
+  EXPECT_GT(node.port(), 0);
+}
+
+TEST(UdpNode, DistinctNodesGetDistinctPorts) {
+  UdpPenelopeNode a(quick_config(), {DemandPhase{100.0, 1000000}});
+  UdpPenelopeNode b(quick_config(), {DemandPhase{100.0, 1000000}});
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a.port(), b.port());
+}
+
+TEST(UdpCluster, PowerShiftsOverRealSockets) {
+  UdpCluster cluster(4, quick_config(), donor_hungry_scripts(4));
+  ASSERT_TRUE(cluster.ok());
+  cluster.run_for(common::from_millis(1200));
+
+  auto reports = cluster.reports();
+  std::uint64_t total_grants = 0;
+  std::uint64_t total_packets = 0;
+  for (const auto& report : reports) {
+    total_grants += report.grants_received;
+    total_packets += report.packets_received;
+    EXPECT_EQ(report.decode_failures, 0u) << "node " << report.id;
+  }
+  EXPECT_GT(total_grants, 0u);
+  EXPECT_GT(total_packets, 0u);
+  // Hungry nodes (2,3) ended up with more cap than donors (0,1).
+  EXPECT_GT(reports[2].final_cap + reports[3].final_cap,
+            reports[0].final_cap + reports[1].final_cap);
+}
+
+TEST(UdpCluster, ShutdownConservesPower) {
+  UdpCluster cluster(4, quick_config(), donor_hungry_scripts(4));
+  ASSERT_TRUE(cluster.ok());
+  cluster.run_for(common::from_millis(600));
+  EXPECT_NEAR(cluster.total_live_watts(), cluster.budget(), 1e-6);
+}
+
+TEST(UdpCluster, CapsStayInSafeRange) {
+  UdpNodeConfig cfg = quick_config();
+  UdpCluster cluster(4, cfg, donor_hungry_scripts(4));
+  ASSERT_TRUE(cluster.ok());
+  cluster.run_for(common::from_millis(600));
+  for (const auto& report : cluster.reports()) {
+    EXPECT_GE(report.final_cap, cfg.safe_range.min_watts - 1e-9);
+    EXPECT_LE(report.final_cap, cfg.safe_range.max_watts + 1e-9);
+    EXPECT_GE(report.final_pool, 0.0);
+  }
+}
+
+TEST(UdpCluster, RepeatedRunsDoNotLeakSocketsOrDeadlock) {
+  for (int round = 0; round < 3; ++round) {
+    UdpNodeConfig cfg = quick_config();
+    cfg.seed = 100 + static_cast<std::uint64_t>(round);
+    UdpCluster cluster(3, cfg, donor_hungry_scripts(3));
+    ASSERT_TRUE(cluster.ok());
+    cluster.run_for(common::from_millis(150));
+    EXPECT_NEAR(cluster.total_live_watts(), cluster.budget(), 1e-6);
+  }
+}
+
+TEST(UdpNode, GarbagePacketsAreCountedNotFatal) {
+  // Fire raw garbage at a node's socket; it must count the junk and
+  // keep serving the real protocol.
+  UdpNodeConfig cfg = quick_config();
+  cfg.id = 0;
+  UdpPenelopeNode donor(cfg, {DemandPhase{60.0, common::from_seconds(60)}});
+  cfg.id = 1;
+  cfg.seed = 12;
+  UdpPenelopeNode hungry(cfg,
+                         {DemandPhase{240.0, common::from_seconds(60)}});
+  ASSERT_TRUE(donor.ok() && hungry.ok());
+  donor.set_peers({UdpPeer{1, hungry.port()}});
+  hungry.set_peers({UdpPeer{0, donor.port()}});
+
+  // Queue garbage into the donor's socket before it starts reading.
+  int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(donor.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  const char junk[] = "\xff" "\x00" "definitely not a penelope packet";
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(::sendto(fd, junk, sizeof junk, 0,
+                       reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+              static_cast<ssize_t>(sizeof junk));
+  }
+  ::close(fd);
+
+  donor.start();
+  hungry.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  donor.stop_decider();
+  hungry.stop_decider();
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  donor.stop_receiver();
+  hungry.stop_receiver();
+
+  EXPECT_GE(donor.report().decode_failures, 5u);
+  // The protocol still worked around the junk.
+  EXPECT_GT(hungry.report().grants_received, 0u);
+  EXPECT_NEAR(donor.cap() + donor.pool_watts() + hungry.cap() +
+                  hungry.pool_watts(),
+              2 * cfg.initial_cap_watts, 1e-6);
+}
+
+}  // namespace
+}  // namespace penelope::rt

@@ -1,0 +1,200 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace penelope::sim {
+namespace {
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulator, EqualTimestampsAreFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulator, ScheduleAfterIsRelative) {
+  Simulator sim;
+  Ticks fired_at = -1;
+  sim.schedule_at(100, [&] {
+    sim.schedule_after(50, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired_at, 150);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.schedule_after(10, recurse);
+  };
+  sim.schedule_at(0, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), 40);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  EventId id = sim.schedule_at(10, [&] { ran = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, CancelOneOfManyAtSameTime) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(10, [&] { ++count; });
+  EventId id = sim.schedule_at(10, [&] { ++count; });
+  sim.schedule_at(10, [&] { ++count; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, CancelInvalidIdIsNoop) {
+  Simulator sim;
+  sim.cancel(kInvalidEventId);
+  sim.cancel(9999);
+  bool ran = false;
+  sim.schedule_at(1, [&] { ran = true; });
+  sim.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  std::vector<Ticks> fired;
+  for (Ticks t = 10; t <= 100; t += 10) {
+    sim.schedule_at(t, [&fired, &sim] { fired.push_back(sim.now()); });
+  }
+  sim.run_until(45);
+  EXPECT_EQ(fired.size(), 4u);
+  EXPECT_EQ(sim.now(), 45);
+  sim.run_until(100);
+  EXPECT_EQ(fired.size(), 10u);
+}
+
+TEST(Simulator, RunUntilAdvancesTimeWithEmptyQueue) {
+  Simulator sim;
+  sim.run_until(500);
+  EXPECT_EQ(sim.now(), 500);
+}
+
+TEST(Simulator, EventAtExactDeadlineRuns) {
+  Simulator sim;
+  bool ran = false;
+  sim.schedule_at(50, [&] { ran = true; });
+  sim.run_until(50);
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, StopHaltsRun) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(i * 10, [&] {
+      if (++count == 3) sim.stop();
+    });
+  }
+  sim.run();
+  EXPECT_EQ(count, 3);
+  EXPECT_TRUE(sim.stopped());
+}
+
+TEST(Simulator, RunStepsExecutesBoundedCount) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) sim.schedule_at(i, [&] { ++count; });
+  EXPECT_EQ(sim.run_steps(4), 4u);
+  EXPECT_EQ(count, 4);
+  EXPECT_EQ(sim.run_steps(100), 6u);
+}
+
+TEST(Simulator, ExecutedEventsCounts) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_at(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.executed_events(), 7u);
+}
+
+TEST(SimulatorDeath, SchedulingIntoPastAborts) {
+  Simulator sim;
+  sim.schedule_at(100, [] {});
+  sim.run();
+  EXPECT_DEATH(sim.schedule_at(50, [] {}), "past");
+}
+
+TEST(PeriodicTask, FiresAtFixedPeriod) {
+  Simulator sim;
+  std::vector<Ticks> fired;
+  PeriodicTask task(sim, 100, 50,
+                    [&](Ticks t) { fired.push_back(t); });
+  sim.run_until(300);
+  EXPECT_EQ(fired, (std::vector<Ticks>{100, 150, 200, 250, 300}));
+}
+
+TEST(PeriodicTask, CancelStopsFiring) {
+  Simulator sim;
+  int count = 0;
+  PeriodicTask task(sim, 10, 10, [&](Ticks) {
+    if (++count == 3) task.cancel();
+  });
+  sim.run_until(1000);
+  EXPECT_EQ(count, 3);
+  EXPECT_FALSE(task.active());
+}
+
+TEST(PeriodicTask, DestructorCancels) {
+  Simulator sim;
+  int count = 0;
+  {
+    PeriodicTask task(sim, 10, 10, [&](Ticks) { ++count; });
+    sim.run_until(35);
+  }
+  sim.run_until(1000);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(PeriodicTask, SetPeriodTakesEffectNextFiring) {
+  Simulator sim;
+  std::vector<Ticks> fired;
+  PeriodicTask task(sim, 10, 10, [&](Ticks t) {
+    fired.push_back(t);
+    if (fired.size() == 2) task.set_period(100);
+  });
+  sim.run_until(250);
+  EXPECT_EQ(fired, (std::vector<Ticks>{10, 20, 120, 220}));
+}
+
+TEST(PeriodicTask, CallbackMayCancelSafely) {
+  Simulator sim;
+  int count = 0;
+  PeriodicTask task(sim, 5, 5, [&](Ticks) {
+    ++count;
+    task.cancel();
+  });
+  sim.run_until(100);
+  EXPECT_EQ(count, 1);
+}
+
+}  // namespace
+}  // namespace penelope::sim

@@ -1,0 +1,148 @@
+#include "workload/application.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace penelope::workload {
+namespace {
+
+using common::from_seconds;
+
+WorkloadProfile two_phase() {
+  WorkloadProfile p;
+  p.name = "test";
+  p.phases = {{"hot", 200.0, 10.0}, {"cool", 100.0, 5.0}};
+  return p;
+}
+
+power::PerformanceModel linear_model() {
+  return power::PerformanceModel(
+      power::PerformanceModelConfig{.alpha = 1.0, .base_fraction = 0.0});
+}
+
+TEST(Application, FullPowerCompletesInWorkTime) {
+  Application app(two_phase(), 40.0);
+  auto model = linear_model();
+  app.advance(0, from_seconds(15.0), 250.0, model);
+  EXPECT_TRUE(app.done());
+  ASSERT_TRUE(app.completion_time().has_value());
+  EXPECT_EQ(*app.completion_time(), from_seconds(15.0));
+}
+
+TEST(Application, HalfPowerTakesTwiceAsLong) {
+  Application app(two_phase(), 40.0);
+  auto model = linear_model();
+  // 100 W against 200 W demand: phase 1 at half speed -> 20 s; then
+  // 100 W meets the 100 W demand of phase 2 -> 5 s. Total 25 s.
+  app.advance(0, from_seconds(25.0), 100.0, model);
+  EXPECT_TRUE(app.done());
+  EXPECT_EQ(*app.completion_time(), from_seconds(25.0));
+}
+
+TEST(Application, PhaseBoundaryCrossedExactly) {
+  Application app(two_phase(), 40.0);
+  auto model = linear_model();
+  EXPECT_DOUBLE_EQ(app.current_demand(), 200.0);
+  bool changed = app.advance(0, from_seconds(10.0), 250.0, model);
+  EXPECT_TRUE(changed);
+  EXPECT_DOUBLE_EQ(app.current_demand(), 100.0);
+  EXPECT_EQ(app.current_phase_index(), 1u);
+}
+
+TEST(Application, MidIntervalBoundaryHandled) {
+  Application app(two_phase(), 40.0);
+  auto model = linear_model();
+  // 12 s at full power: 10 s finishes phase 1, 2 s into phase 2.
+  bool changed = app.advance(0, from_seconds(12.0), 250.0, model);
+  EXPECT_TRUE(changed);
+  EXPECT_FALSE(app.done());
+  EXPECT_NEAR(app.fraction_complete(), 12.0 / 15.0, 1e-9);
+}
+
+TEST(Application, MultiplePhasesInOneInterval) {
+  WorkloadProfile p;
+  p.phases = {{"a", 100.0, 1.0}, {"b", 100.0, 1.0}, {"c", 100.0, 1.0}};
+  Application app(p, 40.0);
+  auto model = linear_model();
+  app.advance(0, from_seconds(10.0), 200.0, model);
+  EXPECT_TRUE(app.done());
+  EXPECT_EQ(*app.completion_time(), from_seconds(3.0));
+}
+
+TEST(Application, CompletionTimeInterpolatedInsideInterval) {
+  WorkloadProfile p;
+  p.phases = {{"only", 100.0, 4.0}};
+  Application app(p, 40.0);
+  auto model = linear_model();
+  app.advance(0, from_seconds(10.0), 200.0, model);
+  EXPECT_EQ(*app.completion_time(), from_seconds(4.0));
+}
+
+TEST(Application, StarvedNodeMakesNoProgress) {
+  Application app(two_phase(), 40.0);
+  power::PerformanceModel model(
+      power::PerformanceModelConfig{.alpha = 0.5, .base_fraction = 0.25});
+  // Delivered below the base fraction of 200 W demand -> speed 0.
+  app.advance(0, from_seconds(100.0), 40.0, model);
+  EXPECT_FALSE(app.done());
+  EXPECT_DOUBLE_EQ(app.fraction_complete(), 0.0);
+}
+
+TEST(Application, DemandSwitchesToIdleAfterCompletion) {
+  Application app(two_phase(), 40.0);
+  auto model = linear_model();
+  app.advance(0, from_seconds(15.0), 250.0, model);
+  EXPECT_DOUBLE_EQ(app.current_demand(), 40.0);
+}
+
+TEST(Application, AdvanceAfterDoneIsNoop) {
+  Application app(two_phase(), 40.0);
+  auto model = linear_model();
+  app.advance(0, from_seconds(15.0), 250.0, model);
+  EXPECT_FALSE(app.advance(from_seconds(15.0), from_seconds(20.0), 250.0,
+                           model));
+  EXPECT_EQ(*app.completion_time(), from_seconds(15.0));
+}
+
+TEST(Application, ZeroLengthIntervalIsNoop) {
+  Application app(two_phase(), 40.0);
+  auto model = linear_model();
+  EXPECT_FALSE(
+      app.advance(from_seconds(1.0), from_seconds(1.0), 250.0, model));
+  EXPECT_DOUBLE_EQ(app.fraction_complete(), 0.0);
+}
+
+TEST(Application, FractionCompleteIsMonotone) {
+  Application app(two_phase(), 40.0);
+  auto model = linear_model();
+  double prev = 0.0;
+  for (int i = 1; i <= 30; ++i) {
+    app.advance(from_seconds(i - 1.0), from_seconds(i), 120.0, model);
+    double f = app.fraction_complete();
+    EXPECT_GE(f, prev);
+    EXPECT_LE(f, 1.0);
+    prev = f;
+  }
+}
+
+TEST(Application, SplitAdvanceEqualsOneBigAdvance) {
+  Application split(two_phase(), 40.0);
+  Application whole(two_phase(), 40.0);
+  auto model = linear_model();
+  for (int i = 0; i < 150; ++i) {
+    split.advance(from_seconds(i * 0.1), from_seconds((i + 1) * 0.1),
+                  130.0, model);
+  }
+  whole.advance(0, from_seconds(15.0), 130.0, model);
+  EXPECT_NEAR(split.fraction_complete(), whole.fraction_complete(), 1e-9);
+}
+
+TEST(ApplicationDeath, EmptyProfileRejected) {
+  WorkloadProfile empty;
+  empty.name = "empty";
+  EXPECT_DEATH(Application(empty, 40.0), "phases");
+}
+
+}  // namespace
+}  // namespace penelope::workload

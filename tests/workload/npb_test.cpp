@@ -1,0 +1,140 @@
+#include "workload/npb.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace penelope::workload {
+namespace {
+
+TEST(Npb, NineApplicationsNoIS) {
+  EXPECT_EQ(all_apps().size(), 9u);
+  std::set<std::string> names;
+  for (auto app : all_apps()) names.insert(app_name(app));
+  EXPECT_EQ(names.size(), 9u);
+  EXPECT_EQ(names.count("IS"), 0u);  // the paper omits Integer Sort
+  EXPECT_EQ(names.count("EP"), 1u);
+  EXPECT_EQ(names.count("DC"), 1u);
+}
+
+TEST(Npb, ThirtySixUniquePairs) {
+  auto pairs = unique_pairs();
+  EXPECT_EQ(pairs.size(), 36u);  // C(9,2), as in the paper
+  std::set<std::pair<NpbApp, NpbApp>> distinct(pairs.begin(), pairs.end());
+  EXPECT_EQ(distinct.size(), 36u);
+  for (const auto& [a, b] : pairs) EXPECT_NE(a, b);
+}
+
+TEST(Npb, ProfilesAreNonTrivial) {
+  for (auto app : all_apps()) {
+    WorkloadProfile p = npb_profile(app);
+    EXPECT_FALSE(p.phases.empty()) << p.name;
+    EXPECT_GT(p.total_work_seconds(), 30.0) << p.name;
+    for (const auto& phase : p.phases) {
+      EXPECT_GT(phase.demand_watts, 0.0) << p.name;
+      EXPECT_GT(phase.work_seconds, 0.0) << p.name;
+    }
+  }
+}
+
+TEST(Npb, RuntimesMatchPaperScale) {
+  // §4.1: each application takes at least 40 s and all but one at least
+  // two minutes (full-speed work at class-D-like scale).
+  int over_two_minutes = 0;
+  for (auto app : all_apps()) {
+    double total = npb_profile(app).total_work_seconds();
+    EXPECT_GE(total, 40.0) << app_name(app);
+    if (total >= 120.0) ++over_two_minutes;
+  }
+  EXPECT_GE(over_two_minutes, 8);
+}
+
+TEST(Npb, AppsHaveDiversePowerNeeds) {
+  // The evaluation depends on workload diversity; EP must be the hog and
+  // DC the donor.
+  double ep_mean = npb_profile(NpbApp::kEP).mean_demand_watts();
+  double dc_mean = npb_profile(NpbApp::kDC).mean_demand_watts();
+  EXPECT_GT(ep_mean, 200.0);
+  EXPECT_LT(dc_mean, 130.0);
+  EXPECT_GT(ep_mean - dc_mean, 60.0);
+}
+
+TEST(Npb, ProfilesAreDeterministic) {
+  NpbConfig cfg;
+  cfg.seed = 5;
+  cfg.demand_jitter_frac = 0.05;
+  WorkloadProfile a = npb_profile(NpbApp::kCG, cfg);
+  WorkloadProfile b = npb_profile(NpbApp::kCG, cfg);
+  ASSERT_EQ(a.phases.size(), b.phases.size());
+  for (std::size_t i = 0; i < a.phases.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.phases[i].demand_watts, b.phases[i].demand_watts);
+    EXPECT_DOUBLE_EQ(a.phases[i].work_seconds, b.phases[i].work_seconds);
+  }
+}
+
+TEST(Npb, SeedChangesJitteredDemands) {
+  NpbConfig a_cfg{.demand_jitter_frac = 0.05, .seed = 1};
+  NpbConfig b_cfg{.demand_jitter_frac = 0.05, .seed = 2};
+  WorkloadProfile a = npb_profile(NpbApp::kLU, a_cfg);
+  WorkloadProfile b = npb_profile(NpbApp::kLU, b_cfg);
+  bool any_different = false;
+  for (std::size_t i = 0; i < a.phases.size(); ++i) {
+    if (a.phases[i].demand_watts != b.phases[i].demand_watts)
+      any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Npb, JitterStaysWithinFraction) {
+  NpbConfig plain;
+  NpbConfig jittered{.demand_jitter_frac = 0.02, .seed = 3};
+  for (auto app : all_apps()) {
+    WorkloadProfile base = npb_profile(app, plain);
+    WorkloadProfile jit = npb_profile(app, jittered);
+    ASSERT_EQ(base.phases.size(), jit.phases.size());
+    for (std::size_t i = 0; i < base.phases.size(); ++i) {
+      double ratio =
+          jit.phases[i].demand_watts / base.phases[i].demand_watts;
+      EXPECT_GE(ratio, 0.98 - 1e-9);
+      EXPECT_LE(ratio, 1.02 + 1e-9);
+    }
+  }
+}
+
+TEST(Npb, DurationScaleShrinksWork) {
+  NpbConfig scaled{.duration_scale = 0.1};
+  for (auto app : all_apps()) {
+    double full = npb_profile(app).total_work_seconds();
+    double small = npb_profile(app, scaled).total_work_seconds();
+    EXPECT_NEAR(small, full * 0.1, 1e-9);
+  }
+}
+
+TEST(Npb, ProfileAggregates) {
+  WorkloadProfile p;
+  p.phases = {{"a", 100.0, 10.0}, {"b", 200.0, 30.0}};
+  EXPECT_DOUBLE_EQ(p.total_work_seconds(), 40.0);
+  EXPECT_DOUBLE_EQ(p.mean_demand_watts(), (100 * 10 + 200 * 30) / 40.0);
+  EXPECT_DOUBLE_EQ(p.peak_demand_watts(), 200.0);
+}
+
+TEST(Npb, CompletionBurstProfileIsOneHotPhase) {
+  WorkloadProfile p = completion_burst_profile(NpbApp::kEP, 5.0);
+  ASSERT_EQ(p.phases.size(), 1u);
+  EXPECT_DOUBLE_EQ(p.phases[0].work_seconds, 5.0);
+  EXPECT_DOUBLE_EQ(p.phases[0].demand_watts,
+                   npb_profile(NpbApp::kEP).peak_demand_watts());
+}
+
+TEST(Npb, DemandsWithinDualSocketEnvelope) {
+  // Node-level demands must be plausible for a 2-socket 125 W TDP box.
+  for (auto app : all_apps()) {
+    for (const auto& phase : npb_profile(app).phases) {
+      EXPECT_LE(phase.demand_watts, 250.0) << app_name(app);
+      EXPECT_GE(phase.demand_watts, 60.0) << app_name(app);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace penelope::workload

@@ -1,0 +1,156 @@
+#include "workload/profile_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "workload/application.hpp"
+
+namespace penelope::workload {
+namespace {
+
+WorkloadProfile sample_profile() {
+  WorkloadProfile p;
+  p.name = "sample";
+  p.phases = {{"init", 120.0, 4.0}, {"hot", 225.5, 16.25}};
+  return p;
+}
+
+TEST(ProfileIo, CsvRoundTrip) {
+  WorkloadProfile original = sample_profile();
+  auto loaded = profile_from_csv(profile_to_csv(original));
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->name, "sample");
+  ASSERT_EQ(loaded->phases.size(), 2u);
+  EXPECT_EQ(loaded->phases[0].label, "init");
+  EXPECT_DOUBLE_EQ(loaded->phases[1].demand_watts, 225.5);
+  EXPECT_DOUBLE_EQ(loaded->phases[1].work_seconds, 16.25);
+}
+
+TEST(ProfileIo, NpbProfilesRoundTripExactlyEnough) {
+  for (auto app : all_apps()) {
+    WorkloadProfile original = npb_profile(app);
+    auto loaded = profile_from_csv(profile_to_csv(original));
+    ASSERT_TRUE(loaded.has_value()) << app_name(app);
+    ASSERT_EQ(loaded->phases.size(), original.phases.size());
+    EXPECT_NEAR(loaded->total_work_seconds(),
+                original.total_work_seconds(), 1e-4);
+    EXPECT_NEAR(loaded->mean_demand_watts(),
+                original.mean_demand_watts(), 1e-4);
+  }
+}
+
+TEST(ProfileIo, FileRoundTrip) {
+  std::string path = testing::TempDir() + "/penelope_profile_io.csv";
+  ASSERT_TRUE(save_profile_csv(sample_profile(), path));
+  auto loaded = load_profile_csv(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->phases.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(ProfileIo, MalformedInputsRejected) {
+  EXPECT_FALSE(profile_from_csv("").has_value());
+  EXPECT_FALSE(profile_from_csv("bogus header\n1,2,3\n").has_value());
+  EXPECT_FALSE(
+      profile_from_csv("label,demand_watts,work_seconds\n").has_value());
+  EXPECT_FALSE(profile_from_csv(
+                   "label,demand_watts,work_seconds\nx,notanumber,3\n")
+                   .has_value());
+  EXPECT_FALSE(
+      profile_from_csv("label,demand_watts,work_seconds\nx,100\n")
+          .has_value());
+  EXPECT_FALSE(
+      profile_from_csv("label,demand_watts,work_seconds\nx,100,0\n")
+          .has_value());
+  EXPECT_FALSE(
+      profile_from_csv("label,demand_watts,work_seconds\nx,-5,2\n")
+          .has_value());
+}
+
+TEST(ProfileIo, LoadMissingFileFails) {
+  EXPECT_FALSE(load_profile_csv("/no/such/file.csv").has_value());
+}
+
+std::vector<PowerSample> timeline(
+    const std::vector<std::pair<double, double>>& points) {
+  std::vector<PowerSample> samples;
+  for (const auto& [t, w] : points) {
+    samples.push_back(PowerSample{common::from_seconds(t), w});
+  }
+  return samples;
+}
+
+TEST(CurateProfile, SplitsOnDemandSteps) {
+  // 0-10 s at ~100 W, 10-20 s at ~200 W.
+  std::vector<PowerSample> samples;
+  for (int t = 0; t <= 20; ++t) {
+    samples.push_back(PowerSample{common::from_seconds(t),
+                                  t < 10 ? 100.0 : 200.0});
+  }
+  auto profile = curate_profile(samples, "stepped");
+  ASSERT_TRUE(profile.has_value());
+  ASSERT_EQ(profile->phases.size(), 2u);
+  EXPECT_NEAR(profile->phases[0].demand_watts, 100.0, 1e-9);
+  EXPECT_NEAR(profile->phases[0].work_seconds, 10.0, 1e-9);
+  EXPECT_NEAR(profile->phases[1].demand_watts, 200.0, 1e-9);
+  EXPECT_NEAR(profile->phases[1].work_seconds, 10.0, 1e-9);
+}
+
+TEST(CurateProfile, MergesWithinTolerance) {
+  auto samples = timeline({{0, 100}, {1, 103}, {2, 98}, {3, 101},
+                           {4, 102}, {5, 100}});
+  auto profile = curate_profile(samples, "noisy");
+  ASSERT_TRUE(profile.has_value());
+  EXPECT_EQ(profile->phases.size(), 1u);
+  EXPECT_NEAR(profile->phases[0].demand_watts, 100.8, 0.5);
+  EXPECT_NEAR(profile->phases[0].work_seconds, 5.0, 1e-9);
+}
+
+TEST(CurateProfile, FoldsBlipsIntoNeighbours) {
+  // A 0.2 s spike inside a steady phase must not become its own phase.
+  auto samples = timeline({{0.0, 100}, {1.0, 100}, {2.0, 100},
+                           {2.2, 250}, {2.4, 100}, {3.4, 100},
+                           {4.4, 100}});
+  CurateOptions options;
+  options.min_phase_seconds = 0.5;
+  auto profile = curate_profile(samples, "blip", options);
+  ASSERT_TRUE(profile.has_value());
+  EXPECT_EQ(profile->phases.size(), 1u);
+}
+
+TEST(CurateProfile, RejectsDegenerateInput) {
+  EXPECT_FALSE(curate_profile({}, "x").has_value());
+  EXPECT_FALSE(
+      curate_profile({PowerSample{0, 100.0}}, "x").has_value());
+  // Non-increasing timestamps.
+  EXPECT_FALSE(curate_profile(timeline({{1, 100}, {1, 110}}), "x")
+                   .has_value());
+  EXPECT_FALSE(curate_profile(timeline({{2, 100}, {1, 110}}), "x")
+                   .has_value());
+}
+
+TEST(CurateProfile, CuratedProfileDrivesApplication) {
+  // End-to-end: a curated profile is a valid workload.
+  auto samples = timeline({{0, 150}, {5, 150}, {10, 90}, {15, 90},
+                           {20, 90}});
+  auto profile = curate_profile(samples, "replay");
+  ASSERT_TRUE(profile.has_value());
+  Application app(*profile, 40.0);
+  power::PerformanceModel model;
+  app.advance(0, common::from_seconds(30.0), 250.0, model);
+  EXPECT_TRUE(app.done());
+}
+
+TEST(CurateProfile, RoundTripsThroughCsv) {
+  auto samples = timeline({{0, 100}, {5, 100}, {10, 200}, {15, 200},
+                           {20, 200}});
+  auto profile = curate_profile(samples, "rt");
+  ASSERT_TRUE(profile.has_value());
+  auto loaded = profile_from_csv(profile_to_csv(*profile));
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->phases.size(), profile->phases.size());
+}
+
+}  // namespace
+}  // namespace penelope::workload
