@@ -34,6 +34,46 @@ void BM_SimulatorScheduleRun(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorScheduleRun)->Arg(1024)->Arg(16384);
 
+void BM_SimulatorTimeoutChurn(benchmark::State& state) {
+  // Penelope's dominant event pattern: nearly every scheduled timeout is
+  // cancelled when the reply arrives first (actors.cpp request/timeout
+  // pairs). Schedule N timeouts, cancel 95% of them, run the remainder —
+  // the workload a tombstone-based queue handles worst, since every
+  // cancelled event must still be popped through.
+  for (auto _ : state) {
+    sim::Simulator sim;
+    const int n = static_cast<int>(state.range(0));
+    std::vector<sim::EventId> ids(static_cast<std::size_t>(n));
+    int fired = 0;
+    for (int i = 0; i < n; ++i) {
+      ids[static_cast<std::size_t>(i)] =
+          sim.schedule_at(1000 + i, [&fired] { ++fired; });
+    }
+    for (int i = 0; i < n; ++i) {
+      if (i % 20 != 0) sim.cancel(ids[static_cast<std::size_t>(i)]);
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorTimeoutChurn)->Arg(1024)->Arg(16384);
+
+void BM_PeriodicTick(benchmark::State& state) {
+  // Per-firing cost of a periodic task (every node's decider tick rides
+  // this path).
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::uint64_t ticks = 0;
+    sim::PeriodicTask task(sim, 1, 1, [&](common::Ticks) { ++ticks; });
+    sim.run_until(n);
+    benchmark::DoNotOptimize(ticks);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PeriodicTick)->Arg(16384);
+
 void BM_SimulatorCascade(benchmark::State& state) {
   for (auto _ : state) {
     sim::Simulator sim;

@@ -260,7 +260,9 @@ void PenelopeNodeActor::on_tick(common::Ticks now) {
       out.peer = peer;
       out.timeout_event = sim_.schedule_after(
           body_.config().request_timeout, [this] {
-            // This event is firing, so it must not be cancel()ed later.
+            // Cancelling a fired id is a detected no-op in the engine
+            // (generation-checked); clearing it here just keeps the
+            // record honest about having no pending timeout.
             if (outstanding_)
               outstanding_->timeout_event = sim::kInvalidEventId;
             resolve_outstanding_as_timeout();

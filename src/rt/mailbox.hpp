@@ -60,6 +60,26 @@ class Mailbox {
     return take_locked();
   }
 
+  /// Pop with an absolute deadline — the mailbox mirror of the
+  /// simulator's run_until(). Timeout loops that race a reply against a
+  /// fixed deadline wait against the deadline directly instead of
+  /// re-computing a shrinking relative timeout on every wakeup.
+  template <typename ClockT, typename Duration>
+  std::optional<T> pop_until(
+      std::chrono::time_point<ClockT, Duration> deadline) {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait_until(lock, deadline,
+                          [this] { return closed_ || !queue_.empty(); });
+    return take_locked();
+  }
+
+  /// Non-blocking pop; the mirror of try_push. Empty optional when the
+  /// mailbox is empty (closed or not).
+  std::optional<T> try_pop() {
+    std::scoped_lock lock(mutex_);
+    return take_locked();
+  }
+
   /// Close the mailbox: pending items remain poppable, pushes fail, and
   /// all waiters wake.
   void close() {

@@ -140,15 +140,13 @@ void ThreadCluster::decider_loop(Node& node, std::stop_token stop) {
       bool matched = false;
       if (peer.inbox.try_push(
               PoolRequestMsg{outcome.request, &node.reply_box})) {
-        auto deadline =
+        const auto deadline =
             Clock::now() +
             std::chrono::microseconds(config_.request_timeout);
         while (!matched) {
-          auto remaining = deadline - Clock::now();
-          if (remaining <= std::chrono::microseconds(0)) break;
           std::optional<core::PowerGrant> grant =
-              node.reply_box.pop_for(remaining);
-          if (!grant) break;
+              node.reply_box.pop_until(deadline);
+          if (!grant) break;  // deadline passed or mailbox closed
           if (grant->txn_id == outcome.request.txn_id) {
             node.decider.complete_peer_grant(grant->watts);
             node.grants_received.fetch_add(1, std::memory_order_relaxed);
@@ -204,7 +202,7 @@ void ThreadCluster::run_for(common::Ticks duration) {
 
   // Drain reply boxes: grants that raced shutdown carry real watts.
   for (auto& node : nodes_) {
-    while (auto grant = node->reply_box.pop_for(std::chrono::seconds(0))) {
+    while (auto grant = node->reply_box.try_pop()) {
       if (grant->watts > 0.0) node->pool.deposit(grant->watts);
     }
   }

@@ -202,14 +202,12 @@ void UdpPenelopeNode::decider_loop(std::stop_token stop) {
       auto bytes = net::encode(net::WirePayload{outcome.request});
       bool matched = false;
       if (send_to_port(peer.port, bytes)) {
-        auto deadline = Clock::now() + std::chrono::microseconds(
-                                           config_.request_timeout);
+        const auto deadline = Clock::now() + std::chrono::microseconds(
+                                                 config_.request_timeout);
         while (!matched) {
-          auto remaining = deadline - Clock::now();
-          if (remaining <= std::chrono::microseconds(0)) break;
           std::optional<core::PowerGrant> grant =
-              grant_box_.pop_for(remaining);
-          if (!grant) break;
+              grant_box_.pop_until(deadline);
+          if (!grant) break;  // deadline passed or mailbox closed
           if (grant->txn_id == outcome.request.txn_id) {
             decider_.complete_peer_grant(grant->watts);
             grants_received_.fetch_add(1, std::memory_order_relaxed);
@@ -233,7 +231,7 @@ void UdpPenelopeNode::decider_loop(std::stop_token stop) {
 
   // Drain any grants still queued for us into the pool so shutdown
   // conserves power.
-  while (auto grant = grant_box_.pop_for(std::chrono::seconds(0))) {
+  while (auto grant = grant_box_.try_pop()) {
     if (grant->watts > 0.0) pool_.deposit(grant->watts);
   }
 }

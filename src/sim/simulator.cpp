@@ -6,42 +6,54 @@
 
 namespace penelope::sim {
 
-EventId Simulator::schedule_at(Ticks at, std::function<void()> fn) {
+EventId Simulator::schedule_at(Ticks at, EventFn fn) {
   PEN_CHECK_MSG(at >= now_, "cannot schedule into the past");
-  PEN_CHECK(fn != nullptr);
-  EventId id = next_id_++;
-  queue_.push(Event{at, next_seq_++, id, std::move(fn)});
-  return id;
+  PEN_CHECK(static_cast<bool>(fn));
+  return heap_.insert(at, next_seq_++, /*period=*/0, std::move(fn));
 }
 
-EventId Simulator::schedule_after(Ticks delay, std::function<void()> fn) {
+EventId Simulator::schedule_after(Ticks delay, EventFn fn) {
   PEN_CHECK(delay >= 0);
   return schedule_at(now_ + delay, std::move(fn));
 }
 
+EventId Simulator::schedule_periodic(Ticks first_at, Ticks period,
+                                     EventFn fn) {
+  PEN_CHECK_MSG(first_at >= now_, "cannot schedule into the past");
+  PEN_CHECK(period > 0);
+  PEN_CHECK(static_cast<bool>(fn));
+  return heap_.insert(first_at, next_seq_++, period, std::move(fn));
+}
+
+bool Simulator::set_period(EventId id, Ticks period) {
+  PEN_CHECK(period > 0);
+  return heap_.set_period(id, period);
+}
+
 void Simulator::cancel(EventId id) {
-  if (id != kInvalidEventId) cancelled_.insert(id);
+  if (id != kInvalidEventId) heap_.cancel(id);
 }
 
 bool Simulator::pop_and_run_next() {
-  while (!queue_.empty()) {
-    // priority_queue::top is const; the event is copied out by value. The
-    // std::function copy is cheap relative to event work and keeps the
-    // queue's invariants out of the callback's reach.
-    Event ev = queue_.top();
-    queue_.pop();
-    auto it = cancelled_.find(ev.id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
+  if (heap_.empty()) return false;
+  TimerHeap::Fired event = heap_.fire_top();
+  PEN_DCHECK(event.at >= now_);
+  now_ = event.at;
+  ++executed_;
+  trace_hash_ = (trace_hash_ ^ static_cast<std::uint64_t>(event.at)) *
+                0x100000001b3ULL;
+  event.fn(now_);
+  if (event.periodic) {
+    // Re-arm only if the callback did not cancel the timer, and assign
+    // the re-arm sequence number *after* the callback so events it
+    // scheduled at the next firing time sort ahead of that firing —
+    // the order the old schedule-a-fresh-event implementation produced,
+    // which the golden-trace tests pin.
+    if (heap_.contains(event.id)) {
+      heap_.rearm(event.id, event.at, next_seq_++, std::move(event.fn));
     }
-    PEN_DCHECK(ev.at >= now_);
-    now_ = ev.at;
-    ++executed_;
-    ev.fn();
-    return true;
   }
-  return false;
+  return true;
 }
 
 void Simulator::run() {
@@ -53,15 +65,7 @@ void Simulator::run() {
 void Simulator::run_until(Ticks deadline) {
   PEN_CHECK(deadline >= now_);
   stopped_ = false;
-  while (!stopped_ && !queue_.empty()) {
-    // Skip cancelled heads without advancing time.
-    Event head = queue_.top();
-    if (cancelled_.count(head.id)) {
-      queue_.pop();
-      cancelled_.erase(head.id);
-      continue;
-    }
-    if (head.at > deadline) break;
+  while (!stopped_ && !heap_.empty() && heap_.min_at() <= deadline) {
     pop_and_run_next();
   }
   if (!stopped_ && now_ < deadline) now_ = deadline;
@@ -76,10 +80,10 @@ std::size_t Simulator::run_steps(std::size_t n) {
 
 PeriodicTask::PeriodicTask(Simulator& sim, Ticks first_at, Ticks period,
                            std::function<void(Ticks)> fn)
-    : sim_(sim), period_(period), fn_(std::move(fn)) {
+    : sim_(sim), period_(period) {
   PEN_CHECK(period_ > 0);
-  PEN_CHECK(fn_ != nullptr);
-  arm(first_at);
+  PEN_CHECK(fn != nullptr);
+  id_ = sim_.schedule_periodic(first_at, period, std::move(fn));
 }
 
 PeriodicTask::~PeriodicTask() { cancel(); }
@@ -87,24 +91,14 @@ PeriodicTask::~PeriodicTask() { cancel(); }
 void PeriodicTask::cancel() {
   if (!active_) return;
   active_ = false;
-  sim_.cancel(pending_);
-  pending_ = kInvalidEventId;
+  sim_.cancel(id_);
+  id_ = kInvalidEventId;
 }
 
 void PeriodicTask::set_period(Ticks period) {
   PEN_CHECK(period > 0);
   period_ = period;
-}
-
-void PeriodicTask::arm(Ticks at) {
-  pending_ = sim_.schedule_at(at, [this] {
-    if (!active_) return;
-    Ticks fired_at = sim_.now();
-    fn_(fired_at);
-    // Re-arm after the callback so set_period() calls made inside it
-    // apply to the very next firing, and cancel() inside it sticks.
-    if (active_) arm(fired_at + period_);
-  });
+  if (active_) sim_.set_period(id_, period);
 }
 
 }  // namespace penelope::sim

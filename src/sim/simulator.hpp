@@ -11,24 +11,29 @@
 // to simulate 1000+ nodes on one core matter more here than parallel
 // speedup, and the protocol logic it drives is shared with the rt::
 // runtime which does exercise real concurrency.
+//
+// Implementation: an indexed 4-ary min-heap (sim/timer_heap.hpp) keyed
+// by (timestamp, sequence). cancel() is a true O(log n) delete — the
+// dominant Penelope pattern of scheduling a timeout and cancelling it
+// when the reply wins the race costs two heap operations and no garbage.
+// Callbacks are sim::EventFn (sim/event_fn.hpp): move-only with 48 bytes
+// of inline storage, so scheduling a lambda that captures `this` and a
+// few scalars never touches the allocator, and events are moved (never
+// copied) out of the heap when they fire. Periodic timers are native:
+// the engine re-arms a fired periodic event by resetting its heap key in
+// place, reusing the same closure and EventId across firings.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
-#include <vector>
 
 #include "common/units.hpp"
+#include "sim/event_fn.hpp"
+#include "sim/timer_heap.hpp"
 
 namespace penelope::sim {
 
 using common::Ticks;
-
-/// Handle used to cancel a scheduled event. Cancellation is lazy: the
-/// event stays in the queue but is skipped when popped.
-using EventId = std::uint64_t;
-inline constexpr EventId kInvalidEventId = 0;
 
 class Simulator {
  public:
@@ -40,14 +45,37 @@ class Simulator {
   Ticks now() const { return now_; }
 
   /// Schedule `fn` at absolute time `at` (>= now). Returns an id usable
-  /// with cancel().
-  EventId schedule_at(Ticks at, std::function<void()> fn);
+  /// with cancel(). `fn` is any callable taking () or (Ticks fired_at).
+  EventId schedule_at(Ticks at, EventFn fn);
 
   /// Schedule `fn` after a relative delay (>= 0).
-  EventId schedule_after(Ticks delay, std::function<void()> fn);
+  EventId schedule_after(Ticks delay, EventFn fn);
 
-  /// Cancel a pending event; safe to call with ids that already fired.
+  /// Schedule `fn` to run at `first_at`, then every `period` (> 0) until
+  /// cancelled. The same closure and EventId serve every firing: no
+  /// per-firing allocation or re-scheduling cost beyond one heap re-key.
+  /// Re-arming happens after the callback returns, from the *scheduled*
+  /// firing time, so periods never drift and a cancel() from inside the
+  /// callback sticks.
+  EventId schedule_periodic(Ticks first_at, Ticks period, EventFn fn);
+
+  /// Change a periodic event's period for re-arms after the next firing
+  /// (the already-armed firing keeps its time). When called from inside
+  /// the event's own callback the re-arm has not happened yet, so the
+  /// new period takes effect at the very next firing. Returns false if
+  /// `id` is not pending or names a one-shot event (a one-shot cannot
+  /// be promoted to periodic). PeriodicTask is the RAII wrapper over
+  /// this.
+  bool set_period(EventId id, Ticks period);
+
+  /// Cancel a pending event: a true delete, O(log n), effective
+  /// immediately. Safe to call with ids that already fired, were already
+  /// cancelled, or are kInvalidEventId — those return without effect.
   void cancel(EventId id);
+
+  /// Preallocate room for `n` concurrently pending events; schedule and
+  /// cancel churn below that bound never allocates.
+  void reserve(std::size_t n) { heap_.reserve(n); }
 
   /// Run until the event queue drains or `stop()` is called.
   void run();
@@ -64,42 +92,40 @@ class Simulator {
 
   bool stopped() const { return stopped_; }
 
-  /// Pending (non-cancelled, best-effort) event count.
-  std::size_t pending_events() const { return queue_.size(); }
+  /// Pending event count. Exact: cancelled events are deleted on the
+  /// spot and never counted.
+  std::size_t pending_events() const { return heap_.size(); }
 
   /// Total events executed since construction.
   std::uint64_t executed_events() const { return executed_; }
 
- private:
-  struct Event {
-    Ticks at;
-    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
-    EventId id;
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
+  /// FNV-1a hash accumulated over the timestamp of every executed event,
+  /// in execution order. Two runs executed the same event sequence iff
+  /// their (executed_events, trace_hash) pairs match; the golden-trace
+  /// determinism tests pin this across engine rewrites.
+  std::uint64_t trace_hash() const { return trace_hash_; }
 
+ private:
   bool pop_and_run_next();
 
   Ticks now_ = 0;
   std::uint64_t next_seq_ = 1;
-  EventId next_id_ = 1;
   bool stopped_ = false;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<EventId> cancelled_;
+  std::uint64_t trace_hash_ = 0xcbf29ce484222325ULL;
+  TimerHeap heap_;
 };
 
 /// Repeating task helper: runs `fn` every `period` starting at
 /// `first_at`, until cancelled or the owner is destroyed. The callback
-/// receives the firing time; it may cancel the task or change its
-/// period, both taking effect immediately (re-arming happens after the
-/// callback returns).
+/// receives the firing time; it may cancel() the task (no further
+/// firings) or set_period() it — re-arming happens after the callback
+/// returns, so a period change made inside the callback applies to the
+/// very next firing, while one made between firings leaves the
+/// already-armed next firing in place and applies from the one after.
+///
+/// Thin RAII wrapper over Simulator::schedule_periodic: one engine-side
+/// timer serves every firing, with no per-firing closure construction.
 class PeriodicTask {
  public:
   PeriodicTask(Simulator& sim, Ticks first_at, Ticks period,
@@ -113,16 +139,15 @@ class PeriodicTask {
   bool active() const { return active_; }
   Ticks period() const { return period_; }
 
-  /// Change the period; takes effect at the next firing.
+  /// Change the period: from inside the callback, effective at the next
+  /// firing; between firings, the pending firing keeps its time and the
+  /// new spacing applies after it (see Simulator::set_period).
   void set_period(Ticks period);
 
  private:
-  void arm(Ticks at);
-
   Simulator& sim_;
   Ticks period_;
-  std::function<void(Ticks)> fn_;
-  EventId pending_ = kInvalidEventId;
+  EventId id_ = kInvalidEventId;
   bool active_ = true;
 };
 

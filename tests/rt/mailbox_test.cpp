@@ -26,6 +26,43 @@ TEST(Mailbox, PopForTimesOutOnEmpty) {
   EXPECT_FALSE(result.has_value());
 }
 
+TEST(Mailbox, PopUntilTimesOutAtDeadline) {
+  Mailbox<int> box;
+  auto deadline = std::chrono::steady_clock::now() + 5ms;
+  EXPECT_FALSE(box.pop_until(deadline).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now(), deadline);
+}
+
+TEST(Mailbox, PopUntilReturnsQueuedItemEvenPastDeadline) {
+  Mailbox<int> box;
+  box.push(7);
+  auto past = std::chrono::steady_clock::now() - 1ms;
+  EXPECT_EQ(box.pop_until(past).value(), 7);
+}
+
+TEST(Mailbox, PopUntilWokenByPush) {
+  Mailbox<int> box;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(5ms);
+    box.push(9);
+  });
+  auto deadline = std::chrono::steady_clock::now() + 5s;
+  EXPECT_EQ(box.pop_until(deadline).value(), 9);
+  producer.join();
+}
+
+TEST(Mailbox, TryPopIsNonBlocking) {
+  Mailbox<int> box;
+  EXPECT_FALSE(box.try_pop().has_value());
+  box.push(3);
+  EXPECT_EQ(box.try_pop().value(), 3);
+  EXPECT_FALSE(box.try_pop().has_value());
+  box.push(4);
+  box.close();
+  EXPECT_EQ(box.try_pop().value(), 4) << "close drains pending items";
+  EXPECT_FALSE(box.try_pop().has_value());
+}
+
 TEST(Mailbox, TryPushFailsWhenFull) {
   Mailbox<int> box(2);
   EXPECT_TRUE(box.try_push(1));

@@ -1,0 +1,57 @@
+// Golden-trace determinism pin for the event engine.
+//
+// The baked constants were captured from the pre-rewrite engine
+// (std::priority_queue + tombstone-set scheduler) running this exact
+// configuration: a 20-node Penelope cluster with 2% message loss, so the
+// run exercises the request/timeout/cancel churn that dominates real
+// workloads, plus periodic decider/audit/trace timers. The rewritten
+// engine (indexed 4-ary heap, drain run, native periodic timers) must
+// execute the *identical* event sequence — same count, same per-event
+// timestamps in order (trace_hash folds every executed timestamp, in
+// execution order, through FNV-1a), same end state. Any engine change
+// that reorders equal-timestamp events, drops a firing, or shifts a
+// re-arm breaks this test even if every behavioral test still passes.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "sim/simulator.hpp"
+
+namespace penelope {
+namespace {
+
+cluster::Cluster make_golden_cluster() {
+  cluster::ClusterConfig cc;
+  cc.manager = cluster::ManagerKind::kPenelope;
+  cc.n_nodes = 20;
+  cc.per_socket_cap_watts = 60.0;
+  cc.network.loss_probability = 0.02;  // force timeout + cancel churn
+  cc.seed = 42;
+  auto profiles = cluster::make_pair_workloads(
+      workload::NpbApp::kEP, workload::NpbApp::kDC, cc.n_nodes, {});
+  return cluster::Cluster(cc, std::move(profiles));
+}
+
+TEST(GoldenTrace, TwentyNodePenelopeRunMatchesPreRewriteEngine) {
+  cluster::Cluster cl = make_golden_cluster();
+  cl.run_for(30.0);
+  const sim::Simulator& sim = cl.simulator();
+  EXPECT_EQ(sim.executed_events(), 1662u);
+  EXPECT_EQ(sim.trace_hash(), 0x70f7fa668d936081ull);
+  EXPECT_EQ(sim.now(), 30000000);
+  EXPECT_EQ(sim.pending_events(), 21u);
+  EXPECT_EQ(cl.metrics().requests_sent(), 348u);
+  EXPECT_EQ(cl.metrics().timeouts(), 11u);
+}
+
+TEST(GoldenTrace, RepeatedRunsAreBitIdentical) {
+  cluster::Cluster a = make_golden_cluster();
+  cluster::Cluster b = make_golden_cluster();
+  a.run_for(30.0);
+  b.run_for(30.0);
+  EXPECT_EQ(a.simulator().executed_events(), b.simulator().executed_events());
+  EXPECT_EQ(a.simulator().trace_hash(), b.simulator().trace_hash());
+  EXPECT_EQ(a.metrics().requests_sent(), b.metrics().requests_sent());
+}
+
+}  // namespace
+}  // namespace penelope

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
 
 namespace penelope::sim {
@@ -136,6 +137,103 @@ TEST(Simulator, ExecutedEventsCounts) {
   EXPECT_EQ(sim.executed_events(), 7u);
 }
 
+TEST(Simulator, CancelInsideOwnCallbackIsNoop) {
+  Simulator sim;
+  int count = 0;
+  EventId id = kInvalidEventId;
+  id = sim.schedule_at(10, [&] {
+    ++count;
+    sim.cancel(id);  // already fired: must not touch anything
+  });
+  sim.schedule_at(20, [&] { ++count; });
+  sim.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, CancelOfFiredIdNeverHitsRecycledSlot) {
+  Simulator sim;
+  EventId first = sim.schedule_at(10, [] {});
+  sim.run();
+  // The engine recycles the fired event's slot for the next schedule;
+  // the stale id carries the old generation and must not cancel the
+  // new event.
+  bool second_ran = false;
+  sim.schedule_at(20, [&] { second_ran = true; });
+  sim.cancel(first);
+  sim.run();
+  EXPECT_TRUE(second_ran);
+}
+
+TEST(Simulator, ScheduleAtNowFromCallbackRunsFifoAfterPending) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(10, [&] {
+    order.push_back(0);
+    // Same-timestamp events scheduled from inside a callback run after
+    // everything already pending at that timestamp, in FIFO order.
+    sim.schedule_at(10, [&] { order.push_back(2); });
+    sim.schedule_at(10, [&] { order.push_back(3); });
+  });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(sim.now(), 10);
+}
+
+TEST(Simulator, RunUntilLandingExactlyOnTimestampRunsEventOnce) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(50, [&] { ++count; });
+  sim.schedule_at(51, [&] { ++count; });
+  sim.run_until(50);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sim.now(), 50);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run_until(51);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, PendingEventsIsExactThroughCancelChurn) {
+  Simulator sim;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 10; ++i) {
+    ids.push_back(sim.schedule_at(100 + i, [] {}));
+  }
+  EXPECT_EQ(sim.pending_events(), 10u);
+  for (int i = 0; i < 10; i += 3) sim.cancel(ids[static_cast<size_t>(i)]);
+  EXPECT_EQ(sim.pending_events(), 6u);  // exact, no tombstones counted
+  sim.cancel(ids[0]);                   // double-cancel: no effect
+  EXPECT_EQ(sim.pending_events(), 6u);
+  sim.run();
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, SetPeriodRefusesOneShotEvents) {
+  Simulator sim;
+  EventId one_shot = sim.schedule_at(10, [] {});
+  EXPECT_FALSE(sim.set_period(one_shot, 5));
+  EventId periodic = sim.schedule_periodic(10, 5, [] {});
+  EXPECT_TRUE(sim.set_period(periodic, 7));
+  sim.cancel(periodic);
+  sim.run();
+}
+
+TEST(Simulator, TraceHashPinsExecutionOrder) {
+  auto run_one = [](bool reversed) {
+    Simulator sim;
+    for (int i = 0; i < 100; ++i) {
+      Ticks at = reversed ? 1000 - i : 900 + i;
+      sim.schedule_at(at, [] {});
+    }
+    sim.run();
+    return std::pair{sim.executed_events(), sim.trace_hash()};
+  };
+  // Identical schedules hash identically; a different timestamp
+  // sequence does not.
+  EXPECT_EQ(run_one(false), run_one(false));
+  EXPECT_NE(run_one(false).second, run_one(true).second);
+}
+
 TEST(SimulatorDeath, SchedulingIntoPastAborts) {
   Simulator sim;
   sim.schedule_at(100, [] {});
@@ -181,6 +279,19 @@ TEST(PeriodicTask, SetPeriodTakesEffectNextFiring) {
     fired.push_back(t);
     if (fired.size() == 2) task.set_period(100);
   });
+  sim.run_until(250);
+  EXPECT_EQ(fired, (std::vector<Ticks>{10, 20, 120, 220}));
+}
+
+TEST(PeriodicTask, SetPeriodBetweenFiringsKeepsArmedFiring) {
+  // Pin the documented semantics: a period change made *between*
+  // firings leaves the already-armed next firing at its time; the new
+  // spacing applies from the firing after it.
+  Simulator sim;
+  std::vector<Ticks> fired;
+  PeriodicTask task(sim, 10, 10, [&](Ticks t) { fired.push_back(t); });
+  sim.run_until(15);  // fired at 10; next armed for 20
+  task.set_period(100);
   sim.run_until(250);
   EXPECT_EQ(fired, (std::vector<Ticks>{10, 20, 120, 220}));
 }
