@@ -23,7 +23,8 @@ namespace {
 const char* kUsage =
     "run_experiment [manager=penelope|central|fair] [apps=EP,DC]\n"
     "  [nodes=20] [cap=80] [period_ms=1000] [epsilon=5] [seed=42]\n"
-    "  [duration_scale=1.0] [loss=0.0] [kill_server_at=S]\n"
+    "  [duration_scale=1.0] [loss=0.0] [dup=0.0] [reorder=0.0]\n"
+    "  [reorder_delay_ms=250] [kill_server_at=S]\n"
     "  [kill_mgmt_node=I] [kill_mgmt_at=S] [urgency=1]\n"
     "  [sticky_peers=0] [hint_discovery=0] [local_take=drain|limited]\n"
     "  [trace=FILE.csv] [trace_ms=1000]";
@@ -68,6 +69,10 @@ int main(int argc, char** argv) {
   cc.epsilon_watts = config.get_double("epsilon", 5.0);
   cc.seed = static_cast<std::uint64_t>(config.get_int("seed", 42));
   cc.network.loss_probability = config.get_double("loss", 0.0);
+  cc.network.duplicate_probability = config.get_double("dup", 0.0);
+  cc.network.reorder_probability = config.get_double("reorder", 0.0);
+  cc.network.reorder_delay =
+      common::from_millis(config.get_double("reorder_delay_ms", 250.0));
   cc.urgency_enabled = config.get_bool("urgency", true);
   cc.sticky_peers = config.get_bool("sticky_peers", false);
   cc.hint_discovery = config.get_bool("hint_discovery", false);
@@ -141,10 +146,13 @@ int main(int argc, char** argv) {
                 turnaround.mean, turnaround.median, turnaround.p75,
                 turnaround.max);
   }
-  std::printf("messages           %llu sent, %llu dropped\n",
+  std::printf("messages           %llu sent, %llu dropped, "
+              "%llu duplicated, %llu reordered\n",
               static_cast<unsigned long long>(result.net_stats.sent),
               static_cast<unsigned long long>(
-                  result.net_stats.dropped_total()));
+                  result.net_stats.dropped_total()),
+              static_cast<unsigned long long>(result.net_stats.duplicated),
+              static_cast<unsigned long long>(result.net_stats.reordered));
   std::printf("stranded power     %.2f W\n", result.stranded_watts);
   std::printf("conservation       max |error| %.2e W, live overshoot "
               "%.2e W over %zu audits\n",

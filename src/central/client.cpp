@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "common/units.hpp"
+#include "core/protocol.hpp"
 
 namespace penelope::central {
 
@@ -58,7 +59,7 @@ ClientStepOutcome Client::begin_step(double avg_power_watts) {
   out.request.urgent = last_urgent_;
   out.request.alpha_watts =
       last_urgent_ ? config_.initial_cap_watts - cap_ : 0.0;
-  out.request.txn_id = next_txn_++;
+  out.request.txn_id = core::make_txn_id(config_.txn_node, 0, next_txn_++);
   return out;
 }
 

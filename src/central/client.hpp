@@ -19,6 +19,10 @@ struct ClientConfig {
   double initial_cap_watts = 160.0;
   double epsilon_watts = 5.0;
   power::SafeRange safe_range;
+  /// Node id folded into request txn ids (core::make_txn_id stream 0)
+  /// for cluster-wide uniqueness; -1 keeps raw 1, 2, 3, ... for unit
+  /// tests driving a single client.
+  std::int32_t txn_node = -1;
 };
 
 struct ClientStats {

@@ -13,6 +13,9 @@ namespace penelope::central {
 /// are already outside every node-level cap.
 struct CentralDonation {
   double watts = 0.0;
+  /// Dedup id (stream 1 of the donating client); core::kNoTxn (0)
+  /// disables dedup for legacy senders and direct-logic tests.
+  std::uint64_t txn_id = 0;
 };
 
 /// Client -> server: the node is power-hungry.

@@ -5,9 +5,36 @@
 #include "central/protocol.hpp"
 #include "common/check.hpp"
 #include "common/log.hpp"
+#include "common/units.hpp"
 #include "core/protocol.hpp"
 
 namespace penelope::cluster {
+
+namespace {
+/// Hard cap on the timed-out-transaction maps (S2): the horizon prune
+/// alone cannot bound them when every entry is recent.
+constexpr std::size_t kStaleCap = 256;
+/// Entries older than this many periods are certainly dead: the fabric's
+/// redelivery horizon is far shorter than 64 control periods.
+constexpr common::Ticks kStaleHorizonPeriods = 64;
+}  // namespace
+
+void bound_stale_map(
+    std::unordered_map<std::uint64_t, common::Ticks>& stale,
+    common::Ticks horizon, std::size_t cap) {
+  if (stale.size() <= cap) return;
+  std::erase_if(stale,
+                [horizon](const auto& kv) { return kv.second < horizon; });
+  // A loss burst can leave every entry inside the horizon; evict oldest
+  // until the cap holds. Linear min-scans are fine at cap = 256.
+  while (stale.size() > cap) {
+    auto oldest = stale.begin();
+    for (auto it = stale.begin(); it != stale.end(); ++it) {
+      if (it->second < oldest->second) oldest = it;
+    }
+    stale.erase(oldest);
+  }
+}
 
 // ---------------------------------------------------------------------------
 // NodeBody
@@ -80,7 +107,8 @@ PenelopeNodeActor::PenelopeNodeActor(
                               config.epsilon_watts,
                               config.rapl.safe_range,
                               config.local_take,
-                              config.urgency_enabled},
+                              config.urgency_enabled,
+                              config.id},
           pool_),
       pool_service_(
           sim,
@@ -120,6 +148,11 @@ void PenelopeNodeActor::note_peer_timeout(NodeId peer) {
   }
 }
 
+void PenelopeNodeActor::force_peer_blacklist(NodeId peer,
+                                             common::Ticks until) {
+  peer_health_[peer].blacklisted_until = until;
+}
+
 void PenelopeNodeActor::note_peer_answered(NodeId peer) {
   if (body_.config().blacklist_after_timeouts <= 0 ||
       peer == net::kNoNode)
@@ -156,7 +189,11 @@ void PenelopeNodeActor::on_message(const net::Message& msg) {
   } else if (const auto* push = msg.as<core::PowerPush>()) {
     // Push-gossip deposit: the watts were withdrawn from the sender's
     // pool; they land in ours (or strand if our management is dead).
-    if (push->watts > 0.0) {
+    // The window check comes first so a redelivered push can neither
+    // deposit nor strand its watts a second time.
+    if (!grant_window_.insert(push->txn_id)) {
+      metrics_.record_duplicate_drop(push->watts);
+    } else if (push->watts > 0.0) {
       if (management_alive_) {
         metrics_.grant_arrived(push->watts);
         pool_.deposit(push->watts);
@@ -174,6 +211,12 @@ void PenelopeNodeActor::on_pool_request(const net::Message& msg) {
   const auto* request = msg.as<core::PowerRequest>();
   PEN_CHECK(request != nullptr);
   if (!management_alive_) return;
+  // A redelivered request must not debit the pool twice (the first copy's
+  // grant is the transaction's one answer; the requester dedups it too).
+  if (!request_window_.insert(request->txn_id)) {
+    metrics_.record_duplicate_drop(0.0);
+    return;
+  }
   double granted = pool_.serve(*request);
   if (granted > 0.0) metrics_.grant_departed(granted);
   core::PowerGrant grant{granted, request->txn_id};
@@ -185,6 +228,12 @@ void PenelopeNodeActor::on_pool_request(const net::Message& msg) {
   net_.send(body_.config().id, msg.src, grant);
 }
 
+void PenelopeNodeActor::prune_stale() {
+  bound_stale_map(stale_sent_times_,
+                  sim_.now() - kStaleHorizonPeriods * body_.config().period,
+                  kStaleCap);
+}
+
 void PenelopeNodeActor::resolve_outstanding_as_timeout() {
   if (!outstanding_ || !management_alive_) return;
   metrics_.record_timeout();
@@ -193,11 +242,7 @@ void PenelopeNodeActor::resolve_outstanding_as_timeout() {
   stale_sent_times_[outstanding_->txn] = outstanding_->sent_at;
   // Bound the map: entries whose grants were genuinely lost would
   // otherwise accumulate over long lossy runs.
-  if (stale_sent_times_.size() > 256) {
-    common::Ticks horizon = sim_.now() - 64 * body_.config().period;
-    std::erase_if(stale_sent_times_,
-                  [horizon](const auto& kv) { return kv.second < horizon; });
-  }
+  prune_stale();
   sim_.cancel(outstanding_->timeout_event);
   outstanding_.reset();
   // The decider's pending step resolves with nothing; the localUrgency
@@ -232,15 +277,21 @@ void PenelopeNodeActor::on_tick(common::Ticks now) {
       finish_step(now);
       break;
     case core::StepKind::kNeedsPeer: {
-      NodeId peer;
-      if (body_.config().sticky_peers && sticky_peer_ != net::kNoNode) {
+      // Sticky and hinted peers are subject to the blacklist like any
+      // other draw: a blacklisted sticky/hinted peer falls through to
+      // the redraw path instead of eating a guaranteed-timeout probe.
+      NodeId peer = net::kNoNode;
+      if (body_.config().sticky_peers && sticky_peer_ != net::kNoNode &&
+          !peer_blacklisted(sticky_peer_)) {
         peer = sticky_peer_;
       } else if (body_.config().hint_discovery &&
                  hinted_peer_ != net::kNoNode &&
                  hinted_peer_ != body_.config().id) {
-        peer = hinted_peer_;
-        hinted_peer_ = net::kNoNode;  // hints are one-shot
-      } else {
+        NodeId hint = hinted_peer_;
+        hinted_peer_ = net::kNoNode;  // hints are one-shot, even refused
+        if (!peer_blacklisted(hint)) peer = hint;
+      }
+      if (peer == net::kNoNode) {
         peer = pick_peer_();
         // Skip blacklisted peers with a few bounded redraws; if the
         // whole sample comes up blacklisted, probe anyway (the list
@@ -277,6 +328,13 @@ void PenelopeNodeActor::on_grant(const net::Message& msg) {
   const auto* grant = msg.as<core::PowerGrant>();
   PEN_CHECK(grant != nullptr);
 
+  // At-most-once: a redelivered grant is counted and dropped before any
+  // other branch can apply, bank, or strand its watts a second time.
+  if (!grant_window_.insert(grant->txn_id)) {
+    metrics_.record_duplicate_drop(grant->watts);
+    return;
+  }
+
   if (!management_alive_) {
     // Management died with a request in flight: the watts would strand
     // inside a dead process; account them as lost.
@@ -298,9 +356,18 @@ void PenelopeNodeActor::on_grant(const net::Message& msg) {
     }
     if (grant->watts > 0.0) {
       metrics_.grant_arrived(grant->watts);
-      decider_.complete_peer_grant(grant->watts);
+      // The decider applies what fits under the safe ceiling and banks
+      // the remainder in the local pool; record each part as what it is
+      // (counting the full grant as applied over-stated cap movement).
+      double applied = decider_.complete_peer_grant(grant->watts);
       body_.rapl().set_cap(decider_.cap());
-      metrics_.record_apply(sim_.now(), grant->watts, body_.config().id);
+      if (applied > 0.0) {
+        metrics_.record_apply(sim_.now(), applied, body_.config().id);
+      }
+      double banked = grant->watts - applied;
+      if (banked > common::kWattEpsilon) {
+        metrics_.record_release(sim_.now(), banked, body_.config().id);
+      }
     } else {
       decider_.complete_peer_grant(0.0);
     }
@@ -321,6 +388,9 @@ void PenelopeNodeActor::on_grant(const net::Message& msg) {
                  body_.config().id,
                  static_cast<unsigned long long>(grant->txn_id));
   }
+  // Grant arrivals also bound the stale map, so shrinking it does not
+  // have to wait for the next timeout.
+  prune_stale();
   if (grant->watts > 0.0) {
     metrics_.grant_arrived(grant->watts);
     pool_.deposit(grant->watts);
@@ -340,7 +410,9 @@ void PenelopeNodeActor::finish_step(common::Ticks now) {
     if (push_watts > 0.0) {
       metrics_.grant_departed(push_watts);
       net_.send(body_.config().id, pick_peer_(),
-                core::PowerPush{push_watts});
+                core::PowerPush{push_watts,
+                                core::make_txn_id(body_.config().id, 1,
+                                                  ++push_seq_)});
     }
   }
 }
@@ -360,7 +432,8 @@ CentralClientActor::CentralClientActor(sim::Simulator& sim,
       body_(sim, config, std::move(profile)),
       client_(central::ClientConfig{config.initial_cap_watts,
                                     config.epsilon_watts,
-                                    config.rapl.safe_range}),
+                                    config.rapl.safe_range,
+                                    config.id}),
       server_id_(server_id),
       metrics_(metrics),
       tick_task_(sim, config.start_offset, config.period,
@@ -398,18 +471,23 @@ void CentralClientActor::donate(double watts, common::Ticks now) {
   if (watts <= 0.0) return;
   metrics_.record_release(now, watts, body_.config().id);
   metrics_.donation_departed(watts);
-  net_.send(body_.config().id, server_id_, central::CentralDonation{watts});
+  net_.send(body_.config().id, server_id_,
+            central::CentralDonation{
+                watts,
+                core::make_txn_id(body_.config().id, 1, ++donation_seq_)});
+}
+
+void CentralClientActor::prune_stale() {
+  bound_stale_map(stale_sent_times_,
+                  sim_.now() - kStaleHorizonPeriods * body_.config().period,
+                  kStaleCap);
 }
 
 void CentralClientActor::resolve_outstanding_as_timeout() {
   if (!outstanding_) return;
   metrics_.record_timeout();
   stale_sent_times_[outstanding_->txn] = outstanding_->sent_at;
-  if (stale_sent_times_.size() > 256) {
-    common::Ticks horizon = sim_.now() - 64 * body_.config().period;
-    std::erase_if(stale_sent_times_,
-                  [horizon](const auto& kv) { return kv.second < horizon; });
-  }
+  prune_stale();
   sim_.cancel(outstanding_->timeout_event);
   outstanding_.reset();
   client_.on_grant_timeout();
@@ -463,6 +541,13 @@ void CentralClientActor::on_grant(const net::Message& msg) {
     return;
   }
 
+  // At-most-once: count and drop a redelivered grant before any branch
+  // can apply it (or obey its release order) twice.
+  if (!grant_window_.insert(grant->txn_id)) {
+    metrics_.record_duplicate_drop(grant->watts);
+    return;
+  }
+
   bool matches = outstanding_ && outstanding_->txn == grant->txn_id;
   if (matches) {
     sim_.cancel(outstanding_->timeout_event);
@@ -470,10 +555,24 @@ void CentralClientActor::on_grant(const net::Message& msg) {
     outstanding_.reset();
   } else {
     auto stale = stale_sent_times_.find(grant->txn_id);
-    if (stale != stale_sent_times_.end()) {
-      metrics_.record_turnaround(stale->second, sim_.now());
-      stale_sent_times_.erase(stale);
+    if (stale == stale_sent_times_.end()) {
+      // A grant for a transaction this client has no record of — not
+      // outstanding, not timed out. There is no legitimate sender for
+      // it (the server only answers requests), so applying it would
+      // mint watts on a spoofed or mis-routed message. Account its
+      // power as stranded and move on.
+      if (grant->watts > 0.0) metrics_.watts_stranded(grant->watts);
+      metrics_.record_unknown_txn();
+      PEN_LOG_WARN("central client %d: grant for unknown txn %llu "
+                   "stranded (%.3f W)",
+                   body_.config().id,
+                   static_cast<unsigned long long>(grant->txn_id),
+                   grant->watts);
+      return;
     }
+    metrics_.record_turnaround(stale->second, sim_.now());
+    stale_sent_times_.erase(stale);
+    prune_stale();
   }
 
   if (grant->watts > 0.0) metrics_.grant_arrived(grant->watts);
@@ -503,9 +602,18 @@ HierarchicalServerActor::HierarchicalServerActor(
       metrics_(metrics) {
   net_.register_endpoint(
       id_, [this](const net::Message& m) { service_.inbox(m); });
+  // Queue overflow (and halt) strands donation watts — but only for the
+  // transaction's first sighting. Inserting into the window here means a
+  // sibling copy that did get queued is later recognised as a duplicate
+  // instead of crediting watts that were already written off.
   service_.set_drop_handler([this](const net::Message& m) {
     if (const auto* donation = m.as<central::CentralDonation>()) {
-      if (donation->watts > 0.0) metrics_.watts_stranded(donation->watts);
+      if (donation->watts <= 0.0) return;
+      if (txn_window_.insert(donation->txn_id)) {
+        metrics_.watts_stranded(donation->watts);
+      } else {
+        metrics_.record_duplicate_drop(donation->watts);
+      }
     }
   });
 }
@@ -527,11 +635,21 @@ void HierarchicalServerActor::process(const net::Message& msg) {
     return;
   }
   if (const auto* donation = msg.as<central::CentralDonation>()) {
+    if (!txn_window_.insert(donation->txn_id)) {
+      metrics_.record_duplicate_drop(donation->watts);
+      return;
+    }
     metrics_.donation_arrived(donation->watts);
     logic_.central().handle_donation(*donation);
     return;
   }
   if (const auto* request = msg.as<central::CentralRequest>()) {
+    // A redelivered request gets no second grant (and debits nothing);
+    // the first copy's reply is the transaction's one answer.
+    if (!txn_window_.insert(request->txn_id)) {
+      metrics_.record_duplicate_drop(0.0);
+      return;
+    }
     central::CentralGrant grant = logic_.central().handle_request(*request);
     if (grant.watts > 0.0) metrics_.grant_departed(grant.watts);
     net_.send(id_, msg.src, grant);
@@ -563,21 +681,36 @@ CentralServerActor::CentralServerActor(
       metrics_(metrics) {
   net_.register_endpoint(
       id_, [this](const net::Message& m) { service_.inbox(m); });
-  // Messages lost in the bounded inbox strand their watts (donations).
+  // Messages lost in the bounded inbox strand their watts (donations) —
+  // but only on the transaction's first sighting; see
+  // HierarchicalServerActor for the duplicate-copy reasoning.
   service_.set_drop_handler([this](const net::Message& m) {
     if (const auto* donation = m.as<central::CentralDonation>()) {
-      if (donation->watts > 0.0) metrics_.watts_stranded(donation->watts);
+      if (donation->watts <= 0.0) return;
+      if (txn_window_.insert(donation->txn_id)) {
+        metrics_.watts_stranded(donation->watts);
+      } else {
+        metrics_.record_duplicate_drop(donation->watts);
+      }
     }
   });
 }
 
 void CentralServerActor::process(const net::Message& msg) {
   if (const auto* donation = msg.as<central::CentralDonation>()) {
+    if (!txn_window_.insert(donation->txn_id)) {
+      metrics_.record_duplicate_drop(donation->watts);
+      return;
+    }
     metrics_.donation_arrived(donation->watts);
     logic_.handle_donation(*donation);
     return;
   }
   if (const auto* request = msg.as<central::CentralRequest>()) {
+    if (!txn_window_.insert(request->txn_id)) {
+      metrics_.record_duplicate_drop(0.0);
+      return;
+    }
     central::CentralGrant grant = logic_.handle_request(*request);
     if (grant.watts > 0.0) metrics_.grant_departed(grant.watts);
     net_.send(id_, msg.src, grant);

@@ -25,6 +25,7 @@
 #include "common/rng.hpp"
 #include "core/decider.hpp"
 #include "core/pool.hpp"
+#include "core/txn_window.hpp"
 #include "net/network.hpp"
 #include "net/serial_server.hpp"
 #include "power/performance_model.hpp"
@@ -35,6 +36,15 @@
 namespace penelope::cluster {
 
 using net::NodeId;
+
+/// Bound a txn -> sent-time map: drop entries older than `horizon`, then,
+/// if still above `cap`, evict oldest entries until the cap holds. The
+/// horizon prune alone can delete nothing when a loss burst makes every
+/// entry recent — the hard cap is what actually bounds memory. Exposed
+/// for tests.
+void bound_stale_map(
+    std::unordered_map<std::uint64_t, common::Ticks>& stale,
+    common::Ticks horizon, std::size_t cap);
 
 struct NodeConfig {
   NodeId id = 0;
@@ -163,6 +173,15 @@ class PenelopeNodeActor {
     return pool_service_.stats();
   }
 
+  /// Timed-out requests whose grants may still arrive (bounded; exposed
+  /// so tests can assert the bound under sustained loss).
+  std::size_t stale_entries() const { return stale_sent_times_.size(); }
+
+  bool peer_blacklisted(NodeId peer) const;
+  /// Operational/test control: refuse to probe `peer` until `until`,
+  /// as if it had accumulated the configured consecutive timeouts.
+  void force_peer_blacklist(NodeId peer, common::Ticks until);
+
  private:
   void on_tick(common::Ticks now);
   void on_message(const net::Message& msg);
@@ -170,6 +189,7 @@ class PenelopeNodeActor {
   void on_grant(const net::Message& msg);
   void finish_step(common::Ticks now);
   void resolve_outstanding_as_timeout();
+  void prune_stale();
 
   struct Outstanding {
     std::uint64_t txn = 0;
@@ -178,7 +198,6 @@ class PenelopeNodeActor {
     sim::EventId timeout_event = sim::kInvalidEventId;
   };
 
-  bool peer_blacklisted(NodeId peer) const;
   void note_peer_timeout(NodeId peer);
   void note_peer_answered(NodeId peer);
 
@@ -207,6 +226,13 @@ class PenelopeNodeActor {
     common::Ticks blacklisted_until = 0;
   };
   std::unordered_map<NodeId, PeerHealth> peer_health_;
+  /// At-most-once receive windows: one for grants + pushes arriving at
+  /// the decider side, one for requests arriving at the pool service. A
+  /// redelivered copy is counted (dropped_duplicate) and never applied,
+  /// deposited, or served twice.
+  core::TxnWindow grant_window_;
+  core::TxnWindow request_window_;
+  std::uint64_t push_seq_ = 0;  ///< stream-1 sequence for PowerPush txns
   bool management_alive_ = true;
 };
 
@@ -231,12 +257,15 @@ class CentralClientActor {
   /// Dynamic budget reconfiguration (see PenelopeNodeActor).
   double apply_budget_delta(double delta_watts);
 
+  std::size_t stale_entries() const { return stale_sent_times_.size(); }
+
  private:
   void on_tick(common::Ticks now);
   void on_message(const net::Message& msg);
   void on_grant(const net::Message& msg);
   void resolve_outstanding_as_timeout();
   void donate(double watts, common::Ticks now);
+  void prune_stale();
 
   struct Outstanding {
     std::uint64_t txn = 0;
@@ -256,6 +285,11 @@ class CentralClientActor {
   /// saturated server answers slower than the decider period) still
   /// produce honest turnaround samples from these.
   std::unordered_map<std::uint64_t, common::Ticks> stale_sent_times_;
+  /// At-most-once window over server grants; duplicates are counted,
+  /// never applied. Unknown-txn grants (in neither outstanding_ nor
+  /// stale_sent_times_) are stranded-accounted and logged.
+  core::TxnWindow grant_window_;
+  std::uint64_t donation_seq_ = 0;  ///< stream-1 sequence for donations
   /// Hierarchical (PoDD) mode: true until the server's CapAssignment
   /// arrives; while true, ticks send ProfileReports and do not shift.
   bool awaiting_assignment_ = false;
@@ -292,6 +326,10 @@ class HierarchicalServerActor {
   hierarchy::PoddServerLogic logic_;
   net::SerialServer service_;
   ClusterMetrics& metrics_;
+  /// At-most-once window over donations and requests; shared with the
+  /// service's overflow drop handler so a queued copy of a stranded
+  /// donation is recognised as a duplicate (and vice versa).
+  core::TxnWindow txn_window_;
   bool alive_ = true;
   bool assignments_sent_ = false;
 };
@@ -327,6 +365,8 @@ class CentralServerActor {
   central::ServerLogic logic_;
   net::SerialServer service_;
   ClusterMetrics& metrics_;
+  /// See HierarchicalServerActor::txn_window_.
+  core::TxnWindow txn_window_;
   bool alive_ = true;
 };
 

@@ -61,6 +61,24 @@ class ClusterMetrics {
   double in_flight_watts() const { return in_flight_watts_; }
   double stranded_watts() const { return stranded_watts_; }
 
+  /// A redelivered copy of an already-applied message was dropped by the
+  /// receiver's TxnWindow. No ledger movement: the first copy did all the
+  /// accounting, and a duplicate carries no power of its own.
+  void record_duplicate_drop(double watts) {
+    ++duplicates_dropped_;
+    duplicate_watts_dropped_ += watts;
+  }
+  std::uint64_t duplicates_dropped() const { return duplicates_dropped_; }
+  double duplicate_watts_dropped() const {
+    return duplicate_watts_dropped_;
+  }
+
+  /// A grant arrived for a transaction the receiver has no record of
+  /// (neither outstanding nor timed-out-stale). Its watts were stranded
+  /// rather than applied.
+  void record_unknown_txn() { ++unknown_txn_grants_; }
+  std::uint64_t unknown_txn_grants() const { return unknown_txn_grants_; }
+
   /// --- misc counters ----------------------------------------------------
   void record_request_sent() { ++requests_sent_; }
   std::uint64_t requests_sent() const { return requests_sent_; }
@@ -72,6 +90,9 @@ class ClusterMetrics {
   std::vector<TransferEvent> applies_;
   double in_flight_watts_ = 0.0;
   double stranded_watts_ = 0.0;
+  std::uint64_t duplicates_dropped_ = 0;
+  double duplicate_watts_dropped_ = 0.0;
+  std::uint64_t unknown_txn_grants_ = 0;
   std::uint64_t requests_sent_ = 0;
 };
 

@@ -88,7 +88,7 @@ StepOutcome Decider::begin_step(double avg_power_watts) {
   out.request.urgent = last_urgent_;
   out.request.alpha_watts =
       last_urgent_ ? config_.initial_cap_watts - cap_ : 0.0;
-  out.request.txn_id = next_txn_++;
+  out.request.txn_id = make_txn_id(config_.txn_node, 0, next_txn_++);
   if (last_urgent_) ++stats_.urgent_requests;
   return out;
 }

@@ -57,6 +57,11 @@ struct DeciderConfig {
   /// are never urgent and localUrgency releases never fire. The paper's
   /// §3 motivates urgency; bench_ablation measures what it buys.
   bool urgency_enabled = true;
+  /// Node id folded into every request's txn id (make_txn_id stream 0)
+  /// so ids are unique across the cluster, not just per decider. The
+  /// default (-1 = kNoNode) leaves the high bits zero, so single-node
+  /// unit tests still see txn ids 1, 2, 3, ...
+  std::int32_t txn_node = -1;
 };
 
 struct DeciderStats {

@@ -4,11 +4,36 @@
 // watts that the responding pool has already debited, so a grant message
 // in flight *owns* that power — the metrics layer accounts for in-flight
 // grants when checking the system-wide cap invariant.
+//
+// Delivery semantics: the fabric (simulated or UDP) may lose, duplicate,
+// or reorder any message. Every power-carrying message therefore carries
+// a transaction id that is unique across the cluster, and every receiver
+// runs the id through a TxnWindow before acting, making application
+// at-most-once. See PROTOCOL.md "Delivery semantics".
 #pragma once
 
 #include <cstdint>
 
 namespace penelope::core {
+
+/// Sentinel transaction id: never deduplicated. Senders that predate the
+/// at-most-once layer (and tests driving logic classes directly) default
+/// to it and keep their exactly-once-fabric behavior.
+inline constexpr std::uint64_t kNoTxn = 0;
+
+/// Compose a cluster-unique transaction id. Node ids, per-node streams
+/// (0 = decider/client request counter, 1 = actor push/donation counter),
+/// and per-stream sequence numbers each get disjoint bits, so no two
+/// senders can mint the same id. `node` may be kNoNode (-1): the node
+/// bits become zero and the id degenerates to the raw sequence number,
+/// which keeps single-node unit tests readable.
+constexpr std::uint64_t make_txn_id(std::int32_t node, std::uint32_t stream,
+                                    std::uint64_t seq) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(node + 1))
+          << 40) |
+         (static_cast<std::uint64_t>(stream & 0xFu) << 36) |
+         (seq & 0xFFFFFFFFFull);
+}
 
 struct PowerRequest {
   /// True when the requester is power-hungry *and* below its initial cap
@@ -42,6 +67,8 @@ struct PowerGrant {
 /// owns its power exactly like a grant does.
 struct PowerPush {
   double watts = 0.0;
+  /// Dedup id (stream 1 of the sending node); kNoTxn disables dedup.
+  std::uint64_t txn_id = kNoTxn;
 };
 
 }  // namespace penelope::core

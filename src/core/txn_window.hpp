@@ -1,0 +1,69 @@
+// Bounded seen-transaction window for at-most-once message application.
+//
+// Receivers pass every power-carrying message's txn id through insert();
+// a false return means the id was already seen inside the window and the
+// message is a redelivery (fabric duplicate, retry, or a copy that
+// survived a partition heal) that must be counted, never applied.
+//
+// The window is a ring of the last `capacity` distinct ids plus a hash
+// map for O(1) membership. Eviction is generation-checked: a ring slot
+// being overwritten only erases its map entry if that entry still points
+// at this slot's generation — an id re-inserted after eviction (possible
+// only via kNoTxn-adjacent misuse, but cheap to defend) can occupy a
+// newer slot, and blindly erasing by value would forget it.
+//
+// Sizing: the window only has to outlive the fabric's redelivery horizon
+// (a duplicate arrives at most one reorder-delay after its sibling), not
+// the life of the node. With per-sender txn streams, 1024 distinct ids
+// span far more traffic than any copy can stay in flight.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace penelope::core {
+
+class TxnWindow {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1024;
+
+  explicit TxnWindow(std::size_t capacity = kDefaultCapacity)
+      : ring_(capacity, 0) {}
+
+  /// Record `txn` as seen. Returns true if it was NOT in the window
+  /// (first sighting: apply the message), false if it was (duplicate:
+  /// drop it). kNoTxn is a sentinel and is always "new".
+  bool insert(std::uint64_t txn) {
+    if (txn == 0) return true;  // kNoTxn: dedup disabled for this sender
+    auto [it, inserted] = seen_.try_emplace(txn, next_seq_);
+    if (!inserted) return false;
+    const std::size_t slot = next_seq_ % ring_.size();
+    const std::uint64_t evicted = ring_[slot];
+    if (evicted != 0) {
+      auto old = seen_.find(evicted);
+      // Generation check: only forget the evicted id if its map entry
+      // still belongs to the slot being recycled.
+      if (old != seen_.end() && old->second + ring_.size() == next_seq_)
+        seen_.erase(old);
+    }
+    ring_[slot] = txn;
+    ++next_seq_;
+    return true;
+  }
+
+  /// Membership without insertion.
+  bool contains(std::uint64_t txn) const {
+    return txn != 0 && seen_.count(txn) != 0;
+  }
+
+  std::size_t size() const { return seen_.size(); }
+  std::size_t capacity() const { return ring_.size(); }
+
+ private:
+  std::vector<std::uint64_t> ring_;  ///< insertion order, slot = seq % cap
+  std::unordered_map<std::uint64_t, std::uint64_t> seen_;  ///< txn -> seq
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace penelope::core

@@ -97,7 +97,7 @@ std::size_t encoded_size(const WirePayload& payload) {
                      return 8 + 8 + 4;  // watts, txn, hint
                    } else if constexpr (std::is_same_v<
                                             T, central::CentralDonation>) {
-                     return 8;
+                     return 8 + 8;  // watts, txn
                    } else if constexpr (std::is_same_v<
                                             T, central::CentralRequest>) {
                      return 1 + 8 + 8;
@@ -112,7 +112,7 @@ std::size_t encoded_size(const WirePayload& payload) {
                      return 8;
                    } else {
                      static_assert(std::is_same_v<T, core::PowerPush>);
-                     return 8;
+                     return 8 + 8;  // watts, txn
                    }
                  },
                  payload);
@@ -138,6 +138,7 @@ std::vector<std::uint8_t> encode(const WirePayload& payload) {
           put_u8(out,
                  static_cast<std::uint8_t>(WireTag::kCentralDonation));
           put_f64(out, msg.watts);
+          put_u64(out, msg.txn_id);
         } else if constexpr (std::is_same_v<T, central::CentralRequest>) {
           put_u8(out,
                  static_cast<std::uint8_t>(WireTag::kCentralRequest));
@@ -162,6 +163,7 @@ std::vector<std::uint8_t> encode(const WirePayload& payload) {
           static_assert(std::is_same_v<T, core::PowerPush>);
           put_u8(out, static_cast<std::uint8_t>(WireTag::kPowerPush));
           put_f64(out, msg.watts);
+          put_u64(out, msg.txn_id);
         }
       },
       payload);
@@ -195,6 +197,7 @@ std::optional<WirePayload> decode(const std::uint8_t* data,
     case WireTag::kCentralDonation: {
       central::CentralDonation msg;
       msg.watts = reader.f64();
+      msg.txn_id = reader.u64();
       payload = msg;
       break;
     }
@@ -229,6 +232,7 @@ std::optional<WirePayload> decode(const std::uint8_t* data,
     case WireTag::kPowerPush: {
       core::PowerPush msg;
       msg.watts = reader.f64();
+      msg.txn_id = reader.u64();
       payload = msg;
       break;
     }

@@ -19,6 +19,7 @@ struct Message {
   NodeId dst = kNoNode;
   std::uint64_t id = 0;           ///< unique per network instance
   common::Ticks sent_at = 0;      ///< virtual time the send was issued
+  bool duplicate = false;         ///< fabric-injected extra copy (same id)
   std::any payload;
 
   /// Typed payload access; returns nullptr if the payload holds a

@@ -60,24 +60,65 @@ std::uint64_t Network::send(NodeId src, NodeId dst, std::any payload) {
   }
 
   std::uint64_t id = msg.id;
-  sim_.schedule_after(sample_latency(),
-                      [this, m = std::move(msg)]() mutable {
-                        deliver(std::move(m));
-                      });
+  if (rng_.chance(config_.duplicate_probability)) {
+    ++stats_.duplicated;
+    copies_[id] = CopyState{2, false};
+    Message copy = msg;
+    copy.duplicate = true;
+    schedule_copy(std::move(copy));
+  }
+  schedule_copy(std::move(msg));
   return id;
 }
 
+common::Ticks Network::sample_copy_delay() {
+  common::Ticks delay = sample_latency();
+  if (rng_.chance(config_.reorder_probability)) {
+    ++stats_.reordered;
+    delay += static_cast<common::Ticks>(
+        rng_.uniform(0.5, 1.0) *
+        static_cast<double>(config_.reorder_delay));
+  }
+  return delay;
+}
+
+void Network::schedule_copy(Message msg) {
+  sim_.schedule_after(sample_copy_delay(),
+                      [this, m = std::move(msg)]() mutable {
+                        deliver(std::move(m));
+                      });
+}
+
 void Network::deliver(Message msg) {
+  // A duplicated message strands its payload only if every copy is lost;
+  // the tracking entry lives until the last copy resolves.
+  auto copy_it = copies_.find(msg.id);
+  bool last_copy = true;
+  bool other_delivered = false;
+  if (copy_it != copies_.end()) {
+    CopyState& state = copy_it->second;
+    --state.outstanding;
+    last_copy = state.outstanding == 0;
+    other_delivered = state.any_delivered;
+  }
+  auto resolve_drop = [&](std::uint64_t& counter) {
+    ++counter;
+    if (drop_handler_ && last_copy && !other_delivered)
+      drop_handler_(msg);
+    if (copy_it != copies_.end() && last_copy) copies_.erase(copy_it);
+  };
   if (!node_alive(msg.dst)) {
-    ++stats_.dropped_dead_node;
-    if (drop_handler_) drop_handler_(msg);
+    resolve_drop(stats_.dropped_dead_node);
     return;
   }
   auto it = endpoints_.find(msg.dst);
   if (it == endpoints_.end()) {
-    ++stats_.dropped_no_endpoint;
-    if (drop_handler_) drop_handler_(msg);
+    resolve_drop(stats_.dropped_no_endpoint);
     return;
+  }
+  if (copy_it != copies_.end()) {
+    copy_it->second.any_delivered = true;
+    if (last_copy) copies_.erase(copy_it);
   }
   ++stats_.delivered;
   it->second(msg);

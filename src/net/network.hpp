@@ -10,6 +10,13 @@
 // registered handler; the network never reorders equal-latency messages
 // (the event queue is FIFO at equal timestamps), and all jitter comes
 // from a seeded Rng so runs are reproducible.
+//
+// Beyond loss, the fabric can inject the two faults a real UDP transport
+// exhibits: duplication (an extra delayed copy of the same message id)
+// and reordering (a large latency spike that makes an earlier send arrive
+// after later ones). Both draw from the same seeded Rng, and both draw
+// nothing when their probability is zero, so existing seeds replay
+// bit-identically with the faults disabled.
 #pragma once
 
 #include <functional>
@@ -36,15 +43,29 @@ struct NetworkConfig {
   /// Probability any message is silently lost in the fabric.
   double loss_probability = 0.0;
   std::uint64_t seed = 1;
+  /// Probability a message that survived loss/partition is delivered
+  /// twice: a second copy (Message::duplicate = true, same id) is
+  /// scheduled with its own sampled latency.
+  double duplicate_probability = 0.0;
+  /// Probability a scheduled copy gets an extra delay drawn uniformly
+  /// from [reorder_delay / 2, reorder_delay], inverting its arrival
+  /// order relative to later sends.
+  double reorder_probability = 0.0;
+  /// Upper bound of the reordering delay. The default (5 ms, 100x the
+  /// base latency) inverts ordering against concurrent traffic; chaos
+  /// configs raise it past the protocol timeout to force late grants.
+  common::Ticks reorder_delay = common::from_millis(5.0);
 };
 
 struct NetworkStats {
-  std::uint64_t sent = 0;
-  std::uint64_t delivered = 0;
+  std::uint64_t sent = 0;        ///< logical sends (copies not counted)
+  std::uint64_t delivered = 0;   ///< handler invocations (copies counted)
   std::uint64_t dropped_loss = 0;        ///< random fabric loss
   std::uint64_t dropped_dead_node = 0;   ///< src or dst failed
   std::uint64_t dropped_partition = 0;   ///< src/dst in different islands
   std::uint64_t dropped_no_endpoint = 0; ///< dst never registered
+  std::uint64_t duplicated = 0;          ///< extra copies injected
+  std::uint64_t reordered = 0;           ///< copies given a reorder delay
 
   std::uint64_t dropped_total() const {
     return dropped_loss + dropped_dead_node + dropped_partition +
@@ -91,7 +112,10 @@ class Network {
   /// Observer invoked for every dropped message (loss, dead node,
   /// partition, missing endpoint) with the message that was lost. The
   /// cluster layer uses this to account for power stranded in lost
-  /// grant/donation messages.
+  /// grant/donation messages. For a duplicated message the handler fires
+  /// at most once — only when the last in-flight copy drops and no copy
+  /// was delivered — so watts are never stranded twice (or stranded when
+  /// the other copy actually arrived).
   void set_drop_handler(Handler handler) {
     drop_handler_ = std::move(handler);
   }
@@ -103,8 +127,17 @@ class Network {
   common::Ticks sample_latency();
 
  private:
+  /// Copies still in flight for a duplicated message id; absent for
+  /// messages that were never duplicated.
+  struct CopyState {
+    int outstanding = 0;
+    bool any_delivered = false;
+  };
+
   bool same_island(NodeId a, NodeId b) const;
   void deliver(Message msg);
+  void schedule_copy(Message msg);
+  common::Ticks sample_copy_delay();
 
   sim::Simulator& sim_;
   NetworkConfig config_;
@@ -113,6 +146,7 @@ class Network {
   std::unordered_map<NodeId, Handler> endpoints_;
   std::unordered_map<NodeId, bool> failed_;
   std::unordered_map<NodeId, int> island_of_;
+  std::unordered_map<std::uint64_t, CopyState> copies_;
   bool partitioned_ = false;
   std::uint64_t next_msg_id_ = 1;
   NetworkStats stats_;

@@ -53,10 +53,14 @@ struct ThreadCluster::Node {
           return rc;
         }()),
         pool(config.pool),
-        decider(core::DeciderConfig{config.initial_cap_watts,
-                                    config.epsilon_watts,
-                                    config.safe_range},
-                pool),
+        decider([&] {
+          core::DeciderConfig dc;
+          dc.initial_cap_watts = config.initial_cap_watts;
+          dc.epsilon_watts = config.epsilon_watts;
+          dc.safe_range = config.safe_range;
+          dc.txn_node = node_id;
+          return dc;
+        }(), pool),
         script(std::move(demand_script)),
         rng(config.seed ^ (0xc6a4a793ULL * (node_id + 1))) {}
 
@@ -66,10 +70,16 @@ struct ThreadCluster::Node {
   core::Decider decider;
   Mailbox<PoolRequestMsg> inbox;
   Mailbox<core::PowerGrant> reply_box;
+  /// At-most-once receive windows. Each is touched by exactly one
+  /// thread: request_window by the pool thread, grant_window by the
+  /// decider thread (and by run_for's drain, after the joins).
+  core::TxnWindow request_window;
+  core::TxnWindow grant_window;
   std::vector<DemandPhase> script;
   common::Rng rng;
   std::atomic<std::uint64_t> grants_received{0};
   std::atomic<std::uint64_t> timeouts{0};
+  std::atomic<std::uint64_t> duplicates_dropped{0};
   std::jthread pool_thread;
   std::jthread decider_thread;
 };
@@ -94,6 +104,12 @@ void ThreadCluster::pool_loop(Node& node, std::stop_token stop) {
   while (!stop.stop_requested()) {
     std::optional<PoolRequestMsg> msg = node.inbox.pop();
     if (!msg) break;  // mailbox closed: shutdown
+    if (!node.request_window.insert(msg->request.txn_id)) {
+      // Redelivered request: the first copy's grant already answered
+      // this transaction; serving again would debit the pool twice.
+      node.duplicates_dropped.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
     double granted = node.pool.serve(msg->request);
     core::PowerGrant grant{granted, msg->request.txn_id};
     if (!msg->reply->try_push(grant) && granted > 0.0) {
@@ -147,6 +163,11 @@ void ThreadCluster::decider_loop(Node& node, std::stop_token stop) {
           std::optional<core::PowerGrant> grant =
               node.reply_box.pop_until(deadline);
           if (!grant) break;  // deadline passed or mailbox closed
+          if (!node.grant_window.insert(grant->txn_id)) {
+            node.duplicates_dropped.fetch_add(1,
+                                              std::memory_order_relaxed);
+            continue;  // redelivered grant: already applied or banked
+          }
           if (grant->txn_id == outcome.request.txn_id) {
             node.decider.complete_peer_grant(grant->watts);
             node.grants_received.fetch_add(1, std::memory_order_relaxed);
@@ -201,8 +222,14 @@ void ThreadCluster::run_for(common::Ticks duration) {
   }
 
   // Drain reply boxes: grants that raced shutdown carry real watts.
+  // The same window applies — a duplicate that raced shutdown must not
+  // deposit twice either.
   for (auto& node : nodes_) {
     while (auto grant = node->reply_box.try_pop()) {
+      if (!node->grant_window.insert(grant->txn_id)) {
+        node->duplicates_dropped.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
       if (grant->watts > 0.0) node->pool.deposit(grant->watts);
     }
   }
@@ -221,6 +248,8 @@ std::vector<ThreadNodeReport> ThreadCluster::reports() const {
     report.grants_received =
         node->grants_received.load(std::memory_order_relaxed);
     report.timeouts = node->timeouts.load(std::memory_order_relaxed);
+    report.duplicates_dropped =
+        node->duplicates_dropped.load(std::memory_order_relaxed);
     reports.push_back(report);
   }
   return reports;

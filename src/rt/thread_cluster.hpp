@@ -20,6 +20,7 @@
 #include "common/units.hpp"
 #include "core/decider.hpp"
 #include "core/pool.hpp"
+#include "core/txn_window.hpp"
 #include "rt/mailbox.hpp"
 
 namespace penelope::rt {
@@ -56,6 +57,9 @@ struct ThreadNodeReport {
   core::PoolStats pool;
   std::uint64_t grants_received = 0;
   std::uint64_t timeouts = 0;
+  /// Redelivered messages refused by this node's TxnWindows (the mailbox
+  /// transport never duplicates, but the protocol no longer assumes so).
+  std::uint64_t duplicates_dropped = 0;
 };
 
 class ThreadCluster {

@@ -45,10 +45,14 @@ UdpPenelopeNode::UdpPenelopeNode(UdpNodeConfig config,
         return rc;
       }()),
       pool_(config.pool),
-      decider_(core::DeciderConfig{config.initial_cap_watts,
-                                   config.epsilon_watts,
-                                   config.safe_range},
-               pool_),
+      decider_([&] {
+        core::DeciderConfig dc;
+        dc.initial_cap_watts = config.initial_cap_watts;
+        dc.epsilon_watts = config.epsilon_watts;
+        dc.safe_range = config.safe_range;
+        dc.txn_node = config.id;
+        return dc;
+      }(), pool_),
       rng_(config.seed ^ (0x9e3779b9ULL * (config.id + 1))) {
   fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
   if (fd_ < 0) {
@@ -149,6 +153,12 @@ void UdpPenelopeNode::receiver_loop(std::stop_token stop) {
     }
 
     if (const auto* request = std::get_if<core::PowerRequest>(&*payload)) {
+      if (!request_window_.insert(request->txn_id)) {
+        // Redelivered request: the first copy's grant already answered
+        // this transaction; serving again would debit the pool twice.
+        duplicates_dropped_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
       double granted = pool_.serve(*request);
       core::PowerGrant grant{granted, request->txn_id};
       auto bytes = net::encode(net::WirePayload{grant});
@@ -158,6 +168,11 @@ void UdpPenelopeNode::receiver_loop(std::stop_token stop) {
       }
     } else if (const auto* grant =
                    std::get_if<core::PowerGrant>(&*payload)) {
+      if (!grant_window_.insert(grant->txn_id)) {
+        // Redelivered grant: already applied by the decider or banked.
+        duplicates_dropped_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
       if (!grant_box_.try_push(*grant) && grant->watts > 0.0) {
         // Decider gone or box full: bank the power locally.
         pool_.deposit(grant->watts);
@@ -248,6 +263,8 @@ UdpNodeReport UdpPenelopeNode::report() const {
       packets_received_.load(std::memory_order_relaxed);
   report.decode_failures =
       decode_failures_.load(std::memory_order_relaxed);
+  report.duplicates_dropped =
+      duplicates_dropped_.load(std::memory_order_relaxed);
   report.decider = decider_.stats();
   return report;
 }

@@ -29,6 +29,7 @@
 #include "common/units.hpp"
 #include "core/decider.hpp"
 #include "core/pool.hpp"
+#include "core/txn_window.hpp"
 #include "power/simulated_rapl.hpp"
 #include "rt/mailbox.hpp"
 #include "rt/thread_cluster.hpp"
@@ -64,6 +65,9 @@ struct UdpNodeReport {
   std::uint64_t timeouts = 0;
   std::uint64_t packets_received = 0;
   std::uint64_t decode_failures = 0;
+  /// Redelivered datagrams refused by the receive-side TxnWindows. UDP
+  /// genuinely duplicates, so this can be nonzero on a healthy run.
+  std::uint64_t duplicates_dropped = 0;
   core::DeciderStats decider;
 };
 
@@ -119,11 +123,17 @@ class UdpPenelopeNode {
   core::Decider decider_;
   Mailbox<core::PowerGrant> grant_box_;
   common::Rng rng_;
+  /// At-most-once receive windows, both owned by the receiver thread:
+  /// every datagram — request or grant — is deduplicated before it can
+  /// touch the pool or reach the decider's mailbox.
+  core::TxnWindow request_window_;
+  core::TxnWindow grant_window_;
 
   std::atomic<std::uint64_t> grants_received_{0};
   std::atomic<std::uint64_t> timeouts_{0};
   std::atomic<std::uint64_t> packets_received_{0};
   std::atomic<std::uint64_t> decode_failures_{0};
+  std::atomic<std::uint64_t> duplicates_dropped_{0};
 
   std::jthread receiver_thread_;
   std::jthread decider_thread_;

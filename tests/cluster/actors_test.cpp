@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <unordered_map>
+
+#include "central/protocol.hpp"
 #include "core/protocol.hpp"
 
 namespace penelope::cluster {
@@ -87,8 +91,9 @@ struct PenelopePairFixture {
   std::unique_ptr<PenelopeNodeActor> donor;
   std::unique_ptr<PenelopeNodeActor> hungry;
 
-  PenelopePairFixture(double donor_demand, double hungry_demand)
-      : net(sim, net::NetworkConfig{}) {
+  PenelopePairFixture(double donor_demand, double hungry_demand,
+                      net::NetworkConfig net_cfg = {})
+      : net(sim, net_cfg) {
     core::PoolConfig pool;
     net::SerialServerConfig service{.service_min = 5, .service_max = 10,
                                     .queue_capacity = 64, .seed = 3};
@@ -160,6 +165,215 @@ TEST(PenelopeNodeActor, KillManagementFreezesCapButAppRuns) {
   EXPECT_DOUBLE_EQ(f.donor->cap(), donor_cap);
   EXPECT_FALSE(f.donor->body().app_done());
   EXPECT_GT(f.donor->body().fraction_complete(), 0.0);
+}
+
+TEST(BoundStaleMap, UnderTheCapNothingIsTouched) {
+  std::unordered_map<std::uint64_t, common::Ticks> stale;
+  for (std::uint64_t t = 1; t <= 10; ++t) stale[t] = common::Ticks(t);
+  // Even with a horizon that would prune everything, a map under the cap
+  // is left alone — pruning is purely a memory bound, not a semantic
+  // expiry (late grants against small maps must still match).
+  bound_stale_map(stale, /*horizon=*/1000, /*cap=*/16);
+  EXPECT_EQ(stale.size(), 10u);
+}
+
+TEST(BoundStaleMap, HorizonPruneDropsExpiredEntriesFirst) {
+  std::unordered_map<std::uint64_t, common::Ticks> stale;
+  for (std::uint64_t t = 1; t <= 300; ++t) stale[t] = common::Ticks(t);
+  bound_stale_map(stale, /*horizon=*/100, /*cap=*/256);
+  // Entries older than the horizon go; the survivors are under the cap,
+  // so no further eviction is needed.
+  EXPECT_EQ(stale.size(), 201u);
+  EXPECT_FALSE(stale.contains(99));
+  EXPECT_TRUE(stale.contains(100));
+  EXPECT_TRUE(stale.contains(300));
+}
+
+TEST(BoundStaleMap, HardCapEvictsOldestWhenEverythingIsRecent) {
+  // A loss burst can make every entry recent: the horizon prune deletes
+  // nothing and the hard cap must evict oldest-first.
+  std::unordered_map<std::uint64_t, common::Ticks> stale;
+  for (std::uint64_t t = 1; t <= 300; ++t) stale[t] = common::Ticks(t);
+  bound_stale_map(stale, /*horizon=*/0, /*cap=*/256);
+  EXPECT_EQ(stale.size(), 256u);
+  for (std::uint64_t t = 1; t <= 44; ++t) EXPECT_FALSE(stale.contains(t));
+  for (std::uint64_t t = 45; t <= 300; ++t) EXPECT_TRUE(stale.contains(t));
+}
+
+TEST(PenelopeNodeActor, StaleMapStaysBoundedUnderSustainedLoss) {
+  net::NetworkConfig cfg;
+  cfg.loss_probability = 0.6;
+  PenelopePairFixture f(100.0, 240.0, cfg);
+  f.sim.run_until(from_seconds(90.0));
+  EXPECT_GT(f.metrics.timeouts(), 10u);
+  EXPECT_LE(f.donor->stale_entries(), 256u);
+  EXPECT_LE(f.hungry->stale_entries(), 256u);
+  // Losses leave watts in flight forever (no drop handler here), but the
+  // ledger still accounts for every one of them.
+  double total = f.donor->cap() + f.donor->pool_watts() +
+                 f.hungry->cap() + f.hungry->pool_watts() +
+                 f.metrics.in_flight_watts() + f.metrics.stranded_watts();
+  EXPECT_NEAR(total, 320.0, 1e-6);
+}
+
+TEST(PenelopeNodeActor, DuplicatedMessagesNeverDoubleApply) {
+  // Every request, grant, and push is delivered twice: the receive
+  // windows must drop the second copies, or caps+pools would mint power.
+  net::NetworkConfig cfg;
+  cfg.duplicate_probability = 1.0;
+  PenelopePairFixture f(100.0, 240.0, cfg);
+  f.sim.run_until(from_seconds(30.0));
+  EXPECT_GT(f.metrics.duplicates_dropped(), 0u);
+  EXPECT_GT(f.hungry->decider().stats().watts_received, 0.0);
+  double total = f.donor->cap() + f.donor->pool_watts() +
+                 f.hungry->cap() + f.hungry->pool_watts() +
+                 f.metrics.in_flight_watts() + f.metrics.stranded_watts();
+  EXPECT_NEAR(total, 320.0, 1e-6);
+}
+
+TEST(PenelopeNodeActor, LateReorderedGrantsAreBankedExactlyOnce) {
+  // Reorder delays past the request timeout force the stale-grant path;
+  // combined with duplication, a late grant can also arrive twice. The
+  // watts must land in the pool exactly once.
+  net::NetworkConfig cfg;
+  cfg.duplicate_probability = 0.25;
+  cfg.reorder_probability = 0.5;
+  cfg.reorder_delay = 3 * common::kTicksPerSecond;
+  PenelopePairFixture f(100.0, 240.0, cfg);
+  f.sim.run_until(from_seconds(40.0));
+  EXPECT_GT(f.metrics.timeouts(), 0u);
+  EXPECT_GT(f.metrics.duplicates_dropped(), 0u);
+  double total = f.donor->cap() + f.donor->pool_watts() +
+                 f.hungry->cap() + f.hungry->pool_watts() +
+                 f.metrics.in_flight_watts() + f.metrics.stranded_watts();
+  EXPECT_NEAR(total, 320.0, 1e-6);
+}
+
+TEST(PenelopeNodeActor, PartialGrantAppliesAreNotOverCounted) {
+  // Demand far above the safe ceiling pins the hungry cap at max: grants
+  // can only partially apply and the remainder is banked. Every applied
+  // watt must trace back to exactly one release — counting full grants
+  // as applied (and re-counting the banked part on a later pool take)
+  // breaks this inequality.
+  workload::WorkloadProfile surge;
+  surge.name = "surge";
+  for (int cycle = 0; cycle < 8; ++cycle) {
+    surge.phases.push_back(workload::Phase{"hot", 400.0, 8.0});
+    surge.phases.push_back(workload::Phase{"cool", 60.0, 4.0});
+  }
+  surge.phases.push_back(workload::Phase{"tail", 400.0, 1e6});
+
+  sim::Simulator sim;
+  net::Network net(sim, net::NetworkConfig{});
+  ClusterMetrics metrics;
+  core::PoolConfig pool;
+  net::SerialServerConfig service{.service_min = 5, .service_max = 10,
+                                  .queue_capacity = 64, .seed = 3};
+  auto donor = std::make_unique<PenelopeNodeActor>(
+      sim, net, test_node_config(0), pool, service,
+      steady_profile(100.0, 1e6), [] { return net::NodeId{1}; }, metrics);
+  auto hungry = std::make_unique<PenelopeNodeActor>(
+      sim, net, test_node_config(1), pool, service, surge,
+      [] { return net::NodeId{0}; }, metrics);
+  sim.run_until(from_seconds(80.0));
+
+  double applied = 0.0;
+  double released = 0.0;
+  for (const auto& e : metrics.applies()) applied += e.watts;
+  for (const auto& e : metrics.releases()) released += e.watts;
+  EXPECT_GT(applied, 0.0);
+  EXPECT_LE(applied, released + 1e-6);
+  EXPECT_LE(hungry->cap(), 250.0 + 1e-9);  // safe ceiling held
+}
+
+TEST(PenelopeNodeActor, BlacklistedStickyPeerFallsBackToRedraw) {
+  sim::Simulator sim;
+  net::Network net(sim, net::NetworkConfig{});
+  ClusterMetrics metrics;
+  core::PoolConfig pool;
+  net::SerialServerConfig service{.service_min = 5, .service_max = 10,
+                                  .queue_capacity = 64, .seed = 3};
+  auto sticky_config = [](int id) {
+    NodeConfig nc = test_node_config(id);
+    nc.sticky_peers = true;
+    nc.blacklist_after_timeouts = 3;
+    return nc;
+  };
+  net::NodeId target = 0;
+  auto donor0 = std::make_unique<PenelopeNodeActor>(
+      sim, net, sticky_config(0), pool, service,
+      steady_profile(100.0, 1e6), [] { return net::NodeId{1}; }, metrics);
+  auto donor1 = std::make_unique<PenelopeNodeActor>(
+      sim, net, sticky_config(1), pool, service,
+      steady_profile(100.0, 1e6), [] { return net::NodeId{0}; }, metrics);
+  auto hungry = std::make_unique<PenelopeNodeActor>(
+      sim, net, sticky_config(2), pool, service,
+      steady_profile(240.0, 1e6), [&] { return target; }, metrics);
+
+  // Phase 1: the hungry node sticks to donor 0 (its only draw) and keeps
+  // getting paid.
+  sim.run_until(from_seconds(10.0));
+  std::uint64_t served_by_0 = donor0->pool_service_stats().accepted;
+  EXPECT_GT(served_by_0, 0u);
+
+  // Phase 2: blacklist donor 0 and point fresh draws at donor 1. The
+  // sticky branch must honour the blacklist and fall through to the
+  // redraw instead of probing donor 0 forever.
+  hungry->force_peer_blacklist(0, from_seconds(1e6));
+  target = 1;
+  std::uint64_t served_by_1 = donor1->pool_service_stats().accepted;
+  double received_before = hungry->decider().stats().watts_received;
+  sim.run_until(from_seconds(25.0));
+  EXPECT_EQ(donor0->pool_service_stats().accepted, served_by_0);
+  EXPECT_GT(donor1->pool_service_stats().accepted, served_by_1);
+  EXPECT_GT(hungry->decider().stats().watts_received, received_before);
+}
+
+TEST(CentralClientActor, UnknownTxnGrantIsStrandedNotApplied) {
+  sim::Simulator sim;
+  net::Network net(sim, net::NetworkConfig{});
+  ClusterMetrics metrics;
+  NodeConfig nc = test_node_config(0);
+  // Demand just under the cap: the client neither donates nor requests,
+  // so the only traffic is the grant forged below.
+  CentralClientActor client(sim, net, nc, /*server_id=*/5,
+                            steady_profile(158.0, 1e6), metrics);
+  sim.run_until(from_seconds(3.0));
+  double cap_before = client.cap();
+
+  // A grant for a transaction this client never issued (mis-routed or
+  // spoofed). Applying it would mint power; it must be stranded instead.
+  metrics.grant_departed(25.0);
+  net.send(5, 0, central::CentralGrant{25.0, false, 0xBEEF});
+  sim.run_until(from_seconds(4.0));
+
+  EXPECT_DOUBLE_EQ(client.cap(), cap_before);
+  EXPECT_EQ(metrics.unknown_txn_grants(), 1u);
+  EXPECT_NEAR(metrics.stranded_watts(), 25.0, 1e-9);
+  EXPECT_NEAR(metrics.in_flight_watts(), 0.0, 1e-9);
+}
+
+TEST(CentralClientActor, DuplicatedUnknownGrantStrandsOnlyOnce) {
+  // The duplicate of a forged/unknown grant must be refused by the
+  // receive window before the stranding branch can run twice.
+  sim::Simulator sim;
+  net::NetworkConfig cfg;
+  cfg.duplicate_probability = 1.0;
+  net::Network net(sim, cfg);
+  ClusterMetrics metrics;
+  NodeConfig nc = test_node_config(0);
+  CentralClientActor client(sim, net, nc, /*server_id=*/5,
+                            steady_profile(158.0, 1e6), metrics);
+  sim.run_until(from_seconds(3.0));
+
+  metrics.grant_departed(25.0);
+  net.send(5, 0, central::CentralGrant{25.0, false, 0xBEEF});
+  sim.run_until(from_seconds(4.0));
+
+  EXPECT_EQ(metrics.unknown_txn_grants(), 1u);
+  EXPECT_EQ(metrics.duplicates_dropped(), 1u);
+  EXPECT_NEAR(metrics.stranded_watts(), 25.0, 1e-9);
+  EXPECT_NEAR(metrics.in_flight_watts(), 0.0, 1e-9);
 }
 
 TEST(PenelopeNodeActor, UrgencyRestoresStarvedNode) {

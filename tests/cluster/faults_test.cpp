@@ -126,6 +126,58 @@ TEST(Faults, PenelopeSurvivesLossyNetwork) {
   EXPECT_LT(result.audit.max_abs_conservation_error, 1e-6);
 }
 
+TEST(Faults, PenelopeSurvivesDuplicationAndReordering) {
+  ClusterConfig cc = config_for(ManagerKind::kPenelope);
+  cc.network.duplicate_probability = 0.05;
+  cc.network.reorder_probability = 0.05;
+  Cluster cluster(cc, make_pair_workloads(workload::NpbApp::kEP,
+                                          workload::NpbApp::kDC,
+                                          cc.n_nodes, short_npb()));
+  RunResult result = cluster.run();
+  EXPECT_TRUE(result.all_completed);
+  EXPECT_GT(result.net_stats.duplicated, 0u);
+  EXPECT_GT(result.net_stats.reordered, 0u);
+  // Redelivered copies were refused, not applied: the books balance.
+  EXPECT_GT(cluster.metrics().duplicates_dropped(), 0u);
+  EXPECT_LT(result.audit.max_abs_conservation_error, 1e-6);
+  EXPECT_LE(result.audit.max_live_overshoot, 1e-6);
+}
+
+TEST(Faults, CentralSurvivesDuplicatedDonationsAndGrants) {
+  // Donations carry watts: a redelivered donation credited twice would
+  // mint power at the server. Crank duplication high enough that every
+  // run sees redelivered donations, requests, and grants.
+  ClusterConfig cc = config_for(ManagerKind::kCentral);
+  cc.network.duplicate_probability = 0.2;
+  cc.network.reorder_probability = 0.05;
+  Cluster cluster(cc, make_pair_workloads(workload::NpbApp::kEP,
+                                          workload::NpbApp::kDC,
+                                          cc.n_nodes, short_npb()));
+  RunResult result = cluster.run();
+  EXPECT_TRUE(result.all_completed);
+  EXPECT_GT(result.net_stats.duplicated, 0u);
+  EXPECT_GT(cluster.metrics().duplicates_dropped(), 0u);
+  EXPECT_LT(result.audit.max_abs_conservation_error, 1e-6);
+  EXPECT_LE(result.audit.max_live_overshoot, 1e-6);
+}
+
+TEST(Faults, DuplicationOnTopOfLossStillBalances) {
+  // Loss and duplication interact: a message can have one copy lost and
+  // one delivered (no strand), or both lost (strand once). Either way
+  // the conservation audit must stay at float noise.
+  ClusterConfig cc = config_for(ManagerKind::kPenelope);
+  cc.network.loss_probability = 0.1;
+  cc.network.duplicate_probability = 0.2;
+  Cluster cluster(cc, make_pair_workloads(workload::NpbApp::kEP,
+                                          workload::NpbApp::kDC,
+                                          cc.n_nodes, short_npb()));
+  RunResult result = cluster.run();
+  EXPECT_TRUE(result.all_completed);
+  EXPECT_GT(result.net_stats.dropped_loss, 0u);
+  EXPECT_GT(result.net_stats.duplicated, 0u);
+  EXPECT_LT(result.audit.max_abs_conservation_error, 1e-6);
+}
+
 TEST(Faults, KillManagementOnCentralIsIgnored) {
   // Management-kill is a Penelope concept; on the central manager the
   // fault plan entry must be a harmless no-op.

@@ -1,0 +1,88 @@
+#include "core/txn_window.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/protocol.hpp"
+
+namespace penelope::core {
+namespace {
+
+TEST(TxnWindow, FirstSightingAcceptsRedeliveryRefuses) {
+  TxnWindow window;
+  EXPECT_TRUE(window.insert(42));
+  EXPECT_TRUE(window.contains(42));
+  EXPECT_FALSE(window.insert(42));
+  EXPECT_TRUE(window.insert(43));
+  EXPECT_FALSE(window.insert(42));
+  EXPECT_EQ(window.size(), 2u);
+}
+
+TEST(TxnWindow, SentinelTxnIsNeverDeduplicated) {
+  TxnWindow window;
+  // kNoTxn marks legacy senders with no dedup id: every copy must pass.
+  EXPECT_TRUE(window.insert(kNoTxn));
+  EXPECT_TRUE(window.insert(kNoTxn));
+  EXPECT_FALSE(window.contains(kNoTxn));
+  EXPECT_EQ(window.size(), 0u);
+}
+
+TEST(TxnWindow, EvictsOldestAtCapacity) {
+  TxnWindow window(4);
+  for (std::uint64_t t = 1; t <= 4; ++t) EXPECT_TRUE(window.insert(t));
+  for (std::uint64_t t = 1; t <= 4; ++t) EXPECT_TRUE(window.contains(t));
+  // A fifth insert pushes out the oldest; the evicted txn becomes
+  // acceptable again (the window only promises recent-past dedup).
+  EXPECT_TRUE(window.insert(5));
+  EXPECT_FALSE(window.contains(1));
+  EXPECT_TRUE(window.contains(2));
+  EXPECT_TRUE(window.contains(5));
+  EXPECT_TRUE(window.insert(1));
+  EXPECT_EQ(window.size(), 4u);
+}
+
+TEST(TxnWindow, ReinsertedTxnSurvivesUnrelatedEvictions) {
+  // A txn that was evicted and then legitimately re-inserted lives at a
+  // new ring slot; evicting its *old* slot's successor must not erase
+  // the fresh entry (the generation check in insert guards this).
+  TxnWindow window(2);
+  EXPECT_TRUE(window.insert(10));  // slot 0
+  EXPECT_TRUE(window.insert(11));  // slot 1
+  EXPECT_TRUE(window.insert(12));  // slot 0, evicts 10
+  EXPECT_TRUE(window.insert(10));  // slot 1, evicts 11 — 10 is fresh again
+  EXPECT_TRUE(window.contains(10));
+  EXPECT_TRUE(window.contains(12));
+  EXPECT_TRUE(window.insert(13));  // slot 0, evicts 12
+  EXPECT_TRUE(window.contains(10));
+  EXPECT_FALSE(window.insert(10));  // still deduplicated
+  EXPECT_TRUE(window.insert(14));  // slot 1, finally evicts 10
+  EXPECT_FALSE(window.contains(10));
+}
+
+TEST(TxnWindow, SizeIsBoundedByCapacityForever) {
+  TxnWindow window(16);
+  for (std::uint64_t t = 1; t <= 1000; ++t) {
+    EXPECT_TRUE(window.insert(t));
+    EXPECT_LE(window.size(), 16u);
+  }
+  for (std::uint64_t t = 985; t <= 1000; ++t) {
+    EXPECT_TRUE(window.contains(t));
+  }
+  EXPECT_FALSE(window.contains(984));
+  EXPECT_EQ(window.capacity(), 16u);
+}
+
+TEST(TxnId, NamespacesNodesAndStreams) {
+  // Two nodes using the same sequence numbers, or one node's two streams,
+  // must never collide: a collision would make the receive window drop a
+  // legitimate first delivery as a duplicate.
+  EXPECT_NE(make_txn_id(0, 0, 7), make_txn_id(1, 0, 7));
+  EXPECT_NE(make_txn_id(0, 0, 7), make_txn_id(0, 1, 7));
+  EXPECT_NE(make_txn_id(3, 1, 7), make_txn_id(3, 1, 8));
+  // The unit-test degenerate form: node -1, stream 0 is the raw sequence.
+  EXPECT_EQ(make_txn_id(-1, 0, 7), 7u);
+  // Namespaced ids never collide with the sentinel.
+  EXPECT_NE(make_txn_id(0, 0, 0), kNoTxn);
+}
+
+}  // namespace
+}  // namespace penelope::core

@@ -1,0 +1,128 @@
+// Chaos soak: the at-most-once delivery layer under everything the
+// fabric can throw at once — loss, duplication, reordering past the
+// protocol timeout, two management-plane kills, and a partition episode
+// that splits the cluster in half and heals mid-run. Across seeds, the
+// conservation audit must stay at float noise and every node must still
+// finish its workload (no wedged deciders). Runs under the `chaos` ctest
+// preset as well as the default suite.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+
+namespace penelope::cluster {
+namespace {
+
+workload::NpbConfig chaos_npb(std::uint64_t seed) {
+  workload::NpbConfig cfg;
+  // Long enough that every scheduled fault (latest: the heal at 150 s)
+  // fires while applications are still running and shifting power.
+  cfg.duration_scale = 1.0;
+  cfg.demand_jitter_frac = 0.03;
+  cfg.seed = seed;
+  return cfg;
+}
+
+void add_chaos_network(ClusterConfig& cc) {
+  cc.network.loss_probability = 0.05;
+  cc.network.duplicate_probability = 0.05;
+  cc.network.reorder_probability = 0.05;
+  // Past the one-period request timeout: reordered grants arrive after
+  // the requester gave up, exercising the stale-banking path as well.
+  cc.network.reorder_delay = 2 * common::kTicksPerSecond;
+}
+
+class ChaosSoak : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosSoak, PenelopeConservesThroughCombinedChaos) {
+  ClusterConfig cc;
+  cc.manager = ManagerKind::kPenelope;
+  cc.n_nodes = 20;
+  cc.per_socket_cap_watts = 70.0;
+  cc.seed = GetParam();
+  cc.max_seconds = 2500.0;
+  add_chaos_network(cc);
+  // Turn on every discovery refinement so duplicated/reordered copies
+  // hit the sticky, hinted, blacklist, and push-gossip paths too.
+  cc.sticky_peers = true;
+  cc.hint_discovery = true;
+  cc.blacklist_after_timeouts = 3;
+  cc.push_gossip = true;
+  cc.audit_interval = common::from_seconds(1.0);
+  cc.faults = {
+      FaultEvent{FaultEvent::Kind::kKillManagement,
+                 common::from_seconds(60.0), 3},
+      FaultEvent{FaultEvent::Kind::kPartition, common::from_seconds(90.0),
+                 10},
+      FaultEvent{FaultEvent::Kind::kKillManagement,
+                 common::from_seconds(120.0), 7},
+      FaultEvent{FaultEvent::Kind::kHealPartition,
+                 common::from_seconds(150.0), 0},
+  };
+
+  Cluster cluster(cc, make_pair_workloads(workload::NpbApp::kEP,
+                                          workload::NpbApp::kDC,
+                                          cc.n_nodes,
+                                          chaos_npb(cc.seed)));
+  RunResult result = cluster.run();
+
+  // No wedged nodes: every application finished despite the chaos.
+  EXPECT_TRUE(result.all_completed);
+  // The fault schedule overlapped live traffic (otherwise this test
+  // silently stops testing anything).
+  EXPECT_GT(result.runtime_seconds, 150.0);
+  for (int i = 0; i < cc.n_nodes; ++i) {
+    EXPECT_TRUE(cluster.node_app_done(i)) << "node " << i << " wedged";
+  }
+  // Every fault class actually fired.
+  EXPECT_GT(result.net_stats.dropped_loss, 0u);
+  EXPECT_GT(result.net_stats.duplicated, 0u);
+  EXPECT_GT(result.net_stats.reordered, 0u);
+  EXPECT_GT(result.net_stats.dropped_partition, 0u);
+  EXPECT_GT(result.timeouts, 0u);
+  EXPECT_GT(cluster.metrics().duplicates_dropped(), 0u);
+  // The invariant under test: duplicated/reordered/lost power is either
+  // applied once, banked once, or ledgered as stranded — never minted.
+  EXPECT_LT(result.audit.max_abs_conservation_error, 1e-6);
+  EXPECT_LE(result.audit.max_live_overshoot, 1e-6);
+  for (int i = 0; i < cc.n_nodes; ++i) {
+    EXPECT_GE(cluster.node_cap(i), cc.rapl.safe_range.min_watts - 1e-9);
+    EXPECT_LE(cluster.node_cap(i), cc.rapl.safe_range.max_watts + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSoak,
+                         ::testing::Values(1u, 2u, 3u),
+                         [](const ::testing::TestParamInfo<std::uint64_t>&
+                                info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+TEST(ChaosSoakCentral, ServerKillUnderChaosStillBalances) {
+  // The centralized manager under the same fabric chaos plus its worst
+  // fault: the server dies mid-run while duplicated donations are in
+  // flight. Stranded watts must be ledgered once — a redelivered copy of
+  // a stranded donation must not strand (or credit) twice.
+  ClusterConfig cc;
+  cc.manager = ManagerKind::kCentral;
+  cc.n_nodes = 20;
+  cc.per_socket_cap_watts = 70.0;
+  cc.seed = 11;
+  cc.max_seconds = 3000.0;
+  add_chaos_network(cc);
+  cc.audit_interval = common::from_seconds(1.0);
+  cc.faults = {FaultEvent{FaultEvent::Kind::kKillServer,
+                          common::from_seconds(40.0), 0}};
+
+  Cluster cluster(cc, make_pair_workloads(workload::NpbApp::kEP,
+                                          workload::NpbApp::kDC,
+                                          cc.n_nodes, chaos_npb(17)));
+  RunResult result = cluster.run();
+  EXPECT_TRUE(result.all_completed);
+  EXPECT_GT(result.stranded_watts, 0.0);
+  EXPECT_GT(cluster.metrics().duplicates_dropped(), 0u);
+  EXPECT_LT(result.audit.max_abs_conservation_error, 1e-6);
+  EXPECT_LE(result.audit.max_live_overshoot, 1e-6);
+}
+
+}  // namespace
+}  // namespace penelope::cluster

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
@@ -225,6 +226,109 @@ TEST(Network, RemoveEndpointStopsDelivery) {
   f.sim.run();
   EXPECT_EQ(received, 0);
   EXPECT_EQ(f.net->stats().dropped_no_endpoint, 1u);
+}
+
+TEST(Network, DuplicationDeliversTwoCopiesOfOneSend) {
+  NetworkConfig cfg;
+  cfg.duplicate_probability = 1.0;
+  Fixture f(cfg);
+  std::vector<Message> received;
+  f.net->register_endpoint(1, [&](const Message& m) {
+    received.push_back(m);
+  });
+  std::uint64_t id = f.net->send(0, 1, 7);
+  f.sim.run();
+  ASSERT_EQ(received.size(), 2u);
+  // Both copies carry the same message id and payload; exactly one is
+  // flagged as the injected duplicate.
+  EXPECT_EQ(received[0].id, id);
+  EXPECT_EQ(received[1].id, id);
+  EXPECT_EQ(*received[0].as<int>(), 7);
+  EXPECT_EQ(*received[1].as<int>(), 7);
+  int marked = 0;
+  for (const auto& m : received) marked += m.duplicate ? 1 : 0;
+  EXPECT_EQ(marked, 1);
+  EXPECT_EQ(f.net->stats().sent, 1u);        // logical sends
+  EXPECT_EQ(f.net->stats().delivered, 2u);   // physical deliveries
+  EXPECT_EQ(f.net->stats().duplicated, 1u);
+}
+
+TEST(Network, ReorderingInvertsArrivalOrder) {
+  NetworkConfig cfg;
+  cfg.reorder_probability = 0.5;
+  cfg.reorder_delay = common::from_millis(5.0);
+  Fixture f(cfg);
+  std::vector<int> order;
+  f.net->register_endpoint(1, [&](const Message& m) {
+    order.push_back(*m.as<int>());
+  });
+  // Space the sends 1 ms apart: far wider than latency jitter, so only
+  // an injected reorder delay can invert arrival order.
+  const int n = 50;
+  for (int i = 0; i < n; ++i) {
+    f.sim.schedule_at(common::from_millis(static_cast<double>(i)),
+                      [&f, i] { f.net->send(0, 1, i); });
+  }
+  f.sim.run();
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(n));
+  EXPECT_GT(f.net->stats().reordered, 0u);
+  EXPECT_FALSE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(Network, ZeroFaultProbabilitiesInjectNothing) {
+  Fixture f;  // duplicate/reorder default to 0
+  std::vector<int> order;
+  f.net->register_endpoint(1, [&](const Message& m) {
+    order.push_back(*m.as<int>());
+  });
+  const int n = 50;
+  for (int i = 0; i < n; ++i) {
+    f.sim.schedule_at(common::from_millis(static_cast<double>(i)),
+                      [&f, i] { f.net->send(0, 1, i); });
+  }
+  f.sim.run();
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(n));
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+  EXPECT_EQ(f.net->stats().duplicated, 0u);
+  EXPECT_EQ(f.net->stats().reordered, 0u);
+}
+
+TEST(Network, DuplicateDropHandlerFiresAtMostOnce) {
+  // Both copies of a duplicated message drop (dead destination): the
+  // drop handler must fire exactly once, or the cluster layer would
+  // strand the same watts twice.
+  NetworkConfig cfg;
+  cfg.duplicate_probability = 1.0;
+  Fixture f(cfg);
+  f.net->register_endpoint(1, [](const Message&) {});
+  int drops = 0;
+  f.net->set_drop_handler([&](const Message&) { ++drops; });
+  f.net->fail_node(1);
+  f.net->send(0, 1, 1);
+  f.sim.run();
+  EXPECT_EQ(drops, 1);
+  EXPECT_EQ(f.net->stats().dropped_dead_node, 2u);
+}
+
+TEST(Network, NoDropHandlerWhenOneCopyWasDelivered) {
+  // One copy arrives, the other drops: the message was *delivered*, so
+  // the drop handler must stay silent (stranding watts that actually
+  // landed would double-count them).
+  NetworkConfig cfg;
+  cfg.duplicate_probability = 1.0;
+  Fixture f(cfg);
+  int received = 0;
+  f.net->register_endpoint(1, [&](const Message&) {
+    ++received;
+    f.net->fail_node(1);  // the sibling copy now drops on arrival
+  });
+  int drops = 0;
+  f.net->set_drop_handler([&](const Message&) { ++drops; });
+  f.net->send(0, 1, 1);
+  f.sim.run();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(f.net->stats().dropped_dead_node, 1u);
+  EXPECT_EQ(drops, 0);
 }
 
 TEST(Network, StatsTotalsAreConsistent) {
