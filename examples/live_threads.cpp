@@ -11,22 +11,40 @@
 // can be set").
 //
 // Usage: ./examples/live_threads [nodes=4] [seconds=2]
+//            [metrics=FILE.prom] [perfetto=FILE.json]
+//            [flight_recorder=N]
 #include <cstdio>
+#include <string>
 
 #include "common/config.hpp"
 #include "power/sysfs_rapl.hpp"
 #include "rt/thread_cluster.hpp"
+#include "telemetry/export.hpp"
 
 using namespace penelope;
+
+namespace {
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return std::fclose(f) == 0 && ok;
+}
+}  // namespace
 
 int main(int argc, char** argv) {
   common::Config config;
   if (!config.parse_args(argc, argv)) {
-    std::fprintf(stderr, "usage: live_threads [nodes=4] [seconds=2]\n");
+    std::fprintf(stderr,
+                 "usage: live_threads [nodes=4] [seconds=2] "
+                 "[metrics=FILE.prom] [perfetto=FILE.json] "
+                 "[flight_recorder=N]\n");
     return 2;
   }
   int nodes = config.get_int("nodes", 4);
   double seconds = config.get_double("seconds", 2.0);
+  std::string metrics_path = config.get_string("metrics", "");
+  std::string perfetto_path = config.get_string("perfetto", "");
 
   // Probe for real RAPL hardware first.
   power::SysfsRapl rapl(power::SysfsRaplConfig{});
@@ -47,6 +65,9 @@ int main(int argc, char** argv) {
   tc.initial_cap_watts = 120.0;
   tc.period = common::from_millis(20);
   tc.request_timeout = common::from_millis(20);
+  tc.flight_recorder_capacity = static_cast<std::size_t>(
+      config.get_int("flight_recorder",
+                     perfetto_path.empty() ? 0 : 1 << 14));
   std::vector<std::vector<rt::DemandPhase>> scripts;
   for (int i = 0; i < nodes; ++i) {
     double demand = (i < nodes / 2) ? 60.0 : 240.0;
@@ -73,5 +94,20 @@ int main(int argc, char** argv) {
   std::printf("\nbudget %.0f W, live total %.2f W (conserved to "
               "floating point)\n",
               cluster.budget(), cluster.total_live_watts());
+
+  if (!metrics_path.empty() &&
+      write_text_file(metrics_path, telemetry::to_prometheus_text(
+                                        cluster.metrics_snapshot()))) {
+    std::printf("metrics -> %s\n", metrics_path.c_str());
+  }
+  if (!perfetto_path.empty()) {
+    const telemetry::FlightRecorder& recorder = cluster.flight_recorder();
+    if (write_text_file(perfetto_path,
+                        telemetry::to_perfetto_json(recorder.snapshot()))) {
+      std::printf("perfetto           %llu txn events -> %s\n",
+                  static_cast<unsigned long long>(recorder.recorded()),
+                  perfetto_path.c_str());
+    }
+  }
   return 0;
 }

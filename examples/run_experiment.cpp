@@ -14,6 +14,7 @@
 #include "cluster/cluster.hpp"
 #include "common/config.hpp"
 #include "common/stats.hpp"
+#include "telemetry/export.hpp"
 #include "workload/npb.hpp"
 
 using namespace penelope;
@@ -27,7 +28,15 @@ const char* kUsage =
     "  [reorder_delay_ms=250] [kill_server_at=S]\n"
     "  [kill_mgmt_node=I] [kill_mgmt_at=S] [urgency=1]\n"
     "  [sticky_peers=0] [hint_discovery=0] [local_take=drain|limited]\n"
-    "  [trace=FILE.csv] [trace_ms=1000]";
+    "  [trace=FILE] [trace_ms=1000] [trace_format=csv|jsonl|both]\n"
+    "  [flight_recorder=N] [perfetto=FILE.json] [metrics=FILE.prom]";
+
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return std::fclose(f) == 0 && ok;
+}
 
 bool parse_app(const std::string& name, workload::NpbApp* out) {
   for (auto app : workload::all_apps()) {
@@ -94,7 +103,20 @@ int main(int argc, char** argv) {
   }
 
   std::string trace_path = config.get_string("trace", "");
-  if (!trace_path.empty()) {
+  std::string trace_format = config.get_string("trace_format", "csv");
+  if (trace_format != "csv" && trace_format != "jsonl" &&
+      trace_format != "both") {
+    std::fprintf(stderr, "error: trace_format must be csv, jsonl or "
+                         "both\n%s\n",
+                 kUsage);
+    return 2;
+  }
+  std::string perfetto_path = config.get_string("perfetto", "");
+  std::string metrics_path = config.get_string("metrics", "");
+  cc.flight_recorder_capacity = static_cast<std::size_t>(
+      config.get_int("flight_recorder",
+                     perfetto_path.empty() ? 0 : 1 << 16));
+  if (!trace_path.empty() || !perfetto_path.empty()) {
     cc.trace_interval =
         common::from_millis(config.get_double("trace_ms", 1000.0));
   }
@@ -160,11 +182,40 @@ int main(int argc, char** argv) {
               result.audit.max_live_overshoot, result.audit.audits);
 
   if (!trace_path.empty()) {
-    if (cl.trace().write_csv(trace_path)) {
+    bool wrote = false;
+    if (trace_format == "csv" || trace_format == "both") {
+      wrote = cl.trace().write_csv(trace_path);
+    }
+    if (trace_format == "jsonl" || trace_format == "both") {
+      std::string jsonl_path =
+          trace_format == "jsonl" ? trace_path : trace_path + ".jsonl";
+      wrote = cl.trace().write_jsonl(jsonl_path) || wrote;
+    }
+    if (wrote) {
       std::printf("trace              %zu samples -> %s "
                   "(mean cap oscillation %.2f W)\n",
                   cl.trace().samples().size(), trace_path.c_str(),
                   cl.trace().mean_cap_oscillation());
+    }
+  }
+  if (!perfetto_path.empty()) {
+    const telemetry::FlightRecorder& recorder = cl.metrics().recorder();
+    std::string json = telemetry::to_perfetto_json(
+        recorder.snapshot(), cl.trace().counter_tracks());
+    if (write_text_file(perfetto_path, json)) {
+      std::printf("perfetto           %llu txn events (%llu dropped) "
+                  "-> %s\n",
+                  static_cast<unsigned long long>(recorder.recorded()),
+                  static_cast<unsigned long long>(recorder.dropped()),
+                  perfetto_path.c_str());
+    }
+  }
+  if (!metrics_path.empty()) {
+    std::string text = telemetry::to_prometheus_text(
+        cl.metrics().registry().snapshot());
+    if (write_text_file(metrics_path, text)) {
+      std::printf("metrics            %zu series -> %s\n",
+                  cl.metrics().registry().size(), metrics_path.c_str());
     }
   }
   return result.all_completed ? 0 : 1;

@@ -7,29 +7,49 @@
 // the simulated RAPL model so the demo runs anywhere.
 //
 // Usage: ./udp_demo [nodes=4] [seconds=2] [period_ms=20]
+//            [metrics=FILE.prom] [perfetto=FILE.json]
+//            [flight_recorder=N]
 #include <cstdio>
+#include <string>
 
 #include "common/config.hpp"
 #include "rt/udp_node.hpp"
+#include "telemetry/export.hpp"
 
 using namespace penelope;
+
+namespace {
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return std::fclose(f) == 0 && ok;
+}
+}  // namespace
 
 int main(int argc, char** argv) {
   common::Config config;
   if (!config.parse_args(argc, argv)) {
     std::fprintf(stderr,
-                 "usage: udp_demo [nodes=4] [seconds=2] [period_ms=20]\n");
+                 "usage: udp_demo [nodes=4] [seconds=2] [period_ms=20] "
+                 "[metrics=FILE.prom] [perfetto=FILE.json] "
+                 "[flight_recorder=N]\n");
     return 2;
   }
   int nodes = config.get_int("nodes", 4);
   double seconds = config.get_double("seconds", 2.0);
   double period_ms = config.get_double("period_ms", 20.0);
+  std::string metrics_path = config.get_string("metrics", "");
+  std::string perfetto_path = config.get_string("perfetto", "");
 
   rt::UdpNodeConfig base;
   base.initial_cap_watts = 120.0;
   base.period = common::from_millis(period_ms);
   base.request_timeout = common::from_millis(period_ms);
   base.seed = 21;
+  base.flight_recorder_capacity = static_cast<std::size_t>(
+      config.get_int("flight_recorder",
+                     perfetto_path.empty() ? 0 : 1 << 14));
 
   // Donors want 60 W, the hungry half wants 240 W against 120 W caps.
   std::vector<std::vector<rt::DemandPhase>> scripts;
@@ -64,5 +84,19 @@ int main(int argc, char** argv) {
               cluster.budget(), cluster.total_live_watts());
   std::printf("(swap power::SysfsRapl behind the PowerInterface and bind "
               "non-loopback addresses to deploy on a real cluster)\n");
+
+  if (!metrics_path.empty() &&
+      write_text_file(metrics_path, telemetry::to_prometheus_text(
+                                        cluster.metrics_snapshot()))) {
+    std::printf("metrics -> %s\n", metrics_path.c_str());
+  }
+  if (!perfetto_path.empty()) {
+    std::vector<telemetry::TxnRecord> records = cluster.flight_records();
+    if (write_text_file(perfetto_path,
+                        telemetry::to_perfetto_json(records))) {
+      std::printf("perfetto           %zu txn events -> %s\n",
+                  records.size(), perfetto_path.c_str());
+    }
+  }
   return 0;
 }

@@ -193,12 +193,21 @@ void PenelopeNodeActor::on_message(const net::Message& msg) {
     // deposit nor strand its watts a second time.
     if (!grant_window_.insert(push->txn_id)) {
       metrics_.record_duplicate_drop(push->watts);
+      metrics_.recorder().record(sim_.now(), push->txn_id,
+                                 telemetry::TxnEventKind::kDuplicateDropped,
+                                 body_.config().id, msg.src, push->watts);
     } else if (push->watts > 0.0) {
       if (management_alive_) {
         metrics_.grant_arrived(push->watts);
         pool_.deposit(push->watts);
+        metrics_.recorder().record(sim_.now(), push->txn_id,
+                                   telemetry::TxnEventKind::kPushReceived,
+                                   body_.config().id, msg.src, push->watts);
       } else {
         metrics_.watts_stranded(push->watts);
+        metrics_.recorder().record(sim_.now(), push->txn_id,
+                                   telemetry::TxnEventKind::kStranded,
+                                   body_.config().id, msg.src, push->watts);
       }
     }
   } else {
@@ -215,10 +224,16 @@ void PenelopeNodeActor::on_pool_request(const net::Message& msg) {
   // grant is the transaction's one answer; the requester dedups it too).
   if (!request_window_.insert(request->txn_id)) {
     metrics_.record_duplicate_drop(0.0);
+    metrics_.recorder().record(sim_.now(), request->txn_id,
+                               telemetry::TxnEventKind::kDuplicateDropped,
+                               body_.config().id, msg.src, 0.0);
     return;
   }
   double granted = pool_.serve(*request);
   if (granted > 0.0) metrics_.grant_departed(granted);
+  metrics_.recorder().record(sim_.now(), request->txn_id,
+                             telemetry::TxnEventKind::kRequestServed,
+                             body_.config().id, msg.src, granted);
   core::PowerGrant grant{granted, request->txn_id};
   if (body_.config().hint_discovery && granted <= 0.0 &&
       sticky_peer_ != net::kNoNode && sticky_peer_ != msg.src) {
@@ -237,6 +252,9 @@ void PenelopeNodeActor::prune_stale() {
 void PenelopeNodeActor::resolve_outstanding_as_timeout() {
   if (!outstanding_ || !management_alive_) return;
   metrics_.record_timeout();
+  metrics_.recorder().record(sim_.now(), outstanding_->txn,
+                             telemetry::TxnEventKind::kTimeout,
+                             body_.config().id, outstanding_->peer, 0.0);
   sticky_peer_ = net::kNoNode;  // a silent peer is not worth retrying
   note_peer_timeout(outstanding_->peer);
   stale_sent_times_[outstanding_->txn] = outstanding_->sent_at;
@@ -304,6 +322,10 @@ void PenelopeNodeActor::on_tick(common::Ticks now) {
       PEN_DCHECK(peer != body_.config().id);
       last_queried_peer_ = peer;
       metrics_.record_request_sent();
+      metrics_.recorder().record(now, outcome.request.txn_id,
+                                 telemetry::TxnEventKind::kRequestSent,
+                                 body_.config().id, peer,
+                                 outcome.request.alpha_watts);
       net_.send(body_.config().id, peer, outcome.request);
       Outstanding out;
       out.txn = outcome.request.txn_id;
@@ -332,19 +354,30 @@ void PenelopeNodeActor::on_grant(const net::Message& msg) {
   // other branch can apply, bank, or strand its watts a second time.
   if (!grant_window_.insert(grant->txn_id)) {
     metrics_.record_duplicate_drop(grant->watts);
+    metrics_.recorder().record(sim_.now(), grant->txn_id,
+                               telemetry::TxnEventKind::kDuplicateDropped,
+                               body_.config().id, msg.src, grant->watts);
     return;
   }
 
   if (!management_alive_) {
     // Management died with a request in flight: the watts would strand
     // inside a dead process; account them as lost.
-    if (grant->watts > 0.0) metrics_.watts_stranded(grant->watts);
+    if (grant->watts > 0.0) {
+      metrics_.watts_stranded(grant->watts);
+      metrics_.recorder().record(sim_.now(), grant->txn_id,
+                                 telemetry::TxnEventKind::kStranded,
+                                 body_.config().id, msg.src, grant->watts);
+    }
     return;
   }
 
   if (outstanding_ && outstanding_->txn == grant->txn_id) {
     sim_.cancel(outstanding_->timeout_event);
     metrics_.record_turnaround(outstanding_->sent_at, sim_.now());
+    metrics_.recorder().record(sim_.now(), grant->txn_id,
+                               telemetry::TxnEventKind::kGrantReceived,
+                               body_.config().id, msg.src, grant->watts);
     note_peer_answered(outstanding_->peer);
     outstanding_.reset();
     if (body_.config().sticky_peers || body_.config().hint_discovery) {
@@ -363,10 +396,16 @@ void PenelopeNodeActor::on_grant(const net::Message& msg) {
       body_.rapl().set_cap(decider_.cap());
       if (applied > 0.0) {
         metrics_.record_apply(sim_.now(), applied, body_.config().id);
+        metrics_.recorder().record(sim_.now(), grant->txn_id,
+                                   telemetry::TxnEventKind::kApplied,
+                                   body_.config().id, msg.src, applied);
       }
       double banked = grant->watts - applied;
       if (banked > common::kWattEpsilon) {
         metrics_.record_release(sim_.now(), banked, body_.config().id);
+        metrics_.recorder().record(sim_.now(), grant->txn_id,
+                                   telemetry::TxnEventKind::kBanked,
+                                   body_.config().id, msg.src, banked);
       }
     } else {
       decider_.complete_peer_grant(0.0);
@@ -391,9 +430,15 @@ void PenelopeNodeActor::on_grant(const net::Message& msg) {
   // Grant arrivals also bound the stale map, so shrinking it does not
   // have to wait for the next timeout.
   prune_stale();
+  metrics_.recorder().record(sim_.now(), grant->txn_id,
+                             telemetry::TxnEventKind::kLateGrant,
+                             body_.config().id, msg.src, grant->watts);
   if (grant->watts > 0.0) {
     metrics_.grant_arrived(grant->watts);
     pool_.deposit(grant->watts);
+    metrics_.recorder().record(sim_.now(), grant->txn_id,
+                               telemetry::TxnEventKind::kBanked,
+                               body_.config().id, msg.src, grant->watts);
   }
 }
 
@@ -409,10 +454,14 @@ void PenelopeNodeActor::finish_step(common::Ticks now) {
         pool_.withdraw(body_.config().push_fraction * pool_.available());
     if (push_watts > 0.0) {
       metrics_.grant_departed(push_watts);
-      net_.send(body_.config().id, pick_peer_(),
-                core::PowerPush{push_watts,
-                                core::make_txn_id(body_.config().id, 1,
-                                                  ++push_seq_)});
+      NodeId push_peer = pick_peer_();
+      std::uint64_t push_txn =
+          core::make_txn_id(body_.config().id, 1, ++push_seq_);
+      metrics_.recorder().record(now, push_txn,
+                                 telemetry::TxnEventKind::kPushSent,
+                                 body_.config().id, push_peer, push_watts);
+      net_.send(body_.config().id, push_peer,
+                core::PowerPush{push_watts, push_txn});
     }
   }
 }
@@ -471,10 +520,13 @@ void CentralClientActor::donate(double watts, common::Ticks now) {
   if (watts <= 0.0) return;
   metrics_.record_release(now, watts, body_.config().id);
   metrics_.donation_departed(watts);
+  std::uint64_t txn =
+      core::make_txn_id(body_.config().id, 1, ++donation_seq_);
+  metrics_.recorder().record(now, txn,
+                             telemetry::TxnEventKind::kDonationSent,
+                             body_.config().id, server_id_, watts);
   net_.send(body_.config().id, server_id_,
-            central::CentralDonation{
-                watts,
-                core::make_txn_id(body_.config().id, 1, ++donation_seq_)});
+            central::CentralDonation{watts, txn});
 }
 
 void CentralClientActor::prune_stale() {
@@ -486,6 +538,9 @@ void CentralClientActor::prune_stale() {
 void CentralClientActor::resolve_outstanding_as_timeout() {
   if (!outstanding_) return;
   metrics_.record_timeout();
+  metrics_.recorder().record(sim_.now(), outstanding_->txn,
+                             telemetry::TxnEventKind::kTimeout,
+                             body_.config().id, server_id_, 0.0);
   stale_sent_times_[outstanding_->txn] = outstanding_->sent_at;
   prune_stale();
   sim_.cancel(outstanding_->timeout_event);
@@ -517,6 +572,9 @@ void CentralClientActor::on_tick(common::Ticks now) {
       break;
     case central::ClientStepKind::kNeedsServer: {
       metrics_.record_request_sent();
+      metrics_.recorder().record(now, outcome.request.txn_id,
+                                 telemetry::TxnEventKind::kRequestSent,
+                                 body_.config().id, server_id_, 0.0);
       net_.send(body_.config().id, server_id_, outcome.request);
       Outstanding out;
       out.txn = outcome.request.txn_id;
@@ -545,6 +603,9 @@ void CentralClientActor::on_grant(const net::Message& msg) {
   // can apply it (or obey its release order) twice.
   if (!grant_window_.insert(grant->txn_id)) {
     metrics_.record_duplicate_drop(grant->watts);
+    metrics_.recorder().record(sim_.now(), grant->txn_id,
+                               telemetry::TxnEventKind::kDuplicateDropped,
+                               body_.config().id, msg.src, grant->watts);
     return;
   }
 
@@ -552,6 +613,9 @@ void CentralClientActor::on_grant(const net::Message& msg) {
   if (matches) {
     sim_.cancel(outstanding_->timeout_event);
     metrics_.record_turnaround(outstanding_->sent_at, sim_.now());
+    metrics_.recorder().record(sim_.now(), grant->txn_id,
+                               telemetry::TxnEventKind::kGrantReceived,
+                               body_.config().id, msg.src, grant->watts);
     outstanding_.reset();
   } else {
     auto stale = stale_sent_times_.find(grant->txn_id);
@@ -561,8 +625,17 @@ void CentralClientActor::on_grant(const net::Message& msg) {
       // it (the server only answers requests), so applying it would
       // mint watts on a spoofed or mis-routed message. Account its
       // power as stranded and move on.
-      if (grant->watts > 0.0) metrics_.watts_stranded(grant->watts);
+      if (grant->watts > 0.0) {
+        metrics_.watts_stranded(grant->watts);
+        metrics_.recorder().record(sim_.now(), grant->txn_id,
+                                   telemetry::TxnEventKind::kStranded,
+                                   body_.config().id, msg.src,
+                                   grant->watts);
+      }
       metrics_.record_unknown_txn();
+      metrics_.recorder().record(sim_.now(), grant->txn_id,
+                                 telemetry::TxnEventKind::kUnknownTxn,
+                                 body_.config().id, msg.src, grant->watts);
       PEN_LOG_WARN("central client %d: grant for unknown txn %llu "
                    "stranded (%.3f W)",
                    body_.config().id,
@@ -573,6 +646,9 @@ void CentralClientActor::on_grant(const net::Message& msg) {
     metrics_.record_turnaround(stale->second, sim_.now());
     stale_sent_times_.erase(stale);
     prune_stale();
+    metrics_.recorder().record(sim_.now(), grant->txn_id,
+                               telemetry::TxnEventKind::kLateGrant,
+                               body_.config().id, msg.src, grant->watts);
   }
 
   if (grant->watts > 0.0) metrics_.grant_arrived(grant->watts);
@@ -581,6 +657,10 @@ void CentralClientActor::on_grant(const net::Message& msg) {
   if (applied.applied_watts > 0.0) {
     metrics_.record_apply(sim_.now(), applied.applied_watts,
                           body_.config().id);
+    metrics_.recorder().record(sim_.now(), grant->txn_id,
+                               telemetry::TxnEventKind::kApplied,
+                               body_.config().id, msg.src,
+                               applied.applied_watts);
   }
   // Release orders (and safe-ceiling overflow) send power straight back.
   donate(applied.donate_back_watts, sim_.now());
@@ -611,8 +691,15 @@ HierarchicalServerActor::HierarchicalServerActor(
       if (donation->watts <= 0.0) return;
       if (txn_window_.insert(donation->txn_id)) {
         metrics_.watts_stranded(donation->watts);
+        metrics_.recorder().record(sim_.now(), donation->txn_id,
+                                   telemetry::TxnEventKind::kStranded, id_,
+                                   m.src, donation->watts);
       } else {
         metrics_.record_duplicate_drop(donation->watts);
+        metrics_.recorder().record(
+            sim_.now(), donation->txn_id,
+            telemetry::TxnEventKind::kDuplicateDropped, id_, m.src,
+            donation->watts);
       }
     }
   });
@@ -637,9 +724,16 @@ void HierarchicalServerActor::process(const net::Message& msg) {
   if (const auto* donation = msg.as<central::CentralDonation>()) {
     if (!txn_window_.insert(donation->txn_id)) {
       metrics_.record_duplicate_drop(donation->watts);
+      metrics_.recorder().record(
+          sim_.now(), donation->txn_id,
+          telemetry::TxnEventKind::kDuplicateDropped, id_, msg.src,
+          donation->watts);
       return;
     }
     metrics_.donation_arrived(donation->watts);
+    metrics_.recorder().record(sim_.now(), donation->txn_id,
+                               telemetry::TxnEventKind::kDonationReceived,
+                               id_, msg.src, donation->watts);
     logic_.central().handle_donation(*donation);
     return;
   }
@@ -648,10 +742,16 @@ void HierarchicalServerActor::process(const net::Message& msg) {
     // the first copy's reply is the transaction's one answer.
     if (!txn_window_.insert(request->txn_id)) {
       metrics_.record_duplicate_drop(0.0);
+      metrics_.recorder().record(
+          sim_.now(), request->txn_id,
+          telemetry::TxnEventKind::kDuplicateDropped, id_, msg.src, 0.0);
       return;
     }
     central::CentralGrant grant = logic_.central().handle_request(*request);
     if (grant.watts > 0.0) metrics_.grant_departed(grant.watts);
+    metrics_.recorder().record(sim_.now(), request->txn_id,
+                               telemetry::TxnEventKind::kRequestServed, id_,
+                               msg.src, grant.watts);
     net_.send(id_, msg.src, grant);
     return;
   }
@@ -689,8 +789,15 @@ CentralServerActor::CentralServerActor(
       if (donation->watts <= 0.0) return;
       if (txn_window_.insert(donation->txn_id)) {
         metrics_.watts_stranded(donation->watts);
+        metrics_.recorder().record(sim_.now(), donation->txn_id,
+                                   telemetry::TxnEventKind::kStranded, id_,
+                                   m.src, donation->watts);
       } else {
         metrics_.record_duplicate_drop(donation->watts);
+        metrics_.recorder().record(
+            sim_.now(), donation->txn_id,
+            telemetry::TxnEventKind::kDuplicateDropped, id_, m.src,
+            donation->watts);
       }
     }
   });
@@ -700,19 +807,32 @@ void CentralServerActor::process(const net::Message& msg) {
   if (const auto* donation = msg.as<central::CentralDonation>()) {
     if (!txn_window_.insert(donation->txn_id)) {
       metrics_.record_duplicate_drop(donation->watts);
+      metrics_.recorder().record(
+          sim_.now(), donation->txn_id,
+          telemetry::TxnEventKind::kDuplicateDropped, id_, msg.src,
+          donation->watts);
       return;
     }
     metrics_.donation_arrived(donation->watts);
+    metrics_.recorder().record(sim_.now(), donation->txn_id,
+                               telemetry::TxnEventKind::kDonationReceived,
+                               id_, msg.src, donation->watts);
     logic_.handle_donation(*donation);
     return;
   }
   if (const auto* request = msg.as<central::CentralRequest>()) {
     if (!txn_window_.insert(request->txn_id)) {
       metrics_.record_duplicate_drop(0.0);
+      metrics_.recorder().record(
+          sim_.now(), request->txn_id,
+          telemetry::TxnEventKind::kDuplicateDropped, id_, msg.src, 0.0);
       return;
     }
     central::CentralGrant grant = logic_.handle_request(*request);
     if (grant.watts > 0.0) metrics_.grant_departed(grant.watts);
+    metrics_.recorder().record(sim_.now(), request->txn_id,
+                               telemetry::TxnEventKind::kRequestServed, id_,
+                               msg.src, grant.watts);
     net_.send(id_, msg.src, grant);
     return;
   }

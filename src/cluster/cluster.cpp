@@ -29,6 +29,8 @@ Cluster::Cluster(ClusterConfig config,
                 "need one workload profile per client node");
   if (config_.request_timeout == 0)
     config_.request_timeout = config_.period;
+  if (config_.flight_recorder_capacity > 0)
+    metrics_.recorder().enable(config_.flight_recorder_capacity);
 
   net::NetworkConfig net_config = config_.network;
   net_config.seed = config_.seed ^ 0x85ebca6bu;
@@ -37,15 +39,21 @@ Cluster::Cluster(ClusterConfig config,
   // Watts lost inside the fabric (dropped grant/donation messages) are
   // stranded: they left one cap and will never reach another.
   net_->set_drop_handler([this](const net::Message& msg) {
+    auto strand = [this, &msg](double watts, std::uint64_t txn_id) {
+      if (watts <= 0.0) return;
+      metrics_.watts_stranded(watts);
+      metrics_.recorder().record(sim_.now(), txn_id,
+                                 telemetry::TxnEventKind::kStranded,
+                                 msg.dst, msg.src, watts);
+    };
     if (const auto* grant = msg.as<core::PowerGrant>()) {
-      if (grant->watts > 0.0) metrics_.watts_stranded(grant->watts);
+      strand(grant->watts, grant->txn_id);
     } else if (const auto* push = msg.as<core::PowerPush>()) {
-      if (push->watts > 0.0) metrics_.watts_stranded(push->watts);
+      strand(push->watts, push->txn_id);
     } else if (const auto* cgrant = msg.as<central::CentralGrant>()) {
-      if (cgrant->watts > 0.0) metrics_.watts_stranded(cgrant->watts);
+      strand(cgrant->watts, cgrant->txn_id);
     } else if (const auto* donation = msg.as<central::CentralDonation>()) {
-      if (donation->watts > 0.0)
-        metrics_.watts_stranded(donation->watts);
+      strand(donation->watts, donation->txn_id);
     }
   });
 

@@ -103,6 +103,9 @@ struct ClusterConfig {
   common::Ticks audit_interval = common::kTicksPerSecond;
   /// Per-node trajectory sampling cadence; 0 disables tracing.
   common::Ticks trace_interval = 0;
+  /// Transaction flight-recorder ring size; 0 (default) disables the
+  /// journal entirely, keeping the hot path a single predicted branch.
+  std::size_t flight_recorder_capacity = 0;
   std::uint64_t seed = 42;
 
   double initial_node_cap() const {

@@ -6,10 +6,38 @@
 
 namespace penelope::cluster {
 
+ClusterMetrics::ClusterMetrics()
+    : registry_(telemetry::Concurrency::kSingleThread) {
+  turnaround_hist_ = registry_.histogram(
+      "penelope_turnaround_ms", 0.0, 4000.0, 40, {},
+      "request-to-grant turnaround in milliseconds");
+  timeouts_ = registry_.counter("penelope_timeouts_total", {},
+                                "requests resolved by timeout");
+  in_flight_watts_ =
+      registry_.gauge("penelope_in_flight_watts", {},
+                      "watts currently owned by messages in flight");
+  stranded_watts_ =
+      registry_.gauge("penelope_stranded_watts", {},
+                      "watts lost in flight and ledgered as stranded");
+  duplicates_dropped_ =
+      registry_.counter("penelope_duplicates_dropped_total", {},
+                        "redeliveries rejected by a TxnWindow");
+  duplicate_watts_dropped_ =
+      registry_.gauge("penelope_duplicate_watts_dropped", {},
+                      "watts carried by rejected redeliveries");
+  unknown_txn_grants_ =
+      registry_.counter("penelope_unknown_txn_grants_total", {},
+                        "grants for transactions nobody tracked");
+  requests_sent_ = registry_.counter("penelope_requests_sent_total", {},
+                                     "power requests sent");
+}
+
 void ClusterMetrics::record_turnaround(common::Ticks sent_at,
                                        common::Ticks resolved_at) {
   PEN_CHECK(resolved_at >= sent_at);
-  turnaround_ms_.push_back(common::to_millis(resolved_at - sent_at));
+  double ms = common::to_millis(resolved_at - sent_at);
+  turnaround_ms_.push_back(ms);
+  turnaround_hist_.observe(ms);
 }
 
 void ClusterMetrics::record_release(common::Ticks at, double watts,

@@ -8,6 +8,12 @@
 //   * conservation accounting — grants in flight and watts stranded by
 //     dropped messages or dead nodes, so the system-cap invariant can be
 //     audited at any instant
+//
+// Counters and gauges live in a telemetry::MetricsRegistry so the same
+// snapshot that backs these accessors can be exported as Prometheus text
+// or Perfetto counter tracks. The embedded FlightRecorder (off unless
+// ClusterConfig::flight_recorder_capacity enables it) journals per-
+// transaction lifecycle events for the same run.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +21,8 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/registry.hpp"
 
 namespace penelope::cluster {
 
@@ -26,12 +34,17 @@ struct TransferEvent {
 
 class ClusterMetrics {
  public:
+  ClusterMetrics();
+
+  ClusterMetrics(const ClusterMetrics&) = delete;
+  ClusterMetrics& operator=(const ClusterMetrics&) = delete;
+
   /// --- turnaround -------------------------------------------------------
   void record_turnaround(common::Ticks sent_at, common::Ticks resolved_at);
-  void record_timeout() { ++timeouts_; }
+  void record_timeout() { timeouts_.inc(); }
 
   const std::vector<double>& turnaround_ms() const { return turnaround_ms_; }
-  std::uint64_t timeouts() const { return timeouts_; }
+  std::uint64_t timeouts() const { return timeouts_.value(); }
 
   /// --- redistribution ---------------------------------------------------
   /// Watts released by a node lowering its cap (donation into a pool or
@@ -46,54 +59,69 @@ class ClusterMetrics {
 
   /// --- conservation accounting -----------------------------------------
   /// A grant of `watts` left a pool/server and is now in a message.
-  void grant_departed(double watts) { in_flight_watts_ += watts; }
+  void grant_departed(double watts) { in_flight_watts_.add(watts); }
   /// The grant arrived and was applied/banked.
-  void grant_arrived(double watts) { in_flight_watts_ -= watts; }
+  void grant_arrived(double watts) { in_flight_watts_.add(-watts); }
   /// The grant (or donation) was lost: dropped packet or dead recipient.
   void watts_stranded(double watts) {
-    in_flight_watts_ -= watts;
-    stranded_watts_ += watts;
+    in_flight_watts_.add(-watts);
+    stranded_watts_.add(watts);
   }
   /// A donation left a client for the central server.
-  void donation_departed(double watts) { in_flight_watts_ += watts; }
-  void donation_arrived(double watts) { in_flight_watts_ -= watts; }
+  void donation_departed(double watts) { in_flight_watts_.add(watts); }
+  void donation_arrived(double watts) { in_flight_watts_.add(-watts); }
 
-  double in_flight_watts() const { return in_flight_watts_; }
-  double stranded_watts() const { return stranded_watts_; }
+  double in_flight_watts() const { return in_flight_watts_.value(); }
+  double stranded_watts() const { return stranded_watts_.value(); }
 
   /// A redelivered copy of an already-applied message was dropped by the
   /// receiver's TxnWindow. No ledger movement: the first copy did all the
   /// accounting, and a duplicate carries no power of its own.
   void record_duplicate_drop(double watts) {
-    ++duplicates_dropped_;
-    duplicate_watts_dropped_ += watts;
+    duplicates_dropped_.inc();
+    duplicate_watts_dropped_.add(watts);
   }
-  std::uint64_t duplicates_dropped() const { return duplicates_dropped_; }
+  std::uint64_t duplicates_dropped() const {
+    return duplicates_dropped_.value();
+  }
   double duplicate_watts_dropped() const {
-    return duplicate_watts_dropped_;
+    return duplicate_watts_dropped_.value();
   }
 
   /// A grant arrived for a transaction the receiver has no record of
   /// (neither outstanding nor timed-out-stale). Its watts were stranded
   /// rather than applied.
-  void record_unknown_txn() { ++unknown_txn_grants_; }
-  std::uint64_t unknown_txn_grants() const { return unknown_txn_grants_; }
+  void record_unknown_txn() { unknown_txn_grants_.inc(); }
+  std::uint64_t unknown_txn_grants() const {
+    return unknown_txn_grants_.value();
+  }
 
   /// --- misc counters ----------------------------------------------------
-  void record_request_sent() { ++requests_sent_; }
-  std::uint64_t requests_sent() const { return requests_sent_; }
+  void record_request_sent() { requests_sent_.inc(); }
+  std::uint64_t requests_sent() const { return requests_sent_.value(); }
+
+  /// --- telemetry --------------------------------------------------------
+  telemetry::MetricsRegistry& registry() { return registry_; }
+  const telemetry::MetricsRegistry& registry() const { return registry_; }
+  telemetry::FlightRecorder& recorder() { return recorder_; }
+  const telemetry::FlightRecorder& recorder() const { return recorder_; }
 
  private:
+  // Registry before handles: handles point into registry cells.
+  telemetry::MetricsRegistry registry_;
+  telemetry::FlightRecorder recorder_;
+
   std::vector<double> turnaround_ms_;
-  std::uint64_t timeouts_ = 0;
+  telemetry::Histogram turnaround_hist_;
+  telemetry::Counter timeouts_;
   std::vector<TransferEvent> releases_;
   std::vector<TransferEvent> applies_;
-  double in_flight_watts_ = 0.0;
-  double stranded_watts_ = 0.0;
-  std::uint64_t duplicates_dropped_ = 0;
-  double duplicate_watts_dropped_ = 0.0;
-  std::uint64_t unknown_txn_grants_ = 0;
-  std::uint64_t requests_sent_ = 0;
+  telemetry::Gauge in_flight_watts_;
+  telemetry::Gauge stranded_watts_;
+  telemetry::Counter duplicates_dropped_;
+  telemetry::Gauge duplicate_watts_dropped_;
+  telemetry::Counter unknown_txn_grants_;
+  telemetry::Counter requests_sent_;
 };
 
 /// Redistribution-time analysis for the scale study (§4.5): given the

@@ -79,14 +79,35 @@ std::vector<int> Trace::nodes() const {
   return {ids.begin(), ids.end()};
 }
 
+namespace {
+constexpr const char* kCsvHeader =
+    "t_s,node,cap_w,pool_w,power_w,demand_w,frac\n";
+
+int format_csv_line(char* buf, std::size_t size, const TraceSample& s) {
+  return std::snprintf(buf, size, "%.3f,%d,%.3f,%.3f,%.3f,%.3f,%.4f\n",
+                       common::to_seconds(s.at), s.node, s.cap_watts,
+                       s.pool_watts, s.power_watts, s.demand_watts,
+                       s.fraction_complete);
+}
+
+int format_jsonl_line(char* buf, std::size_t size, const TraceSample& s) {
+  return std::snprintf(
+      buf, size,
+      "{\"t_s\":%.3f,\"node\":%d,\"cap_w\":%.3f,\"pool_w\":%.3f,"
+      "\"power_w\":%.3f,\"demand_w\":%.3f,\"frac\":%.4f}\n",
+      common::to_seconds(s.at), s.node, s.cap_watts, s.pool_watts,
+      s.power_watts, s.demand_watts, s.fraction_complete);
+}
+}  // namespace
+
 std::string Trace::to_csv() const {
-  std::string out = "t_s,node,cap_w,pool_w,power_w,demand_w,frac\n";
+  std::string out = kCsvHeader;
+  // ~56 bytes per formatted line; reserving up front keeps a million-
+  // sample scale trace from reallocating its way through 64 MB of copies.
+  out.reserve(out.size() + samples_.size() * 64);
   char line[160];
   for (const auto& s : samples_) {
-    std::snprintf(line, sizeof line, "%.3f,%d,%.3f,%.3f,%.3f,%.3f,%.4f\n",
-                  common::to_seconds(s.at), s.node, s.cap_watts,
-                  s.pool_watts, s.power_watts, s.demand_watts,
-                  s.fraction_complete);
+    format_csv_line(line, sizeof line, s);
     out += line;
   }
   return out;
@@ -98,8 +119,60 @@ bool Trace::write_csv(const std::string& path) const {
     PEN_LOG_WARN("trace: failed to open %s", path.c_str());
     return false;
   }
-  f << to_csv();
+  // Stream line by line instead of materializing the whole file.
+  f << kCsvHeader;
+  char line[160];
+  for (const auto& s : samples_) {
+    format_csv_line(line, sizeof line, s);
+    f << line;
+  }
   return static_cast<bool>(f);
+}
+
+std::string Trace::to_jsonl() const {
+  std::string out;
+  out.reserve(samples_.size() * 112);
+  char line[224];
+  for (const auto& s : samples_) {
+    format_jsonl_line(line, sizeof line, s);
+    out += line;
+  }
+  return out;
+}
+
+bool Trace::write_jsonl(const std::string& path) const {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) {
+    PEN_LOG_WARN("trace: failed to open %s", path.c_str());
+    return false;
+  }
+  char line[224];
+  for (const auto& s : samples_) {
+    format_jsonl_line(line, sizeof line, s);
+    f << line;
+  }
+  return static_cast<bool>(f);
+}
+
+std::vector<telemetry::CounterTrack> Trace::counter_tracks() const {
+  std::vector<telemetry::CounterTrack> tracks;
+  std::map<int, std::size_t> cap_idx;
+  std::map<int, std::size_t> pool_idx;
+  for (const auto& s : samples_) {
+    auto [cap_it, cap_new] = cap_idx.try_emplace(s.node, tracks.size());
+    if (cap_new) {
+      tracks.push_back(telemetry::CounterTrack{
+          "node " + std::to_string(s.node) + " cap_w", {}});
+    }
+    tracks[cap_it->second].points.emplace_back(s.at, s.cap_watts);
+    auto [pool_it, pool_new] = pool_idx.try_emplace(s.node, tracks.size());
+    if (pool_new) {
+      tracks.push_back(telemetry::CounterTrack{
+          "node " + std::to_string(s.node) + " pool_w", {}});
+    }
+    tracks[pool_it->second].points.emplace_back(s.at, s.pool_watts);
+  }
+  return tracks;
 }
 
 }  // namespace penelope::cluster

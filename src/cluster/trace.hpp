@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "telemetry/export.hpp"
 
 namespace penelope::cluster {
 
@@ -53,6 +54,14 @@ class Trace {
   /// CSV with header: t_s,node,cap_w,pool_w,power_w,demand_w,frac.
   std::string to_csv() const;
   bool write_csv(const std::string& path) const;
+
+  /// One JSON object per line, same fields as the CSV columns.
+  std::string to_jsonl() const;
+  bool write_jsonl(const std::string& path) const;
+
+  /// Per-node cap and pool series as Perfetto counter tracks
+  /// ("node 3 cap_w", "node 3 pool_w", ...).
+  std::vector<telemetry::CounterTrack> counter_tracks() const;
 
  private:
   std::vector<TraceSample> samples_;

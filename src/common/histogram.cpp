@@ -41,8 +41,13 @@ double Histogram::bucket_hi(std::size_t i) const {
 double Histogram::quantile(double q) const {
   PEN_CHECK(q >= 0.0 && q <= 1.0);
   if (total_ == 0) return lo_;
+  // The target is a rank into the sorted samples; clamp to the last
+  // sample so q=1.0 lands in the highest populated bucket instead of
+  // walking off the end (an all-underflow histogram must report lo_,
+  // not hi_).
   auto target = static_cast<std::size_t>(
       q * static_cast<double>(total_));
+  target = std::min(target, total_ - 1);
   std::size_t seen = underflow_;
   if (seen > target) return lo_;
   for (std::size_t i = 0; i < counts_.size(); ++i) {

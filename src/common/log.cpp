@@ -10,6 +10,8 @@ namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
 std::mutex g_emit_mutex;
 
+thread_local int g_log_node = -1;
+
 const char* level_name(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug: return "DEBUG";
@@ -35,6 +37,10 @@ bool log_enabled(LogLevel level) {
          g_level.load(std::memory_order_relaxed);
 }
 
+void set_log_node(int node) { g_log_node = node; }
+
+int log_node() { return g_log_node; }
+
 void log_message(LogLevel level, const char* file, int line,
                  const char* fmt, ...) {
   using Clock = std::chrono::steady_clock;
@@ -48,9 +54,13 @@ void log_message(LogLevel level, const char* file, int line,
   std::vsnprintf(body, sizeof body, fmt, args);
   va_end(args);
 
+  char tag[16] = "";
+  if (g_log_node >= 0)
+    std::snprintf(tag, sizeof tag, "[n%02d] ", g_log_node);
+
   std::scoped_lock lock(g_emit_mutex);
-  std::fprintf(stderr, "[%9.4f] %s %s:%d  %s\n", elapsed,
-               level_name(level), file, line, body);
+  std::fprintf(stderr, "[%9.4f] %s %s:%d  %s%s\n", elapsed,
+               level_name(level), file, line, tag, body);
 }
 
 }  // namespace penelope::common

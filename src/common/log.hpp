@@ -21,6 +21,13 @@ bool log_enabled(LogLevel level);
 void log_message(LogLevel level, const char* file, int line,
                  const char* fmt, ...) __attribute__((format(printf, 4, 5)));
 
+/// Thread-local node-id tag: rt threads that serve a specific node call
+/// set_log_node(id) once at loop entry, and every log line the thread
+/// emits carries an `[nNN]` tag so interleaved multi-node output is
+/// attributable. Negative (the default) means untagged.
+void set_log_node(int node);
+int log_node();
+
 }  // namespace penelope::common
 
 #define PEN_LOG_IMPL(level, ...)                                        \

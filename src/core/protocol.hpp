@@ -35,6 +35,18 @@ constexpr std::uint64_t make_txn_id(std::int32_t node, std::uint32_t stream,
          (seq & 0xFFFFFFFFFull);
 }
 
+/// Inverses of make_txn_id, used by the telemetry exporters to label
+/// spans with the minting node without threading extra state around.
+constexpr std::int32_t txn_node(std::uint64_t txn_id) {
+  return static_cast<std::int32_t>(txn_id >> 40) - 1;
+}
+constexpr std::uint32_t txn_stream(std::uint64_t txn_id) {
+  return static_cast<std::uint32_t>((txn_id >> 36) & 0xFu);
+}
+constexpr std::uint64_t txn_seq(std::uint64_t txn_id) {
+  return txn_id & 0xFFFFFFFFFull;
+}
+
 struct PowerRequest {
   /// True when the requester is power-hungry *and* below its initial cap
   /// (§3: the urgent state). Urgent requests bypass the transaction-size

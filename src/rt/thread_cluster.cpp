@@ -77,9 +77,12 @@ struct ThreadCluster::Node {
   core::TxnWindow grant_window;
   std::vector<DemandPhase> script;
   common::Rng rng;
-  std::atomic<std::uint64_t> grants_received{0};
-  std::atomic<std::uint64_t> timeouts{0};
-  std::atomic<std::uint64_t> duplicates_dropped{0};
+  /// Registry-backed counters (updated lock-free from both of this
+  /// node's threads, aggregated by ThreadCluster::metrics_snapshot).
+  telemetry::Counter grants_received;
+  telemetry::Counter timeouts;
+  telemetry::Counter duplicates_dropped;
+  telemetry::Counter requests_sent;
   std::jthread pool_thread;
   std::jthread decider_thread;
 };
@@ -92,35 +95,60 @@ ThreadCluster::ThreadCluster(
   PEN_CHECK_MSG(
       demand_scripts.size() == static_cast<std::size_t>(config_.n_nodes),
       "need one demand script per node");
+  if (config_.flight_recorder_capacity > 0)
+    recorder_.enable(config_.flight_recorder_capacity);
   for (int i = 0; i < config_.n_nodes; ++i) {
     nodes_.push_back(std::make_unique<Node>(
         config_, i, std::move(demand_scripts[static_cast<std::size_t>(i)])));
+    Node& node = *nodes_.back();
+    telemetry::Labels labels{{"node", std::to_string(i)}};
+    node.grants_received =
+        registry_.counter("rt_grants_applied_total", labels,
+                          "peer grants applied by the decider");
+    node.timeouts = registry_.counter(
+        "rt_timeouts_total", labels, "requests resolved by timeout");
+    node.duplicates_dropped =
+        registry_.counter("rt_duplicates_dropped_total", labels,
+                          "redeliveries rejected by a TxnWindow");
+    node.requests_sent = registry_.counter(
+        "rt_requests_sent_total", labels, "power requests sent to peers");
   }
 }
 
 ThreadCluster::~ThreadCluster() = default;
 
 void ThreadCluster::pool_loop(Node& node, std::stop_token stop) {
+  common::set_log_node(node.id);
   while (!stop.stop_requested()) {
     std::optional<PoolRequestMsg> msg = node.inbox.pop();
     if (!msg) break;  // mailbox closed: shutdown
     if (!node.request_window.insert(msg->request.txn_id)) {
       // Redelivered request: the first copy's grant already answered
       // this transaction; serving again would debit the pool twice.
-      node.duplicates_dropped.fetch_add(1, std::memory_order_relaxed);
+      node.duplicates_dropped.inc();
+      recorder_.record(wall_ticks(), msg->request.txn_id,
+                       telemetry::TxnEventKind::kDuplicateDropped, node.id,
+                       -1, 0.0);
       continue;
     }
     double granted = node.pool.serve(msg->request);
+    recorder_.record(wall_ticks(), msg->request.txn_id,
+                     telemetry::TxnEventKind::kRequestServed, node.id, -1,
+                     granted);
     core::PowerGrant grant{granted, msg->request.txn_id};
     if (!msg->reply->try_push(grant) && granted > 0.0) {
       // Requester is gone (shutdown) or its box is full: return the
       // watts rather than strand them in a lost message.
       node.pool.deposit(granted);
+      recorder_.record(wall_ticks(), msg->request.txn_id,
+                       telemetry::TxnEventKind::kBanked, node.id, -1,
+                       granted);
     }
   }
 }
 
 void ThreadCluster::decider_loop(Node& node, std::stop_token stop) {
+  common::set_log_node(node.id);
   const common::Ticks start = wall_ticks();
   std::size_t phase_idx = 0;
   common::Ticks phase_start = start;
@@ -156,6 +184,10 @@ void ThreadCluster::decider_loop(Node& node, std::stop_token stop) {
       bool matched = false;
       if (peer.inbox.try_push(
               PoolRequestMsg{outcome.request, &node.reply_box})) {
+        node.requests_sent.inc();
+        recorder_.record(wall_ticks(), outcome.request.txn_id,
+                         telemetry::TxnEventKind::kRequestSent, node.id,
+                         peer_idx, outcome.request.alpha_watts);
         const auto deadline =
             Clock::now() +
             std::chrono::microseconds(config_.request_timeout);
@@ -164,23 +196,34 @@ void ThreadCluster::decider_loop(Node& node, std::stop_token stop) {
               node.reply_box.pop_until(deadline);
           if (!grant) break;  // deadline passed or mailbox closed
           if (!node.grant_window.insert(grant->txn_id)) {
-            node.duplicates_dropped.fetch_add(1,
-                                              std::memory_order_relaxed);
+            node.duplicates_dropped.inc();
+            recorder_.record(wall_ticks(), grant->txn_id,
+                             telemetry::TxnEventKind::kDuplicateDropped,
+                             node.id, -1, grant->watts);
             continue;  // redelivered grant: already applied or banked
           }
           if (grant->txn_id == outcome.request.txn_id) {
             node.decider.complete_peer_grant(grant->watts);
-            node.grants_received.fetch_add(1, std::memory_order_relaxed);
+            node.grants_received.inc();
+            recorder_.record(wall_ticks(), grant->txn_id,
+                             telemetry::TxnEventKind::kGrantReceived,
+                             node.id, peer_idx, grant->watts);
             matched = true;
           } else if (grant->watts > 0.0) {
             // A stale grant from an earlier timed-out round: bank it.
             node.pool.deposit(grant->watts);
+            recorder_.record(wall_ticks(), grant->txn_id,
+                             telemetry::TxnEventKind::kBanked, node.id, -1,
+                             grant->watts);
           }
         }
       }
       if (!matched) {
         node.decider.complete_peer_grant(0.0);
-        node.timeouts.fetch_add(1, std::memory_order_relaxed);
+        node.timeouts.inc();
+        recorder_.record(wall_ticks(), outcome.request.txn_id,
+                         telemetry::TxnEventKind::kTimeout, node.id,
+                         peer_idx, 0.0);
       }
       node.rapl.set_cap(node.decider.cap());
     }
@@ -227,10 +270,15 @@ void ThreadCluster::run_for(common::Ticks duration) {
   for (auto& node : nodes_) {
     while (auto grant = node->reply_box.try_pop()) {
       if (!node->grant_window.insert(grant->txn_id)) {
-        node->duplicates_dropped.fetch_add(1, std::memory_order_relaxed);
+        node->duplicates_dropped.inc();
         continue;
       }
-      if (grant->watts > 0.0) node->pool.deposit(grant->watts);
+      if (grant->watts > 0.0) {
+        node->pool.deposit(grant->watts);
+        recorder_.record(wall_ticks(), grant->txn_id,
+                         telemetry::TxnEventKind::kBanked, node->id, -1,
+                         grant->watts);
+      }
     }
   }
   running_ = false;
@@ -245,11 +293,9 @@ std::vector<ThreadNodeReport> ThreadCluster::reports() const {
     report.final_pool = node->pool.available();
     report.decider = node->decider.stats();
     report.pool = node->pool.stats();
-    report.grants_received =
-        node->grants_received.load(std::memory_order_relaxed);
-    report.timeouts = node->timeouts.load(std::memory_order_relaxed);
-    report.duplicates_dropped =
-        node->duplicates_dropped.load(std::memory_order_relaxed);
+    report.grants_received = node->grants_received.value();
+    report.timeouts = node->timeouts.value();
+    report.duplicates_dropped = node->duplicates_dropped.value();
     reports.push_back(report);
   }
   return reports;

@@ -22,6 +22,8 @@
 #include "core/pool.hpp"
 #include "core/txn_window.hpp"
 #include "rt/mailbox.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/registry.hpp"
 
 namespace penelope::rt {
 
@@ -40,6 +42,8 @@ struct ThreadClusterConfig {
   power::SafeRange safe_range{.min_watts = 40.0, .max_watts = 250.0};
   double idle_watts = 40.0;
   double rapl_tau_seconds = 0.02;  ///< scaled with the shortened period
+  /// Transaction flight-recorder ring size; 0 disables the journal.
+  std::size_t flight_recorder_capacity = 0;
   std::uint64_t seed = 42;
 };
 
@@ -84,6 +88,17 @@ class ThreadCluster {
   double total_live_watts() const;
   double budget() const;
 
+  /// Aggregated view of the sharded per-node counters (grants applied,
+  /// timeouts, duplicates dropped), exportable via
+  /// telemetry::to_prometheus_text.
+  std::vector<telemetry::MetricSample> metrics_snapshot() const {
+    return registry_.snapshot();
+  }
+  telemetry::MetricsRegistry& registry() { return registry_; }
+  const telemetry::FlightRecorder& flight_recorder() const {
+    return recorder_;
+  }
+
  private:
   struct Node;
 
@@ -91,6 +106,9 @@ class ThreadCluster {
   void pool_loop(Node& node, std::stop_token stop);
 
   ThreadClusterConfig config_;
+  // Registry precedes nodes: nodes cache handles into registry cells.
+  telemetry::MetricsRegistry registry_{telemetry::Concurrency::kSharded};
+  telemetry::FlightRecorder recorder_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::atomic<bool> running_{false};
 };

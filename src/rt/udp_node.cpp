@@ -6,6 +6,7 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -54,6 +55,21 @@ UdpPenelopeNode::UdpPenelopeNode(UdpNodeConfig config,
         return dc;
       }(), pool_),
       rng_(config.seed ^ (0x9e3779b9ULL * (config.id + 1))) {
+  if (config_.flight_recorder_capacity > 0)
+    recorder_.enable(config_.flight_recorder_capacity);
+  telemetry::Labels labels{{"node", std::to_string(config_.id)}};
+  grants_received_ =
+      registry_.counter("udp_grants_applied_total", labels,
+                        "peer grants applied by the decider");
+  timeouts_ = registry_.counter("udp_timeouts_total", labels,
+                                "requests resolved by timeout");
+  packets_received_ = registry_.counter(
+      "udp_packets_received_total", labels, "datagrams received");
+  decode_failures_ = registry_.counter(
+      "udp_decode_failures_total", labels, "undecodable datagrams");
+  duplicates_dropped_ =
+      registry_.counter("udp_duplicates_dropped_total", labels,
+                        "redeliveries rejected by a TxnWindow");
   fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
   if (fd_ < 0) {
     error_ = std::string("socket: ") + std::strerror(errno);
@@ -128,6 +144,7 @@ bool UdpPenelopeNode::send_to_port(
 }
 
 void UdpPenelopeNode::receiver_loop(std::stop_token stop) {
+  common::set_log_node(config_.id);
   std::uint8_t buffer[256];
   while (!stop.stop_requested()) {
     sockaddr_in from{};
@@ -143,12 +160,12 @@ void UdpPenelopeNode::receiver_loop(std::stop_token stop) {
                    std::strerror(errno));
       continue;
     }
-    packets_received_.fetch_add(1, std::memory_order_relaxed);
+    packets_received_.inc();
 
     auto payload =
         net::decode(buffer, static_cast<std::size_t>(received));
     if (!payload) {
-      decode_failures_.fetch_add(1, std::memory_order_relaxed);
+      decode_failures_.inc();
       continue;
     }
 
@@ -156,34 +173,50 @@ void UdpPenelopeNode::receiver_loop(std::stop_token stop) {
       if (!request_window_.insert(request->txn_id)) {
         // Redelivered request: the first copy's grant already answered
         // this transaction; serving again would debit the pool twice.
-        duplicates_dropped_.fetch_add(1, std::memory_order_relaxed);
+        duplicates_dropped_.inc();
+        recorder_.record(wall_ticks(), request->txn_id,
+                         telemetry::TxnEventKind::kDuplicateDropped,
+                         config_.id, -1, 0.0);
         continue;
       }
       double granted = pool_.serve(*request);
+      recorder_.record(wall_ticks(), request->txn_id,
+                       telemetry::TxnEventKind::kRequestServed, config_.id,
+                       -1, granted);
       core::PowerGrant grant{granted, request->txn_id};
       auto bytes = net::encode(net::WirePayload{grant});
       if (!send_to_port(ntohs(from.sin_port), bytes) && granted > 0.0) {
         // Could not answer: the watts must not vanish.
         pool_.deposit(granted);
+        recorder_.record(wall_ticks(), request->txn_id,
+                         telemetry::TxnEventKind::kBanked, config_.id, -1,
+                         granted);
       }
     } else if (const auto* grant =
                    std::get_if<core::PowerGrant>(&*payload)) {
       if (!grant_window_.insert(grant->txn_id)) {
         // Redelivered grant: already applied by the decider or banked.
-        duplicates_dropped_.fetch_add(1, std::memory_order_relaxed);
+        duplicates_dropped_.inc();
+        recorder_.record(wall_ticks(), grant->txn_id,
+                         telemetry::TxnEventKind::kDuplicateDropped,
+                         config_.id, -1, grant->watts);
         continue;
       }
       if (!grant_box_.try_push(*grant) && grant->watts > 0.0) {
         // Decider gone or box full: bank the power locally.
         pool_.deposit(grant->watts);
+        recorder_.record(wall_ticks(), grant->txn_id,
+                         telemetry::TxnEventKind::kBanked, config_.id, -1,
+                         grant->watts);
       }
     } else {
-      decode_failures_.fetch_add(1, std::memory_order_relaxed);
+      decode_failures_.inc();
     }
   }
 }
 
 void UdpPenelopeNode::decider_loop(std::stop_token stop) {
+  common::set_log_node(config_.id);
   const common::Ticks start = wall_ticks();
   std::size_t phase_idx = 0;
   common::Ticks phase_start = start;
@@ -217,6 +250,9 @@ void UdpPenelopeNode::decider_loop(std::stop_token stop) {
       auto bytes = net::encode(net::WirePayload{outcome.request});
       bool matched = false;
       if (send_to_port(peer.port, bytes)) {
+        recorder_.record(wall_ticks(), outcome.request.txn_id,
+                         telemetry::TxnEventKind::kRequestSent, config_.id,
+                         peer.id, outcome.request.alpha_watts);
         const auto deadline = Clock::now() + std::chrono::microseconds(
                                                  config_.request_timeout);
         while (!matched) {
@@ -225,16 +261,25 @@ void UdpPenelopeNode::decider_loop(std::stop_token stop) {
           if (!grant) break;  // deadline passed or mailbox closed
           if (grant->txn_id == outcome.request.txn_id) {
             decider_.complete_peer_grant(grant->watts);
-            grants_received_.fetch_add(1, std::memory_order_relaxed);
+            grants_received_.inc();
+            recorder_.record(wall_ticks(), grant->txn_id,
+                             telemetry::TxnEventKind::kGrantReceived,
+                             config_.id, peer.id, grant->watts);
             matched = true;
           } else if (grant->watts > 0.0) {
             pool_.deposit(grant->watts);  // stale round: bank it
+            recorder_.record(wall_ticks(), grant->txn_id,
+                             telemetry::TxnEventKind::kBanked, config_.id,
+                             -1, grant->watts);
           }
         }
       }
       if (!matched) {
         decider_.complete_peer_grant(0.0);
-        timeouts_.fetch_add(1, std::memory_order_relaxed);
+        timeouts_.inc();
+        recorder_.record(wall_ticks(), outcome.request.txn_id,
+                         telemetry::TxnEventKind::kTimeout, config_.id,
+                         peer.id, 0.0);
       }
       rapl_.set_cap(decider_.cap());
     }
@@ -256,15 +301,11 @@ UdpNodeReport UdpPenelopeNode::report() const {
   report.id = config_.id;
   report.final_cap = decider_.cap();
   report.final_pool = pool_.available();
-  report.grants_received =
-      grants_received_.load(std::memory_order_relaxed);
-  report.timeouts = timeouts_.load(std::memory_order_relaxed);
-  report.packets_received =
-      packets_received_.load(std::memory_order_relaxed);
-  report.decode_failures =
-      decode_failures_.load(std::memory_order_relaxed);
-  report.duplicates_dropped =
-      duplicates_dropped_.load(std::memory_order_relaxed);
+  report.grants_received = grants_received_.value();
+  report.timeouts = timeouts_.value();
+  report.packets_received = packets_received_.value();
+  report.decode_failures = decode_failures_.value();
+  report.duplicates_dropped = duplicates_dropped_.value();
   report.decider = decider_.stats();
   return report;
 }
@@ -333,6 +374,29 @@ double UdpCluster::total_live_watts() const {
 
 double UdpCluster::budget() const {
   return initial_cap_ * static_cast<double>(nodes_.size());
+}
+
+std::vector<telemetry::MetricSample> UdpCluster::metrics_snapshot() const {
+  std::vector<telemetry::MetricSample> merged;
+  for (const auto& node : nodes_) {
+    auto samples = node->metrics_snapshot();
+    merged.insert(merged.end(),
+                  std::make_move_iterator(samples.begin()),
+                  std::make_move_iterator(samples.end()));
+  }
+  return merged;
+}
+
+std::vector<telemetry::TxnRecord> UdpCluster::flight_records() const {
+  std::vector<telemetry::TxnRecord> merged;
+  for (const auto& node : nodes_) {
+    auto records = node->flight_recorder().snapshot();
+    merged.insert(merged.end(), records.begin(), records.end());
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const telemetry::TxnRecord& a,
+                      const telemetry::TxnRecord& b) { return a.at < b.at; });
+  return merged;
 }
 
 }  // namespace penelope::rt

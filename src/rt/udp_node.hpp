@@ -49,6 +49,8 @@ struct UdpNodeConfig {
   power::SafeRange safe_range{.min_watts = 40.0, .max_watts = 250.0};
   double idle_watts = 40.0;
   double rapl_tau_seconds = 0.02;
+  /// Transaction flight-recorder ring size; 0 disables the journal.
+  std::size_t flight_recorder_capacity = 0;
   std::uint64_t seed = 42;
 };
 
@@ -105,6 +107,14 @@ class UdpPenelopeNode {
   double cap() const { return decider_.cap(); }
   double pool_watts() const { return pool_.available(); }
 
+  /// This node's registry snapshot (counters labeled with its id).
+  std::vector<telemetry::MetricSample> metrics_snapshot() const {
+    return registry_.snapshot();
+  }
+  const telemetry::FlightRecorder& flight_recorder() const {
+    return recorder_;
+  }
+
  private:
   void receiver_loop(std::stop_token stop);
   void decider_loop(std::stop_token stop);
@@ -129,11 +139,15 @@ class UdpPenelopeNode {
   core::TxnWindow request_window_;
   core::TxnWindow grant_window_;
 
-  std::atomic<std::uint64_t> grants_received_{0};
-  std::atomic<std::uint64_t> timeouts_{0};
-  std::atomic<std::uint64_t> packets_received_{0};
-  std::atomic<std::uint64_t> decode_failures_{0};
-  std::atomic<std::uint64_t> duplicates_dropped_{0};
+  /// Registry-backed counters (receiver + decider threads update them
+  /// lock-free; snapshot aggregates the shards).
+  telemetry::MetricsRegistry registry_{telemetry::Concurrency::kSharded};
+  telemetry::FlightRecorder recorder_;
+  telemetry::Counter grants_received_;
+  telemetry::Counter timeouts_;
+  telemetry::Counter packets_received_;
+  telemetry::Counter decode_failures_;
+  telemetry::Counter duplicates_dropped_;
 
   std::jthread receiver_thread_;
   std::jthread decider_thread_;
@@ -155,6 +169,13 @@ class UdpCluster {
   std::vector<UdpNodeReport> reports() const;
   double total_live_watts() const;
   double budget() const;
+
+  /// Every node's registry snapshot merged into one sample vector;
+  /// series stay distinct through their `node` label, so the merged
+  /// vector renders to duplicate-free Prometheus text.
+  std::vector<telemetry::MetricSample> metrics_snapshot() const;
+  /// Every node's flight journal merged, sorted by timestamp.
+  std::vector<telemetry::TxnRecord> flight_records() const;
 
  private:
   double initial_cap_;

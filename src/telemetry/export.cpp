@@ -1,0 +1,318 @@
+#include "telemetry/export.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+namespace penelope::telemetry {
+
+namespace {
+
+/// Prometheus renders integers without a decimal point; everything else
+/// gets shortest-round-trip-ish %g.
+std::string format_value(double v) {
+  char buf[64];
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  return buf;
+}
+
+/// Escape a Prometheus label value: backslash, double quote, newline.
+std::string prom_escape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Render `{k="v",...}` (empty string for no labels). `extra` appends one
+/// more pair, used for histogram `le`.
+std::string prom_labels(const Labels& labels, const std::string& extra_key,
+                        const std::string& extra_value) {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    out += prom_escape(v);
+    out += '"';
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ',';
+    out += extra_key;
+    out += "=\"";
+    out += extra_value;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+const char* prom_type_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+std::string json_escape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  return buf;
+}
+
+/// Terminal strand-ish kinds also rendered as instant markers.
+bool is_instant_marker(TxnEventKind kind) {
+  return kind == TxnEventKind::kStranded ||
+         kind == TxnEventKind::kDuplicateDropped ||
+         kind == TxnEventKind::kUnknownTxn;
+}
+
+}  // namespace
+
+std::string to_prometheus_text(const std::vector<MetricSample>& samples) {
+  std::vector<const MetricSample*> sorted;
+  sorted.reserve(samples.size());
+  for (const auto& sample : samples) sorted.push_back(&sample);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const MetricSample* a, const MetricSample* b) {
+                     if (a->name != b->name) return a->name < b->name;
+                     return a->labels < b->labels;
+                   });
+
+  std::string out;
+  out.reserve(sorted.size() * 64);
+  const MetricSample* prev = nullptr;
+  for (const MetricSample* sample : sorted) {
+    // Merged snapshots (e.g. one registry per UDP node) may repeat a
+    // series; keep the first occurrence so output has no duplicates.
+    if (prev != nullptr && prev->name == sample->name &&
+        prev->labels == sample->labels) {
+      continue;
+    }
+    if (prev == nullptr || prev->name != sample->name) {
+      if (!sample->help.empty()) {
+        out += "# HELP ";
+        out += sample->name;
+        out += ' ';
+        out += prom_escape(sample->help);
+        out += '\n';
+      }
+      out += "# TYPE ";
+      out += sample->name;
+      out += ' ';
+      out += prom_type_name(sample->kind);
+      out += '\n';
+    }
+    prev = sample;
+
+    if (sample->kind == MetricKind::kHistogram && sample->histogram) {
+      const HistogramSnapshot& hist = *sample->histogram;
+      // Cumulative buckets. Underflow (samples below the first bound)
+      // belongs in every bucket; overflow only in +Inf.
+      std::uint64_t running = hist.underflow;
+      for (std::size_t i = 0; i < hist.upper_bounds.size(); ++i) {
+        running += hist.counts[i];
+        out += sample->name;
+        out += "_bucket";
+        out += prom_labels(sample->labels, "le",
+                           format_value(hist.upper_bounds[i]));
+        out += ' ';
+        out += format_value(static_cast<double>(running));
+        out += '\n';
+      }
+      out += sample->name;
+      out += "_bucket";
+      out += prom_labels(sample->labels, "le", "+Inf");
+      out += ' ';
+      out += format_value(static_cast<double>(hist.total));
+      out += '\n';
+      out += sample->name;
+      out += "_sum";
+      out += prom_labels(sample->labels, "", "");
+      out += ' ';
+      out += format_value(hist.sum);
+      out += '\n';
+      out += sample->name;
+      out += "_count";
+      out += prom_labels(sample->labels, "", "");
+      out += ' ';
+      out += format_value(static_cast<double>(hist.total));
+      out += '\n';
+    } else {
+      out += sample->name;
+      out += prom_labels(sample->labels, "", "");
+      out += ' ';
+      out += format_value(sample->value);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string to_perfetto_json(const std::vector<TxnRecord>& events,
+                             const std::vector<CounterTrack>& tracks) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&out, &first](const std::string& event) {
+    if (!first) out += ',';
+    first = false;
+    out += '\n';
+    out += event;
+  };
+
+  // Group the journal by transaction, preserving record order within
+  // each group (the recorder emits oldest-to-newest).
+  std::map<std::uint64_t, std::vector<const TxnRecord*>> by_txn;
+  std::vector<std::int32_t> nodes_seen;
+  for (const auto& record : events) {
+    by_txn[record.txn_id].push_back(&record);
+    if (record.node >= 0 &&
+        std::find(nodes_seen.begin(), nodes_seen.end(), record.node) ==
+            nodes_seen.end()) {
+      nodes_seen.push_back(record.node);
+    }
+  }
+
+  // Track naming: pid 0 = transactions (tid = node id), pid 1 = counter
+  // tracks. Metadata events give the tracks readable names.
+  std::sort(nodes_seen.begin(), nodes_seen.end());
+  emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+       "\"args\":{\"name\":\"power transactions\"}}");
+  for (std::int32_t node : nodes_seen) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+                  "\"tid\":%d,\"args\":{\"name\":\"node %d\"}}",
+                  node, node);
+    emit(buf);
+  }
+
+  for (const auto& [txn_id, records] : by_txn) {
+    const TxnRecord& head = *records.front();
+    const TxnRecord& tail = *records.back();
+    common::Ticks start = head.at;
+    common::Ticks end = tail.at;
+    for (const TxnRecord* record : records) {
+      start = std::min(start, record->at);
+      end = std::max(end, record->at);
+    }
+
+    // One span per transaction with at least two hops; the hop journal
+    // rides in args so a click in the UI shows the full lifecycle.
+    if (txn_id != 0 && records.size() > 1) {
+      char header[256];
+      std::snprintf(
+          header, sizeof(header),
+          "{\"name\":\"txn %" PRIu64 " (%s)\",\"cat\":\"txn\","
+          "\"ph\":\"X\",\"ts\":%" PRId64 ",\"dur\":%" PRId64
+          ",\"pid\":0,\"tid\":%d,\"args\":{\"txn_id\":%" PRIu64
+          ",\"hops\":[",
+          txn_id, txn_event_name(tail.kind), static_cast<std::int64_t>(start),
+          static_cast<std::int64_t>(end - start), head.node, txn_id);
+      std::string span = header;
+      bool first_hop = true;
+      for (const TxnRecord* record : records) {
+        if (!first_hop) span += ',';
+        first_hop = false;
+        span += "{\"ts\":";
+        span += json_number(static_cast<double>(record->at));
+        span += ",\"event\":\"";
+        span += txn_event_name(record->kind);
+        span += "\",\"node\":";
+        span += std::to_string(record->node);
+        span += ",\"peer\":";
+        span += std::to_string(record->peer);
+        span += ",\"watts\":";
+        span += json_number(record->watts);
+        span += '}';
+      }
+      span += "]}}";
+      emit(span);
+    }
+
+    for (const TxnRecord* record : records) {
+      if (!is_instant_marker(record->kind)) continue;
+      char buf[288];
+      std::snprintf(
+          buf, sizeof(buf),
+          "{\"name\":\"%s\",\"cat\":\"txn\",\"ph\":\"i\",\"ts\":%" PRId64
+          ",\"pid\":0,\"tid\":%d,\"s\":\"t\",\"args\":{\"txn_id\":%" PRIu64
+          ",\"peer\":%d,\"watts\":%.17g}}",
+          txn_event_name(record->kind),
+          static_cast<std::int64_t>(record->at), record->node,
+          record->txn_id, record->peer, record->watts);
+      emit(buf);
+    }
+  }
+
+  if (!tracks.empty()) {
+    emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+         "\"args\":{\"name\":\"counters\"}}");
+  }
+  for (const CounterTrack& track : tracks) {
+    std::string name = json_escape(track.name);
+    for (const auto& [at, value] : track.points) {
+      std::string event = "{\"name\":\"";
+      event += name;
+      event += "\",\"ph\":\"C\",\"ts\":";
+      event += std::to_string(static_cast<std::int64_t>(at));
+      event += ",\"pid\":1,\"args\":{\"value\":";
+      event += json_number(value);
+      event += "}}";
+      emit(event);
+    }
+  }
+
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace penelope::telemetry

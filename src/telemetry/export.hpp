@@ -1,0 +1,39 @@
+// Exporters: render a metrics snapshot as Prometheus text exposition and
+// a flight-recorder journal (plus optional counter tracks) as Chrome/
+// Perfetto trace-event JSON. Pure functions over value types — no
+// registry or recorder internals — so sim and rt runtimes share them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/registry.hpp"
+
+namespace penelope::telemetry {
+
+/// Prometheus text exposition (version 0.0.4): one `# HELP`/`# TYPE`
+/// block per metric name, histograms expanded to cumulative `_bucket`
+/// series plus `_sum`/`_count`. Input order does not matter; output is
+/// sorted and contains no duplicate series.
+std::string to_prometheus_text(const std::vector<MetricSample>& samples);
+
+/// A numeric time series rendered as a Perfetto "C" counter track
+/// (e.g. one node's cap or pool level over the run).
+struct CounterTrack {
+  std::string name;
+  std::vector<std::pair<common::Ticks, double>> points;
+};
+
+/// Chrome trace-event JSON (the "traceEvents" array format Perfetto and
+/// chrome://tracing load directly). Each transaction becomes an "X"
+/// complete event on the minting node's track spanning first-to-last
+/// recorded hop, with the per-hop journal in args; strand/duplicate/
+/// unknown-txn events additionally become flow-terminating "i" instants
+/// so lost power is visible at a glance. Ticks are microseconds, which
+/// is exactly the trace-event `ts` unit.
+std::string to_perfetto_json(const std::vector<TxnRecord>& events,
+                             const std::vector<CounterTrack>& tracks = {});
+
+}  // namespace penelope::telemetry

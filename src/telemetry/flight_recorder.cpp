@@ -1,0 +1,80 @@
+#include "telemetry/flight_recorder.hpp"
+
+#include <algorithm>
+
+namespace penelope::telemetry {
+
+const char* txn_event_name(TxnEventKind kind) {
+  switch (kind) {
+    case TxnEventKind::kRequestSent: return "request_sent";
+    case TxnEventKind::kRequestServed: return "request_served";
+    case TxnEventKind::kGrantReceived: return "grant_received";
+    case TxnEventKind::kLateGrant: return "late_grant";
+    case TxnEventKind::kTimeout: return "timeout";
+    case TxnEventKind::kApplied: return "applied";
+    case TxnEventKind::kBanked: return "banked";
+    case TxnEventKind::kStranded: return "stranded";
+    case TxnEventKind::kDuplicateDropped: return "duplicate_dropped";
+    case TxnEventKind::kUnknownTxn: return "unknown_txn";
+    case TxnEventKind::kDonationSent: return "donation_sent";
+    case TxnEventKind::kDonationReceived: return "donation_received";
+    case TxnEventKind::kPushSent: return "push_sent";
+    case TxnEventKind::kPushReceived: return "push_received";
+  }
+  return "unknown";
+}
+
+void FlightRecorder::enable(std::size_t capacity) {
+  std::scoped_lock lock(mutex_);
+  capacity_.store(capacity, std::memory_order_relaxed);
+  ring_.clear();
+  ring_.reserve(capacity);
+  head_ = 0;
+}
+
+void FlightRecorder::record_slow(const TxnRecord& record) {
+  std::scoped_lock lock(mutex_);
+  std::size_t cap = capacity_.load(std::memory_order_relaxed);
+  if (cap == 0) return;
+  if (ring_.size() < cap) {
+    ring_.push_back(record);
+  } else {
+    ring_[head_ % cap] = record;
+  }
+  ++head_;
+}
+
+std::vector<TxnRecord> FlightRecorder::snapshot() const {
+  std::scoped_lock lock(mutex_);
+  std::size_t cap = capacity_.load(std::memory_order_relaxed);
+  std::vector<TxnRecord> out;
+  out.reserve(ring_.size());
+  if (cap == 0 || ring_.size() < cap) {
+    out = ring_;
+  } else {
+    std::size_t start = head_ % cap;
+    for (std::size_t i = 0; i < cap; ++i)
+      out.push_back(ring_[(start + i) % cap]);
+  }
+  return out;
+}
+
+std::vector<TxnRecord> FlightRecorder::for_txn(std::uint64_t txn_id) const {
+  std::vector<TxnRecord> all = snapshot();
+  std::vector<TxnRecord> out;
+  std::copy_if(all.begin(), all.end(), std::back_inserter(out),
+               [txn_id](const TxnRecord& r) { return r.txn_id == txn_id; });
+  return out;
+}
+
+std::uint64_t FlightRecorder::recorded() const {
+  std::scoped_lock lock(mutex_);
+  return head_;
+}
+
+std::uint64_t FlightRecorder::dropped() const {
+  std::scoped_lock lock(mutex_);
+  return head_ > ring_.size() ? head_ - ring_.size() : 0;
+}
+
+}  // namespace penelope::telemetry

@@ -1,0 +1,95 @@
+// Transaction flight recorder — a bounded ring journal of power-
+// transaction lifecycle events. When the conservation audit reports a
+// stranded watt, the recorder answers "which transaction, between which
+// nodes, at what time" instead of leaving a bare aggregate.
+//
+// Disabled by default (capacity 0): `record()` is a single branch, so
+// hot paths can call it unconditionally without perturbing the golden
+// trace or the overhead bench. Enabled, it keeps the most recent
+// `capacity` events under a mutex — the same serialization discipline as
+// rt::Mailbox, so it is safe from any thread and clean under TSan.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace penelope::telemetry {
+
+enum class TxnEventKind : std::uint8_t {
+  kRequestSent,       // requester -> peer PowerRequest
+  kRequestServed,     // peer granted watts out of its pool
+  kGrantReceived,     // requester got the grant within the window
+  kLateGrant,         // grant for an already-resolved request (banked)
+  kTimeout,           // requester gave up on an outstanding request
+  kApplied,           // watts raised the local cap
+  kBanked,            // watts deposited into the local pool
+  kStranded,          // watts lost in flight, ledgered as stranded
+  kDuplicateDropped,  // at-most-once window rejected a redelivery
+  kUnknownTxn,        // grant for a txn the requester never tracked
+  kDonationSent,      // client -> central server donation
+  kDonationReceived,  // central server absorbed a donation
+  kPushSent,          // unsolicited push/gossip departed
+  kPushReceived,      // unsolicited push/gossip absorbed
+};
+
+/// Stable lowercase name for exporters ("request_sent", "stranded", ...).
+const char* txn_event_name(TxnEventKind kind);
+
+struct TxnRecord {
+  common::Ticks at = 0;
+  std::uint64_t txn_id = 0;
+  TxnEventKind kind = TxnEventKind::kRequestSent;
+  std::int32_t node = -1;  // node observing the event
+  std::int32_t peer = -1;  // other endpoint, -1 if none/unknown
+  double watts = 0.0;
+};
+
+class FlightRecorder {
+ public:
+  FlightRecorder() = default;
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Start recording into a ring of `capacity` events (0 disables and
+  /// discards anything previously recorded).
+  void enable(std::size_t capacity);
+  bool enabled() const { return capacity() != 0; }
+  std::size_t capacity() const {
+    return capacity_.load(std::memory_order_relaxed);
+  }
+
+  void record(common::Ticks at, std::uint64_t txn_id, TxnEventKind kind,
+              std::int32_t node, std::int32_t peer, double watts) {
+    if (capacity() == 0) return;
+    record_slow(TxnRecord{at, txn_id, kind, node, peer, watts});
+  }
+
+  /// Events oldest-to-newest. At most `capacity` entries; earlier events
+  /// beyond that have been overwritten (see dropped()).
+  std::vector<TxnRecord> snapshot() const;
+
+  /// Every retained event for one transaction, oldest-to-newest.
+  std::vector<TxnRecord> for_txn(std::uint64_t txn_id) const;
+
+  /// Total events ever recorded while enabled.
+  std::uint64_t recorded() const;
+  /// Events overwritten by ring wrap-around.
+  std::uint64_t dropped() const;
+
+ private:
+  void record_slow(const TxnRecord& record);
+
+  // Relaxed atomic so the disabled fast path is one unfenced load even
+  // when rt threads call record() concurrently with configuration.
+  std::atomic<std::size_t> capacity_{0};
+  mutable std::mutex mutex_;
+  std::vector<TxnRecord> ring_;
+  std::uint64_t head_ = 0;  // total recorded; ring_[head_ % capacity_] next
+};
+
+}  // namespace penelope::telemetry

@@ -1,0 +1,186 @@
+#include "telemetry/registry.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace penelope::telemetry {
+
+namespace detail {
+
+unsigned this_thread_slot() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+HistogramCell::HistogramCell(double lo_in, double hi_in,
+                             std::size_t buckets)
+    : lo(lo_in), hi(hi_in), counts(buckets) {
+  PEN_CHECK(hi > lo);
+  PEN_CHECK(buckets > 0);
+  bucket_width = (hi - lo) / static_cast<double>(buckets);
+}
+
+void HistogramCell::observe(double x) {
+  total.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum.load(std::memory_order_relaxed);
+  while (!sum.compare_exchange_weak(cur, cur + x,
+                                    std::memory_order_relaxed)) {
+  }
+  if (x < lo) {
+    underflow.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (x >= hi) {
+    overflow.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - lo) / bucket_width);
+  idx = std::min(idx, counts.size() - 1);
+  counts[idx].fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+struct MetricsRegistry::Entry {
+  std::string name;
+  std::string help;
+  Labels labels;
+  MetricKind kind = MetricKind::kCounter;
+  std::unique_ptr<detail::CounterCell> counter;
+  std::unique_ptr<detail::GaugeCell> gauge;
+  std::unique_ptr<detail::HistogramCell> histogram;
+};
+
+namespace {
+
+/// Registration key: name + labels in the caller's order. Label order is
+/// part of the identity on purpose — callers register each series once
+/// and cache the handle, so there is nothing to canonicalize.
+std::string make_key(const std::string& name, const Labels& labels) {
+  std::string key = name;
+  for (const auto& [k, v] : labels) {
+    key += '\x1f';
+    key += k;
+    key += '\x1e';
+    key += v;
+  }
+  return key;
+}
+
+}  // namespace
+
+MetricsRegistry::MetricsRegistry(Concurrency mode) : mode_(mode) {}
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry::Entry& MetricsRegistry::get_or_create(
+    const std::string& name, const Labels& labels, MetricKind kind,
+    const std::string& help) {
+  std::scoped_lock lock(mutex_);
+  std::string key = make_key(name, labels);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    Entry& entry = *entries_[it->second];
+    PEN_CHECK_MSG(entry.kind == kind,
+                  "metric re-registered with a different kind");
+    return entry;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->help = help;
+  entry->labels = labels;
+  entry->kind = kind;
+  index_.emplace(std::move(key), entries_.size());
+  entries_.push_back(std::move(entry));
+  return *entries_.back();
+}
+
+Counter MetricsRegistry::counter(const std::string& name, Labels labels,
+                                 const std::string& help) {
+  Entry& entry = get_or_create(name, labels, MetricKind::kCounter, help);
+  if (!entry.counter) {
+    entry.counter = std::make_unique<detail::CounterCell>(
+        mode_ == Concurrency::kSharded ? detail::kCounterShards : 1);
+  }
+  return Counter(entry.counter.get());
+}
+
+Gauge MetricsRegistry::gauge(const std::string& name, Labels labels,
+                             const std::string& help) {
+  Entry& entry = get_or_create(name, labels, MetricKind::kGauge, help);
+  if (!entry.gauge) entry.gauge = std::make_unique<detail::GaugeCell>();
+  return Gauge(entry.gauge.get());
+}
+
+Histogram MetricsRegistry::histogram(const std::string& name, double lo,
+                                     double hi, std::size_t buckets,
+                                     Labels labels,
+                                     const std::string& help) {
+  Entry& entry = get_or_create(name, labels, MetricKind::kHistogram, help);
+  if (!entry.histogram) {
+    entry.histogram =
+        std::make_unique<detail::HistogramCell>(lo, hi, buckets);
+  } else {
+    PEN_CHECK_MSG(entry.histogram->lo == lo && entry.histogram->hi == hi &&
+                      entry.histogram->counts.size() == buckets,
+                  "histogram re-registered with different buckets");
+  }
+  return Histogram(entry.histogram.get());
+}
+
+std::vector<MetricSample> MetricsRegistry::snapshot() const {
+  std::scoped_lock lock(mutex_);
+  std::vector<MetricSample> samples;
+  samples.reserve(entries_.size());
+  for (const auto& entry : entries_) {
+    MetricSample sample;
+    sample.name = entry->name;
+    sample.help = entry->help;
+    sample.labels = entry->labels;
+    sample.kind = entry->kind;
+    switch (entry->kind) {
+      case MetricKind::kCounter:
+        sample.value =
+            entry->counter ? static_cast<double>(entry->counter->value())
+                           : 0.0;
+        break;
+      case MetricKind::kGauge:
+        sample.value = entry->gauge ? entry->gauge->get() : 0.0;
+        break;
+      case MetricKind::kHistogram: {
+        HistogramSnapshot hist;
+        const auto& cell = *entry->histogram;
+        hist.upper_bounds.reserve(cell.counts.size());
+        hist.counts.reserve(cell.counts.size());
+        for (std::size_t i = 0; i < cell.counts.size(); ++i) {
+          hist.upper_bounds.push_back(
+              cell.lo + cell.bucket_width * static_cast<double>(i + 1));
+          hist.counts.push_back(
+              cell.counts[i].load(std::memory_order_relaxed));
+        }
+        hist.underflow = cell.underflow.load(std::memory_order_relaxed);
+        hist.overflow = cell.overflow.load(std::memory_order_relaxed);
+        hist.total = cell.total.load(std::memory_order_relaxed);
+        hist.sum = cell.sum.load(std::memory_order_relaxed);
+        sample.histogram = std::move(hist);
+        break;
+      }
+    }
+    samples.push_back(std::move(sample));
+  }
+  std::sort(samples.begin(), samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.labels < b.labels;
+            });
+  return samples;
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::scoped_lock lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace penelope::telemetry

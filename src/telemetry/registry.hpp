@@ -1,0 +1,209 @@
+// Unified metrics registry — the one place every runtime (discrete-event
+// cluster, rt::ThreadCluster, rt::UdpPenelopeNode) registers its
+// observables, so exporters see a single namespace instead of three
+// hand-rolled counter structs.
+//
+// Usage contract:
+//   * register once — `counter()/gauge()/histogram()` get-or-create by
+//     (name, labels) and hand back a cheap value-type handle; callers
+//     cache the handle and never touch the registry on hot paths.
+//   * update lock-free — handles write relaxed atomics only. Counters
+//     are sharded across cache lines by thread (one shard in
+//     kSingleThread mode, a small padded array in kSharded mode) so two
+//     deciders bumping the same counter never bounce a line.
+//   * snapshot anywhere — `snapshot()` aggregates shards into plain
+//     values; exporters (telemetry/export.hpp) render Prometheus text or
+//     Perfetto counter tracks from the same sample vector.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace penelope::telemetry {
+
+/// How many threads will update handles concurrently. kSingleThread
+/// keeps one shard per counter (the simulator); kSharded pads counters
+/// across kCounterShards cache lines (the rt runtimes).
+enum class Concurrency { kSingleThread, kSharded };
+
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+namespace detail {
+
+inline constexpr unsigned kCounterShards = 8;  // power of two
+
+/// Stable small slot per thread, used to pick a counter shard. Process-
+/// wide monotone assignment: thread N gets slot N (mod shard count).
+unsigned this_thread_slot();
+
+struct alignas(64) CounterShard {
+  std::atomic<std::uint64_t> value{0};
+};
+
+struct CounterCell {
+  explicit CounterCell(unsigned shards) : shards(shards) {}
+  std::vector<CounterShard> shards;
+
+  void add(std::uint64_t delta) {
+    unsigned idx = shards.size() == 1
+                       ? 0
+                       : this_thread_slot() &
+                             (static_cast<unsigned>(shards.size()) - 1);
+    shards[idx].value.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const auto& shard : shards)
+      total += shard.value.load(std::memory_order_relaxed);
+    return total;
+  }
+};
+
+struct GaugeCell {
+  std::atomic<double> value{0.0};
+
+  void set(double v) { value.store(v, std::memory_order_relaxed); }
+  void add(double delta) {
+    double cur = value.load(std::memory_order_relaxed);
+    while (!value.compare_exchange_weak(cur, cur + delta,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+  double get() const { return value.load(std::memory_order_relaxed); }
+};
+
+struct HistogramCell {
+  HistogramCell(double lo, double hi, std::size_t buckets);
+
+  double lo;
+  double hi;
+  double bucket_width;
+  std::vector<std::atomic<std::uint64_t>> counts;
+  std::atomic<std::uint64_t> underflow{0};
+  std::atomic<std::uint64_t> overflow{0};
+  std::atomic<std::uint64_t> total{0};
+  std::atomic<double> sum{0.0};
+
+  void observe(double x);
+};
+
+}  // namespace detail
+
+/// Monotone event count. Handles are trivially copyable; a default-
+/// constructed handle is a no-op sink (metrics wired but not registered).
+class Counter {
+ public:
+  Counter() = default;
+  void inc(std::uint64_t delta = 1) {
+    if (cell_ != nullptr) cell_->add(delta);
+  }
+  std::uint64_t value() const { return cell_ != nullptr ? cell_->value() : 0; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(detail::CounterCell* cell) : cell_(cell) {}
+  detail::CounterCell* cell_ = nullptr;
+};
+
+/// Point-in-time value (watts in a pool, in-flight ledger, queue depth).
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(double v) {
+    if (cell_ != nullptr) cell_->set(v);
+  }
+  void add(double delta) {
+    if (cell_ != nullptr) cell_->add(delta);
+  }
+  double value() const { return cell_ != nullptr ? cell_->get() : 0.0; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(detail::GaugeCell* cell) : cell_(cell) {}
+  detail::GaugeCell* cell_ = nullptr;
+};
+
+/// Fixed-width-bucket distribution (latency, grant sizes). Underflow
+/// lands in the first exported bucket; overflow only in +Inf.
+class Histogram {
+ public:
+  Histogram() = default;
+  void observe(double x) {
+    if (cell_ != nullptr) cell_->observe(x);
+  }
+  std::uint64_t count() const {
+    return cell_ != nullptr ? cell_->total.load(std::memory_order_relaxed)
+                            : 0;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(detail::HistogramCell* cell) : cell_(cell) {}
+  detail::HistogramCell* cell_ = nullptr;
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+struct HistogramSnapshot {
+  /// Per-bucket upper bounds (ascending) and non-cumulative counts.
+  std::vector<double> upper_bounds;
+  std::vector<std::uint64_t> counts;
+  std::uint64_t underflow = 0;
+  std::uint64_t overflow = 0;
+  std::uint64_t total = 0;
+  double sum = 0.0;
+};
+
+struct MetricSample {
+  std::string name;
+  std::string help;
+  Labels labels;
+  MetricKind kind = MetricKind::kCounter;
+  /// Counter (cast to double) or gauge value; unused for histograms.
+  double value = 0.0;
+  std::optional<HistogramSnapshot> histogram;
+};
+
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(Concurrency mode = Concurrency::kSingleThread);
+  ~MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Get-or-create. Re-registering the same (name, labels) returns a
+  /// handle to the same cell; registering it as a different kind aborts.
+  Counter counter(const std::string& name, Labels labels = {},
+                  const std::string& help = "");
+  Gauge gauge(const std::string& name, Labels labels = {},
+              const std::string& help = "");
+  Histogram histogram(const std::string& name, double lo, double hi,
+                      std::size_t buckets, Labels labels = {},
+                      const std::string& help = "");
+
+  /// Aggregated point-in-time view of every registered metric, sorted by
+  /// (name, labels) so exports are deterministic.
+  std::vector<MetricSample> snapshot() const;
+
+  std::size_t size() const;
+
+ private:
+  struct Entry;
+  Entry& get_or_create(const std::string& name, const Labels& labels,
+                       MetricKind kind, const std::string& help);
+
+  Concurrency mode_;
+  mutable std::mutex mutex_;  // registration + snapshot only, never updates
+  std::vector<std::unique_ptr<Entry>> entries_;
+  std::unordered_map<std::string, std::size_t> index_;  // key -> entries_ idx
+};
+
+}  // namespace penelope::telemetry

@@ -48,6 +48,47 @@ TEST(Histogram, QuantileApproximatesUniform) {
 TEST(Histogram, QuantileOnEmptyReturnsLo) {
   Histogram h(5.0, 10.0, 4);
   EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 5.0);
+}
+
+TEST(Histogram, QuantileExtremesStayInRange) {
+  Histogram h(0.0, 100.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  // q=1 must land inside the highest populated bucket, not past it.
+  double top = h.quantile(1.0);
+  EXPECT_GE(top, 90.0);
+  EXPECT_LE(top, 100.0);
+}
+
+TEST(Histogram, QuantileAllUnderflowReturnsLo) {
+  Histogram h(10.0, 20.0, 4);
+  h.add(1.0);
+  h.add(2.0);
+  h.add(3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+}
+
+TEST(Histogram, QuantileAllOverflowReturnsHi) {
+  Histogram h(10.0, 20.0, 4);
+  h.add(30.0);
+  h.add(40.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 20.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 20.0);
+}
+
+TEST(Histogram, QuantileUnderflowShiftsRanks) {
+  // 5 underflow samples + 5 in-range: the median rank falls on the
+  // in-range half's first samples, not mid-range.
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 5; ++i) h.add(-1.0);
+  for (int i = 0; i < 5; ++i) h.add(i + 0.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_LT(h.quantile(0.6), 2.0);
+  EXPECT_GE(h.quantile(1.0), 4.0);
 }
 
 TEST(Histogram, RenderShowsBarsAndCounts) {

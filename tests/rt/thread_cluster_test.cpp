@@ -115,6 +115,68 @@ TEST(ThreadCluster, PhasedScriptsChangeRoles) {
   EXPECT_NEAR(cluster.total_live_watts(), cluster.budget(), 1e-6);
 }
 
+TEST(ThreadCluster, MetricsSnapshotMatchesReports) {
+  ThreadClusterConfig cfg = quick_config(4);
+  cfg.flight_recorder_capacity = 1 << 14;
+  ThreadCluster cluster(cfg, steady_scripts(4, 60.0, 240.0));
+  cluster.run_for(common::from_millis(1000));
+
+  auto reports = cluster.reports();
+  std::uint64_t report_grants = 0;
+  std::uint64_t report_timeouts = 0;
+  for (const auto& report : reports) {
+    report_grants += report.grants_received;
+    report_timeouts += report.timeouts;
+  }
+  ASSERT_GT(report_grants, 0u);
+
+  // The registry snapshot carries the same counts, one labeled series
+  // per node, aggregated across the per-thread shards.
+  std::uint64_t snap_grants = 0;
+  std::uint64_t snap_timeouts = 0;
+  std::uint64_t snap_requests = 0;
+  int grant_series = 0;
+  for (const auto& sample : cluster.metrics_snapshot()) {
+    if (sample.name == "rt_grants_applied_total") {
+      snap_grants += static_cast<std::uint64_t>(sample.value);
+      ++grant_series;
+      ASSERT_EQ(sample.labels.size(), 1u);
+      EXPECT_EQ(sample.labels[0].first, "node");
+    } else if (sample.name == "rt_timeouts_total") {
+      snap_timeouts += static_cast<std::uint64_t>(sample.value);
+    } else if (sample.name == "rt_requests_sent_total") {
+      snap_requests += static_cast<std::uint64_t>(sample.value);
+    }
+  }
+  EXPECT_EQ(grant_series, cfg.n_nodes);
+  EXPECT_EQ(snap_grants, report_grants);
+  EXPECT_EQ(snap_timeouts, report_timeouts);
+  // Every sent request resolved as exactly one grant or timeout; the
+  // timeout count can additionally include rounds whose request never
+  // left (peer inbox full), so sent <= grants + timeouts.
+  EXPECT_GE(snap_requests, snap_grants);
+  EXPECT_LE(snap_requests, snap_grants + snap_timeouts);
+
+  // The flight recorder journaled the same protocol traffic.
+  const telemetry::FlightRecorder& recorder = cluster.flight_recorder();
+  EXPECT_TRUE(recorder.enabled());
+  std::uint64_t journal_sent = 0;
+  std::uint64_t journal_grants = 0;
+  for (const auto& record : recorder.snapshot()) {
+    if (record.kind == telemetry::TxnEventKind::kRequestSent) {
+      ++journal_sent;
+      EXPECT_NE(record.txn_id, 0u);
+    }
+    if (record.kind == telemetry::TxnEventKind::kGrantReceived) {
+      ++journal_grants;
+    }
+  }
+  if (recorder.dropped() == 0) {
+    EXPECT_EQ(journal_sent, snap_requests);
+    EXPECT_EQ(journal_grants, report_grants);
+  }
+}
+
 TEST(SpinKernel, DeterministicAndWorkProportional) {
   EXPECT_EQ(spin_kernel(1000), spin_kernel(1000));
   EXPECT_NE(spin_kernel(1000), spin_kernel(1001));

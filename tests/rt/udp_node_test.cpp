@@ -93,6 +93,58 @@ TEST(UdpCluster, RepeatedRunsDoNotLeakSocketsOrDeadlock) {
   }
 }
 
+TEST(UdpCluster, MetricsSnapshotMatchesReports) {
+  UdpNodeConfig cfg = quick_config();
+  cfg.flight_recorder_capacity = 1 << 14;
+  UdpCluster cluster(4, cfg, donor_hungry_scripts(4));
+  ASSERT_TRUE(cluster.ok());
+  cluster.run_for(common::from_millis(1000));
+
+  auto reports = cluster.reports();
+  std::uint64_t report_grants = 0;
+  std::uint64_t report_packets = 0;
+  for (const auto& report : reports) {
+    report_grants += report.grants_received;
+    report_packets += report.packets_received;
+  }
+  ASSERT_GT(report_grants, 0u);
+
+  // The merged snapshot keeps one labeled series per node per name and
+  // agrees with the report counters.
+  std::uint64_t snap_grants = 0;
+  std::uint64_t snap_packets = 0;
+  int grant_series = 0;
+  for (const auto& sample : cluster.metrics_snapshot()) {
+    if (sample.name == "udp_grants_applied_total") {
+      snap_grants += static_cast<std::uint64_t>(sample.value);
+      ++grant_series;
+      ASSERT_EQ(sample.labels.size(), 1u);
+      EXPECT_EQ(sample.labels[0].first, "node");
+    } else if (sample.name == "udp_packets_received_total") {
+      snap_packets += static_cast<std::uint64_t>(sample.value);
+    }
+  }
+  EXPECT_EQ(grant_series, 4);
+  EXPECT_EQ(snap_grants, report_grants);
+  EXPECT_EQ(snap_packets, report_packets);
+
+  // Merged flight journal: time-ordered, every request event carries a
+  // real transaction id.
+  auto records = cluster.flight_records();
+  EXPECT_FALSE(records.empty());
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    EXPECT_LE(records[i - 1].at, records[i].at);
+  }
+  std::uint64_t journal_grants = 0;
+  for (const auto& record : records) {
+    if (record.kind == telemetry::TxnEventKind::kGrantReceived) {
+      ++journal_grants;
+      EXPECT_NE(record.txn_id, 0u);
+    }
+  }
+  EXPECT_EQ(journal_grants, report_grants);
+}
+
 TEST(UdpNode, GarbagePacketsAreCountedNotFatal) {
   // Fire raw garbage at a node's socket; it must count the junk and
   // keep serving the real protocol.

@@ -1,0 +1,241 @@
+#include "telemetry/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "json_mini.hpp"
+#include "telemetry/registry.hpp"
+
+namespace penelope::telemetry {
+namespace {
+
+/// A parsed Prometheus sample line: `name{labels} value`.
+struct PromLine {
+  std::string series;  // name + label block, the dedup identity
+  std::string name;
+  double value = 0.0;
+};
+
+/// Parse text exposition the way a scraper would: `# HELP`/`# TYPE`
+/// comments tracked per name, every other non-empty line split into
+/// series and value. Fails the test on malformed lines.
+struct PromParse {
+  std::vector<PromLine> lines;
+  std::map<std::string, std::string> types;  // name -> counter|gauge|...
+};
+
+PromParse parse_prometheus(const std::string& text) {
+  PromParse parsed;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream rest(line.substr(7));
+      std::string name;
+      std::string type;
+      rest >> name >> type;
+      EXPECT_FALSE(name.empty());
+      EXPECT_FALSE(type.empty());
+      // One TYPE comment per name, ever.
+      EXPECT_EQ(parsed.types.count(name), 0u)
+          << "duplicate # TYPE for " << name;
+      parsed.types[name] = type;
+      continue;
+    }
+    if (line[0] == '#') continue;  // HELP
+    auto space = line.rfind(' ');
+    if (space == std::string::npos) {
+      ADD_FAILURE() << "malformed line: " << line;
+      continue;
+    }
+    PromLine sample;
+    sample.series = line.substr(0, space);
+    auto brace = sample.series.find('{');
+    sample.name = brace == std::string::npos ? sample.series
+                                             : sample.series.substr(0, brace);
+    char* end = nullptr;
+    std::string value = line.substr(space + 1);
+    sample.value = std::strtod(value.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      ADD_FAILURE() << "bad value in: " << line;
+      continue;
+    }
+    parsed.lines.push_back(sample);
+  }
+  return parsed;
+}
+
+TEST(PrometheusExport, CounterAndGaugeRoundTrip) {
+  MetricsRegistry registry;
+  Counter c = registry.counter("requests_total", {{"node", "3"}},
+                               "requests sent");
+  Gauge g = registry.gauge("pool_watts", {}, "pool level");
+  c.inc(42);
+  g.set(67.5);
+
+  PromParse parsed = parse_prometheus(
+      to_prometheus_text(registry.snapshot()));
+  ASSERT_EQ(parsed.lines.size(), 2u);
+  EXPECT_EQ(parsed.types.at("requests_total"), "counter");
+  EXPECT_EQ(parsed.types.at("pool_watts"), "gauge");
+
+  std::map<std::string, double> by_series;
+  for (const auto& line : parsed.lines) {
+    by_series[line.series] = line.value;
+  }
+  EXPECT_DOUBLE_EQ(by_series.at("requests_total{node=\"3\"}"), 42.0);
+  EXPECT_DOUBLE_EQ(by_series.at("pool_watts"), 67.5);
+}
+
+TEST(PrometheusExport, NoDuplicateSeriesAfterMerge) {
+  // Two registries with overlapping names (the UdpCluster merge path):
+  // identical series collapse to one line, label-distinct ones survive.
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.counter("udp_grants_total", {{"node", "0"}}).inc(1);
+  b.counter("udp_grants_total", {{"node", "1"}}).inc(2);
+  a.counter("udp_shared_total").inc(5);
+  b.counter("udp_shared_total").inc(7);
+
+  std::vector<MetricSample> merged = a.snapshot();
+  std::vector<MetricSample> other = b.snapshot();
+  merged.insert(merged.end(), other.begin(), other.end());
+
+  PromParse parsed = parse_prometheus(to_prometheus_text(merged));
+  std::set<std::string> series;
+  for (const auto& line : parsed.lines) {
+    EXPECT_TRUE(series.insert(line.series).second)
+        << "duplicate series: " << line.series;
+  }
+  EXPECT_EQ(series.count("udp_grants_total{node=\"0\"}"), 1u);
+  EXPECT_EQ(series.count("udp_grants_total{node=\"1\"}"), 1u);
+  EXPECT_EQ(series.count("udp_shared_total"), 1u);
+}
+
+TEST(PrometheusExport, HistogramCumulativeAndConsistent) {
+  MetricsRegistry registry;
+  Histogram h = registry.histogram("turnaround_ms", 0.0, 100.0, 4, {},
+                                   "turnaround");
+  h.observe(-5.0);   // underflow: folded into every bucket
+  h.observe(10.0);   // bucket le=25
+  h.observe(60.0);   // bucket le=75
+  h.observe(500.0);  // overflow: only +Inf
+
+  std::string text = to_prometheus_text(registry.snapshot());
+  PromParse parsed = parse_prometheus(text);
+  EXPECT_EQ(parsed.types.at("turnaround_ms"), "histogram");
+
+  std::vector<double> buckets;
+  double count = -1.0;
+  double sum = 0.0;
+  for (const auto& line : parsed.lines) {
+    if (line.name == "turnaround_ms_bucket") buckets.push_back(line.value);
+    if (line.name == "turnaround_ms_count") count = line.value;
+    if (line.name == "turnaround_ms_sum") sum = line.value;
+  }
+  ASSERT_EQ(buckets.size(), 5u);  // 4 bounds + +Inf
+  // Cumulative and monotone, underflow counted from the first bucket.
+  EXPECT_DOUBLE_EQ(buckets[0], 2.0);  // underflow + 10.0
+  for (std::size_t i = 1; i < buckets.size(); ++i) {
+    EXPECT_GE(buckets[i], buckets[i - 1]);
+  }
+  // +Inf bucket equals _count equals total observations.
+  EXPECT_DOUBLE_EQ(buckets.back(), 4.0);
+  EXPECT_DOUBLE_EQ(count, 4.0);
+  EXPECT_NEAR(sum, 565.0, 1e-9);
+}
+
+TEST(PrometheusExport, EscapesLabelValues) {
+  MetricsRegistry registry;
+  registry.counter("weird_total", {{"path", "a\"b\\c\nd"}}).inc();
+  std::string text = to_prometheus_text(registry.snapshot());
+  EXPECT_NE(text.find("path=\"a\\\"b\\\\c\\nd\""), std::string::npos);
+}
+
+TEST(PerfettoExport, EmitsValidJsonWithSpansAndInstants) {
+  std::vector<TxnRecord> events;
+  std::uint64_t txn = 0x1234;
+  events.push_back({100, txn, TxnEventKind::kRequestSent, 0, 1, 5.0});
+  events.push_back({180, txn, TxnEventKind::kRequestServed, 1, 0, 4.0});
+  events.push_back({250, txn, TxnEventKind::kGrantReceived, 0, 1, 4.0});
+  events.push_back({400, 0x9999, TxnEventKind::kStranded, 2, 0, 3.5});
+
+  std::vector<CounterTrack> tracks;
+  tracks.push_back({"node 0 cap_w", {{0, 120.0}, {1000, 140.0}}});
+
+  std::string json = to_perfetto_json(events, tracks);
+  bool ok = false;
+  testjson::Value root = testjson::parse_json(json, &ok);
+  ASSERT_TRUE(ok) << "not valid JSON:\n" << json;
+  ASSERT_TRUE(root.is_object());
+  ASSERT_TRUE(root.at("traceEvents").is_array());
+  const auto& trace_events = root.at("traceEvents").array;
+
+  int spans = 0;
+  int instants = 0;
+  int counters = 0;
+  for (const auto& event : trace_events) {
+    ASSERT_TRUE(event.is_object());
+    ASSERT_TRUE(event.at("ph").is_string());
+    const std::string& ph = event.at("ph").string;
+    if (ph == "X") {
+      ++spans;
+      // The span covers first-to-last hop on the minting node's track.
+      EXPECT_DOUBLE_EQ(event.at("ts").number, 100.0);
+      EXPECT_DOUBLE_EQ(event.at("dur").number, 150.0);
+      EXPECT_DOUBLE_EQ(event.at("tid").number, 0.0);
+      const auto& hops = event.at("args").at("hops");
+      ASSERT_TRUE(hops.is_array());
+      EXPECT_EQ(hops.array.size(), 3u);
+      EXPECT_EQ(hops.array[0].at("event").string, "request_sent");
+      EXPECT_EQ(hops.array[2].at("event").string, "grant_received");
+    } else if (ph == "i") {
+      ++instants;
+      EXPECT_EQ(event.at("name").string, "stranded");
+      EXPECT_DOUBLE_EQ(event.at("args").at("watts").number, 3.5);
+    } else if (ph == "C") {
+      ++counters;
+      EXPECT_EQ(event.at("name").string, "node 0 cap_w");
+    }
+  }
+  EXPECT_EQ(spans, 1);
+  EXPECT_EQ(instants, 1);
+  EXPECT_EQ(counters, 2);
+}
+
+TEST(PerfettoExport, EmptyJournalStillParses) {
+  bool ok = false;
+  testjson::Value root =
+      testjson::parse_json(to_perfetto_json({}), &ok);
+  ASSERT_TRUE(ok);
+  EXPECT_TRUE(root.at("traceEvents").is_array());
+}
+
+TEST(PerfettoExport, SingleRecordTxnGetsNoSpanButKeepsMarkers) {
+  // One lone timeout record: no "X" span (nothing to measure), but a
+  // stranded marker must never be dropped.
+  std::vector<TxnRecord> events;
+  events.push_back({50, 7, TxnEventKind::kStranded, 1, 0, 2.0});
+  bool ok = false;
+  testjson::Value root =
+      testjson::parse_json(to_perfetto_json(events), &ok);
+  ASSERT_TRUE(ok);
+  int spans = 0;
+  int instants = 0;
+  for (const auto& event : root.at("traceEvents").array) {
+    if (event.at("ph").string == "X") ++spans;
+    if (event.at("ph").string == "i") ++instants;
+  }
+  EXPECT_EQ(spans, 0);
+  EXPECT_EQ(instants, 1);
+}
+
+}  // namespace
+}  // namespace penelope::telemetry

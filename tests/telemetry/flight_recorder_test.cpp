@@ -1,0 +1,111 @@
+#include "telemetry/flight_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace penelope::telemetry {
+namespace {
+
+TEST(FlightRecorder, DisabledByDefaultAndRecordsNothing) {
+  FlightRecorder recorder;
+  EXPECT_FALSE(recorder.enabled());
+  recorder.record(10, 42, TxnEventKind::kRequestSent, 0, 1, 5.0);
+  EXPECT_TRUE(recorder.snapshot().empty());
+  EXPECT_EQ(recorder.recorded(), 0u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+}
+
+TEST(FlightRecorder, RecordsInOrder) {
+  FlightRecorder recorder;
+  recorder.enable(8);
+  recorder.record(10, 1, TxnEventKind::kRequestSent, 0, 1, 5.0);
+  recorder.record(20, 1, TxnEventKind::kRequestServed, 1, 0, 4.0);
+  recorder.record(30, 1, TxnEventKind::kGrantReceived, 0, 1, 4.0);
+
+  std::vector<TxnRecord> events = recorder.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, TxnEventKind::kRequestSent);
+  EXPECT_EQ(events[1].kind, TxnEventKind::kRequestServed);
+  EXPECT_EQ(events[2].kind, TxnEventKind::kGrantReceived);
+  EXPECT_EQ(events[0].at, 10);
+  EXPECT_EQ(events[2].watts, 4.0);
+  EXPECT_EQ(recorder.recorded(), 3u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+}
+
+TEST(FlightRecorder, RingWrapKeepsNewestAndCountsDropped) {
+  FlightRecorder recorder;
+  recorder.enable(4);
+  for (int i = 0; i < 10; ++i) {
+    recorder.record(i, static_cast<std::uint64_t>(i),
+                    TxnEventKind::kApplied, 0, -1, 1.0);
+  }
+  std::vector<TxnRecord> events = recorder.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-to-newest: the last four records survive.
+  EXPECT_EQ(events[0].at, 6);
+  EXPECT_EQ(events[3].at, 9);
+  EXPECT_EQ(recorder.recorded(), 10u);
+  EXPECT_EQ(recorder.dropped(), 6u);
+}
+
+TEST(FlightRecorder, ForTxnFiltersJournal) {
+  FlightRecorder recorder;
+  recorder.enable(16);
+  recorder.record(1, 7, TxnEventKind::kRequestSent, 0, 1, 5.0);
+  recorder.record(2, 9, TxnEventKind::kRequestSent, 2, 3, 5.0);
+  recorder.record(3, 7, TxnEventKind::kTimeout, 0, 1, 0.0);
+
+  std::vector<TxnRecord> events = recorder.for_txn(7);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, TxnEventKind::kRequestSent);
+  EXPECT_EQ(events[1].kind, TxnEventKind::kTimeout);
+  EXPECT_TRUE(recorder.for_txn(12345).empty());
+}
+
+TEST(FlightRecorder, ReEnableClearsJournal) {
+  FlightRecorder recorder;
+  recorder.enable(4);
+  recorder.record(1, 1, TxnEventKind::kApplied, 0, -1, 1.0);
+  recorder.enable(4);
+  EXPECT_TRUE(recorder.snapshot().empty());
+  recorder.enable(0);
+  EXPECT_FALSE(recorder.enabled());
+  recorder.record(2, 2, TxnEventKind::kApplied, 0, -1, 1.0);
+  EXPECT_TRUE(recorder.snapshot().empty());
+}
+
+TEST(FlightRecorder, EventNamesAreStable) {
+  EXPECT_STREQ(txn_event_name(TxnEventKind::kRequestSent),
+               "request_sent");
+  EXPECT_STREQ(txn_event_name(TxnEventKind::kStranded), "stranded");
+  EXPECT_STREQ(txn_event_name(TxnEventKind::kDuplicateDropped),
+               "duplicate_dropped");
+}
+
+TEST(FlightRecorder, ConcurrentRecordsAllLand) {
+  FlightRecorder recorder;
+  constexpr int kThreads = 4;
+  constexpr int kEvents = 5'000;
+  recorder.enable(kThreads * kEvents);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder, t] {
+      for (int i = 0; i < kEvents; ++i) {
+        recorder.record(i, static_cast<std::uint64_t>(t + 1),
+                        TxnEventKind::kBanked, t, -1, 0.5);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(recorder.recorded(),
+            static_cast<std::uint64_t>(kThreads) * kEvents);
+  EXPECT_EQ(recorder.dropped(), 0u);
+  EXPECT_EQ(recorder.snapshot().size(),
+            static_cast<std::size_t>(kThreads) * kEvents);
+}
+
+}  // namespace
+}  // namespace penelope::telemetry

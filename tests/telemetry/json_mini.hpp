@@ -1,0 +1,225 @@
+// Minimal recursive-descent JSON parser for tests: strict enough to
+// prove exporter output is well-formed JSON a real tool would load,
+// small enough to live next to the tests that use it. Not a library —
+// test-only.
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace penelope::testjson {
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::map<std::string, Value> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  bool has(const std::string& key) const {
+    return kind == Kind::kObject && object.count(key) > 0;
+  }
+  const Value& at(const std::string& key) const {
+    static const Value kNullValue;
+    auto it = object.find(key);
+    return it == object.end() ? kNullValue : it->second;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  /// Parses the whole input; sets ok=false on any syntax error or
+  /// trailing garbage.
+  Value parse(bool* ok) {
+    Value v = parse_value();
+    skip_ws();
+    *ok = !failed_ && pos_ == text_.size();
+    return v;
+  }
+
+ private:
+  void fail() { failed_ = true; }
+  char peek() { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  char next() { return pos_ < text_.size() ? text_[pos_++] : '\0'; }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool consume(const char* literal) {
+    std::size_t len = std::string(literal).size();
+    if (text_.compare(pos_, len, literal) != 0) {
+      fail();
+      return false;
+    }
+    pos_ += len;
+    return true;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    if (failed_) return {};
+    char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return parse_string();
+      case 't': {
+        Value v;
+        v.kind = Value::Kind::kBool;
+        v.boolean = true;
+        consume("true");
+        return v;
+      }
+      case 'f': {
+        Value v;
+        v.kind = Value::Kind::kBool;
+        consume("false");
+        return v;
+      }
+      case 'n':
+        consume("null");
+        return {};
+      default: return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    Value v;
+    v.kind = Value::Kind::kObject;
+    next();  // '{'
+    skip_ws();
+    if (peek() == '}') {
+      next();
+      return v;
+    }
+    while (!failed_) {
+      skip_ws();
+      Value key = parse_string();
+      skip_ws();
+      if (next() != ':') {
+        fail();
+        break;
+      }
+      v.object[key.string] = parse_value();
+      skip_ws();
+      char c = next();
+      if (c == '}') break;
+      if (c != ',') {
+        fail();
+        break;
+      }
+    }
+    return v;
+  }
+
+  Value parse_array() {
+    Value v;
+    v.kind = Value::Kind::kArray;
+    next();  // '['
+    skip_ws();
+    if (peek() == ']') {
+      next();
+      return v;
+    }
+    while (!failed_) {
+      v.array.push_back(parse_value());
+      skip_ws();
+      char c = next();
+      if (c == ']') break;
+      if (c != ',') {
+        fail();
+        break;
+      }
+    }
+    return v;
+  }
+
+  Value parse_string() {
+    Value v;
+    v.kind = Value::Kind::kString;
+    if (next() != '"') {
+      fail();
+      return v;
+    }
+    while (!failed_) {
+      char c = next();
+      if (c == '"') break;
+      if (c == '\0') {
+        fail();
+        break;
+      }
+      if (c == '\\') {
+        char esc = next();
+        switch (esc) {
+          case '"': v.string += '"'; break;
+          case '\\': v.string += '\\'; break;
+          case '/': v.string += '/'; break;
+          case 'b': v.string += '\b'; break;
+          case 'f': v.string += '\f'; break;
+          case 'n': v.string += '\n'; break;
+          case 'r': v.string += '\r'; break;
+          case 't': v.string += '\t'; break;
+          case 'u': {
+            // Tests only emit ASCII escapes; decode the code unit
+            // directly.
+            std::string hex;
+            for (int i = 0; i < 4; ++i) hex += next();
+            v.string +=
+                static_cast<char>(std::strtol(hex.c_str(), nullptr, 16));
+            break;
+          }
+          default: fail(); break;
+        }
+        continue;
+      }
+      v.string += c;
+    }
+    return v;
+  }
+
+  Value parse_number() {
+    Value v;
+    v.kind = Value::Kind::kNumber;
+    std::size_t start = pos_;
+    if (peek() == '-') next();
+    while (std::isdigit(static_cast<unsigned char>(peek())) ||
+           peek() == '.' || peek() == 'e' || peek() == 'E' ||
+           peek() == '+' || peek() == '-') {
+      next();
+    }
+    if (pos_ == start) {
+      fail();
+      return v;
+    }
+    char* end = nullptr;
+    std::string token = text_.substr(start, pos_ - start);
+    v.number = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') fail();
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+inline Value parse_json(const std::string& text, bool* ok) {
+  return Parser(text).parse(ok);
+}
+
+}  // namespace penelope::testjson

@@ -1,0 +1,134 @@
+#include "telemetry/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace penelope::telemetry {
+namespace {
+
+TEST(Registry, DefaultHandlesAreNoOpSinks) {
+  Counter c;
+  Gauge g;
+  Histogram h;
+  c.inc();
+  g.set(5.0);
+  g.add(1.0);
+  h.observe(3.0);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(Registry, CounterAccumulates) {
+  MetricsRegistry registry;
+  Counter c = registry.counter("events_total", {}, "test counter");
+  c.inc();
+  c.inc(4);
+  EXPECT_EQ(c.value(), 5u);
+}
+
+TEST(Registry, ReRegistrationReturnsSameCell) {
+  MetricsRegistry registry;
+  Counter a = registry.counter("shared_total");
+  Counter b = registry.counter("shared_total");
+  a.inc(3);
+  b.inc(2);
+  EXPECT_EQ(a.value(), 5u);
+  EXPECT_EQ(b.value(), 5u);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(Registry, LabelsDistinguishSeries) {
+  MetricsRegistry registry;
+  Counter a = registry.counter("grants_total", {{"node", "0"}});
+  Counter b = registry.counter("grants_total", {{"node", "1"}});
+  a.inc(7);
+  b.inc(1);
+  EXPECT_EQ(a.value(), 7u);
+  EXPECT_EQ(b.value(), 1u);
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(Registry, GaugeSetAndAdd) {
+  MetricsRegistry registry;
+  Gauge g = registry.gauge("pool_watts");
+  g.set(80.0);
+  g.add(-12.5);
+  EXPECT_DOUBLE_EQ(g.value(), 67.5);
+}
+
+TEST(Registry, HistogramBucketsAndOverflow) {
+  MetricsRegistry registry;
+  Histogram h = registry.histogram("latency_ms", 0.0, 10.0, 5);
+  h.observe(-1.0);   // underflow
+  h.observe(0.5);    // bucket 0
+  h.observe(9.5);    // bucket 4
+  h.observe(100.0);  // overflow
+  EXPECT_EQ(h.count(), 4u);
+
+  std::vector<MetricSample> samples = registry.snapshot();
+  ASSERT_EQ(samples.size(), 1u);
+  ASSERT_TRUE(samples[0].histogram.has_value());
+  const HistogramSnapshot& snap = *samples[0].histogram;
+  ASSERT_EQ(snap.counts.size(), 5u);
+  EXPECT_EQ(snap.underflow, 1u);
+  EXPECT_EQ(snap.overflow, 1u);
+  EXPECT_EQ(snap.total, 4u);
+  EXPECT_EQ(snap.counts[0], 1u);
+  EXPECT_EQ(snap.counts[4], 1u);
+  EXPECT_DOUBLE_EQ(snap.upper_bounds.back(), 10.0);
+  EXPECT_NEAR(snap.sum, 109.0, 1e-9);
+}
+
+TEST(Registry, SnapshotSortedByNameThenLabels) {
+  MetricsRegistry registry;
+  registry.counter("zeta_total");
+  registry.counter("alpha_total", {{"node", "1"}});
+  registry.counter("alpha_total", {{"node", "0"}});
+  std::vector<MetricSample> samples = registry.snapshot();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].name, "alpha_total");
+  EXPECT_EQ(samples[0].labels[0].second, "0");
+  EXPECT_EQ(samples[1].name, "alpha_total");
+  EXPECT_EQ(samples[1].labels[0].second, "1");
+  EXPECT_EQ(samples[2].name, "zeta_total");
+}
+
+TEST(Registry, ShardedCounterExactUnderContention) {
+  MetricsRegistry registry(Concurrency::kSharded);
+  Counter c = registry.counter("contended_total");
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 50'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kIncrements; ++i) c.inc();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(c.value(),
+            static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(Registry, ShardedHistogramExactTotalUnderContention) {
+  MetricsRegistry registry(Concurrency::kSharded);
+  Histogram h = registry.histogram("contended_hist", 0.0, 1.0, 4);
+  constexpr int kThreads = 4;
+  constexpr int kObservations = 20'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kObservations; ++i) {
+        h.observe(static_cast<double>(t) / kThreads);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(h.count(),
+            static_cast<std::uint64_t>(kThreads) * kObservations);
+}
+
+}  // namespace
+}  // namespace penelope::telemetry
