@@ -164,11 +164,11 @@ void BM_NetworkRoundTrip(benchmark::State& state) {
   std::uint64_t delivered = 0;
   net.register_endpoint(1, [&](const net::Message& m) {
     ++delivered;
-    net.send(1, 0, m.id);
+    net.send(1, 0, core::PowerGrant{42.0, m.id, -1});
   });
   net.register_endpoint(0, [&](const net::Message&) { ++delivered; });
   for (auto _ : state) {
-    net.send(0, 1, 42);
+    net.send(0, 1, core::PowerRequest{false, 42.0, 1});
     sim.run();
   }
   benchmark::DoNotOptimize(delivered);

@@ -1,0 +1,208 @@
+// Message-fabric microbenchmark: send→deliver throughput (ping-pong
+// round trip) and fan-out burst, plus a steady-state allocation check.
+//
+// Intentionally self-contained (no google-benchmark) and written
+// against the API surface both the pre-variant and post-variant trees
+// share, so the exact same source builds in a seed worktree for the
+// interleaved A/B comparison documented in BENCH_net.json (method
+// follows BENCH_sim.json: same-session alternating runs, medians per
+// side).
+//
+// Modes:
+//   bench_network                 throughput numbers (items_per_second)
+//   bench_network --min-time=S    longer measurement window
+//   bench_network --alloc-check   assert zero heap allocations on the
+//                                 warm message path (ctest: net.zero_alloc)
+//
+// The allocation check replaces global operator new/delete with
+// counting hooks: after a warm-up phase (slab, free lists, and event
+// heap reach their high-water marks), tens of thousands of further
+// send→deliver rounds must not touch the allocator at all.
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include "core/protocol.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_heap_allocs{0};
+
+void* counted_alloc(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t alignment) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, alignment, size ? size : alignment) != 0)
+    throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(alignment));
+}
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(alignment));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+using namespace penelope;
+
+/// Ping-pong: node 0 sends a request, node 1 answers with a grant; one
+/// round = 2 sends + 2 deliveries through the full latency machinery.
+struct RoundTripWorld {
+  sim::Simulator sim;
+  net::Network net{sim, net::NetworkConfig{}};
+  std::uint64_t delivered = 0;
+
+  RoundTripWorld() {
+    net.register_endpoint(1, [this](const net::Message& m) {
+      ++delivered;
+      net.send(1, 0, core::PowerGrant{42.0, m.id, -1});
+    });
+    net.register_endpoint(0,
+                          [this](const net::Message&) { ++delivered; });
+  }
+
+  std::size_t round() {
+    net.send(0, 1, core::PowerRequest{false, 42.0, 1});
+    sim.run();
+    return 2;
+  }
+};
+
+/// Fan-out burst: one hub floods 64 peers in a single event-queue
+/// drain — the completion-burst traffic shape of the scale study.
+struct FanoutWorld {
+  static constexpr int kPeers = 64;
+  sim::Simulator sim;
+  net::Network net{sim, net::NetworkConfig{}};
+  std::uint64_t delivered = 0;
+  std::uint64_t txn = 0;
+
+  FanoutWorld() {
+    for (int i = 0; i < kPeers; ++i) {
+      net.register_endpoint(
+          i + 1, [this](const net::Message&) { ++delivered; });
+    }
+  }
+
+  std::size_t round() {
+    for (int i = 0; i < kPeers; ++i)
+      net.send(0, i + 1, core::PowerPush{1.0, ++txn});
+    sim.run();
+    return kPeers;
+  }
+};
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+template <typename World>
+double items_per_second(double min_seconds) {
+  World world;
+  for (int i = 0; i < 500; ++i) world.round();  // warm-up
+  std::uint64_t items = 0;
+  auto start = std::chrono::steady_clock::now();
+  double elapsed = 0.0;
+  do {
+    for (int i = 0; i < 500; ++i) items += world.round();
+    elapsed = seconds_since(start);
+  } while (elapsed < min_seconds);
+  return static_cast<double>(items) / elapsed;
+}
+
+template <typename World>
+int alloc_check(const char* name, int warm_rounds, int measured_rounds) {
+  World world;
+  for (int i = 0; i < warm_rounds; ++i) world.round();
+  std::uint64_t before = g_heap_allocs.load(std::memory_order_relaxed);
+  std::size_t items = 0;
+  for (int i = 0; i < measured_rounds; ++i) items += world.round();
+  std::uint64_t delta =
+      g_heap_allocs.load(std::memory_order_relaxed) - before;
+  std::printf("%-10s %" PRIu64
+              " heap allocations across %d rounds (%zu messages): %s\n",
+              name, delta, measured_rounds, items,
+              delta == 0 ? "PASS" : "FAIL");
+  return delta == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check = false;
+  double min_seconds = 0.5;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--alloc-check") == 0) {
+      check = true;
+    } else if (std::strncmp(argv[i], "--min-time=", 11) == 0) {
+      min_seconds = std::atof(argv[i] + 11);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_network [--alloc-check] "
+                   "[--min-time=SECONDS]\n");
+      return 2;
+    }
+  }
+
+  if (check) {
+    int failures = 0;
+    failures += alloc_check<RoundTripWorld>("roundtrip", 2000, 20000);
+    failures += alloc_check<FanoutWorld>("fanout64", 200, 2000);
+    return failures == 0 ? 0 : 1;
+  }
+
+  std::printf("BM_NetRoundTrip  items_per_second=%.0f\n",
+              items_per_second<RoundTripWorld>(min_seconds));
+  std::printf("BM_NetFanout64   items_per_second=%.0f\n",
+              items_per_second<FanoutWorld>(min_seconds));
+  return 0;
+}

@@ -6,17 +6,19 @@
 // Penelope does not either. As scale increases ... the gap in
 // redistribution time remains essentially unchanged."
 //
-// Options: scales=44,88,... reps=3 quick=1 seed=S
+// Options: scales=44,88,... reps=3 quick=1 seed=S jobs=N
 #include "cluster/scale.hpp"
 
 #include "bench_common.hpp"
+#include "sweep/sweep.hpp"
 
 using namespace penelope;
 using namespace penelope::bench;
 
 int main(int argc, char** argv) {
   const std::string usage =
-      "bench_redist_scale [scales=44,88,...] [reps=3] [quick=1] [seed=S]";
+      "bench_redist_scale [scales=44,88,...] [reps=3] [quick=1] [seed=S]\n"
+      "  [jobs=N]  (jobs=0: one per core; output identical to jobs=1)";
   common::Config config = parse_or_die(argc, argv, usage);
   bool quick = config.get_bool("quick", false);
   std::vector<int> scales = config.get_int_list(
@@ -24,27 +26,40 @@ int main(int argc, char** argv) {
                       : std::vector<int>{44, 88, 176, 352, 704, 1056});
   int reps = config.get_int("reps", quick ? 1 : 3);
   auto seed = static_cast<std::uint64_t>(config.get_int("seed", 42));
+  int jobs = config.get_int("jobs", 1);
   reject_unused(config, usage);
 
-  common::Table fig6({"nodes", "slurm_median_s", "penelope_median_s",
-                      "gap_s"});
-
+  // Every (scale, rep, manager) run is independent: enumerate them all
+  // up front and run through the sweep engine. Results come back in
+  // enumeration order, so the table below is byte-identical at any
+  // jobs=N.
+  std::vector<cluster::ScaleConfig> points;
   for (int nodes : scales) {
-    std::vector<double> slurm_median;
-    std::vector<double> pen_median;
     for (int r = 0; r < reps; ++r) {
       cluster::ScaleConfig sc;
       sc.n_nodes = nodes;
       sc.frequency_hz = 1.0;
       sc.seed = seed + static_cast<std::uint64_t>(r);
       sc.window_seconds = 160.0;
-
       sc.manager = cluster::ManagerKind::kCentral;
-      slurm_median.push_back(
-          run_scale_experiment(sc).median_redistribution_s);
+      points.push_back(sc);
       sc.manager = cluster::ManagerKind::kPenelope;
-      pen_median.push_back(
-          run_scale_experiment(sc).median_redistribution_s);
+      points.push_back(sc);
+    }
+  }
+  std::vector<cluster::ScaleResult> results =
+      sweep::run_scale_sweep(points, jobs);
+
+  common::Table fig6({"nodes", "slurm_median_s", "penelope_median_s",
+                      "gap_s"});
+
+  std::size_t k = 0;
+  for (int nodes : scales) {
+    std::vector<double> slurm_median;
+    std::vector<double> pen_median;
+    for (int r = 0; r < reps; ++r) {
+      slurm_median.push_back(results[k++].median_redistribution_s);
+      pen_median.push_back(results[k++].median_redistribution_s);
     }
     double slurm = common::median(slurm_median);
     double pen = common::median(pen_median);

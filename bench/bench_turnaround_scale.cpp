@@ -6,20 +6,22 @@
 // in the tens of milliseconds at 1056 nodes; Penelope stays flat because
 // the same load is split over N pools.
 //
-// Options: scales=44,... reps=3 quick=1 seed=S
+// Options: scales=44,... reps=3 quick=1 seed=S jobs=N
 #include "cluster/scale.hpp"
 
 #include <algorithm>
 
 #include "bench_common.hpp"
 #include "common/histogram.hpp"
+#include "sweep/sweep.hpp"
 
 using namespace penelope;
 using namespace penelope::bench;
 
 int main(int argc, char** argv) {
   const std::string usage =
-      "bench_turnaround_scale [scales=44,...] [reps=3] [quick=1] [seed=S]";
+      "bench_turnaround_scale [scales=44,...] [reps=3] [quick=1] [seed=S]\n"
+      "  [jobs=N]  (jobs=0: one per core; output identical to jobs=1)";
   common::Config config = parse_or_die(argc, argv, usage);
   bool quick = config.get_bool("quick", false);
   std::vector<int> scales = config.get_int_list(
@@ -27,7 +29,28 @@ int main(int argc, char** argv) {
                       : std::vector<int>{44, 88, 176, 352, 704, 1056});
   int reps = config.get_int("reps", quick ? 1 : 3);
   auto seed = static_cast<std::uint64_t>(config.get_int("seed", 42));
+  int jobs = config.get_int("jobs", 1);
   reject_unused(config, usage);
+
+  // Enumerate all (scale, rep, manager) runs, execute via the sweep
+  // engine, then aggregate in enumeration order — same bytes out at any
+  // jobs=N.
+  std::vector<cluster::ScaleConfig> points;
+  for (int nodes : scales) {
+    for (int r = 0; r < reps; ++r) {
+      cluster::ScaleConfig sc;
+      sc.n_nodes = nodes;
+      sc.frequency_hz = 1.0;
+      sc.seed = seed + static_cast<std::uint64_t>(r);
+      sc.window_seconds = 30.0;
+      sc.manager = cluster::ManagerKind::kCentral;
+      points.push_back(sc);
+      sc.manager = cluster::ManagerKind::kPenelope;
+      points.push_back(sc);
+    }
+  }
+  std::vector<cluster::ScaleResult> results =
+      sweep::run_scale_sweep(points, jobs);
 
   common::Table fig8({"nodes", "slurm_mean_ms", "slurm_p99_ms",
                       "penelope_mean_ms", "penelope_p99_ms",
@@ -35,28 +58,21 @@ int main(int argc, char** argv) {
 
   std::vector<double> largest_scale_samples;
   int largest_scale = 0;
+  std::size_t k = 0;
   for (int nodes : scales) {
     common::OnlineStats slurm_mean;
     common::OnlineStats slurm_p99;
     common::OnlineStats pen_mean;
     common::OnlineStats pen_p99;
     for (int r = 0; r < reps; ++r) {
-      cluster::ScaleConfig sc;
-      sc.n_nodes = nodes;
-      sc.frequency_hz = 1.0;
-      sc.seed = seed + static_cast<std::uint64_t>(r);
-      sc.window_seconds = 30.0;
-
-      sc.manager = cluster::ManagerKind::kCentral;
-      cluster::ScaleResult slurm = run_scale_experiment(sc);
+      const cluster::ScaleResult& slurm = results[k++];
       slurm_mean.add(slurm.mean_turnaround_ms);
       slurm_p99.add(slurm.p99_turnaround_ms);
       if (nodes >= largest_scale && r == 0) {
         largest_scale = nodes;
         largest_scale_samples = slurm.turnaround_ms;
       }
-      sc.manager = cluster::ManagerKind::kPenelope;
-      cluster::ScaleResult pen = run_scale_experiment(sc);
+      const cluster::ScaleResult& pen = results[k++];
       pen_mean.add(pen.mean_turnaround_ms);
       pen_p99.add(pen.p99_turnaround_ms);
     }

@@ -14,6 +14,7 @@
 #include "cluster/cluster.hpp"
 #include "common/config.hpp"
 #include "common/stats.hpp"
+#include "sweep/sweep.hpp"
 #include "telemetry/export.hpp"
 #include "workload/npb.hpp"
 
@@ -29,7 +30,11 @@ const char* kUsage =
     "  [kill_mgmt_node=I] [kill_mgmt_at=S] [urgency=1]\n"
     "  [sticky_peers=0] [hint_discovery=0] [local_take=drain|limited]\n"
     "  [trace=FILE] [trace_ms=1000] [trace_format=csv|jsonl|both]\n"
-    "  [flight_recorder=N] [perfetto=FILE.json] [metrics=FILE.prom]";
+    "  [flight_recorder=N] [perfetto=FILE.json] [metrics=FILE.prom]\n"
+    "sweep mode (prints one table row per run; parallel output is\n"
+    "byte-identical to jobs=1):\n"
+    "  [seeds=1,2,3] [managers=penelope,central] [jobs=N] "
+    "[sweep_csv=FILE]";
 
 bool write_text_file(const std::string& path, const std::string& text) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -48,6 +53,36 @@ bool parse_app(const std::string& name, workload::NpbApp* out) {
   return false;
 }
 
+bool parse_manager(const std::string& name, cluster::ManagerKind* out) {
+  if (name == "penelope") {
+    *out = cluster::ManagerKind::kPenelope;
+  } else if (name == "central" || name == "slurm") {
+    *out = cluster::ManagerKind::kCentral;
+  } else if (name == "fair") {
+    *out = cluster::ManagerKind::kFair;
+  } else if (name == "podd" || name == "hierarchical") {
+    *out = cluster::ManagerKind::kHierarchical;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::vector<std::string> split_csv(const std::string& list) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    std::size_t comma = list.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(list.substr(start));
+      break;
+    }
+    out.push_back(list.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -60,13 +95,7 @@ int main(int argc, char** argv) {
 
   cluster::ClusterConfig cc;
   std::string manager = config.get_string("manager", "penelope");
-  if (manager == "penelope") {
-    cc.manager = cluster::ManagerKind::kPenelope;
-  } else if (manager == "central" || manager == "slurm") {
-    cc.manager = cluster::ManagerKind::kCentral;
-  } else if (manager == "fair") {
-    cc.manager = cluster::ManagerKind::kFair;
-  } else {
+  if (!parse_manager(manager, &cc.manager)) {
     std::fprintf(stderr, "error: unknown manager '%s'\n%s\n",
                  manager.c_str(), kUsage);
     return 2;
@@ -139,10 +168,65 @@ int main(int argc, char** argv) {
   npb.demand_jitter_frac = 0.02;
   npb.seed = cc.seed;
 
+  // Sweep mode: seeds= and/or managers= expand into independent runs
+  // executed by the parallel sweep engine (src/sweep). The result table
+  // is ordered by the spec expansion, never by completion, so jobs=N
+  // output is byte-identical to jobs=1.
+  int jobs = config.get_int("jobs", 1);
+  std::vector<int> seed_list = config.get_int_list("seeds", {});
+  std::string managers_list = config.get_string("managers", "");
+  std::string sweep_csv = config.get_string("sweep_csv", "");
+  bool sweep_mode = !seed_list.empty() || !managers_list.empty();
+
   for (const auto& key : config.unused_keys()) {
     std::fprintf(stderr, "error: unknown option '%s'\n%s\n", key.c_str(),
                  kUsage);
     return 2;
+  }
+
+  if (sweep_mode) {
+    if (!trace_path.empty() || !perfetto_path.empty() ||
+        !metrics_path.empty()) {
+      std::fprintf(stderr, "error: trace/perfetto/metrics are single-run "
+                           "options (not available with seeds=/managers= "
+                           "sweeps)\n%s\n",
+                   kUsage);
+      return 2;
+    }
+    sweep::SweepSpec spec;
+    spec.configs = {cc};
+    spec.app_a = app_a;
+    spec.app_b = app_b;
+    spec.npb = npb;
+    if (managers_list.empty()) {
+      spec.managers = {cc.manager};
+    } else {
+      for (const std::string& name : split_csv(managers_list)) {
+        cluster::ManagerKind kind;
+        if (!parse_manager(name, &kind)) {
+          std::fprintf(stderr, "error: unknown manager '%s'\n%s\n",
+                       name.c_str(), kUsage);
+          return 2;
+        }
+        spec.managers.push_back(kind);
+      }
+    }
+    if (seed_list.empty()) {
+      spec.seeds = {cc.seed};
+    } else {
+      for (int s : seed_list)
+        spec.seeds.push_back(static_cast<std::uint64_t>(s));
+    }
+
+    std::vector<sweep::SweepRunResult> results =
+        sweep::run_sweep(spec, jobs);
+    common::Table table = sweep::sweep_table(spec, results);
+    std::printf("%s", table.render().c_str());
+    if (!sweep_csv.empty() && table.write_csv(sweep_csv))
+      std::printf("csv -> %s\n", sweep_csv.c_str());
+    for (const auto& r : results)
+      if (!r.result.all_completed) return 1;
+    return 0;
   }
 
   cluster::Cluster cl(

@@ -3,11 +3,15 @@
 // central and peer-to-peer systems side by side. A condensed version of
 // what bench_redist_scale / bench_turnaround_scale sweep in full.
 //
-// Usage: ./examples/scale_study [scales=32,128,512] [freq=1]
+// All (scale, manager) runs are independent, so they execute through
+// the parallel sweep engine; output is byte-identical at any jobs=N.
+//
+// Usage: ./examples/scale_study [scales=32,128,512] [freq=1] [jobs=1]
 #include <cstdio>
 
 #include "cluster/scale.hpp"
 #include "common/config.hpp"
+#include "sweep/sweep.hpp"
 
 using namespace penelope;
 
@@ -15,12 +19,29 @@ int main(int argc, char** argv) {
   common::Config config;
   if (!config.parse_args(argc, argv)) {
     std::fprintf(stderr,
-                 "usage: scale_study [scales=32,128,512] [freq=1]\n");
+                 "usage: scale_study [scales=32,128,512] [freq=1] "
+                 "[jobs=1]\n");
     return 2;
   }
   std::vector<int> scales =
       config.get_int_list("scales", {32, 128, 512});
   double freq = config.get_double("freq", 1.0);
+  int jobs = config.get_int("jobs", 1);
+
+  std::vector<cluster::ScaleConfig> points;
+  for (int nodes : scales) {
+    cluster::ScaleConfig sc;
+    sc.n_nodes = nodes;
+    sc.frequency_hz = freq;
+    sc.window_seconds = 120.0;
+    sc.seed = 3;
+    sc.manager = cluster::ManagerKind::kCentral;
+    points.push_back(sc);
+    sc.manager = cluster::ManagerKind::kPenelope;
+    points.push_back(sc);
+  }
+  std::vector<cluster::ScaleResult> results =
+      sweep::run_scale_sweep(points, jobs);
 
   std::printf("completion burst: half the cluster finishes and its power "
               "must reach the other half\n");
@@ -29,18 +50,10 @@ int main(int argc, char** argv) {
   std::printf("%-7s | %10s %11s | %10s %11s\n", "nodes", "t50 (s)",
               "wait (ms)", "t50 (s)", "wait (ms)");
 
+  std::size_t k = 0;
   for (int nodes : scales) {
-    cluster::ScaleConfig sc;
-    sc.n_nodes = nodes;
-    sc.frequency_hz = freq;
-    sc.window_seconds = 120.0;
-    sc.seed = 3;
-
-    sc.manager = cluster::ManagerKind::kCentral;
-    cluster::ScaleResult central = run_scale_experiment(sc);
-    sc.manager = cluster::ManagerKind::kPenelope;
-    cluster::ScaleResult penelope = run_scale_experiment(sc);
-
+    const cluster::ScaleResult& central = results[k++];
+    const cluster::ScaleResult& penelope = results[k++];
     std::printf("%-7d | %10.2f %11.3f | %10.2f %11.3f\n", nodes,
                 central.median_redistribution_s,
                 central.mean_turnaround_ms,

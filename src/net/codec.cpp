@@ -1,7 +1,9 @@
 #include "net/codec.hpp"
 
+#include <array>
 #include <bit>
 #include <cstring>
+#include <utility>
 
 #include "common/check.hpp"
 
@@ -245,6 +247,35 @@ std::optional<WirePayload> decode(const std::uint8_t* data,
 
 std::optional<WirePayload> decode(const std::vector<std::uint8_t>& buf) {
   return decode(buf.data(), buf.size());
+}
+
+namespace {
+
+// All message types are fixed-size, so the wire cost of a Payload is a
+// function of its alternative index alone. Deriving the table from
+// encoded_size keeps the codec the single source of truth.
+template <std::size_t I>
+std::size_t alternative_wire_size() {
+  using T = std::variant_alternative_t<I, Payload>;
+  if constexpr (std::is_same_v<T, std::monostate>) {
+    return 0;
+  } else {
+    return encoded_size(WirePayload{T{}});
+  }
+}
+
+template <std::size_t... Is>
+std::array<std::size_t, sizeof...(Is)> make_payload_sizes(
+    std::index_sequence<Is...>) {
+  return {alternative_wire_size<Is>()...};
+}
+
+}  // namespace
+
+std::size_t payload_wire_bytes(const Payload& payload) {
+  static const auto kSizes = make_payload_sizes(
+      std::make_index_sequence<std::variant_size_v<Payload>>{});
+  return kSizes[payload.index()];
 }
 
 }  // namespace penelope::net

@@ -1,7 +1,8 @@
 // Binary wire codec for every protocol message in the system.
 //
-// The simulator passes payloads as std::any, but a real deployment of
-// Penelope speaks over sockets; this codec defines that wire format and
+// The simulator passes payloads as the inline net::Payload variant, but
+// a real deployment of Penelope speaks over sockets; this codec defines
+// that wire format and
 // round-trips every message type the managers exchange. Encoding is a
 // 1-byte type tag followed by fixed-width little-endian fields — no
 // varints, no padding, no host-endianness leaks — so a packet is
@@ -20,6 +21,7 @@
 #include "central/protocol.hpp"
 #include "core/protocol.hpp"
 #include "hierarchy/protocol.hpp"
+#include "net/message.hpp"
 
 namespace penelope::net {
 
@@ -54,5 +56,11 @@ std::optional<WirePayload> decode(const std::vector<std::uint8_t>& buf);
 
 /// Encoded size of a payload (for buffer pre-sizing).
 std::size_t encoded_size(const WirePayload& payload);
+
+/// Wire-encoded size of a simulator Payload: what this message would
+/// cost on a real fabric. Zero for monostate (an empty Message never
+/// crosses a wire). One table lookup — safe on the zero-allocation
+/// send path; feeds NetworkStats::payload_bytes_sent.
+std::size_t payload_wire_bytes(const Payload& payload);
 
 }  // namespace penelope::net

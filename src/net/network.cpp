@@ -5,19 +5,35 @@
 
 #include "common/check.hpp"
 #include "common/log.hpp"
+#include "net/codec.hpp"
 
 namespace penelope::net {
+
+namespace {
+
+// Grow a dense NodeId-indexed table so `node` is a valid index.
+template <typename T>
+void ensure_slot(std::vector<T>& table, NodeId node, const T& fill) {
+  if (static_cast<std::size_t>(node) >= table.size())
+    table.resize(static_cast<std::size_t>(node) + 1, fill);
+}
+
+}  // namespace
 
 Network::Network(sim::Simulator& sim, NetworkConfig config)
     : sim_(sim), config_(config), rng_(config.seed) {}
 
 void Network::register_endpoint(NodeId node, Handler handler) {
-  PEN_CHECK(node != kNoNode);
+  PEN_CHECK(node != kNoNode && node >= 0);
   PEN_CHECK(handler != nullptr);
-  endpoints_[node] = std::move(handler);
+  ensure_slot(endpoints_, node, Handler{});
+  endpoints_[static_cast<std::size_t>(node)] = std::move(handler);
 }
 
-void Network::remove_endpoint(NodeId node) { endpoints_.erase(node); }
+void Network::remove_endpoint(NodeId node) {
+  if (node >= 0 && static_cast<std::size_t>(node) < endpoints_.size())
+    endpoints_[static_cast<std::size_t>(node)] = nullptr;
+}
 
 common::Ticks Network::sample_latency() {
   double jitter = rng_.normal(
@@ -28,14 +44,14 @@ common::Ticks Network::sample_latency() {
 
 bool Network::same_island(NodeId a, NodeId b) const {
   if (!partitioned_) return true;
-  auto island = [this](NodeId n) {
-    auto it = island_of_.find(n);
-    return it == island_of_.end() ? -1 : it->second;
+  auto island = [this](NodeId n) -> std::int32_t {
+    if (n < 0 || static_cast<std::size_t>(n) >= island_of_.size()) return -1;
+    return island_of_[static_cast<std::size_t>(n)];
   };
   return island(a) == island(b);
 }
 
-std::uint64_t Network::send(NodeId src, NodeId dst, std::any payload) {
+std::uint64_t Network::send(NodeId src, NodeId dst, Payload payload) {
   if (!node_alive(src)) {
     ++stats_.dropped_dead_node;
     return 0;
@@ -46,7 +62,8 @@ std::uint64_t Network::send(NodeId src, NodeId dst, std::any payload) {
   msg.dst = dst;
   msg.id = next_msg_id_++;
   msg.sent_at = sim_.now();
-  msg.payload = std::move(payload);
+  msg.payload = payload;
+  stats_.payload_bytes_sent += payload_wire_bytes(msg.payload);
 
   if (rng_.chance(config_.loss_probability)) {
     ++stats_.dropped_loss;
@@ -63,11 +80,15 @@ std::uint64_t Network::send(NodeId src, NodeId dst, std::any payload) {
   if (rng_.chance(config_.duplicate_probability)) {
     ++stats_.duplicated;
     copies_[id] = CopyState{2, false};
+    // The copy shares the original's payload bytes by trivial copy of the
+    // inline variant — cheaper than a shared_ptr indirection would be
+    // (no allocation, no refcount; measured in BENCH_net.json), and the
+    // payload stays immutable because handlers only see `const Message&`.
     Message copy = msg;
     copy.duplicate = true;
-    schedule_copy(std::move(copy));
+    schedule_copy(copy);
   }
-  schedule_copy(std::move(msg));
+  schedule_copy(msg);
   return id;
 }
 
@@ -82,17 +103,32 @@ common::Ticks Network::sample_copy_delay() {
   return delay;
 }
 
-void Network::schedule_copy(Message msg) {
-  sim_.schedule_after(sample_copy_delay(),
-                      [this, m = std::move(msg)]() mutable {
-                        deliver(std::move(m));
-                      });
+void Network::schedule_copy(const Message& msg) {
+  std::uint32_t slot;
+  if (free_slots_.empty()) {
+    slot = static_cast<std::uint32_t>(slab_.size());
+    slab_.push_back(msg);
+  } else {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slab_[slot] = msg;
+  }
+  // {this, slot} is 12 bytes — well inside EventFn's inline buffer, so
+  // scheduling a delivery allocates nothing once the slab is warm.
+  sim_.schedule_after(sample_copy_delay(), [this, slot] { deliver(slot); });
 }
 
-void Network::deliver(Message msg) {
+void Network::deliver(std::uint32_t slot) {
+  // Copy out of the slab before anything else: the handler may send
+  // reentrantly, which can grow the slab and invalidate references.
+  const Message msg = slab_[slot];
+  free_slots_.push_back(slot);
+
   // A duplicated message strands its payload only if every copy is lost;
-  // the tracking entry lives until the last copy resolves.
-  auto copy_it = copies_.find(msg.id);
+  // the tracking entry lives until the last copy resolves. The empty()
+  // probe keeps the hash lookup off the hot path entirely when
+  // duplication is disabled (the common case).
+  auto copy_it = copies_.empty() ? copies_.end() : copies_.find(msg.id);
   bool last_copy = true;
   bool other_delivered = false;
   if (copy_it != copies_.end()) {
@@ -111,8 +147,10 @@ void Network::deliver(Message msg) {
     resolve_drop(stats_.dropped_dead_node);
     return;
   }
-  auto it = endpoints_.find(msg.dst);
-  if (it == endpoints_.end()) {
+  const Handler* handler = nullptr;
+  if (msg.dst >= 0 && static_cast<std::size_t>(msg.dst) < endpoints_.size())
+    handler = &endpoints_[static_cast<std::size_t>(msg.dst)];
+  if (handler == nullptr || !*handler) {
     resolve_drop(stats_.dropped_no_endpoint);
     return;
   }
@@ -121,31 +159,40 @@ void Network::deliver(Message msg) {
     if (last_copy) copies_.erase(copy_it);
   }
   ++stats_.delivered;
-  it->second(msg);
+  (*handler)(msg);
 }
 
 void Network::fail_node(NodeId node) {
-  failed_[node] = true;
+  if (node < 0) return;
+  ensure_slot(failed_, node, std::uint8_t{0});
+  failed_[static_cast<std::size_t>(node)] = 1;
   PEN_LOG_INFO("network: node %d failed at t=%.3fs", node,
                common::to_seconds(sim_.now()));
 }
 
 void Network::restore_node(NodeId node) {
-  failed_[node] = false;
+  if (node < 0) return;
+  ensure_slot(failed_, node, std::uint8_t{0});
+  failed_[static_cast<std::size_t>(node)] = 0;
   PEN_LOG_INFO("network: node %d restored at t=%.3fs", node,
                common::to_seconds(sim_.now()));
 }
 
 bool Network::node_alive(NodeId node) const {
-  auto it = failed_.find(node);
-  return it == failed_.end() || !it->second;
+  if (node < 0 || static_cast<std::size_t>(node) >= failed_.size())
+    return true;
+  return failed_[static_cast<std::size_t>(node)] == 0;
 }
 
 void Network::set_partition(
     const std::vector<std::vector<NodeId>>& islands) {
   island_of_.clear();
   for (std::size_t i = 0; i < islands.size(); ++i)
-    for (NodeId n : islands[i]) island_of_[n] = static_cast<int>(i);
+    for (NodeId n : islands[i]) {
+      if (n < 0) continue;
+      ensure_slot(island_of_, n, std::int32_t{-1});
+      island_of_[static_cast<std::size_t>(n)] = static_cast<std::int32_t>(i);
+    }
   partitioned_ = true;
 }
 

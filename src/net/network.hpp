@@ -17,6 +17,15 @@
 // after later ones). Both draw from the same seeded Rng, and both draw
 // nothing when their probability is zero, so existing seeds replay
 // bit-identically with the faults disabled.
+//
+// The send→deliver path performs zero heap allocations in steady state
+// (DESIGN.md §11): payloads are a trivially-copyable variant stored
+// inline in the Message, node tables are dense vectors indexed by
+// NodeId, in-flight messages live in a free-listed slab, and the
+// delivery closure ({this, slot}) fits sim::EventFn's inline buffer.
+// After warm-up (slab/heap high-water marks reached), sending and
+// delivering touch the allocator not at all — pinned by the
+// net.zero_alloc ctest case (bench_network --alloc-check).
 #pragma once
 
 #include <functional>
@@ -66,6 +75,10 @@ struct NetworkStats {
   std::uint64_t dropped_no_endpoint = 0; ///< dst never registered
   std::uint64_t duplicated = 0;          ///< extra copies injected
   std::uint64_t reordered = 0;           ///< copies given a reorder delay
+  /// Wire-encoded payload bytes across logical sends (duplicated copies
+  /// share their original's payload and add nothing), for the telemetry
+  /// registry's traffic-volume series.
+  std::uint64_t payload_bytes_sent = 0;
 
   std::uint64_t dropped_total() const {
     return dropped_loss + dropped_dead_node + dropped_partition +
@@ -92,7 +105,7 @@ class Network {
   /// Send a payload; returns the assigned message id, or 0 if the message
   /// was dropped at send time (dead source). Drops at delivery time (dead
   /// destination, loss, partition) still return a valid id.
-  std::uint64_t send(NodeId src, NodeId dst, std::any payload);
+  std::uint64_t send(NodeId src, NodeId dst, Payload payload);
 
   /// --- fault injection -------------------------------------------------
 
@@ -126,6 +139,10 @@ class Network {
   /// The sampled one-way latency distribution, exposed for tests.
   common::Ticks sample_latency();
 
+  /// Slab high-water mark (slots ever allocated for in-flight copies),
+  /// exposed so the zero-allocation check can confirm warm-up converged.
+  std::size_t slab_capacity() const { return slab_.size(); }
+
  private:
   /// Copies still in flight for a duplicated message id; absent for
   /// messages that were never duplicated.
@@ -135,17 +152,26 @@ class Network {
   };
 
   bool same_island(NodeId a, NodeId b) const;
-  void deliver(Message msg);
-  void schedule_copy(Message msg);
+  void deliver(std::uint32_t slot);
+  void schedule_copy(const Message& msg);
   common::Ticks sample_copy_delay();
 
   sim::Simulator& sim_;
   NetworkConfig config_;
   common::Rng rng_;
   Handler drop_handler_;
-  std::unordered_map<NodeId, Handler> endpoints_;
-  std::unordered_map<NodeId, bool> failed_;
-  std::unordered_map<NodeId, int> island_of_;
+  /// Dense NodeId-indexed tables: node ids are small and contiguous in
+  /// every topology the cluster layer builds (clients 0..N-1, server N),
+  /// so a vector probe replaces the seed's unordered_map hash+chase on
+  /// the per-delivery path. An empty Handler slot means "no endpoint".
+  std::vector<Handler> endpoints_;
+  std::vector<std::uint8_t> failed_;
+  std::vector<std::int32_t> island_of_;
+  /// In-flight copies live here; the scheduled delivery event captures
+  /// only {this, slot}. Slots are recycled through a free list, so the
+  /// slab grows to the in-flight high-water mark and then stays put.
+  std::vector<Message> slab_;
+  std::vector<std::uint32_t> free_slots_;
   std::unordered_map<std::uint64_t, CopyState> copies_;
   bool partitioned_ = false;
   std::uint64_t next_msg_id_ = 1;

@@ -1,0 +1,102 @@
+// Deterministic parallel map: the primitive under the sweep engine.
+//
+// Work items are claimed from a shared atomic counter by a fixed pool
+// of worker threads, but every result is stored at its item's index, so
+// the returned vector is ordered exactly as the input regardless of
+// thread count, scheduling, or completion order. Callers that derive
+// output only from the returned vector therefore produce byte-identical
+// output at jobs=1 and jobs=N — the sweep determinism contract
+// (DESIGN.md §11).
+//
+// An optional claim-order permutation decouples *completion* order from
+// *result* order even further: the determinism test drives the pool
+// through a shuffled permutation and asserts the output bytes do not
+// move.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace penelope::sweep {
+
+/// Resolve a user-facing jobs knob: values >= 1 are taken literally
+/// (more jobs than items or cores is allowed — extra workers exit
+/// immediately or time-slice); 0 means "one per hardware thread".
+inline int resolve_jobs(int jobs) {
+  if (jobs > 0) return jobs;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+/// Run fn(i) for every i in [0, count) on `jobs` threads and return the
+/// results in index order. fn must be callable concurrently from
+/// multiple threads on distinct indices (each sweep run owns its whole
+/// world: Simulator, Rng, metrics — see DESIGN.md §11).
+///
+/// jobs <= 1 runs everything inline on the calling thread (no pool at
+/// all), which is the reference serial order. If `claim_order` is
+/// non-null it must be a permutation of [0, count) and dictates the
+/// order items are *started* in; results stay index-ordered.
+///
+/// The first exception thrown by fn is rethrown on the calling thread
+/// after the pool drains.
+template <typename Fn>
+auto parallel_map(std::size_t count, int jobs, Fn&& fn,
+                  const std::vector<std::size_t>* claim_order = nullptr)
+    -> std::vector<std::decay_t<decltype(fn(std::size_t{0}))>> {
+  using R = std::decay_t<decltype(fn(std::size_t{0}))>;
+  if (count == 0) return {};
+  if (claim_order != nullptr) PEN_CHECK(claim_order->size() == count);
+
+  std::vector<std::optional<R>> slots(count);
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto work = [&] {
+    for (;;) {
+      std::size_t k = next.fetch_add(1, std::memory_order_relaxed);
+      if (k >= count) return;
+      std::size_t i = claim_order ? (*claim_order)[k] : k;
+      try {
+        slots[i].emplace(fn(i));
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  int workers = resolve_jobs(jobs);
+  if (static_cast<std::size_t>(workers) > count)
+    workers = static_cast<int>(count);
+  if (workers <= 1) {
+    work();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) pool.emplace_back(work);
+    for (auto& t : pool) t.join();
+  }
+
+  if (first_error) std::rethrow_exception(first_error);
+  std::vector<R> results;
+  results.reserve(count);
+  for (auto& slot : slots) {
+    PEN_CHECK(slot.has_value());
+    results.push_back(std::move(*slot));
+  }
+  return results;
+}
+
+}  // namespace penelope::sweep

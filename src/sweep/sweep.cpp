@@ -1,0 +1,92 @@
+#include "sweep/sweep.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+
+namespace penelope::sweep {
+
+namespace {
+
+std::string fmt_hash(std::uint64_t hash) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, hash);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<RunSpec> SweepSpec::expand() const {
+  std::vector<RunSpec> runs;
+  runs.reserve(size());
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    for (cluster::ManagerKind manager : managers) {
+      for (std::uint64_t seed : seeds) {
+        RunSpec run;
+        run.config = configs[c];
+        run.config.manager = manager;
+        run.config.seed = seed;
+        run.app_a = app_a;
+        run.app_b = app_b;
+        run.npb = npb;
+        run.npb.seed = seed;
+        run.config_index = c;
+        run.index = runs.size();
+        runs.push_back(run);
+      }
+    }
+  }
+  return runs;
+}
+
+SweepRunResult execute_run(const RunSpec& spec) {
+  cluster::Cluster cl(
+      spec.config,
+      cluster::make_pair_workloads(spec.app_a, spec.app_b,
+                                   spec.config.n_nodes, spec.npb));
+  SweepRunResult out;
+  out.manager = spec.config.manager;
+  out.seed = spec.config.seed;
+  out.config_index = spec.config_index;
+  out.result = cl.run();
+  out.trace_hash = cl.simulator().trace_hash();
+  out.executed_events = cl.simulator().executed_events();
+  return out;
+}
+
+std::vector<SweepRunResult> run_sweep(
+    const SweepSpec& spec, int jobs,
+    const std::vector<std::size_t>* claim_order) {
+  const std::vector<RunSpec> runs = spec.expand();
+  return parallel_map(
+      runs.size(), jobs,
+      [&runs](std::size_t i) { return execute_run(runs[i]); },
+      claim_order);
+}
+
+common::Table sweep_table(const SweepSpec& spec,
+                          const std::vector<SweepRunResult>& results) {
+  common::Table table({"config", "manager", "seed", "nodes", "completed",
+                       "runtime_s", "requests", "timeouts", "trace_hash"});
+  for (const SweepRunResult& r : results) {
+    const cluster::ClusterConfig& cfg = spec.configs[r.config_index];
+    table.add_row({std::to_string(r.config_index),
+                   cluster::manager_name(r.manager),
+                   std::to_string(r.seed), std::to_string(cfg.n_nodes),
+                   r.result.all_completed ? "yes" : "no",
+                   common::fmt_double(r.result.runtime_seconds, 3),
+                   std::to_string(r.result.requests_sent),
+                   std::to_string(r.result.timeouts),
+                   fmt_hash(r.trace_hash)});
+  }
+  return table;
+}
+
+std::vector<cluster::ScaleResult> run_scale_sweep(
+    const std::vector<cluster::ScaleConfig>& points, int jobs) {
+  return parallel_map(points.size(), jobs, [&points](std::size_t i) {
+    return cluster::run_scale_experiment(points[i]);
+  });
+}
+
+}  // namespace penelope::sweep

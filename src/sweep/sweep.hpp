@@ -1,0 +1,94 @@
+// Declarative sweep engine: every figure in the paper is a sweep over
+// independent cluster runs (seeds × configs × managers), and every run
+// is a sealed world — its own Simulator, Rng, Network, and metrics
+// registry, sharing no mutable state with any other run. That makes the
+// sweep embarrassingly parallel *and* lets us demand a hard determinism
+// contract: the result table (including each run's trace_hash) is
+// byte-identical whether the sweep executes serially or on N threads.
+// See DESIGN.md §11.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/scale.hpp"
+#include "common/table.hpp"
+#include "sweep/parallel.hpp"
+#include "workload/npb.hpp"
+
+namespace penelope::sweep {
+
+/// One fully-specified run: a point of the SweepSpec cross-product with
+/// manager and seed already applied to the config.
+struct RunSpec {
+  cluster::ClusterConfig config;
+  workload::NpbApp app_a{};
+  workload::NpbApp app_b{};
+  workload::NpbConfig npb;
+  std::size_t config_index = 0;  ///< which SweepSpec::configs entry
+  std::size_t index = 0;         ///< position in expansion order
+};
+
+/// Declarative sweep over full cluster runs. Expansion order is fixed
+/// and documented — configs outermost, then managers, then seeds — so a
+/// spec always yields the same run list, and the run list alone
+/// determines result order.
+struct SweepSpec {
+  std::vector<cluster::ClusterConfig> configs;  ///< at least one base
+  std::vector<cluster::ManagerKind> managers;
+  std::vector<std::uint64_t> seeds;
+  /// Paper workload pairing: nodes [0, n/2) run app_a, the rest app_b.
+  workload::NpbApp app_a{};
+  workload::NpbApp app_b{};
+  workload::NpbConfig npb;
+
+  std::size_t size() const {
+    return configs.size() * managers.size() * seeds.size();
+  }
+
+  /// The cross-product, in canonical order. Each point's config carries
+  /// its manager and seed (npb.seed follows the run seed so workload
+  /// jitter varies per seed exactly as run_experiment's single-run path
+  /// does).
+  std::vector<RunSpec> expand() const;
+};
+
+/// A run's result plus the identity and determinism evidence the sweep
+/// table reports.
+struct SweepRunResult {
+  cluster::ManagerKind manager = cluster::ManagerKind::kPenelope;
+  std::uint64_t seed = 0;
+  std::size_t config_index = 0;
+  cluster::RunResult result;
+  /// FNV-1a over the run's executed-event trace: two runs with equal
+  /// hashes executed the same events at the same virtual times.
+  std::uint64_t trace_hash = 0;
+  std::uint64_t executed_events = 0;
+};
+
+/// Execute one run in complete isolation. Thread-safe by construction:
+/// everything it touches is owned by the run.
+SweepRunResult execute_run(const RunSpec& spec);
+
+/// Run the whole sweep on `jobs` threads (0 = hardware concurrency,
+/// 1 = inline serial). Results are ordered exactly as spec.expand()
+/// regardless of thread count or completion order; `claim_order`
+/// (a permutation of run indices) shuffles start order for tests.
+std::vector<SweepRunResult> run_sweep(
+    const SweepSpec& spec, int jobs,
+    const std::vector<std::size_t>* claim_order = nullptr);
+
+/// Canonical result table: derived only from the ordered results, so
+/// its bytes are the sweep determinism contract's observable.
+common::Table sweep_table(const SweepSpec& spec,
+                          const std::vector<SweepRunResult>& results);
+
+/// Scale-study points run through the same engine: one ScaleConfig per
+/// point, results index-ordered. Used by scale_study and the scale
+/// benches' jobs=N mode.
+std::vector<cluster::ScaleResult> run_scale_sweep(
+    const std::vector<cluster::ScaleConfig>& points, int jobs);
+
+}  // namespace penelope::sweep

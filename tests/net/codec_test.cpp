@@ -76,6 +76,46 @@ TEST(Codec, HierarchyMessagesRoundTrip) {
       186.25);
 }
 
+TEST(Codec, EveryWireTagRoundTripsByteIdentical) {
+  // Exhaustive sweep: one non-default exemplar per wire tag. For each,
+  // encode -> decode -> re-encode must reproduce the exact bytes, the
+  // leading tag byte must match the WireTag table, and the decoded
+  // alternative must be the one that went in. The count check at the
+  // bottom makes adding a ninth message type fail here until an
+  // exemplar (and tag) is added.
+  struct Case {
+    WireTag tag;
+    WirePayload payload;
+  };
+  const Case cases[] = {
+      {WireTag::kPowerRequest,
+       core::PowerRequest{true, 37.25, 0xdeadbeefcafef00dULL}},
+      {WireTag::kPowerGrant, core::PowerGrant{12.5, 42, 1055}},
+      {WireTag::kCentralDonation, central::CentralDonation{3.75}},
+      {WireTag::kCentralRequest, central::CentralRequest{true, 60.0, 7}},
+      {WireTag::kCentralGrant, central::CentralGrant{30.0, true, 9}},
+      {WireTag::kProfileReport, hierarchy::ProfileReport{151.5}},
+      {WireTag::kCapAssignment, hierarchy::CapAssignment{186.25}},
+      {WireTag::kPowerPush, core::PowerPush{17.5, 0xfeedULL}},
+  };
+  ASSERT_EQ(std::size(cases), std::variant_size_v<WirePayload>)
+      << "new message type needs an exemplar here";
+  for (const Case& c : cases) {
+    auto bytes = encode(c.payload);
+    ASSERT_FALSE(bytes.empty());
+    EXPECT_EQ(bytes[0], static_cast<std::uint8_t>(c.tag));
+    EXPECT_EQ(bytes.size(), encoded_size(c.payload));
+    auto decoded = decode(bytes);
+    ASSERT_TRUE(decoded.has_value())
+        << "tag " << static_cast<int>(c.tag);
+    EXPECT_EQ(decoded->index(), c.payload.index());
+    auto reencoded = encode(*decoded);
+    EXPECT_EQ(reencoded, bytes)
+        << "re-encode not byte-identical for tag "
+        << static_cast<int>(c.tag);
+  }
+}
+
 TEST(Codec, SpecialDoubleValuesSurvive) {
   core::PowerGrant msg;
   msg.watts = 0.1 + 0.2;  // not exactly representable: bits must match

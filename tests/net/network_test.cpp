@@ -4,13 +4,27 @@
 
 #include <algorithm>
 #include <memory>
-#include <string>
 #include <vector>
 
 #include "common/stats.hpp"
+#include "core/protocol.hpp"
+#include "net/codec.hpp"
 
 namespace penelope::net {
 namespace {
+
+// Probe payload for transport-level tests: a PowerPush whose watts field
+// carries the test's sequence number (the payload type is irrelevant to
+// the fabric; it only routes and drops).
+Payload probe(int i) {
+  return core::PowerPush{static_cast<double>(i), 0};
+}
+
+int probe_value(const Message& m) {
+  const auto* push = m.as<core::PowerPush>();
+  EXPECT_NE(push, nullptr);
+  return push == nullptr ? -1 : static_cast<int>(push->watts);
+}
 
 struct Fixture {
   sim::Simulator sim;
@@ -26,9 +40,9 @@ TEST(Network, DeliversToRegisteredEndpoint) {
   Fixture f;
   std::vector<int> received;
   f.net->register_endpoint(1, [&](const Message& m) {
-    received.push_back(*m.as<int>());
+    received.push_back(probe_value(m));
   });
-  f.net->send(0, 1, 42);
+  f.net->send(0, 1, probe(42));
   f.sim.run();
   ASSERT_EQ(received.size(), 1u);
   EXPECT_EQ(received[0], 42);
@@ -41,7 +55,7 @@ TEST(Network, DeliveryIsDelayedByLatency) {
   f.net->register_endpoint(1, [&](const Message&) {
     delivered_at = f.sim.now();
   });
-  f.net->send(0, 1, 1);
+  f.net->send(0, 1, probe(1));
   f.sim.run();
   EXPECT_GE(delivered_at, f.config.latency.base -
                               3 * f.config.latency.jitter_stddev);
@@ -53,20 +67,31 @@ TEST(Network, MessageCarriesMetadata) {
   Message captured;
   f.net->register_endpoint(2, [&](const Message& m) { captured = m; });
   f.sim.run_until(100);
-  std::uint64_t id = f.net->send(7, 2, std::string("hello"));
+  std::uint64_t id = f.net->send(7, 2, core::PowerGrant{3.5, 0xFEED, 4});
   f.sim.run();
   EXPECT_EQ(captured.src, 7);
   EXPECT_EQ(captured.dst, 2);
   EXPECT_EQ(captured.id, id);
   EXPECT_EQ(captured.sent_at, 100);
-  ASSERT_NE(captured.as<std::string>(), nullptr);
-  EXPECT_EQ(*captured.as<std::string>(), "hello");
-  EXPECT_EQ(captured.as<int>(), nullptr);
+  ASSERT_NE(captured.as<core::PowerGrant>(), nullptr);
+  EXPECT_DOUBLE_EQ(captured.as<core::PowerGrant>()->watts, 3.5);
+  EXPECT_EQ(captured.as<core::PowerGrant>()->txn_id, 0xFEEDu);
+  EXPECT_EQ(captured.as<core::PowerGrant>()->hint_peer, 4);
+  // Wrong-type access yields nullptr, not UB.
+  EXPECT_EQ(captured.as<core::PowerRequest>(), nullptr);
+  EXPECT_EQ(captured.as<core::PowerPush>(), nullptr);
+}
+
+TEST(Network, DefaultMessageHoldsNoPayload) {
+  Message m;
+  EXPECT_TRUE(std::holds_alternative<std::monostate>(m.payload));
+  EXPECT_EQ(m.as<core::PowerRequest>(), nullptr);
+  EXPECT_EQ(payload_wire_bytes(m.payload), 0u);
 }
 
 TEST(Network, MissingEndpointCountsAsDrop) {
   Fixture f;
-  f.net->send(0, 99, 1);
+  f.net->send(0, 99, probe(1));
   f.sim.run();
   EXPECT_EQ(f.net->stats().dropped_no_endpoint, 1u);
   EXPECT_EQ(f.net->stats().delivered, 0u);
@@ -77,7 +102,7 @@ TEST(Network, DeadDestinationDropsOnArrival) {
   int received = 0;
   f.net->register_endpoint(1, [&](const Message&) { ++received; });
   f.net->fail_node(1);
-  f.net->send(0, 1, 1);
+  f.net->send(0, 1, probe(1));
   f.sim.run();
   EXPECT_EQ(received, 0);
   EXPECT_EQ(f.net->stats().dropped_dead_node, 1u);
@@ -88,7 +113,7 @@ TEST(Network, DeadSourceCannotSend) {
   int received = 0;
   f.net->register_endpoint(1, [&](const Message&) { ++received; });
   f.net->fail_node(0);
-  EXPECT_EQ(f.net->send(0, 1, 1), 0u);
+  EXPECT_EQ(f.net->send(0, 1, probe(1)), 0u);
   f.sim.run();
   EXPECT_EQ(received, 0);
   EXPECT_EQ(f.net->stats().sent, 0u);
@@ -98,7 +123,7 @@ TEST(Network, MessageInFlightWhenNodeDiesIsLost) {
   Fixture f;
   int received = 0;
   f.net->register_endpoint(1, [&](const Message&) { ++received; });
-  f.net->send(0, 1, 1);
+  f.net->send(0, 1, probe(1));
   // Kill the destination before the latency elapses.
   f.sim.schedule_at(1, [&] { f.net->fail_node(1); });
   f.sim.run();
@@ -111,10 +136,10 @@ TEST(Network, RestoreNodeResumesDelivery) {
   int received = 0;
   f.net->register_endpoint(1, [&](const Message&) { ++received; });
   f.net->fail_node(1);
-  f.net->send(0, 1, 1);
+  f.net->send(0, 1, probe(1));
   f.sim.run();
   f.net->restore_node(1);
-  f.net->send(0, 1, 2);
+  f.net->send(0, 1, probe(2));
   f.sim.run();
   EXPECT_EQ(received, 1);
 }
@@ -125,7 +150,7 @@ TEST(Network, FullLossDropsEverything) {
   Fixture f(cfg);
   int received = 0;
   f.net->register_endpoint(1, [&](const Message&) { ++received; });
-  for (int i = 0; i < 10; ++i) f.net->send(0, 1, i);
+  for (int i = 0; i < 10; ++i) f.net->send(0, 1, probe(i));
   f.sim.run();
   EXPECT_EQ(received, 0);
   EXPECT_EQ(f.net->stats().dropped_loss, 10u);
@@ -138,7 +163,7 @@ TEST(Network, PartialLossRateIsApproximate) {
   int received = 0;
   f.net->register_endpoint(1, [&](const Message&) { ++received; });
   const int n = 5000;
-  for (int i = 0; i < n; ++i) f.net->send(0, 1, i);
+  for (int i = 0; i < n; ++i) f.net->send(0, 1, probe(i));
   f.sim.run();
   EXPECT_NEAR(static_cast<double>(received) / n, 0.7, 0.03);
 }
@@ -150,8 +175,8 @@ TEST(Network, PartitionBlocksCrossIslandTraffic) {
   f.net->register_endpoint(1, [&](const Message&) { ++received_1; });
   f.net->register_endpoint(2, [&](const Message&) { ++received_2; });
   f.net->set_partition({{0, 1}, {2, 3}});
-  f.net->send(0, 1, 1);  // same island: delivered
-  f.net->send(0, 2, 1);  // cross island: dropped
+  f.net->send(0, 1, probe(1));  // same island: delivered
+  f.net->send(0, 2, probe(1));  // cross island: dropped
   f.sim.run();
   EXPECT_EQ(received_1, 1);
   EXPECT_EQ(received_2, 0);
@@ -163,9 +188,9 @@ TEST(Network, ClearPartitionRestoresTraffic) {
   int received = 0;
   f.net->register_endpoint(2, [&](const Message&) { ++received; });
   f.net->set_partition({{0}, {2}});
-  f.net->send(0, 2, 1);
+  f.net->send(0, 2, probe(1));
   f.net->clear_partition();
-  f.net->send(0, 2, 1);
+  f.net->send(0, 2, probe(1));
   f.sim.run();
   EXPECT_EQ(received, 1);
 }
@@ -175,7 +200,7 @@ TEST(Network, UnpartitionedNodesShareDefaultIsland) {
   int received = 0;
   f.net->register_endpoint(9, [&](const Message&) { ++received; });
   f.net->set_partition({{0, 1}});  // 8 and 9 are in no island (-1)
-  f.net->send(8, 9, 1);
+  f.net->send(8, 9, probe(1));
   f.sim.run();
   EXPECT_EQ(received, 1);
 }
@@ -187,9 +212,9 @@ TEST(Network, DropHandlerSeesLostMessages) {
   f.net->register_endpoint(1, [](const Message&) {});
   std::vector<int> dropped;
   f.net->set_drop_handler([&](const Message& m) {
-    dropped.push_back(*m.as<int>());
+    dropped.push_back(probe_value(m));
   });
-  f.net->send(0, 1, 17);
+  f.net->send(0, 1, probe(17));
   f.sim.run();
   ASSERT_EQ(dropped.size(), 1u);
   EXPECT_EQ(dropped[0], 17);
@@ -200,7 +225,7 @@ TEST(Network, DropHandlerFiresForDeadDestination) {
   int drops = 0;
   f.net->set_drop_handler([&](const Message&) { ++drops; });
   f.net->fail_node(1);
-  f.net->send(0, 1, 1);
+  f.net->send(0, 1, probe(1));
   f.sim.run();
   EXPECT_EQ(drops, 1);
 }
@@ -222,10 +247,23 @@ TEST(Network, RemoveEndpointStopsDelivery) {
   int received = 0;
   f.net->register_endpoint(1, [&](const Message&) { ++received; });
   f.net->remove_endpoint(1);
-  f.net->send(0, 1, 1);
+  f.net->send(0, 1, probe(1));
   f.sim.run();
   EXPECT_EQ(received, 0);
   EXPECT_EQ(f.net->stats().dropped_no_endpoint, 1u);
+}
+
+TEST(Network, PayloadBytesSentTracksWireSize) {
+  Fixture f;
+  f.net->register_endpoint(1, [](const Message&) {});
+  f.net->send(0, 1, core::PowerPush{1.0, 1});
+  std::uint64_t push_bytes = f.net->stats().payload_bytes_sent;
+  EXPECT_EQ(push_bytes, payload_wire_bytes(Payload{core::PowerPush{}}));
+  EXPECT_GT(push_bytes, 0u);
+  f.net->send(0, 1, core::PowerGrant{1.0, 2, -1});
+  EXPECT_EQ(f.net->stats().payload_bytes_sent,
+            push_bytes + payload_wire_bytes(Payload{core::PowerGrant{}}));
+  f.sim.run();
 }
 
 TEST(Network, DuplicationDeliversTwoCopiesOfOneSend) {
@@ -236,21 +274,25 @@ TEST(Network, DuplicationDeliversTwoCopiesOfOneSend) {
   f.net->register_endpoint(1, [&](const Message& m) {
     received.push_back(m);
   });
-  std::uint64_t id = f.net->send(0, 1, 7);
+  std::uint64_t id = f.net->send(0, 1, probe(7));
   f.sim.run();
   ASSERT_EQ(received.size(), 2u);
   // Both copies carry the same message id and payload; exactly one is
   // flagged as the injected duplicate.
   EXPECT_EQ(received[0].id, id);
   EXPECT_EQ(received[1].id, id);
-  EXPECT_EQ(*received[0].as<int>(), 7);
-  EXPECT_EQ(*received[1].as<int>(), 7);
+  EXPECT_EQ(probe_value(received[0]), 7);
+  EXPECT_EQ(probe_value(received[1]), 7);
   int marked = 0;
   for (const auto& m : received) marked += m.duplicate ? 1 : 0;
   EXPECT_EQ(marked, 1);
   EXPECT_EQ(f.net->stats().sent, 1u);        // logical sends
   EXPECT_EQ(f.net->stats().delivered, 2u);   // physical deliveries
   EXPECT_EQ(f.net->stats().duplicated, 1u);
+  // The duplicated copy shares the original's payload: one logical send
+  // means one payload's worth of accounted bytes.
+  EXPECT_EQ(f.net->stats().payload_bytes_sent,
+            payload_wire_bytes(Payload{core::PowerPush{}}));
 }
 
 TEST(Network, ReorderingInvertsArrivalOrder) {
@@ -260,14 +302,14 @@ TEST(Network, ReorderingInvertsArrivalOrder) {
   Fixture f(cfg);
   std::vector<int> order;
   f.net->register_endpoint(1, [&](const Message& m) {
-    order.push_back(*m.as<int>());
+    order.push_back(probe_value(m));
   });
   // Space the sends 1 ms apart: far wider than latency jitter, so only
   // an injected reorder delay can invert arrival order.
   const int n = 50;
   for (int i = 0; i < n; ++i) {
     f.sim.schedule_at(common::from_millis(static_cast<double>(i)),
-                      [&f, i] { f.net->send(0, 1, i); });
+                      [&f, i] { f.net->send(0, 1, probe(i)); });
   }
   f.sim.run();
   ASSERT_EQ(order.size(), static_cast<std::size_t>(n));
@@ -279,12 +321,12 @@ TEST(Network, ZeroFaultProbabilitiesInjectNothing) {
   Fixture f;  // duplicate/reorder default to 0
   std::vector<int> order;
   f.net->register_endpoint(1, [&](const Message& m) {
-    order.push_back(*m.as<int>());
+    order.push_back(probe_value(m));
   });
   const int n = 50;
   for (int i = 0; i < n; ++i) {
     f.sim.schedule_at(common::from_millis(static_cast<double>(i)),
-                      [&f, i] { f.net->send(0, 1, i); });
+                      [&f, i] { f.net->send(0, 1, probe(i)); });
   }
   f.sim.run();
   ASSERT_EQ(order.size(), static_cast<std::size_t>(n));
@@ -304,7 +346,7 @@ TEST(Network, DuplicateDropHandlerFiresAtMostOnce) {
   int drops = 0;
   f.net->set_drop_handler([&](const Message&) { ++drops; });
   f.net->fail_node(1);
-  f.net->send(0, 1, 1);
+  f.net->send(0, 1, probe(1));
   f.sim.run();
   EXPECT_EQ(drops, 1);
   EXPECT_EQ(f.net->stats().dropped_dead_node, 2u);
@@ -324,11 +366,30 @@ TEST(Network, NoDropHandlerWhenOneCopyWasDelivered) {
   });
   int drops = 0;
   f.net->set_drop_handler([&](const Message&) { ++drops; });
-  f.net->send(0, 1, 1);
+  f.net->send(0, 1, probe(1));
   f.sim.run();
   EXPECT_EQ(received, 1);
   EXPECT_EQ(f.net->stats().dropped_dead_node, 1u);
   EXPECT_EQ(drops, 0);
+}
+
+TEST(Network, ReentrantSendFromHandlerIsSafe) {
+  // A handler that sends while a delivery is being dispatched may grow
+  // the in-flight slab; the fabric must tolerate that (it copies the
+  // message out of the slab before invoking handlers).
+  Fixture f;
+  int pongs = 0;
+  f.net->register_endpoint(0, [&](const Message&) { ++pongs; });
+  f.net->register_endpoint(1, [&](const Message& m) {
+    // Fan out replies to force slab growth mid-delivery.
+    for (int i = 0; i < 8; ++i) f.net->send(1, 0, probe(i));
+    (void)m;
+  });
+  for (int i = 0; i < 16; ++i) f.net->send(0, 1, probe(i));
+  f.sim.run();
+  EXPECT_EQ(pongs, 16 * 8);
+  EXPECT_EQ(f.net->stats().delivered,
+            static_cast<std::uint64_t>(16 + 16 * 8));
 }
 
 TEST(Network, StatsTotalsAreConsistent) {
@@ -336,7 +397,7 @@ TEST(Network, StatsTotalsAreConsistent) {
   cfg.loss_probability = 0.5;
   Fixture f(cfg);
   f.net->register_endpoint(1, [](const Message&) {});
-  for (int i = 0; i < 1000; ++i) f.net->send(0, 1, i);
+  for (int i = 0; i < 1000; ++i) f.net->send(0, 1, probe(i));
   f.sim.run();
   const auto& s = f.net->stats();
   EXPECT_EQ(s.sent, 1000u);

@@ -4,6 +4,8 @@
 
 #include <vector>
 
+#include "core/protocol.hpp"
+
 namespace penelope::net {
 namespace {
 
@@ -12,7 +14,7 @@ Message make_msg(int payload, common::Ticks sent_at = 0) {
   m.src = 1;
   m.dst = 2;
   m.sent_at = sent_at;
-  m.payload = payload;
+  m.payload = core::PowerPush{static_cast<double>(payload), 0};
   return m;
 }
 
@@ -86,7 +88,7 @@ TEST(SerialServer, DropHandlerSeesOverflow) {
   SerialServer server(sim, cfg, [](const Message&) {});
   std::vector<int> dropped;
   server.set_drop_handler([&](const Message& m) {
-    dropped.push_back(*m.as<int>());
+    dropped.push_back(static_cast<int>(m.as<core::PowerPush>()->watts));
   });
   server.inbox(make_msg(1));  // serving
   server.inbox(make_msg(2));  // queued

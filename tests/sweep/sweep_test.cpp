@@ -1,0 +1,169 @@
+#include "sweep/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sweep/parallel.hpp"
+
+namespace penelope::sweep {
+namespace {
+
+// --- parallel_map -----------------------------------------------------
+
+TEST(ParallelMap, PreservesIndexOrder) {
+  auto square = [](std::size_t i) { return static_cast<int>(i * i); };
+  auto serial = parallel_map(64, 1, square);
+  auto parallel = parallel_map(64, 4, square);
+  ASSERT_EQ(serial.size(), 64u);
+  EXPECT_EQ(serial, parallel);
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    EXPECT_EQ(serial[i], static_cast<int>(i * i));
+}
+
+TEST(ParallelMap, EmptyInputYieldsEmptyOutput) {
+  auto out = parallel_map(0, 4, [](std::size_t i) { return i; });
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ParallelMap, MoreJobsThanItems) {
+  auto out = parallel_map(3, 16, [](std::size_t i) { return i + 1; });
+  EXPECT_EQ(out, (std::vector<std::size_t>{1, 2, 3}));
+}
+
+TEST(ParallelMap, ShuffledClaimOrderDoesNotMoveResults) {
+  std::vector<std::size_t> order(32);
+  std::iota(order.begin(), order.end(), 0u);
+  // Fixed shuffle (no live randomness: determinism is the point).
+  std::reverse(order.begin(), order.end());
+  std::swap(order[3], order[17]);
+  std::swap(order[0], order[9]);
+  auto id = [](std::size_t i) { return i; };
+  auto shuffled = parallel_map(32, 4, id, &order);
+  auto serial = parallel_map(32, 1, id);
+  EXPECT_EQ(shuffled, serial);
+}
+
+TEST(ParallelMap, PropagatesFirstException) {
+  auto boom = [](std::size_t i) -> int {
+    if (i == 7) throw std::runtime_error("item 7 failed");
+    return static_cast<int>(i);
+  };
+  EXPECT_THROW(parallel_map(16, 4, boom), std::runtime_error);
+  EXPECT_THROW(parallel_map(16, 1, boom), std::runtime_error);
+}
+
+TEST(ParallelMap, ResolveJobsDefaults) {
+  EXPECT_GE(resolve_jobs(0), 1);
+  EXPECT_EQ(resolve_jobs(3), 3);
+  EXPECT_EQ(resolve_jobs(1), 1);
+}
+
+// --- sweep over cluster runs -----------------------------------------
+
+SweepSpec small_spec() {
+  SweepSpec spec;
+  cluster::ClusterConfig cc;
+  cc.n_nodes = 6;
+  spec.configs = {cc};
+  spec.managers = {cluster::ManagerKind::kPenelope,
+                   cluster::ManagerKind::kCentral};
+  spec.seeds = {1, 2};
+  spec.app_a = workload::NpbApp::kEP;
+  spec.app_b = workload::NpbApp::kDC;
+  spec.npb.duration_scale = 0.05;
+  return spec;
+}
+
+TEST(Sweep, ExpansionOrderIsCanonical) {
+  SweepSpec spec = small_spec();
+  auto runs = spec.expand();
+  ASSERT_EQ(runs.size(), 4u);
+  // configs > managers > seeds, seeds innermost.
+  EXPECT_EQ(runs[0].config.manager, cluster::ManagerKind::kPenelope);
+  EXPECT_EQ(runs[0].config.seed, 1u);
+  EXPECT_EQ(runs[1].config.manager, cluster::ManagerKind::kPenelope);
+  EXPECT_EQ(runs[1].config.seed, 2u);
+  EXPECT_EQ(runs[2].config.manager, cluster::ManagerKind::kCentral);
+  EXPECT_EQ(runs[2].config.seed, 1u);
+  EXPECT_EQ(runs[3].config.manager, cluster::ManagerKind::kCentral);
+  EXPECT_EQ(runs[3].config.seed, 2u);
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[i].index, i);
+    EXPECT_EQ(runs[i].npb.seed, runs[i].config.seed);
+  }
+}
+
+TEST(Sweep, ParallelTableIsByteIdenticalToSerial) {
+  SweepSpec spec = small_spec();
+
+  auto serial = run_sweep(spec, 1);
+  auto parallel = run_sweep(spec, 4);
+
+  // Shuffled completion order: last run starts first.
+  std::vector<std::size_t> order(spec.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::reverse(order.begin(), order.end());
+  auto shuffled = run_sweep(spec, 4, &order);
+
+  ASSERT_EQ(serial.size(), spec.size());
+  ASSERT_EQ(parallel.size(), spec.size());
+  ASSERT_EQ(shuffled.size(), spec.size());
+
+  // Per-run trace hashes match run-for-run: each run executed the exact
+  // same event sequence no matter which thread hosted it.
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].trace_hash, parallel[i].trace_hash) << "run " << i;
+    EXPECT_EQ(serial[i].trace_hash, shuffled[i].trace_hash) << "run " << i;
+    EXPECT_EQ(serial[i].executed_events, parallel[i].executed_events);
+    EXPECT_EQ(serial[i].executed_events, shuffled[i].executed_events);
+    EXPECT_GT(serial[i].executed_events, 0u);
+  }
+
+  // The rendered tables — the user-visible observable — are
+  // byte-identical, CSV included.
+  std::string serial_text = sweep_table(spec, serial).render();
+  EXPECT_EQ(serial_text, sweep_table(spec, parallel).render());
+  EXPECT_EQ(serial_text, sweep_table(spec, shuffled).render());
+  std::string serial_csv = sweep_table(spec, serial).to_csv();
+  EXPECT_EQ(serial_csv, sweep_table(spec, parallel).to_csv());
+  EXPECT_EQ(serial_csv, sweep_table(spec, shuffled).to_csv());
+}
+
+TEST(Sweep, DistinctSeedsProduceDistinctTraces) {
+  SweepSpec spec = small_spec();
+  spec.managers = {cluster::ManagerKind::kPenelope};
+  auto results = run_sweep(spec, 2);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_NE(results[0].trace_hash, results[1].trace_hash);
+}
+
+TEST(Sweep, ScaleSweepMatchesSerialCalls) {
+  std::vector<cluster::ScaleConfig> points;
+  for (int nodes : {8, 16}) {
+    cluster::ScaleConfig sc;
+    sc.n_nodes = nodes;
+    sc.window_seconds = 5.0;
+    sc.burst_at_seconds = 1.0;
+    sc.seed = 3;
+    points.push_back(sc);
+  }
+  auto swept = run_scale_sweep(points, 4);
+  ASSERT_EQ(swept.size(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    cluster::ScaleResult direct = run_scale_experiment(points[i]);
+    EXPECT_DOUBLE_EQ(swept[i].available_watts, direct.available_watts);
+    EXPECT_DOUBLE_EQ(swept[i].shifted_watts, direct.shifted_watts);
+    EXPECT_DOUBLE_EQ(swept[i].median_redistribution_s,
+                     direct.median_redistribution_s);
+    EXPECT_EQ(swept[i].requests_sent, direct.requests_sent);
+    EXPECT_EQ(swept[i].timeouts, direct.timeouts);
+  }
+}
+
+}  // namespace
+}  // namespace penelope::sweep
