@@ -28,6 +28,8 @@ const char* kUsage =
     "  [duration_scale=1.0] [loss=0.0] [dup=0.0] [reorder=0.0]\n"
     "  [reorder_delay_ms=250] [kill_server_at=S]\n"
     "  [kill_mgmt_node=I] [kill_mgmt_at=S] [urgency=1]\n"
+    "  [membership=0] [heartbeat_ms=1000] [suspect_missed=3]\n"
+    "  [dead_missed=6] [churn=0] [mtbf=120] [mttr=10]\n"
     "  [sticky_peers=0] [hint_discovery=0] [local_take=drain|limited]\n"
     "  [trace=FILE] [trace_ms=1000] [trace_format=csv|jsonl|both]\n"
     "  [flight_recorder=N] [perfetto=FILE.json] [metrics=FILE.prom]\n"
@@ -116,6 +118,21 @@ int main(int argc, char** argv) {
   cc.hint_discovery = config.get_bool("hint_discovery", false);
   if (config.get_string("local_take", "drain") == "limited")
     cc.local_take = core::LocalTakePolicy::kRateLimited;
+
+  // Membership + churn (off by default; zero-churn runs with membership
+  // off stay bit-identical to the pre-membership golden trace). The
+  // churn schedule is drawn from a seed-derived stream, so churn=1
+  // composes with seeds=/managers=/jobs= sweeps deterministically.
+  cc.membership_enabled = config.get_bool("membership", false);
+  cc.membership.heartbeat_period =
+      common::from_millis(config.get_double("heartbeat_ms", 1000.0));
+  cc.membership.suspect_after_missed =
+      static_cast<std::uint32_t>(config.get_int("suspect_missed", 3));
+  cc.membership.dead_after_missed =
+      static_cast<std::uint32_t>(config.get_int("dead_missed", 6));
+  cc.churn_enabled = config.get_bool("churn", false);
+  cc.churn_mtbf_seconds = config.get_double("mtbf", 120.0);
+  cc.churn_mttr_seconds = config.get_double("mttr", 10.0);
 
   double kill_server_at = config.get_double("kill_server_at", 0.0);
   if (kill_server_at > 0.0) {
@@ -260,6 +277,17 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(result.net_stats.duplicated),
               static_cast<unsigned long long>(result.net_stats.reordered));
   std::printf("stranded power     %.2f W\n", result.stranded_watts);
+  if (cc.membership_enabled || cc.churn_enabled) {
+    std::printf("membership         %llu suspected, %llu declared dead, "
+                "%llu false suspicions\n",
+                static_cast<unsigned long long>(result.nodes_suspected),
+                static_cast<unsigned long long>(
+                    result.nodes_declared_dead),
+                static_cast<unsigned long long>(result.false_suspicions));
+    std::printf("reclaimed power    %.2f W over %llu reclaims\n",
+                result.watts_reclaimed,
+                static_cast<unsigned long long>(result.reclaims));
+  }
   std::printf("conservation       max |error| %.2e W, live overshoot "
               "%.2e W over %zu audits\n",
               result.audit.max_abs_conservation_error,

@@ -91,6 +91,18 @@ class Client {
 
   double retirement_debt() const { return retirement_debt_; }
 
+  /// Crash: drop to the safe-minimum cap and surrender the difference
+  /// (the SLURM-analogue of Decider::seize_for_restart). The initial
+  /// cap assignment is kept — re-admission adjusts it if the server
+  /// re-divides the budget. Returns the seized watts (>= 0).
+  double seize_for_restart() {
+    double seized = cap_ - config_.safe_range.min_watts;
+    if (seized < 0.0) seized = 0.0;
+    cap_ = config_.safe_range.min_watts;
+    last_urgent_ = false;
+    return seized;
+  }
+
   double cap() const { return cap_; }
   double initial_cap() const { return config_.initial_cap_watts; }
   bool last_step_urgent() const { return last_urgent_; }

@@ -42,6 +42,10 @@ struct ServerStats {
   std::uint64_t release_orders = 0;  ///< grants carrying release_to_initial
   double watts_collected = 0.0;
   double watts_granted = 0.0;
+  /// Watts returned to the cache from clients declared dead (the
+  /// SLURM-analogue reclamation path: a dead client's assignment goes
+  /// back into the server budget).
+  double watts_reclaimed = 0.0;
 };
 
 class ServerLogic {
@@ -51,6 +55,15 @@ class ServerLogic {
   void handle_donation(const CentralDonation& donation);
 
   CentralGrant handle_request(const CentralRequest& request);
+
+  /// Membership reclamation: a client was declared dead; its seized cap
+  /// share and the watts stranded against it return to the cache for
+  /// redistribution.
+  void reclaim(double watts) {
+    if (watts <= 0.0) return;
+    cache_ += watts;
+    stats_.watts_reclaimed += watts;
+  }
 
   /// Current cached excess.
   double cache_watts() const { return cache_; }

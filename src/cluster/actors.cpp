@@ -17,6 +17,31 @@ constexpr std::size_t kStaleCap = 256;
 /// Entries older than this many periods are certainly dead: the fabric's
 /// redelivery horizon is far shorter than 64 control periods.
 constexpr common::Ticks kStaleHorizonPeriods = 64;
+/// Txn-id stream for membership/reclaim journal records: reclaimed
+/// watts are attributable to (dead node, incarnation) straight from the
+/// id, like grants are to their minting node.
+constexpr std::uint32_t kMembershipStream = 2;
+
+std::uint64_t membership_txn(std::int32_t node, std::uint32_t incarnation) {
+  return core::make_txn_id(node, kMembershipStream, incarnation);
+}
+
+/// Shared server-side bookkeeping for a detector signal about `peer`.
+void note_server_signal(ClusterMetrics& metrics, common::Ticks now,
+                        const core::FailureDetector& detector,
+                        net::NodeId observer, std::int32_t peer,
+                        core::MembershipSignal signal) {
+  if (signal == core::MembershipSignal::kRecovered) {
+    metrics.record_false_suspicion();
+    metrics.recorder().record(
+        now, membership_txn(peer, detector.incarnation(peer)),
+        telemetry::TxnEventKind::kFalseSuspicion, observer, peer, 0.0);
+  } else if (signal == core::MembershipSignal::kRejoined) {
+    metrics.recorder().record(
+        now, membership_txn(peer, detector.incarnation(peer)),
+        telemetry::TxnEventKind::kPeerRejoined, observer, peer, 0.0);
+  }
+}
 }  // namespace
 
 void bound_stale_map(
@@ -126,6 +151,12 @@ PenelopeNodeActor::PenelopeNodeActor(
   body_.rapl().set_cap(decider_.cap());
   net_.register_endpoint(config.id,
                          [this](const net::Message& m) { on_message(m); });
+  if (config.membership_enabled) {
+    detector_.emplace(config.membership);
+    for (NodeId peer : config.membership_peers)
+      detector_->track(peer, sim_.now());
+    next_heartbeat_at_ = config.start_offset;
+  }
 }
 
 bool PenelopeNodeActor::peer_blacklisted(NodeId peer) const {
@@ -178,7 +209,156 @@ void PenelopeNodeActor::kill_management() {
   // halted service (empty-handed peers simply time out).
 }
 
+bool PenelopeNodeActor::peer_unusable(NodeId peer) const {
+  if (peer_blacklisted(peer)) return true;
+  // Detector-informed avoidance: probing a declared-dead peer is a
+  // guaranteed timeout until it rejoins (which flips it back to alive).
+  return detector_ &&
+         detector_->liveness(peer) == core::PeerLiveness::kDead;
+}
+
+void PenelopeNodeActor::note_membership_signal(
+    core::MembershipSignal signal, NodeId peer) {
+  if (signal == core::MembershipSignal::kRecovered) {
+    // The peer we suspected (or buried) is talking at the incarnation we
+    // condemned: the suspicion was false. Nothing to undo — if its tag
+    // was reclaimed, that consumption was exactly-once and the peer
+    // readmits itself at fair share like any rejoiner.
+    metrics_.record_false_suspicion();
+    metrics_.recorder().record(
+        sim_.now(), membership_txn(peer, detector_->incarnation(peer)),
+        telemetry::TxnEventKind::kFalseSuspicion, body_.config().id, peer,
+        0.0);
+  } else if (signal == core::MembershipSignal::kRejoined) {
+    metrics_.recorder().record(
+        sim_.now(), membership_txn(peer, detector_->incarnation(peer)),
+        telemetry::TxnEventKind::kPeerRejoined, body_.config().id, peer,
+        0.0);
+  }
+  // kFresh: routine. kStaleQuarantined: a ghost of a dead incarnation;
+  // deliberately no liveness credit and no ledger movement.
+}
+
+void PenelopeNodeActor::membership_tick(common::Ticks now) {
+  if (!detector_) return;
+  if (now >= next_heartbeat_at_) {
+    for (NodeId peer : body_.config().membership_peers) {
+      net_.send(body_.config().id, peer,
+                core::Heartbeat{body_.config().id, incarnation_});
+    }
+    next_heartbeat_at_ = now + body_.config().membership.heartbeat_period;
+  }
+  transitions_.clear();
+  detector_->tick(now, transitions_);
+  for (const core::MembershipTransition& t : transitions_) {
+    if (t.to == core::PeerLiveness::kSuspected) {
+      metrics_.record_suspicion();
+      metrics_.recorder().record(now, membership_txn(t.peer, t.incarnation),
+                                 telemetry::TxnEventKind::kPeerSuspected,
+                                 body_.config().id, t.peer, 0.0);
+    } else if (t.to == core::PeerLiveness::kDead) {
+      metrics_.record_declared_dead();
+      metrics_.recorder().record(
+          now, membership_txn(t.peer, t.incarnation),
+          telemetry::TxnEventKind::kPeerDeclaredDead, body_.config().id,
+          t.peer, 0.0);
+      // Epoch-guarded reclamation: consume the dead peer's (node,
+      // incarnation) tag — exactly one declarer cluster-wide gets the
+      // watts — and put them back into circulation through this pool.
+      double reclaimed = metrics_.reclaim_from(t.peer, t.incarnation);
+      if (reclaimed > 0.0) {
+        pool_.deposit(reclaimed);
+        metrics_.record_release(now, reclaimed, body_.config().id);
+        metrics_.recorder().record(
+            now, membership_txn(t.peer, t.incarnation),
+            telemetry::TxnEventKind::kReclaimed, body_.config().id, t.peer,
+            reclaimed);
+      }
+    }
+  }
+}
+
+void PenelopeNodeActor::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  management_alive_ = false;
+  // Volatile protocol state dies with the process.
+  if (outstanding_) {
+    sim_.cancel(outstanding_->timeout_event);
+    outstanding_.reset();
+  }
+  stale_sent_times_.clear();
+  peer_health_.clear();
+  sticky_peer_ = net::kNoNode;
+  hinted_peer_ = net::kNoNode;
+  last_queried_peer_ = net::kNoNode;
+  grant_window_.reset();
+  request_window_.reset();
+  pool_service_.halt();
+  // Live power above the firmware-default safe minimum is seized and
+  // stranded against this incarnation: the banked pool plus the cap
+  // share. It was live — not in flight — hence the residue variant.
+  double residue = pool_.drain() + decider_.seize_for_restart();
+  body_.rapl().set_cap(decider_.cap());
+  if (residue > 0.0) {
+    metrics_.strand_residue_against(body_.config().id, incarnation_,
+                                    residue);
+    metrics_.recorder().record(
+        sim_.now(), membership_txn(body_.config().id, incarnation_),
+        telemetry::TxnEventKind::kStranded, body_.config().id,
+        net::kNoNode, residue);
+  }
+  net_.fail_node(body_.config().id);
+}
+
+void PenelopeNodeActor::restart() {
+  if (!crashed_) return;
+  crashed_ = false;
+  std::uint32_t previous = incarnation_++;
+  management_alive_ = true;
+  pool_service_.resume();
+  net_.recover_node(body_.config().id);
+  if (detector_) {
+    // The detector's peer views were volatile too: rebuild them fresh so
+    // the restarted node does not instantly condemn peers it has not
+    // heard from since before its own crash.
+    detector_.emplace(body_.config().membership);
+    for (NodeId peer : body_.config().membership_peers)
+      detector_->track(peer, sim_.now());
+    next_heartbeat_at_ = sim_.now();
+  }
+  // Self-reclaim: if no peer consumed this node's crash residue while it
+  // was down, the tag would strand forever (peers saw it return before
+  // declaring it dead). The restarting node takes its own leftovers
+  // back; the exactly-once tag makes this race-free against a
+  // simultaneous peer declaration.
+  double leftover = metrics_.reclaim_from(body_.config().id, previous);
+  if (leftover > 0.0) {
+    pool_.deposit(leftover);
+    metrics_.record_release(sim_.now(), leftover, body_.config().id);
+    metrics_.recorder().record(
+        sim_.now(), membership_txn(body_.config().id, previous),
+        telemetry::TxnEventKind::kReclaimed, body_.config().id,
+        body_.config().id, leftover);
+  }
+}
+
 void PenelopeNodeActor::on_message(const net::Message& msg) {
+  if (detector_ && msg.src >= 0 && msg.src != body_.config().id) {
+    if (const auto* beat = msg.as<core::Heartbeat>()) {
+      note_membership_signal(
+          detector_->observe_heartbeat(beat->node, beat->incarnation,
+                                       sim_.now()),
+          msg.src);
+      return;
+    }
+    // Piggybacked liveness: any protocol message proves the sender is up
+    // at its last-known incarnation.
+    note_membership_signal(detector_->observe_traffic(msg.src, sim_.now()),
+                           msg.src);
+  } else if (msg.as<core::Heartbeat>() != nullptr) {
+    return;  // membership disabled here; a peer's beacon is just noise
+  }
   if (msg.as<core::PowerRequest>() != nullptr) {
     // Requests contend for the pool's serial service (this is where a
     // pool being "overburdened with requests" would show up — it never
@@ -273,6 +453,8 @@ void PenelopeNodeActor::on_tick(common::Ticks now) {
   double measured = body_.tick(now);
   if (!management_alive_) return;
 
+  membership_tick(now);
+
   // A request from the previous period that never resolved is a timeout
   // (dead peer, lost packet): Figure 3's fault tolerance comes from this
   // path — the decider just moves on.
@@ -300,22 +482,23 @@ void PenelopeNodeActor::on_tick(common::Ticks now) {
       // the redraw path instead of eating a guaranteed-timeout probe.
       NodeId peer = net::kNoNode;
       if (body_.config().sticky_peers && sticky_peer_ != net::kNoNode &&
-          !peer_blacklisted(sticky_peer_)) {
+          !peer_unusable(sticky_peer_)) {
         peer = sticky_peer_;
       } else if (body_.config().hint_discovery &&
                  hinted_peer_ != net::kNoNode &&
                  hinted_peer_ != body_.config().id) {
         NodeId hint = hinted_peer_;
         hinted_peer_ = net::kNoNode;  // hints are one-shot, even refused
-        if (!peer_blacklisted(hint)) peer = hint;
+        if (!peer_unusable(hint)) peer = hint;
       }
       if (peer == net::kNoNode) {
         peer = pick_peer_();
-        // Skip blacklisted peers with a few bounded redraws; if the
-        // whole sample comes up blacklisted, probe anyway (the list
-        // could be stale and starving discovery entirely is worse).
+        // Skip blacklisted (or detector-dead) peers with a few bounded
+        // redraws; if the whole sample comes up unusable, probe anyway
+        // (the view could be stale and starving discovery entirely is
+        // worse).
         for (int attempt = 0;
-             attempt < 4 && peer_blacklisted(peer); ++attempt) {
+             attempt < 4 && peer_unusable(peer); ++attempt) {
           peer = pick_peer_();
         }
       }
@@ -548,7 +731,59 @@ void CentralClientActor::resolve_outstanding_as_timeout() {
   client_.on_grant_timeout();
 }
 
+void CentralClientActor::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  if (outstanding_) {
+    sim_.cancel(outstanding_->timeout_event);
+    outstanding_.reset();
+  }
+  stale_sent_times_.clear();
+  grant_window_.reset();
+  double residue = client_.seize_for_restart();
+  body_.rapl().set_cap(client_.cap());
+  if (residue > 0.0) {
+    // Stranded against this incarnation; the server's detector reclaims
+    // it into the central budget (the SLURM-analogue path).
+    metrics_.strand_residue_against(body_.config().id, incarnation_,
+                                    residue);
+    metrics_.recorder().record(
+        sim_.now(), membership_txn(body_.config().id, incarnation_),
+        telemetry::TxnEventKind::kStranded, body_.config().id,
+        net::kNoNode, residue);
+  }
+  net_.fail_node(body_.config().id);
+}
+
+void CentralClientActor::restart() {
+  if (!crashed_) return;
+  crashed_ = false;
+  std::uint32_t previous = incarnation_++;
+  net_.recover_node(body_.config().id);
+  next_heartbeat_at_ = sim_.now();
+  // Self-reclaim leftovers the server never condemned us for, and hand
+  // them straight to the server: a rejoining SLURM client owns nothing
+  // beyond its cap — the budget lives centrally.
+  double leftover = metrics_.reclaim_from(body_.config().id, previous);
+  if (leftover > 0.0) {
+    metrics_.recorder().record(
+        sim_.now(), membership_txn(body_.config().id, previous),
+        telemetry::TxnEventKind::kReclaimed, body_.config().id,
+        body_.config().id, leftover);
+    donate(leftover, sim_.now());
+  }
+}
+
 void CentralClientActor::on_tick(common::Ticks now) {
+  if (crashed_) {
+    body_.tick(now);
+    return;
+  }
+  if (body_.config().membership_enabled && now >= next_heartbeat_at_) {
+    net_.send(body_.config().id, server_id_,
+              core::Heartbeat{body_.config().id, incarnation_});
+    next_heartbeat_at_ = now + body_.config().membership.heartbeat_period;
+  }
   double measured = body_.tick(now);
 
   if (awaiting_assignment_) {
@@ -705,7 +940,55 @@ HierarchicalServerActor::HierarchicalServerActor(
   });
 }
 
+void HierarchicalServerActor::enable_membership(
+    const core::MembershipConfig& config, int n_clients) {
+  detector_.emplace(config);
+  for (int client = 0; client < n_clients; ++client)
+    detector_->track(client, sim_.now());
+  detector_task_.emplace(sim_, config.heartbeat_period,
+                         config.heartbeat_period,
+                         [this](common::Ticks now) { membership_tick(now); });
+}
+
+void HierarchicalServerActor::membership_tick(common::Ticks now) {
+  if (!alive_ || !detector_) return;
+  transitions_.clear();
+  detector_->tick(now, transitions_);
+  for (const core::MembershipTransition& t : transitions_) {
+    if (t.to == core::PeerLiveness::kSuspected) {
+      metrics_.record_suspicion();
+      metrics_.recorder().record(now, membership_txn(t.peer, t.incarnation),
+                                 telemetry::TxnEventKind::kPeerSuspected,
+                                 id_, t.peer, 0.0);
+    } else if (t.to == core::PeerLiveness::kDead) {
+      metrics_.record_declared_dead();
+      metrics_.recorder().record(
+          now, membership_txn(t.peer, t.incarnation),
+          telemetry::TxnEventKind::kPeerDeclaredDead, id_, t.peer, 0.0);
+      double reclaimed = metrics_.reclaim_from(t.peer, t.incarnation);
+      if (reclaimed > 0.0) {
+        logic_.central().reclaim(reclaimed);
+        metrics_.recorder().record(
+            now, membership_txn(t.peer, t.incarnation),
+            telemetry::TxnEventKind::kReclaimed, id_, t.peer, reclaimed);
+      }
+    }
+  }
+}
+
 void HierarchicalServerActor::process(const net::Message& msg) {
+  if (detector_ && msg.src >= 0) {
+    if (const auto* beat = msg.as<core::Heartbeat>()) {
+      note_server_signal(metrics_, sim_.now(), *detector_, id_, beat->node,
+                         detector_->observe_heartbeat(
+                             beat->node, beat->incarnation, sim_.now()));
+      return;
+    }
+    note_server_signal(metrics_, sim_.now(), *detector_, id_, msg.src,
+                       detector_->observe_traffic(msg.src, sim_.now()));
+  } else if (msg.as<core::Heartbeat>() != nullptr) {
+    return;
+  }
   if (const auto* report = msg.as<hierarchy::ProfileReport>()) {
     bool still_profiling = logic_.handle_profile_report(msg.src, *report);
     if (!still_profiling && !assignments_sent_ &&
@@ -803,7 +1086,57 @@ CentralServerActor::CentralServerActor(
   });
 }
 
+void CentralServerActor::enable_membership(
+    const core::MembershipConfig& config, int n_clients) {
+  detector_.emplace(config);
+  for (int client = 0; client < n_clients; ++client)
+    detector_->track(client, sim_.now());
+  detector_task_.emplace(sim_, config.heartbeat_period,
+                         config.heartbeat_period,
+                         [this](common::Ticks now) { membership_tick(now); });
+}
+
+void CentralServerActor::membership_tick(common::Ticks now) {
+  if (!alive_ || !detector_) return;
+  transitions_.clear();
+  detector_->tick(now, transitions_);
+  for (const core::MembershipTransition& t : transitions_) {
+    if (t.to == core::PeerLiveness::kSuspected) {
+      metrics_.record_suspicion();
+      metrics_.recorder().record(now, membership_txn(t.peer, t.incarnation),
+                                 telemetry::TxnEventKind::kPeerSuspected,
+                                 id_, t.peer, 0.0);
+    } else if (t.to == core::PeerLiveness::kDead) {
+      metrics_.record_declared_dead();
+      metrics_.recorder().record(
+          now, membership_txn(t.peer, t.incarnation),
+          telemetry::TxnEventKind::kPeerDeclaredDead, id_, t.peer, 0.0);
+      // SLURM-analogue reclamation: the dead client's seized share (and
+      // anything stranded toward it) returns to the server budget.
+      double reclaimed = metrics_.reclaim_from(t.peer, t.incarnation);
+      if (reclaimed > 0.0) {
+        logic_.reclaim(reclaimed);
+        metrics_.recorder().record(
+            now, membership_txn(t.peer, t.incarnation),
+            telemetry::TxnEventKind::kReclaimed, id_, t.peer, reclaimed);
+      }
+    }
+  }
+}
+
 void CentralServerActor::process(const net::Message& msg) {
+  if (detector_ && msg.src >= 0) {
+    if (const auto* beat = msg.as<core::Heartbeat>()) {
+      note_server_signal(metrics_, sim_.now(), *detector_, id_, beat->node,
+                         detector_->observe_heartbeat(
+                             beat->node, beat->incarnation, sim_.now()));
+      return;
+    }
+    note_server_signal(metrics_, sim_.now(), *detector_, id_, msg.src,
+                       detector_->observe_traffic(msg.src, sim_.now()));
+  } else if (msg.as<core::Heartbeat>() != nullptr) {
+    return;
+  }
   if (const auto* donation = msg.as<central::CentralDonation>()) {
     if (!txn_window_.insert(donation->txn_id)) {
       metrics_.record_duplicate_drop(donation->watts);

@@ -17,6 +17,7 @@
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "central/client.hpp"
 #include "central/server.hpp"
@@ -24,6 +25,7 @@
 #include "hierarchy/podd_server.hpp"
 #include "common/rng.hpp"
 #include "core/decider.hpp"
+#include "core/membership.hpp"
 #include "core/pool.hpp"
 #include "core/txn_window.hpp"
 #include "net/network.hpp"
@@ -86,6 +88,14 @@ struct NodeConfig {
   bool push_gossip = false;
   double push_threshold_watts = 20.0;
   double push_fraction = 0.25;
+  /// Membership layer (PROTOCOL.md "Membership and incarnations"): the
+  /// node heartbeats `membership_peers` every heartbeat period and runs
+  /// a FailureDetector over them. Off by default — heartbeats are extra
+  /// traffic and detector events are extra simulator events, either of
+  /// which would perturb the pinned golden trace.
+  bool membership_enabled = false;
+  core::MembershipConfig membership;
+  std::vector<NodeId> membership_peers;
   std::uint64_t seed = 1;
 };
 
@@ -159,6 +169,25 @@ class PenelopeNodeActor {
   void kill_management();
   bool management_alive() const { return management_alive_; }
 
+  /// Crash-restart fault injection (whole-node, unlike kill_management):
+  /// the node drops off the network, loses its volatile protocol state
+  /// (TxnWindows, banked pool, outstanding request, discovery caches),
+  /// and its live power above the safe minimum is stranded against
+  /// (id, incarnation) for epoch-guarded reclamation. The hardware keeps
+  /// drawing at the firmware-default safe-minimum cap while down.
+  void crash();
+  /// Rejoin after crash(): incarnation bumps, the network endpoint and
+  /// pool service come back, and any of this node's own crash residue
+  /// that nobody reclaimed yet is self-reclaimed into the fresh pool.
+  /// The node re-admits itself at fair share through the normal urgent
+  /// path (it is far below its initial cap).
+  void restart();
+  bool crashed() const { return crashed_; }
+  std::uint32_t incarnation() const { return incarnation_; }
+  const core::FailureDetector* detector() const {
+    return detector_ ? &*detector_ : nullptr;
+  }
+
   NodeBody& body() { return body_; }
   const core::Decider& decider() const { return decider_; }
   const core::PowerPool& pool() const { return pool_; }
@@ -190,6 +219,10 @@ class PenelopeNodeActor {
   void finish_step(common::Ticks now);
   void resolve_outstanding_as_timeout();
   void prune_stale();
+  void membership_tick(common::Ticks now);
+  void note_membership_signal(core::MembershipSignal signal, NodeId peer);
+  /// Detector-informed peer avoidance for the kNeedsPeer draw.
+  bool peer_unusable(NodeId peer) const;
 
   struct Outstanding {
     std::uint64_t txn = 0;
@@ -234,6 +267,12 @@ class PenelopeNodeActor {
   core::TxnWindow request_window_;
   std::uint64_t push_seq_ = 0;  ///< stream-1 sequence for PowerPush txns
   bool management_alive_ = true;
+  /// Membership: per-peer suspicion state, present only when enabled.
+  std::optional<core::FailureDetector> detector_;
+  std::vector<core::MembershipTransition> transitions_;  ///< tick scratch
+  common::Ticks next_heartbeat_at_ = 0;
+  std::uint32_t incarnation_ = 1;  ///< crash counter, bumps on restart()
+  bool crashed_ = false;
 };
 
 /// SLURM-style client: classifies locally, moves all power through the
@@ -253,6 +292,18 @@ class CentralClientActor {
   double cap() const { return client_.cap(); }
   bool awaiting_assignment() const { return awaiting_assignment_; }
   double retirement_debt() const { return client_.retirement_debt(); }
+
+  /// Crash-restart (the SLURM-analogue churn path): the client drops to
+  /// the safe-minimum cap, its seized share is stranded against
+  /// (id, incarnation) so the server's detector can return it to the
+  /// budget, and volatile state (grant window, outstanding request) is
+  /// lost. restart() rejoins at a bumped incarnation; unreclaimed own
+  /// residue is self-reclaimed and donated straight back to the server
+  /// (re-admission then happens through the normal urgent path).
+  void crash();
+  void restart();
+  bool crashed() const { return crashed_; }
+  std::uint32_t incarnation() const { return incarnation_; }
 
   /// Dynamic budget reconfiguration (see PenelopeNodeActor).
   double apply_budget_delta(double delta_watts);
@@ -293,6 +344,9 @@ class CentralClientActor {
   /// Hierarchical (PoDD) mode: true until the server's CapAssignment
   /// arrives; while true, ticks send ProfileReports and do not shift.
   bool awaiting_assignment_ = false;
+  common::Ticks next_heartbeat_at_ = 0;
+  std::uint32_t incarnation_ = 1;
+  bool crashed_ = false;
 };
 
 /// PoDD-style hierarchical server (§2.3.3): collects profile reports,
@@ -310,6 +364,11 @@ class HierarchicalServerActor {
   void kill();
   bool alive() const { return alive_; }
 
+  /// SLURM-analogue membership: run a detector over the clients; a dead
+  /// client's reclaimable share returns to the embedded central cache.
+  void enable_membership(const core::MembershipConfig& config,
+                         int n_clients);
+
   NodeId id() const { return id_; }
   const hierarchy::PoddServerLogic& logic() const { return logic_; }
   double cache_watts() const { return logic_.central().cache_watts(); }
@@ -319,6 +378,7 @@ class HierarchicalServerActor {
 
  private:
   void process(const net::Message& msg);
+  void membership_tick(common::Ticks now);
 
   sim::Simulator& sim_;
   net::Network& net_;
@@ -330,6 +390,9 @@ class HierarchicalServerActor {
   /// service's overflow drop handler so a queued copy of a stranded
   /// donation is recognised as a duplicate (and vice versa).
   core::TxnWindow txn_window_;
+  std::optional<core::FailureDetector> detector_;
+  std::optional<sim::PeriodicTask> detector_task_;
+  std::vector<core::MembershipTransition> transitions_;
   bool alive_ = true;
   bool assignments_sent_ = false;
 };
@@ -349,6 +412,15 @@ class CentralServerActor {
   void kill();
   bool alive() const { return alive_; }
 
+  /// SLURM-analogue membership (the dead-client reclamation path the
+  /// paper's comparison lacks): the server watches client heartbeats;
+  /// a client declared dead has its seized share and stranded watts
+  /// returned to the server budget via ServerLogic::reclaim. A client
+  /// rejoining at a higher incarnation is readmitted implicitly — its
+  /// urgent requests draw fair share back out of the cache.
+  void enable_membership(const core::MembershipConfig& config,
+                         int n_clients);
+
   NodeId id() const { return id_; }
   const central::ServerLogic& logic() const { return logic_; }
   double cache_watts() const { return logic_.cache_watts(); }
@@ -358,6 +430,7 @@ class CentralServerActor {
 
  private:
   void process(const net::Message& msg);
+  void membership_tick(common::Ticks now);
 
   sim::Simulator& sim_;
   net::Network& net_;
@@ -367,6 +440,9 @@ class CentralServerActor {
   ClusterMetrics& metrics_;
   /// See HierarchicalServerActor::txn_window_.
   core::TxnWindow txn_window_;
+  std::optional<core::FailureDetector> detector_;
+  std::optional<sim::PeriodicTask> detector_task_;
+  std::vector<core::MembershipTransition> transitions_;
   bool alive_ = true;
 };
 

@@ -37,11 +37,24 @@ Cluster::Cluster(ClusterConfig config,
   net_ = std::make_unique<net::Network>(sim_, net_config);
 
   // Watts lost inside the fabric (dropped grant/donation messages) are
-  // stranded: they left one cap and will never reach another.
-  net_->set_drop_handler([this](const net::Message& msg) {
-    auto strand = [this, &msg](double watts, std::uint64_t txn_id) {
+  // stranded: they left one cap and will never reach another. Drops
+  // against a crashed client node additionally carry a (node,
+  // incarnation) reclaim tag, so the membership layer can return them
+  // to circulation once the death is confirmed. Loss and partition
+  // drops stay untagged: the recipient may well be alive, and a false
+  // suspicion must never be able to reclaim a live node's watts.
+  net_->set_drop_handler([this](const net::Message& msg,
+                                net::DropReason reason) {
+    auto strand = [this, &msg, reason](double watts,
+                                       std::uint64_t txn_id) {
       if (watts <= 0.0) return;
-      metrics_.watts_stranded(watts);
+      if (reason == net::DropReason::kDeadNode && msg.dst >= 0 &&
+          msg.dst < config_.n_nodes) {
+        metrics_.strand_in_flight_against(
+            msg.dst, node_incarnation(msg.dst), watts);
+      } else {
+        metrics_.watts_stranded(watts);
+      }
       metrics_.recorder().record(sim_.now(), txn_id,
                                  telemetry::TxnEventKind::kStranded,
                                  msg.dst, msg.src, watts);
@@ -61,6 +74,7 @@ Cluster::Cluster(ClusterConfig config,
   current_budget_ = config_.system_budget();
   build(std::move(profiles));
   arm_faults();
+  arm_churn();
 
   audit_task_ = std::make_unique<sim::PeriodicTask>(
       sim_, config_.audit_interval, config_.audit_interval,
@@ -112,6 +126,18 @@ NodeConfig Cluster::make_node_config(int node) {
   nc.push_gossip = config_.push_gossip;
   nc.push_threshold_watts = config_.push_threshold_watts;
   nc.push_fraction = config_.push_fraction;
+  nc.membership_enabled = config_.membership_enabled;
+  nc.membership = config_.membership;
+  if (config_.membership_enabled &&
+      config_.manager == ManagerKind::kPenelope) {
+    // Full-mesh liveness: every client watches every other client.
+    for (int peer = 0; peer < config_.n_nodes; ++peer) {
+      if (peer != node) nc.membership_peers.push_back(peer);
+    }
+  } else if (config_.membership_enabled) {
+    // Central managers: clients heartbeat only the server node.
+    nc.membership_peers.push_back(config_.n_nodes);
+  }
   nc.seed = config_.seed ^ (0x9e3779b9u * static_cast<unsigned>(node + 1));
   return nc;
 }
@@ -174,6 +200,8 @@ void Cluster::build(std::vector<workload::WorkloadProfile> profiles) {
     service.seed = config_.seed ^ 0xc2b2ae35u;
     server_ = std::make_unique<CentralServerActor>(
         sim_, *net_, /*id=*/n, config_.server, service, metrics_);
+    if (config_.membership_enabled)
+      server_->enable_membership(config_.membership, n);
   } else if (config_.manager == ManagerKind::kHierarchical) {
     net::SerialServerConfig service = config_.server_service;
     service.seed = config_.seed ^ 0xc2b2ae35u;
@@ -185,6 +213,8 @@ void Cluster::build(std::vector<workload::WorkloadProfile> profiles) {
     podd.profile_periods = config_.podd_profile_periods;
     podd_server_ = std::make_unique<HierarchicalServerActor>(
         sim_, *net_, /*id=*/n, podd, service, metrics_);
+    if (config_.membership_enabled)
+      podd_server_->enable_membership(config_.membership, n);
   }
 }
 
@@ -221,8 +251,104 @@ void Cluster::arm_faults() {
       case FaultEvent::Kind::kHealPartition:
         sim_.schedule_at(fault.at, [this] { net_->clear_partition(); });
         break;
+      case FaultEvent::Kind::kCrashNode:
+        sim_.schedule_at(fault.at, [this, node = fault.node] {
+          if (node >= 0 && node < config_.n_nodes) crash_node(node);
+        });
+        break;
+      case FaultEvent::Kind::kRecoverNode:
+        sim_.schedule_at(fault.at, [this, node = fault.node] {
+          if (node >= 0 && node < config_.n_nodes) recover_node(node);
+        });
+        break;
     }
   }
+}
+
+void Cluster::arm_churn() {
+  if (!config_.churn_enabled) return;
+  PEN_CHECK(config_.churn_mtbf_seconds > 0.0);
+  PEN_CHECK(config_.churn_mttr_seconds > 0.0);
+  // The schedule derives only from the seed (its own stream, so it does
+  // not perturb start-jitter or network draws): every client alternates
+  // exponential up-time and down-time until the run deadline. Scheduled
+  // up front rather than on the fly, which keeps the event sequence
+  // independent of anything the run itself does.
+  common::Rng churn_rng(config_.seed ^ 0x27d4eb2fu);
+  common::Ticks deadline = common::from_seconds(config_.max_seconds);
+  for (int node = 0; node < config_.n_nodes; ++node) {
+    double t = 0.0;
+    for (;;) {
+      t += churn_rng.exponential(config_.churn_mtbf_seconds);
+      common::Ticks down_at = common::from_seconds(t);
+      if (down_at >= deadline) break;
+      t += churn_rng.exponential(config_.churn_mttr_seconds);
+      common::Ticks up_at = common::from_seconds(t);
+      if (up_at >= deadline) break;  // never leave a node down for good
+      sim_.schedule_at(down_at, [this, node] { crash_node(node); });
+      sim_.schedule_at(up_at, [this, node] { recover_node(node); });
+    }
+  }
+}
+
+void Cluster::crash_node(int node) {
+  PEN_CHECK(node >= 0 && node < config_.n_nodes);
+  auto idx = static_cast<std::size_t>(node);
+  switch (config_.manager) {
+    case ManagerKind::kPenelope:
+      penelope_nodes_[idx]->crash();
+      break;
+    case ManagerKind::kCentral:
+    case ManagerKind::kHierarchical:
+      central_clients_[idx]->crash();
+      break;
+    case ManagerKind::kFair:
+      break;  // no volatile management state to lose
+  }
+}
+
+void Cluster::recover_node(int node) {
+  PEN_CHECK(node >= 0 && node < config_.n_nodes);
+  auto idx = static_cast<std::size_t>(node);
+  switch (config_.manager) {
+    case ManagerKind::kPenelope:
+      penelope_nodes_[idx]->restart();
+      break;
+    case ManagerKind::kCentral:
+    case ManagerKind::kHierarchical:
+      central_clients_[idx]->restart();
+      break;
+    case ManagerKind::kFair:
+      break;
+  }
+}
+
+bool Cluster::node_crashed(int node) const {
+  auto idx = static_cast<std::size_t>(node);
+  switch (config_.manager) {
+    case ManagerKind::kPenelope:
+      return penelope_nodes_.at(idx)->crashed();
+    case ManagerKind::kCentral:
+    case ManagerKind::kHierarchical:
+      return central_clients_.at(idx)->crashed();
+    case ManagerKind::kFair:
+      return false;
+  }
+  return false;
+}
+
+std::uint32_t Cluster::node_incarnation(int node) const {
+  auto idx = static_cast<std::size_t>(node);
+  switch (config_.manager) {
+    case ManagerKind::kPenelope:
+      return penelope_nodes_.at(idx)->incarnation();
+    case ManagerKind::kCentral:
+    case ManagerKind::kHierarchical:
+      return central_clients_.at(idx)->incarnation();
+    case ManagerKind::kFair:
+      return 1;
+  }
+  return 1;
 }
 
 void Cluster::on_node_complete(net::NodeId node, common::Ticks at) {
@@ -269,6 +395,11 @@ RunResult Cluster::collect_result() const {
   if (server_) result.server_stats = server_->service_stats();
   if (podd_server_) result.server_stats = podd_server_->service_stats();
   result.stranded_watts = metrics_.stranded_watts();
+  result.watts_reclaimed = metrics_.watts_reclaimed();
+  result.reclaims = metrics_.reclaims();
+  result.nodes_suspected = metrics_.nodes_suspected();
+  result.false_suspicions = metrics_.false_suspicions();
+  result.nodes_declared_dead = metrics_.nodes_declared_dead();
   result.audit = audit_summary_;
   return result;
 }

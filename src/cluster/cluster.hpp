@@ -50,11 +50,20 @@ struct FaultEvent {
     kPartition,
     /// Heal any active partition.
     kHealPartition,
+    /// Crash a client node entirely: volatile state (transaction
+    /// windows, banked grants, pool) is lost, the cap collapses to the
+    /// safe minimum, and the residue is stranded against the node's
+    /// current incarnation for epoch-guarded reclamation.
+    kCrashNode,
+    /// Restart a previously crashed node: it rejoins with a bumped
+    /// incarnation and reclaims its own previous incarnation's residue
+    /// (if no peer got there first).
+    kRecoverNode,
   };
   Kind kind = Kind::kKillServer;
   common::Ticks at = 0;
-  /// For kKillManagement: which client node. For kPartition: the split
-  /// point.
+  /// For kKillManagement/kCrashNode/kRecoverNode: which client node.
+  /// For kPartition: the split point.
   net::NodeId node = 0;
 };
 
@@ -97,6 +106,20 @@ struct ClusterConfig {
       net::SerialServerConfig{.service_min = 5, .service_max = 10,
                               .queue_capacity = 1024, .seed = 7};
   std::vector<FaultEvent> faults;
+  /// Membership layer (DESIGN §3b): heartbeat-driven failure detection
+  /// plus epoch-guarded reclamation of dead peers' stranded watts. Off
+  /// by default so zero-churn runs stay bit-identical to the pinned
+  /// golden trace.
+  bool membership_enabled = false;
+  core::MembershipConfig membership;
+  /// Crash–restart churn: when enabled, every client node draws an
+  /// exponential lifetime (mean churn_mtbf_seconds) followed by an
+  /// exponential repair time (mean churn_mttr_seconds), repeated until
+  /// max_seconds. The schedule derives only from `seed`, so it is
+  /// reproducible and composes with sweep parallelism.
+  bool churn_enabled = false;
+  double churn_mtbf_seconds = 120.0;
+  double churn_mttr_seconds = 10.0;
   /// Hard deadline for run(); experiments that do not finish report
   /// all_completed = false with runtime == deadline.
   double max_seconds = 3600.0;
@@ -133,6 +156,12 @@ struct RunResult {
   /// Central manager only.
   std::optional<net::SerialServerStats> server_stats;
   double stranded_watts = 0.0;
+  /// Membership layer (zero unless membership_enabled).
+  double watts_reclaimed = 0.0;
+  std::uint64_t reclaims = 0;
+  std::uint64_t nodes_suspected = 0;
+  std::uint64_t false_suspicions = 0;
+  std::uint64_t nodes_declared_dead = 0;
   AuditSummary audit;
 };
 
@@ -181,6 +210,14 @@ class Cluster {
   net::Network& network() { return *net_; }
   const ClusterConfig& config() const { return config_; }
 
+  /// Crash / restart a client node now (Penelope and central managers).
+  /// Idempotent; used by the fault scheduler and directly by tests.
+  void crash_node(int node);
+  void recover_node(int node);
+  bool node_crashed(int node) const;
+  /// The node's current incarnation (1 until its first restart).
+  std::uint32_t node_incarnation(int node) const;
+
   double node_cap(int node) const;
   double node_pool_watts(int node) const;  ///< Penelope only, else 0
   double server_cache_watts() const;       ///< central only, else 0
@@ -200,6 +237,7 @@ class Cluster {
  private:
   void build(std::vector<workload::WorkloadProfile> profiles);
   void arm_faults();
+  void arm_churn();
   void on_node_complete(net::NodeId node, common::Ticks at);
   NodeConfig make_node_config(int node);
 

@@ -30,6 +30,20 @@ ClusterMetrics::ClusterMetrics()
                         "grants for transactions nobody tracked");
   requests_sent_ = registry_.counter("penelope_requests_sent_total", {},
                                      "power requests sent");
+  watts_reclaimed_ = registry_.gauge(
+      "penelope_watts_reclaimed", {},
+      "stranded watts of dead peers returned to circulation");
+  reclaims_ = registry_.counter("penelope_reclaims_total", {},
+                                "consumed (node, incarnation) reclaim tags");
+  nodes_suspected_ =
+      registry_.counter("penelope_nodes_suspected_total", {},
+                        "alive->suspected detector transitions");
+  false_suspicions_ = registry_.counter(
+      "penelope_false_suspicions_total", {},
+      "suspected/dead peers that returned at the same incarnation");
+  nodes_declared_dead_ =
+      registry_.counter("penelope_nodes_declared_dead_total", {},
+                        "suspected->dead detector transitions");
 }
 
 void ClusterMetrics::record_turnaround(common::Ticks sent_at,

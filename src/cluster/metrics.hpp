@@ -17,7 +17,9 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "common/units.hpp"
@@ -96,6 +98,61 @@ class ClusterMetrics {
     return unknown_txn_grants_.value();
   }
 
+  /// --- membership and epoch-guarded reclamation ------------------------
+  /// Watts a crashing node surrendered (cap above safe-min, drained
+  /// pool). They were live — not in flight — so this only moves them
+  /// into the stranded ledger, tagged (node, incarnation) so exactly one
+  /// later observer can reclaim them.
+  void strand_residue_against(std::int32_t node, std::uint32_t incarnation,
+                              double watts) {
+    if (watts <= 0.0) return;
+    stranded_watts_.add(watts);
+    reclaimable_[{node, incarnation}] += watts;
+  }
+  /// An in-flight message died against a dead node: the usual strand
+  /// bookkeeping, plus the reclaim tag.
+  void strand_in_flight_against(std::int32_t node,
+                                std::uint32_t incarnation, double watts) {
+    if (watts <= 0.0) return;
+    watts_stranded(watts);
+    reclaimable_[{node, incarnation}] += watts;
+  }
+  /// Consume the (node, incarnation) reclaim tag exactly once: the tag's
+  /// watts leave the stranded ledger and the caller must put them back
+  /// into circulation (a pool deposit or the server cache) atomically in
+  /// sim time. Returns 0 for an unknown or already-consumed tag, which
+  /// is what makes double reclamation (two peers declaring the same
+  /// death, or a ghost of an old incarnation) impossible.
+  double reclaim_from(std::int32_t node, std::uint32_t incarnation) {
+    auto it = reclaimable_.find({node, incarnation});
+    if (it == reclaimable_.end()) return 0.0;
+    double watts = it->second;
+    reclaimable_.erase(it);
+    stranded_watts_.add(-watts);
+    watts_reclaimed_.add(watts);
+    reclaims_.inc();
+    return watts;
+  }
+  /// Watts still tagged reclaimable (subset of stranded_watts()).
+  double reclaimable_watts() const {
+    double sum = 0.0;
+    for (const auto& [key, watts] : reclaimable_) sum += watts;
+    return sum;
+  }
+  double watts_reclaimed() const { return watts_reclaimed_.value(); }
+  std::uint64_t reclaims() const { return reclaims_.value(); }
+
+  void record_suspicion() { nodes_suspected_.inc(); }
+  std::uint64_t nodes_suspected() const { return nodes_suspected_.value(); }
+  void record_false_suspicion() { false_suspicions_.inc(); }
+  std::uint64_t false_suspicions() const {
+    return false_suspicions_.value();
+  }
+  void record_declared_dead() { nodes_declared_dead_.inc(); }
+  std::uint64_t nodes_declared_dead() const {
+    return nodes_declared_dead_.value();
+  }
+
   /// --- misc counters ----------------------------------------------------
   void record_request_sent() { requests_sent_.inc(); }
   std::uint64_t requests_sent() const { return requests_sent_.value(); }
@@ -122,6 +179,14 @@ class ClusterMetrics {
   telemetry::Gauge duplicate_watts_dropped_;
   telemetry::Counter unknown_txn_grants_;
   telemetry::Counter requests_sent_;
+  /// Reclaim tags: (dead node, incarnation) -> watts stranded against
+  /// it. std::map for deterministic reclaimable_watts() iteration.
+  std::map<std::pair<std::int32_t, std::uint32_t>, double> reclaimable_;
+  telemetry::Gauge watts_reclaimed_;
+  telemetry::Counter reclaims_;
+  telemetry::Counter nodes_suspected_;
+  telemetry::Counter false_suspicions_;
+  telemetry::Counter nodes_declared_dead_;
 };
 
 /// Redistribution-time analysis for the scale study (§4.5): given the

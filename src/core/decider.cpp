@@ -128,6 +128,14 @@ double Decider::apply_budget_delta(double delta_watts) {
   return from_cap + from_pool;
 }
 
+double Decider::seize_for_restart() {
+  double seized = std::max(cap_ - config_.safe_range.min_watts, 0.0);
+  cap_ = config_.safe_range.min_watts;
+  last_urgent_ = false;
+  last_hungry_ = false;
+  return seized;
+}
+
 double Decider::finish_step() {
   // Algorithm 1's closing block: a pool that served an urgent request
   // induces its own node to give back everything above the initial cap —

@@ -128,6 +128,14 @@ class Decider {
   /// Outstanding watts this node still owes to a budget cut.
   double retirement_debt() const { return retirement_debt_; }
 
+  /// Crash: the node drops to the safe-minimum cap (firmware default on
+  /// power-up) and everything above it is surrendered to the caller,
+  /// who strands it against this node's incarnation for reclamation.
+  /// Step flags clear; the txn counter survives (modeled-persistent, so
+  /// a restarted node can never re-mint a pre-crash txn id). Returns
+  /// the seized watts (>= 0).
+  double seize_for_restart();
+
   /// Whether the most recent step classified this node as urgent.
   bool last_step_urgent() const { return last_urgent_; }
   bool last_step_hungry() const { return last_hungry_; }

@@ -1,0 +1,87 @@
+#include "core/membership.hpp"
+
+#include "common/check.hpp"
+
+namespace penelope::core {
+
+FailureDetector::FailureDetector(MembershipConfig config)
+    : config_(config) {
+  PEN_CHECK(config_.heartbeat_period > 0);
+  PEN_CHECK(config_.suspect_after_missed > 0);
+  PEN_CHECK(config_.dead_after_missed > config_.suspect_after_missed);
+}
+
+void FailureDetector::track(std::int32_t peer, common::Ticks now) {
+  auto [it, inserted] = views_.try_emplace(peer);
+  if (inserted) it->second.last_seen = now;
+}
+
+MembershipSignal FailureDetector::refresh(PeerView& view,
+                                          common::Ticks now) {
+  view.last_seen = now;
+  if (view.state == PeerLiveness::kAlive) return MembershipSignal::kFresh;
+  // The peer we suspected (or buried) at this incarnation is talking
+  // again: the suspicion was false. The caller readmits it — any reclaim
+  // of its watts already happened exactly once and is not undone; the
+  // peer rebuilds from fair share through the normal urgent path.
+  view.state = PeerLiveness::kAlive;
+  return MembershipSignal::kRecovered;
+}
+
+MembershipSignal FailureDetector::observe_traffic(std::int32_t peer,
+                                                  common::Ticks now) {
+  track(peer, now);
+  return refresh(views_.find(peer)->second, now);
+}
+
+MembershipSignal FailureDetector::observe_heartbeat(
+    std::int32_t peer, std::uint32_t incarnation, common::Ticks now) {
+  track(peer, now);
+  PeerView& view = views_.find(peer)->second;
+  if (incarnation < view.incarnation) {
+    // Quarantine rule: a beacon from a dead incarnation (reordered
+    // pre-crash traffic, or the node itself racing its own restart)
+    // must not refresh liveness — otherwise a ghost could keep a
+    // consumed reclaim tag's owner looking alive forever.
+    return MembershipSignal::kStaleQuarantined;
+  }
+  if (incarnation > view.incarnation) {
+    view.incarnation = incarnation;
+    view.last_seen = now;
+    view.state = PeerLiveness::kAlive;
+    return MembershipSignal::kRejoined;
+  }
+  return refresh(view, now);
+}
+
+void FailureDetector::tick(common::Ticks now,
+                           std::vector<MembershipTransition>& out) {
+  for (auto& [peer, view] : views_) {
+    if (view.state == PeerLiveness::kDead) continue;
+    if (now <= view.last_seen) continue;
+    auto missed = static_cast<std::uint64_t>(
+        (now - view.last_seen) / config_.heartbeat_period);
+    if (view.state == PeerLiveness::kAlive &&
+        missed >= config_.suspect_after_missed) {
+      view.state = PeerLiveness::kSuspected;
+      out.push_back({peer, PeerLiveness::kSuspected, view.incarnation});
+    }
+    if (view.state == PeerLiveness::kSuspected &&
+        missed >= config_.dead_after_missed) {
+      view.state = PeerLiveness::kDead;
+      out.push_back({peer, PeerLiveness::kDead, view.incarnation});
+    }
+  }
+}
+
+PeerLiveness FailureDetector::liveness(std::int32_t peer) const {
+  auto it = views_.find(peer);
+  return it == views_.end() ? PeerLiveness::kAlive : it->second.state;
+}
+
+std::uint32_t FailureDetector::incarnation(std::int32_t peer) const {
+  auto it = views_.find(peer);
+  return it == views_.end() ? 1 : it->second.incarnation;
+}
+
+}  // namespace penelope::core

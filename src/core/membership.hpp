@@ -1,0 +1,103 @@
+// Membership layer: per-peer failure detection with incarnation-guarded
+// rejoin (PROTOCOL.md "Membership and incarnations").
+//
+// Each decider runs its own FailureDetector — there is no membership
+// oracle, matching Penelope's no-central-authority stance (§1). Liveness
+// evidence is piggybacked on every message a peer sends plus a cheap
+// periodic Heartbeat beacon; a peer silent for `suspect_after_missed`
+// heartbeat periods becomes suspected, and after `dead_after_missed`
+// periods it is declared dead, at which point the watts stranded against
+// it become reclaimable (cluster/metrics.hpp holds that ledger).
+//
+// Incarnations make rejoin safe. Every node carries a monotonically
+// increasing crash counter starting at 1; a restarting node bumps it.
+// The detector compares each piece of evidence against the highest
+// incarnation it has seen for that peer:
+//   * same incarnation after suspected/dead  -> kRecovered (false
+//     suspicion — the peer never died, the fabric just hid it),
+//   * higher incarnation                     -> kRejoined (a genuine
+//     crash-restart; pre-crash state for that peer is obsolete),
+//   * lower incarnation                      -> kStaleQuarantined (a
+//     reordered pre-crash message; ignored so a ghost of the old
+//     incarnation can never resurrect a consumed reclaim tag).
+// All observation state lives in a std::map keyed by peer id so tick()
+// walks peers in a deterministic order — transition order feeds the
+// journal and must replay bit-identically across runs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace penelope::core {
+
+struct MembershipConfig {
+  /// Beacon period; also the unit "missed periods" is measured in.
+  common::Ticks heartbeat_period = common::from_seconds(1.0);
+  /// Missed periods before alive -> suspected.
+  std::uint32_t suspect_after_missed = 3;
+  /// Missed periods before suspected -> dead (must exceed suspect).
+  std::uint32_t dead_after_missed = 6;
+};
+
+enum class PeerLiveness : std::uint8_t { kAlive, kSuspected, kDead };
+
+/// What a piece of evidence meant for the observer's view of the peer.
+enum class MembershipSignal : std::uint8_t {
+  kFresh,             ///< routine evidence from an alive peer
+  kRecovered,         ///< suspected/dead peer returned, same incarnation
+  kRejoined,          ///< peer returned at a higher incarnation
+  kStaleQuarantined,  ///< evidence from an older incarnation; ignored
+};
+
+/// A liveness state change produced by tick().
+struct MembershipTransition {
+  std::int32_t peer = -1;
+  PeerLiveness to = PeerLiveness::kAlive;
+  /// Highest incarnation observed for the peer at transition time.
+  std::uint32_t incarnation = 1;
+};
+
+class FailureDetector {
+ public:
+  explicit FailureDetector(MembershipConfig config);
+
+  /// Start (or re-start) tracking `peer`; fresh as of `now` at
+  /// incarnation 1 unless evidence already raised it.
+  void track(std::int32_t peer, common::Ticks now);
+
+  /// Piggybacked evidence: any protocol message from `peer` proves it is
+  /// up at its last-known incarnation.
+  MembershipSignal observe_traffic(std::int32_t peer, common::Ticks now);
+
+  /// Explicit evidence: a Heartbeat names the sender's incarnation, so
+  /// this is the only path that can report kRejoined/kStaleQuarantined.
+  MembershipSignal observe_heartbeat(std::int32_t peer,
+                                     std::uint32_t incarnation,
+                                     common::Ticks now);
+
+  /// Advance suspicion clocks; appends alive->suspected and
+  /// suspected->dead transitions (in ascending peer order) to `out`.
+  void tick(common::Ticks now,
+            std::vector<MembershipTransition>& out);
+
+  PeerLiveness liveness(std::int32_t peer) const;
+  std::uint32_t incarnation(std::int32_t peer) const;
+  std::size_t tracked_peers() const { return views_.size(); }
+
+ private:
+  struct PeerView {
+    PeerLiveness state = PeerLiveness::kAlive;
+    std::uint32_t incarnation = 1;
+    common::Ticks last_seen = 0;
+  };
+
+  MembershipSignal refresh(PeerView& view, common::Ticks now);
+
+  MembershipConfig config_;
+  std::map<std::int32_t, PeerView> views_;
+};
+
+}  // namespace penelope::core

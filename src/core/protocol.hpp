@@ -83,4 +83,16 @@ struct PowerPush {
   std::uint64_t txn_id = kNoTxn;
 };
 
+/// Membership liveness beacon (PROTOCOL.md "Membership and
+/// incarnations"). Carries no power, needs no txn id: heartbeats are
+/// idempotent — observing the same one twice just refreshes the same
+/// per-peer freshness timestamp. The incarnation is the sender's crash
+/// counter; receivers use it to tell a restarted peer (higher
+/// incarnation) from a falsely-suspected one returning (same
+/// incarnation) and to quarantine stale pre-crash evidence (lower).
+struct Heartbeat {
+  std::int32_t node = -1;
+  std::uint32_t incarnation = 1;
+};
+
 }  // namespace penelope::core

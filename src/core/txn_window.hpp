@@ -18,6 +18,7 @@
 // span far more traffic than any copy can stay in flight.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -55,6 +56,16 @@ class TxnWindow {
   /// Membership without insertion.
   bool contains(std::uint64_t txn) const {
     return txn != 0 && seen_.count(txn) != 0;
+  }
+
+  /// Forget everything: a crash-restart loses the window (it is volatile
+  /// state by design — see PROTOCOL.md "Membership and incarnations").
+  /// Safe only because restarted senders keep their sequence counters,
+  /// so pre-crash txn ids are never re-minted at the new incarnation.
+  void reset() {
+    std::fill(ring_.begin(), ring_.end(), 0);
+    seen_.clear();
+    next_seq_ = 0;
   }
 
   std::size_t size() const { return seen_.size(); }

@@ -24,11 +24,14 @@ void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
   }
 }
 
-void put_i32(std::vector<std::uint8_t>& out, std::int32_t v) {
-  auto u = static_cast<std::uint32_t>(v);
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
   for (int i = 0; i < 4; ++i) {
-    out.push_back(static_cast<std::uint8_t>(u >> (8 * i)));
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
   }
+}
+
+void put_i32(std::vector<std::uint8_t>& out, std::int32_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
 }
 
 void put_f64(std::vector<std::uint8_t>& out, double v) {
@@ -57,14 +60,16 @@ class Reader {
     return v;
   }
 
-  std::int32_t i32() {
+  std::uint32_t u32() {
     if (!require(4)) return 0;
     std::uint32_t v = 0;
     for (int i = 0; i < 4; ++i) {
       v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
     }
-    return static_cast<std::int32_t>(v);
+    return v;
   }
+
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
 
   double f64() { return std::bit_cast<double>(u64()); }
 
@@ -112,9 +117,12 @@ std::size_t encoded_size(const WirePayload& payload) {
                    } else if constexpr (std::is_same_v<
                                             T, hierarchy::CapAssignment>) {
                      return 8;
-                   } else {
-                     static_assert(std::is_same_v<T, core::PowerPush>);
+                   } else if constexpr (std::is_same_v<T,
+                                                       core::PowerPush>) {
                      return 8 + 8;  // watts, txn
+                   } else {
+                     static_assert(std::is_same_v<T, core::Heartbeat>);
+                     return 4 + 4;  // node, incarnation
                    }
                  },
                  payload);
@@ -161,11 +169,15 @@ std::vector<std::uint8_t> encode(const WirePayload& payload) {
           put_u8(out,
                  static_cast<std::uint8_t>(WireTag::kCapAssignment));
           put_f64(out, msg.initial_cap_watts);
-        } else {
-          static_assert(std::is_same_v<T, core::PowerPush>);
+        } else if constexpr (std::is_same_v<T, core::PowerPush>) {
           put_u8(out, static_cast<std::uint8_t>(WireTag::kPowerPush));
           put_f64(out, msg.watts);
           put_u64(out, msg.txn_id);
+        } else {
+          static_assert(std::is_same_v<T, core::Heartbeat>);
+          put_u8(out, static_cast<std::uint8_t>(WireTag::kHeartbeat));
+          put_i32(out, msg.node);
+          put_u32(out, msg.incarnation);
         }
       },
       payload);
@@ -235,6 +247,13 @@ std::optional<WirePayload> decode(const std::uint8_t* data,
       core::PowerPush msg;
       msg.watts = reader.f64();
       msg.txn_id = reader.u64();
+      payload = msg;
+      break;
+    }
+    case WireTag::kHeartbeat: {
+      core::Heartbeat msg;
+      msg.node = reader.i32();
+      msg.incarnation = reader.u32();
       payload = msg;
       break;
     }

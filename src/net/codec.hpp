@@ -30,7 +30,8 @@ using WirePayload =
     std::variant<core::PowerRequest, core::PowerGrant,
                  central::CentralDonation, central::CentralRequest,
                  central::CentralGrant, hierarchy::ProfileReport,
-                 hierarchy::CapAssignment, core::PowerPush>;
+                 hierarchy::CapAssignment, core::PowerPush,
+                 core::Heartbeat>;
 
 /// Type tags on the wire (stable ABI — append only).
 enum class WireTag : std::uint8_t {
@@ -42,6 +43,7 @@ enum class WireTag : std::uint8_t {
   kProfileReport = 6,
   kCapAssignment = 7,
   kPowerPush = 8,
+  kHeartbeat = 9,
 };
 
 /// Serialize a payload; always succeeds (all message types are fixed

@@ -26,7 +26,7 @@ namespace penelope::net {
 using NodeId = std::int32_t;
 inline constexpr NodeId kNoNode = -1;
 
-/// Every payload a Message can carry: the eight wire-codec message
+/// Every payload a Message can carry: the nine wire-codec message
 /// types, plus monostate for a default-constructed (empty) Message.
 /// Keep the alternative order in sync with WireTag (codec.hpp) — the
 /// codec round-trip test pins both.
@@ -34,7 +34,8 @@ using Payload =
     std::variant<std::monostate, core::PowerRequest, core::PowerGrant,
                  central::CentralDonation, central::CentralRequest,
                  central::CentralGrant, hierarchy::ProfileReport,
-                 hierarchy::CapAssignment, core::PowerPush>;
+                 hierarchy::CapAssignment, core::PowerPush,
+                 core::Heartbeat>;
 
 static_assert(std::is_trivially_copyable_v<Payload>,
               "Payload must stay trivially copyable: the fabric relies "

@@ -67,12 +67,12 @@ std::uint64_t Network::send(NodeId src, NodeId dst, Payload payload) {
 
   if (rng_.chance(config_.loss_probability)) {
     ++stats_.dropped_loss;
-    if (drop_handler_) drop_handler_(msg);
+    if (drop_handler_) drop_handler_(msg, DropReason::kLoss);
     return msg.id;
   }
   if (!same_island(src, dst)) {
     ++stats_.dropped_partition;
-    if (drop_handler_) drop_handler_(msg);
+    if (drop_handler_) drop_handler_(msg, DropReason::kPartition);
     return msg.id;
   }
 
@@ -137,21 +137,21 @@ void Network::deliver(std::uint32_t slot) {
     last_copy = state.outstanding == 0;
     other_delivered = state.any_delivered;
   }
-  auto resolve_drop = [&](std::uint64_t& counter) {
+  auto resolve_drop = [&](std::uint64_t& counter, DropReason reason) {
     ++counter;
     if (drop_handler_ && last_copy && !other_delivered)
-      drop_handler_(msg);
+      drop_handler_(msg, reason);
     if (copy_it != copies_.end() && last_copy) copies_.erase(copy_it);
   };
   if (!node_alive(msg.dst)) {
-    resolve_drop(stats_.dropped_dead_node);
+    resolve_drop(stats_.dropped_dead_node, DropReason::kDeadNode);
     return;
   }
   const Handler* handler = nullptr;
   if (msg.dst >= 0 && static_cast<std::size_t>(msg.dst) < endpoints_.size())
     handler = &endpoints_[static_cast<std::size_t>(msg.dst)];
   if (handler == nullptr || !*handler) {
-    resolve_drop(stats_.dropped_no_endpoint);
+    resolve_drop(stats_.dropped_no_endpoint, DropReason::kNoEndpoint);
     return;
   }
   if (copy_it != copies_.end()) {
@@ -165,16 +165,20 @@ void Network::deliver(std::uint32_t slot) {
 void Network::fail_node(NodeId node) {
   if (node < 0) return;
   ensure_slot(failed_, node, std::uint8_t{0});
+  if (failed_[static_cast<std::size_t>(node)] != 0) return;
   failed_[static_cast<std::size_t>(node)] = 1;
+  ++stats_.node_failures;
   PEN_LOG_INFO("network: node %d failed at t=%.3fs", node,
                common::to_seconds(sim_.now()));
 }
 
-void Network::restore_node(NodeId node) {
+void Network::recover_node(NodeId node) {
   if (node < 0) return;
   ensure_slot(failed_, node, std::uint8_t{0});
+  if (failed_[static_cast<std::size_t>(node)] == 0) return;
   failed_[static_cast<std::size_t>(node)] = 0;
-  PEN_LOG_INFO("network: node %d restored at t=%.3fs", node,
+  ++stats_.node_recoveries;
+  PEN_LOG_INFO("network: node %d recovered at t=%.3fs", node,
                common::to_seconds(sim_.now()));
 }
 

@@ -75,6 +75,8 @@ struct NetworkStats {
   std::uint64_t dropped_no_endpoint = 0; ///< dst never registered
   std::uint64_t duplicated = 0;          ///< extra copies injected
   std::uint64_t reordered = 0;           ///< copies given a reorder delay
+  std::uint64_t node_failures = 0;   ///< alive->failed transitions
+  std::uint64_t node_recoveries = 0; ///< failed->alive transitions
   /// Wire-encoded payload bytes across logical sends (duplicated copies
   /// share their original's payload and add nothing), for the telemetry
   /// registry's traffic-volume series.
@@ -86,9 +88,21 @@ struct NetworkStats {
   }
 };
 
+/// Why a message never reached its destination handler. The cluster's
+/// drop handler uses this to decide whether the lost watts are merely
+/// stranded (loss/partition: the peer is still alive and its view of
+/// the ledger intact) or reclaimable against the dead destination.
+enum class DropReason : std::uint8_t {
+  kLoss,
+  kDeadNode,
+  kPartition,
+  kNoEndpoint,
+};
+
 class Network {
  public:
   using Handler = std::function<void(const Message&)>;
+  using DropHandler = std::function<void(const Message&, DropReason)>;
 
   Network(sim::Simulator& sim, NetworkConfig config);
 
@@ -111,9 +125,15 @@ class Network {
 
   /// Mark a node failed: it stops receiving, and sends from it are
   /// dropped. Delivery events already in flight to it are dropped on
-  /// arrival, matching a crash that loses the NIC.
+  /// arrival, matching a crash that loses the NIC. Idempotent: failing
+  /// an already-failed node is a no-op (no double-counted transition,
+  /// no duplicate log line).
   void fail_node(NodeId node);
-  void restore_node(NodeId node);
+  /// Undo fail_node: the node receives and sends again. Idempotent the
+  /// same way. Orthogonal to partitions — a node recovered inside a
+  /// partition island still only reaches its island until the partition
+  /// heals (covered in network_test.cpp).
+  void recover_node(NodeId node);
   bool node_alive(NodeId node) const;
 
   /// Split the network into islands; messages crossing island boundaries
@@ -122,14 +142,15 @@ class Network {
   void set_partition(const std::vector<std::vector<NodeId>>& islands);
   void clear_partition();
 
-  /// Observer invoked for every dropped message (loss, dead node,
-  /// partition, missing endpoint) with the message that was lost. The
-  /// cluster layer uses this to account for power stranded in lost
-  /// grant/donation messages. For a duplicated message the handler fires
+  /// Observer invoked for every dropped message with the message that
+  /// was lost and why (loss, dead node, partition, missing endpoint).
+  /// The cluster layer uses this to account for power stranded in lost
+  /// grant/donation messages, and the reason to tag dead-node strands
+  /// for later reclamation. For a duplicated message the handler fires
   /// at most once — only when the last in-flight copy drops and no copy
   /// was delivered — so watts are never stranded twice (or stranded when
   /// the other copy actually arrived).
-  void set_drop_handler(Handler handler) {
+  void set_drop_handler(DropHandler handler) {
     drop_handler_ = std::move(handler);
   }
 
@@ -159,7 +180,7 @@ class Network {
   sim::Simulator& sim_;
   NetworkConfig config_;
   common::Rng rng_;
-  Handler drop_handler_;
+  DropHandler drop_handler_;
   /// Dense NodeId-indexed tables: node ids are small and contiguous in
   /// every topology the cluster layer builds (clients 0..N-1, server N),
   /// so a vector probe replaces the seed's unordered_map hash+chase on

@@ -44,6 +44,11 @@ void SerialServer::halt() {
   queue_.clear();
 }
 
+void SerialServer::resume() {
+  halted_ = false;
+  maybe_start_service();
+}
+
 void SerialServer::maybe_start_service() {
   if (busy_ || halted_ || queue_.empty()) return;
   busy_ = true;

@@ -71,6 +71,10 @@ class SerialServer {
   /// Stop accepting and processing (used when the hosting node fails).
   /// Queued messages are discarded through the drop handler.
   void halt();
+  /// Undo halt(): accept and process again (crash-restart recovery).
+  /// If a service completion was in flight when halt() hit, busy_ is
+  /// still set; that event self-heals it and restarts the loop.
+  void resume();
   bool halted() const { return halted_; }
 
   /// Observer for messages dropped by queue overflow or halt(); used by

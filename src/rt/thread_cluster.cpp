@@ -1,6 +1,8 @@
 #include "rt/thread_cluster.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <utility>
 
 #include "common/check.hpp"
 #include "common/log.hpp"
@@ -77,6 +79,25 @@ struct ThreadCluster::Node {
   core::TxnWindow grant_window;
   std::vector<DemandPhase> script;
   common::Rng rng;
+  /// Crash–restart churn. `down` is written by the decider thread and
+  /// read by the pool thread (drop requests while down, like a dead
+  /// node) and by peer deciders (their probes simply time out — they
+  /// never read it; only the pool-side drop matters).
+  /// `reset_request_window` hands the restart's window wipe to the pool
+  /// thread, which owns that window — resetting it from the decider
+  /// thread would race a concurrent insert.
+  std::atomic<bool> down{false};
+  std::atomic<bool> reset_request_window{false};
+  std::atomic<std::uint32_t> incarnation{1};
+  /// Watts seized by the last crash (cap share above the safe floor,
+  /// drained pool, banked reply-box grants). Written by the decider
+  /// thread; read by the main thread after the joins.
+  std::atomic<double> orphaned{0.0};
+  /// This node's slice of config.crash_events, sorted by time:
+  /// (crash_at, restart_at) wall offsets. Decider-thread private.
+  std::vector<std::pair<common::Ticks, common::Ticks>> crash_plan;
+  telemetry::Counter crashes;
+  telemetry::Counter restarts;
   /// Registry-backed counters (updated lock-free from both of this
   /// node's threads, aggregated by ThreadCluster::metrics_snapshot).
   telemetry::Counter grants_received;
@@ -112,6 +133,18 @@ ThreadCluster::ThreadCluster(
                           "redeliveries rejected by a TxnWindow");
     node.requests_sent = registry_.counter(
         "rt_requests_sent_total", labels, "power requests sent to peers");
+    node.crashes = registry_.counter("rt_crashes_total", labels,
+                                     "scripted node crashes executed");
+    node.restarts = registry_.counter(
+        "rt_restarts_total", labels,
+        "crash recoveries (incarnation bumps)");
+    for (const ThreadCrashEvent& ev : config_.crash_events) {
+      if (ev.node == i) {
+        PEN_CHECK(ev.down_for > 0);
+        node.crash_plan.emplace_back(ev.at, ev.at + ev.down_for);
+      }
+    }
+    std::sort(node.crash_plan.begin(), node.crash_plan.end());
   }
 }
 
@@ -122,6 +155,18 @@ void ThreadCluster::pool_loop(Node& node, std::stop_token stop) {
   while (!stop.stop_requested()) {
     std::optional<PoolRequestMsg> msg = node.inbox.pop();
     if (!msg) break;  // mailbox closed: shutdown
+    if (node.reset_request_window.exchange(false,
+                                           std::memory_order_acq_rel)) {
+      // Restart: the pre-crash window is volatile state that died with
+      // the process; the pool thread wipes it because it owns it.
+      node.request_window.reset();
+    }
+    if (node.down.load(std::memory_order_acquire)) {
+      // Dead node: the request falls into the void and the requester
+      // times out. No window insert — a retry of this transaction after
+      // the restart deserves a real answer.
+      continue;
+    }
     if (!node.request_window.insert(msg->request.txn_id)) {
       // Redelivered request: the first copy's grant already answered
       // this transaction; serving again would debit the pool twice.
@@ -158,10 +203,51 @@ void ThreadCluster::decider_loop(Node& node, std::stop_token stop) {
   node.rapl.set_cap(node.decider.cap());
 
   common::Ticks next_tick = start + config_.period;
+  std::size_t crash_idx = 0;
   while (!stop.stop_requested()) {
     std::this_thread::sleep_until(to_time_point(next_tick));
     if (stop.stop_requested()) break;
     common::Ticks now = wall_ticks();
+
+    if (crash_idx < node.crash_plan.size() &&
+        !node.down.load(std::memory_order_relaxed) &&
+        now - start >= node.crash_plan[crash_idx].first) {
+      // Crash: volatile state dies. The cap collapses to the safe
+      // floor; the pool, the cap share above it, and any banked
+      // reply-box grants are orphaned until the restart self-reclaims
+      // them (or the run ends with the node still down).
+      node.down.store(true, std::memory_order_release);
+      double residue = node.pool.drain() + node.decider.seize_for_restart();
+      while (auto grant = node.reply_box.try_pop())
+        residue += grant->watts;
+      node.rapl.set_cap(node.decider.cap());
+      node.orphaned.fetch_add(residue, std::memory_order_acq_rel);
+      node.crashes.inc();
+      recorder_.record(now, 0, telemetry::TxnEventKind::kStranded, node.id,
+                       -1, residue);
+    }
+    if (node.down.load(std::memory_order_relaxed)) {
+      if (now < start + node.crash_plan[crash_idx].second) {
+        next_tick += config_.period;  // still down: idle at the floor
+        continue;
+      }
+      // Restart: bumped incarnation, both TxnWindows wiped (the pool
+      // thread wipes its own), late grants drained, orphaned watts
+      // self-reclaimed into the fresh pool.
+      node.incarnation.fetch_add(1, std::memory_order_acq_rel);
+      node.grant_window.reset();
+      node.reset_request_window.store(true, std::memory_order_release);
+      double late = 0.0;
+      while (auto grant = node.reply_box.try_pop()) late += grant->watts;
+      double leftover =
+          node.orphaned.exchange(0.0, std::memory_order_acq_rel) + late;
+      if (leftover > 0.0) node.pool.deposit(leftover);
+      node.down.store(false, std::memory_order_release);
+      node.restarts.inc();
+      recorder_.record(now, 0, telemetry::TxnEventKind::kReclaimed,
+                       node.id, node.id, leftover);
+      ++crash_idx;
+    }
 
     // Walk the demand script forward; the final phase persists.
     while (phase_idx + 1 < node.script.size() &&
@@ -296,6 +382,10 @@ std::vector<ThreadNodeReport> ThreadCluster::reports() const {
     report.grants_received = node->grants_received.value();
     report.timeouts = node->timeouts.value();
     report.duplicates_dropped = node->duplicates_dropped.value();
+    report.crashes = node->crashes.value();
+    report.restarts = node->restarts.value();
+    report.incarnation = node->incarnation.load(std::memory_order_acquire);
+    report.orphaned_watts = node->orphaned.load(std::memory_order_acquire);
     reports.push_back(report);
   }
   return reports;
@@ -306,6 +396,13 @@ double ThreadCluster::total_live_watts() const {
   for (const auto& node : nodes_) {
     total += node->decider.cap() + node->pool.available();
   }
+  return total;
+}
+
+double ThreadCluster::orphaned_watts() const {
+  double total = 0.0;
+  for (const auto& node : nodes_)
+    total += node->orphaned.load(std::memory_order_acquire);
   return total;
 }
 

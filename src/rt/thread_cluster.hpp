@@ -30,6 +30,18 @@ namespace penelope::rt {
 /// Wall-clock microseconds since an arbitrary process-local epoch.
 common::Ticks wall_ticks();
 
+/// A scripted crash–restart for one node, in wall time relative to the
+/// start of run_for. While down the node's pool drops incoming requests
+/// (peers time out, exactly like probing a dead node) and its decider
+/// idles; at `at + down_for` it restarts with a bumped incarnation,
+/// volatile state (both TxnWindows, banked reply-box grants) wiped, and
+/// its orphaned watts self-reclaimed into the pool.
+struct ThreadCrashEvent {
+  int node = 0;
+  common::Ticks at = 0;
+  common::Ticks down_for = common::from_millis(100);
+};
+
 struct ThreadClusterConfig {
   int n_nodes = 4;
   double initial_cap_watts = 120.0;
@@ -44,6 +56,8 @@ struct ThreadClusterConfig {
   double rapl_tau_seconds = 0.02;  ///< scaled with the shortened period
   /// Transaction flight-recorder ring size; 0 disables the journal.
   std::size_t flight_recorder_capacity = 0;
+  /// Crash–restart churn schedule; empty (default) disables churn.
+  std::vector<ThreadCrashEvent> crash_events;
   std::uint64_t seed = 42;
 };
 
@@ -64,6 +78,13 @@ struct ThreadNodeReport {
   /// Redelivered messages refused by this node's TxnWindows (the mailbox
   /// transport never duplicates, but the protocol no longer assumes so).
   std::uint64_t duplicates_dropped = 0;
+  /// Crash–restart churn bookkeeping.
+  std::uint64_t crashes = 0;
+  std::uint64_t restarts = 0;
+  std::uint32_t incarnation = 1;
+  /// Watts seized by a crash and not yet self-reclaimed (nonzero only
+  /// for a node still down when the run ended).
+  double orphaned_watts = 0.0;
 };
 
 class ThreadCluster {
@@ -86,6 +107,10 @@ class ThreadCluster {
   /// Total live power (caps + pools + in-flight); for conservation
   /// checks after shutdown.
   double total_live_watts() const;
+  /// Watts orphaned by crashes whose nodes never restarted; the
+  /// conservation check under churn is
+  /// total_live_watts() + orphaned_watts() == budget().
+  double orphaned_watts() const;
   double budget() const;
 
   /// Aggregated view of the sharded per-node counters (grants applied,

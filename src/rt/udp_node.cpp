@@ -70,6 +70,12 @@ UdpPenelopeNode::UdpPenelopeNode(UdpNodeConfig config,
   duplicates_dropped_ =
       registry_.counter("udp_duplicates_dropped_total", labels,
                         "redeliveries rejected by a TxnWindow");
+  heartbeats_received_ =
+      registry_.counter("udp_heartbeats_received_total", labels,
+                        "membership beacons decoded");
+  stale_heartbeats_ =
+      registry_.counter("udp_stale_heartbeats_total", labels,
+                        "beacons quarantined for an old incarnation");
   fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
   if (fd_ < 0) {
     error_ = std::string("socket: ") + std::strerror(errno);
@@ -143,10 +149,27 @@ bool UdpPenelopeNode::send_to_port(
   return sent == static_cast<ssize_t>(bytes.size());
 }
 
+void UdpPenelopeNode::crash_restart() {
+  crash_requested_.store(true, std::memory_order_release);
+}
+
 void UdpPenelopeNode::receiver_loop(std::stop_token stop) {
   common::set_log_node(config_.id);
   std::uint8_t buffer[256];
   while (!stop.stop_requested()) {
+    if (crash_requested_.exchange(false, std::memory_order_acq_rel)) {
+      // The restart wipes everything a process loses: the at-most-once
+      // windows and the peers this receiver had vouched for. Grants
+      // already queued for the decider belong to the dead incarnation;
+      // they self-reclaim into the pool so no watts vanish.
+      request_window_.reset();
+      grant_window_.reset();
+      peer_incarnations_.clear();
+      while (auto grant = grant_box_.try_pop()) {
+        if (grant->watts > 0.0) pool_.deposit(grant->watts);
+      }
+      incarnation_.fetch_add(1, std::memory_order_acq_rel);
+    }
     sockaddr_in from{};
     socklen_t from_len = sizeof from;
     ssize_t received =
@@ -209,6 +232,19 @@ void UdpPenelopeNode::receiver_loop(std::stop_token stop) {
                          telemetry::TxnEventKind::kBanked, config_.id, -1,
                          grant->watts);
       }
+    } else if (const auto* beat =
+                   std::get_if<core::Heartbeat>(&*payload)) {
+      heartbeats_received_.inc();
+      auto [it, inserted] =
+          peer_incarnations_.try_emplace(beat->node, beat->incarnation);
+      if (!inserted) {
+        if (beat->incarnation < it->second) {
+          // Reordered pre-crash beacon: quarantined, not evidence.
+          stale_heartbeats_.inc();
+        } else {
+          it->second = beat->incarnation;
+        }
+      }
     } else {
       decode_failures_.inc();
     }
@@ -232,6 +268,17 @@ void UdpPenelopeNode::decider_loop(std::stop_token stop) {
                                       next_tick - wall_ticks()));
     if (stop.stop_requested()) break;
     common::Ticks now = wall_ticks();
+
+    if (config_.heartbeats) {
+      // Liveness beacon naming this node's current incarnation; fire
+      // and forget — a lost beacon just means one more missed period on
+      // the peers' suspicion clocks.
+      auto beacon = net::encode(net::WirePayload{core::Heartbeat{
+          config_.id, incarnation_.load(std::memory_order_acquire)}});
+      for (const auto& peer : peers_) {
+        (void)send_to_port(peer.port, beacon);
+      }
+    }
 
     while (phase_idx + 1 < script_.size() &&
            now - phase_start >= script_[phase_idx].duration) {
@@ -306,6 +353,9 @@ UdpNodeReport UdpPenelopeNode::report() const {
   report.packets_received = packets_received_.value();
   report.decode_failures = decode_failures_.value();
   report.duplicates_dropped = duplicates_dropped_.value();
+  report.heartbeats_received = heartbeats_received_.value();
+  report.stale_heartbeats = stale_heartbeats_.value();
+  report.incarnation = incarnation_.load(std::memory_order_acquire);
   report.decider = decider_.stats();
   return report;
 }

@@ -20,6 +20,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -51,6 +52,11 @@ struct UdpNodeConfig {
   double rapl_tau_seconds = 0.02;
   /// Transaction flight-recorder ring size; 0 disables the journal.
   std::size_t flight_recorder_capacity = 0;
+  /// Send a membership Heartbeat beacon to every peer each period and
+  /// track peer incarnations on receive (PROTOCOL.md "Membership and
+  /// incarnations"). Off by default: heartbeats add a datagram per peer
+  /// per period, and the pre-membership tests pin packet counts.
+  bool heartbeats = false;
   std::uint64_t seed = 42;
 };
 
@@ -70,6 +76,15 @@ struct UdpNodeReport {
   /// Redelivered datagrams refused by the receive-side TxnWindows. UDP
   /// genuinely duplicates, so this can be nonzero on a healthy run.
   std::uint64_t duplicates_dropped = 0;
+  /// Membership beacons decoded by the receiver (0 unless peers run
+  /// with heartbeats enabled).
+  std::uint64_t heartbeats_received = 0;
+  /// Beacons naming an incarnation older than the highest seen for that
+  /// peer: quarantined (counted, otherwise ignored) so a reordered
+  /// pre-crash beacon can never pass for fresh liveness evidence.
+  std::uint64_t stale_heartbeats = 0;
+  /// This node's crash counter: 1 + the number of crash_restart()s.
+  std::uint32_t incarnation = 1;
   core::DeciderStats decider;
 };
 
@@ -102,6 +117,20 @@ class UdpPenelopeNode {
   /// late grants until stop_receiver().
   void stop_decider();
   void stop_receiver();
+
+  /// Simulate a process crash followed by an immediate restart: the
+  /// receiver thread wipes its volatile state at the next datagram
+  /// boundary — both TxnWindows reset (the at-most-once history is
+  /// gone, exactly what a real restart loses), grants queued for the
+  /// dead decider incarnation drain into the pool (self-reclaim, so
+  /// conservation holds), and the incarnation bumps. Subsequent
+  /// heartbeats advertise the new incarnation; peers quarantine any
+  /// stale pre-crash beacon still floating in the kernel's buffers.
+  /// Safe to call from any thread while the node is running.
+  void crash_restart();
+  std::uint32_t incarnation() const {
+    return incarnation_.load(std::memory_order_acquire);
+  }
 
   UdpNodeReport report() const;
   double cap() const { return decider_.cap(); }
@@ -138,6 +167,12 @@ class UdpPenelopeNode {
   /// touch the pool or reach the decider's mailbox.
   core::TxnWindow request_window_;
   core::TxnWindow grant_window_;
+  /// Highest incarnation heard per peer; receiver-thread owned.
+  std::map<std::int32_t, std::uint32_t> peer_incarnations_;
+  /// Crash counter; bumped by the receiver thread when it executes a
+  /// crash_restart() request, read by the decider when beaconing.
+  std::atomic<std::uint32_t> incarnation_{1};
+  std::atomic<bool> crash_requested_{false};
 
   /// Registry-backed counters (receiver + decider threads update them
   /// lock-free; snapshot aggregates the shards).
@@ -148,6 +183,8 @@ class UdpPenelopeNode {
   telemetry::Counter packets_received_;
   telemetry::Counter decode_failures_;
   telemetry::Counter duplicates_dropped_;
+  telemetry::Counter heartbeats_received_;
+  telemetry::Counter stale_heartbeats_;
 
   std::jthread receiver_thread_;
   std::jthread decider_thread_;
@@ -169,6 +206,11 @@ class UdpCluster {
   std::vector<UdpNodeReport> reports() const;
   double total_live_watts() const;
   double budget() const;
+
+  /// Direct node access, e.g. to inject a crash_restart() mid-run.
+  UdpPenelopeNode& node(int i) {
+    return *nodes_.at(static_cast<std::size_t>(i));
+  }
 
   /// Every node's registry snapshot merged into one sample vector;
   /// series stay distinct through their `node` label, so the merged

@@ -20,6 +20,11 @@ const char* txn_event_name(TxnEventKind kind) {
     case TxnEventKind::kDonationReceived: return "donation_received";
     case TxnEventKind::kPushSent: return "push_sent";
     case TxnEventKind::kPushReceived: return "push_received";
+    case TxnEventKind::kPeerSuspected: return "peer_suspected";
+    case TxnEventKind::kPeerDeclaredDead: return "peer_declared_dead";
+    case TxnEventKind::kFalseSuspicion: return "false_suspicion";
+    case TxnEventKind::kPeerRejoined: return "peer_rejoined";
+    case TxnEventKind::kReclaimed: return "reclaimed";
   }
   return "unknown";
 }

@@ -34,6 +34,11 @@ enum class TxnEventKind : std::uint8_t {
   kDonationReceived,  // central server absorbed a donation
   kPushSent,          // unsolicited push/gossip departed
   kPushReceived,      // unsolicited push/gossip absorbed
+  kPeerSuspected,     // detector: peer missed suspect_after_missed beats
+  kPeerDeclaredDead,  // detector: peer missed dead_after_missed beats
+  kFalseSuspicion,    // suspected/dead peer spoke at the same incarnation
+  kPeerRejoined,      // peer returned at a higher incarnation
+  kReclaimed,         // stranded watts of a dead peer re-entered a pool
 };
 
 /// Stable lowercase name for exporters ("request_sent", "stranded", ...).

@@ -1,0 +1,156 @@
+#include "core/membership.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace penelope::core {
+namespace {
+
+MembershipConfig config_1s() {
+  MembershipConfig config;
+  config.heartbeat_period = common::from_seconds(1.0);
+  config.suspect_after_missed = 3;
+  config.dead_after_missed = 6;
+  return config;
+}
+
+common::Ticks sec(double s) { return common::from_seconds(s); }
+
+std::vector<MembershipTransition> tick_at(FailureDetector& d,
+                                          common::Ticks now) {
+  std::vector<MembershipTransition> out;
+  d.tick(now, out);
+  return out;
+}
+
+TEST(FailureDetector, SilentPeerProgressesAliveSuspectedDead) {
+  FailureDetector d(config_1s());
+  d.track(7, 0);
+  EXPECT_EQ(d.liveness(7), PeerLiveness::kAlive);
+
+  // Under the suspicion threshold: nothing happens.
+  EXPECT_TRUE(tick_at(d, sec(2.5)).empty());
+  EXPECT_EQ(d.liveness(7), PeerLiveness::kAlive);
+
+  // Three missed periods: suspected.
+  auto transitions = tick_at(d, sec(3.0));
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_EQ(transitions[0].peer, 7);
+  EXPECT_EQ(transitions[0].to, PeerLiveness::kSuspected);
+  EXPECT_EQ(transitions[0].incarnation, 1u);
+  EXPECT_EQ(d.liveness(7), PeerLiveness::kSuspected);
+
+  // Six missed periods: dead.
+  transitions = tick_at(d, sec(6.0));
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_EQ(transitions[0].to, PeerLiveness::kDead);
+  EXPECT_EQ(d.liveness(7), PeerLiveness::kDead);
+
+  // Dead is terminal for the clock: no repeated transitions.
+  EXPECT_TRUE(tick_at(d, sec(60.0)).empty());
+}
+
+TEST(FailureDetector, BothTransitionsCanFireInOneTick) {
+  // A detector that was not ticked for a long gap (e.g. its own node
+  // was down) must still pass through suspected on the way to dead, so
+  // the journal always shows the full lifecycle.
+  FailureDetector d(config_1s());
+  d.track(3, 0);
+  auto transitions = tick_at(d, sec(10.0));
+  ASSERT_EQ(transitions.size(), 2u);
+  EXPECT_EQ(transitions[0].to, PeerLiveness::kSuspected);
+  EXPECT_EQ(transitions[1].to, PeerLiveness::kDead);
+}
+
+TEST(FailureDetector, TrafficRefreshesTheSuspicionClock) {
+  FailureDetector d(config_1s());
+  d.track(1, 0);
+  EXPECT_EQ(d.observe_traffic(1, sec(2.9)), MembershipSignal::kFresh);
+  // Old silence no longer counts: the clock restarted at 2.9 s.
+  EXPECT_TRUE(tick_at(d, sec(5.0)).empty());
+  EXPECT_EQ(d.liveness(1), PeerLiveness::kAlive);
+}
+
+TEST(FailureDetector, TrafficFromSuspectedPeerIsAFalseSuspicion) {
+  FailureDetector d(config_1s());
+  d.track(1, 0);
+  tick_at(d, sec(3.0));
+  ASSERT_EQ(d.liveness(1), PeerLiveness::kSuspected);
+  EXPECT_EQ(d.observe_traffic(1, sec(3.1)), MembershipSignal::kRecovered);
+  EXPECT_EQ(d.liveness(1), PeerLiveness::kAlive);
+  EXPECT_EQ(d.incarnation(1), 1u);
+}
+
+TEST(FailureDetector, SameIncarnationHeartbeatRecoversDeadPeer) {
+  // A partition outlasting the dead threshold, then healing: the peer
+  // returns at the incarnation it never stopped running.
+  FailureDetector d(config_1s());
+  d.track(1, 0);
+  tick_at(d, sec(6.0));
+  ASSERT_EQ(d.liveness(1), PeerLiveness::kDead);
+  EXPECT_EQ(d.observe_heartbeat(1, 1, sec(6.5)),
+            MembershipSignal::kRecovered);
+  EXPECT_EQ(d.liveness(1), PeerLiveness::kAlive);
+}
+
+TEST(FailureDetector, HigherIncarnationHeartbeatIsARejoin) {
+  FailureDetector d(config_1s());
+  d.track(1, 0);
+  tick_at(d, sec(6.0));
+  ASSERT_EQ(d.liveness(1), PeerLiveness::kDead);
+  EXPECT_EQ(d.observe_heartbeat(1, 2, sec(6.5)),
+            MembershipSignal::kRejoined);
+  EXPECT_EQ(d.liveness(1), PeerLiveness::kAlive);
+  EXPECT_EQ(d.incarnation(1), 2u);
+}
+
+TEST(FailureDetector, StaleIncarnationIsQuarantined) {
+  FailureDetector d(config_1s());
+  d.track(1, 0);
+  ASSERT_EQ(d.observe_heartbeat(1, 3, sec(0.5)),
+            MembershipSignal::kRejoined);
+  // A reordered beacon from incarnation 2 arrives late: ignored — it
+  // must refresh nothing, or a ghost could keep a dead peer "alive".
+  EXPECT_EQ(d.observe_heartbeat(1, 2, sec(0.6)),
+            MembershipSignal::kStaleQuarantined);
+  EXPECT_EQ(d.incarnation(1), 3u);
+  // The stale beacon did not touch the clock: silence since 0.5 s
+  // still accumulates.
+  auto transitions = tick_at(d, sec(3.5));
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_EQ(transitions[0].to, PeerLiveness::kSuspected);
+  EXPECT_EQ(transitions[0].incarnation, 3u);
+}
+
+TEST(FailureDetector, TransitionsComeInAscendingPeerOrder) {
+  FailureDetector d(config_1s());
+  d.track(9, 0);
+  d.track(2, 0);
+  d.track(5, 0);
+  auto transitions = tick_at(d, sec(3.0));
+  ASSERT_EQ(transitions.size(), 3u);
+  EXPECT_EQ(transitions[0].peer, 2);
+  EXPECT_EQ(transitions[1].peer, 5);
+  EXPECT_EQ(transitions[2].peer, 9);
+}
+
+TEST(FailureDetector, UntrackedPeerReportsAliveAtIncarnationOne) {
+  FailureDetector d(config_1s());
+  EXPECT_EQ(d.liveness(42), PeerLiveness::kAlive);
+  EXPECT_EQ(d.incarnation(42), 1u);
+  EXPECT_EQ(d.tracked_peers(), 0u);
+}
+
+TEST(FailureDetector, TrackIsIdempotent) {
+  FailureDetector d(config_1s());
+  d.track(1, 0);
+  d.observe_heartbeat(1, 4, sec(1.0));
+  // Re-tracking an already-known peer must not reset its view.
+  d.track(1, sec(2.0));
+  EXPECT_EQ(d.incarnation(1), 4u);
+  EXPECT_EQ(d.tracked_peers(), 1u);
+}
+
+}  // namespace
+}  // namespace penelope::core

@@ -97,6 +97,76 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSoak,
                            return "seed" + std::to_string(info.param);
                          });
 
+// The membership layer under the same fabric chaos plus node churn:
+// nodes crash (volatile state lost, residue stranded against their
+// incarnation), restart with bumped incarnations, and a mid-run
+// partition manufactures false suspicions on top. Dead nodes' watts
+// must be reclaimed exactly once and conservation must stay at float
+// noise across seeds.
+class ChaosChurnSoak : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosChurnSoak, ChurnWithReclamationConservesAcrossSeeds) {
+  ClusterConfig cc;
+  cc.manager = ManagerKind::kPenelope;
+  cc.n_nodes = 20;
+  cc.per_socket_cap_watts = 70.0;
+  cc.seed = GetParam();
+  cc.max_seconds = 3000.0;
+  add_chaos_network(cc);
+  cc.sticky_peers = true;
+  cc.hint_discovery = true;
+  cc.blacklist_after_timeouts = 3;
+  cc.push_gossip = true;
+  cc.audit_interval = common::from_seconds(1.0);
+  cc.membership_enabled = true;
+  cc.churn_enabled = true;
+  cc.churn_mtbf_seconds = 60.0;
+  cc.churn_mttr_seconds = 5.0;
+  cc.faults = {
+      FaultEvent{FaultEvent::Kind::kPartition, common::from_seconds(90.0),
+                 10},
+      FaultEvent{FaultEvent::Kind::kHealPartition,
+                 common::from_seconds(150.0), 0},
+  };
+
+  Cluster cluster(cc, make_pair_workloads(workload::NpbApp::kEP,
+                                          workload::NpbApp::kDC,
+                                          cc.n_nodes,
+                                          chaos_npb(cc.seed)));
+  RunResult result = cluster.run();
+
+  EXPECT_TRUE(result.all_completed);
+  for (int i = 0; i < cc.n_nodes; ++i) {
+    EXPECT_TRUE(cluster.node_app_done(i)) << "node " << i << " wedged";
+  }
+  // Every chaos class fired: fabric faults, kills, restarts, and the
+  // partition episode.
+  EXPECT_GT(result.net_stats.dropped_loss, 0u);
+  EXPECT_GT(result.net_stats.duplicated, 0u);
+  EXPECT_GT(result.net_stats.dropped_partition, 0u);
+  EXPECT_GT(result.net_stats.node_failures, 0u);
+  EXPECT_GT(result.net_stats.node_recoveries, 0u);
+  // The membership layer detected and reclaimed.
+  EXPECT_GT(result.nodes_declared_dead, 0u);
+  EXPECT_GT(result.reclaims, 0u);
+  EXPECT_GT(result.watts_reclaimed, 0.0);
+  // The tentpole invariant: crashes, rejoins, false suspicions, and
+  // reclamation never mint or destroy power.
+  EXPECT_LT(result.audit.max_abs_conservation_error, 1e-6);
+  EXPECT_LE(result.audit.max_live_overshoot, 1e-6);
+  for (int i = 0; i < cc.n_nodes; ++i) {
+    EXPECT_GE(cluster.node_cap(i), cc.rapl.safe_range.min_watts - 1e-9);
+    EXPECT_LE(cluster.node_cap(i), cc.rapl.safe_range.max_watts + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosChurnSoak,
+                         ::testing::Values(1u, 2u, 3u),
+                         [](const ::testing::TestParamInfo<std::uint64_t>&
+                                info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
 TEST(ChaosSoakCentral, ServerKillUnderChaosStillBalances) {
   // The centralized manager under the same fabric chaos plus its worst
   // fault: the server dies mid-run while duplicated donations are in

@@ -68,6 +68,12 @@ TEST(Codec, PowerPushRoundTrip) {
   EXPECT_DOUBLE_EQ(roundtrip(core::PowerPush{17.5}).watts, 17.5);
 }
 
+TEST(Codec, HeartbeatRoundTrip) {
+  core::Heartbeat out = roundtrip(core::Heartbeat{7, 12});
+  EXPECT_EQ(out.node, 7);
+  EXPECT_EQ(out.incarnation, 12u);
+}
+
 TEST(Codec, HierarchyMessagesRoundTrip) {
   EXPECT_DOUBLE_EQ(
       roundtrip(hierarchy::ProfileReport{151.5}).avg_power_watts, 151.5);
@@ -97,6 +103,7 @@ TEST(Codec, EveryWireTagRoundTripsByteIdentical) {
       {WireTag::kProfileReport, hierarchy::ProfileReport{151.5}},
       {WireTag::kCapAssignment, hierarchy::CapAssignment{186.25}},
       {WireTag::kPowerPush, core::PowerPush{17.5, 0xfeedULL}},
+      {WireTag::kHeartbeat, core::Heartbeat{12, 3}},
   };
   ASSERT_EQ(std::size(cases), std::variant_size_v<WirePayload>)
       << "new message type needs an exemplar here";
@@ -129,7 +136,7 @@ TEST(Codec, EncodedSizeMatchesActual) {
       core::PowerRequest{}, core::PowerGrant{},
       central::CentralDonation{}, central::CentralRequest{},
       central::CentralGrant{}, hierarchy::ProfileReport{},
-      hierarchy::CapAssignment{}, core::PowerPush{}};
+      hierarchy::CapAssignment{}, core::PowerPush{}, core::Heartbeat{}};
   for (const auto& p : payloads) {
     EXPECT_EQ(encode(p).size(), encoded_size(p));
   }

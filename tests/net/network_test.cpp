@@ -131,15 +131,70 @@ TEST(Network, MessageInFlightWhenNodeDiesIsLost) {
   EXPECT_EQ(f.net->stats().dropped_dead_node, 1u);
 }
 
-TEST(Network, RestoreNodeResumesDelivery) {
+TEST(Network, RecoverNodeResumesDelivery) {
   Fixture f;
   int received = 0;
   f.net->register_endpoint(1, [&](const Message&) { ++received; });
   f.net->fail_node(1);
   f.net->send(0, 1, probe(1));
   f.sim.run();
-  f.net->restore_node(1);
+  f.net->recover_node(1);
   f.net->send(0, 1, probe(2));
+  f.sim.run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(Network, FailNodeIsIdempotent) {
+  // Churn schedules and fault scripts may both kill the same node; a
+  // double kill (or a recover of a live node) must not double-count
+  // transition stats or otherwise disturb bookkeeping.
+  Fixture f;
+  int received = 0;
+  f.net->register_endpoint(1, [&](const Message&) { ++received; });
+  f.net->fail_node(1);
+  f.net->fail_node(1);
+  EXPECT_EQ(f.net->stats().node_failures, 1u);
+  f.net->recover_node(1);
+  f.net->recover_node(1);
+  EXPECT_EQ(f.net->stats().node_recoveries, 1u);
+  f.net->send(0, 1, probe(1));
+  f.sim.run();
+  EXPECT_EQ(received, 1);
+  f.net->fail_node(1);
+  EXPECT_EQ(f.net->stats().node_failures, 2u);
+}
+
+TEST(Network, RecoverOfNeverFailedNodeIsNoOp) {
+  Fixture f;
+  f.net->recover_node(3);
+  EXPECT_EQ(f.net->stats().node_recoveries, 0u);
+}
+
+TEST(Network, FailedNodeStaysDeadAcrossPartitionChanges) {
+  // fail_node and set_partition are orthogonal: healing a partition
+  // must not resurrect a dead node, and recovering a node must not
+  // punch through an active partition.
+  Fixture f;
+  int received = 0;
+  f.net->register_endpoint(2, [&](const Message&) { ++received; });
+  f.net->fail_node(2);
+  f.net->set_partition({{0, 1}, {2, 3}});
+  f.net->clear_partition();
+  f.net->send(0, 2, probe(1));
+  f.sim.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(f.net->stats().dropped_dead_node, 1u);
+
+  // Recover the node while a fresh partition separates it from the
+  // sender: traffic now drops at the partition, not the node.
+  f.net->recover_node(2);
+  f.net->set_partition({{0, 1}, {2, 3}});
+  f.net->send(0, 2, probe(2));
+  f.sim.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(f.net->stats().dropped_partition, 1u);
+  f.net->clear_partition();
+  f.net->send(0, 2, probe(3));
   f.sim.run();
   EXPECT_EQ(received, 1);
 }
@@ -211,23 +266,44 @@ TEST(Network, DropHandlerSeesLostMessages) {
   Fixture f(cfg);
   f.net->register_endpoint(1, [](const Message&) {});
   std::vector<int> dropped;
-  f.net->set_drop_handler([&](const Message& m) {
+  std::vector<DropReason> reasons;
+  f.net->set_drop_handler([&](const Message& m, DropReason reason) {
     dropped.push_back(probe_value(m));
+    reasons.push_back(reason);
   });
   f.net->send(0, 1, probe(17));
   f.sim.run();
   ASSERT_EQ(dropped.size(), 1u);
   EXPECT_EQ(dropped[0], 17);
+  ASSERT_EQ(reasons.size(), 1u);
+  EXPECT_EQ(reasons[0], DropReason::kLoss);
 }
 
 TEST(Network, DropHandlerFiresForDeadDestination) {
   Fixture f;
   int drops = 0;
-  f.net->set_drop_handler([&](const Message&) { ++drops; });
+  f.net->set_drop_handler([&](const Message&, DropReason reason) {
+    ++drops;
+    EXPECT_EQ(reason, DropReason::kDeadNode);
+  });
   f.net->fail_node(1);
   f.net->send(0, 1, probe(1));
   f.sim.run();
   EXPECT_EQ(drops, 1);
+}
+
+TEST(Network, DropHandlerReportsPartitionReason) {
+  Fixture f;
+  std::vector<DropReason> reasons;
+  f.net->set_drop_handler([&](const Message&, DropReason reason) {
+    reasons.push_back(reason);
+  });
+  f.net->register_endpoint(2, [](const Message&) {});
+  f.net->set_partition({{0, 1}, {2, 3}});
+  f.net->send(0, 2, probe(1));
+  f.sim.run();
+  ASSERT_EQ(reasons.size(), 1u);
+  EXPECT_EQ(reasons[0], DropReason::kPartition);
 }
 
 TEST(Network, LatencySamplesArePositiveAndNearBase) {
@@ -344,7 +420,7 @@ TEST(Network, DuplicateDropHandlerFiresAtMostOnce) {
   Fixture f(cfg);
   f.net->register_endpoint(1, [](const Message&) {});
   int drops = 0;
-  f.net->set_drop_handler([&](const Message&) { ++drops; });
+  f.net->set_drop_handler([&](const Message&, DropReason) { ++drops; });
   f.net->fail_node(1);
   f.net->send(0, 1, probe(1));
   f.sim.run();
@@ -365,7 +441,7 @@ TEST(Network, NoDropHandlerWhenOneCopyWasDelivered) {
     f.net->fail_node(1);  // the sibling copy now drops on arrival
   });
   int drops = 0;
-  f.net->set_drop_handler([&](const Message&) { ++drops; });
+  f.net->set_drop_handler([&](const Message&, DropReason) { ++drops; });
   f.net->send(0, 1, probe(1));
   f.sim.run();
   EXPECT_EQ(received, 1);

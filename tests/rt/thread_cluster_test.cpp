@@ -177,6 +177,68 @@ TEST(ThreadCluster, MetricsSnapshotMatchesReports) {
   }
 }
 
+TEST(ThreadCluster, CrashRestartBumpsIncarnationAndConserves) {
+  // Node 1 crashes 150 ms in and restarts 150 ms later: its volatile
+  // state is wiped, the seized watts ride the orphan ledger while it is
+  // down, and the restart self-reclaims them into the pool.
+  ThreadClusterConfig cfg = quick_config(4);
+  cfg.crash_events = {ThreadCrashEvent{1, common::from_millis(150),
+                                       common::from_millis(150)}};
+  ThreadCluster cluster(cfg, steady_scripts(4, 60.0, 240.0));
+  cluster.run_for(common::from_millis(1000));
+
+  auto reports = cluster.reports();
+  EXPECT_EQ(reports[1].crashes, 1u);
+  EXPECT_EQ(reports[1].restarts, 1u);
+  EXPECT_EQ(reports[1].incarnation, 2u);
+  EXPECT_NEAR(reports[1].orphaned_watts, 0.0, 1e-9);
+  for (int i : {0, 2, 3}) {
+    EXPECT_EQ(reports[static_cast<std::size_t>(i)].crashes, 0u);
+    EXPECT_EQ(reports[static_cast<std::size_t>(i)].incarnation, 1u);
+  }
+  EXPECT_NEAR(cluster.total_live_watts() + cluster.orphaned_watts(),
+              cluster.budget(), 1e-6);
+}
+
+TEST(ThreadCluster, NodeStillDownAtShutdownLeavesOrphanedWatts) {
+  // The down window outlasts the run: the node never restarts, so its
+  // seized watts stay on the orphan ledger — visible, attributed, and
+  // still part of the conservation identity.
+  ThreadClusterConfig cfg = quick_config(4);
+  cfg.crash_events = {ThreadCrashEvent{2, common::from_millis(100),
+                                       common::from_seconds(60.0)}};
+  ThreadCluster cluster(cfg, steady_scripts(4, 60.0, 240.0));
+  cluster.run_for(common::from_millis(500));
+
+  auto reports = cluster.reports();
+  EXPECT_EQ(reports[2].crashes, 1u);
+  EXPECT_EQ(reports[2].restarts, 0u);
+  EXPECT_EQ(reports[2].incarnation, 1u);
+  EXPECT_GT(reports[2].orphaned_watts, 0.0);
+  EXPECT_GT(cluster.orphaned_watts(), 0.0);
+  EXPECT_NEAR(cluster.total_live_watts() + cluster.orphaned_watts(),
+              cluster.budget(), 1e-6);
+}
+
+TEST(ThreadCluster, PeersKeepTradingAroundACrashedNode) {
+  // With one node dark for most of the run, requests routed to it time
+  // out like probes of any dead peer; the survivors keep exchanging
+  // power and shutdown still joins cleanly.
+  ThreadClusterConfig cfg = quick_config(4);
+  cfg.crash_events = {ThreadCrashEvent{3, common::from_millis(100),
+                                       common::from_seconds(60.0)}};
+  ThreadCluster cluster(cfg, steady_scripts(4, 60.0, 240.0));
+  cluster.run_for(common::from_millis(1200));
+
+  std::uint64_t survivor_grants = 0;
+  for (const auto& report : cluster.reports()) {
+    if (report.id != 3) survivor_grants += report.grants_received;
+  }
+  EXPECT_GT(survivor_grants, 0u);
+  EXPECT_NEAR(cluster.total_live_watts() + cluster.orphaned_watts(),
+              cluster.budget(), 1e-6);
+}
+
 TEST(SpinKernel, DeterministicAndWorkProportional) {
   EXPECT_EQ(spin_kernel(1000), spin_kernel(1000));
   EXPECT_NE(spin_kernel(1000), spin_kernel(1001));

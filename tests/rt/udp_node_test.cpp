@@ -9,6 +9,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "net/codec.hpp"
+
 namespace penelope::rt {
 namespace {
 
@@ -143,6 +145,90 @@ TEST(UdpCluster, MetricsSnapshotMatchesReports) {
     }
   }
   EXPECT_EQ(journal_grants, report_grants);
+}
+
+TEST(UdpCluster, CrashRestartMidRunConservesPower) {
+  // A node crash-restarts while the cluster is trading: its TxnWindows
+  // and queued grants are wiped (grants self-reclaim into the pool),
+  // its incarnation bumps, and no watts leak through the restart.
+  UdpNodeConfig cfg = quick_config();
+  cfg.heartbeats = true;
+  UdpCluster cluster(4, cfg, donor_hungry_scripts(4));
+  ASSERT_TRUE(cluster.ok());
+  std::jthread chaos([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    cluster.node(3).crash_restart();
+  });
+  cluster.run_for(common::from_millis(900));
+  chaos.join();
+
+  auto reports = cluster.reports();
+  EXPECT_EQ(reports[3].incarnation, 2u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(reports[static_cast<std::size_t>(i)].incarnation, 1u);
+  }
+  std::uint64_t beats = 0;
+  for (const auto& report : reports) {
+    beats += report.heartbeats_received;
+    EXPECT_EQ(report.decode_failures, 0u) << "node " << report.id;
+  }
+  EXPECT_GT(beats, 0u);
+  EXPECT_NEAR(cluster.total_live_watts(), cluster.budget(), 1e-6);
+}
+
+TEST(UdpNode, StalePreCrashBeaconsAreQuarantined) {
+  // Two nodes beacon at each other; node 1 crash-restarts to
+  // incarnation 2, then a forged "incarnation 1" beacon — standing in
+  // for a pre-crash datagram the kernel delivered late — arrives at
+  // node 0. It must be counted stale and change nothing.
+  UdpNodeConfig cfg = quick_config();
+  cfg.heartbeats = true;
+  cfg.id = 0;
+  UdpPenelopeNode donor(cfg, {DemandPhase{60.0, common::from_seconds(60)}});
+  cfg.id = 1;
+  cfg.seed = 12;
+  UdpPenelopeNode hungry(cfg,
+                         {DemandPhase{240.0, common::from_seconds(60)}});
+  ASSERT_TRUE(donor.ok() && hungry.ok());
+  donor.set_peers({UdpPeer{1, hungry.port()}});
+  hungry.set_peers({UdpPeer{0, donor.port()}});
+
+  donor.start();
+  hungry.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  hungry.crash_restart();
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  EXPECT_EQ(hungry.incarnation(), 2u);
+
+  // Forge the late pre-crash beacon from node 1's first incarnation.
+  int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(donor.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  auto stale = net::encode(net::WirePayload{core::Heartbeat{1, 1}});
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(::sendto(fd, stale.data(), stale.size(), 0,
+                       reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+              static_cast<ssize_t>(stale.size()));
+  }
+  ::close(fd);
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  donor.stop_decider();
+  hungry.stop_decider();
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  donor.stop_receiver();
+  hungry.stop_receiver();
+
+  auto donor_report = donor.report();
+  EXPECT_GT(donor_report.heartbeats_received, 0u);
+  EXPECT_GE(donor_report.stale_heartbeats, 3u);
+  EXPECT_GT(hungry.report().heartbeats_received, 0u);
+  EXPECT_NEAR(donor.cap() + donor.pool_watts() + hungry.cap() +
+                  hungry.pool_watts(),
+              2 * cfg.initial_cap_watts, 1e-6);
 }
 
 TEST(UdpNode, GarbagePacketsAreCountedNotFatal) {

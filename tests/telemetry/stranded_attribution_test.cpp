@@ -72,6 +72,58 @@ TEST(StrandedAttribution, EveryStrandedWattHasARecordedTransaction) {
               1e-6 * std::max(1.0, journaled_stranded));
 }
 
+TEST(StrandedAttribution,
+     ReclaimedWattsAreAttributableToNodeAndIncarnation) {
+  // Under churn the stranded ledger is no longer monotone: dead nodes'
+  // watts flow back out through reclamation. The journal must still
+  // balance exactly — every stranded watt is a kStranded record, every
+  // reclaimed watt a kReclaimed record naming (node, incarnation) in
+  // its membership-stream txn id, and the difference is what the
+  // aggregate ledger holds at the end.
+  ClusterConfig cc = lossy_config();
+  cc.seed = 21;
+  cc.membership_enabled = true;
+  cc.churn_enabled = true;
+  cc.churn_mtbf_seconds = 40.0;
+  cc.churn_mttr_seconds = 4.0;
+  Cluster cluster(cc, make_pair_workloads(workload::NpbApp::kEP,
+                                          workload::NpbApp::kDC,
+                                          cc.n_nodes, npb_config(cc.seed)));
+  RunResult result = cluster.run();
+  EXPECT_TRUE(result.all_completed);
+  // Churn must actually reclaim or this test tests nothing.
+  ASSERT_GT(result.reclaims, 0u);
+  ASSERT_GT(result.watts_reclaimed, 0.0);
+
+  const telemetry::FlightRecorder& recorder = cluster.metrics().recorder();
+  ASSERT_EQ(recorder.dropped(), 0u) << "ring wrapped; attribution is lossy";
+
+  double journaled_stranded = 0.0;
+  double journaled_reclaimed = 0.0;
+  for (const telemetry::TxnRecord& record : recorder.snapshot()) {
+    if (record.kind == telemetry::TxnEventKind::kStranded) {
+      journaled_stranded += record.watts;
+    } else if (record.kind == telemetry::TxnEventKind::kReclaimed) {
+      EXPECT_GT(record.watts, 0.0);
+      journaled_reclaimed += record.watts;
+      // Attribution: the id is on the membership stream and decodes to
+      // the dead node and the incarnation whose watts these were.
+      EXPECT_EQ(core::txn_stream(record.txn_id), 2u);
+      EXPECT_GE(core::txn_node(record.txn_id), 0);
+      EXPECT_LT(core::txn_node(record.txn_id), cc.n_nodes);
+      EXPECT_GE(core::txn_seq(record.txn_id), 1u);
+    }
+  }
+  double tolerance = 1e-6 * std::max(1.0, journaled_stranded);
+  // Journal vs counters: reclaimed watts agree...
+  EXPECT_NEAR(journaled_reclaimed, result.watts_reclaimed, tolerance);
+  // ...and stranded-minus-reclaimed is exactly the final ledger.
+  EXPECT_NEAR(journaled_stranded - journaled_reclaimed,
+              result.stranded_watts, tolerance);
+  EXPECT_NEAR(journaled_stranded - journaled_reclaimed,
+              cluster.metrics().stranded_watts(), tolerance);
+}
+
 TEST(StrandedAttribution, ChaosJournalExportsPerfettoLoadableJson) {
   ClusterConfig cc = lossy_config();
   Cluster cluster(cc, make_pair_workloads(workload::NpbApp::kEP,
