@@ -9,6 +9,7 @@
 
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cluster/cluster.hpp"
@@ -56,6 +57,13 @@ inline void emit(const common::Table& table, const std::string& name,
 /// The paper's five initial per-socket powercaps (§4.3).
 inline std::vector<double> paper_caps() {
   return {60.0, 70.0, 80.0, 90.0, 100.0};
+}
+
+/// Logical cores on this host. Every BENCH_*.json records it: a speedup
+/// claim is meaningless without the core count it was measured on.
+inline int host_core_count() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
 }
 
 /// Nominal-experiment cluster configuration (§4.1): 20 client nodes,

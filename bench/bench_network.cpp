@@ -13,6 +13,10 @@
 //   bench_network --min-time=S    longer measurement window
 //   bench_network --alloc-check   assert zero heap allocations on the
 //                                 warm message path (ctest: net.zero_alloc)
+//   bench_network --jobs=N        run the same worlds through the sharded
+//                                 engine's staged-send path (N shards);
+//                                 with --alloc-check this is the sharded
+//                                 zero-alloc gate (ctest: net.zero_alloc_sharded)
 //
 // The allocation check replaces global operator new/delete with
 // counting hooks: after a warm-up phase (slab, free lists, and event
@@ -29,6 +33,7 @@
 
 #include "core/protocol.hpp"
 #include "net/network.hpp"
+#include "sim/sharded.hpp"
 #include "sim/simulator.hpp"
 
 namespace {
@@ -139,6 +144,81 @@ struct FanoutWorld {
   }
 };
 
+/// The ping-pong through the sharded engine: both sends cross the
+/// staged-flush barrier path (node 0 on shard 0, node 1 on the last
+/// shard), so a round exercises staging, the canonical sort, and the
+/// window machinery — the path that must also be allocation-free once
+/// staging buffers, slabs, and heaps reach their high-water marks.
+struct ShardedRoundTripWorld {
+  static int jobs;  // set from --jobs before construction
+
+  static net::NetworkConfig make_cfg() {
+    net::NetworkConfig cfg;
+    cfg.latency.floor = common::from_millis(0.05);  // 50 us windows
+    return cfg;
+  }
+
+  net::NetworkConfig cfg = make_cfg();
+  sim::ShardedSimulator engine{jobs, cfg.latency.effective_floor()};
+  net::Network net{engine, cfg, shard_map(2)};
+  std::uint64_t delivered = 0;
+  common::Ticks horizon = 0;
+
+  static std::vector<int> shard_map(int nodes) {
+    std::vector<int> map(static_cast<std::size_t>(nodes));
+    for (int i = 0; i < nodes; ++i) map[static_cast<std::size_t>(i)] =
+        i * jobs / nodes;
+    return map;
+  }
+
+  ShardedRoundTripWorld() {
+    net.register_endpoint(1, [this](const net::Message& m) {
+      ++delivered;
+      net.send(1, 0, core::PowerGrant{42.0, m.id, -1});
+    });
+    net.register_endpoint(0,
+                          [this](const net::Message&) { ++delivered; });
+  }
+
+  std::size_t round() {
+    net.send(0, 1, core::PowerRequest{false, 42.0, 1});
+    horizon += common::from_millis(1.0);
+    engine.run_until(horizon);
+    return 2;
+  }
+};
+int ShardedRoundTripWorld::jobs = 2;
+
+/// Fan-out through the sharded engine: the hub's burst is staged in one
+/// context, flushed once, and delivered by every shard in parallel
+/// windows.
+struct ShardedFanoutWorld {
+  static constexpr int kPeers = 64;
+  net::NetworkConfig cfg = ShardedRoundTripWorld::make_cfg();
+  sim::ShardedSimulator engine{ShardedRoundTripWorld::jobs,
+                               cfg.latency.effective_floor()};
+  net::Network net{engine, cfg,
+                   ShardedRoundTripWorld::shard_map(kPeers + 1)};
+  std::uint64_t delivered = 0;
+  std::uint64_t txn = 0;
+  common::Ticks horizon = 0;
+
+  ShardedFanoutWorld() {
+    for (int i = 0; i < kPeers; ++i) {
+      net.register_endpoint(
+          i + 1, [this](const net::Message&) { ++delivered; });
+    }
+  }
+
+  std::size_t round() {
+    for (int i = 0; i < kPeers; ++i)
+      net.send(0, i + 1, core::PowerPush{1.0, ++txn});
+    horizon += common::from_millis(1.0);
+    engine.run_until(horizon);
+    return kPeers;
+  }
+};
+
 double seconds_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start)
@@ -179,27 +259,48 @@ int alloc_check(const char* name, int warm_rounds, int measured_rounds) {
 
 int main(int argc, char** argv) {
   bool check = false;
+  int jobs = 0;
   double min_seconds = 0.5;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--alloc-check") == 0) {
       check = true;
     } else if (std::strncmp(argv[i], "--min-time=", 11) == 0) {
       min_seconds = std::atof(argv[i] + 11);
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      jobs = std::atoi(argv[i] + 7);
     } else {
       std::fprintf(stderr,
-                   "usage: bench_network [--alloc-check] "
+                   "usage: bench_network [--alloc-check] [--jobs=N] "
                    "[--min-time=SECONDS]\n");
       return 2;
     }
   }
+  if (jobs < 0 || jobs == 1) {
+    std::fprintf(stderr, "--jobs wants N >= 2 shards\n");
+    return 2;
+  }
+  if (jobs > 0) ShardedRoundTripWorld::jobs = jobs;
 
   if (check) {
     int failures = 0;
-    failures += alloc_check<RoundTripWorld>("roundtrip", 2000, 20000);
-    failures += alloc_check<FanoutWorld>("fanout64", 200, 2000);
+    if (jobs > 0) {
+      failures +=
+          alloc_check<ShardedRoundTripWorld>("sh.roundtrip", 2000, 20000);
+      failures += alloc_check<ShardedFanoutWorld>("sh.fanout64", 200, 2000);
+    } else {
+      failures += alloc_check<RoundTripWorld>("roundtrip", 2000, 20000);
+      failures += alloc_check<FanoutWorld>("fanout64", 200, 2000);
+    }
     return failures == 0 ? 0 : 1;
   }
 
+  if (jobs > 0) {
+    std::printf("BM_NetShardedRoundTrip  items_per_second=%.0f\n",
+                items_per_second<ShardedRoundTripWorld>(min_seconds));
+    std::printf("BM_NetShardedFanout64   items_per_second=%.0f\n",
+                items_per_second<ShardedFanoutWorld>(min_seconds));
+    return 0;
+  }
   std::printf("BM_NetRoundTrip  items_per_second=%.0f\n",
               items_per_second<RoundTripWorld>(min_seconds));
   std::printf("BM_NetFanout64   items_per_second=%.0f\n",

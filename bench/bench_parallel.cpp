@@ -1,0 +1,120 @@
+// Parallel single-run engine bench: one large Penelope cluster advanced
+// by the sharded conservative-window engine (DESIGN.md §12) at several
+// sim_jobs settings, reporting events/sec, speedup over serial, and —
+// asserted, not just reported — bit-identical merged trace hashes.
+// A second sweep varies the latency floor (== the conservative window
+// width) at fixed jobs to show the lookahead/throughput trade-off:
+// narrow windows flush more barriers per simulated second, wide windows
+// batch more events per wakeup.
+//
+// Usage: bench_parallel [nodes=4096] [seconds=5] [quick=1]
+//
+// Results on this box are recorded in BENCH_parallel.json (with the
+// host's core count — a 1-vCPU host bounds any real speedup at 1x and
+// measures only engine overhead; see the json's note).
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/check.hpp"
+
+namespace {
+
+using namespace penelope;
+
+struct RunStats {
+  double wall_s = 0.0;
+  std::uint64_t events = 0;
+  std::uint64_t hash = 0;
+};
+
+RunStats run_once(int nodes, int jobs, double seconds,
+                  common::Ticks floor) {
+  cluster::ClusterConfig cc;
+  cc.manager = cluster::ManagerKind::kPenelope;
+  cc.n_nodes = nodes;
+  cc.per_socket_cap_watts = 60.0;
+  cc.measurement_noise_watts = 0.0;
+  cc.seed = 42;
+  cc.sim_jobs = jobs;
+  cc.network.latency.floor = floor;
+  std::vector<workload::WorkloadProfile> profiles;
+  profiles.reserve(static_cast<std::size_t>(nodes));
+  for (int i = 0; i < nodes; ++i) {
+    workload::WorkloadProfile p;
+    p.name = "x";
+    // Half hungry, half donors with real surplus: request/grant traffic
+    // crosses shards constantly instead of every node idling at its cap.
+    p.phases.push_back(
+        workload::Phase{"hot", i % 2 ? 240.0 : 30.0, 1e9});
+    profiles.push_back(std::move(p));
+  }
+  cluster::Cluster cl(cc, std::move(profiles));
+  auto start = std::chrono::steady_clock::now();
+  cl.run_for(seconds);
+  RunStats stats;
+  stats.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start)
+          .count();
+  stats.events = cl.executed_events();
+  stats.hash = cl.trace_hash();
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string usage =
+      "bench_parallel [nodes=4096] [seconds=5] [quick=1]";
+  common::Config config = bench::parse_or_die(argc, argv, usage);
+  bool quick = config.get_int("quick", 0) != 0;
+  int nodes = config.get_int("nodes", quick ? 512 : 4096);
+  double seconds = config.get_double("seconds", quick ? 2.0 : 5.0);
+  bench::reject_unused(config, usage);
+
+  const common::Ticks floor = common::from_millis(0.05);  // 50 us
+
+  std::printf("host cores: %d\n", bench::host_core_count());
+  std::printf("cluster: %d nodes, %.1f simulated seconds, latency floor "
+              "50 us\n",
+              nodes, seconds);
+
+  common::Table table({"sim_jobs", "events", "events_per_sec", "speedup",
+                       "trace_hash"});
+  RunStats serial;
+  for (int jobs : {1, 2, 4, 8}) {
+    RunStats stats = run_once(nodes, jobs, seconds, floor);
+    if (jobs == 1) serial = stats;
+    PEN_CHECK_MSG(stats.hash == serial.hash && stats.events == serial.events,
+                  "sharded trace diverged from serial");
+    char hash[32];
+    std::snprintf(hash, sizeof hash, "%016" PRIx64, stats.hash);
+    table.add_row({std::to_string(jobs), std::to_string(stats.events),
+                   std::to_string(static_cast<std::uint64_t>(
+                       static_cast<double>(stats.events) / stats.wall_s)),
+                   common::fmt_double(serial.wall_s / stats.wall_s, 2),
+                   hash});
+  }
+  bench::emit(table, "bench_parallel", "sharded engine throughput");
+
+  common::Table windows({"floor_us", "events", "events_per_sec"});
+  for (double floor_us : {10.0, 25.0, 50.0, 100.0, 200.0}) {
+    common::Ticks f = common::from_millis(floor_us / 1000.0);
+    RunStats stats = run_once(nodes, 4, seconds, f);
+    windows.add_row(
+        {common::fmt_double(floor_us, 0), std::to_string(stats.events),
+         std::to_string(static_cast<std::uint64_t>(
+             static_cast<double>(stats.events) / stats.wall_s))});
+  }
+  bench::emit(windows, "bench_parallel_window",
+              "window-width sensitivity at sim_jobs=4");
+  std::printf("(wider floor = wider conservative window = fewer "
+              "barriers per simulated second; the floor also clamps "
+              "sampled latencies, so event counts differ across rows "
+              "by design)\n");
+  return 0;
+}

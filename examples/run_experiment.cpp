@@ -25,6 +25,8 @@ namespace {
 const char* kUsage =
     "run_experiment [manager=penelope|central|fair] [apps=EP,DC]\n"
     "  [nodes=20] [cap=80] [period_ms=1000] [epsilon=5] [seed=42]\n"
+    "  [sim_jobs=1]  (threads *within* one run; trace stays\n"
+    "  bit-identical for any value)\n"
     "  [duration_scale=1.0] [loss=0.0] [dup=0.0] [reorder=0.0]\n"
     "  [reorder_delay_ms=250] [kill_server_at=S]\n"
     "  [kill_mgmt_node=I] [kill_mgmt_at=S] [urgency=1]\n"
@@ -108,6 +110,7 @@ int main(int argc, char** argv) {
   cc.period = common::from_millis(config.get_double("period_ms", 1000.0));
   cc.epsilon_watts = config.get_double("epsilon", 5.0);
   cc.seed = static_cast<std::uint64_t>(config.get_int("seed", 42));
+  cc.sim_jobs = config.get_int("sim_jobs", 1);
   cc.network.loss_probability = config.get_double("loss", 0.0);
   cc.network.duplicate_probability = config.get_double("dup", 0.0);
   cc.network.reorder_probability = config.get_double("reorder", 0.0);

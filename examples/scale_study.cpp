@@ -7,6 +7,9 @@
 // the parallel sweep engine; output is byte-identical at any jobs=N.
 //
 // Usage: ./examples/scale_study [scales=32,128,512] [freq=1] [jobs=1]
+//        [sim_jobs=1]   (threads *within* each run; jobs= parallelizes
+//        across runs — the two compose, and neither changes any number
+//        printed)
 #include <cstdio>
 
 #include "cluster/scale.hpp"
@@ -27,6 +30,7 @@ int main(int argc, char** argv) {
       config.get_int_list("scales", {32, 128, 512});
   double freq = config.get_double("freq", 1.0);
   int jobs = config.get_int("jobs", 1);
+  int sim_jobs = config.get_int("sim_jobs", 1);
 
   std::vector<cluster::ScaleConfig> points;
   for (int nodes : scales) {
@@ -34,6 +38,7 @@ int main(int argc, char** argv) {
     sc.n_nodes = nodes;
     sc.frequency_hz = freq;
     sc.window_seconds = 120.0;
+    sc.sim_jobs = sim_jobs;
     sc.seed = 3;
     sc.manager = cluster::ManagerKind::kCentral;
     points.push_back(sc);

@@ -21,9 +21,7 @@ const char* manager_name(ManagerKind kind) {
 
 Cluster::Cluster(ClusterConfig config,
                  std::vector<workload::WorkloadProfile> profiles)
-    : config_(config),
-      rng_(config.seed),
-      peer_rng_(config.seed ^ 0xe6546b64u) {
+    : config_(config), rng_(config.seed) {
   PEN_CHECK(config_.n_nodes > 0);
   PEN_CHECK_MSG(static_cast<int>(profiles.size()) == config_.n_nodes,
                 "need one workload profile per client node");
@@ -32,9 +30,55 @@ Cluster::Cluster(ClusterConfig config,
   if (config_.flight_recorder_capacity > 0)
     metrics_.recorder().enable(config_.flight_recorder_capacity);
 
+  int jobs = config_.sim_jobs < 1 ? 1 : config_.sim_jobs;
+  if (jobs > config_.n_nodes) jobs = config_.n_nodes;
+  if (jobs > 1 && config_.membership_enabled) {
+    PEN_LOG_WARN(
+        "sim_jobs=%d requested with the membership layer enabled; peer "
+        "reclamation is cross-shard protocol feedback with no "
+        "conservative window, running serial instead",
+        jobs);
+    jobs = 1;
+  }
+  config_.sim_jobs = jobs;
+
   net::NetworkConfig net_config = config_.network;
   net_config.seed = config_.seed ^ 0x85ebca6bu;
-  net_ = std::make_unique<net::Network>(sim_, net_config);
+  if (jobs > 1) {
+    // Contiguous balanced shard assignment (node i -> shard i*K/N); the
+    // server node (id N, central managers only) rides the last shard.
+    // The conservative window width is the network's latency floor: no
+    // message can cross shards faster than that.
+    engine_ = std::make_unique<sim::ShardedSimulator>(
+        jobs, net_config.latency.effective_floor());
+    shard_of_.resize(static_cast<std::size_t>(config_.n_nodes) + 1);
+    for (int i = 0; i < config_.n_nodes; ++i)
+      shard_of_[static_cast<std::size_t>(i)] =
+          static_cast<int>(static_cast<std::int64_t>(i) * jobs /
+                           config_.n_nodes);
+    shard_of_[static_cast<std::size_t>(config_.n_nodes)] = jobs - 1;
+    net_ = std::make_unique<net::Network>(*engine_, net_config, shard_of_);
+    metrics_.configure_sharding(jobs, config_.n_nodes);
+  } else {
+    net_ = std::make_unique<net::Network>(sim_, net_config);
+  }
+
+  // Pre-size the event heaps before any actor arms its first timer: a
+  // node keeps roughly four events pending at once (decider tick, request
+  // timeout, pool service completion, an in-flight delivery), plus slack
+  // for the control plane. The audit task feeds the observed high-water
+  // mark back out through the metrics registry so this estimate stays
+  // honest.
+  constexpr std::size_t kPendingPerNode = 4;
+  if (engine_) {
+    auto nodes_per_shard = static_cast<std::size_t>(
+        (config_.n_nodes + jobs - 1) / jobs + 1);
+    engine_->reserve(kPendingPerNode * nodes_per_shard + 64);
+    engine_->control().reserve(256);
+  } else {
+    sim_.reserve(
+        kPendingPerNode * static_cast<std::size_t>(config_.n_nodes) + 64);
+  }
 
   // Watts lost inside the fabric (dropped grant/donation messages) are
   // stranded: they left one cap and will never reach another. Drops
@@ -55,7 +99,7 @@ Cluster::Cluster(ClusterConfig config,
       } else {
         metrics_.watts_stranded(watts);
       }
-      metrics_.recorder().record(sim_.now(), txn_id,
+      metrics_.recorder().record(now_ticks(), txn_id,
                                  telemetry::TxnEventKind::kStranded,
                                  msg.dst, msg.src, watts);
     };
@@ -77,12 +121,16 @@ Cluster::Cluster(ClusterConfig config,
   arm_churn();
 
   audit_task_ = std::make_unique<sim::PeriodicTask>(
-      sim_, config_.audit_interval, config_.audit_interval,
-      [this](common::Ticks) { audit_summary_.observe(audit()); });
+      control_sim(), config_.audit_interval, config_.audit_interval,
+      [this](common::Ticks) {
+        audit_summary_.observe(audit());
+        metrics_.note_pending_events_high_water(
+            static_cast<double>(pending_high_water()));
+      });
 
   if (config_.trace_interval > 0) {
     trace_task_ = std::make_unique<sim::PeriodicTask>(
-        sim_, config_.trace_interval, config_.trace_interval,
+        control_sim(), config_.trace_interval, config_.trace_interval,
         [this](common::Ticks now) {
           for (int i = 0; i < config_.n_nodes; ++i) {
             TraceSample sample;
@@ -145,50 +193,64 @@ NodeConfig Cluster::make_node_config(int node) {
 void Cluster::build(std::vector<workload::WorkloadProfile> profiles) {
   const int n = config_.n_nodes;
 
+  // Completion bookkeeping mutates cluster-global state, so sharded runs
+  // route it through the barrier (deterministic order: posts drain in
+  // shard-index order, and the counting is commutative anyway).
+  std::function<void(net::NodeId, common::Ticks)> on_complete =
+      [this](net::NodeId id, common::Ticks at) {
+        if (engine_) {
+          engine_->post_to_barrier(
+              [this, id, at] { on_node_complete(id, at); });
+        } else {
+          on_node_complete(id, at);
+        }
+      };
+
   for (int i = 0; i < n; ++i) {
     NodeConfig nc = make_node_config(i);
     auto profile = std::move(profiles[static_cast<std::size_t>(i)]);
+    sim::Simulator& node_engine = node_sim(i);
 
     switch (config_.manager) {
       case ManagerKind::kFair: {
-        auto actor =
-            std::make_unique<FairNodeActor>(sim_, nc, std::move(profile));
-        actor->body().set_on_complete(
-            [this](net::NodeId id, common::Ticks at) {
-              on_node_complete(id, at);
-            });
+        auto actor = std::make_unique<FairNodeActor>(node_engine, nc,
+                                                     std::move(profile));
+        actor->body().set_on_complete(on_complete);
         fair_nodes_.push_back(std::move(actor));
         break;
       }
       case ManagerKind::kPenelope: {
         // Uniform random peer discovery (§3.1): any client but self.
-        auto pick_peer = [this, i]() -> net::NodeId {
-          auto peer = static_cast<net::NodeId>(peer_rng_.next_below(
+        // Each node owns its draw stream, derived only from (seed, id),
+        // so the sequence a node sees is independent of how other nodes'
+        // picks interleave — the property sharded execution needs, and
+        // which also makes serial runs robust to actor reordering.
+        auto pick_peer =
+            [this, i,
+             rng = common::Rng(config_.seed ^
+                               (0x94d049bb133111ebULL *
+                                static_cast<std::uint64_t>(i + 1)))]() mutable
+            -> net::NodeId {
+          auto peer = static_cast<net::NodeId>(rng.next_below(
               static_cast<std::uint32_t>(config_.n_nodes - 1)));
           if (peer >= i) ++peer;
           return peer;
         };
         auto actor = std::make_unique<PenelopeNodeActor>(
-            sim_, *net_, nc, config_.pool, config_.pool_service,
+            node_engine, *net_, nc, config_.pool, config_.pool_service,
             std::move(profile), pick_peer, metrics_);
-        actor->body().set_on_complete(
-            [this](net::NodeId id, common::Ticks at) {
-              on_node_complete(id, at);
-            });
+        actor->body().set_on_complete(on_complete);
         penelope_nodes_.push_back(std::move(actor));
         break;
       }
       case ManagerKind::kCentral:
       case ManagerKind::kHierarchical: {
         auto actor = std::make_unique<CentralClientActor>(
-            sim_, *net_, nc, /*server_id=*/n, std::move(profile),
+            node_engine, *net_, nc, /*server_id=*/n, std::move(profile),
             metrics_,
             /*hierarchical=*/config_.manager ==
                 ManagerKind::kHierarchical);
-        actor->body().set_on_complete(
-            [this](net::NodeId id, common::Ticks at) {
-              on_node_complete(id, at);
-            });
+        actor->body().set_on_complete(on_complete);
         central_clients_.push_back(std::move(actor));
         break;
       }
@@ -199,7 +261,7 @@ void Cluster::build(std::vector<workload::WorkloadProfile> profiles) {
     net::SerialServerConfig service = config_.server_service;
     service.seed = config_.seed ^ 0xc2b2ae35u;
     server_ = std::make_unique<CentralServerActor>(
-        sim_, *net_, /*id=*/n, config_.server, service, metrics_);
+        node_sim(n), *net_, /*id=*/n, config_.server, service, metrics_);
     if (config_.membership_enabled)
       server_->enable_membership(config_.membership, n);
   } else if (config_.manager == ManagerKind::kHierarchical) {
@@ -212,7 +274,7 @@ void Cluster::build(std::vector<workload::WorkloadProfile> profiles) {
     podd.central = config_.server;
     podd.profile_periods = config_.podd_profile_periods;
     podd_server_ = std::make_unique<HierarchicalServerActor>(
-        sim_, *net_, /*id=*/n, podd, service, metrics_);
+        node_sim(n), *net_, /*id=*/n, podd, service, metrics_);
     if (config_.membership_enabled)
       podd_server_->enable_membership(config_.membership, n);
   }
@@ -222,13 +284,13 @@ void Cluster::arm_faults() {
   for (const FaultEvent& fault : config_.faults) {
     switch (fault.kind) {
       case FaultEvent::Kind::kKillServer:
-        sim_.schedule_at(fault.at, [this] {
+        control_sim().schedule_at(fault.at, [this] {
           if (server_) server_->kill();
           if (podd_server_) podd_server_->kill();
         });
         break;
       case FaultEvent::Kind::kKillManagement:
-        sim_.schedule_at(fault.at, [this, node = fault.node] {
+        control_sim().schedule_at(fault.at, [this, node = fault.node] {
           if (config_.manager == ManagerKind::kPenelope &&
               node >= 0 && node < config_.n_nodes) {
             penelope_nodes_[static_cast<std::size_t>(node)]
@@ -237,7 +299,7 @@ void Cluster::arm_faults() {
         });
         break;
       case FaultEvent::Kind::kPartition:
-        sim_.schedule_at(fault.at, [this, split = fault.node] {
+        control_sim().schedule_at(fault.at, [this, split = fault.node] {
           std::vector<net::NodeId> left;
           std::vector<net::NodeId> right;
           for (int i = 0; i < config_.n_nodes; ++i) {
@@ -249,15 +311,15 @@ void Cluster::arm_faults() {
         });
         break;
       case FaultEvent::Kind::kHealPartition:
-        sim_.schedule_at(fault.at, [this] { net_->clear_partition(); });
+        control_sim().schedule_at(fault.at, [this] { net_->clear_partition(); });
         break;
       case FaultEvent::Kind::kCrashNode:
-        sim_.schedule_at(fault.at, [this, node = fault.node] {
+        control_sim().schedule_at(fault.at, [this, node = fault.node] {
           if (node >= 0 && node < config_.n_nodes) crash_node(node);
         });
         break;
       case FaultEvent::Kind::kRecoverNode:
-        sim_.schedule_at(fault.at, [this, node = fault.node] {
+        control_sim().schedule_at(fault.at, [this, node = fault.node] {
           if (node >= 0 && node < config_.n_nodes) recover_node(node);
         });
         break;
@@ -285,8 +347,8 @@ void Cluster::arm_churn() {
       t += churn_rng.exponential(config_.churn_mttr_seconds);
       common::Ticks up_at = common::from_seconds(t);
       if (up_at >= deadline) break;  // never leave a node down for good
-      sim_.schedule_at(down_at, [this, node] { crash_node(node); });
-      sim_.schedule_at(up_at, [this, node] { recover_node(node); });
+      control_sim().schedule_at(down_at, [this, node] { crash_node(node); });
+      control_sim().schedule_at(up_at, [this, node] { recover_node(node); });
     }
   }
 }
@@ -357,29 +419,44 @@ void Cluster::on_node_complete(net::NodeId node, common::Ticks at) {
   PEN_CHECK_MSG(!slot.has_value(), "node completed twice");
   slot = at;
   last_completion_ = std::max(last_completion_, at);
-  if (++completed_nodes_ == config_.n_nodes) sim_.stop();
+  if (++completed_nodes_ == config_.n_nodes) {
+    if (engine_) {
+      engine_->stop();  // already at a barrier: posts run there
+    } else {
+      sim_.stop();
+    }
+  }
 }
 
 RunResult Cluster::run() {
   common::Ticks deadline = common::from_seconds(config_.max_seconds);
-  while (completed_nodes_ < config_.n_nodes && sim_.now() < deadline &&
-         sim_.pending_events() > 0) {
-    sim_.run_until(deadline);
-    // run_until returns on stop() (all nodes complete) or deadline.
-    if (sim_.stopped()) break;
+  if (engine_) {
+    engine_->run_until(deadline);
+  } else {
+    while (completed_nodes_ < config_.n_nodes && sim_.now() < deadline &&
+           sim_.pending_events() > 0) {
+      sim_.run_until(deadline);
+      // run_until returns on stop() (all nodes complete) or deadline.
+      if (sim_.stopped()) break;
+    }
   }
   return collect_result();
 }
 
 void Cluster::run_for(double seconds) {
-  sim_.run_until(sim_.now() + common::from_seconds(seconds));
+  common::Ticks deadline = now_ticks() + common::from_seconds(seconds);
+  if (engine_) {
+    engine_->run_until(deadline);
+  } else {
+    sim_.run_until(deadline);
+  }
 }
 
 RunResult Cluster::collect_result() const {
   RunResult result;
   result.all_completed = completed_nodes_ == config_.n_nodes;
   common::Ticks end =
-      result.all_completed ? last_completion_ : sim_.now();
+      result.all_completed ? last_completion_ : now_ticks();
   result.runtime_seconds = common::to_seconds(end);
   result.performance =
       result.runtime_seconds > 0.0 ? 1.0 / result.runtime_seconds : 0.0;
@@ -449,7 +526,7 @@ double Cluster::set_system_budget(double new_total_watts) {
   PEN_LOG_INFO("budget reconfigured to %.1f W (requested %.1f) at "
                "t=%.3fs, outstanding debt %.1f W",
                current_budget_, new_total_watts,
-               common::to_seconds(sim_.now()), total_retirement_debt());
+               common::to_seconds(now_ticks()), total_retirement_debt());
   return current_budget_;
 }
 
@@ -515,18 +592,18 @@ double Cluster::node_power(int node) const {
   switch (config_.manager) {
     case ManagerKind::kFair:
       return self->fair_nodes_.at(idx)->body().rapl().instantaneous_power(
-          sim_.now());
+          now_ticks());
     case ManagerKind::kPenelope:
       return self->penelope_nodes_.at(idx)
           ->body()
           .rapl()
-          .instantaneous_power(sim_.now());
+          .instantaneous_power(now_ticks());
     case ManagerKind::kHierarchical:
     case ManagerKind::kCentral:
       return self->central_clients_.at(idx)
           ->body()
           .rapl()
-          .instantaneous_power(sim_.now());
+          .instantaneous_power(now_ticks());
   }
   return 0.0;
 }
@@ -537,11 +614,11 @@ double Cluster::total_energy_joules() const {
   auto* self = const_cast<Cluster*>(this);
   double total = 0.0;
   for (auto& node : self->fair_nodes_)
-    total += node->body().rapl().total_energy_joules(sim_.now());
+    total += node->body().rapl().total_energy_joules(now_ticks());
   for (auto& node : self->penelope_nodes_)
-    total += node->body().rapl().total_energy_joules(sim_.now());
+    total += node->body().rapl().total_energy_joules(now_ticks());
   for (auto& node : self->central_clients_)
-    total += node->body().rapl().total_energy_joules(sim_.now());
+    total += node->body().rapl().total_energy_joules(now_ticks());
   return total;
 }
 

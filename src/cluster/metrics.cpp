@@ -8,6 +8,7 @@ namespace penelope::cluster {
 
 ClusterMetrics::ClusterMetrics()
     : registry_(telemetry::Concurrency::kSingleThread) {
+  slots_.resize(1);  // serial default; configure_sharding() widens this
   turnaround_hist_ = registry_.histogram(
       "penelope_turnaround_ms", 0.0, 4000.0, 40, {},
       "request-to-grant turnaround in milliseconds");
@@ -30,6 +31,9 @@ ClusterMetrics::ClusterMetrics()
                         "grants for transactions nobody tracked");
   requests_sent_ = registry_.counter("penelope_requests_sent_total", {},
                                      "power requests sent");
+  pending_events_high_water_ = registry_.gauge(
+      "penelope_pending_events_high_water", {},
+      "most simulator events pending at once across the run's engines");
   watts_reclaimed_ = registry_.gauge(
       "penelope_watts_reclaimed", {},
       "stranded watts of dead peers returned to circulation");
@@ -46,24 +50,65 @@ ClusterMetrics::ClusterMetrics()
                         "suspected->dead detector transitions");
 }
 
+void ClusterMetrics::configure_sharding(int shards, int n_nodes) {
+  PEN_CHECK(shards >= 1 && n_nodes >= 0);
+  slots_.resize(static_cast<std::size_t>(shards) + 1);
+  if (static_cast<std::size_t>(n_nodes) > reclaim_tags_.size())
+    reclaim_tags_.resize(static_cast<std::size_t>(n_nodes));
+}
+
 void ClusterMetrics::record_turnaround(common::Ticks sent_at,
                                        common::Ticks resolved_at) {
   PEN_CHECK(resolved_at >= sent_at);
   double ms = common::to_millis(resolved_at - sent_at);
-  turnaround_ms_.push_back(ms);
+  slot().turnaround_ms.push_back(ms);
   turnaround_hist_.observe(ms);
 }
 
 void ClusterMetrics::record_release(common::Ticks at, double watts,
                                     int node) {
   if (watts <= 0.0) return;
-  releases_.push_back(TransferEvent{at, watts, node});
+  slot().releases.push_back(TransferEvent{at, watts, node});
 }
 
 void ClusterMetrics::record_apply(common::Ticks at, double watts,
                                   int node) {
   if (watts <= 0.0) return;
-  applies_.push_back(TransferEvent{at, watts, node});
+  slot().applies.push_back(TransferEvent{at, watts, node});
+}
+
+const std::vector<double>& ClusterMetrics::turnaround_ms() const {
+  if (slots_.size() == 1) return slots_[0].turnaround_ms;
+  merged_turnaround_.clear();
+  for (const auto& s : slots_)
+    merged_turnaround_.insert(merged_turnaround_.end(),
+                              s.turnaround_ms.begin(),
+                              s.turnaround_ms.end());
+  return merged_turnaround_;
+}
+
+const std::vector<TransferEvent>& ClusterMetrics::releases() const {
+  if (slots_.size() == 1) return slots_[0].releases;
+  merged_releases_.clear();
+  for (const auto& s : slots_)
+    merged_releases_.insert(merged_releases_.end(), s.releases.begin(),
+                            s.releases.end());
+  std::stable_sort(
+      merged_releases_.begin(), merged_releases_.end(),
+      [](const TransferEvent& a, const TransferEvent& b) { return a.at < b.at; });
+  return merged_releases_;
+}
+
+const std::vector<TransferEvent>& ClusterMetrics::applies() const {
+  if (slots_.size() == 1) return slots_[0].applies;
+  merged_applies_.clear();
+  for (const auto& s : slots_)
+    merged_applies_.insert(merged_applies_.end(), s.applies.begin(),
+                           s.applies.end());
+  std::stable_sort(
+      merged_applies_.begin(), merged_applies_.end(),
+      [](const TransferEvent& a, const TransferEvent& b) { return a.at < b.at; });
+  return merged_applies_;
 }
 
 RedistributionResult analyze_redistribution(const ClusterMetrics& metrics,
@@ -76,9 +121,9 @@ RedistributionResult analyze_redistribution(const ClusterMetrics& metrics,
   }
   if (result.available_watts <= 0.0) return result;
 
-  // The transfer streams are appended in virtual-time order (the
-  // simulator is single-threaded), so a single forward scan finds the
-  // crossing.
+  // The transfer streams are in virtual-time order — appended that way
+  // by a serial run, re-sorted by the merged accessor for a sharded one —
+  // so a single forward scan finds the crossing.
   double target = fraction * result.available_watts;
   double cumulative = 0.0;
   for (const auto& ev : metrics.applies()) {

@@ -14,15 +14,23 @@
 // or Perfetto counter tracks. The embedded FlightRecorder (off unless
 // ClusterConfig::flight_recorder_capacity enables it) journals per-
 // transaction lifecycle events for the same run.
+//
+// Sharded runs (DESIGN.md §12): counters/gauges/histograms are atomic
+// already; the event-list collectors (turnarounds, releases, applies)
+// write into per-execution-context slots selected by
+// sim::ShardedSimulator::current_shard(), merged on read. Reclaim tags
+// are dense per-node slots, each touched only by its owner's context
+// in-window (drop handler in the destination's shard) or at barriers
+// (crash/restart), so no lock is needed anywhere on the hot path.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <utility>
 #include <vector>
 
 #include "common/units.hpp"
+#include "sim/sharded.hpp"
 #include "telemetry/flight_recorder.hpp"
 #include "telemetry/registry.hpp"
 
@@ -41,11 +49,19 @@ class ClusterMetrics {
   ClusterMetrics(const ClusterMetrics&) = delete;
   ClusterMetrics& operator=(const ClusterMetrics&) = delete;
 
+  /// Sharded runs: pre-size one event-collector slot per execution
+  /// context (K shard windows plus the barrier/control context) and one
+  /// reclaim-tag slot per node, so windows never resize shared storage.
+  /// Serial runs skip this and use the single default slot.
+  void configure_sharding(int shards, int n_nodes);
+
   /// --- turnaround -------------------------------------------------------
   void record_turnaround(common::Ticks sent_at, common::Ticks resolved_at);
   void record_timeout() { timeouts_.inc(); }
 
-  const std::vector<double>& turnaround_ms() const { return turnaround_ms_; }
+  /// Merged across context slots (slot-major, so serial runs keep their
+  /// exact append order). Call from a barrier or after the run.
+  const std::vector<double>& turnaround_ms() const;
   std::uint64_t timeouts() const { return timeouts_.value(); }
 
   /// --- redistribution ---------------------------------------------------
@@ -56,8 +72,11 @@ class ClusterMetrics {
   /// server grant, or local pool take).
   void record_apply(common::Ticks at, double watts, int node);
 
-  const std::vector<TransferEvent>& releases() const { return releases_; }
-  const std::vector<TransferEvent>& applies() const { return applies_; }
+  /// Merged across context slots and re-sorted by virtual time (stable,
+  /// so a serial run's append order is preserved exactly). Call from a
+  /// barrier or after the run.
+  const std::vector<TransferEvent>& releases() const;
+  const std::vector<TransferEvent>& applies() const;
 
   /// --- conservation accounting -----------------------------------------
   /// A grant of `watts` left a pool/server and is now in a message.
@@ -107,15 +126,17 @@ class ClusterMetrics {
                               double watts) {
     if (watts <= 0.0) return;
     stranded_watts_.add(watts);
-    reclaimable_[{node, incarnation}] += watts;
+    add_reclaim_tag(node, incarnation, watts);
   }
   /// An in-flight message died against a dead node: the usual strand
-  /// bookkeeping, plus the reclaim tag.
+  /// bookkeeping, plus the reclaim tag. Sharded runs: safe from the dead
+  /// node's own shard context (the network delivers — and so drops — a
+  /// node's traffic in its shard), which is the only in-window caller.
   void strand_in_flight_against(std::int32_t node,
                                 std::uint32_t incarnation, double watts) {
     if (watts <= 0.0) return;
     watts_stranded(watts);
-    reclaimable_[{node, incarnation}] += watts;
+    add_reclaim_tag(node, incarnation, watts);
   }
   /// Consume the (node, incarnation) reclaim tag exactly once: the tag's
   /// watts leave the stranded ledger and the caller must put them back
@@ -124,19 +145,25 @@ class ClusterMetrics {
   /// is what makes double reclamation (two peers declaring the same
   /// death, or a ghost of an old incarnation) impossible.
   double reclaim_from(std::int32_t node, std::uint32_t incarnation) {
-    auto it = reclaimable_.find({node, incarnation});
-    if (it == reclaimable_.end()) return 0.0;
-    double watts = it->second;
-    reclaimable_.erase(it);
-    stranded_watts_.add(-watts);
-    watts_reclaimed_.add(watts);
-    reclaims_.inc();
-    return watts;
+    if (node < 0 || static_cast<std::size_t>(node) >= reclaim_tags_.size())
+      return 0.0;
+    auto& tags = reclaim_tags_[static_cast<std::size_t>(node)];
+    for (std::size_t i = 0; i < tags.size(); ++i) {
+      if (tags[i].incarnation != incarnation) continue;
+      double watts = tags[i].watts;
+      tags.erase(tags.begin() + static_cast<std::ptrdiff_t>(i));
+      stranded_watts_.add(-watts);
+      watts_reclaimed_.add(watts);
+      reclaims_.inc();
+      return watts;
+    }
+    return 0.0;
   }
   /// Watts still tagged reclaimable (subset of stranded_watts()).
   double reclaimable_watts() const {
     double sum = 0.0;
-    for (const auto& [key, watts] : reclaimable_) sum += watts;
+    for (const auto& tags : reclaim_tags_)
+      for (const auto& tag : tags) sum += tag.watts;
     return sum;
   }
   double watts_reclaimed() const { return watts_reclaimed_.value(); }
@@ -157,6 +184,16 @@ class ClusterMetrics {
   void record_request_sent() { requests_sent_.inc(); }
   std::uint64_t requests_sent() const { return requests_sent_.value(); }
 
+  /// Honest heap-sizing feedback: the most simulator events ever pending
+  /// at once across the run's engines, sampled by the cluster's audit
+  /// task against Simulator::pending_high_water().
+  void note_pending_events_high_water(double events) {
+    pending_events_high_water_.set(events);
+  }
+  double pending_events_high_water() const {
+    return pending_events_high_water_.value();
+  }
+
   /// --- telemetry --------------------------------------------------------
   telemetry::MetricsRegistry& registry() { return registry_; }
   const telemetry::MetricsRegistry& registry() const { return registry_; }
@@ -164,24 +201,63 @@ class ClusterMetrics {
   const telemetry::FlightRecorder& recorder() const { return recorder_; }
 
  private:
+  /// Event-list collectors for one execution context: written only by
+  /// that context's thread inside a window, merged single-threaded.
+  struct EventSlot {
+    std::vector<double> turnaround_ms;
+    std::vector<TransferEvent> releases;
+    std::vector<TransferEvent> applies;
+  };
+
+  /// Stranded watts tagged against one incarnation of a dead node.
+  struct ReclaimTag {
+    std::uint32_t incarnation = 0;
+    double watts = 0.0;
+  };
+
+  /// Which EventSlot the calling context owns: shard s -> slot s + 1,
+  /// everything else (serial runs, barriers, control events) -> slot 0.
+  EventSlot& slot() {
+    int shard = sim::ShardedSimulator::current_shard();
+    return slots_[shard >= 0 ? static_cast<std::size_t>(shard) + 1 : 0];
+  }
+
+  void add_reclaim_tag(std::int32_t node, std::uint32_t incarnation,
+                       double watts) {
+    if (node < 0) return;
+    if (static_cast<std::size_t>(node) >= reclaim_tags_.size())
+      reclaim_tags_.resize(static_cast<std::size_t>(node) + 1);
+    auto& tags = reclaim_tags_[static_cast<std::size_t>(node)];
+    for (auto& tag : tags) {
+      if (tag.incarnation == incarnation) {
+        tag.watts += watts;
+        return;
+      }
+    }
+    tags.push_back(ReclaimTag{incarnation, watts});
+  }
+
   // Registry before handles: handles point into registry cells.
   telemetry::MetricsRegistry registry_;
   telemetry::FlightRecorder recorder_;
 
-  std::vector<double> turnaround_ms_;
+  std::vector<EventSlot> slots_;
+  mutable std::vector<double> merged_turnaround_;
+  mutable std::vector<TransferEvent> merged_releases_;
+  mutable std::vector<TransferEvent> merged_applies_;
   telemetry::Histogram turnaround_hist_;
   telemetry::Counter timeouts_;
-  std::vector<TransferEvent> releases_;
-  std::vector<TransferEvent> applies_;
   telemetry::Gauge in_flight_watts_;
   telemetry::Gauge stranded_watts_;
   telemetry::Counter duplicates_dropped_;
   telemetry::Gauge duplicate_watts_dropped_;
   telemetry::Counter unknown_txn_grants_;
   telemetry::Counter requests_sent_;
-  /// Reclaim tags: (dead node, incarnation) -> watts stranded against
-  /// it. std::map for deterministic reclaimable_watts() iteration.
-  std::map<std::pair<std::int32_t, std::uint32_t>, double> reclaimable_;
+  telemetry::Gauge pending_events_high_water_;
+  /// Reclaim tags per dead node (few incarnations outstanding at once,
+  /// so a flat scan beats a map — and each node's row is touched only by
+  /// contexts that may legally do so, see class comment).
+  std::vector<std::vector<ReclaimTag>> reclaim_tags_;
   telemetry::Gauge watts_reclaimed_;
   telemetry::Counter reclaims_;
   telemetry::Counter nodes_suspected_;

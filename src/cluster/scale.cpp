@@ -29,6 +29,7 @@ ClusterConfig make_scale_cluster_config(const ScaleConfig& config) {
   cc.measurement_noise_watts = 0.0;
   cc.rapl.read_noise_watts = 0.0;
   cc.seed = config.seed;
+  cc.sim_jobs = config.sim_jobs;
   cc.max_seconds =
       config.burst_at_seconds + config.window_seconds + 10.0;
   return cc;

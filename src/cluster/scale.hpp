@@ -37,6 +37,10 @@ struct ScaleConfig {
   double hungry_demand_watts = 240.0;
   /// Demand of the bursting half while it runs (slightly above its cap).
   double burst_demand_margin_watts = 30.0;
+  /// Event-execution threads for the single run (ClusterConfig::sim_jobs):
+  /// >1 shards the cluster over that many engines with a bit-identical
+  /// merged trace (DESIGN.md §12).
+  int sim_jobs = 1;
   std::uint64_t seed = 42;
 };
 

@@ -18,10 +18,86 @@ void ensure_slot(std::vector<T>& table, NodeId node, const T& fill) {
     table.resize(static_cast<std::size_t>(node) + 1, fill);
 }
 
+std::uint64_t source_seed(std::uint64_t seed, NodeId src) {
+  std::uint64_t state =
+      seed ^ (0x9e3779b97f4a7c15ULL *
+              (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) +
+               1));
+  return common::splitmix64(state);
+}
+
+// Message ids carry their source in the high bits: (src+1) << 40 plus a
+// per-source counter. Unique across the run, and — the property the
+// canonical sharded merge sorts on — totally ordered in a way that does
+// not depend on how sends from different nodes interleaved.
+std::uint64_t make_msg_id(NodeId src, std::uint64_t counter) {
+  return ((static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) + 1)
+          << 40) |
+         counter;
+}
+
+void accumulate(NetworkStats& into, const NetworkStats& from) {
+  into.sent += from.sent;
+  into.delivered += from.delivered;
+  into.dropped_loss += from.dropped_loss;
+  into.dropped_dead_node += from.dropped_dead_node;
+  into.dropped_partition += from.dropped_partition;
+  into.dropped_no_endpoint += from.dropped_no_endpoint;
+  into.duplicated += from.duplicated;
+  into.reordered += from.reordered;
+  into.node_failures += from.node_failures;
+  into.node_recoveries += from.node_recoveries;
+  into.payload_bytes_sent += from.payload_bytes_sent;
+}
+
 }  // namespace
 
 Network::Network(sim::Simulator& sim, NetworkConfig config)
-    : sim_(sim), config_(config), rng_(config.seed) {}
+    : sim_(&sim), config_(config) {
+  contexts_.resize(1);
+}
+
+Network::Network(sim::ShardedSimulator& engine, NetworkConfig config,
+                 std::vector<int> shard_of)
+    : engine_(&engine), shard_of_(std::move(shard_of)), config_(config) {
+  const int shards = engine.shards();
+  for (int s : shard_of_) PEN_CHECK(s >= 0 && s < shards);
+  PEN_CHECK_MSG(engine.lookahead() <= lookahead(),
+                "engine window is wider than the latency floor allows");
+  contexts_.resize(static_cast<std::size_t>(shards) + 1);
+  // Pre-size every node-indexed table windows read or write, so no
+  // window ever resizes shared storage.
+  sources_.resize(shard_of_.size());
+  for (std::size_t n = 0; n < sources_.size(); ++n) {
+    sources_[n].rng = common::Rng(
+        source_seed(config_.seed, static_cast<NodeId>(n)));
+  }
+  failed_.assign(shard_of_.size(), 0);
+  engine_->add_barrier_hook([this] { flush_staged(); });
+}
+
+std::size_t Network::context_index() const {
+  if (engine_ == nullptr) return 0;
+  int ctx = sim::ShardedSimulator::current_shard();
+  return ctx >= 0 ? static_cast<std::size_t>(ctx) : contexts_.size() - 1;
+}
+
+Network::SourceState& Network::source_state(NodeId src) {
+  auto idx = static_cast<std::size_t>(src);
+  if (engine_ != nullptr) {
+    PEN_CHECK(src >= 0 && idx < sources_.size());
+    return sources_[idx];
+  }
+  if (idx >= sources_.size()) {
+    std::size_t old = sources_.size();
+    sources_.resize(idx + 1);
+    for (std::size_t n = old; n < sources_.size(); ++n) {
+      sources_[n].rng = common::Rng(
+          source_seed(config_.seed, static_cast<NodeId>(n)));
+    }
+  }
+  return sources_[idx];
+}
 
 void Network::register_endpoint(NodeId node, Handler handler) {
   PEN_CHECK(node != kNoNode && node >= 0);
@@ -35,11 +111,12 @@ void Network::remove_endpoint(NodeId node) {
     endpoints_[static_cast<std::size_t>(node)] = nullptr;
 }
 
-common::Ticks Network::sample_latency() {
-  double jitter = rng_.normal(
+common::Ticks Network::sample_latency(NodeId src) {
+  common::Rng& rng = source_state(src).rng;
+  double jitter = rng.normal(
       0.0, static_cast<double>(config_.latency.jitter_stddev));
   auto latency = config_.latency.base + static_cast<common::Ticks>(jitter);
-  return std::max<common::Ticks>(latency, 1);
+  return std::max<common::Ticks>(latency, config_.latency.effective_floor());
 }
 
 bool Network::same_island(NodeId a, NodeId b) const {
@@ -52,86 +129,155 @@ bool Network::same_island(NodeId a, NodeId b) const {
 }
 
 std::uint64_t Network::send(NodeId src, NodeId dst, Payload payload) {
+  ContextState& cx = context();
   if (!node_alive(src)) {
-    ++stats_.dropped_dead_node;
+    ++cx.stats.dropped_dead_node;
     return 0;
   }
-  ++stats_.sent;
+  SourceState& source = source_state(src);
+  ++cx.stats.sent;
   Message msg;
   msg.src = src;
   msg.dst = dst;
-  msg.id = next_msg_id_++;
-  msg.sent_at = sim_.now();
+  msg.id = make_msg_id(src, source.next_msg++);
+  msg.sent_at = engine_ != nullptr ? engine_->context_now() : sim_->now();
   msg.payload = payload;
-  stats_.payload_bytes_sent += payload_wire_bytes(msg.payload);
+  cx.stats.payload_bytes_sent += payload_wire_bytes(msg.payload);
 
-  if (rng_.chance(config_.loss_probability)) {
-    ++stats_.dropped_loss;
+  if (source.rng.chance(config_.loss_probability)) {
+    ++cx.stats.dropped_loss;
     if (drop_handler_) drop_handler_(msg, DropReason::kLoss);
     return msg.id;
   }
   if (!same_island(src, dst)) {
-    ++stats_.dropped_partition;
+    ++cx.stats.dropped_partition;
     if (drop_handler_) drop_handler_(msg, DropReason::kPartition);
     return msg.id;
   }
 
   std::uint64_t id = msg.id;
-  if (rng_.chance(config_.duplicate_probability)) {
-    ++stats_.duplicated;
-    copies_[id] = CopyState{2, false};
+  bool tracked = false;
+  if (source.rng.chance(config_.duplicate_probability)) {
+    ++cx.stats.duplicated;
+    tracked = true;
+    if (engine_ == nullptr) cx.copies[id] = CopyState{2, false};
     // The copy shares the original's payload bytes by trivial copy of the
     // inline variant — cheaper than a shared_ptr indirection would be
     // (no allocation, no refcount; measured in BENCH_net.json), and the
     // payload stays immutable because handlers only see `const Message&`.
     Message copy = msg;
     copy.duplicate = true;
-    schedule_copy(copy);
+    schedule_copy(cx, copy, sample_copy_delay(source, cx.stats), tracked);
   }
-  schedule_copy(msg);
+  schedule_copy(cx, msg, sample_copy_delay(source, cx.stats), tracked);
   return id;
 }
 
-common::Ticks Network::sample_copy_delay() {
-  common::Ticks delay = sample_latency();
-  if (rng_.chance(config_.reorder_probability)) {
-    ++stats_.reordered;
+common::Ticks Network::sample_copy_delay(SourceState& source,
+                                         NetworkStats& stats) {
+  common::Rng& rng = source.rng;
+  double jitter = rng.normal(
+      0.0, static_cast<double>(config_.latency.jitter_stddev));
+  auto latency = config_.latency.base + static_cast<common::Ticks>(jitter);
+  common::Ticks delay =
+      std::max<common::Ticks>(latency, config_.latency.effective_floor());
+  if (rng.chance(config_.reorder_probability)) {
+    ++stats.reordered;
     delay += static_cast<common::Ticks>(
-        rng_.uniform(0.5, 1.0) *
+        rng.uniform(0.5, 1.0) *
         static_cast<double>(config_.reorder_delay));
   }
   return delay;
 }
 
-void Network::schedule_copy(const Message& msg) {
+void Network::schedule_copy(ContextState& cx, const Message& msg,
+                            common::Ticks delay, bool tracked) {
+  if (engine_ != nullptr) {
+    // Stage everything — intra-shard sends too. Delivery order must not
+    // depend on the shard layout, and the conservative bound guarantees
+    // the arrival is at or past the window boundary that will flush it.
+    common::Ticks at = engine_->context_now() + delay;
+    cx.staged.push_back(
+        StagedSend{at, static_cast<std::uint8_t>(tracked), msg});
+    if (cx.staged.size() > cx.staged_high_water)
+      cx.staged_high_water = cx.staged.size();
+    return;
+  }
   std::uint32_t slot;
-  if (free_slots_.empty()) {
-    slot = static_cast<std::uint32_t>(slab_.size());
-    slab_.push_back(msg);
+  if (cx.free_slots.empty()) {
+    slot = static_cast<std::uint32_t>(cx.slab.size());
+    cx.slab.push_back(msg);
   } else {
-    slot = free_slots_.back();
-    free_slots_.pop_back();
-    slab_[slot] = msg;
+    slot = cx.free_slots.back();
+    cx.free_slots.pop_back();
+    cx.slab[slot] = msg;
   }
   // {this, slot} is 12 bytes — well inside EventFn's inline buffer, so
   // scheduling a delivery allocates nothing once the slab is warm.
-  sim_.schedule_after(sample_copy_delay(), [this, slot] { deliver(slot); });
+  sim_->schedule_after(delay, [this, slot] { deliver(0, slot); });
 }
 
-void Network::deliver(std::uint32_t slot) {
+void Network::flush_staged() {
+  flush_scratch_.clear();
+  for (auto& cx : contexts_) {
+    if (cx.staged.empty()) continue;
+    flush_scratch_.insert(flush_scratch_.end(), cx.staged.begin(),
+                          cx.staged.end());
+    cx.staged.clear();
+  }
+  if (flush_scratch_.empty()) return;
+  // Canonical merge order: (arrival, source-ordered message id, original
+  // before duplicate). Independent of which context staged what, hence
+  // of the shard count — the heart of the K-invariance contract.
+  std::sort(flush_scratch_.begin(), flush_scratch_.end(),
+            [](const StagedSend& a, const StagedSend& b) {
+              if (a.at != b.at) return a.at < b.at;
+              if (a.msg.id != b.msg.id) return a.msg.id < b.msg.id;
+              return a.msg.duplicate < b.msg.duplicate;
+            });
+  for (const StagedSend& staged : flush_scratch_) {
+    int shard = -1;
+    if (staged.msg.dst >= 0 &&
+        static_cast<std::size_t>(staged.msg.dst) < shard_of_.size())
+      shard = shard_of_[static_cast<std::size_t>(staged.msg.dst)];
+    std::size_t ctxi = shard >= 0 ? static_cast<std::size_t>(shard)
+                                  : contexts_.size() - 1;
+    ContextState& cx = contexts_[ctxi];
+    std::uint32_t slot;
+    if (cx.free_slots.empty()) {
+      slot = static_cast<std::uint32_t>(cx.slab.size());
+      cx.slab.push_back(staged.msg);
+    } else {
+      slot = cx.free_slots.back();
+      cx.free_slots.pop_back();
+      cx.slab[slot] = staged.msg;
+    }
+    if (staged.tracked != 0) ++cx.copies[staged.msg.id].outstanding;
+    sim::Simulator& dst_sim =
+        shard >= 0 ? engine_->shard(shard) : engine_->control();
+    dst_sim.schedule_at(
+        staged.at,
+        [this, ctx = static_cast<std::uint32_t>(ctxi), slot] {
+          deliver(ctx, slot);
+        });
+  }
+}
+
+void Network::deliver(std::size_t ctxi, std::uint32_t slot) {
+  ContextState& cx = contexts_[ctxi];
   // Copy out of the slab before anything else: the handler may send
   // reentrantly, which can grow the slab and invalidate references.
-  const Message msg = slab_[slot];
-  free_slots_.push_back(slot);
+  const Message msg = cx.slab[slot];
+  cx.free_slots.push_back(slot);
 
   // A duplicated message strands its payload only if every copy is lost;
   // the tracking entry lives until the last copy resolves. The empty()
   // probe keeps the hash lookup off the hot path entirely when
   // duplication is disabled (the common case).
-  auto copy_it = copies_.empty() ? copies_.end() : copies_.find(msg.id);
+  auto copy_it = cx.copies.empty() ? cx.copies.end() : cx.copies.find(msg.id);
   bool last_copy = true;
   bool other_delivered = false;
-  if (copy_it != copies_.end()) {
+  if (copy_it != cx.copies.end()) {
     CopyState& state = copy_it->second;
     --state.outstanding;
     last_copy = state.outstanding == 0;
@@ -141,25 +287,44 @@ void Network::deliver(std::uint32_t slot) {
     ++counter;
     if (drop_handler_ && last_copy && !other_delivered)
       drop_handler_(msg, reason);
-    if (copy_it != copies_.end() && last_copy) copies_.erase(copy_it);
+    if (copy_it != cx.copies.end() && last_copy) cx.copies.erase(copy_it);
   };
   if (!node_alive(msg.dst)) {
-    resolve_drop(stats_.dropped_dead_node, DropReason::kDeadNode);
+    resolve_drop(cx.stats.dropped_dead_node, DropReason::kDeadNode);
     return;
   }
   const Handler* handler = nullptr;
   if (msg.dst >= 0 && static_cast<std::size_t>(msg.dst) < endpoints_.size())
     handler = &endpoints_[static_cast<std::size_t>(msg.dst)];
   if (handler == nullptr || !*handler) {
-    resolve_drop(stats_.dropped_no_endpoint, DropReason::kNoEndpoint);
+    resolve_drop(cx.stats.dropped_no_endpoint, DropReason::kNoEndpoint);
     return;
   }
-  if (copy_it != copies_.end()) {
+  if (copy_it != cx.copies.end()) {
     copy_it->second.any_delivered = true;
-    if (last_copy) copies_.erase(copy_it);
+    if (last_copy) cx.copies.erase(copy_it);
   }
-  ++stats_.delivered;
+  ++cx.stats.delivered;
   (*handler)(msg);
+}
+
+const NetworkStats& Network::stats() const {
+  if (contexts_.size() == 1) return contexts_[0].stats;
+  merged_stats_ = NetworkStats{};
+  for (const auto& cx : contexts_) accumulate(merged_stats_, cx.stats);
+  return merged_stats_;
+}
+
+std::size_t Network::slab_capacity() const {
+  std::size_t total = 0;
+  for (const auto& cx : contexts_) total += cx.slab.size();
+  return total;
+}
+
+std::size_t Network::staging_capacity() const {
+  std::size_t total = 0;
+  for (const auto& cx : contexts_) total += cx.staged_high_water;
+  return total;
 }
 
 void Network::fail_node(NodeId node) {
@@ -167,9 +332,10 @@ void Network::fail_node(NodeId node) {
   ensure_slot(failed_, node, std::uint8_t{0});
   if (failed_[static_cast<std::size_t>(node)] != 0) return;
   failed_[static_cast<std::size_t>(node)] = 1;
-  ++stats_.node_failures;
+  ++context().stats.node_failures;
   PEN_LOG_INFO("network: node %d failed at t=%.3fs", node,
-               common::to_seconds(sim_.now()));
+               common::to_seconds(engine_ != nullptr ? engine_->context_now()
+                                                     : sim_->now()));
 }
 
 void Network::recover_node(NodeId node) {
@@ -177,9 +343,10 @@ void Network::recover_node(NodeId node) {
   ensure_slot(failed_, node, std::uint8_t{0});
   if (failed_[static_cast<std::size_t>(node)] == 0) return;
   failed_[static_cast<std::size_t>(node)] = 0;
-  ++stats_.node_recoveries;
+  ++context().stats.node_recoveries;
   PEN_LOG_INFO("network: node %d recovered at t=%.3fs", node,
-               common::to_seconds(sim_.now()));
+               common::to_seconds(engine_ != nullptr ? engine_->context_now()
+                                                     : sim_->now()));
 }
 
 bool Network::node_alive(NodeId node) const {

@@ -11,10 +11,17 @@
 // (the event queue is FIFO at equal timestamps), and all jitter comes
 // from a seeded Rng so runs are reproducible.
 //
+// Randomness is per source node: each sender owns an independent Rng
+// stream (loss/duplicate/reorder/latency draws) and message-id counter,
+// both derived only from (config seed, node id). That makes a node's
+// draw sequence — and therefore the whole run — independent of how other
+// nodes' sends interleave, which is what lets sharded execution keep the
+// serial trace bit-identical for any shard count.
+//
 // Beyond loss, the fabric can inject the two faults a real UDP transport
 // exhibits: duplication (an extra delayed copy of the same message id)
 // and reordering (a large latency spike that makes an earlier send arrive
-// after later ones). Both draw from the same seeded Rng, and both draw
+// after later ones). Both draw from the sender's stream, and both draw
 // nothing when their probability is zero, so existing seeds replay
 // bit-identically with the faults disabled.
 //
@@ -26,6 +33,17 @@
 // After warm-up (slab/heap high-water marks reached), sending and
 // delivering touch the allocator not at all — pinned by the
 // net.zero_alloc ctest case (bench_network --alloc-check).
+//
+// Sharded mode (DESIGN.md §12): constructed over a sim::ShardedSimulator
+// plus a node→shard map, the network stages *every* send — intra- and
+// inter-shard — into per-execution-context buffers, and a barrier hook
+// flushes them in canonical (arrival time, message id, duplicate) order
+// into the destination shards' heaps. Because message ids are per source
+// node, the canonical order is independent of the shard layout; because
+// every sampled latency is >= the latency floor (== the engine's
+// lookahead), every staged arrival lands at or after the window boundary
+// that flushes it. Stats, slab, free list, and duplicate tracking are
+// per execution context, so windows touch no shared mutable state.
 #pragma once
 
 #include <functional>
@@ -36,6 +54,7 @@
 #include "common/rng.hpp"
 #include "common/units.hpp"
 #include "net/message.hpp"
+#include "sim/sharded.hpp"
 #include "sim/simulator.hpp"
 
 namespace penelope::net {
@@ -43,8 +62,16 @@ namespace penelope::net {
 struct LatencyModel {
   /// Fixed one-way latency component.
   common::Ticks base = common::from_millis(0.05);  // 50 us
-  /// Gaussian jitter stddev added to base (truncated at >= 1 us total).
+  /// Gaussian jitter stddev added to base (truncated at >= floor).
   common::Ticks jitter_stddev = common::from_millis(0.01);
+  /// Hard lower bound on every one-way latency (including duplicated
+  /// copies, before any reorder delay is added). This is the lookahead a
+  /// conservative sharded run derives its window width from: no message
+  /// can arrive sooner than `floor` after its send. 0 behaves as 1 tick,
+  /// the truncation the jitter always had.
+  common::Ticks floor = 0;
+
+  common::Ticks effective_floor() const { return floor > 1 ? floor : 1; }
 };
 
 struct NetworkConfig {
@@ -104,7 +131,14 @@ class Network {
   using Handler = std::function<void(const Message&)>;
   using DropHandler = std::function<void(const Message&, DropReason)>;
 
+  /// Serial mode: deliveries are scheduled directly on `sim`.
   Network(sim::Simulator& sim, NetworkConfig config);
+
+  /// Sharded mode: `shard_of[node]` maps every node the run will ever
+  /// address to its shard; sends stage into per-context buffers and a
+  /// barrier hook (registered here) flushes them in canonical order.
+  Network(sim::ShardedSimulator& engine, NetworkConfig config,
+          std::vector<int> shard_of);
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -127,7 +161,7 @@ class Network {
   /// dropped. Delivery events already in flight to it are dropped on
   /// arrival, matching a crash that loses the NIC. Idempotent: failing
   /// an already-failed node is a no-op (no double-counted transition,
-  /// no duplicate log line).
+  /// no duplicate log line). Sharded mode: barrier context only.
   void fail_node(NodeId node);
   /// Undo fail_node: the node receives and sends again. Idempotent the
   /// same way. Orthogonal to partitions — a node recovered inside a
@@ -138,7 +172,7 @@ class Network {
 
   /// Split the network into islands; messages crossing island boundaries
   /// are dropped. Nodes absent from every island communicate freely with
-  /// each other (island -1).
+  /// each other (island -1). Sharded mode: barrier context only.
   void set_partition(const std::vector<std::vector<NodeId>>& islands);
   void clear_partition();
 
@@ -149,20 +183,41 @@ class Network {
   /// for later reclamation. For a duplicated message the handler fires
   /// at most once — only when the last in-flight copy drops and no copy
   /// was delivered — so watts are never stranded twice (or stranded when
-  /// the other copy actually arrived).
+  /// the other copy actually arrived). In sharded mode it runs in the
+  /// context that observed the drop (sender's shard for send-time drops,
+  /// destination's shard for delivery-time drops), so it must only touch
+  /// state that is safe there — the cluster handler writes per-context
+  /// metrics slots and atomics only.
   void set_drop_handler(DropHandler handler) {
     drop_handler_ = std::move(handler);
   }
 
-  const NetworkStats& stats() const { return stats_; }
-  sim::Simulator& simulator() { return sim_; }
+  /// Aggregated statistics. Sharded mode: merged across contexts; call
+  /// from a barrier or after the run.
+  const NetworkStats& stats() const;
+  sim::Simulator& simulator() {
+    PEN_CHECK_MSG(sim_ != nullptr, "no serial simulator in sharded mode");
+    return *sim_;
+  }
 
-  /// The sampled one-way latency distribution, exposed for tests.
-  common::Ticks sample_latency();
+  /// The engine lookahead this configuration supports: every one-way
+  /// latency sample is >= this.
+  common::Ticks lookahead() const {
+    return config_.latency.effective_floor();
+  }
 
-  /// Slab high-water mark (slots ever allocated for in-flight copies),
-  /// exposed so the zero-allocation check can confirm warm-up converged.
-  std::size_t slab_capacity() const { return slab_.size(); }
+  /// The sampled one-way latency distribution, exposed for tests. Draws
+  /// from `src`'s stream.
+  common::Ticks sample_latency(NodeId src = 0);
+
+  /// Slab high-water mark (slots ever allocated for in-flight copies,
+  /// summed across contexts), exposed so the zero-allocation check can
+  /// confirm warm-up converged.
+  std::size_t slab_capacity() const;
+
+  /// Staged-send high-water mark across contexts (0 in serial mode);
+  /// the zero-alloc gate checks it converges the same way the slab does.
+  std::size_t staging_capacity() const;
 
  private:
   /// Copies still in flight for a duplicated message id; absent for
@@ -172,14 +227,47 @@ class Network {
     bool any_delivered = false;
   };
 
-  bool same_island(NodeId a, NodeId b) const;
-  void deliver(std::uint32_t slot);
-  void schedule_copy(const Message& msg);
-  common::Ticks sample_copy_delay();
+  /// Per-source-node randomness: the draw sequence a node's sends
+  /// consume, independent of every other node.
+  struct SourceState {
+    common::Rng rng;
+    std::uint64_t next_msg = 1;
+    SourceState() : rng(0) {}
+  };
 
-  sim::Simulator& sim_;
+  /// A send waiting for the window barrier (sharded mode only).
+  struct StagedSend {
+    common::Ticks at = 0;  ///< arrival time
+    std::uint8_t tracked = 0;  ///< id has a duplicate-copy tracking entry
+    Message msg;
+  };
+
+  /// Mutable state owned by one execution context (shard 0..K-1 windows,
+  /// or row K for barrier/control/serial). No two contexts ever touch
+  /// the same row inside a window; barriers merge on demand.
+  struct ContextState {
+    NetworkStats stats;
+    std::vector<Message> slab;
+    std::vector<std::uint32_t> free_slots;
+    std::unordered_map<std::uint64_t, CopyState> copies;
+    std::vector<StagedSend> staged;
+    std::size_t staged_high_water = 0;
+  };
+
+  bool same_island(NodeId a, NodeId b) const;
+  void deliver(std::size_t ctx, std::uint32_t slot);
+  void schedule_copy(ContextState& ctx, const Message& msg,
+                     common::Ticks delay, bool tracked);
+  common::Ticks sample_copy_delay(SourceState& src, NetworkStats& stats);
+  void flush_staged();
+  SourceState& source_state(NodeId src);
+  std::size_t context_index() const;
+  ContextState& context() { return contexts_[context_index()]; }
+
+  sim::Simulator* sim_ = nullptr;           ///< serial mode
+  sim::ShardedSimulator* engine_ = nullptr; ///< sharded mode
+  std::vector<int> shard_of_;
   NetworkConfig config_;
-  common::Rng rng_;
   DropHandler drop_handler_;
   /// Dense NodeId-indexed tables: node ids are small and contiguous in
   /// every topology the cluster layer builds (clients 0..N-1, server N),
@@ -188,15 +276,17 @@ class Network {
   std::vector<Handler> endpoints_;
   std::vector<std::uint8_t> failed_;
   std::vector<std::int32_t> island_of_;
-  /// In-flight copies live here; the scheduled delivery event captures
-  /// only {this, slot}. Slots are recycled through a free list, so the
-  /// slab grows to the in-flight high-water mark and then stays put.
-  std::vector<Message> slab_;
-  std::vector<std::uint32_t> free_slots_;
-  std::unordered_map<std::uint64_t, CopyState> copies_;
+  /// Per-source-node streams. Serial mode grows lazily; sharded mode is
+  /// pre-sized from shard_of_ so windows never resize it.
+  std::vector<SourceState> sources_;
+  /// One row per execution context: contexts_[K] doubles as the serial
+  /// state (serial mode has exactly one row).
+  std::vector<ContextState> contexts_;
+  /// Scratch for the canonical flush sort; reaches a high-water mark and
+  /// stays allocation-free afterwards.
+  std::vector<StagedSend> flush_scratch_;
+  mutable NetworkStats merged_stats_;
   bool partitioned_ = false;
-  std::uint64_t next_msg_id_ = 1;
-  NetworkStats stats_;
 };
 
 }  // namespace penelope::net

@@ -9,7 +9,9 @@ namespace penelope::sim {
 EventId Simulator::schedule_at(Ticks at, EventFn fn) {
   PEN_CHECK_MSG(at >= now_, "cannot schedule into the past");
   PEN_CHECK(static_cast<bool>(fn));
-  return heap_.insert(at, next_seq_++, /*period=*/0, std::move(fn));
+  EventId id = heap_.insert(at, next_seq_++, /*period=*/0, std::move(fn));
+  if (heap_.size() > pending_high_water_) pending_high_water_ = heap_.size();
+  return id;
 }
 
 EventId Simulator::schedule_after(Ticks delay, EventFn fn) {
@@ -22,7 +24,9 @@ EventId Simulator::schedule_periodic(Ticks first_at, Ticks period,
   PEN_CHECK_MSG(first_at >= now_, "cannot schedule into the past");
   PEN_CHECK(period > 0);
   PEN_CHECK(static_cast<bool>(fn));
-  return heap_.insert(first_at, next_seq_++, period, std::move(fn));
+  EventId id = heap_.insert(first_at, next_seq_++, period, std::move(fn));
+  if (heap_.size() > pending_high_water_) pending_high_water_ = heap_.size();
+  return id;
 }
 
 bool Simulator::set_period(EventId id, Ticks period) {
@@ -40,8 +44,7 @@ bool Simulator::pop_and_run_next() {
   PEN_DCHECK(event.at >= now_);
   now_ = event.at;
   ++executed_;
-  trace_hash_ = (trace_hash_ ^ static_cast<std::uint64_t>(event.at)) *
-                0x100000001b3ULL;
+  trace_hash_ += trace_mix(static_cast<std::uint64_t>(event.at));
   event.fn(now_);
   if (event.periodic) {
     // Re-arm only if the callback did not cancel the timer, and assign
@@ -69,6 +72,10 @@ void Simulator::run_until(Ticks deadline) {
     pop_and_run_next();
   }
   if (!stopped_ && now_ < deadline) now_ = deadline;
+}
+
+void Simulator::run_window(Ticks end) {
+  while (!heap_.empty() && heap_.min_at() < end) pop_and_run_next();
 }
 
 std::size_t Simulator::run_steps(std::size_t n) {

@@ -7,10 +7,13 @@
 // breaks ties), and all randomness comes from seeded common::Rng streams,
 // so a run is a pure function of its configuration.
 //
-// The engine is deliberately single-threaded: determinism and the ability
-// to simulate 1000+ nodes on one core matter more here than parallel
+// The engine itself is single-threaded: determinism and the ability to
+// simulate 1000+ nodes on one core matter more here than parallel
 // speedup, and the protocol logic it drives is shared with the rt::
-// runtime which does exercise real concurrency.
+// runtime which does exercise real concurrency. Parallel single-run
+// execution is layered on top, not inside: sim/sharded.hpp runs K of
+// these engines in conservative time windows with a deterministic
+// cross-shard merge (DESIGN.md §12), leaving this hot loop lock-free.
 //
 // Implementation: an indexed 4-ary min-heap (sim/timer_heap.hpp) keyed
 // by (timestamp, sequence). cancel() is a true O(log n) delete — the
@@ -26,7 +29,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 
+#include "common/check.hpp"
 #include "common/units.hpp"
 #include "sim/event_fn.hpp"
 #include "sim/timer_heap.hpp"
@@ -34,6 +39,27 @@
 namespace penelope::sim {
 
 using common::Ticks;
+
+/// Sentinel returned by Simulator::next_event_at() on an empty queue:
+/// later than any schedulable time, so min() folds over shards stay
+/// branch-free.
+inline constexpr Ticks kNoPendingEvent = std::numeric_limits<Ticks>::max();
+
+/// One executed event's contribution to the trace hash: a splitmix64-
+/// style finalizer of the event's timestamp. The full hash is the
+/// wrapping sum of these mixes, which makes it order-insensitive across
+/// equal work partitions — the property that lets sharded execution
+/// (sim/sharded.hpp) merge per-shard hashes into exactly the value a
+/// serial run produces, and that turns the per-event fold from a
+/// loop-carried multiply chain into one independent add.
+constexpr std::uint64_t trace_mix(std::uint64_t at) {
+  at ^= at >> 33;
+  at *= 0xff51afd7ed558ccdULL;
+  at ^= at >> 33;
+  at *= 0xc4ceb9fe1a85ec53ULL;
+  at ^= at >> 33;
+  return at;
+}
 
 class Simulator {
  public:
@@ -84,6 +110,31 @@ class Simulator {
   /// the queue outlived it (further events remain pending).
   void run_until(Ticks deadline);
 
+  /// Conservative-window execution primitive for sharded mode: run every
+  /// pending event with time strictly below `end`, including events those
+  /// events schedule inside the window. Unlike run_until it neither
+  /// advances now() to the boundary nor touches the stop flag — now()
+  /// stays at the last executed event so the next window can start
+  /// wherever the global frontier says.
+  void run_window(Ticks end);
+
+  /// Timestamp of the earliest pending event, or kNoPendingEvent when
+  /// the queue is empty. The sharded engine polls this to pick the next
+  /// window's start.
+  Ticks next_event_at() const {
+    return heap_.empty() ? kNoPendingEvent : heap_.min_at();
+  }
+
+  /// Move now() forward without executing anything. Legal only when no
+  /// pending event precedes `t` — the sharded engine uses it to land
+  /// quiescent shards on a control-event or deadline timestamp so code
+  /// reached from there sees the same clock a serial run would.
+  void advance_to(Ticks t) {
+    PEN_CHECK(t >= now_);
+    PEN_DCHECK(heap_.empty() || heap_.min_at() >= t);
+    now_ = t;
+  }
+
   /// Execute at most `n` events; returns the number actually executed.
   std::size_t run_steps(std::size_t n);
 
@@ -96,13 +147,21 @@ class Simulator {
   /// spot and never counted.
   std::size_t pending_events() const { return heap_.size(); }
 
+  /// Most events ever pending at once — the honest number to feed back
+  /// into reserve() sizing for the next run of the same shape.
+  std::size_t pending_high_water() const { return pending_high_water_; }
+
   /// Total events executed since construction.
   std::uint64_t executed_events() const { return executed_; }
 
-  /// FNV-1a hash accumulated over the timestamp of every executed event,
-  /// in execution order. Two runs executed the same event sequence iff
-  /// their (executed_events, trace_hash) pairs match; the golden-trace
-  /// determinism tests pin this across engine rewrites.
+  /// Wrapping sum of trace_mix(timestamp) over every executed event.
+  /// Two runs executed the same event multiset iff their
+  /// (executed_events, trace_hash) pairs match; because the sum is
+  /// order-insensitive and time-ordered execution makes equal-timestamp
+  /// permutations the only reordering possible, this pins the event
+  /// *sequence* as tightly as the old FNV-1a in-order fold did while
+  /// staying mergeable across shards. The golden-trace determinism tests
+  /// pin it across engine rewrites.
   std::uint64_t trace_hash() const { return trace_hash_; }
 
  private:
@@ -112,7 +171,8 @@ class Simulator {
   std::uint64_t next_seq_ = 1;
   bool stopped_ = false;
   std::uint64_t executed_ = 0;
-  std::uint64_t trace_hash_ = 0xcbf29ce484222325ULL;
+  std::uint64_t trace_hash_ = 0;
+  std::size_t pending_high_water_ = 0;
   TimerHeap heap_;
 };
 

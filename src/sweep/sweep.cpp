@@ -49,8 +49,8 @@ SweepRunResult execute_run(const RunSpec& spec) {
   out.seed = spec.config.seed;
   out.config_index = spec.config_index;
   out.result = cl.run();
-  out.trace_hash = cl.simulator().trace_hash();
-  out.executed_events = cl.simulator().executed_events();
+  out.trace_hash = cl.trace_hash();
+  out.executed_events = cl.executed_events();
   return out;
 }
 

@@ -251,10 +251,10 @@ TEST(Churn, MembershipOffZeroChurnMatchesTheGoldenTrace) {
                                           workload::NpbApp::kDC,
                                           cc.n_nodes, {}));
   cluster.run_for(30.0);
-  EXPECT_EQ(cluster.simulator().executed_events(), 1662u);
-  EXPECT_EQ(cluster.simulator().trace_hash(), 0x70f7fa668d936081ull);
-  EXPECT_EQ(cluster.metrics().requests_sent(), 348u);
-  EXPECT_EQ(cluster.metrics().timeouts(), 11u);
+  EXPECT_EQ(cluster.simulator().executed_events(), 1665u);
+  EXPECT_EQ(cluster.simulator().trace_hash(), 0x868a597206f3db95ull);
+  EXPECT_EQ(cluster.metrics().requests_sent(), 352u);
+  EXPECT_EQ(cluster.metrics().timeouts(), 15u);
   EXPECT_EQ(cluster.metrics().nodes_suspected(), 0u);
   EXPECT_EQ(cluster.metrics().watts_reclaimed(), 0.0);
 }

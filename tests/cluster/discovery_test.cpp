@@ -23,13 +23,14 @@ ClusterConfig discovery_config(int nodes) {
 
 /// One donor among many hungry nodes: the hardest discovery setting —
 /// a uniform probe finds the donor with probability 1/(n-1).
-std::vector<workload::WorkloadProfile> needle_workloads(int nodes) {
+std::vector<workload::WorkloadProfile> needle_workloads(
+    int nodes, double donor_demand = 90.0, double hungry_demand = 240.0) {
   std::vector<workload::WorkloadProfile> profiles;
   for (int i = 0; i < nodes; ++i) {
     workload::WorkloadProfile p;
     p.name = i == 0 ? "donor" : "hungry";
     p.phases.push_back(workload::Phase{
-        "hot", i == 0 ? 90.0 : 240.0, 1e6});
+        "hot", i == 0 ? donor_demand : hungry_demand, 1e6});
     profiles.push_back(std::move(p));
   }
   return profiles;
@@ -49,10 +50,18 @@ TEST(Discovery, UniformFindsTheNeedleEventually) {
 }
 
 TEST(Discovery, StickyReducesWastedProbesOnTheNeedle) {
+  // The donor must usually be able to pay a returning requester: a
+  // zero-watt revisit clears the sticky peer (actors.cpp), so a donor
+  // that is drained most periods makes sticky collapse into uniform
+  // and the comparison measures seed noise. A lightly loaded donor
+  // whose per-period surplus covers every top-up request keeps the
+  // advantage structural: sticky requesters revisit a paying peer
+  // while uniform probing misses the needle (n-2)/(n-1) of the time.
   auto probes_per_watt = [](bool sticky) {
     ClusterConfig cc = discovery_config(12);
     cc.sticky_peers = sticky;
-    Cluster cluster(cc, needle_workloads(cc.n_nodes));
+    Cluster cluster(cc, needle_workloads(cc.n_nodes, /*donor_demand=*/20.0,
+                                         /*hungry_demand=*/150.0));
     cluster.run_for(60.0);
     double received = total_received(cluster);
     return received > 0.0
@@ -61,8 +70,9 @@ TEST(Discovery, StickyReducesWastedProbesOnTheNeedle) {
                : 1e18;
   };
   // Sticky requesters return straight to the donor, so they spend fewer
-  // requests per received watt than uniform random probing.
-  EXPECT_LT(probes_per_watt(true), probes_per_watt(false));
+  // requests per received watt than uniform random probing — with a
+  // wide margin in this setting (~6 vs ~10 in practice).
+  EXPECT_LT(probes_per_watt(true), probes_per_watt(false) * 0.9);
 }
 
 TEST(Discovery, HintForwardingConservesPower) {

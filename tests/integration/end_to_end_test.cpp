@@ -88,14 +88,17 @@ TEST(EndToEnd, FaultStoryMatchesFigure3) {
                                         cc.n_nodes, npb));
     return cluster.run();
   };
-  // Kill early, before the server has shifted much: the surviving cap
-  // distribution is near-uniform and the remaining run shows the cost of
-  // management without power shifting.
-  auto kill_mid = std::vector<FaultEvent>{
-      {FaultEvent::Kind::kKillServer, common::from_seconds(5.0), 0}};
+  // Kill before the first decider round completes (start offsets stay
+  // under period/4, so at 0.5 s no grant has landed yet): the surviving
+  // cap distribution is exactly uniform and the remaining run shows the
+  // cost of management without power shifting. A later kill makes the
+  // outcome a per-seed lottery — whatever allocation froze in the first
+  // few rounds can happen to fit the rest of the workload.
+  auto kill_early = std::vector<FaultEvent>{
+      {FaultEvent::Kind::kKillServer, common::from_seconds(0.5), 0}};
   RunResult fair = run_scaled(ManagerKind::kFair, {});
   RunResult pen = run_scaled(ManagerKind::kPenelope, {});
-  RunResult cen_faulty = run_scaled(ManagerKind::kCentral, kill_mid);
+  RunResult cen_faulty = run_scaled(ManagerKind::kCentral, kill_early);
   ASSERT_TRUE(fair.all_completed && pen.all_completed &&
               cen_faulty.all_completed);
   double pen_norm = pen.performance / fair.performance;
