@@ -1,0 +1,158 @@
+// Federation scale bench (DESIGN.md §13, BENCH_scale.json): the
+// completion-burst experiment A/B'd across three managers as the
+// cluster grows — the rate-limited central server, flat Penelope, and
+// the hierarchical pool federation at ~sqrt(N) leaf pools — reporting
+// redistribution quality (median time to shift 50% of the released
+// watts), convergence, total message volume, and the federation's own
+// inter-pool traffic. The second table pushes the federated flat-arena
+// path alone to 10^5+ nodes, where the per-actor-object paths stop
+// being practical on one host: the acceptance gates are that the big
+// run completes at all, that its conservation audit stays below 1e-6,
+// and that inter-pool message volume grows sublinearly in N (it tracks
+// total pools ~ sqrt(N), asserted here as volume ratio << node ratio).
+//
+// Usage: bench_federation [quick=1] [big=131072]
+#include <cinttypes>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cluster/scale.hpp"
+#include "common/check.hpp"
+
+namespace {
+
+using namespace penelope;
+
+int sqrt_pools(int nodes) {
+  return static_cast<int>(std::lround(std::sqrt(
+      static_cast<double>(nodes))));
+}
+
+struct Timed {
+  cluster::ScaleResult result;
+  double wall_s = 0.0;
+};
+
+Timed run_point(int nodes, cluster::ManagerKind manager, int pools) {
+  cluster::ScaleConfig sc;
+  sc.n_nodes = nodes;
+  sc.manager = manager;
+  sc.pools = pools;
+  sc.fanout = 8;
+  sc.seed = 42;
+  auto start = std::chrono::steady_clock::now();
+  Timed out;
+  out.result = cluster::run_scale_experiment(sc);
+  out.wall_s = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+                   .count();
+  return out;
+}
+
+std::string fmt_u64(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string usage = "bench_federation [quick=1] [big=131072]";
+  common::Config config = bench::parse_or_die(argc, argv, usage);
+  bool quick = config.get_int("quick", 0) != 0;
+  int big = config.get_int("big", quick ? 8192 : 131072);
+  bench::reject_unused(config, usage);
+
+  std::printf("host cores: %d\n", bench::host_core_count());
+
+  // --- A/B: central vs flat vs federated as N grows -------------------
+  std::vector<int> scales =
+      quick ? std::vector<int>{256, 1024}
+            : std::vector<int>{1024, 4096, 16384};
+  common::Table table({"nodes", "manager", "pools", "t50_s", "reached",
+                       "msgs_total", "fed_msgs", "conserv_err",
+                       "wall_s"});
+  for (int nodes : scales) {
+    struct Row {
+      const char* label;
+      cluster::ManagerKind manager;
+      int pools;
+    };
+    const Row rows[] = {
+        {"central", cluster::ManagerKind::kCentral, 0},
+        {"flat", cluster::ManagerKind::kPenelope, 0},
+        {"federated", cluster::ManagerKind::kPenelope,
+         sqrt_pools(nodes)},
+    };
+    for (const Row& row : rows) {
+      Timed t = run_point(nodes, row.manager, row.pools);
+      PEN_CHECK_MSG(t.result.max_conservation_error < 1e-6,
+                    "conservation audit failed in the A/B sweep");
+      std::uint64_t fed_msgs =
+          t.result.federated_requests + t.result.federated_transfers;
+      char err[32];
+      std::snprintf(err, sizeof err, "%.2e",
+                    t.result.max_conservation_error);
+      table.add_row({std::to_string(nodes), row.label,
+                     std::to_string(row.pools),
+                     common::fmt_double(
+                         t.result.median_redistribution_s, 2),
+                     t.result.median_reached ? "yes" : "no",
+                     fmt_u64(t.result.messages_sent), fmt_u64(fed_msgs),
+                     err, common::fmt_double(t.wall_s, 2)});
+    }
+  }
+  bench::emit(table, "bench_federation",
+              "completion-burst redistribution vs cluster size");
+
+  // --- sublinearity gate: inter-pool traffic vs node count ------------
+  // Between the two largest A/B scales N grows 4x while leaf pools grow
+  // 2x; the inter-pool message volume must track pools, not nodes.
+  {
+    int n_small = scales[scales.size() - 2];
+    int n_large = scales.back();
+    Timed small = run_point(n_small, cluster::ManagerKind::kPenelope,
+                            sqrt_pools(n_small));
+    Timed large = run_point(n_large, cluster::ManagerKind::kPenelope,
+                            sqrt_pools(n_large));
+    auto fed_of = [](const Timed& t) {
+      return static_cast<double>(t.result.federated_requests +
+                                 t.result.federated_transfers);
+    };
+    double node_ratio = static_cast<double>(n_large) / n_small;
+    double fed_ratio = fed_of(large) / fed_of(small);
+    std::printf("\ninter-pool volume: %dx nodes -> %.2fx federation "
+                "messages (sublinear: %s)\n",
+                static_cast<int>(node_ratio), fed_ratio,
+                fed_ratio < node_ratio ? "yes" : "NO");
+    PEN_CHECK_MSG(fed_ratio < node_ratio,
+                  "inter-pool message volume is not sublinear in N");
+  }
+
+  // --- the big one: federated flat-arena at 10^5+ nodes ---------------
+  common::Table big_table({"nodes", "pools", "t50_s", "reached",
+                           "msgs_total", "fed_msgs", "conserv_err",
+                           "requests", "wall_s"});
+  {
+    Timed t = run_point(big, cluster::ManagerKind::kPenelope,
+                        sqrt_pools(big));
+    PEN_CHECK_MSG(t.result.max_conservation_error < 1e-6,
+                  "conservation audit failed at the big scale point");
+    char err[32];
+    std::snprintf(err, sizeof err, "%.2e",
+                  t.result.max_conservation_error);
+    big_table.add_row(
+        {std::to_string(big), std::to_string(sqrt_pools(big)),
+         common::fmt_double(t.result.median_redistribution_s, 2),
+         t.result.median_reached ? "yes" : "no",
+         fmt_u64(t.result.messages_sent),
+         fmt_u64(t.result.federated_requests +
+                 t.result.federated_transfers),
+         err, fmt_u64(t.result.requests_sent),
+         common::fmt_double(t.wall_s, 2)});
+  }
+  bench::emit(big_table, "bench_federation_big",
+              "federated flat-arena scale ceiling");
+  return 0;
+}

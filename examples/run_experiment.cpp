@@ -33,6 +33,9 @@ const char* kUsage =
     "  [membership=0] [heartbeat_ms=1000] [suspect_missed=3]\n"
     "  [dead_missed=6] [churn=0] [mtbf=120] [mttr=10]\n"
     "  [sticky_peers=0] [hint_discovery=0] [local_take=drain|limited]\n"
+    "  [pools=0] [fanout=8] [low_water=30]  (hierarchical pool\n"
+    "  federation on the flat-arena path, penelope only; pools=0 is\n"
+    "  the classic flat path)\n"
     "  [trace=FILE] [trace_ms=1000] [trace_format=csv|jsonl|both]\n"
     "  [flight_recorder=N] [perfetto=FILE.json] [metrics=FILE.prom]\n"
     "sweep mode (prints one table row per run; parallel output is\n"
@@ -121,6 +124,9 @@ int main(int argc, char** argv) {
   cc.hint_discovery = config.get_bool("hint_discovery", false);
   if (config.get_string("local_take", "drain") == "limited")
     cc.local_take = core::LocalTakePolicy::kRateLimited;
+  cc.federation_pools = config.get_int("pools", 0);
+  cc.federation_fanout = config.get_int("fanout", 8);
+  cc.federation_low_water_watts = config.get_double("low_water", 30.0);
 
   // Membership + churn (off by default; zero-churn runs with membership
   // off stay bit-identical to the pre-membership golden trace). The

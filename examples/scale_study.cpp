@@ -10,6 +10,10 @@
 //        [sim_jobs=1]   (threads *within* each run; jobs= parallelizes
 //        across runs — the two compose, and neither changes any number
 //        printed)
+//        [pools=0] [fanout=8]   (DESIGN.md §13: pools>0 adds a third
+//        column running the federated flat-arena Penelope; pools=-1
+//        picks ~sqrt(nodes) leaf pools per scale point)
+#include <cmath>
 #include <cstdio>
 
 #include "cluster/scale.hpp"
@@ -31,6 +35,9 @@ int main(int argc, char** argv) {
   double freq = config.get_double("freq", 1.0);
   int jobs = config.get_int("jobs", 1);
   int sim_jobs = config.get_int("sim_jobs", 1);
+  int pools = config.get_int("pools", 0);
+  int fanout = config.get_int("fanout", 8);
+  bool federated = pools != 0;
 
   std::vector<cluster::ScaleConfig> points;
   for (int nodes : scales) {
@@ -44,26 +51,52 @@ int main(int argc, char** argv) {
     points.push_back(sc);
     sc.manager = cluster::ManagerKind::kPenelope;
     points.push_back(sc);
+    if (federated) {
+      sc.pools = pools > 0 ? pools
+                           : static_cast<int>(std::lround(
+                                 std::sqrt(static_cast<double>(nodes))));
+      sc.fanout = fanout;
+      points.push_back(sc);
+    }
   }
   std::vector<cluster::ScaleResult> results =
       sweep::run_scale_sweep(points, jobs);
 
   std::printf("completion burst: half the cluster finishes and its power "
               "must reach the other half\n");
-  std::printf("%-7s | %-22s | %-22s\n", "", "SLURM (central)",
-              "Penelope (P2P)");
-  std::printf("%-7s | %10s %11s | %10s %11s\n", "nodes", "t50 (s)",
-              "wait (ms)", "t50 (s)", "wait (ms)");
+  if (federated) {
+    std::printf("%-7s | %-22s | %-22s | %-22s\n", "", "SLURM (central)",
+                "Penelope (P2P)", "Penelope (federated)");
+    std::printf("%-7s | %10s %11s | %10s %11s | %10s %11s\n", "nodes",
+                "t50 (s)", "wait (ms)", "t50 (s)", "wait (ms)", "t50 (s)",
+                "wait (ms)");
+  } else {
+    std::printf("%-7s | %-22s | %-22s\n", "", "SLURM (central)",
+                "Penelope (P2P)");
+    std::printf("%-7s | %10s %11s | %10s %11s\n", "nodes", "t50 (s)",
+                "wait (ms)", "t50 (s)", "wait (ms)");
+  }
 
   std::size_t k = 0;
   for (int nodes : scales) {
     const cluster::ScaleResult& central = results[k++];
     const cluster::ScaleResult& penelope = results[k++];
-    std::printf("%-7d | %10.2f %11.3f | %10.2f %11.3f\n", nodes,
-                central.median_redistribution_s,
-                central.mean_turnaround_ms,
-                penelope.median_redistribution_s,
-                penelope.mean_turnaround_ms);
+    if (federated) {
+      const cluster::ScaleResult& fed = results[k++];
+      std::printf("%-7d | %10.2f %11.3f | %10.2f %11.3f | %10.2f "
+                  "%11.3f\n",
+                  nodes, central.median_redistribution_s,
+                  central.mean_turnaround_ms,
+                  penelope.median_redistribution_s,
+                  penelope.mean_turnaround_ms,
+                  fed.median_redistribution_s, fed.mean_turnaround_ms);
+    } else {
+      std::printf("%-7d | %10.2f %11.3f | %10.2f %11.3f\n", nodes,
+                  central.median_redistribution_s,
+                  central.mean_turnaround_ms,
+                  penelope.median_redistribution_s,
+                  penelope.mean_turnaround_ms);
+    }
   }
 
   std::printf("\nSLURM's wait grows with scale (one server drains every "

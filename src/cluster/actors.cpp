@@ -972,16 +972,40 @@ void HierarchicalServerActor::membership_tick(common::Ticks now) {
             now, membership_txn(t.peer, t.incarnation),
             telemetry::TxnEventKind::kReclaimed, id_, t.peer, reclaimed);
       }
+      // A node dead mid-profiling-window must not gate the window or
+      // skew the survivors' assignment with its stale draw; expiry can
+      // itself close the window (everyone else already reported).
+      if (logic_.expire_reports(t.peer)) maybe_send_assignments();
     }
+  }
+}
+
+void HierarchicalServerActor::maybe_send_assignments() {
+  if (assignments_sent_ || !logic_.profiling_complete()) return;
+  assignments_sent_ = true;
+  // Broadcast the learned assignments. Nodes losing cap donate back
+  // first; nodes gaining cap become urgent and the embedded central
+  // logic funds them greedily from those donations.
+  for (int node = 0; node < logic_.config_n_nodes(); ++node) {
+    net_.send(id_, node,
+              hierarchy::CapAssignment{logic_.assigned_cap(node)});
   }
 }
 
 void HierarchicalServerActor::process(const net::Message& msg) {
   if (detector_ && msg.src >= 0) {
     if (const auto* beat = msg.as<core::Heartbeat>()) {
-      note_server_signal(metrics_, sim_.now(), *detector_, id_, beat->node,
-                         detector_->observe_heartbeat(
-                             beat->node, beat->incarnation, sim_.now()));
+      core::MembershipSignal signal = detector_->observe_heartbeat(
+          beat->node, beat->incarnation, sim_.now());
+      note_server_signal(metrics_, sim_.now(), *detector_, id_,
+                         beat->node, signal);
+      // Epoch bump: the peer restarted, so anything its previous
+      // incarnation reported describes a workload state that no longer
+      // exists. Drop it; the fresh incarnation's reports readmit it.
+      if (signal == core::MembershipSignal::kRejoined &&
+          logic_.expire_reports(beat->node)) {
+        maybe_send_assignments();
+      }
       return;
     }
     note_server_signal(metrics_, sim_.now(), *detector_, id_, msg.src,
@@ -991,17 +1015,15 @@ void HierarchicalServerActor::process(const net::Message& msg) {
   }
   if (const auto* report = msg.as<hierarchy::ProfileReport>()) {
     bool still_profiling = logic_.handle_profile_report(msg.src, *report);
-    if (!still_profiling && !assignments_sent_ &&
-        logic_.profiling_complete()) {
-      assignments_sent_ = true;
-      // Broadcast the learned assignments. Nodes losing cap donate back
-      // first; nodes gaining cap become urgent and the embedded central
-      // logic funds them greedily from those donations.
-      for (int node = 0; node < logic_.config_n_nodes(); ++node) {
-        net_.send(id_, node,
-                  hierarchy::CapAssignment{logic_.assigned_cap(node)});
-      }
+    if (!still_profiling && assignments_sent_) {
+      // Late reporter after the window already closed (rejoined node,
+      // or its CapAssignment was lost): re-send its assignment so it
+      // leaves the profiling phase instead of reporting forever.
+      net_.send(id_, msg.src,
+                hierarchy::CapAssignment{logic_.assigned_cap(msg.src)});
+      return;
     }
+    maybe_send_assignments();
     return;
   }
   if (const auto* donation = msg.as<central::CentralDonation>()) {

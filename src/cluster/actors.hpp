@@ -379,6 +379,10 @@ class HierarchicalServerActor {
  private:
   void process(const net::Message& msg);
   void membership_tick(common::Ticks now);
+  /// Broadcast the learned CapAssignments exactly once, as soon as the
+  /// profiling window closes — whether the closing event was the final
+  /// ProfileReport or the expiry of a dead node's stale reports.
+  void maybe_send_assignments();
 
   sim::Simulator& sim_;
   net::Network& net_;

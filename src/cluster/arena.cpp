@@ -1,0 +1,434 @@
+#include "cluster/arena.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "core/protocol.hpp"
+#include "hierarchy/protocol.hpp"
+
+namespace penelope::cluster {
+
+namespace {
+/// Watts below this are treated as zero by the federation planes: they
+/// are float dust that would otherwise generate real messages.
+constexpr double kWattDust = 1e-9;
+}  // namespace
+
+FederatedArena::FederatedArena(
+    const ArenaConfig& config, const hierarchy::FederationTopology& topo,
+    net::Network& net, ClusterMetrics& metrics, SimOf sim_of,
+    std::vector<workload::WorkloadProfile> profiles,
+    OnComplete on_complete)
+    : config_(config),
+      topo_(topo),
+      net_(net),
+      metrics_(metrics),
+      sim_of_(std::move(sim_of)),
+      on_complete_(std::move(on_complete)),
+      model_(config.perf),
+      base_(static_cast<net::NodeId>(config.n_nodes)) {
+  const auto n = static_cast<std::size_t>(config_.n_nodes);
+  PEN_CHECK(config_.n_nodes > 0);
+  PEN_CHECK(topo_.n_nodes == config_.n_nodes);
+  PEN_CHECK(profiles.size() == n);
+  PEN_CHECK(config_.safe_range.contains(config_.initial_cap_watts));
+  if (config_.federation.period <= 0)
+    config_.federation.period = config_.period;
+  if (config_.request_timeout <= 0)
+    config_.request_timeout = config_.period;
+
+  cap_.assign(n, config_.initial_cap_watts);
+  energy_j_.assign(n, 0.0);
+  last_advance_.assign(n, 0);
+  phase_first_.resize(n);
+  phase_count_.resize(n);
+  phase_idx_.assign(n, 0);
+  work_left_.assign(n, 0.0);
+  work_done_.assign(n, 0.0);
+  work_total_.assign(n, 0.0);
+  done_.assign(n, 0);
+  crashed_.assign(n, 0);
+  incarnation_.assign(n, 1);
+  outstanding_txn_.assign(n, 0);
+  outstanding_sent_at_.assign(n, 0);
+  timeout_event_.assign(n, sim::kInvalidEventId);
+  req_seq_.assign(n, 0);
+  push_seq_.assign(n, 0);
+  dedup_.assign(n * kDedupRing, 0);
+  dedup_next_.assign(n, 0);
+
+  std::size_t total_phases = 0;
+  for (const auto& profile : profiles) total_phases += profile.phases.size();
+  phase_demand_.reserve(total_phases);
+  phase_work_.reserve(total_phases);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& phases = profiles[i].phases;
+    PEN_CHECK(!phases.empty());
+    phase_first_[i] = static_cast<std::int32_t>(phase_demand_.size());
+    phase_count_[i] = static_cast<std::int32_t>(phases.size());
+    for (const auto& phase : phases) {
+      phase_demand_.push_back(phase.demand_watts);
+      phase_work_.push_back(phase.work_seconds);
+      work_total_[i] += phase.work_seconds;
+    }
+    work_left_[i] = phase_work_[static_cast<std::size_t>(phase_first_[i])];
+  }
+
+  const auto pools = static_cast<std::size_t>(topo_.total_pools);
+  pool_available_.assign(pools, 0.0);
+  pool_deficit_accum_.assign(pools, 0.0);
+  pool_pending_up_.assign(pools, 0.0);
+  pool_last_report_seq_.assign(pools, 0);
+  pool_window_.reserve(pools);
+  for (std::size_t p = 0; p < pools; ++p) pool_window_.emplace_back();
+  pool_req_seq_.assign(pools, 0);
+  pool_push_seq_.assign(pools, 0);
+
+  // Endpoints + ticks. Start offsets follow the classic path's shape
+  // (uniform in [1, start_jitter], one draw per node in node order) so
+  // deciders stay roughly in phase; pool aggregation runs one period
+  // behind the first decider wave.
+  common::Rng jitter_rng(config_.seed);
+  for (int i = 0; i < config_.n_nodes; ++i) {
+    net_.register_endpoint(i, [this, i](const net::Message& msg) {
+      handle_node_message(i, msg);
+    });
+    common::Ticks offset =
+        config_.start_jitter > 0
+            ? static_cast<common::Ticks>(jitter_rng.next_below(
+                  static_cast<std::uint32_t>(config_.start_jitter))) +
+                  1
+            : 1;
+    sim_of_(i).schedule_periodic(
+        offset, config_.period,
+        [this, i](common::Ticks now) { node_tick(i, now); });
+  }
+  for (int p = 0; p < topo_.total_pools; ++p) {
+    net::NodeId pid = pool_node_id(p);
+    net_.register_endpoint(pid, [this, p](const net::Message& msg) {
+      handle_pool_message(p, msg);
+    });
+    sim_of_(pid).schedule_periodic(
+        config_.federation.period, config_.federation.period,
+        [this, p](common::Ticks now) { pool_tick(p, now); });
+  }
+}
+
+void FederatedArena::advance(int node, common::Ticks now) {
+  auto i = static_cast<std::size_t>(node);
+  common::Ticks last = last_advance_[i];
+  if (now <= last) return;
+  last_advance_[i] = now;
+  if (crashed_[i] || done_[i]) return;
+
+  double dt = common::to_seconds(now - last);
+  while (dt > 1e-12 && !done_[i]) {
+    auto slot = static_cast<std::size_t>(phase_first_[i] + phase_idx_[i]);
+    double demand = phase_demand_[slot];
+    double delivered = std::min(cap_[i], demand);
+    double speed = model_.speed(delivered, demand);
+    if (speed <= 0.0) {
+      // Starved below the base fraction: burns power, makes no progress.
+      energy_j_[i] += delivered * dt;
+      return;
+    }
+    double step = std::min(dt, work_left_[i] / speed);
+    energy_j_[i] += delivered * step;
+    work_left_[i] -= speed * step;
+    work_done_[i] += speed * step;
+    dt -= step;
+    if (work_left_[i] <= 1e-9) {
+      work_done_[i] += work_left_[i];  // snap float residue
+      work_left_[i] = 0.0;
+      if (++phase_idx_[i] >= phase_count_[i]) {
+        done_[i] = 1;
+        common::Ticks at = now - common::from_seconds(dt);
+        if (on_complete_) on_complete_(node, at);
+      } else {
+        work_left_[i] = phase_work_[static_cast<std::size_t>(
+            phase_first_[i] + phase_idx_[i])];
+      }
+    }
+  }
+}
+
+double FederatedArena::node_demand(int node) const {
+  auto i = static_cast<std::size_t>(node);
+  if (done_[i] || crashed_[i]) return 0.0;
+  return phase_demand_[static_cast<std::size_t>(phase_first_[i] +
+                                                phase_idx_[i])];
+}
+
+double FederatedArena::node_power(int node, common::Ticks now) {
+  advance(node, now);
+  auto i = static_cast<std::size_t>(node);
+  if (crashed_[i] || done_[i]) return 0.0;
+  return std::min(cap_[i], node_demand(node));
+}
+
+double FederatedArena::node_fraction_complete(int node) const {
+  auto i = static_cast<std::size_t>(node);
+  if (done_[i]) return 1.0;
+  if (work_total_[i] <= 0.0) return 0.0;
+  return std::min(1.0, work_done_[i] / work_total_[i]);
+}
+
+double FederatedArena::cap_total() const {
+  double total = 0.0;
+  for (double cap : cap_) total += cap;
+  return total;
+}
+
+double FederatedArena::pool_total() const {
+  double total = 0.0;
+  for (double avail : pool_available_) total += avail;
+  return total;
+}
+
+double FederatedArena::total_energy_joules(common::Ticks now) {
+  double total = 0.0;
+  for (int i = 0; i < config_.n_nodes; ++i) {
+    advance(i, now);
+    total += energy_j_[static_cast<std::size_t>(i)];
+  }
+  return total;
+}
+
+bool FederatedArena::first_sighting(int node, std::uint64_t txn) {
+  if (txn == core::kNoTxn) return true;
+  auto* ring = &dedup_[static_cast<std::size_t>(node) * kDedupRing];
+  for (int k = 0; k < kDedupRing; ++k) {
+    if (ring[k] == txn) return false;
+  }
+  auto i = static_cast<std::size_t>(node);
+  ring[dedup_next_[i]] = txn;
+  dedup_next_[i] =
+      static_cast<std::uint8_t>((dedup_next_[i] + 1) % kDedupRing);
+  return true;
+}
+
+void FederatedArena::push_to_leaf(int node, double watts) {
+  if (watts <= kWattDust) return;
+  auto i = static_cast<std::size_t>(node);
+  metrics_.grant_departed(watts);
+  net_.send(node,
+            pool_node_id(topo_.leaf_of_node[i]),
+            core::PowerPush{watts,
+                            core::make_txn_id(node, 1, ++push_seq_[i])});
+}
+
+void FederatedArena::node_tick(int node, common::Ticks now) {
+  advance(node, now);
+  auto i = static_cast<std::size_t>(node);
+  if (crashed_[i]) return;
+
+  double demand = node_demand(node);
+  double measured = std::min(cap_[i], demand);
+  double safe_min = config_.safe_range.min_watts;
+  if (cap_[i] - measured > config_.epsilon_watts) {
+    // Excess above the sense band: shed down to measured + epsilon
+    // (never below the safe floor) and bank the freed watts in the leaf.
+    double new_cap = std::max(safe_min, measured + config_.epsilon_watts);
+    double freed = cap_[i] - new_cap;
+    if (freed > kWattDust) {
+      cap_[i] = new_cap;
+      metrics_.record_release(now, freed, node);
+      push_to_leaf(node, freed);
+    }
+  } else if (demand > cap_[i] + config_.epsilon_watts &&
+             outstanding_txn_[i] == 0) {
+    double want = std::min(demand, config_.safe_range.max_watts) - cap_[i];
+    if (want > kWattDust) {
+      std::uint64_t txn = core::make_txn_id(node, 0, ++req_seq_[i]);
+      outstanding_txn_[i] = txn;
+      outstanding_sent_at_[i] = now;
+      metrics_.record_request_sent();
+      net_.send(node, pool_node_id(topo_.leaf_of_node[i]),
+                core::PowerRequest{cap_[i] < config_.initial_cap_watts,
+                                   want, txn});
+      timeout_event_[i] = sim_of_(node).schedule_after(
+          config_.request_timeout, [this, node, txn, i] {
+            if (outstanding_txn_[i] != txn) return;
+            outstanding_txn_[i] = 0;
+            timeout_event_[i] = sim::kInvalidEventId;
+            metrics_.record_timeout();
+          });
+    }
+  }
+}
+
+void FederatedArena::handle_node_message(int node,
+                                         const net::Message& msg) {
+  const auto* grant = msg.as<core::PowerGrant>();
+  if (grant == nullptr) return;  // nodes only ever receive grants
+  auto i = static_cast<std::size_t>(node);
+  common::Ticks now = sim_of_(node).now();
+  if (!first_sighting(node, grant->txn_id)) {
+    metrics_.record_duplicate_drop(grant->watts);
+    return;
+  }
+  if (grant->watts > 0.0) metrics_.grant_arrived(grant->watts);
+  if (outstanding_txn_[i] == grant->txn_id && grant->txn_id != 0) {
+    sim_of_(node).cancel(timeout_event_[i]);
+    timeout_event_[i] = sim::kInvalidEventId;
+    outstanding_txn_[i] = 0;
+    metrics_.record_turnaround(outstanding_sent_at_[i], now);
+  } else {
+    // Late grant after its timeout fired. Unlike the flat path (which
+    // strands unmatched watts), the arena banks them: first_sighting
+    // already guarantees at-most-once, so applying keeps the watts in
+    // circulation without any double-count risk.
+    metrics_.record_unknown_txn();
+  }
+  if (grant->watts <= kWattDust) return;
+  advance(node, now);
+  double room = config_.safe_range.max_watts - cap_[i];
+  double applied = std::min(grant->watts, std::max(0.0, room));
+  if (applied > kWattDust) {
+    cap_[i] += applied;
+    metrics_.record_apply(now, applied, node);
+  }
+  double overflow = grant->watts - applied;
+  if (overflow > kWattDust) push_to_leaf(node, overflow);
+}
+
+void FederatedArena::handle_pool_message(int pool,
+                                         const net::Message& msg) {
+  auto p = static_cast<std::size_t>(pool);
+  net::NodeId pid = pool_node_id(pool);
+  if (const auto* req = msg.as<core::PowerRequest>()) {
+    if (!pool_window_[p].insert(req->txn_id)) {
+      metrics_.record_duplicate_drop(0.0);
+      return;
+    }
+    double granted = std::min(req->alpha_watts, pool_available_[p]);
+    if (granted < 0.0) granted = 0.0;
+    pool_available_[p] -= granted;
+    if (granted > 0.0) metrics_.grant_departed(granted);
+    // Always answer, even empty-handed: the requester resolves by grant
+    // instead of timeout, and the unmet remainder joins the aggregated
+    // deficit this pool reports upward.
+    net_.send(pid, msg.src, core::PowerGrant{granted, req->txn_id, -1});
+    double unmet = req->alpha_watts - granted;
+    if (unmet > kWattDust) pool_deficit_accum_[p] += unmet;
+  } else if (const auto* push = msg.as<core::PowerPush>()) {
+    if (!pool_window_[p].insert(push->txn_id)) {
+      metrics_.record_duplicate_drop(push->watts);
+      return;
+    }
+    metrics_.grant_arrived(push->watts);
+    pool_available_[p] += push->watts;
+  } else if (const auto* report = msg.as<hierarchy::FederatedRequest>()) {
+    // Aggregated child deficit: overwrite, never accumulate (the child
+    // re-derives its whole deficit every period). The per-child seq
+    // guard drops reordered stale reports; duplicates are idempotent.
+    int child = static_cast<int>(msg.src) - base_;
+    PEN_CHECK(child >= 0 && child < topo_.total_pools);
+    std::uint64_t seq = core::txn_seq(report->txn_id);
+    auto c = static_cast<std::size_t>(child);
+    if (seq <= pool_last_report_seq_[c]) return;
+    pool_last_report_seq_[c] = seq;
+    pool_pending_up_[c] = report->deficit_watts;
+  } else if (const auto* xfer = msg.as<hierarchy::FederatedTransfer>()) {
+    if (!pool_window_[p].insert(xfer->txn_id)) {
+      metrics_.record_duplicate_drop(xfer->watts);
+      return;
+    }
+    metrics_.grant_arrived(xfer->watts);
+    pool_available_[p] += xfer->watts;
+  }
+}
+
+void FederatedArena::pool_tick(int pool, common::Ticks) {
+  auto p = static_cast<std::size_t>(pool);
+  net::NodeId pid = pool_node_id(pool);
+
+  // Serve children's reported deficits in child-index order (the
+  // deterministic tie-break), one aggregated transfer per needy child.
+  double unmet_children = 0.0;
+  for (int child : topo_.children[p]) {
+    auto c = static_cast<std::size_t>(child);
+    double want = pool_pending_up_[c];
+    pool_pending_up_[c] = 0.0;  // children re-report every period
+    if (want <= kWattDust) continue;
+    double give = std::min(want, pool_available_[p]);
+    if (give > kWattDust) {
+      pool_available_[p] -= give;
+      metrics_.grant_departed(give);
+      metrics_.record_federated_transfer(give);
+      net_.send(pid, pool_node_id(child),
+                hierarchy::FederatedTransfer{
+                    give, core::make_txn_id(pid, 1, ++pool_push_seq_[p])});
+    }
+    unmet_children += want - std::max(give, 0.0);
+  }
+
+  // Residual deficit (leaves: unmet node requests; inner: unmet child
+  // reports) federates up as ONE aggregated report; otherwise surplus
+  // above the low-water buffer federates up as ONE transfer. The root
+  // holds its surplus as the global buffer.
+  double deficit =
+      topo_.is_leaf(pool) ? pool_deficit_accum_[p] : unmet_children;
+  pool_deficit_accum_[p] = 0.0;
+  deficit = std::max(0.0, deficit - pool_available_[p]);
+  int up = topo_.parent[p];
+  if (up < 0) return;
+  if (deficit > kWattDust) {
+    metrics_.record_federated_request();
+    net_.send(pid, pool_node_id(up),
+              hierarchy::FederatedRequest{
+                  deficit, core::make_txn_id(pid, 0, ++pool_req_seq_[p])});
+  } else {
+    double surplus =
+        pool_available_[p] - config_.federation.low_water_watts;
+    if (surplus > kWattDust) {
+      pool_available_[p] -= surplus;
+      metrics_.grant_departed(surplus);
+      metrics_.record_federated_transfer(surplus);
+      net_.send(pid, pool_node_id(up),
+                hierarchy::FederatedTransfer{
+                    surplus,
+                    core::make_txn_id(pid, 1, ++pool_push_seq_[p])});
+    }
+  }
+}
+
+void FederatedArena::crash_node(int node, common::Ticks now) {
+  auto i = static_cast<std::size_t>(node);
+  if (crashed_[i]) return;
+  advance(node, now);
+  crashed_[i] = 1;
+  sim_of_(node).cancel(timeout_event_[i]);
+  timeout_event_[i] = sim::kInvalidEventId;
+  outstanding_txn_[i] = 0;  // any in-flight grant strands via the fabric
+  double safe_min = config_.safe_range.min_watts;
+  double residue = cap_[i] - safe_min;
+  cap_[i] = safe_min;
+  metrics_.strand_residue_against(node, incarnation_[i], residue);
+  net_.fail_node(node);
+}
+
+void FederatedArena::recover_node(int node, common::Ticks now) {
+  auto i = static_cast<std::size_t>(node);
+  if (!crashed_[i]) return;
+  advance(node, now);  // no-op accounting; resets the advance anchor
+  crashed_[i] = 0;
+  std::uint32_t prev = incarnation_[i]++;
+  net_.recover_node(node);
+  // Reclaim this node's own pre-crash residue (plus any grants that
+  // died against it while down — the drop handler tags those with the
+  // same incarnation). Exactly-once: the tag is consumed here or never.
+  double leftover = metrics_.reclaim_from(node, prev);
+  if (leftover <= kWattDust) return;
+  double room = config_.safe_range.max_watts - cap_[i];
+  double applied = std::min(leftover, std::max(0.0, room));
+  if (applied > kWattDust) {
+    cap_[i] += applied;
+    metrics_.record_apply(now, applied, node);
+  }
+  double overflow = leftover - applied;
+  if (overflow > kWattDust) push_to_leaf(node, overflow);
+}
+
+}  // namespace penelope::cluster

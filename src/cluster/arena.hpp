@@ -1,0 +1,180 @@
+// Flat-arena actors for hierarchical pool federation (DESIGN.md §13).
+//
+// The classic cluster path allocates one actor object per node — decider,
+// SimulatedRapl, Application, pool, txn window — behind a unique_ptr,
+// which is fine at 10^3 nodes and hostile at 10^5..10^6: each tick
+// pointer-chases through a dozen cache lines of per-node heap islands.
+// The arena restructures all per-node state into NodeId-indexed columns
+// (struct of arrays, the PR-4 Network-tables idiom): a node's decider
+// tick touches a handful of contiguous doubles, and the whole population
+// fits in a few flat allocations sized once at construction.
+//
+// The power/progress model on this path is deliberately idealized:
+// delivered power = min(cap, demand) with no first-order RAPL lag or
+// measurement noise, progress via the shared concave PerformanceModel,
+// energy = delivered x dt. Everything the federation experiment measures
+// — redistribution, convergence, conservation, message volume — depends
+// on the allocation dynamics, which are identical to the classic path's
+// decider rule (release excess above epsilon, request deficit up to the
+// safe ceiling, at-most-one outstanding request).
+//
+// Conservation: every watt moves through the existing ClusterMetrics
+// ledger (grant_departed/arrived, stranded, epoch-tagged residues), so
+// ConservationAudit holds to float tolerance under loss and churn.
+// Threading: a node's columns are touched only by its shard (its tick
+// and its endpoint handler) or at barriers (crash/recover/audit); a
+// pool's columns only by the pool's shard. Distinct vector elements are
+// distinct memory locations, so sharded runs need no locks — the same
+// argument the metrics slots and Network tables already make.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cluster/metrics.hpp"
+#include "common/units.hpp"
+#include "core/txn_window.hpp"
+#include "hierarchy/federation.hpp"
+#include "net/network.hpp"
+#include "power/performance_model.hpp"
+#include "power/power_interface.hpp"
+#include "sim/simulator.hpp"
+#include "workload/npb.hpp"
+
+namespace penelope::cluster {
+
+struct ArenaConfig {
+  int n_nodes = 0;
+  double initial_cap_watts = 160.0;
+  double epsilon_watts = 5.0;
+  common::Ticks period = common::kTicksPerSecond;
+  common::Ticks start_jitter = common::from_millis(10);
+  common::Ticks request_timeout = common::kTicksPerSecond;
+  power::SafeRange safe_range;
+  power::PerformanceModelConfig perf;
+  hierarchy::FederationConfig federation;
+  std::uint64_t seed = 42;
+};
+
+class FederatedArena {
+ public:
+  /// Resolves the simulator a NodeId's events run on (the cluster's
+  /// node_sim: per-shard when sharded, the serial engine otherwise).
+  /// Must cover pool ids (>= n_nodes) too.
+  using SimOf = std::function<sim::Simulator&(net::NodeId)>;
+  using OnComplete = std::function<void(net::NodeId, common::Ticks)>;
+
+  FederatedArena(const ArenaConfig& config,
+                 const hierarchy::FederationTopology& topo,
+                 net::Network& net, ClusterMetrics& metrics, SimOf sim_of,
+                 std::vector<workload::WorkloadProfile> profiles,
+                 OnComplete on_complete);
+
+  FederatedArena(const FederatedArena&) = delete;
+  FederatedArena& operator=(const FederatedArena&) = delete;
+
+  /// Pool p's network address (pools live above the client id range).
+  net::NodeId pool_node_id(int pool) const {
+    return base_ + static_cast<net::NodeId>(pool);
+  }
+
+  const hierarchy::FederationTopology& topology() const { return topo_; }
+
+  /// --- cluster-facing views --------------------------------------------
+  double node_cap(int node) const {
+    return cap_[static_cast<std::size_t>(node)];
+  }
+  double node_demand(int node) const;
+  /// Instantaneous delivered power; advances the progress model to now.
+  double node_power(int node, common::Ticks now);
+  double node_fraction_complete(int node) const;
+  bool node_done(int node) const {
+    return done_[static_cast<std::size_t>(node)] != 0;
+  }
+  bool node_crashed(int node) const {
+    return crashed_[static_cast<std::size_t>(node)] != 0;
+  }
+  std::uint32_t node_incarnation(int node) const {
+    return incarnation_[static_cast<std::size_t>(node)];
+  }
+  double pool_available(int pool) const {
+    return pool_available_[static_cast<std::size_t>(pool)];
+  }
+  double cap_total() const;
+  double pool_total() const;
+  double total_energy_joules(common::Ticks now);
+
+  /// Crash/restart with epoch-guarded reclamation: crash strands the
+  /// cap residue tagged (node, incarnation); restart bumps the
+  /// incarnation and reclaims its predecessor's tag (unless a drop
+  /// handler already fattened it — that is reclaimed too). Sharded
+  /// mode: barrier context only (the cluster's churn/fault plane).
+  void crash_node(int node, common::Ticks now);
+  void recover_node(int node, common::Ticks now);
+
+ private:
+  static constexpr int kDedupRing = 4;
+
+  void advance(int node, common::Ticks now);
+  void node_tick(int node, common::Ticks now);
+  void handle_node_message(int node, const net::Message& msg);
+  /// First-sighting filter for grants (small per-node ring instead of a
+  /// full TxnWindow: a node only ever receives from its one leaf pool).
+  bool first_sighting(int node, std::uint64_t txn);
+  /// Bank `watts` into the node's leaf pool (departure ledgered).
+  void push_to_leaf(int node, double watts);
+
+  void pool_tick(int pool, common::Ticks now);
+  void handle_pool_message(int pool, const net::Message& msg);
+
+  ArenaConfig config_;
+  hierarchy::FederationTopology topo_;
+  net::Network& net_;
+  ClusterMetrics& metrics_;
+  SimOf sim_of_;
+  OnComplete on_complete_;
+  power::PerformanceModel model_;
+  net::NodeId base_ = 0;
+
+  /// --- node columns (one slot per client NodeId) -----------------------
+  std::vector<double> cap_;
+  std::vector<double> energy_j_;
+  std::vector<common::Ticks> last_advance_;
+  /// Workload phases flattened across all nodes: node i's phases are
+  /// phase_demand_/phase_work_[phase_first_[i] .. +phase_count_[i]).
+  std::vector<double> phase_demand_;
+  std::vector<double> phase_work_;
+  std::vector<std::int32_t> phase_first_;
+  std::vector<std::int32_t> phase_count_;
+  std::vector<std::int32_t> phase_idx_;
+  std::vector<double> work_left_;   ///< work-seconds left in current phase
+  std::vector<double> work_done_;
+  std::vector<double> work_total_;
+  std::vector<std::uint8_t> done_;
+  std::vector<std::uint8_t> crashed_;
+  std::vector<std::uint32_t> incarnation_;
+  std::vector<std::uint64_t> outstanding_txn_;
+  std::vector<common::Ticks> outstanding_sent_at_;
+  std::vector<sim::EventId> timeout_event_;
+  std::vector<std::uint64_t> req_seq_;
+  std::vector<std::uint64_t> push_seq_;
+  std::vector<std::uint64_t> dedup_;       ///< n_nodes x kDedupRing
+  std::vector<std::uint8_t> dedup_next_;
+
+  /// --- pool columns (one slot per pool) --------------------------------
+  std::vector<double> pool_available_;
+  /// Leaf pools: node watts requested but not granted this period.
+  std::vector<double> pool_deficit_accum_;
+  /// Deficit pool p last reported to its parent (written by the parent's
+  /// message handler, consumed by the parent's tick — same shard).
+  std::vector<double> pool_pending_up_;
+  /// Freshness guard for deficit reports: reordering must not let a
+  /// stale report overwrite a newer one.
+  std::vector<std::uint64_t> pool_last_report_seq_;
+  std::vector<core::TxnWindow> pool_window_;
+  std::vector<std::uint64_t> pool_req_seq_;
+  std::vector<std::uint64_t> pool_push_seq_;
+};
+
+}  // namespace penelope::cluster

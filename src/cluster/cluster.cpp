@@ -6,6 +6,7 @@
 #include "common/check.hpp"
 #include "common/log.hpp"
 #include "core/protocol.hpp"
+#include "hierarchy/protocol.hpp"
 
 namespace penelope::cluster {
 
@@ -29,6 +30,28 @@ Cluster::Cluster(ClusterConfig config,
     config_.request_timeout = config_.period;
   if (config_.flight_recorder_capacity > 0)
     metrics_.recorder().enable(config_.flight_recorder_capacity);
+
+  if (config_.federation_pools > 0 &&
+      config_.manager != ManagerKind::kPenelope) {
+    PEN_LOG_WARN(
+        "federation_pools=%d ignored: pool federation composes with the "
+        "Penelope manager only",
+        config_.federation_pools);
+    config_.federation_pools = 0;
+  }
+  if (config_.federation_pools > 0 && config_.membership_enabled) {
+    PEN_LOG_WARN(
+        "membership layer is not implemented on the federated arena "
+        "path; disabling it (churn still conserves via epoch-tagged "
+        "self-reclamation)");
+    config_.membership_enabled = false;
+  }
+  if (config_.federation_pools > 0) {
+    fed_topo_ = std::make_unique<hierarchy::FederationTopology>(
+        hierarchy::FederationTopology::build(config_.n_nodes,
+                                             config_.federation_pools,
+                                             config_.federation_fanout));
+  }
 
   int jobs = config_.sim_jobs < 1 ? 1 : config_.sim_jobs;
   if (jobs > config_.n_nodes) jobs = config_.n_nodes;
@@ -57,6 +80,20 @@ Cluster::Cluster(ClusterConfig config,
           static_cast<int>(static_cast<std::int64_t>(i) * jobs /
                            config_.n_nodes);
     shard_of_[static_cast<std::size_t>(config_.n_nodes)] = jobs - 1;
+    if (fed_topo_) {
+      // Pool ids live above the client range (pool p -> id N + p, the
+      // server slot is unused under Penelope). Each pool rides the
+      // shard of the first node its subtree covers, so leaf traffic is
+      // mostly intra-shard.
+      shard_of_.resize(static_cast<std::size_t>(config_.n_nodes) +
+                       static_cast<std::size_t>(fed_topo_->total_pools));
+      for (int p = 0; p < fed_topo_->total_pools; ++p) {
+        shard_of_[static_cast<std::size_t>(config_.n_nodes + p)] =
+            shard_of_[static_cast<std::size_t>(
+                fed_topo_->representative_node[static_cast<std::size_t>(
+                    p)])];
+      }
+    }
     net_ = std::make_unique<net::Network>(*engine_, net_config, shard_of_);
     metrics_.configure_sharding(jobs, config_.n_nodes);
   } else {
@@ -111,6 +148,10 @@ Cluster::Cluster(ClusterConfig config,
       strand(cgrant->watts, cgrant->txn_id);
     } else if (const auto* donation = msg.as<central::CentralDonation>()) {
       strand(donation->watts, donation->txn_id);
+    } else if (const auto* xfer = msg.as<hierarchy::FederatedTransfer>()) {
+      // Pool destinations sit above the client id range and never die,
+      // so a lost inter-pool transfer strands untagged (fabric loss).
+      strand(xfer->watts, xfer->txn_id);
     }
   });
 
@@ -205,6 +246,28 @@ void Cluster::build(std::vector<workload::WorkloadProfile> profiles) {
           on_node_complete(id, at);
         }
       };
+
+  if (fed_topo_) {
+    ArenaConfig ac;
+    ac.n_nodes = n;
+    ac.initial_cap_watts = config_.initial_node_cap();
+    ac.epsilon_watts = config_.epsilon_watts;
+    ac.period = config_.period;
+    ac.start_jitter = config_.start_jitter;
+    ac.request_timeout = config_.request_timeout;
+    ac.safe_range = config_.rapl.safe_range;
+    ac.perf = config_.perf;
+    ac.federation.pools = config_.federation_pools;
+    ac.federation.fanout = config_.federation_fanout;
+    ac.federation.period = config_.federation_period;
+    ac.federation.low_water_watts = config_.federation_low_water_watts;
+    ac.seed = config_.seed;
+    arena_ = std::make_unique<FederatedArena>(
+        ac, *fed_topo_, *net_, metrics_,
+        [this](net::NodeId id) -> sim::Simulator& { return node_sim(id); },
+        std::move(profiles), on_complete);
+    return;
+  }
 
   for (int i = 0; i < n; ++i) {
     NodeConfig nc = make_node_config(i);
@@ -355,6 +418,10 @@ void Cluster::arm_churn() {
 
 void Cluster::crash_node(int node) {
   PEN_CHECK(node >= 0 && node < config_.n_nodes);
+  if (arena_) {
+    arena_->crash_node(node, now_ticks());
+    return;
+  }
   auto idx = static_cast<std::size_t>(node);
   switch (config_.manager) {
     case ManagerKind::kPenelope:
@@ -371,6 +438,10 @@ void Cluster::crash_node(int node) {
 
 void Cluster::recover_node(int node) {
   PEN_CHECK(node >= 0 && node < config_.n_nodes);
+  if (arena_) {
+    arena_->recover_node(node, now_ticks());
+    return;
+  }
   auto idx = static_cast<std::size_t>(node);
   switch (config_.manager) {
     case ManagerKind::kPenelope:
@@ -386,6 +457,7 @@ void Cluster::recover_node(int node) {
 }
 
 bool Cluster::node_crashed(int node) const {
+  if (arena_) return arena_->node_crashed(node);
   auto idx = static_cast<std::size_t>(node);
   switch (config_.manager) {
     case ManagerKind::kPenelope:
@@ -400,6 +472,7 @@ bool Cluster::node_crashed(int node) const {
 }
 
 std::uint32_t Cluster::node_incarnation(int node) const {
+  if (arena_) return arena_->node_incarnation(node);
   auto idx = static_cast<std::size_t>(node);
   switch (config_.manager) {
     case ManagerKind::kPenelope:
@@ -440,6 +513,11 @@ RunResult Cluster::run() {
       if (sim_.stopped()) break;
     }
   }
+  // The audit task samples the high-water mark periodically, but short
+  // runs (or audit_interval > runtime) would otherwise never record it
+  // on the serial path; close the books on both engines at run end.
+  metrics_.note_pending_events_high_water(
+      static_cast<double>(pending_high_water()));
   return collect_result();
 }
 
@@ -450,6 +528,8 @@ void Cluster::run_for(double seconds) {
   } else {
     sim_.run_until(deadline);
   }
+  metrics_.note_pending_events_high_water(
+      static_cast<double>(pending_high_water()));
 }
 
 RunResult Cluster::collect_result() const {
@@ -492,6 +572,9 @@ double Cluster::total_retirement_debt() const {
 
 double Cluster::set_system_budget(double new_total_watts) {
   PEN_CHECK(new_total_watts > 0.0);
+  PEN_CHECK_MSG(!arena_,
+                "dynamic budget reconfiguration is not supported on the "
+                "federated arena path");
   double delta_per_node =
       (new_total_watts - current_budget_) / config_.n_nodes;
   double applied_total = 0.0;
@@ -534,6 +617,13 @@ ConservationAudit Cluster::audit() const {
   ConservationAudit audit;
   audit.budget = current_budget_;
   audit.retirement_debt = total_retirement_debt();
+  if (arena_) {
+    audit.cap_total = arena_->cap_total();
+    audit.pool_total = arena_->pool_total();
+    audit.in_flight = metrics_.in_flight_watts();
+    audit.stranded = metrics_.stranded_watts();
+    return audit;
+  }
   for (const auto& node : fair_nodes_) audit.cap_total += node->cap();
   for (const auto& node : penelope_nodes_) {
     audit.cap_total += node->cap();
@@ -548,6 +638,7 @@ ConservationAudit Cluster::audit() const {
 }
 
 double Cluster::node_cap(int node) const {
+  if (arena_) return arena_->node_cap(node);
   auto idx = static_cast<std::size_t>(node);
   switch (config_.manager) {
     case ManagerKind::kFair: return fair_nodes_.at(idx)->cap();
@@ -560,6 +651,9 @@ double Cluster::node_cap(int node) const {
 
 double Cluster::node_pool_watts(int node) const {
   if (config_.manager != ManagerKind::kPenelope) return 0.0;
+  // Federated path: pools are shared per leaf, not per node; the audit
+  // accounts them via FederatedArena::pool_total().
+  if (arena_) return 0.0;
   return penelope_nodes_.at(static_cast<std::size_t>(node))->pool_watts();
 }
 
@@ -570,6 +664,7 @@ double Cluster::server_cache_watts() const {
 }
 
 bool Cluster::node_app_done(int node) const {
+  if (arena_) return arena_->node_done(node);
   auto idx = static_cast<std::size_t>(node);
   switch (config_.manager) {
     case ManagerKind::kFair:
@@ -589,6 +684,7 @@ double Cluster::node_power(int node) const {
   // a const-view operation conceptually but mutates cached state; the
   // actors expose non-const bodies for exactly this reason.
   auto* self = const_cast<Cluster*>(this);
+  if (arena_) return self->arena_->node_power(node, now_ticks());
   switch (config_.manager) {
     case ManagerKind::kFair:
       return self->fair_nodes_.at(idx)->body().rapl().instantaneous_power(
@@ -612,6 +708,7 @@ double Cluster::total_energy_joules() const {
   // Advancing the analytic model to now() mutates cached state (same
   // note as node_power).
   auto* self = const_cast<Cluster*>(this);
+  if (arena_) return self->arena_->total_energy_joules(now_ticks());
   double total = 0.0;
   for (auto& node : self->fair_nodes_)
     total += node->body().rapl().total_energy_joules(now_ticks());
@@ -623,6 +720,7 @@ double Cluster::total_energy_joules() const {
 }
 
 double Cluster::node_demand(int node) const {
+  if (arena_) return arena_->node_demand(node);
   auto idx = static_cast<std::size_t>(node);
   switch (config_.manager) {
     case ManagerKind::kFair:
@@ -637,6 +735,7 @@ double Cluster::node_demand(int node) const {
 }
 
 double Cluster::node_fraction_complete(int node) const {
+  if (arena_) return arena_->node_fraction_complete(node);
   auto idx = static_cast<std::size_t>(node);
   switch (config_.manager) {
     case ManagerKind::kFair:

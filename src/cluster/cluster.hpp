@@ -16,6 +16,7 @@
 
 #include "central/server.hpp"
 #include "cluster/actors.hpp"
+#include "cluster/arena.hpp"
 #include "cluster/invariants.hpp"
 #include "cluster/metrics.hpp"
 #include "cluster/trace.hpp"
@@ -110,6 +111,18 @@ struct ClusterConfig {
   net::SerialServerConfig server_service;
   /// Hierarchical manager: profile reports per node before assignment.
   int podd_profile_periods = 5;
+  /// Hierarchical pool federation (DESIGN.md §13), Penelope manager
+  /// only. 0 (default) disables it and runs the classic flat-actor
+  /// path, bit-identical to the pinned golden traces. > 0 switches to
+  /// the flat-arena path: deciders bank into / request from this many
+  /// leaf pools, which federate residual surplus and deficit up a
+  /// fanout-ary tree in one aggregated message per pool per period.
+  int federation_pools = 0;
+  int federation_fanout = 8;
+  /// Pool aggregation period; 0 means "one decider period".
+  common::Ticks federation_period = 0;
+  /// Local serving buffer a pool retains before federating surplus up.
+  double federation_low_water_watts = 30.0;
   /// Penelope pool request processing: a local cache probe.
   net::SerialServerConfig pool_service =
       net::SerialServerConfig{.service_min = 5, .service_max = 10,
@@ -272,6 +285,13 @@ class Cluster {
   /// Recorded trajectory (empty unless config.trace_interval > 0).
   const Trace& trace() const { return trace_; }
 
+  /// Federated arena path active (manager == kPenelope and
+  /// federation_pools > 0)?
+  bool federated() const { return arena_ != nullptr; }
+  /// The arena, or nullptr on the classic path.
+  const FederatedArena* arena() const { return arena_.get(); }
+  FederatedArena* arena() { return arena_.get(); }
+
  private:
   void build(std::vector<workload::WorkloadProfile> profiles);
   void arm_faults();
@@ -304,6 +324,11 @@ class Cluster {
   std::vector<std::unique_ptr<CentralClientActor>> central_clients_;
   std::unique_ptr<CentralServerActor> server_;
   std::unique_ptr<HierarchicalServerActor> podd_server_;
+  /// Federation (DESIGN.md §13): built in the constructor (the shard
+  /// map must cover pool ids before the network exists), consumed by
+  /// build() when it constructs the arena.
+  std::unique_ptr<hierarchy::FederationTopology> fed_topo_;
+  std::unique_ptr<FederatedArena> arena_;
   std::unique_ptr<sim::PeriodicTask> audit_task_;
   std::unique_ptr<sim::PeriodicTask> trace_task_;
   Trace trace_;

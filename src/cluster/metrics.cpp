@@ -29,6 +29,15 @@ ClusterMetrics::ClusterMetrics()
   unknown_txn_grants_ =
       registry_.counter("penelope_unknown_txn_grants_total", {},
                         "grants for transactions nobody tracked");
+  federated_requests_ =
+      registry_.counter("penelope_federated_requests_total", {},
+                        "aggregated child->parent pool deficit reports");
+  federated_transfers_ =
+      registry_.counter("penelope_federated_transfers_total", {},
+                        "aggregated inter-pool power transfers");
+  federated_watts_moved_ =
+      registry_.gauge("penelope_federated_watts_moved", {},
+                      "watts moved by inter-pool transfers");
   requests_sent_ = registry_.counter("penelope_requests_sent_total", {},
                                      "power requests sent");
   pending_events_high_water_ = registry_.gauge(

@@ -180,6 +180,26 @@ class ClusterMetrics {
     return nodes_declared_dead_.value();
   }
 
+  /// --- federation (DESIGN.md §13) ---------------------------------------
+  /// One aggregated child->parent deficit report left a pool. Carries no
+  /// power, so only the message counter moves.
+  void record_federated_request() { federated_requests_.inc(); }
+  /// One aggregated inter-pool transfer departed; its watts ride the
+  /// in-flight ledger via grant_departed like every other carrier.
+  void record_federated_transfer(double watts) {
+    federated_transfers_.inc();
+    federated_watts_moved_.add(watts);
+  }
+  std::uint64_t federated_requests() const {
+    return federated_requests_.value();
+  }
+  std::uint64_t federated_transfers() const {
+    return federated_transfers_.value();
+  }
+  double federated_watts_moved() const {
+    return federated_watts_moved_.value();
+  }
+
   /// --- misc counters ----------------------------------------------------
   void record_request_sent() { requests_sent_.inc(); }
   std::uint64_t requests_sent() const { return requests_sent_.value(); }
@@ -252,6 +272,9 @@ class ClusterMetrics {
   telemetry::Counter duplicates_dropped_;
   telemetry::Gauge duplicate_watts_dropped_;
   telemetry::Counter unknown_txn_grants_;
+  telemetry::Counter federated_requests_;
+  telemetry::Counter federated_transfers_;
+  telemetry::Gauge federated_watts_moved_;
   telemetry::Counter requests_sent_;
   telemetry::Gauge pending_events_high_water_;
   /// Reclaim tags per dead node (few incarnations outstanding at once,

@@ -30,6 +30,8 @@ ClusterConfig make_scale_cluster_config(const ScaleConfig& config) {
   cc.rapl.read_noise_watts = 0.0;
   cc.seed = config.seed;
   cc.sim_jobs = config.sim_jobs;
+  cc.federation_pools = config.pools;
+  cc.federation_fanout = config.fanout;
   cc.max_seconds =
       config.burst_at_seconds + config.window_seconds + 10.0;
   return cc;
@@ -126,6 +128,10 @@ ScaleResult run_scale_experiment(const ScaleConfig& config) {
   }
   result.max_conservation_error =
       run.audit.max_abs_conservation_error;
+  result.messages_sent = run.net_stats.sent;
+  result.federated_requests = metrics.federated_requests();
+  result.federated_transfers = metrics.federated_transfers();
+  result.federated_watts_moved = metrics.federated_watts_moved();
   return result;
 }
 

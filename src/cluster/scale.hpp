@@ -41,6 +41,11 @@ struct ScaleConfig {
   /// >1 shards the cluster over that many engines with a bit-identical
   /// merged trace (DESIGN.md §12).
   int sim_jobs = 1;
+  /// Hierarchical pool federation (DESIGN.md §13): leaf pool count for
+  /// the flat-arena path; 0 (default) runs the classic flat actors.
+  int pools = 0;
+  /// Children per inner pool in the federation tree.
+  int fanout = 8;
   std::uint64_t seed = 42;
 };
 
@@ -67,6 +72,14 @@ struct ScaleResult {
   double server_mean_queue_wait_ms = 0.0;
   double stranded_watts = 0.0;
   double max_conservation_error = 0.0;
+  /// Total logical sends across the run (the message-volume axis of the
+  /// federation A/B figure).
+  std::uint64_t messages_sent = 0;
+  /// Federation traffic (zero on the classic path): aggregated deficit
+  /// reports, inter-pool transfers, and the watts those transfers moved.
+  std::uint64_t federated_requests = 0;
+  std::uint64_t federated_transfers = 0;
+  double federated_watts_moved = 0.0;
 };
 
 /// Run one completion-burst experiment and analyze it.

@@ -1,0 +1,80 @@
+#include "hierarchy/federation.hpp"
+
+#include "common/check.hpp"
+
+namespace penelope::hierarchy {
+
+FederationTopology FederationTopology::build(int n_nodes, int pools,
+                                             int fanout) {
+  PEN_CHECK(n_nodes > 0);
+  if (pools < 1) pools = 1;
+  if (pools > n_nodes) pools = n_nodes;
+  if (fanout < 2) fanout = 2;
+
+  FederationTopology topo;
+  topo.n_nodes = n_nodes;
+  topo.n_leaves = pools;
+
+  topo.leaf_of_node.resize(static_cast<std::size_t>(n_nodes));
+  for (int i = 0; i < n_nodes; ++i) {
+    topo.leaf_of_node[static_cast<std::size_t>(i)] = static_cast<int>(
+        static_cast<std::int64_t>(i) * pools / n_nodes);
+  }
+
+  topo.leaf_first_node.assign(static_cast<std::size_t>(pools), n_nodes);
+  topo.leaf_last_node.assign(static_cast<std::size_t>(pools), 0);
+  for (int i = 0; i < n_nodes; ++i) {
+    auto leaf = static_cast<std::size_t>(topo.leaf_of_node[
+        static_cast<std::size_t>(i)]);
+    if (i < topo.leaf_first_node[leaf]) topo.leaf_first_node[leaf] = i;
+    if (i + 1 > topo.leaf_last_node[leaf]) topo.leaf_last_node[leaf] = i + 1;
+  }
+  // Balanced contiguous assignment never leaves a leaf empty.
+  for (int p = 0; p < pools; ++p)
+    PEN_CHECK(topo.leaf_first_node[static_cast<std::size_t>(p)] <
+              topo.leaf_last_node[static_cast<std::size_t>(p)]);
+
+  // Build levels bottom-up: a level of S pools gets ceil(S / fanout)
+  // parents in the next level, child j reporting to parent j / fanout.
+  int level_base = 0;
+  int level_size = pools;
+  topo.levels = 1;
+  topo.parent.assign(static_cast<std::size_t>(pools), -1);
+  while (level_size > 1) {
+    int next_size = (level_size + fanout - 1) / fanout;
+    int next_base = level_base + level_size;
+    topo.parent.resize(static_cast<std::size_t>(next_base + next_size), -1);
+    for (int j = 0; j < level_size; ++j) {
+      topo.parent[static_cast<std::size_t>(level_base + j)] =
+          next_base + j / fanout;
+    }
+    level_base = next_base;
+    level_size = next_size;
+    ++topo.levels;
+  }
+  topo.total_pools = level_base + level_size;
+
+  topo.children.assign(static_cast<std::size_t>(topo.total_pools), {});
+  for (int p = 0; p < topo.total_pools; ++p) {
+    int up = topo.parent[static_cast<std::size_t>(p)];
+    if (up >= 0) topo.children[static_cast<std::size_t>(up)].push_back(p);
+  }
+
+  topo.representative_node.assign(
+      static_cast<std::size_t>(topo.total_pools), 0);
+  for (int p = 0; p < pools; ++p) {
+    topo.representative_node[static_cast<std::size_t>(p)] =
+        topo.leaf_first_node[static_cast<std::size_t>(p)];
+  }
+  // Inner levels inherit their first child's representative; children
+  // were appended in ascending pool order, so [0] is the leftmost.
+  for (int p = pools; p < topo.total_pools; ++p) {
+    const auto& kids = topo.children[static_cast<std::size_t>(p)];
+    PEN_CHECK(!kids.empty());
+    topo.representative_node[static_cast<std::size_t>(p)] =
+        topo.representative_node[static_cast<std::size_t>(kids[0])];
+  }
+  return topo;
+}
+
+}  // namespace penelope::hierarchy

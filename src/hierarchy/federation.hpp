@@ -1,0 +1,74 @@
+// Hierarchical pool federation topology (DESIGN.md §13).
+//
+// Penelope's flat gossip answers "who has excess?" with random probing,
+// which is O(N) messages per period and slow to converge once N passes a
+// few thousand. Federation interposes a tree of *pools* between the
+// deciders and each other: every node banks excess into (and requests
+// from) its local leaf pool; pools batch their residual surplus or
+// deficit into ONE aggregated message per period to their parent, and
+// parents redistribute downward the same way. With P ≈ √N leaf pools the
+// inter-pool message volume per period is O(total pools) = O(√N) —
+// sublinear in cluster size — while every watt still moves through the
+// existing txn/dedup ledger, so conservation auditing is unchanged.
+//
+// This header is pure topology + configuration: which leaf a node hails,
+// which pool parents which, in contiguous index form so the cluster
+// layer can overlay it on its shard map. The actor state machine lives
+// in cluster/arena.* (it needs the network; this library does not link
+// it).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace penelope::hierarchy {
+
+struct FederationConfig {
+  /// Leaf pool count; 0 disables federation entirely (the cluster runs
+  /// the classic flat-actor path, bit-identical to pre-federation
+  /// traces).
+  int pools = 0;
+  /// Children per inner pool. The tree has ceil(log_fanout(pools)) + 1
+  /// levels; fanout >= pools collapses it to leaves + one root.
+  int fanout = 8;
+  /// Pool aggregation period; 0 means "the decider period".
+  common::Ticks period = 0;
+  /// Watts a pool keeps as a local serving buffer; surplus above this
+  /// federates upward.
+  double low_water_watts = 30.0;
+};
+
+/// The federation tree in flat index form. Pools are numbered level by
+/// level: leaves first ([0, n_leaves)), then each parent level, the root
+/// last (index total_pools - 1). Node -> leaf assignment is contiguous
+/// and balanced (node i -> leaf i * L / N), which aligns leaf spans with
+/// the cluster's contiguous shard assignment so most node<->leaf traffic
+/// stays intra-shard.
+struct FederationTopology {
+  int n_nodes = 0;
+  int n_leaves = 0;
+  int total_pools = 0;
+  int levels = 0;
+  /// node -> leaf pool index, size n_nodes.
+  std::vector<int> leaf_of_node;
+  /// pool -> parent pool index; -1 for the root. Size total_pools.
+  std::vector<int> parent;
+  /// pool -> child *pool* indices (empty for leaves). Size total_pools.
+  std::vector<std::vector<int>> children;
+  /// pool -> first node its subtree covers (for shard placement).
+  std::vector<int> representative_node;
+  /// leaf pool -> covered node span [first, last). Inner pools cover the
+  /// union of their children's spans; only leaves need the exact span.
+  std::vector<int> leaf_first_node;
+  std::vector<int> leaf_last_node;
+
+  bool is_leaf(int pool) const { return pool < n_leaves; }
+
+  /// Build the tree for `n_nodes` clients over `pools` leaves with the
+  /// given fanout. pools is clamped to [1, n_nodes], fanout to >= 2.
+  static FederationTopology build(int n_nodes, int pools, int fanout);
+};
+
+}  // namespace penelope::hierarchy

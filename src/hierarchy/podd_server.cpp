@@ -11,6 +11,7 @@ PoddServerLogic::PoddServerLogic(PoddConfig config)
     : config_(config),
       report_sums_(static_cast<std::size_t>(config.n_nodes), 0.0),
       report_counts_(static_cast<std::size_t>(config.n_nodes), 0),
+      excluded_(static_cast<std::size_t>(config.n_nodes), false),
       central_(config.central) {
   PEN_CHECK(config_.n_nodes >= 2);
   PEN_CHECK(config_.profile_periods >= 1);
@@ -22,15 +23,51 @@ bool PoddServerLogic::handle_profile_report(int node,
   if (profiling_complete_) return false;
   PEN_CHECK(node >= 0 && node < config_.n_nodes);
   auto idx = static_cast<std::size_t>(node);
+  if (excluded_[idx]) {
+    // A previously-expired node is reporting again (rejoined before the
+    // window closed): readmit it with a clean accumulator. Its count is
+    // already zero from expiry.
+    excluded_[idx] = false;
+  }
   if (report_counts_[idx] < config_.profile_periods) {
     report_sums_[idx] += std::max(report.avg_power_watts, 0.0);
     ++report_counts_[idx];
   }
-  for (int count : report_counts_) {
-    if (count < config_.profile_periods) return true;
-  }
+  if (!all_participants_reported()) return true;
   finalize();
   return false;
+}
+
+bool PoddServerLogic::expire_reports(int node) {
+  if (profiling_complete_) return false;
+  PEN_CHECK(node >= 0 && node < config_.n_nodes);
+  auto idx = static_cast<std::size_t>(node);
+  if (!excluded_[idx]) {
+    PEN_LOG_INFO(
+        "podd: expiring %d profile report(s) from node %d (dead or "
+        "epoch bump mid-window)",
+        report_counts_[idx], node);
+  }
+  report_sums_[idx] = 0.0;
+  report_counts_[idx] = 0;
+  excluded_[idx] = true;
+  if (!all_participants_reported()) return false;
+  finalize();
+  return true;
+}
+
+bool PoddServerLogic::all_participants_reported() const {
+  int included = 0;
+  for (int i = 0; i < config_.n_nodes; ++i) {
+    auto idx = static_cast<std::size_t>(i);
+    if (excluded_[idx]) continue;
+    ++included;
+    if (report_counts_[idx] < config_.profile_periods) return false;
+  }
+  // With every node expired there is nobody to learn from (or assign
+  // to); hold the window open for rejoins instead of finalizing on
+  // zero data.
+  return included > 0;
 }
 
 double PoddServerLogic::group_a_demand() const {

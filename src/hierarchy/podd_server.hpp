@@ -58,10 +58,20 @@ class PoddServerLogic {
   explicit PoddServerLogic(PoddConfig config);
 
   /// Profiling input; returns true while the server is still profiling.
-  /// Once every node has delivered `profile_periods` reports the server
-  /// transitions to the assigned state and compute_assignment() is
-  /// valid.
+  /// Once every participating node has delivered `profile_periods`
+  /// reports the server transitions to the assigned state and
+  /// compute_assignment() is valid. A report from a previously-expired
+  /// node readmits it (its accumulation restarts from zero).
   bool handle_profile_report(int node, const ProfileReport& report);
+
+  /// Membership input: `node` died (or bumped its epoch) mid-window.
+  /// Its accumulated reports are dropped — a crashed node's stale draw
+  /// must not skew the surviving nodes' assignment — and it no longer
+  /// gates completion. Returns true if expiry finished the window (all
+  /// remaining participants had already delivered their reports), in
+  /// which case the caller should broadcast assignments. No-op once
+  /// profiling is complete.
+  bool expire_reports(int node);
 
   bool profiling_complete() const { return profiling_complete_; }
 
@@ -90,10 +100,14 @@ class PoddServerLogic {
 
  private:
   void finalize();
+  bool all_participants_reported() const;
 
   PoddConfig config_;
   std::vector<double> report_sums_;
   std::vector<int> report_counts_;
+  /// Nodes expired from the current window (dead or epoch-bumped);
+  /// they neither gate completion nor contribute to group demand.
+  std::vector<bool> excluded_;
   bool profiling_complete_ = false;
   GroupAssignment assignment_;
   central::ServerLogic central_;

@@ -21,4 +21,24 @@ struct CapAssignment {
   double initial_cap_watts = 0.0;
 };
 
+/// Pool -> parent pool, at most one per aggregation period: the pool's
+/// current aggregate unmet deficit (watts its own nodes requested that
+/// local surplus could not cover). Carries no power — the parent
+/// OVERWRITES its per-child pending deficit with the latest value, so
+/// a lost or duplicated request can only delay service, never corrupt
+/// the ledger.
+struct FederatedRequest {
+  double deficit_watts = 0.0;
+  std::uint64_t txn_id = 0;
+};
+
+/// Pool -> pool (up = surplus donation above the low-water mark, down =
+/// grant against a child's reported deficit). This is the only
+/// federation message that moves watts, so it rides the in-flight
+/// ledger and the at-most-once txn window like PowerGrant does.
+struct FederatedTransfer {
+  double watts = 0.0;
+  std::uint64_t txn_id = 0;
+};
+
 }  // namespace penelope::hierarchy

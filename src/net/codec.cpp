@@ -120,9 +120,17 @@ std::size_t encoded_size(const WirePayload& payload) {
                    } else if constexpr (std::is_same_v<T,
                                                        core::PowerPush>) {
                      return 8 + 8;  // watts, txn
-                   } else {
-                     static_assert(std::is_same_v<T, core::Heartbeat>);
+                   } else if constexpr (std::is_same_v<T,
+                                                       core::Heartbeat>) {
                      return 4 + 4;  // node, incarnation
+                   } else if constexpr (std::is_same_v<
+                                            T,
+                                            hierarchy::FederatedRequest>) {
+                     return 8 + 8;  // deficit, txn
+                   } else {
+                     static_assert(
+                         std::is_same_v<T, hierarchy::FederatedTransfer>);
+                     return 8 + 8;  // watts, txn
                    }
                  },
                  payload);
@@ -173,11 +181,22 @@ std::vector<std::uint8_t> encode(const WirePayload& payload) {
           put_u8(out, static_cast<std::uint8_t>(WireTag::kPowerPush));
           put_f64(out, msg.watts);
           put_u64(out, msg.txn_id);
-        } else {
-          static_assert(std::is_same_v<T, core::Heartbeat>);
+        } else if constexpr (std::is_same_v<T, core::Heartbeat>) {
           put_u8(out, static_cast<std::uint8_t>(WireTag::kHeartbeat));
           put_i32(out, msg.node);
           put_u32(out, msg.incarnation);
+        } else if constexpr (std::is_same_v<T,
+                                            hierarchy::FederatedRequest>) {
+          put_u8(out,
+                 static_cast<std::uint8_t>(WireTag::kFederatedRequest));
+          put_f64(out, msg.deficit_watts);
+          put_u64(out, msg.txn_id);
+        } else {
+          static_assert(std::is_same_v<T, hierarchy::FederatedTransfer>);
+          put_u8(out,
+                 static_cast<std::uint8_t>(WireTag::kFederatedTransfer));
+          put_f64(out, msg.watts);
+          put_u64(out, msg.txn_id);
         }
       },
       payload);
@@ -254,6 +273,20 @@ std::optional<WirePayload> decode(const std::uint8_t* data,
       core::Heartbeat msg;
       msg.node = reader.i32();
       msg.incarnation = reader.u32();
+      payload = msg;
+      break;
+    }
+    case WireTag::kFederatedRequest: {
+      hierarchy::FederatedRequest msg;
+      msg.deficit_watts = reader.f64();
+      msg.txn_id = reader.u64();
+      payload = msg;
+      break;
+    }
+    case WireTag::kFederatedTransfer: {
+      hierarchy::FederatedTransfer msg;
+      msg.watts = reader.f64();
+      msg.txn_id = reader.u64();
       payload = msg;
       break;
     }

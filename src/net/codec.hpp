@@ -31,7 +31,8 @@ using WirePayload =
                  central::CentralDonation, central::CentralRequest,
                  central::CentralGrant, hierarchy::ProfileReport,
                  hierarchy::CapAssignment, core::PowerPush,
-                 core::Heartbeat>;
+                 core::Heartbeat, hierarchy::FederatedRequest,
+                 hierarchy::FederatedTransfer>;
 
 /// Type tags on the wire (stable ABI — append only).
 enum class WireTag : std::uint8_t {
@@ -44,6 +45,8 @@ enum class WireTag : std::uint8_t {
   kCapAssignment = 7,
   kPowerPush = 8,
   kHeartbeat = 9,
+  kFederatedRequest = 10,
+  kFederatedTransfer = 11,
 };
 
 /// Serialize a payload; always succeeds (all message types are fixed

@@ -26,7 +26,7 @@ namespace penelope::net {
 using NodeId = std::int32_t;
 inline constexpr NodeId kNoNode = -1;
 
-/// Every payload a Message can carry: the nine wire-codec message
+/// Every payload a Message can carry: the eleven wire-codec message
 /// types, plus monostate for a default-constructed (empty) Message.
 /// Keep the alternative order in sync with WireTag (codec.hpp) — the
 /// codec round-trip test pins both.
@@ -35,7 +35,8 @@ using Payload =
                  central::CentralDonation, central::CentralRequest,
                  central::CentralGrant, hierarchy::ProfileReport,
                  hierarchy::CapAssignment, core::PowerPush,
-                 core::Heartbeat>;
+                 core::Heartbeat, hierarchy::FederatedRequest,
+                 hierarchy::FederatedTransfer>;
 
 static_assert(std::is_trivially_copyable_v<Payload>,
               "Payload must stay trivially copyable: the fabric relies "

@@ -37,6 +37,24 @@ inline int resolve_jobs(int jobs) {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
+/// Cap a per-run sim_jobs request so that `sweep_workers` concurrent
+/// runs never oversubscribe the machine: each run gets at most
+/// hardware / sweep_workers threads (never below 1). sim_jobs is a
+/// pure execution knob — every run's trace is bit-identical at any
+/// value (pinned by the SimJobs suites) — so clamping it changes wall
+/// clock only, never output bytes. `hardware` is injectable for tests;
+/// pass 0 to use std::thread::hardware_concurrency().
+inline int effective_sim_jobs(int sweep_workers, int requested_sim_jobs,
+                              unsigned hardware = 0) {
+  if (requested_sim_jobs <= 1) return requested_sim_jobs;
+  if (sweep_workers < 1) sweep_workers = 1;
+  if (hardware == 0) hardware = std::thread::hardware_concurrency();
+  if (hardware == 0) hardware = 1;
+  int per_run = static_cast<int>(hardware) / sweep_workers;
+  if (per_run < 1) per_run = 1;
+  return requested_sim_jobs < per_run ? requested_sim_jobs : per_run;
+}
+
 /// Run fn(i) for every i in [0, count) on `jobs` threads and return the
 /// results in index order. fn must be callable concurrently from
 /// multiple threads on distinct indices (each sweep run owns its whole

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <string>
 
+#include "common/log.hpp"
+
 namespace penelope::sweep {
 
 namespace {
@@ -12,6 +14,30 @@ std::string fmt_hash(std::uint64_t hash) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%016" PRIx64, hash);
   return buf;
+}
+
+// Concurrency budget for sweep-level jobs=N composed with per-run
+// sim_jobs=M: without a cap the product spawns N*M threads. Each run's
+// sim_jobs is clamped to hardware/workers (sim_jobs never changes a
+// run's output bytes, only its wall clock) and the effective split is
+// logged once if anything was clamped.
+int sweep_workers_for(std::size_t count, int jobs) {
+  int workers = resolve_jobs(jobs);
+  if (static_cast<std::size_t>(workers) > count)
+    workers = static_cast<int>(count);
+  return workers < 1 ? 1 : workers;
+}
+
+void log_sim_jobs_clamp(const char* what, int workers, int requested,
+                        int effective) {
+  if (effective == requested) return;
+  unsigned hw = std::thread::hardware_concurrency();
+  PEN_LOG_INFO(
+      "%s: capping per-run sim_jobs %d -> %d (%d sweep workers x %d "
+      "sim threads <= %u hardware threads; output is bit-identical at "
+      "any cap)",
+      what, requested, effective, workers, effective,
+      hw == 0 ? 1u : hw);
 }
 
 }  // namespace
@@ -57,7 +83,14 @@ SweepRunResult execute_run(const RunSpec& spec) {
 std::vector<SweepRunResult> run_sweep(
     const SweepSpec& spec, int jobs,
     const std::vector<std::size_t>* claim_order) {
-  const std::vector<RunSpec> runs = spec.expand();
+  std::vector<RunSpec> runs = spec.expand();
+  const int workers = sweep_workers_for(runs.size(), jobs);
+  for (RunSpec& run : runs) {
+    int capped = effective_sim_jobs(workers, run.config.sim_jobs);
+    log_sim_jobs_clamp("run_sweep", workers, run.config.sim_jobs,
+                       capped);
+    run.config.sim_jobs = capped;
+  }
   return parallel_map(
       runs.size(), jobs,
       [&runs](std::size_t i) { return execute_run(runs[i]); },
@@ -84,8 +117,16 @@ common::Table sweep_table(const SweepSpec& spec,
 
 std::vector<cluster::ScaleResult> run_scale_sweep(
     const std::vector<cluster::ScaleConfig>& points, int jobs) {
-  return parallel_map(points.size(), jobs, [&points](std::size_t i) {
-    return cluster::run_scale_experiment(points[i]);
+  std::vector<cluster::ScaleConfig> capped = points;
+  const int workers = sweep_workers_for(capped.size(), jobs);
+  for (cluster::ScaleConfig& point : capped) {
+    int effective = effective_sim_jobs(workers, point.sim_jobs);
+    log_sim_jobs_clamp("run_scale_sweep", workers, point.sim_jobs,
+                       effective);
+    point.sim_jobs = effective;
+  }
+  return parallel_map(capped.size(), jobs, [&capped](std::size_t i) {
+    return cluster::run_scale_experiment(capped[i]);
   });
 }
 

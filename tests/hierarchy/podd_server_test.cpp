@@ -123,6 +123,81 @@ TEST(SplitBudget, ZeroDemandFallsBackToEven) {
   EXPECT_NEAR(a.group_b_cap, 140.0, 1e-9);
 }
 
+TEST(PoddServer, ExpiredNodeNoLongerGatesProfilingCompletion) {
+  // Regression: a node that crashes mid-profiling-window used to gate
+  // completion forever — the server waited for reports that would never
+  // arrive, and the whole cluster sat at the uniform initial cap.
+  PoddServerLogic server(base_config(4, 1));
+  server.handle_profile_report(0, {100.0});
+  server.handle_profile_report(1, {100.0});
+  server.handle_profile_report(2, {200.0});
+  ASSERT_FALSE(server.profiling_complete());
+  // Node 3 dies; its expiry must complete the window on the spot.
+  EXPECT_TRUE(server.expire_reports(3));
+  EXPECT_TRUE(server.profiling_complete());
+}
+
+TEST(PoddServer, ExpiryDropsStaleReportsAndRenormalizes) {
+  // The crashed node's accumulated draw must not skew the surviving
+  // nodes' demand means.
+  PoddServerLogic server(base_config(4, 2));
+  for (int round = 0; round < 2; ++round) {
+    server.handle_profile_report(0, {90.0});
+    server.handle_profile_report(1, {110.0});
+    server.handle_profile_report(3, {210.0});
+  }
+  // Node 2 reported a wild outlier once, then crashed. Expiring it both
+  // unblocks the window (everyone else already reported) and discards
+  // the outlier.
+  server.handle_profile_report(2, {900.0});
+  EXPECT_TRUE(server.expire_reports(2));
+  ASSERT_TRUE(server.profiling_complete());
+  // Group A mean unaffected; group B mean is node 3 alone — the 900 W
+  // outlier is gone.
+  EXPECT_NEAR(server.group_a_demand(), 100.0, 1e-9);
+  EXPECT_NEAR(server.group_b_demand(), 210.0, 1e-9);
+}
+
+TEST(PoddServer, ExpiryOfEveryNodeDoesNotCompleteAnEmptyWindow) {
+  // With all participants expired there is no demand signal at all;
+  // completing would assign caps from 0/0 means. The window must stay
+  // open until somebody reports again.
+  PoddServerLogic server(base_config(2, 1));
+  EXPECT_FALSE(server.expire_reports(0));
+  EXPECT_FALSE(server.expire_reports(1));
+  EXPECT_FALSE(server.profiling_complete());
+  // A rejoining node readmits itself by reporting; once every live
+  // participant (just node 0 now) has reported, the window closes.
+  EXPECT_FALSE(server.handle_profile_report(0, {120.0}));
+  EXPECT_TRUE(server.profiling_complete());
+  EXPECT_NEAR(server.group_a_demand(), 120.0, 1e-9);
+}
+
+TEST(PoddServer, ReportAfterExpiryReadmitsAndRestartsAccumulation) {
+  PoddServerLogic server(base_config(2, 2));
+  server.handle_profile_report(0, {100.0});
+  server.handle_profile_report(1, {300.0});
+  EXPECT_FALSE(server.expire_reports(1));
+  // Node 1 rejoins: its old 300 W sample is gone, accumulation restarts.
+  server.handle_profile_report(1, {180.0});
+  server.handle_profile_report(0, {100.0});
+  EXPECT_FALSE(server.profiling_complete());  // node 1 has 1 of 2
+  server.handle_profile_report(1, {220.0});
+  ASSERT_TRUE(server.profiling_complete());
+  EXPECT_NEAR(server.group_b_demand(), 200.0, 1e-9);
+}
+
+TEST(PoddServer, ExpiryAfterCompletionIsANoOp) {
+  PoddServerLogic server(base_config(2, 1));
+  server.handle_profile_report(0, {100.0});
+  server.handle_profile_report(1, {200.0});
+  ASSERT_TRUE(server.profiling_complete());
+  GroupAssignment before = server.assignment();
+  EXPECT_FALSE(server.expire_reports(0));
+  EXPECT_DOUBLE_EQ(server.assignment().group_a_cap, before.group_a_cap);
+  EXPECT_DOUBLE_EQ(server.assignment().group_b_cap, before.group_b_cap);
+}
+
 TEST(PoddServer, CentralDelegationWorks) {
   PoddServerLogic server(base_config(2, 1));
   server.central().handle_donation(central::CentralDonation{50.0});

@@ -82,6 +82,18 @@ TEST(Codec, HierarchyMessagesRoundTrip) {
       186.25);
 }
 
+TEST(Codec, FederationMessagesRoundTrip) {
+  hierarchy::FederatedRequest req{73.5, 0x0123456789abcdefULL};
+  hierarchy::FederatedRequest req_out = roundtrip(req);
+  EXPECT_DOUBLE_EQ(req_out.deficit_watts, 73.5);
+  EXPECT_EQ(req_out.txn_id, req.txn_id);
+
+  hierarchy::FederatedTransfer xfer{41.125, 0xfedcba9876543210ULL};
+  hierarchy::FederatedTransfer xfer_out = roundtrip(xfer);
+  EXPECT_DOUBLE_EQ(xfer_out.watts, 41.125);
+  EXPECT_EQ(xfer_out.txn_id, xfer.txn_id);
+}
+
 TEST(Codec, EveryWireTagRoundTripsByteIdentical) {
   // Exhaustive sweep: one non-default exemplar per wire tag. For each,
   // encode -> decode -> re-encode must reproduce the exact bytes, the
@@ -104,6 +116,10 @@ TEST(Codec, EveryWireTagRoundTripsByteIdentical) {
       {WireTag::kCapAssignment, hierarchy::CapAssignment{186.25}},
       {WireTag::kPowerPush, core::PowerPush{17.5, 0xfeedULL}},
       {WireTag::kHeartbeat, core::Heartbeat{12, 3}},
+      {WireTag::kFederatedRequest,
+       hierarchy::FederatedRequest{73.5, 0xbeefULL}},
+      {WireTag::kFederatedTransfer,
+       hierarchy::FederatedTransfer{41.125, 0xf00dULL}},
   };
   ASSERT_EQ(std::size(cases), std::variant_size_v<WirePayload>)
       << "new message type needs an exemplar here";
@@ -136,7 +152,8 @@ TEST(Codec, EncodedSizeMatchesActual) {
       core::PowerRequest{}, core::PowerGrant{},
       central::CentralDonation{}, central::CentralRequest{},
       central::CentralGrant{}, hierarchy::ProfileReport{},
-      hierarchy::CapAssignment{}, core::PowerPush{}, core::Heartbeat{}};
+      hierarchy::CapAssignment{}, core::PowerPush{}, core::Heartbeat{},
+      hierarchy::FederatedRequest{}, hierarchy::FederatedTransfer{}};
   for (const auto& p : payloads) {
     EXPECT_EQ(encode(p).size(), encoded_size(p));
   }
