@@ -18,10 +18,12 @@
 //                                 with --alloc-check this is the sharded
 //                                 zero-alloc gate (ctest: net.zero_alloc_sharded)
 //
-// The allocation check replaces global operator new/delete with
-// counting hooks: after a warm-up phase (slab, free lists, and event
-// heap reach their high-water marks), tens of thousands of further
-// send→deliver rounds must not touch the allocator at all.
+// The allocation check counts allocator round trips via the shared
+// counting operator new/delete hooks (bench/counting_new.hpp, also the
+// backbone of telemetry.ZeroOverheadGate): after a warm-up phase (slab,
+// free lists, and event heap reach their high-water marks), tens of
+// thousands of further send→deliver rounds must not touch the
+// allocator at all.
 #include <atomic>
 #include <chrono>
 #include <cinttypes>
@@ -31,67 +33,11 @@
 #include <cstring>
 #include <new>
 
+#include "counting_new.hpp"
 #include "core/protocol.hpp"
 #include "net/network.hpp"
 #include "sim/sharded.hpp"
 #include "sim/simulator.hpp"
-
-namespace {
-
-std::atomic<std::uint64_t> g_heap_allocs{0};
-
-void* counted_alloc(std::size_t size) {
-  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size ? size : 1)) return p;
-  throw std::bad_alloc();
-}
-
-void* counted_aligned_alloc(std::size_t size, std::size_t alignment) {
-  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
-  void* p = nullptr;
-  if (posix_memalign(&p, alignment, size ? size : alignment) != 0)
-    throw std::bad_alloc();
-  return p;
-}
-
-}  // namespace
-
-void* operator new(std::size_t size) { return counted_alloc(size); }
-void* operator new[](std::size_t size) { return counted_alloc(size); }
-void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
-  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
-  return std::malloc(size ? size : 1);
-}
-void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
-  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
-  return std::malloc(size ? size : 1);
-}
-void* operator new(std::size_t size, std::align_val_t alignment) {
-  return counted_aligned_alloc(size, static_cast<std::size_t>(alignment));
-}
-void* operator new[](std::size_t size, std::align_val_t alignment) {
-  return counted_aligned_alloc(size, static_cast<std::size_t>(alignment));
-}
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::align_val_t) noexcept {
-  std::free(p);
-}
-void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
-  std::free(p);
-}
-void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
-  std::free(p);
-}
-void operator delete(void* p, const std::nothrow_t&) noexcept {
-  std::free(p);
-}
-void operator delete[](void* p, const std::nothrow_t&) noexcept {
-  std::free(p);
-}
 
 namespace {
 
@@ -243,11 +189,11 @@ template <typename World>
 int alloc_check(const char* name, int warm_rounds, int measured_rounds) {
   World world;
   for (int i = 0; i < warm_rounds; ++i) world.round();
-  std::uint64_t before = g_heap_allocs.load(std::memory_order_relaxed);
+  std::uint64_t before = pen_alloc_gate::allocs_now();
   std::size_t items = 0;
   for (int i = 0; i < measured_rounds; ++i) items += world.round();
   std::uint64_t delta =
-      g_heap_allocs.load(std::memory_order_relaxed) - before;
+      pen_alloc_gate::allocs_now() - before;
   std::printf("%-10s %" PRIu64
               " heap allocations across %d rounds (%zu messages): %s\n",
               name, delta, measured_rounds, items,

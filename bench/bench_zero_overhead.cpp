@@ -1,0 +1,124 @@
+// telemetry.ZeroOverheadGate — the two-sided contract of the
+// observability subsystem, asserted as a ctest case:
+//
+//   1. OFF costs nothing: with every observability knob at its default
+//      (no sampler, no flow tracer, no flight recorder), the golden
+//      20-node run still produces the pinned golden trace hash, at
+//      sim_jobs=1 and sim_jobs=4. A telemetry hook that perturbs event
+//      timing with telemetry *disabled* fails here.
+//
+//   2. ON stays off the allocator: after the one-time configure/enable
+//      reservations, the per-probe sampler work (one TimeSeries::sample
+//      per series, one HealthMonitor::observe, one flow-hop record) is
+//      zero-allocation in steady state, counted by the same global
+//      operator-new hooks as net.zero_alloc (bench/counting_new.hpp).
+//
+// Exit 0 iff both gates pass.
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+
+#include "counting_new.hpp"
+
+#include "cluster/cluster.hpp"
+#include "telemetry/flow_tracer.hpp"
+#include "telemetry/health.hpp"
+#include "telemetry/time_series.hpp"
+
+namespace {
+
+using namespace penelope;
+
+/// The pinned golden trace (tests/cluster/sharded_trace_test.cpp): any
+/// drift here means observability-off is not free.
+constexpr std::uint64_t kGoldenTraceHash = 0x868a597206f3db95ULL;
+
+cluster::ClusterConfig golden_config(int jobs) {
+  cluster::ClusterConfig cc;
+  cc.manager = cluster::ManagerKind::kPenelope;
+  cc.n_nodes = 20;
+  cc.per_socket_cap_watts = 60.0;
+  cc.network.loss_probability = 0.02;
+  cc.seed = 42;
+  cc.sim_jobs = jobs;
+  return cc;
+}
+
+bool golden_gate() {
+  bool ok = true;
+  for (int jobs : {1, 4}) {
+    cluster::Cluster cl(
+        golden_config(jobs),
+        cluster::make_pair_workloads(workload::NpbApp::kEP,
+                                     workload::NpbApp::kDC, 20, {}));
+    cl.run_for(30.0);
+    bool match = cl.trace_hash() == kGoldenTraceHash;
+    std::printf("golden.off jobs=%d trace 0x%016" PRIx64 " %s\n", jobs,
+                cl.trace_hash(), match ? "PASS" : "FAIL");
+    ok = ok && match;
+  }
+  return ok;
+}
+
+bool alloc_gate() {
+  constexpr common::Ticks kWindow = common::from_millis(250);
+  constexpr std::size_t kSeriesCapacity = 512;
+  constexpr int kIterations = 100000;
+
+  telemetry::TimeSeriesSet set;
+  set.configure(kWindow, kSeriesCapacity);
+  telemetry::TimeSeries* series[8];
+  const char* names[8] = {"delivered_watts", "demand_watts", "cap_watts",
+                          "pool_watts",      "stranded_watts",
+                          "in_flight_watts", "energy_joules",
+                          "jain_index"};
+  for (int s = 0; s < 8; ++s) series[s] = set.open(names[s]);
+
+  telemetry::HealthMonitor health;
+  health.configure(0.01, static_cast<std::size_t>(kIterations) + 16);
+
+  telemetry::PowerFlowTracer tracer;
+  tracer.enable(4096);
+
+  // Warm-up: hit every series and the downsampling path once, then
+  // snapshot the counter.
+  for (int i = 0; i < 2048; ++i) {
+    auto at = static_cast<common::Ticks>(i) * kWindow;
+    for (auto* s : series) s->sample(at, 1.0);
+  }
+  std::uint64_t before = pen_alloc_gate::allocs_now();
+
+  for (int i = 0; i < kIterations; ++i) {
+    auto at = static_cast<common::Ticks>(2048 + i) * kWindow;
+    double v = static_cast<double>(i % 97);
+    for (auto* s : series) s->sample(at, v);
+    telemetry::HealthSample hs;
+    hs.at = at;
+    hs.active_nodes = 64;
+    hs.delivered_sum = 64.0 * v;
+    hs.delivered_sq_sum = 64.0 * v * v;
+    hs.delivered_min = hs.delivered_max = v;
+    hs.stranded_watts = 1.0;
+    hs.energy_joules = static_cast<double>(i);
+    health.observe(hs);
+    tracer.record(at, static_cast<std::uint64_t>(i + 1),
+                  telemetry::FlowHopKind::kStep, i % 64, -1, v, "hop");
+  }
+  std::uint64_t allocs = pen_alloc_gate::allocs_now() - before;
+
+  // Budget: zero. Every container reserved up front; a regression that
+  // grows anything per probe shows up as >= 1.
+  std::printf("sampler.on %" PRIu64
+              " heap allocations across %d probes x 8 series "
+              "+ health + flow hop: %s\n",
+              allocs, kIterations, allocs == 0 ? "PASS" : "FAIL");
+  return allocs == 0;
+}
+
+}  // namespace
+
+int main() {
+  bool ok = golden_gate();
+  ok = alloc_gate() && ok;
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,91 @@
+// Counting global operator new/delete hooks for allocation-budget
+// gates (net.zero_alloc, telemetry.ZeroOverheadGate).
+//
+// Including this header REPLACES the global allocation functions for
+// the whole binary: every operator new (array, nothrow, and aligned
+// forms) bumps pen_alloc_gate::heap_allocs() before delegating to
+// malloc. Replacement functions must have external linkage and appear
+// exactly once per program, so include this from exactly ONE
+// translation unit of a binary — in this tree each bench executable is
+// a single .cpp, which is why this lives in bench/ and not src/.
+//
+// The counter deliberately counts *calls*, not bytes: the gates assert
+// a warm steady state performs zero allocator round trips, and one
+// stray vector growth is exactly one count.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace pen_alloc_gate {
+
+inline std::atomic<std::uint64_t>& heap_allocs() {
+  static std::atomic<std::uint64_t> count{0};
+  return count;
+}
+
+inline std::uint64_t allocs_now() {
+  return heap_allocs().load(std::memory_order_relaxed);
+}
+
+inline void* counted_alloc(std::size_t size) {
+  heap_allocs().fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+inline void* counted_aligned_alloc(std::size_t size,
+                                   std::size_t alignment) {
+  heap_allocs().fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, alignment, size ? size : alignment) != 0)
+    throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace pen_alloc_gate
+
+void* operator new(std::size_t size) {
+  return pen_alloc_gate::counted_alloc(size);
+}
+void* operator new[](std::size_t size) {
+  return pen_alloc_gate::counted_alloc(size);
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  pen_alloc_gate::heap_allocs().fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  pen_alloc_gate::heap_allocs().fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  return pen_alloc_gate::counted_aligned_alloc(
+      size, static_cast<std::size_t>(alignment));
+}
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  return pen_alloc_gate::counted_aligned_alloc(
+      size, static_cast<std::size_t>(alignment));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}

@@ -37,7 +37,12 @@ const char* kUsage =
     "  federation on the flat-arena path, penelope only; pools=0 is\n"
     "  the classic flat path)\n"
     "  [trace=FILE] [trace_ms=1000] [trace_format=csv|jsonl|both]\n"
-    "  [flight_recorder=N] [perfetto=FILE.json] [metrics=FILE.prom]\n"
+    "  [flight_ring=N] [flow_ring=N] [perfetto=FILE.json]\n"
+    "  [metrics=FILE.prom]\n"
+    "  [series=FILE.csv] [series_window=250] [health_epsilon=0.01]\n"
+    "  (windowed time-series + health probes; series_window in ms,\n"
+    "  sampling on changes the trace vs off but is bit-identical for\n"
+    "  every sim_jobs value)\n"
     "sweep mode (prints one table row per run; parallel output is\n"
     "byte-identical to jobs=1):\n"
     "  [seeds=1,2,3] [managers=penelope,central] [jobs=N] "
@@ -168,13 +173,25 @@ int main(int argc, char** argv) {
   }
   std::string perfetto_path = config.get_string("perfetto", "");
   std::string metrics_path = config.get_string("metrics", "");
-  cc.flight_recorder_capacity = static_cast<std::size_t>(
+  // flight_ring= is the documented name; flight_recorder= predates it
+  // and keeps working.
+  cc.flight_recorder_capacity = static_cast<std::size_t>(config.get_int(
+      "flight_ring",
       config.get_int("flight_recorder",
-                     perfetto_path.empty() ? 0 : 1 << 16));
+                     perfetto_path.empty() ? 0 : 1 << 16)));
+  cc.flow_tracer_capacity = static_cast<std::size_t>(
+      config.get_int("flow_ring", perfetto_path.empty() ? 0 : 1 << 16));
   if (!trace_path.empty() || !perfetto_path.empty()) {
     cc.trace_interval =
         common::from_millis(config.get_double("trace_ms", 1000.0));
   }
+  // Windowed series + health sampling: on when series= names an output
+  // file or series_window= is set explicitly.
+  std::string series_path = config.get_string("series", "");
+  double series_window_ms = config.get_double(
+      "series_window", series_path.empty() ? 0.0 : 250.0);
+  cc.series_interval = common::from_millis(series_window_ms);
+  cc.health_epsilon = config.get_double("health_epsilon", 0.01);
 
   std::string apps = config.get_string("apps", "EP,DC");
   auto comma = apps.find(',');
@@ -212,10 +229,10 @@ int main(int argc, char** argv) {
 
   if (sweep_mode) {
     if (!trace_path.empty() || !perfetto_path.empty() ||
-        !metrics_path.empty()) {
-      std::fprintf(stderr, "error: trace/perfetto/metrics are single-run "
-                           "options (not available with seeds=/managers= "
-                           "sweeps)\n%s\n",
+        !metrics_path.empty() || !series_path.empty()) {
+      std::fprintf(stderr, "error: trace/perfetto/metrics/series are "
+                           "single-run options (not available with "
+                           "seeds=/managers= sweeps)\n%s\n",
                    kUsage);
       return 2;
     }
@@ -301,6 +318,21 @@ int main(int argc, char** argv) {
               "%.2e W over %zu audits\n",
               result.audit.max_abs_conservation_error,
               result.audit.max_live_overshoot, result.audit.audits);
+  if (cc.series_interval > 0 && !cl.health().probes().empty()) {
+    const telemetry::HealthProbe& last = cl.health().probes().back();
+    auto conv = cl.health().convergence_seconds(0);
+    std::printf("health             %zu probes, min Jain %.4f, "
+                "final Jain %.4f, %.1f J delivered\n",
+                cl.health().probes().size(), cl.health().min_jain_since(0),
+                last.jain, last.energy_joules);
+    if (conv.has_value()) {
+      std::printf("convergence        %.2f s to Jain >= %.3f\n", *conv,
+                  1.0 - cc.health_epsilon);
+    } else {
+      std::printf("convergence        not reached (Jain < %.3f at end)\n",
+                  1.0 - cc.health_epsilon);
+    }
+  }
 
   if (!trace_path.empty()) {
     bool wrote = false;
@@ -321,14 +353,33 @@ int main(int argc, char** argv) {
   }
   if (!perfetto_path.empty()) {
     const telemetry::FlightRecorder& recorder = cl.metrics().recorder();
+    const telemetry::PowerFlowTracer& tracer = cl.metrics().tracer();
     std::string json = telemetry::to_perfetto_json(
-        recorder.snapshot(), cl.trace().counter_tracks());
+        recorder.snapshot(), cl.trace().counter_tracks(),
+        tracer.snapshot());
     if (write_text_file(perfetto_path, json)) {
-      std::printf("perfetto           %llu txn events (%llu dropped) "
-                  "-> %s\n",
+      std::printf("perfetto           %llu txn events (%llu dropped), "
+                  "%llu flow hops -> %s\n",
                   static_cast<unsigned long long>(recorder.recorded()),
                   static_cast<unsigned long long>(recorder.dropped()),
+                  static_cast<unsigned long long>(tracer.recorded()),
                   perfetto_path.c_str());
+    }
+  }
+  if (!series_path.empty()) {
+    if (write_text_file(series_path, cl.series().to_csv())) {
+      std::size_t windows = 0;
+      for (const auto& s : cl.series().series())
+        windows += s->windows().size();
+      std::printf("series             %zu series, %zu windows -> %s\n",
+                  cl.series().series().size(), windows,
+                  series_path.c_str());
+    }
+    std::string health_path = series_path + ".health.csv";
+    if (cc.series_interval > 0 &&
+        write_text_file(health_path, cl.health().to_csv())) {
+      std::printf("health csv         %zu probes -> %s\n",
+                  cl.health().probes().size(), health_path.c_str());
     }
   }
   if (!metrics_path.empty()) {

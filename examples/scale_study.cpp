@@ -13,6 +13,11 @@
 //        [pools=0] [fanout=8]   (DESIGN.md §13: pools>0 adds a third
 //        column running the federated flat-arena Penelope; pools=-1
 //        picks ~sqrt(nodes) leaf pools per scale point)
+//        [convergence=0] [series_window=250] [epsilon=0.01]
+//        (convergence=1 switches to the HealthMonitor study: time from
+//        the burst until Jain's index over active nodes recovers to
+//        >= 1-epsilon, flat Penelope vs pools=sqrt(N) federation,
+//        sampled every series_window ms — DESIGN.md §14)
 #include <cmath>
 #include <cstdio>
 
@@ -38,6 +43,62 @@ int main(int argc, char** argv) {
   int pools = config.get_int("pools", 0);
   int fanout = config.get_int("fanout", 8);
   bool federated = pools != 0;
+  bool convergence = config.get_bool("convergence", false);
+  double series_window_ms = config.get_double("series_window", 250.0);
+  double epsilon = config.get_double("epsilon", 0.01);
+
+  if (convergence) {
+    // Convergence-time-vs-N (ROADMAP item 1's figure): the same
+    // completion burst, but measured online by the HealthMonitor —
+    // flat Penelope against a pools=sqrt(N) federation.
+    std::vector<cluster::ScaleConfig> points;
+    for (int nodes : scales) {
+      cluster::ScaleConfig sc;
+      sc.n_nodes = nodes;
+      sc.frequency_hz = freq;
+      sc.window_seconds = 120.0;
+      sc.sim_jobs = sim_jobs;
+      sc.seed = 3;
+      sc.manager = cluster::ManagerKind::kPenelope;
+      sc.series_interval = common::from_millis(series_window_ms);
+      sc.health_epsilon = epsilon;
+      points.push_back(sc);
+      sc.pools = pools > 0 ? pools
+                           : static_cast<int>(std::lround(std::sqrt(
+                                 static_cast<double>(nodes))));
+      sc.fanout = fanout;
+      points.push_back(sc);
+    }
+    std::vector<cluster::ScaleResult> results =
+        sweep::run_scale_sweep(points, jobs);
+
+    std::printf("online convergence: time from the burst until Jain's "
+                "index over active nodes\nrecovers to >= %.3f "
+                "(sampled every %.0f ms)\n",
+                1.0 - epsilon, series_window_ms);
+    std::printf("%-8s | %-24s | %-24s\n", "", "Penelope (flat)",
+                "Penelope (pools=sqrt N)");
+    std::printf("%-8s | %12s %11s | %12s %11s\n", "nodes", "conv (s)",
+                "min Jain", "conv (s)", "min Jain");
+    std::size_t k = 0;
+    for (int nodes : scales) {
+      const cluster::ScaleResult& flat = results[k++];
+      const cluster::ScaleResult& fed = results[k++];
+      char flat_s[16];
+      char fed_s[16];
+      std::snprintf(flat_s, sizeof flat_s,
+                    flat.converged ? "%.2f" : ">%.0f",
+                    flat.convergence_s);
+      std::snprintf(fed_s, sizeof fed_s, fed.converged ? "%.2f" : ">%.0f",
+                    fed.convergence_s);
+      std::printf("%-8d | %12s %11.4f | %12s %11.4f\n", nodes, flat_s,
+                  flat.min_jain, fed_s, fed.min_jain);
+    }
+    std::printf("\nconv (s) is measured online by the telemetry sampler "
+                "(O(pools) memory);\n>W means Jain never recovered "
+                "inside the W-second window.\n");
+    return 0;
+  }
 
   std::vector<cluster::ScaleConfig> points;
   for (int nodes : scales) {

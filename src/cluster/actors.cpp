@@ -281,6 +281,7 @@ void PenelopeNodeActor::membership_tick(common::Ticks now) {
 void PenelopeNodeActor::crash() {
   if (crashed_) return;
   crashed_ = true;
+  if (observer_dirty_) *observer_dirty_ = 1;
   management_alive_ = false;
   // Volatile protocol state dies with the process.
   if (outstanding_) {
@@ -314,6 +315,7 @@ void PenelopeNodeActor::crash() {
 void PenelopeNodeActor::restart() {
   if (!crashed_) return;
   crashed_ = false;
+  if (observer_dirty_) *observer_dirty_ = 1;
   std::uint32_t previous = incarnation_++;
   management_alive_ = true;
   pool_service_.resume();
@@ -414,6 +416,15 @@ void PenelopeNodeActor::on_pool_request(const net::Message& msg) {
   metrics_.recorder().record(sim_.now(), request->txn_id,
                              telemetry::TxnEventKind::kRequestServed,
                              body_.config().id, msg.src, granted);
+  if (granted > 0.0 && metrics_.tracer().enabled()) {
+    // Peer-to-peer grant chain: the flow is the request txn itself (one
+    // hop pair, source at the server, sink where the watts apply).
+    metrics_.tracer().record(sim_.now(), request->txn_id,
+                             telemetry::FlowHopKind::kSource,
+                             body_.config().id,
+                             static_cast<std::int32_t>(msg.src), granted,
+                             "grant");
+  }
   core::PowerGrant grant{granted, request->txn_id};
   if (body_.config().hint_discovery && granted <= 0.0 &&
       sticky_peer_ != net::kNoNode && sticky_peer_ != msg.src) {
@@ -582,6 +593,13 @@ void PenelopeNodeActor::on_grant(const net::Message& msg) {
         metrics_.recorder().record(sim_.now(), grant->txn_id,
                                    telemetry::TxnEventKind::kApplied,
                                    body_.config().id, msg.src, applied);
+        if (metrics_.tracer().enabled()) {
+          metrics_.tracer().record(sim_.now(), grant->txn_id,
+                                   telemetry::FlowHopKind::kSink,
+                                   body_.config().id,
+                                   static_cast<std::int32_t>(msg.src),
+                                   applied, "apply");
+        }
       }
       double banked = grant->watts - applied;
       if (banked > common::kWattEpsilon) {

@@ -195,6 +195,16 @@ class PenelopeNodeActor {
   double pool_watts() const { return pool_.available(); }
   double retirement_debt() const { return decider_.retirement_debt(); }
 
+  /// Observability: route every sampled-state mutation (cap, debt, pool,
+  /// rapl anchor, crash/restart) to one dirty byte owned by the
+  /// cluster's telemetry mirror. Never set on the golden path.
+  void set_observer_dirty(std::uint8_t* cell) {
+    observer_dirty_ = cell;
+    decider_.set_observer_dirty(cell);
+    pool_.set_observer_dirty(cell);
+    body_.rapl().set_observer_dirty(cell);
+  }
+
   /// Dynamic budget reconfiguration: adjust this node's share. Returns
   /// the watts retired immediately (cut) — the rest becomes debt.
   double apply_budget_delta(double delta_watts);
@@ -273,6 +283,7 @@ class PenelopeNodeActor {
   common::Ticks next_heartbeat_at_ = 0;
   std::uint32_t incarnation_ = 1;  ///< crash counter, bumps on restart()
   bool crashed_ = false;
+  std::uint8_t* observer_dirty_ = nullptr;
 };
 
 /// SLURM-style client: classifies locally, moves all power through the

@@ -84,6 +84,9 @@ FederatedArena::FederatedArena(
   for (std::size_t p = 0; p < pools; ++p) pool_window_.emplace_back();
   pool_req_seq_.assign(pools, 0);
   pool_push_seq_.assign(pools, 0);
+  pool_inflow_flow_.assign(pools, 0);
+  pool_deficit_flow_.assign(pools, 0);
+  pool_pending_flow_.assign(pools, 0);
 
   // Endpoints + ticks. Start offsets follow the classic path's shape
   // (uniform in [1, start_jitter], one draw per node in node order) so
@@ -212,10 +215,16 @@ void FederatedArena::push_to_leaf(int node, double watts) {
   if (watts <= kWattDust) return;
   auto i = static_cast<std::size_t>(node);
   metrics_.grant_departed(watts);
-  net_.send(node,
-            pool_node_id(topo_.leaf_of_node[i]),
-            core::PowerPush{watts,
-                            core::make_txn_id(node, 1, ++push_seq_[i])});
+  std::uint64_t txn = core::make_txn_id(node, 1, ++push_seq_[i]);
+  net::NodeId leaf = pool_node_id(topo_.leaf_of_node[i]);
+  auto& tracer = metrics_.tracer();
+  if (tracer.enabled()) {
+    // A push mints a new flow: these watts begin their journey here.
+    tracer.bind(txn, txn);
+    tracer.record(sim_of_(node).now(), txn, telemetry::FlowHopKind::kSource,
+                  node, static_cast<std::int32_t>(leaf), watts, "push");
+  }
+  net_.send(node, leaf, core::PowerPush{watts, txn});
 }
 
 void FederatedArena::node_tick(int node, common::Ticks now) {
@@ -288,6 +297,12 @@ void FederatedArena::handle_node_message(int node,
   if (applied > kWattDust) {
     cap_[i] += applied;
     metrics_.record_apply(now, applied, node);
+    auto& tracer = metrics_.tracer();
+    if (tracer.enabled()) {
+      tracer.record(now, tracer.flow_of(grant->txn_id),
+                    telemetry::FlowHopKind::kSink, node,
+                    static_cast<std::int32_t>(msg.src), applied, "apply");
+    }
   }
   double overflow = grant->watts - applied;
   if (overflow > kWattDust) push_to_leaf(node, overflow);
@@ -297,6 +312,7 @@ void FederatedArena::handle_pool_message(int pool,
                                          const net::Message& msg) {
   auto p = static_cast<std::size_t>(pool);
   net::NodeId pid = pool_node_id(pool);
+  auto& tracer = metrics_.tracer();
   if (const auto* req = msg.as<core::PowerRequest>()) {
     if (!pool_window_[p].insert(req->txn_id)) {
       metrics_.record_duplicate_drop(0.0);
@@ -306,12 +322,29 @@ void FederatedArena::handle_pool_message(int pool,
     if (granted < 0.0) granted = 0.0;
     pool_available_[p] -= granted;
     if (granted > 0.0) metrics_.grant_departed(granted);
+    if (tracer.enabled() && granted > 0.0) {
+      // The grant inherits the flow that last fed this pool, and the
+      // node-side sink resolves it through the txn binding (PowerGrant
+      // carries no flow on the wire).
+      std::uint64_t flow = pool_inflow_flow_[p];
+      tracer.bind(req->txn_id, flow);
+      tracer.record(sim_of_(pid).now(), flow,
+                    telemetry::FlowHopKind::kStep,
+                    static_cast<std::int32_t>(pid),
+                    static_cast<std::int32_t>(msg.src), granted, "grant");
+    }
     // Always answer, even empty-handed: the requester resolves by grant
     // instead of timeout, and the unmet remainder joins the aggregated
     // deficit this pool reports upward.
     net_.send(pid, msg.src, core::PowerGrant{granted, req->txn_id, -1});
     double unmet = req->alpha_watts - granted;
-    if (unmet > kWattDust) pool_deficit_accum_[p] += unmet;
+    if (unmet > kWattDust) {
+      pool_deficit_accum_[p] += unmet;
+      // Demand-side flow: remember the first unmet request so the
+      // deficit report up the tree can name what it is asking for.
+      if (tracer.enabled() && pool_deficit_flow_[p] == 0)
+        pool_deficit_flow_[p] = req->txn_id;
+    }
   } else if (const auto* push = msg.as<core::PowerPush>()) {
     if (!pool_window_[p].insert(push->txn_id)) {
       metrics_.record_duplicate_drop(push->watts);
@@ -319,6 +352,15 @@ void FederatedArena::handle_pool_message(int pool,
     }
     metrics_.grant_arrived(push->watts);
     pool_available_[p] += push->watts;
+    if (tracer.enabled()) {
+      std::uint64_t flow = tracer.flow_of(push->txn_id);
+      if (flow != 0) pool_inflow_flow_[p] = flow;
+      tracer.record(sim_of_(pid).now(), flow,
+                    telemetry::FlowHopKind::kStep,
+                    static_cast<std::int32_t>(pid),
+                    static_cast<std::int32_t>(msg.src), push->watts,
+                    "bank");
+    }
   } else if (const auto* report = msg.as<hierarchy::FederatedRequest>()) {
     // Aggregated child deficit: overwrite, never accumulate (the child
     // re-derives its whole deficit every period). The per-child seq
@@ -330,6 +372,14 @@ void FederatedArena::handle_pool_message(int pool,
     if (seq <= pool_last_report_seq_[c]) return;
     pool_last_report_seq_[c] = seq;
     pool_pending_up_[c] = report->deficit_watts;
+    if (tracer.enabled()) {
+      pool_pending_flow_[c] = report->flow;
+      tracer.record(sim_of_(pid).now(), report->flow,
+                    telemetry::FlowHopKind::kStep,
+                    static_cast<std::int32_t>(pid),
+                    static_cast<std::int32_t>(msg.src),
+                    report->deficit_watts, "deficit_in");
+    }
   } else if (const auto* xfer = msg.as<hierarchy::FederatedTransfer>()) {
     if (!pool_window_[p].insert(xfer->txn_id)) {
       metrics_.record_duplicate_drop(xfer->watts);
@@ -337,30 +387,52 @@ void FederatedArena::handle_pool_message(int pool,
     }
     metrics_.grant_arrived(xfer->watts);
     pool_available_[p] += xfer->watts;
+    if (tracer.enabled()) {
+      if (xfer->flow != 0) pool_inflow_flow_[p] = xfer->flow;
+      tracer.record(sim_of_(pid).now(), xfer->flow,
+                    telemetry::FlowHopKind::kStep,
+                    static_cast<std::int32_t>(pid),
+                    static_cast<std::int32_t>(msg.src), xfer->watts,
+                    "xfer_in");
+    }
   }
 }
 
-void FederatedArena::pool_tick(int pool, common::Ticks) {
+void FederatedArena::pool_tick(int pool, common::Ticks now) {
   auto p = static_cast<std::size_t>(pool);
   net::NodeId pid = pool_node_id(pool);
+  auto& tracer = metrics_.tracer();
 
   // Serve children's reported deficits in child-index order (the
   // deterministic tie-break), one aggregated transfer per needy child.
   double unmet_children = 0.0;
+  std::uint64_t unmet_flow = 0;  // first still-hungry child's demand flow
   for (int child : topo_.children[p]) {
     auto c = static_cast<std::size_t>(child);
     double want = pool_pending_up_[c];
     pool_pending_up_[c] = 0.0;  // children re-report every period
+    std::uint64_t child_flow = pool_pending_flow_[c];
+    pool_pending_flow_[c] = 0;
     if (want <= kWattDust) continue;
     double give = std::min(want, pool_available_[p]);
     if (give > kWattDust) {
       pool_available_[p] -= give;
       metrics_.grant_departed(give);
       metrics_.record_federated_transfer(give);
+      std::uint64_t txn = core::make_txn_id(pid, 1, ++pool_push_seq_[p]);
+      std::uint64_t flow = 0;
+      if (tracer.enabled()) {
+        flow = pool_inflow_flow_[p] != 0 ? pool_inflow_flow_[p] : txn;
+        tracer.record(now, flow, telemetry::FlowHopKind::kStep,
+                      static_cast<std::int32_t>(pid),
+                      static_cast<std::int32_t>(pool_node_id(child)),
+                      give, "xfer_down");
+      }
       net_.send(pid, pool_node_id(child),
-                hierarchy::FederatedTransfer{
-                    give, core::make_txn_id(pid, 1, ++pool_push_seq_[p])});
+                hierarchy::FederatedTransfer{give, txn, flow});
     }
+    if (want - std::max(give, 0.0) > kWattDust && unmet_flow == 0)
+      unmet_flow = child_flow;
     unmet_children += want - std::max(give, 0.0);
   }
 
@@ -371,14 +443,30 @@ void FederatedArena::pool_tick(int pool, common::Ticks) {
   double deficit =
       topo_.is_leaf(pool) ? pool_deficit_accum_[p] : unmet_children;
   pool_deficit_accum_[p] = 0.0;
+  std::uint64_t deficit_flow =
+      topo_.is_leaf(pool) ? pool_deficit_flow_[p] : unmet_flow;
+  pool_deficit_flow_[p] = 0;
   deficit = std::max(0.0, deficit - pool_available_[p]);
   int up = topo_.parent[p];
   if (up < 0) return;
   if (deficit > kWattDust) {
     metrics_.record_federated_request();
+    std::uint64_t txn = core::make_txn_id(pid, 0, ++pool_req_seq_[p]);
+    std::uint64_t flow = 0;
+    if (tracer.enabled()) {
+      // Leaves mint the demand flow from the first unmet node request
+      // (falling back to the report txn); inner pools thread through
+      // the first still-hungry child's flow.
+      flow = deficit_flow != 0 ? deficit_flow : txn;
+      tracer.record(now, flow,
+                    deficit_flow != 0 ? telemetry::FlowHopKind::kStep
+                                      : telemetry::FlowHopKind::kSource,
+                    static_cast<std::int32_t>(pid),
+                    static_cast<std::int32_t>(pool_node_id(up)), deficit,
+                    "deficit_up");
+    }
     net_.send(pid, pool_node_id(up),
-              hierarchy::FederatedRequest{
-                  deficit, core::make_txn_id(pid, 0, ++pool_req_seq_[p])});
+              hierarchy::FederatedRequest{deficit, txn, flow});
   } else {
     double surplus =
         pool_available_[p] - config_.federation.low_water_watts;
@@ -386,10 +474,17 @@ void FederatedArena::pool_tick(int pool, common::Ticks) {
       pool_available_[p] -= surplus;
       metrics_.grant_departed(surplus);
       metrics_.record_federated_transfer(surplus);
+      std::uint64_t txn = core::make_txn_id(pid, 1, ++pool_push_seq_[p]);
+      std::uint64_t flow = 0;
+      if (tracer.enabled()) {
+        flow = pool_inflow_flow_[p] != 0 ? pool_inflow_flow_[p] : txn;
+        tracer.record(now, flow, telemetry::FlowHopKind::kStep,
+                      static_cast<std::int32_t>(pid),
+                      static_cast<std::int32_t>(pool_node_id(up)), surplus,
+                      "xfer_up");
+      }
       net_.send(pid, pool_node_id(up),
-                hierarchy::FederatedTransfer{
-                    surplus,
-                    core::make_txn_id(pid, 1, ++pool_push_seq_[p])});
+                hierarchy::FederatedTransfer{surplus, txn, flow});
     }
   }
 }

@@ -175,6 +175,21 @@ class FederatedArena {
   std::vector<core::TxnWindow> pool_window_;
   std::vector<std::uint64_t> pool_req_seq_;
   std::vector<std::uint64_t> pool_push_seq_;
+
+  /// --- causal flow-trace columns (telemetry only, never fed back into
+  /// the protocol; all zero and untouched unless the cluster enabled
+  /// metrics().tracer()). Ownership mirrors the neighbouring pool
+  /// columns: inflow/deficit by pool p's shard, pending by the parent's.
+  /// Flow that most recently fed pool p (a push, transfer, or reclaim):
+  /// outgoing transfers and grants are attributed to it — the documented
+  /// most-recent-inflow approximation of "the watts you got are the
+  /// watts I last received".
+  std::vector<std::uint64_t> pool_inflow_flow_;
+  /// Demand-side flow: the node request that first went unmet at leaf p
+  /// this period, threaded up the deficit-report chain.
+  std::vector<std::uint64_t> pool_deficit_flow_;
+  /// Flow carried by child c's pending deficit report.
+  std::vector<std::uint64_t> pool_pending_flow_;
 };
 
 }  // namespace penelope::cluster

@@ -24,6 +24,8 @@
 #include "net/network.hpp"
 #include "net/serial_server.hpp"
 #include "sim/sharded.hpp"
+#include "telemetry/health.hpp"
+#include "telemetry/time_series.hpp"
 #include "workload/npb.hpp"
 
 namespace penelope::cluster {
@@ -151,6 +153,23 @@ struct ClusterConfig {
   /// Transaction flight-recorder ring size; 0 (default) disables the
   /// journal entirely, keeping the hot path a single predicted branch.
   std::size_t flight_recorder_capacity = 0;
+  /// Cluster-wide time-series sampling cadence; 0 (default) disables
+  /// the sampler and the health monitor entirely. Samples run on the
+  /// control plane (barriers when sharded), so enabling them changes
+  /// the trace hash relative to a disabled run — but identically for
+  /// every sim_jobs value. Memory is O(pools + fixed series), never
+  /// O(nodes): per-node detail stays the province of trace_interval.
+  common::Ticks series_interval = 0;
+  /// Ring capacity per series; on overflow the window width doubles and
+  /// adjacent windows merge (downsampling), so memory stays bounded for
+  /// arbitrarily long runs.
+  std::size_t series_capacity = 512;
+  /// Causal power-flow tracer ring size; 0 (default) disables flow
+  /// tracing (one relaxed load + predicted branch per hop site).
+  std::size_t flow_tracer_capacity = 0;
+  /// Health-monitor convergence tolerance: converged means Jain's
+  /// fairness index over active nodes' delivered power >= 1 - epsilon.
+  double health_epsilon = 0.01;
   std::uint64_t seed = 42;
 
   double initial_node_cap() const {
@@ -285,6 +304,11 @@ class Cluster {
   /// Recorded trajectory (empty unless config.trace_interval > 0).
   const Trace& trace() const { return trace_; }
 
+  /// Cluster-wide time series (empty unless config.series_interval > 0).
+  const telemetry::TimeSeriesSet& series() const { return series_; }
+  /// Online health probes (empty unless config.series_interval > 0).
+  const telemetry::HealthMonitor& health() const { return health_; }
+
   /// Federated arena path active (manager == kPenelope and
   /// federation_pools > 0)?
   bool federated() const { return arena_ != nullptr; }
@@ -331,7 +355,45 @@ class Cluster {
   std::unique_ptr<FederatedArena> arena_;
   std::unique_ptr<sim::PeriodicTask> audit_task_;
   std::unique_ptr<sim::PeriodicTask> trace_task_;
+  std::unique_ptr<sim::PeriodicTask> sampler_task_;
   Trace trace_;
+  /// Sampler state (series_interval > 0 only). Handles are cached at
+  /// construction so the per-sample path does no name hashing and no
+  /// allocation once every series ring is at capacity.
+  telemetry::TimeSeriesSet series_;
+  telemetry::HealthMonitor health_;
+  telemetry::TimeSeries* ts_delivered_ = nullptr;
+  telemetry::TimeSeries* ts_demand_ = nullptr;
+  telemetry::TimeSeries* ts_cap_ = nullptr;
+  telemetry::TimeSeries* ts_pool_ = nullptr;
+  telemetry::TimeSeries* ts_stranded_ = nullptr;
+  telemetry::TimeSeries* ts_in_flight_ = nullptr;
+  telemetry::TimeSeries* ts_energy_ = nullptr;
+  telemetry::TimeSeries* ts_jain_ = nullptr;
+  std::vector<telemetry::TimeSeries*> ts_pools_;
+  void sample_telemetry(common::Ticks now);
+
+  /// Telemetry mirror (classic Penelope path only): one dense row per
+  /// node with everything a sample needs, refreshed lazily. Actors mark
+  /// their dirty byte on every sampled-state mutation (decider, pool,
+  /// rapl hooks); the sampler re-snapshots dirty nodes and then
+  /// integrates the row array sequentially instead of chasing ~6 cache
+  /// lines through every 1.7 KB actor per sample. Empty unless
+  /// series_interval > 0.
+  struct MirrorRow {
+    double cap = 0.0;        ///< decider (ledger) cap
+    double rapl_cap = 0.0;   ///< safe-range-clamped cap (power target)
+    double demand = 0.0;
+    double pool = 0.0;
+    double debt = 0.0;
+    double power0 = 0.0;     ///< rapl anchor: power at `last`
+    double energy0 = 0.0;    ///< rapl anchor: joules at `last`
+    common::Ticks last = 0;  ///< rapl anchor time
+    double idle = 0.0;       ///< 1.0 when app_done or crashed
+  };
+  std::vector<MirrorRow> mirror_rows_;
+  std::vector<std::uint8_t> mirror_dirty_;
+  void refresh_mirror_row(std::size_t i);
 
   double current_budget_ = 0.0;
   int completed_nodes_ = 0;

@@ -32,6 +32,7 @@
 #include "common/units.hpp"
 #include "sim/sharded.hpp"
 #include "telemetry/flight_recorder.hpp"
+#include "telemetry/flow_tracer.hpp"
 #include "telemetry/registry.hpp"
 
 namespace penelope::cluster {
@@ -219,6 +220,8 @@ class ClusterMetrics {
   const telemetry::MetricsRegistry& registry() const { return registry_; }
   telemetry::FlightRecorder& recorder() { return recorder_; }
   const telemetry::FlightRecorder& recorder() const { return recorder_; }
+  telemetry::PowerFlowTracer& tracer() { return tracer_; }
+  const telemetry::PowerFlowTracer& tracer() const { return tracer_; }
 
  private:
   /// Event-list collectors for one execution context: written only by
@@ -260,6 +263,7 @@ class ClusterMetrics {
   // Registry before handles: handles point into registry cells.
   telemetry::MetricsRegistry registry_;
   telemetry::FlightRecorder recorder_;
+  telemetry::PowerFlowTracer tracer_;
 
   std::vector<EventSlot> slots_;
   mutable std::vector<double> merged_turnaround_;

@@ -32,6 +32,8 @@ ClusterConfig make_scale_cluster_config(const ScaleConfig& config) {
   cc.sim_jobs = config.sim_jobs;
   cc.federation_pools = config.pools;
   cc.federation_fanout = config.fanout;
+  cc.series_interval = config.series_interval;
+  cc.health_epsilon = config.health_epsilon;
   cc.max_seconds =
       config.burst_at_seconds + config.window_seconds + 10.0;
   return cc;
@@ -132,6 +134,17 @@ ScaleResult run_scale_experiment(const ScaleConfig& config) {
   result.federated_requests = metrics.federated_requests();
   result.federated_transfers = metrics.federated_transfers();
   result.federated_watts_moved = metrics.federated_watts_moved();
+
+  if (config.series_interval > 0) {
+    // Online convergence: the burst dents Jain's index while released
+    // watts are still clumped at the ex-bursting nodes; recovery to
+    // 1 - eps is the health monitor's convergence instant.
+    result.health_sampled = true;
+    result.min_jain = cluster.health().min_jain_since(burst_at);
+    auto conv = cluster.health().convergence_seconds(burst_at);
+    result.converged = conv.has_value();
+    result.convergence_s = conv.value_or(config.window_seconds);
+  }
   return result;
 }
 

@@ -46,6 +46,13 @@ struct ScaleConfig {
   int pools = 0;
   /// Children per inner pool in the federation tree.
   int fanout = 8;
+  /// Health-monitor sampling cadence (ClusterConfig::series_interval);
+  /// 0 (default) keeps telemetry off so existing scale runs and their
+  /// trace hashes are untouched. When > 0 the result carries the online
+  /// convergence measurements below.
+  common::Ticks series_interval = 0;
+  /// Convergence tolerance on Jain's index (converged: J >= 1 - eps).
+  double health_epsilon = 0.01;
   std::uint64_t seed = 42;
 };
 
@@ -80,6 +87,14 @@ struct ScaleResult {
   std::uint64_t federated_requests = 0;
   std::uint64_t federated_transfers = 0;
   double federated_watts_moved = 0.0;
+  /// Online convergence (series_interval > 0 only): time from the burst
+  /// until Jain's index over active nodes recovers to >= 1 - epsilon,
+  /// the lowest J seen after the burst, and whether recovery happened
+  /// inside the window at all.
+  bool health_sampled = false;
+  bool converged = false;
+  double convergence_s = 0.0;
+  double min_jain = 1.0;
 };
 
 /// Run one completion-burst experiment and analyze it.

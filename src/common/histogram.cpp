@@ -41,25 +41,23 @@ double Histogram::bucket_hi(std::size_t i) const {
 double Histogram::quantile(double q) const {
   PEN_CHECK(q >= 0.0 && q <= 1.0);
   if (total_ == 0) return lo_;
-  // The target is a rank into the sorted samples; clamp to the last
-  // sample so q=1.0 lands in the highest populated bucket instead of
-  // walking off the end (an all-underflow histogram must report lo_,
-  // not hi_).
-  auto target = static_cast<std::size_t>(
-      q * static_cast<double>(total_));
-  target = std::min(target, total_ - 1);
-  std::size_t seen = underflow_;
-  if (seen > target) return lo_;
+  // Continuous rank r in [0, total]: each populated bucket spreads its
+  // count uniformly over its width, so the quantile interpolates
+  // linearly *within* the selected bucket and moves smoothly with q
+  // instead of clamping to a bucket-edge rank. Underflow mass sits
+  // entirely at lo_; overflow at hi_.
+  double r = q * static_cast<double>(total_);
+  double seen = static_cast<double>(underflow_);
+  if (underflow_ > 0 && r <= seen) return lo_;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
-    if (seen + counts_[i] > target) {
-      // Interpolate inside the bucket.
-      double frac = counts_[i] == 0
-                        ? 0.0
-                        : static_cast<double>(target - seen) /
-                              static_cast<double>(counts_[i]);
+    if (counts_[i] == 0) continue;
+    double c = static_cast<double>(counts_[i]);
+    if (r <= seen + c) {
+      double frac = (r - seen) / c;
+      if (frac < 0.0) frac = 0.0;
       return bucket_lo(i) + frac * bucket_width_;
     }
-    seen += counts_[i];
+    seen += c;
   }
   return hi_;
 }

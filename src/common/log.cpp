@@ -41,26 +41,49 @@ void set_log_node(int node) { g_log_node = node; }
 
 int log_node() { return g_log_node; }
 
-void log_message(LogLevel level, const char* file, int line,
-                 const char* fmt, ...) {
+namespace {
+
+void vlog_message(LogLevel level, const char* file, int line,
+                  std::uint64_t suppressed, const char* fmt,
+                  va_list args) {
   using Clock = std::chrono::steady_clock;
   static const Clock::time_point start = Clock::now();
   double elapsed =
       std::chrono::duration<double>(Clock::now() - start).count();
 
   char body[1024];
-  va_list args;
-  va_start(args, fmt);
   std::vsnprintf(body, sizeof body, fmt, args);
-  va_end(args);
 
   char tag[16] = "";
   if (g_log_node >= 0)
     std::snprintf(tag, sizeof tag, "[n%02d] ", g_log_node);
 
+  char rated[48] = "";
+  if (suppressed > 0)
+    std::snprintf(rated, sizeof rated, " (+%llu similar suppressed)",
+                  static_cast<unsigned long long>(suppressed));
+
   std::scoped_lock lock(g_emit_mutex);
-  std::fprintf(stderr, "[%9.4f] %s %s:%d  %s%s\n", elapsed,
-               level_name(level), file, line, tag, body);
+  std::fprintf(stderr, "[%9.4f] %s %s:%d  %s%s%s\n", elapsed,
+               level_name(level), file, line, tag, body, rated);
+}
+
+}  // namespace
+
+void log_message(LogLevel level, const char* file, int line,
+                 const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  vlog_message(level, file, line, 0, fmt, args);
+  va_end(args);
+}
+
+void log_message_rated(LogLevel level, const char* file, int line,
+                       std::uint64_t suppressed, const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  vlog_message(level, file, line, suppressed, fmt, args);
+  va_end(args);
 }
 
 }  // namespace penelope::common

@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <cstdarg>
+#include <cstdint>
 
 namespace penelope::common {
 
@@ -20,6 +21,43 @@ bool log_enabled(LogLevel level);
 /// printf-style emission; prefixed with level and monotonic timestamp.
 void log_message(LogLevel level, const char* file, int line,
                  const char* fmt, ...) __attribute__((format(printf, 4, 5)));
+
+/// Emission throttle for messages that repeat identically (config
+/// fallbacks re-warned by every run of a sweep, per-period protocol
+/// nags): the first occurrence always emits, then only every `every`th.
+/// One instance per call site, usually a function-local static behind
+/// PEN_LOG_WARN_RATED. Thread-safe: occurrence counting is one relaxed
+/// fetch_add, same discipline as the level check.
+class LogRateLimiter {
+ public:
+  constexpr explicit LogRateLimiter(std::uint64_t every = 64)
+      : every_(every == 0 ? 1 : every) {}
+
+  /// True if this occurrence should be emitted; when emitting, writes
+  /// the number of identical occurrences suppressed since the previous
+  /// emission into `suppressed` (0 on the first occurrence).
+  bool should_emit(std::uint64_t* suppressed = nullptr) {
+    std::uint64_t n = count_.fetch_add(1, std::memory_order_relaxed);
+    if (n % every_ != 0) return false;
+    if (suppressed != nullptr) *suppressed = n == 0 ? 0 : every_ - 1;
+    return true;
+  }
+
+  /// Total occurrences seen (emitted + suppressed).
+  std::uint64_t occurrences() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::uint64_t every_;
+  std::atomic<std::uint64_t> count_{0};
+};
+
+/// As log_message, but appends " (+N similar suppressed)" when
+/// `suppressed` is nonzero — the emission path of PEN_LOG_WARN_RATED.
+void log_message_rated(LogLevel level, const char* file, int line,
+                       std::uint64_t suppressed, const char* fmt, ...)
+    __attribute__((format(printf, 5, 6)));
 
 /// Thread-local node-id tag: rt threads that serve a specific node call
 /// set_log_node(id) once at loop entry, and every log line the thread
@@ -45,3 +83,17 @@ int log_node();
   PEN_LOG_IMPL(::penelope::common::LogLevel::kWarn, __VA_ARGS__)
 #define PEN_LOG_ERROR(...) \
   PEN_LOG_IMPL(::penelope::common::LogLevel::kError, __VA_ARGS__)
+
+// Rate-limited warning: emits the first occurrence at this call site,
+// then every `every`th, tagging emissions with the suppressed count.
+#define PEN_LOG_WARN_RATED(every, ...)                                  \
+  do {                                                                  \
+    static ::penelope::common::LogRateLimiter pen_rate_limiter_{every}; \
+    std::uint64_t pen_suppressed_ = 0;                                  \
+    if (pen_rate_limiter_.should_emit(&pen_suppressed_) &&              \
+        ::penelope::common::log_enabled(                                \
+            ::penelope::common::LogLevel::kWarn))                       \
+      ::penelope::common::log_message_rated(                            \
+          ::penelope::common::LogLevel::kWarn, __FILE__, __LINE__,      \
+          pen_suppressed_, __VA_ARGS__);                                \
+  } while (0)

@@ -28,6 +28,7 @@ double Decider::raise_cap(double watts) {
 }
 
 StepOutcome Decider::begin_step(double avg_power_watts) {
+  mark_dirty();
   ++stats_.steps;
   StepOutcome out;
 
@@ -94,12 +95,14 @@ StepOutcome Decider::begin_step(double avg_power_watts) {
 }
 
 double Decider::complete_peer_grant(double granted_watts) {
+  mark_dirty();
   PEN_CHECK_MSG(granted_watts >= -common::kWattEpsilon,
                 "grants cannot be negative");
   return raise_cap(std::max(granted_watts, 0.0));
 }
 
 double Decider::apply_budget_delta(double delta_watts) {
+  mark_dirty();
   if (delta_watts >= 0.0) {
     // Budget grew: raise the assignment and hand the node its share
     // immediately. raise_cap banks any overflow in the pool.
@@ -129,6 +132,7 @@ double Decider::apply_budget_delta(double delta_watts) {
 }
 
 double Decider::seize_for_restart() {
+  mark_dirty();
   double seized = std::max(cap_ - config_.safe_range.min_watts, 0.0);
   cap_ = config_.safe_range.min_watts;
   last_urgent_ = false;
@@ -137,6 +141,7 @@ double Decider::seize_for_restart() {
 }
 
 double Decider::finish_step() {
+  mark_dirty();
   // Algorithm 1's closing block: a pool that served an urgent request
   // induces its own node to give back everything above the initial cap —
   // unless this node is itself urgent. The flag survives while the node

@@ -144,10 +144,19 @@ class Decider {
   const DeciderConfig& config() const { return config_; }
   PowerPool& local_pool() { return pool_; }
 
+  /// Observability hook: when set, every cap/debt mutation writes 1 to
+  /// `cell` so the telemetry sampler knows to re-snapshot this node.
+  void set_observer_dirty(std::uint8_t* cell) { observer_dirty_ = cell; }
+
  private:
   double raise_cap(double watts);
 
+  void mark_dirty() {
+    if (observer_dirty_) *observer_dirty_ = 1;
+  }
+
   DeciderConfig config_;
+  std::uint8_t* observer_dirty_ = nullptr;
   PowerPool& pool_;
   double cap_;
   double retirement_debt_ = 0.0;

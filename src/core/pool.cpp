@@ -26,6 +26,7 @@ void PowerPool::deposit(double watts) {
   if (watts <= 0.0) return;
   std::scoped_lock lock(mutex_);
   watts_ += watts;
+  mark_dirty();
   stats_.total_deposited_watts += watts;
 }
 
@@ -41,6 +42,7 @@ double PowerPool::serve(const PowerRequest& request) {
   }
   delta = std::max(delta, 0.0);
   watts_ -= delta;
+  mark_dirty();
   ++stats_.requests_served;
   if (delta <= 0.0) ++stats_.empty_grants;
   stats_.total_granted_watts += delta;
@@ -60,6 +62,7 @@ double PowerPool::take_local() {
   double delta = std::min(watts_, max_transaction(watts_));
   delta = std::max(delta, 0.0);
   watts_ -= delta;
+  mark_dirty();
   return delta;
 }
 
@@ -67,6 +70,7 @@ double PowerPool::drain() {
   std::scoped_lock lock(mutex_);
   double all = watts_;
   watts_ = 0.0;
+  mark_dirty();
   return all;
 }
 
@@ -75,6 +79,7 @@ double PowerPool::withdraw(double watts) {
   std::scoped_lock lock(mutex_);
   double taken = std::min(watts_, watts);
   watts_ -= taken;
+  mark_dirty();
   return taken;
 }
 

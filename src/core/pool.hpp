@@ -78,8 +78,17 @@ class PowerPool {
   PoolStats stats() const;
   const PoolConfig& config() const { return config_; }
 
+  /// Observability hook: when set, every pool mutation writes 1 to
+  /// `cell` so the telemetry sampler knows to re-snapshot this node.
+  void set_observer_dirty(std::uint8_t* cell) { observer_dirty_ = cell; }
+
  private:
+  void mark_dirty() {
+    if (observer_dirty_) *observer_dirty_ = 1;
+  }
+
   PoolConfig config_;
+  std::uint8_t* observer_dirty_ = nullptr;
   mutable std::mutex mutex_;  // guards everything below
   double watts_ = 0.0;
   bool local_urgency_ = false;

@@ -30,6 +30,10 @@ struct CapAssignment {
 struct FederatedRequest {
   double deficit_watts = 0.0;
   std::uint64_t txn_id = 0;
+  /// Causal power-flow id for telemetry::PowerFlowTracer (0 = untraced):
+  /// identifies the demand that originated this deficit so the trace UI
+  /// can chain request hops up the tree. Ignored by the protocol.
+  std::uint64_t flow = 0;
 };
 
 /// Pool -> pool (up = surplus donation above the low-water mark, down =
@@ -39,6 +43,10 @@ struct FederatedRequest {
 struct FederatedTransfer {
   double watts = 0.0;
   std::uint64_t txn_id = 0;
+  /// Causal power-flow id (0 = untraced): the flow that most recently
+  /// fed the sending pool, so a watt's multi-hop journey through the
+  /// tree renders as one connected chain. Ignored by the protocol.
+  std::uint64_t flow = 0;
 };
 
 }  // namespace penelope::hierarchy

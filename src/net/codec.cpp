@@ -126,11 +126,11 @@ std::size_t encoded_size(const WirePayload& payload) {
                    } else if constexpr (std::is_same_v<
                                             T,
                                             hierarchy::FederatedRequest>) {
-                     return 8 + 8;  // deficit, txn
+                     return 8 + 8 + 8;  // deficit, txn, flow
                    } else {
                      static_assert(
                          std::is_same_v<T, hierarchy::FederatedTransfer>);
-                     return 8 + 8;  // watts, txn
+                     return 8 + 8 + 8;  // watts, txn, flow
                    }
                  },
                  payload);
@@ -191,12 +191,14 @@ std::vector<std::uint8_t> encode(const WirePayload& payload) {
                  static_cast<std::uint8_t>(WireTag::kFederatedRequest));
           put_f64(out, msg.deficit_watts);
           put_u64(out, msg.txn_id);
+          put_u64(out, msg.flow);
         } else {
           static_assert(std::is_same_v<T, hierarchy::FederatedTransfer>);
           put_u8(out,
                  static_cast<std::uint8_t>(WireTag::kFederatedTransfer));
           put_f64(out, msg.watts);
           put_u64(out, msg.txn_id);
+          put_u64(out, msg.flow);
         }
       },
       payload);
@@ -280,6 +282,7 @@ std::optional<WirePayload> decode(const std::uint8_t* data,
       hierarchy::FederatedRequest msg;
       msg.deficit_watts = reader.f64();
       msg.txn_id = reader.u64();
+      msg.flow = reader.u64();
       payload = msg;
       break;
     }
@@ -287,6 +290,7 @@ std::optional<WirePayload> decode(const std::uint8_t* data,
       hierarchy::FederatedTransfer msg;
       msg.watts = reader.f64();
       msg.txn_id = reader.u64();
+      msg.flow = reader.u64();
       payload = msg;
       break;
     }

@@ -24,6 +24,7 @@ double SimulatedRapl::target_power() const {
 void SimulatedRapl::advance(common::Ticks now) {
   PEN_CHECK_MSG(now >= last_, "power model cannot run backwards");
   if (now == last_) return;
+  mark_dirty();
   double dt = common::to_seconds(now - last_);
   double target = target_power();
   double decay = std::exp(-dt / config_.tau_seconds);
@@ -43,11 +44,13 @@ void SimulatedRapl::set_cap(double watts) {
   // which is also what real RAPL does (the new limit applies from the MSR
   // write onwards).
   cap_ = config_.safe_range.clamp(watts);
+  mark_dirty();
 }
 
 void SimulatedRapl::set_demand(double watts, common::Ticks now) {
   advance(now);
   demand_ = std::max(watts, 0.0);
+  mark_dirty();
 }
 
 double SimulatedRapl::read_average_power(common::Ticks now) {

@@ -17,6 +17,10 @@
 // noise, tests mostly run with zero.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
 #include "common/rng.hpp"
 #include "common/units.hpp"
 #include "power/power_interface.hpp"
@@ -61,12 +65,69 @@ class SimulatedRapl final : public PowerInterface {
   /// The power the dynamics are currently converging toward.
   double target_power() const;
 
+  /// Instantaneous power and cumulative energy at `now` as a pure read:
+  /// the same closed form advance() commits, evaluated without mutating
+  /// the state. This is the telemetry sampler's view — an observer must
+  /// not perturb the model, not even by the ulp-level drift a committed
+  /// mid-interval advance introduces (exp(-a)*exp(-b) != exp(-(a+b)) in
+  /// floats). Inline and one exp for both values; when the trajectory
+  /// has converged to within 1 uW of its target the exp is skipped —
+  /// the sub-microwatt tail is far below measurement resolution.
+  struct PowerEnergy {
+    double power = 0.0;
+    double energy_joules = 0.0;
+  };
+  /// The closed form shared by peek() and the cluster's telemetry
+  /// mirror: both must produce bit-identical values from the same
+  /// anchor, so there is exactly one implementation.
+  static PowerEnergy extrapolate(double power0, double energy0,
+                                 double dt_seconds, double target,
+                                 double tau_seconds) {
+    if (dt_seconds <= 0.0) return {power0, energy0};
+    double gap = power0 - target;
+    if (gap < 1e-6 && gap > -1e-6)
+      return {target, energy0 + target * dt_seconds};
+    double decay = std::exp(-dt_seconds / tau_seconds);
+    return {target + gap * decay,
+            energy0 + target * dt_seconds +
+                gap * tau_seconds * (1.0 - decay)};
+  }
+  PowerEnergy peek(common::Ticks now) const {
+    double target =
+        std::max(config_.idle_watts, std::min(demand_, cap_));
+    double dt =
+        now <= last_ ? 0.0 : common::to_seconds(now - last_);
+    return extrapolate(power_, energy_joules_, dt, target,
+                       config_.tau_seconds);
+  }
+
+  /// The committed state peek() extrapolates from: instantaneous power
+  /// and cumulative energy at the last advance, and when that was. The
+  /// telemetry mirror snapshots this on dirty nodes instead of walking
+  /// live objects every sample.
+  struct Anchor {
+    double power = 0.0;
+    double energy_joules = 0.0;
+    common::Ticks last = 0;
+  };
+  Anchor anchor() const { return {power_, energy_joules_, last_}; }
+
+  /// Observability hook: when set, every state mutation writes 1 to
+  /// `cell` so the telemetry sampler knows to re-snapshot this node.
+  /// Null (the default) keeps the mutators' cost unchanged.
+  void set_observer_dirty(std::uint8_t* cell) { observer_dirty_ = cell; }
+
  private:
   /// Integrate the trajectory forward to `now`, accumulating energy.
   void advance(common::Ticks now);
 
+  void mark_dirty() {
+    if (observer_dirty_) *observer_dirty_ = 1;
+  }
+
   SimulatedRaplConfig config_;
   common::Rng rng_;
+  std::uint8_t* observer_dirty_ = nullptr;
   double cap_;
   double demand_;
   double power_;                    ///< instantaneous power at t = last_

@@ -29,6 +29,17 @@ EventId Simulator::schedule_periodic(Ticks first_at, Ticks period,
   return id;
 }
 
+EventId Simulator::schedule_periodic_pre(Ticks first_at, Ticks period,
+                                         EventFn fn) {
+  PEN_CHECK_MSG(first_at >= now_, "cannot schedule into the past");
+  PEN_CHECK(period > 0);
+  PEN_CHECK(static_cast<bool>(fn));
+  PEN_CHECK_MSG(next_pre_seq_ < kFirstNormalSeq, "pre-lane sequence space exhausted");
+  EventId id = heap_.insert(first_at, next_pre_seq_++, period, std::move(fn));
+  if (heap_.size() > pending_high_water_) pending_high_water_ = heap_.size();
+  return id;
+}
+
 bool Simulator::set_period(EventId id, Ticks period) {
   PEN_CHECK(period > 0);
   return heap_.set_period(id, period);
@@ -51,9 +62,16 @@ bool Simulator::pop_and_run_next() {
     // the re-arm sequence number *after* the callback so events it
     // scheduled at the next firing time sort ahead of that firing —
     // the order the old schedule-a-fresh-event implementation produced,
-    // which the golden-trace tests pin.
+    // which the golden-trace tests pin. Pre-lane timers re-arm from the
+    // pre band so every firing keeps its run-first-at-tied-time rank.
     if (heap_.contains(event.id)) {
-      heap_.rearm(event.id, event.at, next_seq_++, std::move(event.fn));
+      const bool pre = event.seq < kFirstNormalSeq;
+      if (pre) {
+        PEN_CHECK_MSG(next_pre_seq_ < kFirstNormalSeq,
+                      "pre-lane sequence space exhausted");
+      }
+      heap_.rearm(event.id, event.at, pre ? next_pre_seq_++ : next_seq_++,
+                  std::move(event.fn));
     }
   }
   return true;
@@ -86,11 +104,13 @@ std::size_t Simulator::run_steps(std::size_t n) {
 }
 
 PeriodicTask::PeriodicTask(Simulator& sim, Ticks first_at, Ticks period,
-                           std::function<void(Ticks)> fn)
+                           std::function<void(Ticks)> fn, TaskOrder order)
     : sim_(sim), period_(period) {
   PEN_CHECK(period_ > 0);
   PEN_CHECK(fn != nullptr);
-  id_ = sim_.schedule_periodic(first_at, period, std::move(fn));
+  id_ = order == TaskOrder::kPre
+            ? sim_.schedule_periodic_pre(first_at, period, std::move(fn))
+            : sim_.schedule_periodic(first_at, period, std::move(fn));
 }
 
 PeriodicTask::~PeriodicTask() { cancel(); }

@@ -85,6 +85,16 @@ class Simulator {
   /// callback sticks.
   EventId schedule_periodic(Ticks first_at, Ticks period, EventFn fn);
 
+  /// Like schedule_periodic, but every firing sorts *before* any normal
+  /// event at the same timestamp (sequence numbers come from a reserved
+  /// low band, re-arms included). This is the serial-engine mirror of the
+  /// sharded rule that control events run before same-timestamp shard
+  /// events: a control-plane observer scheduled this way sees identical
+  /// state at a tick boundary whether the run is serial or sharded.
+  /// Intended for read-mostly observers (telemetry samplers); events that
+  /// drive protocol state should use the normal lane.
+  EventId schedule_periodic_pre(Ticks first_at, Ticks period, EventFn fn);
+
   /// Change a periodic event's period for re-arms after the next firing
   /// (the already-armed firing keeps its time). When called from inside
   /// the event's own callback the re-arm has not happened yet, so the
@@ -165,10 +175,18 @@ class Simulator {
   std::uint64_t trace_hash() const { return trace_hash_; }
 
  private:
+  /// Normal events tie-break from this base upward; [1, kFirstNormalSeq)
+  /// is reserved for the pre lane so a pre event always sorts first at
+  /// equal timestamps. Only the relative order within a lane matters, so
+  /// shifting the normal base leaves every existing schedule bit-for-bit
+  /// unchanged.
+  static constexpr std::uint64_t kFirstNormalSeq = std::uint64_t{1} << 32;
+
   bool pop_and_run_next();
 
   Ticks now_ = 0;
-  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_seq_ = kFirstNormalSeq;
+  std::uint64_t next_pre_seq_ = 1;
   bool stopped_ = false;
   std::uint64_t executed_ = 0;
   std::uint64_t trace_hash_ = 0;
@@ -184,12 +202,18 @@ class Simulator {
 /// very next firing, while one made between firings leaves the
 /// already-armed next firing in place and applies from the one after.
 ///
+/// Tie-break lane for PeriodicTask: kNormal events order by scheduling
+/// sequence among equal timestamps; kPre events run before any normal
+/// event at the same timestamp (see Simulator::schedule_periodic_pre).
+enum class TaskOrder { kNormal, kPre };
+
 /// Thin RAII wrapper over Simulator::schedule_periodic: one engine-side
 /// timer serves every firing, with no per-firing closure construction.
 class PeriodicTask {
  public:
   PeriodicTask(Simulator& sim, Ticks first_at, Ticks period,
-               std::function<void(Ticks)> fn);
+               std::function<void(Ticks)> fn,
+               TaskOrder order = TaskOrder::kNormal);
   ~PeriodicTask();
 
   PeriodicTask(const PeriodicTask&) = delete;

@@ -78,6 +78,7 @@ class TimerHeap {
   /// (keyed at its firing time) until rearm() or cancel().
   struct Fired {
     Ticks at = 0;
+    std::uint64_t seq = 0;  ///< the fired entry's tie-break key
     EventId id = kInvalidEventId;
     bool periodic = false;
     EventFn fn;
@@ -164,6 +165,7 @@ class TimerHeap {
         (heap_.empty() || less(run_[run_head_], heap_[0]))) {
       const Entry top = run_[run_head_];
       fired.at = top.at;
+      fired.seq = top.seq;
       fired.id = make_id(slots_[top.slot].gen, top.slot);
       fired.periodic = false;  // periodic timers never enter the run
       fired.fn = std::move(fn_[top.slot]);
@@ -176,6 +178,7 @@ class TimerHeap {
     const Entry top = heap_[0];
     const Slot& meta = slots_[top.slot];
     fired.at = top.at;
+    fired.seq = top.seq;
     fired.id = make_id(meta.gen, top.slot);
     fired.periodic = meta.period > 0;
     fired.fn = std::move(fn_[top.slot]);

@@ -197,8 +197,22 @@ std::string to_prometheus_text(const std::vector<MetricSample>& samples) {
   return out;
 }
 
+namespace {
+
+const char* flow_hop_name(FlowHopKind kind) {
+  switch (kind) {
+    case FlowHopKind::kSource: return "source";
+    case FlowHopKind::kStep: return "step";
+    case FlowHopKind::kSink: return "sink";
+  }
+  return "??";
+}
+
+}  // namespace
+
 std::string to_perfetto_json(const std::vector<TxnRecord>& events,
-                             const std::vector<CounterTrack>& tracks) {
+                             const std::vector<CounterTrack>& tracks,
+                             const std::vector<FlowHop>& flows) {
   std::string out = "{\"traceEvents\":[";
   bool first = true;
   auto emit = [&out, &first](const std::string& event) {
@@ -308,6 +322,48 @@ std::string to_perfetto_json(const std::vector<TxnRecord>& events,
       event += json_number(value);
       event += "}}";
       emit(event);
+    }
+  }
+
+  // Power flows: pid 2, tid = observing endpoint. Flow events ("s"/"t"/
+  // "f") must anchor to an enclosing slice on the same track at the
+  // same ts, so every hop first becomes a 1 µs "X" slice.
+  if (!flows.empty()) {
+    emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"tid\":0,"
+         "\"args\":{\"name\":\"power flows\"}}");
+    std::map<std::uint64_t, std::vector<const FlowHop*>> by_flow;
+    for (const FlowHop& hop : flows) {
+      char buf[288];
+      std::snprintf(
+          buf, sizeof(buf),
+          "{\"name\":\"%s\",\"cat\":\"flow\",\"ph\":\"X\",\"ts\":%" PRId64
+          ",\"dur\":1,\"pid\":2,\"tid\":%d,\"args\":{\"flow\":%" PRIu64
+          ",\"kind\":\"%s\",\"peer\":%d,\"watts\":%.17g}}",
+          hop.label, static_cast<std::int64_t>(hop.at), hop.node,
+          hop.flow, flow_hop_name(hop.kind), hop.peer, hop.watts);
+      emit(buf);
+      if (hop.flow != 0) by_flow[hop.flow].push_back(&hop);
+    }
+    for (auto& [flow_id, hops] : by_flow) {
+      if (hops.size() < 2) continue;  // an arrow needs two ends
+      std::stable_sort(hops.begin(), hops.end(),
+                       [](const FlowHop* a, const FlowHop* b) {
+                         return a->at < b->at;
+                       });
+      for (std::size_t i = 0; i < hops.size(); ++i) {
+        const FlowHop& hop = *hops[i];
+        const char* phase =
+            i == 0 ? "s" : (i + 1 == hops.size() ? "f" : "t");
+        char buf[224];
+        std::snprintf(
+            buf, sizeof(buf),
+            "{\"name\":\"flow %" PRIu64 "\",\"cat\":\"flow\",\"ph\":"
+            "\"%s\",\"id\":%" PRIu64 ",\"ts\":%" PRId64
+            ",\"pid\":2,\"tid\":%d%s}",
+            flow_id, phase, flow_id, static_cast<std::int64_t>(hop.at),
+            hop.node, i + 1 == hops.size() ? ",\"bp\":\"e\"" : "");
+        emit(buf);
+      }
     }
   }
 

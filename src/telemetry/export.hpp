@@ -9,6 +9,7 @@
 
 #include "common/units.hpp"
 #include "telemetry/flight_recorder.hpp"
+#include "telemetry/flow_tracer.hpp"
 #include "telemetry/registry.hpp"
 
 namespace penelope::telemetry {
@@ -33,7 +34,15 @@ struct CounterTrack {
 /// unknown-txn events additionally become flow-terminating "i" instants
 /// so lost power is visible at a glance. Ticks are microseconds, which
 /// is exactly the trace-event `ts` unit.
+///
+/// `flows` (the PowerFlowTracer snapshot) renders on its own process
+/// track: every hop becomes a 1 µs "X" slice on its endpoint's thread,
+/// and each flow id with two or more hops is stitched through them with
+/// "s"/"t"/"f" flow events — the arrows Perfetto draws across the
+/// federation tree. Hops with flow 0 ("unknown origin", e.g. a binding
+/// table overflow) keep their slice but get no arrow.
 std::string to_perfetto_json(const std::vector<TxnRecord>& events,
-                             const std::vector<CounterTrack>& tracks = {});
+                             const std::vector<CounterTrack>& tracks = {},
+                             const std::vector<FlowHop>& flows = {});
 
 }  // namespace penelope::telemetry

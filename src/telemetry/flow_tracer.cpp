@@ -1,0 +1,66 @@
+#include "telemetry/flow_tracer.hpp"
+
+#include <algorithm>
+
+namespace penelope::telemetry {
+
+void PowerFlowTracer::enable(std::size_t capacity) {
+  std::scoped_lock lock(mutex_);
+  capacity_.store(capacity, std::memory_order_relaxed);
+  ring_.clear();
+  ring_.resize(capacity);
+  head_ = 0;
+  bindings_.clear();
+  if (capacity > 0) bindings_.reserve(4 * capacity);
+}
+
+void PowerFlowTracer::record_slow(const FlowHop& hop) {
+  std::scoped_lock lock(mutex_);
+  std::size_t cap = capacity_.load(std::memory_order_relaxed);
+  if (cap == 0) return;  // raced with disable
+  ring_[head_ % cap] = hop;
+  ++head_;
+}
+
+void PowerFlowTracer::bind(std::uint64_t txn, std::uint64_t flow) {
+  if (capacity() == 0 || flow == 0) return;
+  std::scoped_lock lock(mutex_);
+  std::size_t cap = capacity_.load(std::memory_order_relaxed);
+  if (cap == 0) return;
+  if (bindings_.size() >= 4 * cap) bindings_.clear();
+  bindings_[txn] = flow;
+}
+
+std::uint64_t PowerFlowTracer::flow_of(std::uint64_t txn) const {
+  if (capacity() == 0) return 0;
+  std::scoped_lock lock(mutex_);
+  auto it = bindings_.find(txn);
+  return it == bindings_.end() ? 0 : it->second;
+}
+
+std::vector<FlowHop> PowerFlowTracer::snapshot() const {
+  std::scoped_lock lock(mutex_);
+  std::size_t cap = capacity_.load(std::memory_order_relaxed);
+  std::vector<FlowHop> out;
+  if (cap == 0) return out;
+  std::size_t n = std::min<std::uint64_t>(head_, cap);
+  out.reserve(n);
+  std::uint64_t start = head_ - n;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(start + i) % cap]);
+  }
+  return out;
+}
+
+std::uint64_t PowerFlowTracer::recorded() const {
+  std::scoped_lock lock(mutex_);
+  return head_;
+}
+
+std::uint64_t PowerFlowTracer::dropped() const {
+  std::scoped_lock lock(mutex_);
+  std::size_t cap = capacity_.load(std::memory_order_relaxed);
+  return cap == 0 || head_ <= cap ? 0 : head_ - cap;
+}
+
+}  // namespace penelope::telemetry

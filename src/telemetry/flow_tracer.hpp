@@ -1,0 +1,102 @@
+// Causal power-flow tracing — the FlightRecorder answers "what happened
+// to transaction T"; the flow tracer answers "where did this watt come
+// from and where did it go". A *flow* is the journey of a parcel of
+// power through the system: minted when watts first leave a node
+// (release/push), threaded through pool banking, federation transfers
+// (wire tags 10/11 carry the id), and grants, and terminated when a
+// node applies the watts to its cap. Exported as Perfetto flow events
+// (`s`/`t`/`f`) the trace UI renders as connected arrows across the
+// federation tree.
+//
+// Messages whose wire format does not carry a flow id (PowerPush,
+// PowerGrant) resolve it through the bounded txn→flow binding table:
+// the sender binds its txn id before the send, the receiver looks it up
+// on delivery. Under the sharded engine this is safe without any
+// ordering subtlety: a message sent in window W delivers no earlier
+// than window W+1 (the window width equals the network latency floor),
+// and a barrier separates the two, so the bind always happens-before
+// the lookup.
+//
+// Same discipline as FlightRecorder: capacity 0 (the default) makes
+// every call a single relaxed load + branch, so hot paths call it
+// unconditionally; enabled, a mutex-guarded ring keeps the most recent
+// `capacity` hops.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace penelope::telemetry {
+
+enum class FlowHopKind : std::uint8_t {
+  kSource,  // flow minted: watts released / deficit first reported
+  kStep,    // intermediate hop: banked, transferred, granted
+  kSink,    // watts applied to a node cap — the flow's terminus
+};
+
+/// One observation of a flow at an endpoint. `node` is the observing
+/// endpoint (node id, or pool id in the federation's n_nodes+p space);
+/// `peer` is the other endpoint of the hop (-1 if none). `label` must
+/// be a string literal ("push", "grant", "xfer_up", ...).
+struct FlowHop {
+  common::Ticks at = 0;
+  std::uint64_t flow = 0;
+  FlowHopKind kind = FlowHopKind::kStep;
+  std::int32_t node = -1;
+  std::int32_t peer = -1;
+  double watts = 0.0;
+  const char* label = "";
+};
+
+class PowerFlowTracer {
+ public:
+  PowerFlowTracer() = default;
+
+  PowerFlowTracer(const PowerFlowTracer&) = delete;
+  PowerFlowTracer& operator=(const PowerFlowTracer&) = delete;
+
+  /// Start tracing into a ring of `capacity` hops (0 disables and
+  /// discards hops and bindings).
+  void enable(std::size_t capacity);
+  bool enabled() const { return capacity() != 0; }
+  std::size_t capacity() const {
+    return capacity_.load(std::memory_order_relaxed);
+  }
+
+  void record(common::Ticks at, std::uint64_t flow, FlowHopKind kind,
+              std::int32_t node, std::int32_t peer, double watts,
+              const char* label) {
+    if (capacity() == 0) return;
+    record_slow(FlowHop{at, flow, kind, node, peer, watts, label});
+  }
+
+  /// Remember that transaction `txn` carries flow `flow`, so a receiver
+  /// of a flow-less wire message can recover the id. The table is
+  /// bounded at 4×capacity entries; when full it is cleared wholesale
+  /// (old in-flight txns then resolve to flow 0 — "unknown origin" —
+  /// which the exporter renders as an unconnected hop, never an error).
+  void bind(std::uint64_t txn, std::uint64_t flow);
+  /// Flow bound to `txn`, or 0 if unknown.
+  std::uint64_t flow_of(std::uint64_t txn) const;
+
+  /// Hops oldest-to-newest (at most `capacity`; see dropped()).
+  std::vector<FlowHop> snapshot() const;
+  std::uint64_t recorded() const;
+  std::uint64_t dropped() const;
+
+ private:
+  void record_slow(const FlowHop& hop);
+
+  std::atomic<std::size_t> capacity_{0};
+  mutable std::mutex mutex_;
+  std::vector<FlowHop> ring_;
+  std::uint64_t head_ = 0;
+  std::unordered_map<std::uint64_t, std::uint64_t> bindings_;
+};
+
+}  // namespace penelope::telemetry

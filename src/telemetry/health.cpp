@@ -1,0 +1,84 @@
+#include "telemetry/health.hpp"
+
+#include <cstdio>
+
+namespace penelope::telemetry {
+
+void HealthMonitor::configure(double epsilon, std::size_t reserve) {
+  epsilon_ = epsilon;
+  probes_.reserve(reserve);
+}
+
+double HealthMonitor::jain_index(std::uint64_t n, double sum,
+                                 double sq_sum) {
+  if (n == 0 || sq_sum <= 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(n) * sq_sum);
+}
+
+void HealthMonitor::observe(const HealthSample& s) {
+  HealthProbe p;
+  p.at = s.at;
+  p.active_nodes = s.active_nodes;
+  p.jain = jain_index(s.active_nodes, s.delivered_sum, s.delivered_sq_sum);
+  p.spread_watts =
+      s.active_nodes == 0 ? 0.0 : s.delivered_max - s.delivered_min;
+  p.delivered_watts = s.delivered_sum;
+  p.conservation_drift = s.conservation_error;
+  p.energy_joules = s.energy_joules;
+  if (have_prev_ && s.at > prev_.at) {
+    double dt = common::to_seconds(s.at - prev_.at);
+    p.stranded_rate_wps = (s.stranded_watts - prev_.stranded_watts) / dt;
+    p.suspicion_rate_hz =
+        static_cast<double>(s.suspicions - prev_.suspicions) / dt;
+  }
+  probes_.push_back(p);
+  prev_ = s;
+  have_prev_ = true;
+}
+
+double HealthMonitor::min_jain_since(common::Ticks after) const {
+  double lo = 1.0;
+  for (const HealthProbe& p : probes_) {
+    if (p.at >= after && p.jain < lo) lo = p.jain;
+  }
+  return lo;
+}
+
+std::optional<double> HealthMonitor::convergence_seconds(
+    common::Ticks disturbance) const {
+  double threshold = 1.0 - epsilon_;
+  bool any = false;
+  bool dipped = false;
+  for (const HealthProbe& p : probes_) {
+    if (p.at < disturbance) continue;
+    any = true;
+    if (p.jain < threshold) {
+      dipped = true;
+    } else if (dipped) {
+      return common::to_seconds(p.at - disturbance);
+    }
+  }
+  if (!any) return std::nullopt;
+  if (!dipped) return 0.0;  // never left the converged band
+  return std::nullopt;      // dipped and never recovered
+}
+
+std::string HealthMonitor::to_csv() const {
+  std::string out =
+      "t_s,active,jain,spread_w,delivered_w,stranded_wps,"
+      "suspicions_hz,conservation_drift,energy_j\n";
+  char line[256];
+  for (const HealthProbe& p : probes_) {
+    std::snprintf(line, sizeof line,
+                  "%.6f,%llu,%.9f,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g\n",
+                  common::to_seconds(p.at),
+                  static_cast<unsigned long long>(p.active_nodes), p.jain,
+                  p.spread_watts, p.delivered_watts, p.stranded_rate_wps,
+                  p.suspicion_rate_hz, p.conservation_drift,
+                  p.energy_joules);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace penelope::telemetry

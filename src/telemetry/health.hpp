@@ -1,0 +1,104 @@
+// Online convergence and invariant probes, computed from aggregate
+// samples the cluster's control-plane sampler feeds in at barriers.
+// Answers the question the end-of-run summaries cannot: *when* did the
+// cluster settle after a disturbance, and did any invariant drift on
+// the way there.
+//
+// Per probe it derives:
+//   - Jain's fairness index J = (Σx)² / (n·Σx²) over delivered power of
+//     active nodes, and the max–min spread — the convergence signals;
+//   - stranded-watts and suspicion *rates* (deltas vs the previous
+//     probe over the probe interval) — the churn signals;
+//   - signed conservation drift straight from the audit;
+//   - cumulative energy in Joules (CPPJoules-style accounting: the
+//     integral operators actually budget, not the instantaneous watts).
+//
+// Convergence detection: a disturbance (completion burst, fault) drives
+// J below 1−ε while watts redistribute unevenly; the cluster has
+// converged at the first probe where J returns to ≥ 1−ε and the time
+// to converge is that probe's offset from the disturbance. If J never
+// dipped, convergence is immediate (0 s).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace penelope::telemetry {
+
+/// Aggregates for one probe, computed by the caller in a single O(N)
+/// walk. "Active" nodes are those still running (not completed, not
+/// crashed): completed nodes legitimately hold near-zero power and
+/// would read as unfairness.
+struct HealthSample {
+  common::Ticks at = 0;
+  std::uint64_t active_nodes = 0;
+  double delivered_sum = 0.0;     // Σ delivered power over active nodes
+  double delivered_sq_sum = 0.0;  // Σ delivered²
+  double delivered_min = 0.0;
+  double delivered_max = 0.0;
+  double demand_watts = 0.0;      // Σ demand over all nodes
+  double cap_watts = 0.0;         // Σ caps over all nodes
+  double pool_watts = 0.0;        // pools + central cache
+  double stranded_watts = 0.0;    // cumulative ledger
+  double conservation_error = 0.0;  // signed, from the audit
+  std::uint64_t suspicions = 0;   // cumulative detector suspicions
+  double energy_joules = 0.0;     // cumulative delivered energy
+};
+
+struct HealthProbe {
+  common::Ticks at = 0;
+  std::uint64_t active_nodes = 0;
+  double jain = 1.0;
+  double spread_watts = 0.0;         // delivered max - min
+  double delivered_watts = 0.0;      // Σ delivered
+  double stranded_rate_wps = 0.0;    // Δstranded / Δt
+  double suspicion_rate_hz = 0.0;    // Δsuspicions / Δt
+  double conservation_drift = 0.0;
+  double energy_joules = 0.0;
+};
+
+class HealthMonitor {
+ public:
+  HealthMonitor() = default;
+
+  HealthMonitor(const HealthMonitor&) = delete;
+  HealthMonitor& operator=(const HealthMonitor&) = delete;
+
+  /// `epsilon` is the convergence tolerance on 1−J. `reserve` bounds
+  /// how many probes are kept allocation-free (the vector still grows
+  /// beyond it if a run outlives the reservation).
+  void configure(double epsilon, std::size_t reserve = 4096);
+
+  double epsilon() const { return epsilon_; }
+
+  void observe(const HealthSample& sample);
+
+  const std::vector<HealthProbe>& probes() const { return probes_; }
+
+  /// Jain index J for one sample; 1.0 for empty/zero populations.
+  static double jain_index(std::uint64_t n, double sum, double sq_sum);
+
+  /// Lowest J observed at or after `after`.
+  double min_jain_since(common::Ticks after) const;
+
+  /// Time from `disturbance` to convergence (J back at ≥ 1−ε), per the
+  /// scheme above. nullopt if J dipped and never recovered, or if no
+  /// probe at/after the disturbance exists.
+  std::optional<double> convergence_seconds(common::Ticks disturbance) const;
+
+  /// CSV: t_s,active,jain,spread_w,delivered_w,stranded_wps,
+  /// suspicions_hz,conservation_drift,energy_j
+  std::string to_csv() const;
+
+ private:
+  double epsilon_ = 0.01;
+  std::vector<HealthProbe> probes_;
+  HealthSample prev_;
+  bool have_prev_ = false;
+};
+
+}  // namespace penelope::telemetry

@@ -1,0 +1,125 @@
+#include "telemetry/time_series.hpp"
+
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace penelope::telemetry {
+
+TimeSeries::TimeSeries(std::string name, common::Ticks window,
+                       std::size_t capacity)
+    : name_(std::move(name)),
+      window_(window),
+      capacity_(capacity < 2 ? 2 : capacity) {
+  PEN_CHECK(window > 0);
+  // Reserved once here so the steady-state sample path never touches
+  // the allocator (downsampling merges in place).
+  windows_.reserve(capacity_);
+}
+
+bool TimeSeries::merge_into_tail(common::Ticks start, double value) {
+  if (windows_.empty() || windows_.back().start != start) return false;
+  SeriesWindow& w = windows_.back();
+  w.sum += value;
+  if (value < w.min) w.min = value;
+  if (value > w.max) w.max = value;
+  w.last = value;
+  ++w.count;
+  return true;
+}
+
+void TimeSeries::sample(common::Ticks at, double value) {
+  ++total_samples_;
+  common::Ticks start = (at / window_) * window_;
+  if (merge_into_tail(start, value)) return;
+  PEN_DCHECK(windows_.empty() || start > windows_.back().start);
+  if (windows_.size() == capacity_) {
+    downsample();
+    // Doubling the width may fold this sample into the re-aligned tail.
+    start = (at / window_) * window_;
+    if (merge_into_tail(start, value)) return;
+  }
+  windows_.push_back(SeriesWindow{start, value, value, value, value, 1});
+}
+
+void TimeSeries::downsample() {
+  window_ *= 2;
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < windows_.size(); ++i) {
+    common::Ticks start = (windows_[i].start / window_) * window_;
+    if (out > 0 && windows_[out - 1].start == start) {
+      SeriesWindow& w = windows_[out - 1];
+      const SeriesWindow& s = windows_[i];
+      w.sum += s.sum;
+      if (s.min < w.min) w.min = s.min;
+      if (s.max > w.max) w.max = s.max;
+      w.last = s.last;  // input windows are time-ordered
+      w.count += s.count;
+    } else {
+      windows_[out] = windows_[i];
+      windows_[out].start = start;
+      ++out;
+    }
+  }
+  windows_.resize(out);
+}
+
+void TimeSeriesSet::configure(common::Ticks window, std::size_t capacity) {
+  PEN_CHECK(series_.empty());  // configure before opening series
+  window_ = window;
+  if (capacity >= 2) capacity_ = capacity;
+}
+
+TimeSeries* TimeSeriesSet::open(const std::string& name) {
+  if (window_ == 0) return nullptr;
+  auto it = index_.find(name);
+  if (it != index_.end()) return series_[it->second].get();
+  index_.emplace(name, series_.size());
+  series_.push_back(
+      std::make_unique<TimeSeries>(name, window_, capacity_));
+  return series_.back().get();
+}
+
+const TimeSeries* TimeSeriesSet::find(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? nullptr : series_[it->second].get();
+}
+
+std::string TimeSeriesSet::to_csv() const {
+  std::string out = "series,t_s,window_s,count,avg,min,max,last\n";
+  char line[256];
+  for (const auto& s : series_) {
+    double width_s = common::to_seconds(s->window_width());
+    for (const SeriesWindow& w : s->windows()) {
+      std::snprintf(line, sizeof line,
+                    "%s,%.6f,%.6f,%llu,%.9g,%.9g,%.9g,%.9g\n",
+                    s->name().c_str(), common::to_seconds(w.start),
+                    width_s, static_cast<unsigned long long>(w.count),
+                    w.avg(), w.min, w.max, w.last);
+      out += line;
+    }
+  }
+  return out;
+}
+
+std::string TimeSeriesSet::to_jsonl() const {
+  std::string out;
+  char line[320];
+  for (const auto& s : series_) {
+    double width_s = common::to_seconds(s->window_width());
+    for (const SeriesWindow& w : s->windows()) {
+      std::snprintf(
+          line, sizeof line,
+          "{\"series\":\"%s\",\"t_s\":%.6f,\"window_s\":%.6f,"
+          "\"count\":%llu,\"avg\":%.9g,\"min\":%.9g,\"max\":%.9g,"
+          "\"last\":%.9g}\n",
+          s->name().c_str(), common::to_seconds(w.start), width_s,
+          static_cast<unsigned long long>(w.count), w.avg(), w.min,
+          w.max, w.last);
+      out += line;
+    }
+  }
+  return out;
+}
+
+}  // namespace penelope::telemetry

@@ -1,0 +1,112 @@
+// Deterministic sim-time windowed series — the "how did we get here"
+// companion to MetricsRegistry's "where are we now" snapshots. A series
+// aggregates samples into fixed-width windows (sum/min/max/count/last)
+// and keeps at most `capacity` windows: when the ring fills, adjacent
+// windows are merged in place and the window width doubles, so a series
+// covers an arbitrarily long run in O(capacity) memory with uniformly
+// degrading resolution (the classic downsampling ring).
+//
+// Samples must arrive in non-decreasing sim time (the cluster sampler
+// runs on the control plane, so this holds by construction). All state
+// is plain — sampling happens at sharded-simulator barriers or on the
+// serial engine's event loop, never concurrently — which keeps the hot
+// path allocation-free after construction (windows are reserved up
+// front; see telemetry.ZeroOverheadGate).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace penelope::telemetry {
+
+/// Aggregate of every sample that landed in [start, start + width).
+struct SeriesWindow {
+  common::Ticks start = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double last = 0.0;  // most recent sample in the window
+  std::uint64_t count = 0;
+
+  double avg() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+};
+
+class TimeSeries {
+ public:
+  /// `window` is the initial window width in ticks (> 0); `capacity` is
+  /// the maximum retained window count (>= 2) before downsampling
+  /// doubles the width.
+  TimeSeries(std::string name, common::Ticks window, std::size_t capacity);
+
+  void sample(common::Ticks at, double value);
+
+  const std::string& name() const { return name_; }
+  const std::vector<SeriesWindow>& windows() const { return windows_; }
+  /// Current window width; starts at the configured width and doubles
+  /// on every downsample pass.
+  common::Ticks window_width() const { return window_; }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t total_samples() const { return total_samples_; }
+
+ private:
+  bool merge_into_tail(common::Ticks start, double value);
+  void downsample();
+
+  std::string name_;
+  common::Ticks window_;
+  std::size_t capacity_;
+  std::vector<SeriesWindow> windows_;
+  std::uint64_t total_samples_ = 0;
+};
+
+/// A named bundle of series sharing one window/capacity configuration.
+/// `open()` returns a stable pointer so samplers can resolve names once
+/// at setup and keep the per-sample path free of string hashing.
+class TimeSeriesSet {
+ public:
+  TimeSeriesSet() = default;
+
+  TimeSeriesSet(const TimeSeriesSet&) = delete;
+  TimeSeriesSet& operator=(const TimeSeriesSet&) = delete;
+
+  /// Configure window width (ticks) and per-series window capacity for
+  /// series opened afterwards. Width 0 leaves sampling disabled.
+  void configure(common::Ticks window, std::size_t capacity);
+
+  common::Ticks window() const { return window_; }
+  bool enabled() const { return window_ > 0; }
+
+  /// Find-or-create; the returned pointer stays valid for the life of
+  /// the set. Returns nullptr when the set is unconfigured (width 0).
+  TimeSeries* open(const std::string& name);
+  /// Lookup only; nullptr if the series was never opened.
+  const TimeSeries* find(const std::string& name) const;
+
+  /// Series in creation order (deterministic: creation happens on the
+  /// control plane in config order).
+  const std::vector<std::unique_ptr<TimeSeries>>& series() const {
+    return series_;
+  }
+
+  /// CSV: series,t_s,window_s,count,avg,min,max,last — one row per
+  /// retained window, series in creation order.
+  std::string to_csv() const;
+  /// JSONL: one {"series":...,"t_s":...} object per retained window.
+  std::string to_jsonl() const;
+
+ private:
+  common::Ticks window_ = 0;
+  std::size_t capacity_ = 512;
+  std::vector<std::unique_ptr<TimeSeries>> series_;
+  std::unordered_map<std::string, std::size_t> index_;
+};
+
+}  // namespace penelope::telemetry

@@ -1,0 +1,176 @@
+// Observability-on determinism and end-to-end sampler behaviour. The
+// telemetry subsystem's contract is two-sided: with everything off the
+// golden trace is untouched (pinned by SimJobs.* and the
+// telemetry.ZeroOverheadGate binary); with sampling and flow tracing ON
+// the run is still deterministic — the control-plane sampler fires at
+// barriers, so its events land at identical timestamps for every
+// sim_jobs value, and the series/health/flow content matches
+// bit-for-bit too.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/cluster.hpp"
+#include "cluster/scale.hpp"
+
+namespace penelope::cluster {
+namespace {
+
+ClusterConfig observed_config(int jobs) {
+  ClusterConfig cc;
+  cc.manager = ManagerKind::kPenelope;
+  cc.n_nodes = 20;
+  cc.per_socket_cap_watts = 60.0;
+  cc.network.loss_probability = 0.02;
+  cc.seed = 42;
+  cc.sim_jobs = jobs;
+  cc.series_interval = common::from_millis(250);
+  cc.series_capacity = 256;
+  cc.flow_tracer_capacity = 4096;
+  cc.flight_recorder_capacity = 4096;
+  return cc;
+}
+
+struct ObservedRun {
+  std::uint64_t hash = 0;
+  std::uint64_t executed = 0;
+  std::string series_csv;
+  std::string health_csv;
+  std::uint64_t flow_hops = 0;
+
+  bool operator==(const ObservedRun&) const = default;
+};
+
+ObservedRun run_observed(ClusterConfig cc, double seconds) {
+  Cluster cluster(cc, make_pair_workloads(workload::NpbApp::kEP,
+                                          workload::NpbApp::kDC,
+                                          cc.n_nodes, {}));
+  cluster.run_for(seconds);
+  ObservedRun r;
+  r.hash = cluster.trace_hash();
+  r.executed = cluster.executed_events();
+  r.series_csv = cluster.series().to_csv();
+  r.health_csv = cluster.health().to_csv();
+  r.flow_hops = cluster.metrics().tracer().recorded();
+  return r;
+}
+
+TEST(Observability, SamplingOnIsBitIdenticalAcrossShardCounts) {
+  ObservedRun serial = run_observed(observed_config(1), 20.0);
+  EXPECT_GT(serial.executed, 0u);
+  for (int jobs : {2, 4}) {
+    EXPECT_EQ(run_observed(observed_config(jobs), 20.0), serial)
+        << "jobs=" << jobs;
+  }
+}
+
+TEST(Observability, FederatedSamplingOnIsBitIdenticalAcrossShardCounts) {
+  auto fed = [](int jobs) {
+    ClusterConfig cc = observed_config(jobs);
+    cc.n_nodes = 64;
+    cc.federation_pools = 8;
+    cc.federation_fanout = 4;
+    return cc;
+  };
+  ObservedRun serial = run_observed(fed(1), 15.0);
+  EXPECT_GT(serial.flow_hops, 0u)
+      << "federated run with tracing on must observe flow hops";
+  for (int jobs : {2, 4}) {
+    EXPECT_EQ(run_observed(fed(jobs), 15.0), serial) << "jobs=" << jobs;
+  }
+}
+
+TEST(Observability, SamplerPopulatesSeriesAndHealth) {
+  ClusterConfig cc = observed_config(1);
+  Cluster cluster(cc, make_pair_workloads(workload::NpbApp::kEP,
+                                          workload::NpbApp::kDC,
+                                          cc.n_nodes, {}));
+  cluster.run_for(10.0);
+
+  // 10 s at 250 ms cadence: ~40 probes.
+  EXPECT_GE(cluster.health().probes().size(), 35u);
+  const telemetry::TimeSeries* delivered =
+      cluster.series().find("delivered_watts");
+  ASSERT_NE(delivered, nullptr);
+  EXPECT_GE(delivered->total_samples(), 35u);
+  EXPECT_GT(delivered->windows().back().last, 0.0);
+  const telemetry::TimeSeries* jain = cluster.series().find("jain_index");
+  ASSERT_NE(jain, nullptr);
+  for (const auto& w : jain->windows()) {
+    EXPECT_GE(w.min, 0.0);
+    EXPECT_LE(w.max, 1.0 + 1e-12);
+  }
+  // Conservation drift visible to the monitor must stay at float noise,
+  // matching the audit invariant.
+  for (const auto& p : cluster.health().probes()) {
+    EXPECT_LT(std::abs(p.conservation_drift), 1e-6);
+  }
+}
+
+TEST(Observability, SamplerOffLeavesSeriesAndHealthEmpty) {
+  ClusterConfig cc = observed_config(1);
+  cc.series_interval = 0;
+  Cluster cluster(cc, make_pair_workloads(workload::NpbApp::kEP,
+                                          workload::NpbApp::kDC,
+                                          cc.n_nodes, {}));
+  cluster.run_for(5.0);
+  EXPECT_FALSE(cluster.series().enabled());
+  EXPECT_TRUE(cluster.series().series().empty());
+  EXPECT_TRUE(cluster.health().probes().empty());
+}
+
+TEST(Observability, ClassicPathRecordsGrantChains) {
+  // The classic (non-federated) Penelope path records peer-to-peer
+  // grant chains: a grant's flow is minted at the serving node and
+  // terminates when the requester applies the watts.
+  ClusterConfig cc = observed_config(1);
+  Cluster cluster(cc, make_pair_workloads(workload::NpbApp::kEP,
+                                          workload::NpbApp::kDC,
+                                          cc.n_nodes, {}));
+  cluster.run_for(15.0);
+  auto hops = cluster.metrics().tracer().snapshot();
+  ASSERT_FALSE(hops.empty());
+  bool saw_source = false;
+  bool saw_sink = false;
+  for (const auto& hop : hops) {
+    if (hop.kind == telemetry::FlowHopKind::kSource) saw_source = true;
+    if (hop.kind == telemetry::FlowHopKind::kSink) saw_sink = true;
+    EXPECT_GT(hop.watts, 0.0);
+  }
+  EXPECT_TRUE(saw_source);
+  EXPECT_TRUE(saw_sink);
+}
+
+TEST(Observability, ScaleExperimentMeasuresConvergence) {
+  // A small completion burst: half the nodes release their watts at
+  // ~3 s, Jain dips while the excess is clumped, then recovers as the
+  // hungry half absorbs it. The health monitor must see the dip and
+  // report a finite convergence time within the window. At 32 nodes the
+  // peer-to-peer redistribution is fast, so the dip is shallow — epsilon
+  // is tight here; the run is deterministic, so this is not flaky.
+  ScaleConfig sc;
+  sc.n_nodes = 32;
+  sc.burst_at_seconds = 3.0;
+  sc.window_seconds = 30.0;
+  sc.series_interval = common::from_millis(200);
+  sc.health_epsilon = 0.001;
+  ScaleResult r = run_scale_experiment(sc);
+  EXPECT_TRUE(r.health_sampled);
+  EXPECT_LT(r.min_jain, 1.0 - sc.health_epsilon)
+      << "the burst must dent Jain's index";
+  EXPECT_TRUE(r.converged);
+  EXPECT_GT(r.convergence_s, 0.0);
+  EXPECT_LT(r.convergence_s, sc.window_seconds);
+}
+
+TEST(Observability, ScaleKnobsDefaultOff) {
+  ScaleConfig sc;
+  sc.n_nodes = 16;
+  sc.window_seconds = 5.0;
+  ScaleResult r = run_scale_experiment(sc);
+  EXPECT_FALSE(r.health_sampled);
+  EXPECT_FALSE(r.converged);
+}
+
+}  // namespace
+}  // namespace penelope::cluster

@@ -91,6 +91,44 @@ TEST(Histogram, QuantileUnderflowShiftsRanks) {
   EXPECT_GE(h.quantile(1.0), 4.0);
 }
 
+TEST(Histogram, QuantileInterpolatesWithinSingleSampleBucket) {
+  // One sample in bucket [5, 6): the continuous rank spreads its unit
+  // of mass uniformly over the bucket, so q sweeps the bucket linearly
+  // instead of clamping to an edge.
+  Histogram h(0.0, 10.0, 10);
+  h.add(5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.5);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 6.0);
+}
+
+TEST(Histogram, QuantileInterpolationIsExactAcrossBuckets) {
+  // Two buckets, 1 and 3 samples: r = q*4 crosses from bucket [0, 10)
+  // to [10, 20) at q = 0.25, and interpolates linearly inside each.
+  Histogram h(0.0, 20.0, 2);
+  h.add(5.0);
+  h.add(15.0);
+  h.add(15.0);
+  h.add(15.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.125), 5.0);   // r=0.5, mid first bucket
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 10.0);   // bucket boundary
+  EXPECT_DOUBLE_EQ(h.quantile(0.625), 15.0);  // r=2.5, mid second bucket
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 20.0);
+}
+
+TEST(Histogram, QuantileIsMonotoneInQ) {
+  Histogram h(0.0, 50.0, 7);
+  h.add(-3.0);
+  for (int i = 0; i < 20; ++i) h.add(2.5 * i);
+  h.add(99.0);
+  double prev = h.quantile(0.0);
+  for (int i = 1; i <= 100; ++i) {
+    double cur = h.quantile(i / 100.0);
+    EXPECT_GE(cur, prev) << "q=" << i / 100.0;
+    prev = cur;
+  }
+}
+
 TEST(Histogram, RenderShowsBarsAndCounts) {
   Histogram h(0.0, 2.0, 2);
   h.add(0.5);

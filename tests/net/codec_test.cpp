@@ -83,15 +83,22 @@ TEST(Codec, HierarchyMessagesRoundTrip) {
 }
 
 TEST(Codec, FederationMessagesRoundTrip) {
-  hierarchy::FederatedRequest req{73.5, 0x0123456789abcdefULL};
+  hierarchy::FederatedRequest req{73.5, 0x0123456789abcdefULL,
+                                  0x1111222233334444ULL};
   hierarchy::FederatedRequest req_out = roundtrip(req);
   EXPECT_DOUBLE_EQ(req_out.deficit_watts, 73.5);
   EXPECT_EQ(req_out.txn_id, req.txn_id);
+  EXPECT_EQ(req_out.flow, req.flow);
 
-  hierarchy::FederatedTransfer xfer{41.125, 0xfedcba9876543210ULL};
+  hierarchy::FederatedTransfer xfer{41.125, 0xfedcba9876543210ULL,
+                                    0x5555666677778888ULL};
   hierarchy::FederatedTransfer xfer_out = roundtrip(xfer);
   EXPECT_DOUBLE_EQ(xfer_out.watts, 41.125);
   EXPECT_EQ(xfer_out.txn_id, xfer.txn_id);
+  EXPECT_EQ(xfer_out.flow, xfer.flow);
+
+  // Untraced runs leave flow 0 and still round-trip.
+  EXPECT_EQ(roundtrip(hierarchy::FederatedTransfer{1.0, 2}).flow, 0u);
 }
 
 TEST(Codec, EveryWireTagRoundTripsByteIdentical) {
@@ -117,9 +124,9 @@ TEST(Codec, EveryWireTagRoundTripsByteIdentical) {
       {WireTag::kPowerPush, core::PowerPush{17.5, 0xfeedULL}},
       {WireTag::kHeartbeat, core::Heartbeat{12, 3}},
       {WireTag::kFederatedRequest,
-       hierarchy::FederatedRequest{73.5, 0xbeefULL}},
+       hierarchy::FederatedRequest{73.5, 0xbeefULL, 0x1234ULL}},
       {WireTag::kFederatedTransfer,
-       hierarchy::FederatedTransfer{41.125, 0xf00dULL}},
+       hierarchy::FederatedTransfer{41.125, 0xf00dULL, 0x5678ULL}},
   };
   ASSERT_EQ(std::size(cases), std::variant_size_v<WirePayload>)
       << "new message type needs an exemplar here";

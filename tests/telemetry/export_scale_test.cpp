@@ -1,0 +1,160 @@
+// Exporters at cluster scale: a synthetic 131072-node federated
+// snapshot (the scale study's largest configuration, pools = sqrt(N))
+// rendered to Prometheus text and Perfetto JSON. Pins three things:
+// the output is valid (parseable, no duplicate series), its size stays
+// within linear bounds, and rendering completes in interactive time —
+// exporters run at experiment end, but a quadratic regression here
+// would turn the 131k run's teardown into minutes.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "json_mini.hpp"
+#include "telemetry/export.hpp"
+
+namespace penelope::telemetry {
+namespace {
+
+constexpr int kNodes = 131072;
+constexpr int kPools = 362;  // ~sqrt(131072)
+
+double elapsed_s(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       since)
+      .count();
+}
+
+TEST(ExportScale, PrometheusTextOverFederatedSnapshot) {
+  // One cap gauge per node plus one occupancy gauge per pool — the
+  // shape a per-node registry dump of the 131k federation would have.
+  std::vector<MetricSample> samples;
+  samples.reserve(static_cast<std::size_t>(kNodes + kPools) + 1);
+  char buf[32];
+  for (int i = 0; i < kNodes; ++i) {
+    MetricSample s;
+    s.name = "pen_node_cap_watts";
+    s.kind = MetricKind::kGauge;
+    std::snprintf(buf, sizeof buf, "%d", i);
+    s.labels = {{"node", buf}};
+    s.value = 120.0 + (i % 7);
+    samples.push_back(std::move(s));
+  }
+  for (int p = 0; p < kPools; ++p) {
+    MetricSample s;
+    s.name = "pen_pool_available_watts";
+    s.kind = MetricKind::kGauge;
+    std::snprintf(buf, sizeof buf, "%d", p);
+    s.labels = {{"pool", buf}};
+    s.value = 30.0 + p;
+    samples.push_back(std::move(s));
+  }
+  MetricSample hist;
+  hist.name = "pen_turnaround_ms";
+  hist.kind = MetricKind::kHistogram;
+  hist.histogram = HistogramSnapshot{};
+  hist.histogram->upper_bounds = {1.0, 10.0, 100.0};
+  hist.histogram->counts = {5, 10, 3};
+  hist.histogram->underflow = 1;
+  hist.histogram->overflow = 2;
+  hist.histogram->total = 21;
+  hist.histogram->sum = 250.0;
+  samples.push_back(std::move(hist));
+
+  auto start = std::chrono::steady_clock::now();
+  std::string text = to_prometheus_text(samples);
+  double took = elapsed_s(start);
+
+  // One line per series plus two header lines per metric name, plus the
+  // histogram's buckets/sum/count.
+  std::size_t lines = 0;
+  for (char c : text) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, static_cast<std::size_t>(kNodes + kPools) +
+                       /*TYPE headers*/ 3u + /*HELP*/ 0u +
+                       /*hist bucket+inf+sum+count*/ 6u);
+  EXPECT_NE(text.find("pen_node_cap_watts{node=\"131071\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("pen_pool_available_watts{pool=\"0\"}"),
+            std::string::npos);
+  // Linear size bound: ~48 bytes per series, never megabytes per node.
+  EXPECT_LT(text.size(), 16u * 1024 * 1024);
+  EXPECT_GT(text.size(), static_cast<std::size_t>(kNodes) * 20);
+  EXPECT_LT(took, 10.0) << "prometheus render took " << took << " s";
+}
+
+TEST(ExportScale, PerfettoJsonOverFederatedJournalAndFlows) {
+  // A large flight-recorder journal (two hops per txn so every txn
+  // renders a span) plus a flow-hop ring threading the federation
+  // tree, plus per-pool counter tracks.
+  constexpr int kTxns = 20000;
+  std::vector<TxnRecord> events;
+  events.reserve(2 * kTxns);
+  for (int i = 0; i < kTxns; ++i) {
+    auto txn = static_cast<std::uint64_t>(i + 1);
+    std::int32_t node = i % kNodes;
+    events.push_back(TxnRecord{static_cast<common::Ticks>(10 * i), txn,
+                               TxnEventKind::kRequestSent, node, -1,
+                               25.0});
+    events.push_back(TxnRecord{static_cast<common::Ticks>(10 * i + 5),
+                               txn, TxnEventKind::kApplied, node, -1,
+                               25.0});
+  }
+  std::vector<FlowHop> flows;
+  flows.reserve(3 * (kTxns / 4));
+  for (int i = 0; i < kTxns / 4; ++i) {
+    auto flow = static_cast<std::uint64_t>(i + 1);
+    std::int32_t node = i % kNodes;
+    std::int32_t pool = kNodes + (i % kPools);
+    flows.push_back(FlowHop{static_cast<common::Ticks>(40 * i), flow,
+                            FlowHopKind::kSource, node, pool, 12.5,
+                            "push"});
+    flows.push_back(FlowHop{static_cast<common::Ticks>(40 * i + 10),
+                            flow, FlowHopKind::kStep, pool, node, 12.5,
+                            "bank"});
+    flows.push_back(FlowHop{static_cast<common::Ticks>(40 * i + 20),
+                            flow, FlowHopKind::kSink, (node + 1) % kNodes,
+                            pool, 12.5, "apply"});
+  }
+  std::vector<CounterTrack> tracks(4);
+  for (int t = 0; t < 4; ++t) {
+    tracks[static_cast<std::size_t>(t)].name =
+        "pool_" + std::to_string(t) + "_watts";
+    for (int i = 0; i < 512; ++i) {
+      tracks[static_cast<std::size_t>(t)].points.emplace_back(
+          static_cast<common::Ticks>(1000 * i), 30.0 + t + i % 5);
+    }
+  }
+
+  auto start = std::chrono::steady_clock::now();
+  std::string json = to_perfetto_json(events, tracks, flows);
+  double took = elapsed_s(start);
+
+  bool ok = false;
+  testjson::Value root = testjson::parse_json(json, &ok);
+  ASSERT_TRUE(ok) << "perfetto output is not valid JSON";
+  ASSERT_TRUE(root.at("traceEvents").is_array());
+  const auto& ev = root.at("traceEvents").array;
+  // Per txn: one X span. Per flow: 3 X slices + 3 s/t/f events. Plus
+  // counters and metadata. Exact census keeps accidental duplication
+  // (quadratic re-emission) visible.
+  std::size_t spans = 0;
+  std::size_t flow_arrows = 0;
+  std::size_t counters = 0;
+  for (const auto& e : ev) {
+    const std::string& ph = e.at("ph").string;
+    if (ph == "X") ++spans;
+    if (ph == "s" || ph == "t" || ph == "f") ++flow_arrows;
+    if (ph == "C") ++counters;
+  }
+  EXPECT_EQ(spans,
+            static_cast<std::size_t>(kTxns) + 3u * (kTxns / 4));
+  EXPECT_EQ(flow_arrows, 3u * (kTxns / 4));
+  EXPECT_EQ(counters, 4u * 512);
+  EXPECT_LT(json.size(), 64u * 1024 * 1024);
+  EXPECT_LT(took, 20.0) << "perfetto render took " << took << " s";
+}
+
+}  // namespace
+}  // namespace penelope::telemetry

@@ -1,0 +1,95 @@
+#include "telemetry/flow_tracer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace penelope::telemetry {
+namespace {
+
+TEST(PowerFlowTracer, DisabledByDefaultAndDiscardsEverything) {
+  PowerFlowTracer tracer;
+  EXPECT_FALSE(tracer.enabled());
+  tracer.record(1, 42, FlowHopKind::kSource, 0, -1, 5.0, "push");
+  tracer.bind(7, 42);
+  EXPECT_EQ(tracer.flow_of(7), 0u);
+  EXPECT_TRUE(tracer.snapshot().empty());
+  EXPECT_EQ(tracer.recorded(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(PowerFlowTracer, RecordsHopsOldestToNewest) {
+  PowerFlowTracer tracer;
+  tracer.enable(8);
+  tracer.record(10, 1, FlowHopKind::kSource, 3, -1, 12.0, "push");
+  tracer.record(20, 1, FlowHopKind::kStep, 100, 3, 12.0, "bank");
+  tracer.record(30, 1, FlowHopKind::kSink, 4, 100, 12.0, "apply");
+  auto hops = tracer.snapshot();
+  ASSERT_EQ(hops.size(), 3u);
+  EXPECT_EQ(hops[0].at, 10);
+  EXPECT_EQ(hops[0].kind, FlowHopKind::kSource);
+  EXPECT_STREQ(hops[0].label, "push");
+  EXPECT_EQ(hops[1].node, 100);
+  EXPECT_EQ(hops[2].kind, FlowHopKind::kSink);
+  EXPECT_DOUBLE_EQ(hops[2].watts, 12.0);
+  EXPECT_EQ(tracer.recorded(), 3u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(PowerFlowTracer, RingKeepsMostRecentCapacityHops) {
+  PowerFlowTracer tracer;
+  tracer.enable(4);
+  for (int i = 0; i < 10; ++i) {
+    tracer.record(i, static_cast<std::uint64_t>(i), FlowHopKind::kStep,
+                  i, -1, 1.0, "hop");
+  }
+  auto hops = tracer.snapshot();
+  ASSERT_EQ(hops.size(), 4u);
+  EXPECT_EQ(hops.front().at, 6);  // oldest retained
+  EXPECT_EQ(hops.back().at, 9);
+  EXPECT_EQ(tracer.recorded(), 10u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+}
+
+TEST(PowerFlowTracer, BindAndLookup) {
+  PowerFlowTracer tracer;
+  tracer.enable(8);
+  tracer.bind(0xabcULL, 0x123ULL);
+  EXPECT_EQ(tracer.flow_of(0xabcULL), 0x123ULL);
+  EXPECT_EQ(tracer.flow_of(0xdefULL), 0u);  // unknown txn
+  // Re-binding overwrites (latest wins — a txn id is never reused for a
+  // different parcel while in flight).
+  tracer.bind(0xabcULL, 0x456ULL);
+  EXPECT_EQ(tracer.flow_of(0xabcULL), 0x456ULL);
+}
+
+TEST(PowerFlowTracer, FlowZeroBindIsANoOp) {
+  PowerFlowTracer tracer;
+  tracer.enable(8);
+  tracer.bind(0xabcULL, 0);
+  EXPECT_EQ(tracer.flow_of(0xabcULL), 0u);
+}
+
+TEST(PowerFlowTracer, BindingTableIsBounded) {
+  PowerFlowTracer tracer;
+  tracer.enable(2);  // table bound: 4 x 2 = 8 entries
+  for (std::uint64_t txn = 1; txn <= 8; ++txn) tracer.bind(txn, txn);
+  EXPECT_EQ(tracer.flow_of(1), 1u);
+  // The ninth binding clears the full table first: old in-flight txns
+  // resolve to "unknown origin" (0), never an error.
+  tracer.bind(9, 9);
+  EXPECT_EQ(tracer.flow_of(1), 0u);
+  EXPECT_EQ(tracer.flow_of(9), 9u);
+}
+
+TEST(PowerFlowTracer, ReenableClearsState) {
+  PowerFlowTracer tracer;
+  tracer.enable(4);
+  tracer.record(1, 1, FlowHopKind::kStep, 0, -1, 1.0, "hop");
+  tracer.bind(5, 6);
+  tracer.enable(4);
+  EXPECT_TRUE(tracer.snapshot().empty());
+  EXPECT_EQ(tracer.recorded(), 0u);
+  EXPECT_EQ(tracer.flow_of(5), 0u);
+}
+
+}  // namespace
+}  // namespace penelope::telemetry

@@ -1,0 +1,125 @@
+#include "telemetry/health.hpp"
+
+#include <gtest/gtest.h>
+
+namespace penelope::telemetry {
+namespace {
+
+constexpr common::Ticks kSecond = common::kTicksPerSecond;
+
+HealthSample sample_of(common::Ticks at, std::vector<double> delivered) {
+  HealthSample s;
+  s.at = at;
+  for (double d : delivered) {
+    ++s.active_nodes;
+    s.delivered_sum += d;
+    s.delivered_sq_sum += d * d;
+    if (s.active_nodes == 1) {
+      s.delivered_min = s.delivered_max = d;
+    } else {
+      s.delivered_min = std::min(s.delivered_min, d);
+      s.delivered_max = std::max(s.delivered_max, d);
+    }
+  }
+  return s;
+}
+
+TEST(HealthMonitor, JainIndexEqualSharesIsOne) {
+  EXPECT_DOUBLE_EQ(HealthMonitor::jain_index(4, 4 * 50.0, 4 * 50.0 * 50.0),
+                   1.0);
+}
+
+TEST(HealthMonitor, JainIndexSingleHogIsOneOverN) {
+  // One node holds everything: J = (x)^2 / (n * x^2) = 1/n.
+  EXPECT_DOUBLE_EQ(HealthMonitor::jain_index(5, 100.0, 100.0 * 100.0),
+                   1.0 / 5.0);
+}
+
+TEST(HealthMonitor, JainIndexDegenerateCasesAreConverged) {
+  EXPECT_DOUBLE_EQ(HealthMonitor::jain_index(0, 0.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(HealthMonitor::jain_index(3, 0.0, 0.0), 1.0);
+}
+
+TEST(HealthMonitor, ObserveDerivesSpreadAndRates) {
+  HealthMonitor mon;
+  mon.configure(0.01);
+  HealthSample s1 = sample_of(kSecond, {40.0, 60.0});
+  s1.stranded_watts = 10.0;
+  s1.suspicions = 2;
+  mon.observe(s1);
+  HealthSample s2 = sample_of(3 * kSecond, {50.0, 50.0});
+  s2.stranded_watts = 16.0;
+  s2.suspicions = 6;
+  mon.observe(s2);
+
+  ASSERT_EQ(mon.probes().size(), 2u);
+  const HealthProbe& p1 = mon.probes()[0];
+  EXPECT_DOUBLE_EQ(p1.spread_watts, 20.0);
+  EXPECT_DOUBLE_EQ(p1.stranded_rate_wps, 0.0);  // no previous probe
+  const HealthProbe& p2 = mon.probes()[1];
+  EXPECT_DOUBLE_EQ(p2.jain, 1.0);
+  EXPECT_DOUBLE_EQ(p2.spread_watts, 0.0);
+  EXPECT_DOUBLE_EQ(p2.stranded_rate_wps, 3.0);  // 6 W over 2 s
+  EXPECT_DOUBLE_EQ(p2.suspicion_rate_hz, 2.0);  // 4 over 2 s
+}
+
+TEST(HealthMonitor, ConvergenceImmediateWhenNeverDipped) {
+  HealthMonitor mon;
+  mon.configure(0.01);
+  for (int i = 1; i <= 5; ++i) {
+    mon.observe(sample_of(i * kSecond, {50.0, 50.0}));
+  }
+  auto conv = mon.convergence_seconds(2 * kSecond);
+  ASSERT_TRUE(conv.has_value());
+  EXPECT_DOUBLE_EQ(*conv, 0.0);
+}
+
+TEST(HealthMonitor, ConvergenceMeasuredFromDisturbanceToRecovery) {
+  HealthMonitor mon;
+  mon.configure(0.01);
+  mon.observe(sample_of(1 * kSecond, {50.0, 50.0}));   // converged
+  mon.observe(sample_of(2 * kSecond, {90.0, 10.0}));   // dip
+  mon.observe(sample_of(3 * kSecond, {70.0, 30.0}));   // still low
+  mon.observe(sample_of(4 * kSecond, {51.0, 49.0}));   // recovered
+  mon.observe(sample_of(5 * kSecond, {50.0, 50.0}));
+  auto conv = mon.convergence_seconds(2 * kSecond);
+  ASSERT_TRUE(conv.has_value());
+  EXPECT_DOUBLE_EQ(*conv, 2.0);  // 4 s probe minus 2 s disturbance
+  EXPECT_LT(mon.min_jain_since(2 * kSecond), 0.7);
+  EXPECT_DOUBLE_EQ(mon.min_jain_since(5 * kSecond), 1.0);
+}
+
+TEST(HealthMonitor, DippedAndNeverRecoveredIsNullopt) {
+  HealthMonitor mon;
+  mon.configure(0.01);
+  mon.observe(sample_of(1 * kSecond, {90.0, 10.0}));
+  mon.observe(sample_of(2 * kSecond, {80.0, 20.0}));
+  EXPECT_FALSE(mon.convergence_seconds(0).has_value());
+}
+
+TEST(HealthMonitor, NoProbesAfterDisturbanceIsNullopt) {
+  HealthMonitor mon;
+  mon.configure(0.01);
+  mon.observe(sample_of(1 * kSecond, {50.0, 50.0}));
+  EXPECT_FALSE(mon.convergence_seconds(10 * kSecond).has_value());
+}
+
+TEST(HealthMonitor, CsvHasHeaderAndOneRowPerProbe) {
+  HealthMonitor mon;
+  mon.configure(0.05);
+  mon.observe(sample_of(kSecond, {50.0, 50.0}));
+  mon.observe(sample_of(2 * kSecond, {60.0, 40.0}));
+  std::string csv = mon.to_csv();
+  EXPECT_EQ(csv.rfind("t_s,active,jain,spread_w,delivered_w,stranded_wps,"
+                      "suspicions_hz,conservation_drift,energy_j\n",
+                      0),
+            0u);
+  int newlines = 0;
+  for (char c : csv) {
+    if (c == '\n') ++newlines;
+  }
+  EXPECT_EQ(newlines, 3);  // header + 2 probes
+}
+
+}  // namespace
+}  // namespace penelope::telemetry

@@ -1,0 +1,173 @@
+#include "telemetry/time_series.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "json_mini.hpp"
+
+namespace penelope::telemetry {
+namespace {
+
+constexpr common::Ticks kWindow = 1000;
+
+TEST(TimeSeries, AggregatesWithinOneWindow) {
+  TimeSeries s("x", kWindow, 8);
+  s.sample(10, 4.0);
+  s.sample(500, 2.0);
+  s.sample(999, 6.0);
+  ASSERT_EQ(s.windows().size(), 1u);
+  const SeriesWindow& w = s.windows().front();
+  EXPECT_EQ(w.start, 0);
+  EXPECT_DOUBLE_EQ(w.sum, 12.0);
+  EXPECT_DOUBLE_EQ(w.min, 2.0);
+  EXPECT_DOUBLE_EQ(w.max, 6.0);
+  EXPECT_DOUBLE_EQ(w.last, 6.0);
+  EXPECT_EQ(w.count, 3u);
+  EXPECT_DOUBLE_EQ(w.avg(), 4.0);
+  EXPECT_EQ(s.total_samples(), 3u);
+}
+
+TEST(TimeSeries, NewWindowStartsAtAlignedBoundary) {
+  TimeSeries s("x", kWindow, 8);
+  s.sample(100, 1.0);
+  s.sample(2500, 3.0);  // skips window [1000, 2000)
+  ASSERT_EQ(s.windows().size(), 2u);
+  EXPECT_EQ(s.windows()[0].start, 0);
+  EXPECT_EQ(s.windows()[1].start, 2000);
+  EXPECT_DOUBLE_EQ(s.windows()[1].last, 3.0);
+}
+
+TEST(TimeSeries, DownsampleDoublesWidthAndMergesAdjacent) {
+  TimeSeries s("x", kWindow, 4);
+  for (int i = 0; i < 4; ++i) {
+    s.sample(static_cast<common::Ticks>(i) * kWindow,
+             static_cast<double>(i + 1));
+  }
+  ASSERT_EQ(s.windows().size(), 4u);
+  EXPECT_EQ(s.window_width(), kWindow);
+
+  // A fifth distinct window triggers the merge: [0,1],[2,3] fold and
+  // the new sample lands in the (re-aligned) window at 4000.
+  s.sample(4 * kWindow, 5.0);
+  EXPECT_EQ(s.window_width(), 2 * kWindow);
+  ASSERT_EQ(s.windows().size(), 3u);
+  EXPECT_EQ(s.windows()[0].start, 0);
+  EXPECT_DOUBLE_EQ(s.windows()[0].sum, 1.0 + 2.0);
+  EXPECT_EQ(s.windows()[0].count, 2u);
+  EXPECT_DOUBLE_EQ(s.windows()[0].min, 1.0);
+  EXPECT_DOUBLE_EQ(s.windows()[0].max, 2.0);
+  EXPECT_DOUBLE_EQ(s.windows()[0].last, 2.0);
+  EXPECT_EQ(s.windows()[1].start, 2000);
+  EXPECT_DOUBLE_EQ(s.windows()[1].sum, 3.0 + 4.0);
+  EXPECT_EQ(s.windows()[2].start, 4000);
+  EXPECT_DOUBLE_EQ(s.windows()[2].last, 5.0);
+  EXPECT_EQ(s.total_samples(), 5u);
+}
+
+TEST(TimeSeries, LongRunStaysBoundedAndConservesMass) {
+  constexpr std::size_t kCapacity = 8;
+  TimeSeries s("x", kWindow, kCapacity);
+  double fed = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    double v = static_cast<double>(i % 17);
+    s.sample(static_cast<common::Ticks>(i) * kWindow, v);
+    fed += v;
+  }
+  EXPECT_LE(s.windows().size(), kCapacity);
+  EXPECT_EQ(s.total_samples(), 100000u);
+  // Width only ever doubles.
+  common::Ticks width = s.window_width();
+  EXPECT_GT(width, kWindow);
+  while (width > kWindow) {
+    EXPECT_EQ(width % 2, 0);
+    width /= 2;
+  }
+  EXPECT_EQ(width, kWindow);
+  // Downsampling merges, never drops: total sum and count survive.
+  double sum = 0.0;
+  std::uint64_t count = 0;
+  for (const SeriesWindow& w : s.windows()) {
+    sum += w.sum;
+    count += w.count;
+  }
+  EXPECT_EQ(count, 100000u);
+  EXPECT_NEAR(sum, fed, 1e-6 * fed);
+}
+
+TEST(TimeSeries, CapacityFloorIsTwo) {
+  TimeSeries s("x", kWindow, 0);
+  EXPECT_EQ(s.capacity(), 2u);
+}
+
+TEST(TimeSeriesSet, UnconfiguredOpensNothing) {
+  TimeSeriesSet set;
+  EXPECT_FALSE(set.enabled());
+  EXPECT_EQ(set.open("a"), nullptr);
+  EXPECT_TRUE(set.series().empty());
+  EXPECT_EQ(set.to_csv(), "series,t_s,window_s,count,avg,min,max,last\n");
+}
+
+TEST(TimeSeriesSet, OpenIsFindOrCreateWithStablePointers) {
+  TimeSeriesSet set;
+  set.configure(kWindow, 16);
+  TimeSeries* a = set.open("a");
+  TimeSeries* b = set.open("b");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(set.open("a"), a);  // dedup, same pointer
+  EXPECT_EQ(set.find("a"), a);
+  EXPECT_EQ(set.find("missing"), nullptr);
+  ASSERT_EQ(set.series().size(), 2u);
+  EXPECT_EQ(set.series()[0]->name(), "a");  // creation order
+  EXPECT_EQ(set.series()[1]->name(), "b");
+}
+
+TEST(TimeSeriesSet, CsvHasHeaderAndOneRowPerWindow) {
+  TimeSeriesSet set;
+  set.configure(common::kTicksPerSecond, 16);
+  TimeSeries* a = set.open("watts");
+  a->sample(0, 1.5);
+  a->sample(2 * common::kTicksPerSecond, 2.5);
+  std::string csv = set.to_csv();
+  std::istringstream in(csv);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "series,t_s,window_s,count,avg,min,max,last");
+  int rows = 0;
+  while (std::getline(in, line)) {
+    EXPECT_EQ(line.rfind("watts,", 0), 0u) << line;
+    ++rows;
+  }
+  EXPECT_EQ(rows, 2);
+}
+
+TEST(TimeSeriesSet, JsonlLinesAreValidJson) {
+  TimeSeriesSet set;
+  set.configure(common::kTicksPerSecond, 16);
+  TimeSeries* a = set.open("pool_0_watts");
+  TimeSeries* b = set.open("jain_index");
+  for (int i = 0; i < 5; ++i) {
+    a->sample(static_cast<common::Ticks>(i) * common::kTicksPerSecond,
+              static_cast<double>(i));
+    b->sample(static_cast<common::Ticks>(i) * common::kTicksPerSecond,
+              0.99);
+  }
+  std::istringstream in(set.to_jsonl());
+  std::string line;
+  int rows = 0;
+  while (std::getline(in, line)) {
+    bool ok = false;
+    testjson::Value v = testjson::parse_json(line, &ok);
+    ASSERT_TRUE(ok) << line;
+    EXPECT_TRUE(v.at("series").is_string());
+    EXPECT_TRUE(v.at("avg").is_number());
+    EXPECT_TRUE(v.at("count").is_number());
+    ++rows;
+  }
+  EXPECT_EQ(rows, 10);
+}
+
+}  // namespace
+}  // namespace penelope::telemetry
