@@ -11,7 +11,16 @@
 // and that inter-pool message volume grows sublinearly in N (it tracks
 // total pools ~ sqrt(N), asserted here as volume ratio << node ratio).
 //
-// Usage: bench_federation [quick=1] [big=131072]
+// The third mode, million_smoke=1, is the ctest perf-smoke gate
+// (scale.MillionNodeCeiling): a 2^20-node federated run over a
+// shortened completion-burst window (burst at 2 s, 20 s of measurement
+// — the 1024-pool tree is ~5 levels deep, so released watts need more
+// periods to migrate than at 131k) that must finish under the ctest
+// wall ceiling with conservation < 1e-6 — proof the batched epoch
+// sweeps + active-set scheduling keep a million-node single run
+// affordable on one core.
+//
+// Usage: bench_federation [quick=1] [big=131072] [million_smoke=1]
 #include <cinttypes>
 #include <chrono>
 #include <cmath>
@@ -37,13 +46,17 @@ struct Timed {
   double wall_s = 0.0;
 };
 
-Timed run_point(int nodes, cluster::ManagerKind manager, int pools) {
+Timed run_point(int nodes, cluster::ManagerKind manager, int pools,
+                double burst_at_seconds = 5.0,
+                double window_seconds = 60.0) {
   cluster::ScaleConfig sc;
   sc.n_nodes = nodes;
   sc.manager = manager;
   sc.pools = pools;
   sc.fanout = 8;
   sc.seed = 42;
+  sc.burst_at_seconds = burst_at_seconds;
+  sc.window_seconds = window_seconds;
   auto start = std::chrono::steady_clock::now();
   Timed out;
   out.result = cluster::run_scale_experiment(sc);
@@ -58,13 +71,36 @@ std::string fmt_u64(std::uint64_t v) { return std::to_string(v); }
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string usage = "bench_federation [quick=1] [big=131072]";
+  const std::string usage =
+      "bench_federation [quick=1] [big=131072] [million_smoke=1]";
   common::Config config = bench::parse_or_die(argc, argv, usage);
   bool quick = config.get_int("quick", 0) != 0;
   int big = config.get_int("big", quick ? 8192 : 131072);
+  bool million_smoke = config.get_int("million_smoke", 0) != 0;
   bench::reject_unused(config, usage);
 
   std::printf("host cores: %d\n", bench::host_core_count());
+
+  if (million_smoke) {
+    // Perf-smoke gate: the full 2^20-node arena over a shortened burst
+    // window. Everything the big table checks, minus the wall-clock of
+    // the 60 s horizon — sweep throughput dominates either way.
+    const int nodes = 1 << 20;
+    Timed t = run_point(nodes, cluster::ManagerKind::kPenelope,
+                        sqrt_pools(nodes), 2.0, 20.0);
+    PEN_CHECK_MSG(t.result.max_conservation_error < 1e-6,
+                  "conservation audit failed at the million-node point");
+    PEN_CHECK_MSG(t.result.shifted_watts > 0.0,
+                  "the million-node burst must redistribute something");
+    std::printf("million_smoke: n=%d pools=%d t50_s=%.2f reached=%s "
+                "msgs=%s conserv_err=%.2e wall_s=%.2f\n",
+                nodes, sqrt_pools(nodes),
+                t.result.median_redistribution_s,
+                t.result.median_reached ? "yes" : "no",
+                fmt_u64(t.result.messages_sent).c_str(),
+                t.result.max_conservation_error, t.wall_s);
+    return 0;
+  }
 
   // --- A/B: central vs flat vs federated as N grows -------------------
   std::vector<int> scales =

@@ -5,6 +5,8 @@
 // which bounds how large a cluster this substrate can reproduce.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+
 #include "central/server.hpp"
 #include "cluster/cluster.hpp"
 #include "common/rng.hpp"
@@ -245,6 +247,75 @@ void BM_ShardWindowMerge(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kBurst);
 }
 BENCHMARK(BM_ShardWindowMerge);
+
+void BM_ArenaSweep(benchmark::State& state) {
+  // Per-node cost of one epoch sweep through the flat arena's columns
+  // with active-set scheduling off: every node materializes, evaluates
+  // its cap-vs-measured band, and (in steady state) does nothing. This
+  // is the brute-force floor the active set improves on — the columnar
+  // kernel itself, heap events excluded (one sweep event per epoch
+  // regardless of N).
+  const int nodes = static_cast<int>(state.range(0));
+  cluster::ClusterConfig cc;
+  cc.manager = cluster::ManagerKind::kPenelope;
+  cc.n_nodes = nodes;
+  cc.per_socket_cap_watts = 60.0;
+  cc.measurement_noise_watts = 0.0;
+  cc.federation_pools = static_cast<int>(std::lround(
+      std::sqrt(static_cast<double>(nodes))));
+  cc.arena_active_set = false;
+  std::vector<workload::WorkloadProfile> profiles;
+  for (int i = 0; i < nodes; ++i) {
+    workload::WorkloadProfile p;
+    p.name = "x";
+    p.phases.push_back(
+        workload::Phase{"hot", i % 2 ? 240.0 : 100.0, 1e9});
+    profiles.push_back(std::move(p));
+  }
+  cluster::Cluster cl(cc, std::move(profiles));
+  cl.run_for(5.0);  // warm up past the initial shed/request wave
+  double t = 5.0;
+  for (auto _ : state) {
+    t += 1.0;
+    cl.run_for(1.0);
+  }
+  benchmark::DoNotOptimize(t);
+  state.SetItemsProcessed(state.iterations() * nodes);
+}
+BENCHMARK(BM_ArenaSweep)->Arg(4096)->Arg(65536);
+
+void BM_ActiveSetSkip(benchmark::State& state) {
+  // The same steady-state arena with active-set scheduling on: after
+  // the shed wave settles the dirty bitsets go empty, so an epoch sweep
+  // is a word-scan over zeros plus a wake-heap peek. Items are still
+  // nodes — the per-node cost should collapse toward the memory
+  // bandwidth of reading N/64 bitset words.
+  const int nodes = static_cast<int>(state.range(0));
+  cluster::ClusterConfig cc;
+  cc.manager = cluster::ManagerKind::kPenelope;
+  cc.n_nodes = nodes;
+  cc.per_socket_cap_watts = 60.0;
+  cc.measurement_noise_watts = 0.0;
+  cc.federation_pools = static_cast<int>(std::lround(
+      std::sqrt(static_cast<double>(nodes))));
+  std::vector<workload::WorkloadProfile> profiles;
+  for (int i = 0; i < nodes; ++i) {
+    workload::WorkloadProfile p;
+    p.name = "steady";
+    p.phases.push_back(workload::Phase{"hot", 120.0, 1e9});
+    profiles.push_back(std::move(p));
+  }
+  cluster::Cluster cl(cc, std::move(profiles));
+  cl.run_for(5.0);
+  double t = 5.0;
+  for (auto _ : state) {
+    t += 1.0;
+    cl.run_for(1.0);
+  }
+  benchmark::DoNotOptimize(t);
+  state.SetItemsProcessed(state.iterations() * nodes);
+}
+BENCHMARK(BM_ActiveSetSkip)->Arg(4096)->Arg(65536);
 
 void BM_ClusterSimulatedSecond(benchmark::State& state) {
   // Cost of one virtual second of a Penelope cluster at the given node

@@ -1,9 +1,9 @@
 #include "cluster/arena.hpp"
 
 #include <algorithm>
+#include <functional>
 
 #include "common/check.hpp"
-#include "common/rng.hpp"
 #include "core/protocol.hpp"
 #include "hierarchy/protocol.hpp"
 
@@ -40,7 +40,10 @@ FederatedArena::FederatedArena(
 
   cap_.assign(n, config_.initial_cap_watts);
   energy_j_.assign(n, 0.0);
-  last_advance_.assign(n, 0);
+  anchor_at_.assign(n, 0);
+  demand_.assign(n, 0.0);
+  delivered_.assign(n, 0.0);
+  speed_.assign(n, 0.0);
   phase_first_.resize(n);
   phase_count_.resize(n);
   phase_idx_.assign(n, 0);
@@ -52,7 +55,7 @@ FederatedArena::FederatedArena(
   incarnation_.assign(n, 1);
   outstanding_txn_.assign(n, 0);
   outstanding_sent_at_.assign(n, 0);
-  timeout_event_.assign(n, sim::kInvalidEventId);
+  wake_at_.assign(n, 0);
   req_seq_.assign(n, 0);
   push_seq_.assign(n, 0);
   dedup_.assign(n * kDedupRing, 0);
@@ -73,6 +76,7 @@ FederatedArena::FederatedArena(
       work_total_[i] += phase.work_seconds;
     }
     work_left_[i] = phase_work_[static_cast<std::size_t>(phase_first_[i])];
+    refresh_rate(static_cast<int>(i));
   }
 
   const auto pools = static_cast<std::size_t>(topo_.total_pools);
@@ -88,24 +92,44 @@ FederatedArena::FederatedArena(
   pool_deficit_flow_.assign(pools, 0);
   pool_pending_flow_.assign(pools, 0);
 
-  // Endpoints + ticks. Start offsets follow the classic path's shape
-  // (uniform in [1, start_jitter], one draw per node in node order) so
-  // deciders stay roughly in phase; pool aggregation runs one period
-  // behind the first decider wave.
-  common::Rng jitter_rng(config_.seed);
+  // Endpoints for every node; the decider itself runs from the epoch
+  // sweeps below, not from per-node timers.
   for (int i = 0; i < config_.n_nodes; ++i) {
     net_.register_endpoint(i, [this, i](const net::Message& msg) {
       handle_node_message(i, msg);
     });
-    common::Ticks offset =
-        config_.start_jitter > 0
-            ? static_cast<common::Ticks>(jitter_rng.next_below(
-                  static_cast<std::uint32_t>(config_.start_jitter))) +
-                  1
-            : 1;
-    sim_of_(i).schedule_periodic(
-        offset, config_.period,
-        [this, i](common::Ticks now) { node_tick(i, now); });
+  }
+
+  // Slices: shard_of is contiguous monotone, so each engine owns exactly
+  // one run of NodeIds (the serial engine owns all of them). One
+  // periodic sweep-lane event per slice replaces the old N periodic
+  // node timers; every slice sweeps at ticks 1, 1+period, 1+2*period, …
+  // so both engines fire the same epochs at the same virtual times.
+  for (int i = 0; i < config_.n_nodes; ++i) {
+    sim::Simulator* engine = &sim_of_(i);
+    if (slices_.empty() || slices_.back().sim != engine) {
+      for (const Slice& prior : slices_) PEN_CHECK(prior.sim != engine);
+      Slice sl;
+      sl.first = i;
+      sl.last = i + 1;
+      sl.sim = engine;
+      slices_.push_back(std::move(sl));
+    } else {
+      slices_.back().last = i + 1;
+    }
+  }
+  for (std::size_t si = 0; si < slices_.size(); ++si) {
+    Slice& sl = slices_[si];
+    const auto len = static_cast<std::size_t>(sl.last - sl.first);
+    // Everyone starts dirty: the first sweep evaluates the whole
+    // population, after which equilibrium nodes drop out.
+    sl.dirty.assign((len + 63) / 64, ~std::uint64_t{0});
+    if (len % 64 != 0)
+      sl.dirty.back() = ~std::uint64_t{0} >> (64 - (len % 64));
+    sl.wakes.reserve(std::min<std::size_t>(len, 1024));
+    sl.sim->schedule_periodic_sweep(
+        1, config_.period,
+        [this, si](common::Ticks now) { sweep(si, now); });
   }
   for (int p = 0; p < topo_.total_pools; ++p) {
     net::NodeId pid = pool_node_id(p);
@@ -118,63 +142,132 @@ FederatedArena::FederatedArena(
   }
 }
 
-void FederatedArena::advance(int node, common::Ticks now) {
+void FederatedArena::refresh_rate(int node) {
   auto i = static_cast<std::size_t>(node);
-  common::Ticks last = last_advance_[i];
-  if (now <= last) return;
-  last_advance_[i] = now;
-  if (crashed_[i] || done_[i]) return;
+  if (done_[i] || crashed_[i]) {
+    demand_[i] = 0.0;
+    delivered_[i] = 0.0;
+    speed_[i] = 0.0;
+    return;
+  }
+  double demand = phase_demand_[static_cast<std::size_t>(phase_first_[i] +
+                                                         phase_idx_[i])];
+  double delivered = std::min(cap_[i], demand);
+  demand_[i] = demand;
+  delivered_[i] = delivered;
+  speed_[i] = model_.speed(delivered, demand);
+}
 
-  double dt = common::to_seconds(now - last);
-  while (dt > 1e-12 && !done_[i]) {
-    auto slot = static_cast<std::size_t>(phase_first_[i] + phase_idx_[i]);
-    double demand = phase_demand_[slot];
-    double delivered = std::min(cap_[i], demand);
-    double speed = model_.speed(delivered, demand);
-    if (speed <= 0.0) {
-      // Starved below the base fraction: burns power, makes no progress.
-      energy_j_[i] += delivered * dt;
+void FederatedArena::materialize(int node, common::Ticks t) {
+  auto i = static_cast<std::size_t>(node);
+  common::Ticks a = anchor_at_[i];
+  if (t <= a) return;
+  if (crashed_[i] || done_[i]) {
+    anchor_at_[i] = t;
+    return;
+  }
+  // Cross every phase boundary <= t. Each crossing is a pure function
+  // of the previous anchor state (never of t), so crossing them one
+  // sweep at a time (brute force) or all at once (lazy) produces
+  // bit-identical columns — the active-set parity invariant. A starved
+  // phase (speed 0) has no boundary: the anchor freezes there and
+  // energy accrues in closed form at the cached delivered rate.
+  double sp = speed_[i];
+  while (sp > 0.0) {
+    double phase_dt = work_left_[i] / sp;
+    common::Ticks end_at = a + common::from_seconds(phase_dt);
+    if (end_at > t) break;
+    energy_j_[i] += delivered_[i] * phase_dt;
+    work_done_[i] += work_left_[i];
+    work_left_[i] = 0.0;
+    a = end_at;
+    if (++phase_idx_[i] >= phase_count_[i]) {
+      done_[i] = 1;
+      refresh_rate(node);
+      anchor_at_[i] = a;
+      if (on_complete_) on_complete_(node, a);
       return;
     }
-    double step = std::min(dt, work_left_[i] / speed);
-    energy_j_[i] += delivered * step;
-    work_left_[i] -= speed * step;
-    work_done_[i] += speed * step;
-    dt -= step;
-    if (work_left_[i] <= 1e-9) {
-      work_done_[i] += work_left_[i];  // snap float residue
-      work_left_[i] = 0.0;
-      if (++phase_idx_[i] >= phase_count_[i]) {
-        done_[i] = 1;
-        common::Ticks at = now - common::from_seconds(dt);
-        if (on_complete_) on_complete_(node, at);
-      } else {
-        work_left_[i] = phase_work_[static_cast<std::size_t>(
-            phase_first_[i] + phase_idx_[i])];
-      }
+    work_left_[i] = phase_work_[static_cast<std::size_t>(phase_first_[i] +
+                                                         phase_idx_[i])];
+    refresh_rate(node);
+    sp = speed_[i];
+  }
+  anchor_at_[i] = a;
+}
+
+void FederatedArena::reanchor(int node, common::Ticks t) {
+  materialize(node, t);
+  auto i = static_cast<std::size_t>(node);
+  if (!crashed_[i] && !done_[i] && t > anchor_at_[i]) {
+    double dt = common::to_seconds(t - anchor_at_[i]);
+    energy_j_[i] += delivered_[i] * dt;
+    double w = speed_[i] * dt;
+    if (w > 0.0) {
+      if (w > work_left_[i]) w = work_left_[i];  // float guard
+      work_left_[i] -= w;
+      work_done_[i] += w;
     }
   }
+  anchor_at_[i] = t;
+}
+
+FederatedArena::EvalView FederatedArena::eval(int node,
+                                              common::Ticks t) const {
+  auto i = static_cast<std::size_t>(node);
+  EvalView v;
+  v.energy_j = energy_j_[i];
+  v.work_done = work_done_[i];
+  if (crashed_[i] || done_[i]) return v;
+  // Read-only mirror of materialize + the reanchor partial fold: same
+  // expressions in the same order over local copies, so a query returns
+  // exactly what a mutating advance to t would have stored.
+  common::Ticks a = anchor_at_[i];
+  double wl = work_left_[i];
+  std::int32_t idx = phase_idx_[i];
+  double delivered = delivered_[i];
+  double sp = speed_[i];
+  while (sp > 0.0) {
+    double phase_dt = wl / sp;
+    common::Ticks end_at = a + common::from_seconds(phase_dt);
+    if (end_at > t) break;
+    v.energy_j += delivered * phase_dt;
+    v.work_done += wl;
+    a = end_at;
+    if (++idx >= phase_count_[i]) return v;  // virtually done: power 0
+    auto slot = static_cast<std::size_t>(phase_first_[i] + idx);
+    wl = phase_work_[slot];
+    double demand = phase_demand_[slot];
+    delivered = std::min(cap_[i], demand);
+    sp = model_.speed(delivered, demand);
+  }
+  if (t > a) {
+    double dt = common::to_seconds(t - a);
+    v.energy_j += delivered * dt;
+    double w = sp * dt;
+    if (w > 0.0) {
+      if (w > wl) w = wl;
+      v.work_done += w;
+    }
+  }
+  v.power = delivered;
+  return v;
 }
 
 double FederatedArena::node_demand(int node) const {
-  auto i = static_cast<std::size_t>(node);
-  if (done_[i] || crashed_[i]) return 0.0;
-  return phase_demand_[static_cast<std::size_t>(phase_first_[i] +
-                                                phase_idx_[i])];
+  return demand_[static_cast<std::size_t>(node)];
 }
 
-double FederatedArena::node_power(int node, common::Ticks now) {
-  advance(node, now);
-  auto i = static_cast<std::size_t>(node);
-  if (crashed_[i] || done_[i]) return 0.0;
-  return std::min(cap_[i], node_demand(node));
+double FederatedArena::node_power(int node, common::Ticks now) const {
+  return eval(node, now).power;
 }
 
-double FederatedArena::node_fraction_complete(int node) const {
+double FederatedArena::node_fraction_complete(int node,
+                                              common::Ticks now) const {
   auto i = static_cast<std::size_t>(node);
   if (done_[i]) return 1.0;
   if (work_total_[i] <= 0.0) return 0.0;
-  return std::min(1.0, work_done_[i] / work_total_[i]);
+  return std::min(1.0, eval(node, now).work_done / work_total_[i]);
 }
 
 double FederatedArena::cap_total() const {
@@ -189,13 +282,122 @@ double FederatedArena::pool_total() const {
   return total;
 }
 
-double FederatedArena::total_energy_joules(common::Ticks now) {
+double FederatedArena::total_energy_joules(common::Ticks now) const {
+  // Node-index order, independent of slice layout: the summation order
+  // (and hence the float result) is identical at any sim_jobs and in
+  // both sweep modes.
   double total = 0.0;
-  for (int i = 0; i < config_.n_nodes; ++i) {
-    advance(i, now);
-    total += energy_j_[static_cast<std::size_t>(i)];
-  }
+  for (int i = 0; i < config_.n_nodes; ++i) total += eval(i, now).energy_j;
   return total;
+}
+
+FederatedArena::NodeSample FederatedArena::sample_node(
+    int node, common::Ticks now) const {
+  auto i = static_cast<std::size_t>(node);
+  EvalView v = eval(node, now);
+  return NodeSample{cap_[i], demand_[i], v.power, v.energy_j};
+}
+
+bool FederatedArena::node_in_active_set(int node) const {
+  const Slice& s = slices_[slice_index_of(node)];
+  auto rel = static_cast<std::size_t>(node - s.first);
+  return (s.dirty[rel >> 6] >> (rel & 63)) & 1;
+}
+
+int FederatedArena::active_set_size() const {
+  int count = 0;
+  for (const Slice& s : slices_)
+    for (std::uint64_t word : s.dirty)
+      count += static_cast<int>(__builtin_popcountll(word));
+  return count;
+}
+
+std::size_t FederatedArena::slice_index_of(int node) const {
+  std::size_t s = 0;
+  while (node >= slices_[s].last) ++s;
+  return s;
+}
+
+void FederatedArena::mark_dirty(int node) {
+  Slice& s = slices_[slice_index_of(node)];
+  auto rel = static_cast<std::size_t>(node - s.first);
+  s.dirty[rel >> 6] |= std::uint64_t{1} << (rel & 63);
+}
+
+void FederatedArena::schedule_wake(Slice& s, int node, common::Ticks now) {
+  auto i = static_cast<std::size_t>(node);
+  if (done_[i] || crashed_[i]) return;
+  common::Ticks wake = 0;
+  if (speed_[i] > 0.0) {
+    wake = anchor_at_[i] + common::from_seconds(work_left_[i] / speed_[i]);
+    if (wake <= now) wake = now + 1;  // rounding guard
+  }
+  if (outstanding_txn_[i] != 0) {
+    common::Ticks timeout_at =
+        outstanding_sent_at_[i] + config_.request_timeout;
+    if (wake == 0 || timeout_at < wake) wake = timeout_at;
+  }
+  if (wake == 0) return;  // nothing will ever change on its own
+  // An earlier-or-equal wake already queued covers this one: it fires
+  // first, the tick re-evaluates, and any later boundary re-queues then.
+  if (wake_at_[i] != 0 && wake_at_[i] <= wake) return;
+  wake_at_[i] = wake;
+  s.wakes.push_back({wake, static_cast<std::int32_t>(node)});
+  std::push_heap(s.wakes.begin(), s.wakes.end(), std::greater<>{});
+}
+
+void FederatedArena::sweep(std::size_t slice, common::Ticks now) {
+  Slice& s = slices_[slice];
+  if (!config_.active_set) {
+    // Brute force: tick every node in index order. Kept branch-light and
+    // prefetched — this is also the first-epoch shape of the active-set
+    // path, and the baseline the parity suite compares against.
+    for (int node = s.first; node < s.last; ++node) {
+      if (node + 16 < s.last) {
+        auto ahead = static_cast<std::size_t>(node + 16);
+        __builtin_prefetch(&cap_[ahead]);
+        __builtin_prefetch(&work_left_[ahead]);
+        __builtin_prefetch(&outstanding_txn_[ahead]);
+      }
+      node_tick(node, now, s);
+    }
+    return;
+  }
+  // Wakes due by now re-enter the active set. Pop order does not matter
+  // (set-union into the bitset); stale entries — superseded by an
+  // earlier wake that already fired and re-evaluated the node — are
+  // identified by wake_at_ mismatch and dropped.
+  while (!s.wakes.empty() && s.wakes.front().at <= now) {
+    std::pop_heap(s.wakes.begin(), s.wakes.end(), std::greater<>{});
+    Slice::Wake w = s.wakes.back();
+    s.wakes.pop_back();
+    auto i = static_cast<std::size_t>(w.node);
+    if (wake_at_[i] != w.at) continue;
+    wake_at_[i] = 0;
+    auto rel = static_cast<std::size_t>(w.node - s.first);
+    s.dirty[rel >> 6] |= std::uint64_t{1} << (rel & 63);
+  }
+  // Walk set bits in index order. Words are claimed (zeroed) before
+  // their ticks run so a tick that acted can re-mark itself dirty for
+  // the next epoch.
+  const int n_words = static_cast<int>(s.dirty.size());
+  for (int w = 0; w < n_words; ++w) {
+    std::uint64_t bits = s.dirty[static_cast<std::size_t>(w)];
+    if (bits == 0) continue;
+    s.dirty[static_cast<std::size_t>(w)] = 0;
+    const int word_base = s.first + w * 64;
+    do {
+      const int bit = __builtin_ctzll(bits);
+      bits &= bits - 1;
+      if (bits != 0) {
+        auto next = static_cast<std::size_t>(word_base +
+                                             __builtin_ctzll(bits));
+        __builtin_prefetch(&cap_[next]);
+        __builtin_prefetch(&work_left_[next]);
+      }
+      node_tick(word_base + bit, now, s);
+    } while (bits != 0);
+  }
 }
 
 bool FederatedArena::first_sighting(int node, std::uint64_t txn) {
@@ -227,23 +429,39 @@ void FederatedArena::push_to_leaf(int node, double watts) {
   net_.send(node, leaf, core::PowerPush{watts, txn});
 }
 
-void FederatedArena::node_tick(int node, common::Ticks now) {
-  advance(node, now);
+void FederatedArena::node_tick(int node, common::Ticks now, Slice& s) {
   auto i = static_cast<std::size_t>(node);
-  if (crashed_[i]) return;
+  if (crashed_[i]) return;  // stays out of the active set; recover re-marks
+  materialize(node, now);
 
-  double demand = node_demand(node);
-  double measured = std::min(cap_[i], demand);
+  // Request timeouts fold into the sweep: a timestamp comparison here
+  // replaces the old schedule_after/cancel pair (two heap operations
+  // per request). Granularity is the sweep period — a grant landing
+  // after the deadline but before this epoch's sweep still resolves as
+  // a turnaround, which both modes and every shard shape agree on.
+  if (outstanding_txn_[i] != 0 &&
+      now - outstanding_sent_at_[i] >= config_.request_timeout) {
+    outstanding_txn_[i] = 0;
+    metrics_.record_timeout();
+  }
+
+  const double demand = demand_[i];
+  const double measured = delivered_[i];  // = min(cap, demand) while live
   double safe_min = config_.safe_range.min_watts;
+  bool acted = false;
   if (cap_[i] - measured > config_.epsilon_watts) {
     // Excess above the sense band: shed down to measured + epsilon
     // (never below the safe floor) and bank the freed watts in the leaf.
+    // Shedding never lowers cap below demand (new_cap >= measured +
+    // epsilon and measured == demand here), so delivered/speed caches
+    // stay valid without a refresh.
     double new_cap = std::max(safe_min, measured + config_.epsilon_watts);
     double freed = cap_[i] - new_cap;
     if (freed > kWattDust) {
       cap_[i] = new_cap;
       metrics_.record_release(now, freed, node);
       push_to_leaf(node, freed);
+      acted = true;
     }
   } else if (demand > cap_[i] + config_.epsilon_watts &&
              outstanding_txn_[i] == 0) {
@@ -256,14 +474,17 @@ void FederatedArena::node_tick(int node, common::Ticks now) {
       net_.send(node, pool_node_id(topo_.leaf_of_node[i]),
                 core::PowerRequest{cap_[i] < config_.initial_cap_watts,
                                    want, txn});
-      timeout_event_[i] = sim_of_(node).schedule_after(
-          config_.request_timeout, [this, node, txn, i] {
-            if (outstanding_txn_[i] != txn) return;
-            outstanding_txn_[i] = 0;
-            timeout_event_[i] = sim::kInvalidEventId;
-            metrics_.record_timeout();
-          });
+      acted = true;
     }
+  }
+
+  if (!config_.active_set) return;
+  if (acted) {
+    // Something moved: stay in the active set and re-evaluate next epoch.
+    auto rel = static_cast<std::size_t>(node - s.first);
+    s.dirty[rel >> 6] |= std::uint64_t{1} << (rel & 63);
+  } else {
+    schedule_wake(s, node, now);
   }
 }
 
@@ -279,23 +500,25 @@ void FederatedArena::handle_node_message(int node,
   }
   if (grant->watts > 0.0) metrics_.grant_arrived(grant->watts);
   if (outstanding_txn_[i] == grant->txn_id && grant->txn_id != 0) {
-    sim_of_(node).cancel(timeout_event_[i]);
-    timeout_event_[i] = sim::kInvalidEventId;
     outstanding_txn_[i] = 0;
     metrics_.record_turnaround(outstanding_sent_at_[i], now);
   } else {
-    // Late grant after its timeout fired. Unlike the flat path (which
-    // strands unmatched watts), the arena banks them: first_sighting
-    // already guarantees at-most-once, so applying keeps the watts in
-    // circulation without any double-count risk.
+    // Late grant after its timeout was recorded. Unlike the flat path
+    // (which strands unmatched watts), the arena banks them:
+    // first_sighting already guarantees at-most-once, so applying keeps
+    // the watts in circulation without any double-count risk.
     metrics_.record_unknown_txn();
   }
+  // Protocol state changed either way (the node may want to re-request
+  // or shed next epoch), so it re-enters the active set.
+  mark_dirty(node);
   if (grant->watts <= kWattDust) return;
-  advance(node, now);
+  reanchor(node, now);
   double room = config_.safe_range.max_watts - cap_[i];
   double applied = std::min(grant->watts, std::max(0.0, room));
   if (applied > kWattDust) {
     cap_[i] += applied;
+    refresh_rate(node);  // cap rose: delivered/speed may rise with it
     metrics_.record_apply(now, applied, node);
     auto& tracer = metrics_.tracer();
     if (tracer.enabled()) {
@@ -492,10 +715,9 @@ void FederatedArena::pool_tick(int pool, common::Ticks now) {
 void FederatedArena::crash_node(int node, common::Ticks now) {
   auto i = static_cast<std::size_t>(node);
   if (crashed_[i]) return;
-  advance(node, now);
+  reanchor(node, now);  // fold the partial segment at pre-crash rates
   crashed_[i] = 1;
-  sim_of_(node).cancel(timeout_event_[i]);
-  timeout_event_[i] = sim::kInvalidEventId;
+  refresh_rate(node);  // rates to zero; ticks skip crashed nodes
   outstanding_txn_[i] = 0;  // any in-flight grant strands via the fabric
   double safe_min = config_.safe_range.min_watts;
   double residue = cap_[i] - safe_min;
@@ -507,10 +729,12 @@ void FederatedArena::crash_node(int node, common::Ticks now) {
 void FederatedArena::recover_node(int node, common::Ticks now) {
   auto i = static_cast<std::size_t>(node);
   if (!crashed_[i]) return;
-  advance(node, now);  // no-op accounting; resets the advance anchor
+  reanchor(node, now);  // no-op accounting; resets the advance anchor
   crashed_[i] = 0;
   std::uint32_t prev = incarnation_[i]++;
   net_.recover_node(node);
+  refresh_rate(node);  // live again at the phase it crashed in
+  mark_dirty(node);    // re-enters the active set next epoch
   // Reclaim this node's own pre-crash residue (plus any grants that
   // died against it while down — the drop handler tags those with the
   // same incarnation). Exactly-once: the tag is consumed here or never.
@@ -520,6 +744,7 @@ void FederatedArena::recover_node(int node, common::Ticks now) {
   double applied = std::min(leftover, std::max(0.0, room));
   if (applied > kWattDust) {
     cap_[i] += applied;
+    refresh_rate(node);
     metrics_.record_apply(now, applied, node);
   }
   double overflow = leftover - applied;

@@ -9,6 +9,21 @@
 // tick touches a handful of contiguous doubles, and the whole population
 // fits in a few flat allocations sized once at construction.
 //
+// Scheduling is batched epoch sweeps, not per-node timers: one periodic
+// sweep-lane event per shard slice walks its column range in index order
+// each period, so the heap carries O(sim_jobs) recurring events instead
+// of O(N), and request timeouts are detected in-sweep by timestamp
+// comparison instead of costing two heap operations per request. On top
+// of that sits active-set scheduling: per-slice dirty bitsets plus a
+// wake heap of closed-form future events (phase boundaries, timeouts)
+// let a sweep touch only nodes with something to decide, while
+// equilibrium nodes advance lazily via the anchor columns when next
+// touched or sampled. DESIGN.md §15 carries the full determinism
+// argument; the short form is that sweeps run in a trace-neutral lane,
+// iterate in index order, and never reorder sends or RNG draws, so
+// traces stay bit-identical across sim_jobs and across
+// active-set/brute-force modes.
+//
 // The power/progress model on this path is deliberately idealized:
 // delivered power = min(cap, demand) with no first-order RAPL lag or
 // measurement noise, progress via the shared concave PerformanceModel,
@@ -49,12 +64,18 @@ struct ArenaConfig {
   double initial_cap_watts = 160.0;
   double epsilon_watts = 5.0;
   common::Ticks period = common::kTicksPerSecond;
-  common::Ticks start_jitter = common::from_millis(10);
   common::Ticks request_timeout = common::kTicksPerSecond;
   power::SafeRange safe_range;
   power::PerformanceModelConfig perf;
   hierarchy::FederationConfig federation;
   std::uint64_t seed = 42;
+  /// Active-set scheduling: sweeps touch only dirty nodes (nodes whose
+  /// cap, phase, or pending protocol state changed, or whose wake time
+  /// arrived). false = brute-force full sweep every period — same
+  /// per-node decisions in the same index order, so traces are
+  /// bit-identical either way (the parity suite pins this); the knob
+  /// exists for that test and for measuring the skip win.
+  bool active_set = true;
 };
 
 class FederatedArena {
@@ -86,9 +107,12 @@ class FederatedArena {
     return cap_[static_cast<std::size_t>(node)];
   }
   double node_demand(int node) const;
-  /// Instantaneous delivered power; advances the progress model to now.
-  double node_power(int node, common::Ticks now);
-  double node_fraction_complete(int node) const;
+  /// Instantaneous delivered power at `now`, read-only: walks phase
+  /// boundaries in closed form from the node's anchor without mutating
+  /// it, so observers can sample equilibrium nodes the sweep never
+  /// touches.
+  double node_power(int node, common::Ticks now) const;
+  double node_fraction_complete(int node, common::Ticks now) const;
   bool node_done(int node) const {
     return done_[static_cast<std::size_t>(node)] != 0;
   }
@@ -103,7 +127,27 @@ class FederatedArena {
   }
   double cap_total() const;
   double pool_total() const;
-  double total_energy_joules(common::Ticks now);
+  /// Closed-form lazy fold in node-index order (jobs- and mode-invariant
+  /// summation order: the observability suite pins the sampled series
+  /// bit-for-bit across sim_jobs). Never mutates anchors — an audit or
+  /// sample costs one read pass, not an O(N) advance.
+  double total_energy_joules(common::Ticks now) const;
+
+  /// One-pass telemetry view of a node (cap, demand, delivered power,
+  /// energy) — the sampler's per-node read, fused so the closed-form
+  /// phase walk runs once instead of once per field.
+  struct NodeSample {
+    double cap = 0.0;
+    double demand = 0.0;
+    double power = 0.0;
+    double energy_j = 0.0;
+  };
+  NodeSample sample_node(int node, common::Ticks now) const;
+
+  /// Active-set introspection for tests and benches: whether a node is
+  /// marked for the next sweep, and how many are.
+  bool node_in_active_set(int node) const;
+  int active_set_size() const;
 
   /// Crash/restart with epoch-guarded reclamation: crash strands the
   /// cap residue tagged (node, incarnation); restart bumps the
@@ -116,8 +160,63 @@ class FederatedArena {
  private:
   static constexpr int kDedupRing = 4;
 
-  void advance(int node, common::Ticks now);
-  void node_tick(int node, common::Ticks now);
+  /// One contiguous run of NodeIds whose events live on the same
+  /// simulator (shard_of is monotone, so each shard owns exactly one
+  /// slice; serial runs have one slice for everything). The slice is the
+  /// sweep unit: one periodic sweep-lane event per slice replaces the
+  /// old one-timer-per-node storm, and the dirty bitset + wake heap are
+  /// slice-local so sharded sweeps never share a cache line across
+  /// shards (separate heap allocations, the metrics-slot argument).
+  struct Slice {
+    int first = 0;
+    int last = 0;  ///< exclusive
+    sim::Simulator* sim = nullptr;
+    /// Bit (i - first) set => node i is in the active set: its next
+    /// sweep must run node_tick on it. Order-free set-union writes only.
+    std::vector<std::uint64_t> dirty;
+    /// Min-heap (std::push_heap on >) of scheduled self-wakes: phase
+    /// boundaries and request timeouts of nodes that left the active
+    /// set. wake_at_ dedups pushes; stale entries are dropped on pop.
+    struct Wake {
+      common::Ticks at;
+      std::int32_t node;
+      bool operator>(const Wake& o) const {
+        return at > o.at || (at == o.at && node > o.node);
+      }
+    };
+    std::vector<Wake> wakes;
+  };
+
+  /// Move the node's anchor across every phase boundary <= t, folding
+  /// energy and work in closed form and firing completion. Anchor
+  /// mutations are pure functions of prior anchor state, so the result
+  /// is bit-identical whether boundaries are crossed one sweep at a
+  /// time (brute force) or lazily at the next touch (active set).
+  void materialize(int node, common::Ticks t);
+  /// materialize, then fold the partial segment [anchor, t) and move the
+  /// anchor to t. Only called at protocol-determined instants (grant
+  /// apply, crash, recover) that occur identically in every mode/shape.
+  void reanchor(int node, common::Ticks t);
+  /// Refresh the cached demand_/delivered_/speed_ columns from the
+  /// materialized phase and current cap (zero when done or crashed).
+  void refresh_rate(int node);
+  /// Read-only mirror of materialize + partial fold: walks boundaries
+  /// virtually from the anchor without mutating columns.
+  struct EvalView {
+    double power = 0.0;
+    double energy_j = 0.0;
+    double work_done = 0.0;
+  };
+  EvalView eval(int node, common::Ticks t) const;
+
+  void sweep(std::size_t slice, common::Ticks now);
+  std::size_t slice_index_of(int node) const;
+  void mark_dirty(int node);
+  /// Post-tick transition out of the active set: schedule a self-wake at
+  /// the next closed-form event (phase boundary or request timeout).
+  void schedule_wake(Slice& s, int node, common::Ticks now);
+
+  void node_tick(int node, common::Ticks now, Slice& s);
   void handle_node_message(int node, const net::Message& msg);
   /// First-sighting filter for grants (small per-node ring instead of a
   /// full TxnWindow: a node only ever receives from its one leaf pool).
@@ -138,9 +237,20 @@ class FederatedArena {
   net::NodeId base_ = 0;
 
   /// --- node columns (one slot per client NodeId) -----------------------
+  /// Progress state is anchor-based: energy_j_/work_left_/work_done_ are
+  /// exact AT anchor_at_, and everything since accrues in closed form at
+  /// the cached delivered_/speed_ rates (constant between boundaries on
+  /// the idealized model). Reads never mutate; writes happen only at
+  /// phase boundaries (materialize) and protocol instants (reanchor).
   std::vector<double> cap_;
   std::vector<double> energy_j_;
-  std::vector<common::Ticks> last_advance_;
+  std::vector<common::Ticks> anchor_at_;
+  /// Cached per-node rates of the materialized phase: demand_ is the
+  /// phase demand, delivered_ = min(cap, demand), speed_ the model speed
+  /// (all zero when done or crashed). Maintained by refresh_rate().
+  std::vector<double> demand_;
+  std::vector<double> delivered_;
+  std::vector<double> speed_;
   /// Workload phases flattened across all nodes: node i's phases are
   /// phase_demand_/phase_work_[phase_first_[i] .. +phase_count_[i]).
   std::vector<double> phase_demand_;
@@ -156,11 +266,17 @@ class FederatedArena {
   std::vector<std::uint32_t> incarnation_;
   std::vector<std::uint64_t> outstanding_txn_;
   std::vector<common::Ticks> outstanding_sent_at_;
-  std::vector<sim::EventId> timeout_event_;
+  /// Earliest queued self-wake per node (0 = none): dedups wake-heap
+  /// pushes and identifies stale heap entries on pop. Request timeouts
+  /// are folded into the sweep (detected by timestamp comparison), so
+  /// the per-request timeout heap event of the old path is gone.
+  std::vector<common::Ticks> wake_at_;
   std::vector<std::uint64_t> req_seq_;
   std::vector<std::uint64_t> push_seq_;
   std::vector<std::uint64_t> dedup_;       ///< n_nodes x kDedupRing
   std::vector<std::uint8_t> dedup_next_;
+
+  std::vector<Slice> slices_;
 
   /// --- pool columns (one slot per pool) --------------------------------
   std::vector<double> pool_available_;

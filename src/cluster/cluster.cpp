@@ -105,21 +105,28 @@ Cluster::Cluster(ClusterConfig config,
     net_ = std::make_unique<net::Network>(sim_, net_config);
   }
 
-  // Pre-size the event heaps before any actor arms its first timer: a
-  // node keeps roughly four events pending at once (decider tick, request
-  // timeout, pool service completion, an in-flight delivery), plus slack
-  // for the control plane. The audit task feeds the observed high-water
-  // mark back out through the metrics registry so this estimate stays
-  // honest.
-  constexpr std::size_t kPendingPerNode = 4;
+  // Pre-size the event heaps before any actor arms its first timer. On
+  // the classic path a node keeps roughly four events pending at once
+  // (decider tick, request timeout, pool service completion, an
+  // in-flight delivery), plus slack for the control plane. The arena
+  // path carries no per-node timers at all (one epoch sweep per shard,
+  // timeouts folded into the sweep), so its heap holds in-flight
+  // deliveries only: ~2 per node covers a request/grant pair in flight,
+  // plus pool-tick and delivery slack per pool. The audit task feeds
+  // the observed high-water mark back out through the metrics registry
+  // so these estimates stay honest.
+  const std::size_t pending_per_node = fed_topo_ ? 2 : 4;
+  const auto pool_slack =
+      fed_topo_ ? 4 * static_cast<std::size_t>(fed_topo_->total_pools) : 0;
   if (engine_) {
     auto nodes_per_shard = static_cast<std::size_t>(
         (config_.n_nodes + jobs - 1) / jobs + 1);
-    engine_->reserve(kPendingPerNode * nodes_per_shard + 64);
+    engine_->reserve(pending_per_node * nodes_per_shard + pool_slack + 64);
     engine_->control().reserve(256);
   } else {
-    sim_.reserve(
-        kPendingPerNode * static_cast<std::size_t>(config_.n_nodes) + 64);
+    sim_.reserve(pending_per_node *
+                     static_cast<std::size_t>(config_.n_nodes) +
+                 pool_slack + 64);
   }
 
   // Watts lost inside the fabric (dropped grant/donation messages) are
@@ -271,12 +278,15 @@ void Cluster::sample_telemetry(common::Ticks now) {
     }
   };
   if (arena_) {
+    // One closed-form phase walk per node (sample_node fuses power and
+    // energy); summation stays in node-index order so series content is
+    // bit-identical at any sim_jobs and in either sweep mode.
     for (int i = 0; i < config_.n_nodes; ++i) {
       bool idle = arena_->node_done(i) || arena_->node_crashed(i);
-      integrate(arena_->node_cap(i), arena_->node_demand(i), 0.0, idle,
-                idle ? 0.0 : arena_->node_power(i, now), 0.0);
+      FederatedArena::NodeSample ns = arena_->sample_node(i, now);
+      integrate(ns.cap, ns.demand, 0.0, idle, idle ? 0.0 : ns.power,
+                ns.energy_j);
     }
-    hs.energy_joules = arena_->total_energy_joules(now);
   } else {
     switch (config_.manager) {
       case ManagerKind::kPenelope: {
@@ -476,8 +486,8 @@ void Cluster::build(std::vector<workload::WorkloadProfile> profiles) {
     ac.initial_cap_watts = config_.initial_node_cap();
     ac.epsilon_watts = config_.epsilon_watts;
     ac.period = config_.period;
-    ac.start_jitter = config_.start_jitter;
     ac.request_timeout = config_.request_timeout;
+    ac.active_set = config_.arena_active_set;
     ac.safe_range = config_.rapl.safe_range;
     ac.perf = config_.perf;
     ac.federation.pools = config_.federation_pools;
@@ -906,8 +916,8 @@ double Cluster::node_power(int node) const {
   // instantaneous_power advances the analytic model to now(), which is
   // a const-view operation conceptually but mutates cached state; the
   // actors expose non-const bodies for exactly this reason.
+  if (arena_) return arena_->node_power(node, now_ticks());
   auto* self = const_cast<Cluster*>(this);
-  if (arena_) return self->arena_->node_power(node, now_ticks());
   switch (config_.manager) {
     case ManagerKind::kFair:
       return self->fair_nodes_.at(idx)->body().rapl().instantaneous_power(
@@ -930,8 +940,8 @@ double Cluster::node_power(int node) const {
 double Cluster::total_energy_joules() const {
   // Advancing the analytic model to now() mutates cached state (same
   // note as node_power).
+  if (arena_) return arena_->total_energy_joules(now_ticks());
   auto* self = const_cast<Cluster*>(this);
-  if (arena_) return self->arena_->total_energy_joules(now_ticks());
   double total = 0.0;
   for (auto& node : self->fair_nodes_)
     total += node->body().rapl().total_energy_joules(now_ticks());
@@ -958,7 +968,7 @@ double Cluster::node_demand(int node) const {
 }
 
 double Cluster::node_fraction_complete(int node) const {
-  if (arena_) return arena_->node_fraction_complete(node);
+  if (arena_) return arena_->node_fraction_complete(node, now_ticks());
   auto idx = static_cast<std::size_t>(node);
   switch (config_.manager) {
     case ManagerKind::kFair:

@@ -125,6 +125,13 @@ struct ClusterConfig {
   common::Ticks federation_period = 0;
   /// Local serving buffer a pool retains before federating surplus up.
   double federation_low_water_watts = 30.0;
+  /// Arena sweep scheduling (federated path only): true (default) runs
+  /// active-set sweeps — per-shard dirty bitsets plus closed-form wake
+  /// times, so a period costs O(changed nodes). false brute-force
+  /// sweeps every node every period. Traces, conservation, and energy
+  /// are bit-identical either way (the arena parity suite pins this);
+  /// the knob exists for that comparison and for benchmarking.
+  bool arena_active_set = true;
   /// Penelope pool request processing: a local cache probe.
   net::SerialServerConfig pool_service =
       net::SerialServerConfig{.service_min = 5, .service_max = 10,

@@ -34,8 +34,20 @@ EventId Simulator::schedule_periodic_pre(Ticks first_at, Ticks period,
   PEN_CHECK_MSG(first_at >= now_, "cannot schedule into the past");
   PEN_CHECK(period > 0);
   PEN_CHECK(static_cast<bool>(fn));
-  PEN_CHECK_MSG(next_pre_seq_ < kFirstNormalSeq, "pre-lane sequence space exhausted");
+  PEN_CHECK_MSG(next_pre_seq_ < kFirstSweepSeq, "pre-lane sequence space exhausted");
   EventId id = heap_.insert(first_at, next_pre_seq_++, period, std::move(fn));
+  if (heap_.size() > pending_high_water_) pending_high_water_ = heap_.size();
+  return id;
+}
+
+EventId Simulator::schedule_periodic_sweep(Ticks first_at, Ticks period,
+                                           EventFn fn) {
+  PEN_CHECK_MSG(first_at >= now_, "cannot schedule into the past");
+  PEN_CHECK(period > 0);
+  PEN_CHECK(static_cast<bool>(fn));
+  PEN_CHECK_MSG(next_sweep_seq_ < kFirstNormalSeq,
+                "sweep-lane sequence space exhausted");
+  EventId id = heap_.insert(first_at, next_sweep_seq_++, period, std::move(fn));
   if (heap_.size() > pending_high_water_) pending_high_water_ = heap_.size();
   return id;
 }
@@ -54,24 +66,37 @@ bool Simulator::pop_and_run_next() {
   TimerHeap::Fired event = heap_.fire_top();
   PEN_DCHECK(event.at >= now_);
   now_ = event.at;
-  ++executed_;
-  trace_hash_ += trace_mix(static_cast<std::uint64_t>(event.at));
+  // Sweep-band firings are trace-neutral: they are engine infrastructure
+  // (one per shard, so their count depends on sim_jobs), not protocol
+  // events. Everything a sweep does still reaches the trace through the
+  // events it causes.
+  const bool sweep =
+      event.seq >= kFirstSweepSeq && event.seq < kFirstNormalSeq;
+  if (!sweep) {
+    ++executed_;
+    trace_hash_ += trace_mix(static_cast<std::uint64_t>(event.at));
+  }
   event.fn(now_);
   if (event.periodic) {
     // Re-arm only if the callback did not cancel the timer, and assign
     // the re-arm sequence number *after* the callback so events it
     // scheduled at the next firing time sort ahead of that firing —
     // the order the old schedule-a-fresh-event implementation produced,
-    // which the golden-trace tests pin. Pre-lane timers re-arm from the
-    // pre band so every firing keeps its run-first-at-tied-time rank.
+    // which the golden-trace tests pin. Pre- and sweep-lane timers
+    // re-arm from their own bands so every firing keeps its lane rank
+    // at tied timestamps.
     if (heap_.contains(event.id)) {
-      const bool pre = event.seq < kFirstNormalSeq;
-      if (pre) {
-        PEN_CHECK_MSG(next_pre_seq_ < kFirstNormalSeq,
+      std::uint64_t* lane = &next_seq_;
+      if (event.seq < kFirstSweepSeq) {
+        PEN_CHECK_MSG(next_pre_seq_ < kFirstSweepSeq,
                       "pre-lane sequence space exhausted");
+        lane = &next_pre_seq_;
+      } else if (sweep) {
+        PEN_CHECK_MSG(next_sweep_seq_ < kFirstNormalSeq,
+                      "sweep-lane sequence space exhausted");
+        lane = &next_sweep_seq_;
       }
-      heap_.rearm(event.id, event.at, pre ? next_pre_seq_++ : next_seq_++,
-                  std::move(event.fn));
+      heap_.rearm(event.id, event.at, (*lane)++, std::move(event.fn));
     }
   }
   return true;
@@ -108,9 +133,17 @@ PeriodicTask::PeriodicTask(Simulator& sim, Ticks first_at, Ticks period,
     : sim_(sim), period_(period) {
   PEN_CHECK(period_ > 0);
   PEN_CHECK(fn != nullptr);
-  id_ = order == TaskOrder::kPre
-            ? sim_.schedule_periodic_pre(first_at, period, std::move(fn))
-            : sim_.schedule_periodic(first_at, period, std::move(fn));
+  switch (order) {
+    case TaskOrder::kPre:
+      id_ = sim_.schedule_periodic_pre(first_at, period, std::move(fn));
+      break;
+    case TaskOrder::kSweep:
+      id_ = sim_.schedule_periodic_sweep(first_at, period, std::move(fn));
+      break;
+    case TaskOrder::kNormal:
+      id_ = sim_.schedule_periodic(first_at, period, std::move(fn));
+      break;
+  }
 }
 
 PeriodicTask::~PeriodicTask() { cancel(); }

@@ -95,6 +95,22 @@ class Simulator {
   /// drive protocol state should use the normal lane.
   EventId schedule_periodic_pre(Ticks first_at, Ticks period, EventFn fn);
 
+  /// The sweep lane: a periodic event that (a) sorts after every pre
+  /// event and before every normal event at the same timestamp, and
+  /// (b) is *trace-neutral* — firings bump neither executed_events()
+  /// nor trace_hash(). This exists for batched epoch sweeps (one event
+  /// per engine walking a column range, cluster/arena.*): the sweep is
+  /// an execution strategy, not a protocol event, and a serial run
+  /// schedules one of them where a K-shard run schedules K. Counting
+  /// them would make the trace depend on the engine shape, breaking the
+  /// bit-identical-at-any-sim_jobs contract; everything the sweep *does*
+  /// (sends, timeouts, completions) still lands in the trace through the
+  /// events it causes. The lane position gives the deterministic
+  /// tie-break both engines need: observers (pre/control) see pre-sweep
+  /// state, and deliveries at the sweep's timestamp (normal lane) run
+  /// after it, in every engine.
+  EventId schedule_periodic_sweep(Ticks first_at, Ticks period, EventFn fn);
+
   /// Change a periodic event's period for re-arms after the next firing
   /// (the already-armed firing keeps its time). When called from inside
   /// the event's own callback the re-arm has not happened yet, so the
@@ -175,11 +191,13 @@ class Simulator {
   std::uint64_t trace_hash() const { return trace_hash_; }
 
  private:
-  /// Normal events tie-break from this base upward; [1, kFirstNormalSeq)
-  /// is reserved for the pre lane so a pre event always sorts first at
-  /// equal timestamps. Only the relative order within a lane matters, so
-  /// shifting the normal base leaves every existing schedule bit-for-bit
-  /// unchanged.
+  /// Sequence-number bands, one per lane. At equal timestamps the lanes
+  /// sort pre < sweep < normal: pre is [1, kFirstSweepSeq), sweep is
+  /// [kFirstSweepSeq, kFirstNormalSeq), normal is kFirstNormalSeq and
+  /// up. Only the relative order within a lane matters, so carving the
+  /// sweep band out of the (never remotely exhausted) pre band leaves
+  /// every existing schedule bit-for-bit unchanged.
+  static constexpr std::uint64_t kFirstSweepSeq = std::uint64_t{1} << 31;
   static constexpr std::uint64_t kFirstNormalSeq = std::uint64_t{1} << 32;
 
   bool pop_and_run_next();
@@ -187,6 +205,7 @@ class Simulator {
   Ticks now_ = 0;
   std::uint64_t next_seq_ = kFirstNormalSeq;
   std::uint64_t next_pre_seq_ = 1;
+  std::uint64_t next_sweep_seq_ = kFirstSweepSeq;
   bool stopped_ = false;
   std::uint64_t executed_ = 0;
   std::uint64_t trace_hash_ = 0;
@@ -204,8 +223,10 @@ class Simulator {
 ///
 /// Tie-break lane for PeriodicTask: kNormal events order by scheduling
 /// sequence among equal timestamps; kPre events run before any normal
-/// event at the same timestamp (see Simulator::schedule_periodic_pre).
-enum class TaskOrder { kNormal, kPre };
+/// event at the same timestamp (see Simulator::schedule_periodic_pre);
+/// kSweep events run between the two and are trace-neutral (see
+/// Simulator::schedule_periodic_sweep).
+enum class TaskOrder { kNormal, kPre, kSweep };
 
 /// Thin RAII wrapper over Simulator::schedule_periodic: one engine-side
 /// timer serves every firing, with no per-firing closure construction.

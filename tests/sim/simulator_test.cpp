@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -305,6 +306,53 @@ TEST(PeriodicTask, CallbackMayCancelSafely) {
   });
   sim.run_until(100);
   EXPECT_EQ(count, 1);
+}
+
+TEST(SweepLane, OrdersBetweenPreAndNormalAtEqualTimestamps) {
+  // pre < sweep < normal at tied timestamps, across re-arms: observers
+  // see pre-sweep state, and deliveries scheduled for the sweep's
+  // timestamp run after it — in every engine, every period.
+  Simulator sim;
+  std::vector<std::string> order;
+  PeriodicTask normal(sim, 10, 10, [&](Ticks) { order.push_back("n"); });
+  PeriodicTask sweep(sim, 10, 10, [&](Ticks) { order.push_back("s"); },
+                     TaskOrder::kSweep);
+  PeriodicTask pre(sim, 10, 10, [&](Ticks) { order.push_back("p"); },
+                   TaskOrder::kPre);
+  sim.run_until(30);
+  EXPECT_EQ(order, (std::vector<std::string>{"p", "s", "n", "p", "s", "n",
+                                             "p", "s", "n"}));
+}
+
+TEST(SweepLane, FiringsAreTraceNeutral) {
+  // A sweep firing bumps neither executed_events nor trace_hash — its
+  // event count depends on the engine shape (one per shard), so letting
+  // it into the trace would break sim_jobs invariance. Events the sweep
+  // schedules land in the trace as usual.
+  Simulator with_sweep;
+  int fired = 0;
+  with_sweep.schedule_periodic_sweep(10, 10, [&](Ticks t) {
+    ++fired;
+    with_sweep.schedule_at(t, [] {});  // a normal event it causes
+  });
+  with_sweep.run_until(50);
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(with_sweep.executed_events(), 5u);  // only the caused events
+
+  Simulator plain;
+  for (Ticks t : {10, 20, 30, 40, 50}) plain.schedule_at(t, [] {});
+  plain.run_until(50);
+  EXPECT_EQ(with_sweep.trace_hash(), plain.trace_hash());
+}
+
+TEST(SweepLane, CancelInsideCallbackStopsRearm) {
+  Simulator sim;
+  int count = 0;
+  EventId id = sim.schedule_periodic_sweep(5, 5, [&](Ticks) {
+    if (++count == 3) sim.cancel(id);
+  });
+  sim.run_until(100);
+  EXPECT_EQ(count, 3);
 }
 
 }  // namespace
