@@ -1,0 +1,124 @@
+// Deterministic fault-schedule explorer driver.
+//
+// Sweeps a swarm of (seed, schedule) pairs through the simulated
+// Penelope cluster, judges every run with the invariant oracles, and
+// shrinks any violating schedule to a minimal fault-event repro plus a
+// one-line `run_experiment` replay command.
+//
+//   ./dst_explore                          # default 32x32 = 1024 pairs
+//   ./dst_explore seeds=8 schedules=8      # quick look
+//   ./dst_explore plant_bug=1              # self-test: find the planted
+//                                          # grant-dedup regression
+//
+// Exit status: 0 when no oracle fired (or when plant_bug=1 and the bug
+// was found and shrunk), 1 otherwise — so CI can gate on both modes.
+#include <cstdio>
+#include <string>
+
+#include "common/config.hpp"
+#include "dst/explorer.hpp"
+
+namespace {
+
+constexpr const char* kUsage = R"(dst_explore: fault-schedule swarm + oracle + shrinker
+
+  knobs (key=value):
+    nodes=N           cluster size                       [8]
+    seeds=N           workload seeds in the swarm        [32]
+    schedules=N       schedule variants per seed         [32]
+    seed=N            base seed                          [1]
+    jobs=N            swarm worker threads (0=hw)        [0]
+    duration_scale=F  NPB workload scale                 [0.3]
+    horizon_s=F       faults land in [1, horizon)        [40]
+    episodes=N        fault episodes per schedule        [4]
+    watchdog_s=F      liveness watchdog window           [30]
+    shrink=0|1        ddmin violating schedules          [1]
+    plant_bug=0|1     self-test against the planted bug  [0]
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  penelope::common::Config config;
+  if (!config.parse_args(argc, argv)) {
+    std::fprintf(stderr, "%s\n%s", config.error().c_str(), kUsage);
+    return 2;
+  }
+
+  penelope::dst::ExplorerConfig cfg;
+  cfg.n_nodes = config.get_int("nodes", 8);
+  cfg.seeds = config.get_int("seeds", 32);
+  cfg.schedules = config.get_int("schedules", 32);
+  cfg.base_seed = static_cast<std::uint64_t>(config.get_int("seed", 1));
+  cfg.jobs = config.get_int("jobs", 0);
+  cfg.duration_scale = config.get_double("duration_scale", 0.3);
+  cfg.spec.horizon_s = config.get_double("horizon_s", 40.0);
+  cfg.spec.episodes = config.get_int("episodes", 4);
+  cfg.watchdog_s = config.get_double("watchdog_s", 30.0);
+  cfg.plant_bug = config.get_bool("plant_bug", false);
+  const bool do_shrink = config.get_bool("shrink", true);
+  if (!config.unused_keys().empty()) {
+    for (const std::string& key : config.unused_keys())
+      std::fprintf(stderr, "unknown option: %s\n", key.c_str());
+    std::fprintf(stderr, "%s", kUsage);
+    return 2;
+  }
+
+  std::printf("dst_explore: %d seeds x %d schedules = %d runs "
+              "(nodes=%d, horizon=%gs, episodes=%d%s)\n",
+              cfg.seeds, cfg.schedules, cfg.seeds * cfg.schedules,
+              cfg.n_nodes, cfg.spec.horizon_s, cfg.spec.episodes,
+              cfg.plant_bug ? ", PLANTED BUG ARMED" : "");
+
+  penelope::dst::SwarmReport report = penelope::dst::run_swarm(cfg);
+  std::printf("swarm: %zu runs, %zu violating, outcome hash %016llx\n",
+              report.runs, report.violating_runs,
+              static_cast<unsigned long long>(report.outcome_hash));
+
+  std::size_t shown = 0;
+  for (const penelope::dst::RunOutcome& out : report.violations) {
+    if (++shown > 5) {
+      std::printf("... and %zu more violating runs\n",
+                  report.violations.size() - 5);
+      break;
+    }
+    std::printf("\nVIOLATION seed=%llu salt=%016llx\n  schedule: %s\n",
+                static_cast<unsigned long long>(out.seed),
+                static_cast<unsigned long long>(out.schedule_salt),
+                out.schedule.c_str());
+    for (const penelope::dst::Violation& v : out.violations)
+      std::printf("  oracle %-12s %s\n", v.oracle.c_str(),
+                  v.detail.c_str());
+    if (!do_shrink) continue;
+
+    std::vector<penelope::cluster::FaultEvent> schedule;
+    if (!penelope::dst::parse_schedule(out.schedule, &schedule))
+      continue;
+    std::size_t spent = 0;
+    std::vector<penelope::cluster::FaultEvent> minimal =
+        penelope::dst::shrink_schedule(cfg, out.seed, schedule,
+                                       out.violations.front().oracle,
+                                       &spent);
+    std::printf("  shrunk %zu -> %zu fault events in %zu runs\n",
+                schedule.size(), minimal.size(), spent);
+    std::printf("  minimal: %s\n",
+                penelope::dst::format_schedule(minimal).c_str());
+    std::printf("  repro: %s\n",
+                penelope::dst::repro_command(cfg, out.seed, minimal)
+                    .c_str());
+  }
+
+  if (cfg.plant_bug) {
+    // Self-test mode: the planted bug MUST be found.
+    if (report.violating_runs == 0) {
+      std::fprintf(stderr,
+                   "plant_bug=1 but no oracle fired: the explorer lost "
+                   "its ability to find known bugs\n");
+      return 1;
+    }
+    std::printf("\nplanted bug found by %zu/%zu runs\n",
+                report.violating_runs, report.runs);
+    return 0;
+  }
+  return report.violating_runs == 0 ? 0 : 1;
+}

@@ -14,6 +14,7 @@
 #include "cluster/cluster.hpp"
 #include "common/config.hpp"
 #include "common/stats.hpp"
+#include "dst/explorer.hpp"
 #include "sweep/sweep.hpp"
 #include "telemetry/export.hpp"
 #include "workload/npb.hpp"
@@ -43,6 +44,13 @@ const char* kUsage =
     "  (windowed time-series + health probes; series_window in ms,\n"
     "  sampling on changes the trace vs off but is bit-identical for\n"
     "  every sim_jobs value)\n"
+    "fault-schedule / DST knobs:\n"
+    "  [schedule='crash@12.5,3/recover@14,3/...']  (see src/dst/\n"
+    "  schedule.hpp for the grammar; composes with kill_*_at=)\n"
+    "  [watchdog_s=S] [watchdog_abort=0] [corrupt=0.0]\n"
+    "  [dst=1]  (adopt the DST explorer's exact cluster base, so a\n"
+    "  dst_explore repro line replays byte-identically)\n"
+    "  [dst_bug=0]  (planted-bug test hook; only for DST self-tests)\n"
     "sweep mode (prints one table row per run; parallel output is\n"
     "byte-identical to jobs=1):\n"
     "  [seeds=1,2,3] [managers=penelope,central] [jobs=N] "
@@ -119,6 +127,24 @@ int main(int argc, char** argv) {
   cc.epsilon_watts = config.get_double("epsilon", 5.0);
   cc.seed = static_cast<std::uint64_t>(config.get_int("seed", 42));
   cc.sim_jobs = config.get_int("sim_jobs", 1);
+
+  // DST repro mode: swap in the fault-schedule explorer's cluster base
+  // so `dst_explore`'s one-line repro commands replay the exact run
+  // (same manager, discovery knobs, audit cadence, watchdog, journal).
+  const bool dst_mode = config.get_bool("dst", false);
+  const double watchdog_s =
+      config.get_double("watchdog_s", dst_mode ? 30.0 : 0.0);
+  const bool dst_bug = config.get_bool("dst_bug", false);
+  if (dst_mode) {
+    dst::ExplorerConfig dcfg;
+    dcfg.n_nodes = cc.n_nodes;
+    dcfg.duration_scale = config.get_double("duration_scale", 0.3);
+    dcfg.watchdog_s = watchdog_s;
+    dcfg.plant_bug = dst_bug;
+    cluster::ClusterConfig base = dst::make_dst_config(dcfg, cc.seed);
+    base.sim_jobs = cc.sim_jobs;
+    cc = base;
+  }
   cc.network.loss_probability = config.get_double("loss", 0.0);
   cc.network.duplicate_probability = config.get_double("dup", 0.0);
   cc.network.reorder_probability = config.get_double("reorder", 0.0);
@@ -161,6 +187,25 @@ int main(int argc, char** argv) {
         common::from_seconds(kill_mgmt_at),
         config.get_int("kill_mgmt_node", 0)});
   }
+  std::string schedule_text = config.get_string("schedule", "");
+  std::vector<cluster::FaultEvent> schedule;
+  if (!schedule_text.empty()) {
+    std::string schedule_error;
+    if (!dst::parse_schedule(schedule_text, &schedule,
+                             &schedule_error)) {
+      std::fprintf(stderr, "error: bad schedule: %s\n%s\n",
+                   schedule_error.c_str(), kUsage);
+      return 2;
+    }
+    cc.faults.insert(cc.faults.end(), schedule.begin(), schedule.end());
+  }
+  if (!dst_mode) {
+    cc.watchdog_s = watchdog_s;
+    cc.test_revert_grant_fix = dst_bug;
+  }
+  cc.watchdog_abort = config.get_bool("watchdog_abort", false);
+  cc.network.corrupt_probability =
+      config.get_double("corrupt", cc.network.corrupt_probability);
 
   std::string trace_path = config.get_string("trace", "");
   std::string trace_format = config.get_string("trace_format", "csv");
@@ -207,8 +252,10 @@ int main(int argc, char** argv) {
   }
 
   workload::NpbConfig npb;
-  npb.duration_scale = config.get_double("duration_scale", 1.0);
-  npb.demand_jitter_frac = 0.02;
+  npb.duration_scale =
+      config.get_double("duration_scale", dst_mode ? 0.3 : 1.0);
+  // DST runs use the explorer's jitter so repro lines replay exactly.
+  npb.demand_jitter_frac = dst_mode ? 0.03 : 0.02;
   npb.seed = cc.seed;
 
   // Sweep mode: seeds= and/or managers= expand into independent runs
@@ -283,6 +330,11 @@ int main(int argc, char** argv) {
               workload::app_name(app_b), cc.n_nodes / 2, cc.n_nodes - 1);
   std::printf("completed          %s\n",
               result.all_completed ? "yes" : "NO (deadline)");
+  if (cc.watchdog_s > 0.0) {
+    std::printf("liveness           %s (watchdog_s=%g)\n",
+                result.wedged ? "WEDGED (see dump above)" : "ok",
+                cc.watchdog_s);
+  }
   std::printf("runtime            %.2f s\n", result.runtime_seconds);
   std::printf("performance        %.6f (1/runtime)\n", result.performance);
   std::printf("requests sent      %llu (%llu timeouts)\n",
@@ -318,6 +370,19 @@ int main(int argc, char** argv) {
               "%.2e W over %zu audits\n",
               result.audit.max_abs_conservation_error,
               result.audit.max_live_overshoot, result.audit.audits);
+  if (dst_mode) {
+    // Judge the replay with the same oracles the explorer used, so a
+    // `dst_explore` repro line reproduces the violation verbatim.
+    dst::OracleFacts facts = dst::gather_facts(cl, result, schedule);
+    std::vector<dst::Violation> violations = dst::check_oracles(facts);
+    if (violations.empty()) {
+      std::printf("oracles            all clean\n");
+    } else {
+      for (const dst::Violation& v : violations)
+        std::printf("oracle VIOLATION   %-12s %s\n", v.oracle.c_str(),
+                    v.detail.c_str());
+    }
+  }
   if (cc.series_interval > 0 && !cl.health().probes().empty()) {
     const telemetry::HealthProbe& last = cl.health().probes().back();
     auto conv = cl.health().convergence_seconds(0);

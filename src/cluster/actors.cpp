@@ -472,6 +472,7 @@ void PenelopeNodeActor::on_tick(common::Ticks now) {
   if (outstanding_) resolve_outstanding_as_timeout();
 
   core::StepOutcome outcome = decider_.begin_step(measured);
+  metrics_.record_decider_step();
   body_.rapl().set_cap(decider_.cap());
 
   switch (outcome.kind) {
@@ -546,7 +547,10 @@ void PenelopeNodeActor::on_grant(const net::Message& msg) {
 
   // At-most-once: a redelivered grant is counted and dropped before any
   // other branch can apply, bank, or strand its watts a second time.
-  if (!grant_window_.insert(grant->txn_id)) {
+  // The DST planted-bug hook reverts this hardening (and the late-grant
+  // in-flight decrement below) so the swarm has a real bug to find.
+  if (!body_.config().test_revert_grant_fix &&
+      !grant_window_.insert(grant->txn_id)) {
     metrics_.record_duplicate_drop(grant->watts);
     metrics_.recorder().record(sim_.now(), grant->txn_id,
                                telemetry::TxnEventKind::kDuplicateDropped,
@@ -624,9 +628,11 @@ void PenelopeNodeActor::on_grant(const net::Message& msg) {
     metrics_.record_turnaround(stale->second, sim_.now());
     stale_sent_times_.erase(stale);
   } else {
-    PEN_LOG_WARN("penelope node %d: grant for unknown txn %llu",
-                 body_.config().id,
-                 static_cast<unsigned long long>(grant->txn_id));
+    // Rate-limited: a hostile fault schedule (or the DST planted bug)
+    // can make unknown-txn grants arrive in bursts.
+    PEN_LOG_WARN_RATED(64, "penelope node %d: grant for unknown txn %llu",
+                       body_.config().id,
+                       static_cast<unsigned long long>(grant->txn_id));
   }
   // Grant arrivals also bound the stale map, so shrinking it does not
   // have to wait for the next timeout.
@@ -635,7 +641,8 @@ void PenelopeNodeActor::on_grant(const net::Message& msg) {
                              telemetry::TxnEventKind::kLateGrant,
                              body_.config().id, msg.src, grant->watts);
   if (grant->watts > 0.0) {
-    metrics_.grant_arrived(grant->watts);
+    if (!body_.config().test_revert_grant_fix)
+      metrics_.grant_arrived(grant->watts);
     pool_.deposit(grant->watts);
     metrics_.recorder().record(sim_.now(), grant->txn_id,
                                telemetry::TxnEventKind::kBanked,
@@ -815,6 +822,7 @@ void CentralClientActor::on_tick(common::Ticks now) {
   if (outstanding_) resolve_outstanding_as_timeout();
 
   central::ClientStepOutcome outcome = client_.begin_step(measured);
+  metrics_.record_decider_step();
   body_.rapl().set_cap(client_.cap());
 
   switch (outcome.kind) {

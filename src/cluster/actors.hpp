@@ -96,6 +96,11 @@ struct NodeConfig {
   bool membership_enabled = false;
   core::MembershipConfig membership;
   std::vector<NodeId> membership_peers;
+  /// TEST HOOK (DST planted bug): revert the PR 2 grant hardening —
+  /// duplicate grants bypass the dedup window and late grants deposit
+  /// into the pool without the in-flight decrement, minting watts. Never
+  /// enable outside the fault-schedule explorer's self-test.
+  bool test_revert_grant_fix = false;
   std::uint64_t seed = 1;
 };
 
@@ -216,6 +221,12 @@ class PenelopeNodeActor {
   /// so tests can assert the bound under sustained loss).
   std::size_t stale_entries() const { return stale_sent_times_.size(); }
 
+  /// Transaction id of the currently outstanding request, 0 if none
+  /// (used by the liveness watchdog's diagnostic dump).
+  std::uint64_t outstanding_txn() const {
+    return outstanding_ ? outstanding_->txn : 0;
+  }
+
   bool peer_blacklisted(NodeId peer) const;
   /// Operational/test control: refuse to probe `peer` until `until`,
   /// as if it had accumulated the configured consecutive timeouts.
@@ -320,6 +331,11 @@ class CentralClientActor {
   double apply_budget_delta(double delta_watts);
 
   std::size_t stale_entries() const { return stale_sent_times_.size(); }
+
+  /// Outstanding request's txn id, 0 if none (watchdog diagnostics).
+  std::uint64_t outstanding_txn() const {
+    return outstanding_ ? outstanding_->txn : 0;
+  }
 
  private:
   void on_tick(common::Ticks now);

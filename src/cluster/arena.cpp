@@ -348,6 +348,9 @@ void FederatedArena::schedule_wake(Slice& s, int node, common::Ticks now) {
 
 void FederatedArena::sweep(std::size_t slice, common::Ticks now) {
   Slice& s = slices_[slice];
+  // One progress beat per slice epoch, even when every node is at
+  // equilibrium (an idle-but-deciding arena is alive, not wedged).
+  metrics_.record_decider_step();
   if (!config_.active_set) {
     // Brute force: tick every node in index order. Kept branch-light and
     // prefetched — this is also the first-epoch shape of the active-set

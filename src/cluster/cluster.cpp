@@ -173,12 +173,19 @@ Cluster::Cluster(ClusterConfig config,
   arm_faults();
   arm_churn();
 
+  if (config_.watchdog_s > 0.0) {
+    PEN_CHECK_MSG(config_.audit_interval > 0,
+                  "watchdog_s needs the audit task to piggyback on");
+  }
   audit_task_ = std::make_unique<sim::PeriodicTask>(
       control_sim(), config_.audit_interval, config_.audit_interval,
-      [this](common::Ticks) {
+      [this](common::Ticks now) {
         audit_summary_.observe(audit());
         metrics_.note_pending_events_high_water(
             static_cast<double>(pending_high_water()));
+        // The watchdog rides the audit cadence — no events of its own,
+        // so arming it cannot perturb a pinned trace.
+        if (config_.watchdog_s > 0.0) watchdog_check(now);
       });
 
   if (config_.trace_interval > 0) {
@@ -450,6 +457,7 @@ NodeConfig Cluster::make_node_config(int node) {
   nc.push_fraction = config_.push_fraction;
   nc.membership_enabled = config_.membership_enabled;
   nc.membership = config_.membership;
+  nc.test_revert_grant_fix = config_.test_revert_grant_fix;
   if (config_.membership_enabled &&
       config_.manager == ManagerKind::kPenelope) {
     // Full-mesh liveness: every client watches every other client.
@@ -619,6 +627,50 @@ void Cluster::arm_faults() {
           if (node >= 0 && node < config_.n_nodes) recover_node(node);
         });
         break;
+      case FaultEvent::Kind::kAsymPartition:
+        control_sim().schedule_at(fault.at, [this, split = fault.node] {
+          std::vector<net::NodeId> from;
+          std::vector<net::NodeId> to;
+          for (int i = 0; i < config_.n_nodes; ++i) {
+            (i < split ? from : to).push_back(i);
+          }
+          // Mirror kPartition's island shape: the server node (if any)
+          // sits on the unreachable side, so central grants vanish while
+          // requests still arrive.
+          to.push_back(config_.n_nodes);
+          net_->set_one_way_block(from, to);
+        });
+        break;
+      case FaultEvent::Kind::kHealAsymPartition:
+        control_sim().schedule_at(fault.at,
+                                  [this] { net_->clear_one_way_block(); });
+        break;
+      case FaultEvent::Kind::kPauseNode:
+        control_sim().schedule_at(fault.at, [this, node = fault.node] {
+          if (node >= 0 && node <= config_.n_nodes)
+            net_->pause_node(node);
+        });
+        break;
+      case FaultEvent::Kind::kResumeNode:
+        control_sim().schedule_at(fault.at, [this, node = fault.node] {
+          if (node >= 0 && node <= config_.n_nodes)
+            net_->resume_node(node);
+        });
+        break;
+      case FaultEvent::Kind::kLatencyBurst:
+        control_sim().schedule_at(
+            fault.at, [this, node = fault.node,
+                       extra = common::from_seconds(fault.magnitude),
+                       until = fault.until] {
+              if (node >= 0 && node <= config_.n_nodes)
+                net_->set_latency_burst(node, extra, until);
+            });
+        break;
+      case FaultEvent::Kind::kSetFaultRates:
+        control_sim().schedule_at(fault.at, [this, rates = fault.rates] {
+          net_->set_fault_rates(rates);
+        });
+        break;
     }
   }
 }
@@ -765,6 +817,85 @@ void Cluster::run_for(double seconds) {
       static_cast<double>(pending_high_water()));
 }
 
+std::uint64_t Cluster::node_outstanding_txn(int node) const {
+  PEN_CHECK(node >= 0 && node < config_.n_nodes);
+  auto idx = static_cast<std::size_t>(node);
+  switch (config_.manager) {
+    case ManagerKind::kPenelope:
+      if (arena_) return 0;  // arena nodes fold timeouts inline
+      return penelope_nodes_.at(idx)->outstanding_txn();
+    case ManagerKind::kCentral:
+    case ManagerKind::kHierarchical:
+      return central_clients_.at(idx)->outstanding_txn();
+    case ManagerKind::kFair:
+      return 0;
+  }
+  return 0;
+}
+
+void Cluster::watchdog_check(common::Ticks now) {
+  if (wedged_) return;
+  const std::uint64_t steps = metrics_.decider_steps();
+  if (steps != watchdog_last_steps_) {
+    watchdog_last_steps_ = steps;
+    watchdog_last_progress_ = now;
+    return;
+  }
+  if (completed_nodes_ >= config_.n_nodes) return;  // finished, not stuck
+  if (config_.manager == ManagerKind::kFair) return;  // no decider plane
+  // A stall is only a wedge if some node could still make progress: at
+  // least one incomplete node that is not crashed. All-crashed clusters
+  // are expected strands (recovery may still be scheduled), not wedges.
+  bool any_live_incomplete = false;
+  for (int i = 0; i < config_.n_nodes; ++i) {
+    if (completions_[static_cast<std::size_t>(i)]) continue;
+    if (node_crashed(i)) continue;
+    any_live_incomplete = true;
+    break;
+  }
+  if (!any_live_incomplete) return;
+  if (now - watchdog_last_progress_ <
+      common::from_seconds(config_.watchdog_s))
+    return;
+  watchdog_dump(now);
+  wedged_ = true;
+  PEN_CHECK_MSG(!config_.watchdog_abort,
+                "liveness watchdog: decider plane wedged (see dump above)");
+  if (engine_) {
+    engine_->stop();
+  } else {
+    sim_.stop();
+  }
+}
+
+void Cluster::watchdog_dump(common::Ticks now) {
+  PEN_LOG_WARN(
+      "liveness watchdog: no decider progress for %.1fs (t=%.3fs, "
+      "decider_steps=%llu, pending_events=%zu, completed=%d/%d)",
+      common::to_seconds(now - watchdog_last_progress_),
+      common::to_seconds(now),
+      static_cast<unsigned long long>(watchdog_last_steps_),
+      pending_events(), completed_nodes_, config_.n_nodes);
+  for (int i = 0; i < config_.n_nodes; ++i) {
+    const bool done = completions_[static_cast<std::size_t>(i)].has_value();
+    PEN_LOG_WARN(
+        "  node %d: %s%s inc=%u outstanding_txn=%llu cap=%.1fW pool=%.1fW",
+        i, done ? "done" : "running",
+        node_crashed(i) ? " CRASHED" : "", node_incarnation(i),
+        static_cast<unsigned long long>(node_outstanding_txn(i)),
+        node_cap(i), node_pool_watts(i));
+  }
+  if (!health_.probes().empty()) {
+    const telemetry::HealthProbe& probe = health_.probes().back();
+    PEN_LOG_WARN(
+        "  last health probe: t=%.3fs active=%llu jain=%.4f "
+        "delivered=%.1fW drift=%.3g",
+        common::to_seconds(probe.at),
+        static_cast<unsigned long long>(probe.active_nodes), probe.jain,
+        probe.delivered_watts, probe.conservation_drift);
+  }
+}
+
 RunResult Cluster::collect_result() const {
   RunResult result;
   result.all_completed = completed_nodes_ == config_.n_nodes;
@@ -791,6 +922,7 @@ RunResult Cluster::collect_result() const {
   result.false_suspicions = metrics_.false_suspicions();
   result.nodes_declared_dead = metrics_.nodes_declared_dead();
   result.audit = audit_summary_;
+  result.wedged = wedged_;
   return result;
 }
 

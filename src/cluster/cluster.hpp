@@ -63,12 +63,39 @@ struct FaultEvent {
     /// incarnation and reclaims its own previous incarnation's residue
     /// (if no peer got there first).
     kRecoverNode,
+    /// Asymmetric (one-way) partition: messages from client nodes
+    /// [0, node) to [node, N) + server are dropped; the reverse
+    /// direction still flows. The failure mode a half-broken switch or
+    /// asymmetric routing exhibits — requests arrive, grants vanish.
+    kAsymPartition,
+    /// Heal any active one-way block.
+    kHealAsymPartition,
+    /// Pause a node (process stall / long GC / VM migration): volatile
+    /// state survives, inbound and outbound frames queue in the NIC and
+    /// replay at resume. No watts strand.
+    kPauseNode,
+    /// Resume a paused node.
+    kResumeNode,
+    /// Per-link latency burst: node `node`'s sends gain `magnitude`
+    /// seconds of extra one-way latency until t = `until`.
+    kLatencyBurst,
+    /// Swap the stochastic fault knobs (loss/dup/reorder/corrupt) to
+    /// `rates`; schedules emit these in pairs to make bounded hostile
+    /// windows, each independently droppable by the shrinker.
+    kSetFaultRates,
   };
   Kind kind = Kind::kKillServer;
   common::Ticks at = 0;
-  /// For kKillManagement/kCrashNode/kRecoverNode: which client node.
-  /// For kPartition: the split point.
+  /// For kKillManagement/kCrashNode/kRecoverNode/kPauseNode/kResumeNode/
+  /// kLatencyBurst: which client node. For kPartition/kAsymPartition:
+  /// the split point.
   net::NodeId node = 0;
+  /// kLatencyBurst only: burst end time.
+  common::Ticks until = 0;
+  /// kLatencyBurst only: extra one-way latency in seconds.
+  double magnitude = 0.0;
+  /// kSetFaultRates only.
+  net::FaultRates rates{};
 };
 
 struct ClusterConfig {
@@ -155,6 +182,28 @@ struct ClusterConfig {
   /// all_completed = false with runtime == deadline.
   double max_seconds = 3600.0;
   common::Ticks audit_interval = common::kTicksPerSecond;
+  /// Liveness watchdog (piggybacks on the audit task, so enabling it
+  /// schedules no extra events and leaves the trace hash untouched): if
+  /// sim time advances `watchdog_s` seconds with zero decider steps
+  /// while work remains and at least one node is neither crashed nor
+  /// done, the run is declared wedged — a diagnostic dump (pending
+  /// events, per-node outstanding txns, last health probe) goes to the
+  /// log, RunResult.wedged is set, and the run stops early (or aborts,
+  /// below). 0 (default) disables the watchdog; benches leave it off,
+  /// chaos/DST ctest jobs turn it on. Not meaningful under kFair (no
+  /// deciders). Requires audit_interval > 0 to observe progress.
+  double watchdog_s = 0.0;
+  /// When the watchdog fires: true aborts the process after the dump
+  /// (chaos ctest jobs — a wedged soak should fail loudly), false stops
+  /// the run and reports wedged (the DST explorer treats wedged as an
+  /// oracle violation and keeps exploring).
+  bool watchdog_abort = false;
+  /// TEST HOOK (DST planted bug): revert the PR 2 grant hardening —
+  /// duplicate grants bypass the at-most-once dedup window and late
+  /// grants deposit into the pool without the in-flight decrement,
+  /// minting watts. The known-injectable conservation bug the DST swarm
+  /// proves it can find and shrink. Never enable outside dst tests.
+  bool test_revert_grant_fix = false;
   /// Per-node trajectory sampling cadence; 0 disables tracing.
   common::Ticks trace_interval = 0;
   /// Transaction flight-recorder ring size; 0 (default) disables the
@@ -210,6 +259,9 @@ struct RunResult {
   std::uint64_t nodes_suspected = 0;
   std::uint64_t false_suspicions = 0;
   std::uint64_t nodes_declared_dead = 0;
+  /// Liveness watchdog verdict: true if the run was stopped because sim
+  /// time advanced watchdog_s without any decider progress.
+  bool wedged = false;
   AuditSummary audit;
 };
 
@@ -254,6 +306,7 @@ class Cluster {
   RunResult collect_result() const;
 
   ClusterMetrics& metrics() { return metrics_; }
+  const ClusterMetrics& metrics() const { return metrics_; }
   /// The serial engine. Sharded runs (sim_jobs > 1) have no single
   /// engine — use the engine-agnostic accessors below instead.
   sim::Simulator& simulator() {
@@ -294,6 +347,12 @@ class Cluster {
   bool node_crashed(int node) const;
   /// The node's current incarnation (1 until its first restart).
   std::uint32_t node_incarnation(int node) const;
+
+  /// Did the liveness watchdog declare this run wedged?
+  bool wedged() const { return wedged_; }
+  /// The txn id of the node's outstanding peer request, or 0 (classic
+  /// Penelope path; used by the watchdog's diagnostic dump and tests).
+  std::uint64_t node_outstanding_txn(int node) const;
 
   double node_cap(int node) const;
   double node_pool_watts(int node) const;  ///< Penelope only, else 0
@@ -407,6 +466,14 @@ class Cluster {
   common::Ticks last_completion_ = 0;
   std::vector<std::optional<common::Ticks>> completions_;
   AuditSummary audit_summary_;
+
+  /// Liveness watchdog state (watchdog_s > 0 only), advanced by the
+  /// audit task at audit_interval cadence.
+  void watchdog_check(common::Ticks now);
+  void watchdog_dump(common::Ticks now);
+  std::uint64_t watchdog_last_steps_ = 0;
+  common::Ticks watchdog_last_progress_ = 0;
+  bool wedged_ = false;
 };
 
 /// Build the paper's half/half workload assignment: nodes [0, n/2) run

@@ -40,6 +40,9 @@ ClusterMetrics::ClusterMetrics()
                       "watts moved by inter-pool transfers");
   requests_sent_ = registry_.counter("penelope_requests_sent_total", {},
                                      "power requests sent");
+  decider_steps_ = registry_.counter(
+      "penelope_decider_steps_total", {},
+      "decider control decisions (liveness watchdog progress signal)");
   pending_events_high_water_ = registry_.gauge(
       "penelope_pending_events_high_water", {},
       "most simulator events pending at once across the run's engines");

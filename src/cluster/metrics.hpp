@@ -205,6 +205,13 @@ class ClusterMetrics {
   void record_request_sent() { requests_sent_.inc(); }
   std::uint64_t requests_sent() const { return requests_sent_.value(); }
 
+  /// One decider made one control decision (a begin_step on the classic
+  /// path, a node sweep action on the arena path, a central client
+  /// step). The liveness watchdog compares successive readings: a run
+  /// whose clock advances while this stays flat is wedged.
+  void record_decider_step() { decider_steps_.inc(); }
+  std::uint64_t decider_steps() const { return decider_steps_.value(); }
+
   /// Honest heap-sizing feedback: the most simulator events ever pending
   /// at once across the run's engines, sampled by the cluster's audit
   /// task against Simulator::pending_high_water().
@@ -280,6 +287,7 @@ class ClusterMetrics {
   telemetry::Counter federated_transfers_;
   telemetry::Gauge federated_watts_moved_;
   telemetry::Counter requests_sent_;
+  telemetry::Counter decider_steps_;
   telemetry::Gauge pending_events_high_water_;
   /// Reclaim tags per dead node (few incarnations outstanding at once,
   /// so a flat scan beats a map — and each node's row is touched only by

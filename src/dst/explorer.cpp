@@ -1,0 +1,177 @@
+#include "dst/explorer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.hpp"
+#include "sweep/parallel.hpp"
+
+namespace penelope::dst {
+namespace {
+
+// splitmix64 finalizer: cheap, well-mixed fold for outcome hashing.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+workload::NpbConfig dst_npb(const ExplorerConfig& cfg,
+                            std::uint64_t seed) {
+  workload::NpbConfig npb;
+  npb.duration_scale = cfg.duration_scale;
+  npb.demand_jitter_frac = 0.03;
+  npb.seed = seed;
+  return npb;
+}
+
+}  // namespace
+
+cluster::ClusterConfig make_dst_config(const ExplorerConfig& cfg,
+                                       std::uint64_t seed) {
+  cluster::ClusterConfig cc;
+  cc.manager = cluster::ManagerKind::kPenelope;
+  cc.n_nodes = cfg.n_nodes;
+  cc.per_socket_cap_watts = 70.0;
+  cc.seed = seed;
+  cc.max_seconds = cfg.max_seconds;
+  // Every discovery refinement on: more protocol paths per run means
+  // more surface the oracles actually watch.
+  cc.sticky_peers = true;
+  cc.hint_discovery = true;
+  cc.blacklist_after_timeouts = 3;
+  cc.push_gossip = true;
+  // Membership + reclaim: the incarnation oracle needs the epoch-guard
+  // machinery live.
+  cc.membership_enabled = true;
+  // Dense audits so a one-tick mint cannot hide between samples, and
+  // the watchdog gets a fine-grained progress clock.
+  cc.audit_interval = common::from_seconds(0.5);
+  cc.watchdog_s = cfg.watchdog_s;
+  cc.watchdog_abort = false;  // a wedge is an oracle verdict, not a crash
+  cc.flight_recorder_capacity = 16384;
+  cc.series_interval = common::from_seconds(1.0);
+  cc.test_revert_grant_fix = cfg.plant_bug;
+  return cc;
+}
+
+std::uint64_t schedule_salt(const ExplorerConfig& cfg, int variant) {
+  return mix64(cfg.base_seed ^
+               (0xa0761d6478bd642fULL + static_cast<std::uint64_t>(variant)));
+}
+
+RunOutcome execute_one(const ExplorerConfig& cfg, std::uint64_t seed,
+                       std::uint64_t salt,
+                       const std::vector<cluster::FaultEvent>& schedule) {
+  cluster::ClusterConfig cc = make_dst_config(cfg, seed);
+  cc.faults = schedule;
+  cluster::Cluster cl(
+      cc, cluster::make_pair_workloads(workload::NpbApp::kEP,
+                                       workload::NpbApp::kDC, cc.n_nodes,
+                                       dst_npb(cfg, seed)));
+  cluster::RunResult result = cl.run();
+
+  RunOutcome out;
+  out.seed = seed;
+  out.schedule_salt = salt;
+  out.schedule = format_schedule(schedule);
+  out.trace_hash = cl.trace_hash();
+  out.executed_events = cl.executed_events();
+  out.completed = result.all_completed;
+  out.violations = check_oracles(gather_facts(cl, result, schedule));
+  return out;
+}
+
+SwarmReport run_swarm(const ExplorerConfig& cfg) {
+  PEN_CHECK(cfg.seeds >= 1 && cfg.schedules >= 1);
+  ScheduleSpec spec = cfg.spec;
+  spec.n_nodes = cfg.n_nodes;
+
+  const std::size_t pairs = static_cast<std::size_t>(cfg.seeds) *
+                            static_cast<std::size_t>(cfg.schedules);
+  std::vector<RunOutcome> outcomes = sweep::parallel_map(
+      pairs, cfg.jobs, [&](std::size_t i) {
+        const std::uint64_t seed =
+            cfg.base_seed +
+            static_cast<std::uint64_t>(
+                i / static_cast<std::size_t>(cfg.schedules));
+        const std::uint64_t salt = schedule_salt(
+            cfg, static_cast<int>(
+                     i % static_cast<std::size_t>(cfg.schedules)));
+        return execute_one(cfg, seed, salt,
+                           generate_schedule(spec, salt));
+      });
+
+  SwarmReport report;
+  report.runs = outcomes.size();
+  for (const RunOutcome& out : outcomes) {
+    report.outcome_hash =
+        mix64(report.outcome_hash ^ out.trace_hash ^
+              mix64(out.violations.size()));
+    if (!out.violations.empty()) {
+      ++report.violating_runs;
+      report.violations.push_back(out);
+    }
+  }
+  return report;
+}
+
+std::vector<cluster::FaultEvent> shrink_schedule(
+    const ExplorerConfig& cfg, std::uint64_t seed,
+    const std::vector<cluster::FaultEvent>& schedule,
+    const std::string& oracle, std::size_t* executions) {
+  std::size_t spent = 0;
+  const auto still_fails =
+      [&](const std::vector<cluster::FaultEvent>& subset) {
+        if (spent >= cfg.shrink_budget) return false;
+        ++spent;
+        return has_oracle(
+            execute_one(cfg, seed, /*salt=*/0, subset).violations,
+            oracle);
+      };
+
+  // Classic ddmin over the event list. Subsets keep the canonical
+  // order, so a subset's text form is itself a valid, sorted schedule.
+  std::vector<cluster::FaultEvent> current = schedule;
+  std::size_t granularity = 2;
+  while (current.size() >= 2) {
+    const std::size_t chunk =
+        (current.size() + granularity - 1) / granularity;
+    bool reduced = false;
+    for (std::size_t start = 0; start < current.size(); start += chunk) {
+      std::vector<cluster::FaultEvent> complement;
+      complement.reserve(current.size());
+      for (std::size_t i = 0; i < current.size(); ++i) {
+        if (i < start || i >= start + chunk) complement.push_back(current[i]);
+      }
+      if (complement.size() < current.size() && still_fails(complement)) {
+        current = std::move(complement);
+        granularity = std::max<std::size_t>(granularity - 1, 2);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (granularity >= current.size()) break;
+      granularity = std::min(current.size(), granularity * 2);
+    }
+    if (spent >= cfg.shrink_budget) break;
+  }
+  if (executions) *executions = spent;
+  return current;
+}
+
+std::string repro_command(const ExplorerConfig& cfg, std::uint64_t seed,
+                          const std::vector<cluster::FaultEvent>& schedule) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "run_experiment dst=1 nodes=%d seed=%llu "
+                "duration_scale=%g watchdog_s=%g%s schedule='",
+                cfg.n_nodes, static_cast<unsigned long long>(seed),
+                cfg.duration_scale, cfg.watchdog_s,
+                cfg.plant_bug ? " dst_bug=1" : "");
+  return std::string(buf) + format_schedule(schedule) + "'";
+}
+
+}  // namespace penelope::dst

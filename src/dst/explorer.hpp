@@ -1,0 +1,101 @@
+// The fault-schedule explorer: a swarm of deterministic simulations
+// over (seed, schedule) pairs, invariant oracles over every finished
+// run, and ddmin shrinking of any violating schedule down to a minimal
+// fault-event repro.
+//
+// Everything here is a pure function of its inputs: the same
+// (ExplorerConfig, seed, schedule) triple produces byte-identical runs
+// (same trace hash, same oracle verdicts) at any worker count, which is
+// what makes "replay the counterexample" a one-line command rather than
+// an aspiration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "dst/oracles.hpp"
+#include "dst/schedule.hpp"
+
+namespace penelope::dst {
+
+struct ExplorerConfig {
+  int n_nodes = 8;
+  std::uint64_t base_seed = 1;
+  /// Swarm shape: `seeds` x `schedules` pairs. Seed k runs every
+  /// schedule variant, so one workload/jitter draw meets many fault
+  /// interleavings and vice versa.
+  int seeds = 32;
+  int schedules = 32;
+  /// Worker threads for the swarm (0 = one per hardware thread).
+  int jobs = 0;
+  /// Workload scale: DST runs shrink the NPB apps so thousands of runs
+  /// stay cheap. 0.3 puts the unfaulted runtime near 55 sim-seconds —
+  /// past the default schedule horizon, so every fault meets live
+  /// traffic.
+  double duration_scale = 0.3;
+  double max_seconds = 300.0;
+  double watchdog_s = 30.0;
+  ScheduleSpec spec;
+  /// Plant the known bug (ClusterConfig::test_revert_grant_fix) — the
+  /// explorer's own acceptance test: the swarm must find it and shrink
+  /// it to a handful of fault events.
+  bool plant_bug = false;
+  /// Hard cap on run executions a single shrink may spend.
+  std::size_t shrink_budget = 512;
+};
+
+/// One swarm run's verdict.
+struct RunOutcome {
+  std::uint64_t seed = 0;
+  std::uint64_t schedule_salt = 0;
+  std::string schedule;
+  std::uint64_t trace_hash = 0;
+  std::uint64_t executed_events = 0;
+  bool completed = false;
+  std::vector<Violation> violations;
+};
+
+struct SwarmReport {
+  std::size_t runs = 0;
+  std::size_t violating_runs = 0;
+  /// Index-ordered fold of every run's (trace_hash, verdicts): two
+  /// swarms over the same config are byte-identical iff these match,
+  /// at any jobs= value.
+  std::uint64_t outcome_hash = 0;
+  /// Only the violating runs, in pair-index order.
+  std::vector<RunOutcome> violations;
+};
+
+/// The cluster configuration a DST run uses: classic Penelope manager
+/// with every discovery refinement on, membership + reclaim on, flight
+/// recorder and health series on, watchdog armed (stop, not abort).
+cluster::ClusterConfig make_dst_config(const ExplorerConfig& cfg,
+                                       std::uint64_t seed);
+
+/// Deterministically derive the salt for schedule variant `v`.
+std::uint64_t schedule_salt(const ExplorerConfig& cfg, int variant);
+
+/// Run one (seed, schedule) pair to completion and judge it.
+RunOutcome execute_one(const ExplorerConfig& cfg, std::uint64_t seed,
+                       std::uint64_t salt,
+                       const std::vector<cluster::FaultEvent>& schedule);
+
+/// The swarm: seeds x schedules runs via sweep::parallel_map.
+SwarmReport run_swarm(const ExplorerConfig& cfg);
+
+/// ddmin over fault events: the smallest subset of `schedule` (kept in
+/// canonical order) whose run still violates `oracle` for this seed.
+/// Deterministic: same inputs, same minimal schedule. `executions`, if
+/// non-null, receives the number of runs spent.
+std::vector<cluster::FaultEvent> shrink_schedule(
+    const ExplorerConfig& cfg, std::uint64_t seed,
+    const std::vector<cluster::FaultEvent>& schedule,
+    const std::string& oracle, std::size_t* executions = nullptr);
+
+/// One-line `run_experiment` invocation that replays this exact run.
+std::string repro_command(const ExplorerConfig& cfg, std::uint64_t seed,
+                          const std::vector<cluster::FaultEvent>& schedule);
+
+}  // namespace penelope::dst

@@ -1,0 +1,157 @@
+#include "dst/oracles.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+
+#include "cluster/metrics.hpp"
+
+namespace penelope::dst {
+namespace {
+
+std::string fmt(const char* pattern, double a, double b) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, pattern, a, b);
+  return buf;
+}
+
+}  // namespace
+
+bool has_oracle(const std::vector<Violation>& violations,
+                const std::string& oracle) {
+  return std::any_of(
+      violations.begin(), violations.end(),
+      [&](const Violation& v) { return v.oracle == oracle; });
+}
+
+std::vector<Violation> check_oracles(const OracleFacts& facts) {
+  std::vector<Violation> out;
+
+  // Conservation: watts are never minted or silently destroyed. The
+  // audit already nets out declared retirement debt, so any residual is
+  // a real leak/mint. This is also the oracle that catches "live watts
+  // reclaimed": a reclaim of a living node's share puts the same watts
+  // in two places at once, and the ledger sum walks away from budget.
+  if (facts.audit.max_abs_conservation_error > facts.tolerance_watts) {
+    out.push_back({"conservation",
+                   fmt("max |conservation error| %.6g W exceeds %.2g W",
+                       facts.audit.max_abs_conservation_error,
+                       facts.tolerance_watts)});
+  }
+
+  // Cap safety: live (spendable) watts never exceed budget + declared
+  // transitional debt.
+  if (facts.audit.max_live_overshoot > facts.tolerance_watts) {
+    out.push_back({"cap-overshoot",
+                   fmt("live watts overshot budget by %.6g W (> %.2g W)",
+                       facts.audit.max_live_overshoot,
+                       facts.tolerance_watts)});
+  }
+
+  // Transaction at-most-once: a grant settles once. Settlement events
+  // are kGrantReceived (matched while outstanding) and kLateGrant
+  // (banked after timeout); the hardened dedup window guarantees at
+  // most one of either per txn, so two settlements — in the *retained*
+  // journal, wrapped ring or not — mean a double-apply.
+  {
+    std::unordered_map<std::uint64_t, int> settlements;
+    std::uint64_t worst_txn = 0;
+    int worst = 1;
+    for (const telemetry::TxnRecord& rec : facts.journal) {
+      if (rec.kind != telemetry::TxnEventKind::kGrantReceived &&
+          rec.kind != telemetry::TxnEventKind::kLateGrant)
+        continue;
+      int n = ++settlements[rec.txn_id];
+      if (n > worst) {
+        worst = n;
+        worst_txn = rec.txn_id;
+      }
+    }
+    if (worst > 1) {
+      char buf[160];
+      std::snprintf(buf, sizeof buf,
+                    "txn %llu settled %d times (grant applied/banked "
+                    "more than once)",
+                    static_cast<unsigned long long>(worst_txn), worst);
+      out.push_back({"at-most-once", buf});
+    }
+  }
+
+  // Membership safety: incarnations move monotonically and only via
+  // restarts the schedule actually performed. A node reporting a higher
+  // incarnation than its recover count re-admitted itself through a
+  // path that never existed.
+  if (!facts.churny &&
+      facts.incarnations.size() == facts.allowed_restarts.size()) {
+    for (std::size_t i = 0; i < facts.incarnations.size(); ++i) {
+      const std::uint32_t inc = facts.incarnations[i];
+      if (inc < 1 || inc > 1 + facts.allowed_restarts[i]) {
+        char buf[160];
+        std::snprintf(buf, sizeof buf,
+                      "node %zu incarnation %u outside [1, %u]", i, inc,
+                      1 + facts.allowed_restarts[i]);
+        out.push_back({"incarnation", buf});
+        break;
+      }
+    }
+  }
+
+  // Liveness: the watchdog's verdict is authoritative for wedges; the
+  // completion/re-convergence checks arm only on clean schedules where
+  // full recovery is actually owed.
+  if (facts.wedged) {
+    out.push_back(
+        {"liveness-wedged",
+         "watchdog: no decider progress with live incomplete nodes"});
+  } else if (facts.clean_schedule && !facts.all_completed) {
+    out.push_back({"liveness-incomplete",
+                   "all faults healed but some node never finished"});
+  }
+  if (facts.clean_schedule && !facts.reconverged) {
+    out.push_back({"liveness-no-reconvergence",
+                   "fairness never re-converged after the last fault"});
+  }
+  return out;
+}
+
+OracleFacts gather_facts(const cluster::Cluster& cl,
+                         const cluster::RunResult& result,
+                         const std::vector<cluster::FaultEvent>& schedule) {
+  OracleFacts facts;
+  facts.audit = result.audit;
+  facts.journal = cl.metrics().recorder().snapshot();
+  facts.journal_complete = cl.metrics().recorder().dropped() == 0;
+  facts.churny = cl.config().churn_enabled;
+  facts.wedged = result.wedged;
+  facts.all_completed = result.all_completed;
+  facts.clean_schedule = schedule_is_clean(schedule);
+
+  const int n = cl.config().n_nodes;
+  facts.incarnations.reserve(static_cast<std::size_t>(n));
+  facts.allowed_restarts.assign(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < n; ++i)
+    facts.incarnations.push_back(cl.node_incarnation(i));
+  common::Ticks last_fault_at = 0;
+  for (const cluster::FaultEvent& ev : schedule) {
+    last_fault_at = std::max(last_fault_at, ev.at);
+    if (ev.kind == cluster::FaultEvent::Kind::kRecoverNode &&
+        ev.node >= 0 && ev.node < n)
+      ++facts.allowed_restarts[static_cast<std::size_t>(ev.node)];
+  }
+
+  // Re-convergence, judged only when it is judgeable: clean schedule,
+  // health probes on, and the run outlived the last fault by enough
+  // probes that "never recovered" is a statement, not a cutoff.
+  facts.reconverged = true;
+  const auto& probes = cl.health().probes();
+  if (facts.clean_schedule && !schedule.empty() && !probes.empty()) {
+    const common::Ticks slack = 5 * common::kTicksPerSecond;
+    if (probes.back().at >= last_fault_at + slack) {
+      facts.reconverged =
+          cl.health().convergence_seconds(last_fault_at).has_value();
+    }
+  }
+  return facts;
+}
+
+}  // namespace penelope::dst

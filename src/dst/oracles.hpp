@@ -1,0 +1,78 @@
+// Invariant oracles for the deterministic fault-schedule explorer.
+//
+// Each oracle is a pure predicate over OracleFacts — a plain struct of
+// everything a finished run can testify about itself. Keeping the facts
+// forgeable (no Cluster reference inside check_oracles) lets the unit
+// suite hand-build violating histories for every oracle without having
+// to reproduce the corresponding bug in live code.
+//
+// Subset-robustness matters: the shrinker re-checks oracles on runs
+// driven by arbitrary *subsets* of the original schedule, so every
+// oracle must stay meaningful when fault events disappear. That is why
+// the liveness/re-convergence oracles arm only on *clean* schedules
+// (see schedule_is_clean) and the incarnation bound is computed from
+// the schedule actually run, not the one originally drawn.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/invariants.hpp"
+#include "dst/schedule.hpp"
+#include "telemetry/flight_recorder.hpp"
+
+namespace penelope::dst {
+
+struct OracleFacts {
+  /// Conservation / cap-safety, straight from the periodic audit.
+  cluster::AuditSummary audit;
+  double tolerance_watts = 1e-6;
+
+  /// Transaction journal (flight recorder snapshot). `journal_complete`
+  /// is false when the ring wrapped; the at-most-once oracle still
+  /// checks what was retained (double-settlement within the window is
+  /// a violation regardless of what scrolled off).
+  std::vector<telemetry::TxnRecord> journal;
+  bool journal_complete = true;
+
+  /// Final incarnation per node, and how many recover events the
+  /// schedule actually ran per node. With churn the bound is void.
+  std::vector<std::uint32_t> incarnations;
+  std::vector<std::uint32_t> allowed_restarts;
+  bool churny = false;
+
+  /// Liveness.
+  bool wedged = false;
+  bool all_completed = false;
+  bool clean_schedule = false;
+  /// Health-monitor verdict: did fairness re-converge after the last
+  /// fault? Only meaningful (and only checked) when the run outlived
+  /// the last fault by enough probes; gatherers leave it true when the
+  /// question is unanswerable.
+  bool reconverged = true;
+};
+
+struct Violation {
+  /// Stable oracle id: "conservation", "cap-overshoot",
+  /// "at-most-once", "incarnation", "liveness-wedged",
+  /// "liveness-incomplete", "liveness-no-reconvergence".
+  std::string oracle;
+  std::string detail;
+};
+
+/// Run every oracle; returns one Violation per failed oracle (an oracle
+/// reports at most once per run, with the worst instance in `detail`).
+std::vector<Violation> check_oracles(const OracleFacts& facts);
+
+/// Collect facts from a finished run. `schedule` must be the fault list
+/// the run was actually configured with (the shrinker passes subsets).
+OracleFacts gather_facts(const cluster::Cluster& cl,
+                         const cluster::RunResult& result,
+                         const std::vector<cluster::FaultEvent>& schedule);
+
+bool has_oracle(const std::vector<Violation>& violations,
+                const std::string& oracle);
+
+}  // namespace penelope::dst

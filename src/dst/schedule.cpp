@@ -1,0 +1,372 @@
+#include "dst/schedule.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace penelope::dst {
+namespace {
+
+using cluster::FaultEvent;
+using Kind = FaultEvent::Kind;
+
+// --- exact decimal time <-> ticks -----------------------------------
+//
+// Ticks are integer microseconds; the text form is decimal seconds with
+// up to six fractional digits. Both directions are pure integer
+// arithmetic so format(parse(s)) == s (modulo trailing zeros) and
+// parse(format(t)) == t — the repro string names the exact tick.
+
+std::string format_ticks(common::Ticks t) {
+  PEN_CHECK(t >= 0);
+  const long long whole = t / common::kTicksPerSecond;
+  const long long frac = t % common::kTicksPerSecond;
+  char buf[40];
+  if (frac == 0) {
+    std::snprintf(buf, sizeof buf, "%lld", whole);
+    return buf;
+  }
+  std::snprintf(buf, sizeof buf, "%lld.%06lld", whole, frac);
+  std::string s(buf);
+  while (s.back() == '0') s.pop_back();
+  return s;
+}
+
+bool parse_ticks(const std::string& text, common::Ticks* out) {
+  if (text.empty()) return false;
+  long long whole = 0;
+  std::size_t i = 0;
+  if (text[i] < '0' || text[i] > '9') return false;
+  for (; i < text.size() && text[i] >= '0' && text[i] <= '9'; ++i) {
+    whole = whole * 10 + (text[i] - '0');
+    if (whole > 1'000'000'000) return false;  // > ~31 sim-years
+  }
+  long long frac = 0;
+  if (i < text.size()) {
+    if (text[i] != '.') return false;
+    ++i;
+    int digits = 0;
+    for (; i < text.size(); ++i, ++digits) {
+      if (text[i] < '0' || text[i] > '9' || digits >= 6) return false;
+      frac = frac * 10 + (text[i] - '0');
+    }
+    if (digits == 0) return false;
+    for (; digits < 6; ++digits) frac *= 10;
+  }
+  *out = whole * common::kTicksPerSecond + frac;
+  return true;
+}
+
+std::string format_rate(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+const char* kind_token(Kind kind) {
+  switch (kind) {
+    case Kind::kKillServer: return "killsrv";
+    case Kind::kKillManagement: return "killmgmt";
+    case Kind::kPartition: return "part";
+    case Kind::kHealPartition: return "heal";
+    case Kind::kCrashNode: return "crash";
+    case Kind::kRecoverNode: return "recover";
+    case Kind::kAsymPartition: return "asym";
+    case Kind::kHealAsymPartition: return "asymheal";
+    case Kind::kPauseNode: return "pause";
+    case Kind::kResumeNode: return "resume";
+    case Kind::kLatencyBurst: return "burst";
+    case Kind::kSetFaultRates: return "rates";
+  }
+  return "??";
+}
+
+void sort_canonical(std::vector<FaultEvent>& events) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     if (a.at != b.at) return a.at < b.at;
+                     if (a.kind != b.kind)
+                       return static_cast<int>(a.kind) <
+                              static_cast<int>(b.kind);
+                     return a.node < b.node;
+                   });
+}
+
+}  // namespace
+
+std::vector<FaultEvent> generate_schedule(const ScheduleSpec& spec,
+                                          std::uint64_t salt) {
+  PEN_CHECK(spec.n_nodes >= 2);
+  PEN_CHECK(spec.horizon_s > 2.0);
+  common::Rng rng(salt ^ 0x6a09e667f3bcc908ULL);
+  std::vector<FaultEvent> events;
+
+  // All instants are whole milliseconds: exact in text form, and two
+  // independently drawn episodes rarely collide on a tick.
+  const auto draw_at = [&](double lo_s, double hi_s) -> common::Ticks {
+    const int lo = static_cast<int>(lo_s * 1000.0);
+    const int hi = static_cast<int>(hi_s * 1000.0);
+    return static_cast<common::Ticks>(rng.uniform_int(lo, hi)) *
+           common::kTicksPerMillisecond;
+  };
+  const auto draw_node = [&] {
+    return static_cast<net::NodeId>(
+        rng.next_below(static_cast<std::uint32_t>(spec.n_nodes)));
+  };
+
+  // The stochastic-rate menu: short literals so text round-trips are
+  // exact, small enough that runs stay mostly functional.
+  static constexpr double kRateMenu[] = {0.0, 0.01, 0.02, 0.05, 0.1, 0.2};
+  const auto draw_rate = [&] { return kRateMenu[rng.uniform_int(0, 5)]; };
+
+  for (int e = 0; e < spec.episodes; ++e) {
+    const common::Ticks at = draw_at(1.0, spec.horizon_s);
+    const common::Ticks undo =
+        at + draw_at(0.5, 8.0);  // episode length 0.5..8 s
+    switch (rng.uniform_int(0, 6)) {
+      case 0: {  // crash / recover pair
+        if (!spec.allow_crash) break;
+        const net::NodeId node = draw_node();
+        events.push_back({Kind::kCrashNode, at, node});
+        events.push_back({Kind::kRecoverNode, undo, node});
+        break;
+      }
+      case 1: {  // two-way partition episode
+        const int split = rng.uniform_int(1, spec.n_nodes - 1);
+        events.push_back({Kind::kPartition, at, split});
+        events.push_back({Kind::kHealPartition, undo, 0});
+        break;
+      }
+      case 2: {  // one-way partition episode
+        const int split = rng.uniform_int(1, spec.n_nodes - 1);
+        events.push_back({Kind::kAsymPartition, at, split});
+        events.push_back({Kind::kHealAsymPartition, undo, 0});
+        break;
+      }
+      case 3: {  // pause / resume pair
+        const net::NodeId node = draw_node();
+        events.push_back({Kind::kPauseNode, at, node});
+        events.push_back({Kind::kResumeNode, undo, node});
+        break;
+      }
+      case 4: {  // latency burst, self-bounded by `until`
+        FaultEvent ev{Kind::kLatencyBurst, at, draw_node()};
+        ev.until = undo;
+        // 20..2000 ms of extra one-way latency: spans "annoying" to
+        // "well past the request timeout".
+        ev.magnitude =
+            static_cast<double>(rng.uniform_int(20, 2000)) / 1000.0;
+        events.push_back(ev);
+        break;
+      }
+      case 5: {  // stochastic-rates window, restored to zero at undo
+        FaultEvent on{Kind::kSetFaultRates, at, 0};
+        on.rates.loss = draw_rate();
+        on.rates.duplicate = draw_rate();
+        on.rates.reorder = draw_rate();
+        on.rates.corrupt = draw_rate();
+        FaultEvent off{Kind::kSetFaultRates, undo, 0};
+        events.push_back(on);
+        events.push_back(off);
+        break;
+      }
+      case 6: {  // management-plane kill (permanently unclean)
+        if (!spec.allow_kill_management) break;
+        events.push_back({Kind::kKillManagement, at, draw_node()});
+        break;
+      }
+    }
+  }
+  sort_canonical(events);
+  return events;
+}
+
+std::string format_schedule(const std::vector<FaultEvent>& events) {
+  std::string out;
+  for (const FaultEvent& ev : events) {
+    if (!out.empty()) out += '/';
+    out += kind_token(ev.kind);
+    out += '@';
+    out += format_ticks(ev.at);
+    switch (ev.kind) {
+      case Kind::kKillServer:
+      case Kind::kHealPartition:
+      case Kind::kHealAsymPartition:
+        break;
+      case Kind::kKillManagement:
+      case Kind::kPartition:
+      case Kind::kAsymPartition:
+      case Kind::kCrashNode:
+      case Kind::kRecoverNode:
+      case Kind::kPauseNode:
+      case Kind::kResumeNode:
+        out += ',' + std::to_string(ev.node);
+        break;
+      case Kind::kLatencyBurst: {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, ",%d,%lld", ev.node,
+                      static_cast<long long>(ev.magnitude * 1000.0 + 0.5));
+        out += buf;
+        out += ',' + format_ticks(ev.until);
+        break;
+      }
+      case Kind::kSetFaultRates:
+        out += ',' + format_rate(ev.rates.loss);
+        out += ',' + format_rate(ev.rates.duplicate);
+        out += ',' + format_rate(ev.rates.reorder);
+        out += ',' + format_rate(ev.rates.corrupt);
+        break;
+    }
+  }
+  return out;
+}
+
+bool parse_schedule(const std::string& text,
+                    std::vector<FaultEvent>* out, std::string* error) {
+  PEN_CHECK(out != nullptr);
+  const auto fail = [&](const std::string& why) {
+    if (error) *error = why;
+    return false;
+  };
+  std::vector<FaultEvent> events;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t end = text.find('/', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string token = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (token.empty()) {
+      if (text.empty()) break;  // empty schedule is legal
+      return fail("empty event (stray '/')");
+    }
+    const std::size_t at_sep = token.find('@');
+    if (at_sep == std::string::npos)
+      return fail("missing '@' in \"" + token + "\"");
+    const std::string name = token.substr(0, at_sep);
+
+    std::vector<std::string> args;
+    std::size_t a = at_sep + 1;
+    while (a <= token.size()) {
+      std::size_t c = token.find(',', a);
+      if (c == std::string::npos) c = token.size();
+      args.push_back(token.substr(a, c - a));
+      a = c + 1;
+    }
+    if (args.empty() || args[0].empty())
+      return fail("missing time in \"" + token + "\"");
+
+    FaultEvent ev;
+    if (!parse_ticks(args[0], &ev.at))
+      return fail("bad time in \"" + token + "\"");
+    const auto want_node = [&](std::size_t idx) {
+      if (idx >= args.size() || args[idx].empty()) return false;
+      char* rest = nullptr;
+      long v = std::strtol(args[idx].c_str(), &rest, 10);
+      if (rest == nullptr || *rest != '\0' || v < 0 || v > 1'000'000)
+        return false;
+      ev.node = static_cast<net::NodeId>(v);
+      return true;
+    };
+    const auto want_rate = [&](std::size_t idx, double* slot) {
+      if (idx >= args.size() || args[idx].empty()) return false;
+      char* rest = nullptr;
+      double v = std::strtod(args[idx].c_str(), &rest);
+      if (rest == nullptr || *rest != '\0' || v < 0.0 || v > 1.0)
+        return false;
+      *slot = v;
+      return true;
+    };
+
+    std::size_t want_args = 1;
+    if (name == "killsrv") {
+      ev.kind = Kind::kKillServer;
+    } else if (name == "heal") {
+      ev.kind = Kind::kHealPartition;
+    } else if (name == "asymheal") {
+      ev.kind = Kind::kHealAsymPartition;
+    } else if (name == "killmgmt" || name == "part" || name == "asym" ||
+               name == "crash" || name == "recover" || name == "pause" ||
+               name == "resume") {
+      want_args = 2;
+      if (!want_node(1)) return fail("bad node in \"" + token + "\"");
+      ev.kind = name == "killmgmt" ? Kind::kKillManagement
+                : name == "part"   ? Kind::kPartition
+                : name == "asym"   ? Kind::kAsymPartition
+                : name == "crash"  ? Kind::kCrashNode
+                : name == "recover" ? Kind::kRecoverNode
+                : name == "pause"  ? Kind::kPauseNode
+                                   : Kind::kResumeNode;
+    } else if (name == "burst") {
+      want_args = 4;
+      ev.kind = Kind::kLatencyBurst;
+      if (!want_node(1)) return fail("bad node in \"" + token + "\"");
+      char* rest = nullptr;
+      if (args.size() < 4)
+        return fail("burst needs at,node,extra_ms,until");
+      long extra_ms = std::strtol(args[2].c_str(), &rest, 10);
+      if (rest == nullptr || *rest != '\0' || extra_ms <= 0)
+        return fail("bad extra_ms in \"" + token + "\"");
+      ev.magnitude = static_cast<double>(extra_ms) / 1000.0;
+      if (!parse_ticks(args[3], &ev.until))
+        return fail("bad until in \"" + token + "\"");
+    } else if (name == "rates") {
+      want_args = 5;
+      ev.kind = Kind::kSetFaultRates;
+      if (!want_rate(1, &ev.rates.loss) ||
+          !want_rate(2, &ev.rates.duplicate) ||
+          !want_rate(3, &ev.rates.reorder) ||
+          !want_rate(4, &ev.rates.corrupt))
+        return fail("bad rates in \"" + token + "\"");
+    } else {
+      return fail("unknown fault kind \"" + name + "\"");
+    }
+    if (args.size() != want_args)
+      return fail("wrong arg count in \"" + token + "\"");
+    events.push_back(ev);
+    if (pos > text.size()) break;
+  }
+  sort_canonical(events);
+  *out = std::move(events);
+  return true;
+}
+
+bool schedule_is_clean(const std::vector<FaultEvent>& events) {
+  // Canonical order is by time, so a single forward pass tracks the
+  // live fault set.
+  std::vector<net::NodeId> crashed;
+  std::vector<net::NodeId> paused;
+  bool partitioned = false;
+  bool asym = false;
+  bool rates_on = false;
+  for (const FaultEvent& ev : events) {
+    switch (ev.kind) {
+      case Kind::kKillServer:
+      case Kind::kKillManagement:
+        return false;  // nothing ever undoes a kill
+      case Kind::kPartition: partitioned = true; break;
+      case Kind::kHealPartition: partitioned = false; break;
+      case Kind::kAsymPartition: asym = true; break;
+      case Kind::kHealAsymPartition: asym = false; break;
+      case Kind::kCrashNode: crashed.push_back(ev.node); break;
+      case Kind::kRecoverNode:
+        std::erase(crashed, ev.node);
+        break;
+      case Kind::kPauseNode: paused.push_back(ev.node); break;
+      case Kind::kResumeNode:
+        std::erase(paused, ev.node);
+        break;
+      case Kind::kLatencyBurst: break;  // self-bounded by `until`
+      case Kind::kSetFaultRates:
+        rates_on = ev.rates.loss > 0.0 || ev.rates.duplicate > 0.0 ||
+                   ev.rates.reorder > 0.0 || ev.rates.corrupt > 0.0;
+        break;
+    }
+  }
+  return !partitioned && !asym && !rates_on && crashed.empty() &&
+         paused.empty();
+}
+
+}  // namespace penelope::dst

@@ -1,0 +1,74 @@
+// Fault schedules for the deterministic fault-schedule explorer (DST).
+//
+// A schedule is an ordered list of cluster::FaultEvent with a compact,
+// shell-safe text form so any explorer finding can be replayed from a
+// one-line `run_experiment` command. The grammar is `/`-separated
+// events, each `<kind>@<t>[,args...]`:
+//
+//   killsrv@T            kill the central server at T seconds
+//   killmgmt@T,N         kill node N's management plane
+//   part@T,S             two-way partition, split point S
+//   heal@T               heal the two-way partition
+//   asym@T,S             one-way partition: [0,S) -> [S,n)+server drops
+//   asymheal@T           heal the one-way block
+//   crash@T,N            crash node N (volatile state lost)
+//   recover@T,N          restart node N (incarnation bump)
+//   pause@T,N            NIC-level stall: frames queue, state survives
+//   resume@T,N           release the stall, replay queued frames
+//   burst@T,N,E,U        node N's sends gain E ms latency until U seconds
+//   rates@T,L,D,R,C      stochastic loss/dup/reorder/corrupt knobs
+//
+// Times are written as decimal seconds and parsed *exactly* (decimal
+// micro-ticks, no floating-point round trip), so format -> parse ->
+// format is the identity and a repro string names the same tick the
+// generator drew.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+
+namespace penelope::dst {
+
+/// Knobs for the random schedule generator. Every draw comes from one
+/// Rng seeded by the salt alone, so a (spec, salt) pair names exactly
+/// one schedule forever.
+struct ScheduleSpec {
+  int n_nodes = 8;
+  /// Faults land in [1, horizon_s); paired undo events may land a
+  /// little past it (bounded by the episode length draw).
+  double horizon_s = 40.0;
+  /// Episodes to draw; most emit an (inject, undo) pair of events.
+  int episodes = 4;
+  /// Include management-plane kills (permanently unclean schedules:
+  /// the re-convergence oracle is skipped for them).
+  bool allow_kill_management = true;
+  /// Include whole-node crash/recover episodes.
+  bool allow_crash = true;
+};
+
+/// Draw a schedule from the salt. Deterministic; sorted by (at, kind,
+/// node) so subsets taken by the shrinker stay canonically ordered.
+std::vector<cluster::FaultEvent> generate_schedule(
+    const ScheduleSpec& spec, std::uint64_t salt);
+
+std::string format_schedule(
+    const std::vector<cluster::FaultEvent>& events);
+
+/// Inverse of format_schedule. Returns false and fills `error` (if
+/// non-null) on malformed input; `out` is left untouched on failure.
+bool parse_schedule(const std::string& text,
+                    std::vector<cluster::FaultEvent>* out,
+                    std::string* error = nullptr);
+
+/// True when every injected fault is undone within the schedule: every
+/// crash recovered, every partition/one-way block healed, every pause
+/// resumed, and the last rates event (if any) restores all-zero rates.
+/// Kill events are never clean. Only clean schedules arm the eventual
+/// re-convergence oracle — an unhealed fault is *allowed* to leave the
+/// cluster degraded.
+bool schedule_is_clean(const std::vector<cluster::FaultEvent>& events);
+
+}  // namespace penelope::dst

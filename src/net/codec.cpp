@@ -305,6 +305,80 @@ std::optional<WirePayload> decode(const std::vector<std::uint8_t>& buf) {
   return decode(buf.data(), buf.size());
 }
 
+const char* decode_error_name(DecodeError error) {
+  switch (error) {
+    case DecodeError::kOk: return "ok";
+    case DecodeError::kTruncated: return "truncated";
+    case DecodeError::kBadMagic: return "bad_magic";
+    case DecodeError::kBadChecksum: return "bad_checksum";
+    case DecodeError::kUnknownTag: return "unknown_tag";
+    case DecodeError::kMalformed: return "malformed";
+  }
+  return "?";
+}
+
+std::uint32_t fnv1a32(const std::uint8_t* data, std::size_t size) {
+  std::uint32_t h = 2166136261u;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 16777619u;
+  }
+  return h;
+}
+
+std::size_t frame_size(const WirePayload& payload) {
+  return kFrameHeaderBytes + encoded_size(payload);
+}
+
+std::vector<std::uint8_t> encode_frame(const WirePayload& payload) {
+  std::vector<std::uint8_t> body = encode(payload);
+  std::vector<std::uint8_t> out;
+  out.reserve(kFrameHeaderBytes + body.size());
+  put_u8(out, kFrameMagic);
+  put_u32(out, fnv1a32(body.data(), body.size()));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+CheckedDecode decode_checked(const std::uint8_t* data, std::size_t size) {
+  CheckedDecode result;
+  if (data == nullptr || size < kFrameHeaderBytes + 1) {
+    result.error = DecodeError::kTruncated;
+    return result;
+  }
+  if (data[0] != kFrameMagic) {
+    result.error = DecodeError::kBadMagic;
+    return result;
+  }
+  std::uint32_t want = 0;
+  for (int i = 0; i < 4; ++i) {
+    want |= static_cast<std::uint32_t>(data[1 + i]) << (8 * i);
+  }
+  const std::uint8_t* body = data + kFrameHeaderBytes;
+  const std::size_t body_size = size - kFrameHeaderBytes;
+  if (fnv1a32(body, body_size) != want) {
+    result.error = DecodeError::kBadChecksum;
+    return result;
+  }
+  result.payload = decode(body, body_size);
+  if (!result.payload) {
+    // Checksum matched, so the sender really emitted these bytes:
+    // distinguish a tag we have never assigned from a structurally
+    // broken body (wrong length for its tag).
+    const std::uint8_t tag = body[0];
+    result.error =
+        (tag < static_cast<std::uint8_t>(WireTag::kPowerRequest) ||
+         tag > static_cast<std::uint8_t>(WireTag::kFederatedTransfer))
+            ? DecodeError::kUnknownTag
+            : DecodeError::kMalformed;
+  }
+  return result;
+}
+
+CheckedDecode decode_checked(const std::vector<std::uint8_t>& buf) {
+  return decode_checked(buf.data(), buf.size());
+}
+
 namespace {
 
 // All message types are fixed-size, so the wire cost of a Payload is a

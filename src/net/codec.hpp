@@ -62,6 +62,58 @@ std::optional<WirePayload> decode(const std::vector<std::uint8_t>& buf);
 /// Encoded size of a payload (for buffer pre-sizing).
 std::size_t encoded_size(const WirePayload& payload);
 
+// --- Checksummed frames -------------------------------------------------
+//
+// The bare body codec above trusts the transport; a hostile or lossy
+// wire (bit flips, truncation, garbage datagrams) needs an integrity
+// layer. A frame is
+//
+//   [magic u8 = 0xA7][fnv1a32(body) u32 LE][body]
+//
+// FNV-1a's per-byte step is a bijection on the 32-bit state, so any
+// single-bit flip in the body always changes the checksum; flips in the
+// header are caught by the magic/checksum fields themselves. Frames are
+// the format the UDP runtime speaks and the format the simulator's
+// corruption nemesis attacks.
+
+/// Why a frame failed to decode. kOk is never returned with a nullopt
+/// payload.
+enum class DecodeError : std::uint8_t {
+  kOk = 0,
+  kTruncated,      ///< shorter than the frame header, or body cut short
+  kBadMagic,       ///< first byte is not kFrameMagic
+  kBadChecksum,    ///< body bytes do not match the header checksum
+  kUnknownTag,     ///< checksum ok but the type tag is unassigned
+  kMalformed,      ///< checksum ok but the body fails structural decode
+};
+
+/// Stable short name for logs/metrics ("ok", "truncated", ...).
+const char* decode_error_name(DecodeError error);
+
+inline constexpr std::uint8_t kFrameMagic = 0xA7;
+inline constexpr std::size_t kFrameHeaderBytes = 5;  // magic + checksum
+
+/// FNV-1a over `size` bytes (offset basis 2166136261).
+std::uint32_t fnv1a32(const std::uint8_t* data, std::size_t size);
+
+/// Serialize a payload with the frame header prepended.
+std::vector<std::uint8_t> encode_frame(const WirePayload& payload);
+
+/// Frame size of a payload (kFrameHeaderBytes + encoded_size).
+std::size_t frame_size(const WirePayload& payload);
+
+/// Result of a checked frame decode: payload engaged iff error == kOk.
+struct CheckedDecode {
+  std::optional<WirePayload> payload;
+  DecodeError error = DecodeError::kOk;
+  explicit operator bool() const { return payload.has_value(); }
+};
+
+/// Parse a frame; never aborts, classifies every failure. Hostile bytes
+/// of any length are safe input.
+CheckedDecode decode_checked(const std::uint8_t* data, std::size_t size);
+CheckedDecode decode_checked(const std::vector<std::uint8_t>& buf);
+
 /// Wire-encoded size of a simulator Payload: what this message would
 /// cost on a real fabric. Zero for monostate (an empty Message never
 /// crosses a wire). One table lookup — safe on the zero-allocation

@@ -48,6 +48,11 @@ struct Message {
   std::uint64_t id = 0;           ///< unique per network instance
   common::Ticks sent_at = 0;      ///< virtual time the send was issued
   bool duplicate = false;         ///< fabric-injected extra copy (same id)
+  /// Wire-corruption marker: 0 = clean, otherwise 1 + the index of the
+  /// frame bit the corruption nemesis flips at delivery. The flip is
+  /// applied to the real encoded frame and fed through decode_checked,
+  /// so corruption exercises the production codec path, not a shortcut.
+  std::uint32_t corrupt = 0;
   Payload payload;
 
   /// Typed payload access; returns nullptr if the payload holds a

@@ -36,6 +36,21 @@ std::uint64_t make_msg_id(NodeId src, std::uint64_t counter) {
          counter;
 }
 
+// Lift a simulator Payload into the wire codec's variant (same
+// alternatives minus monostate, which never crosses a wire).
+std::optional<WirePayload> wire_payload_of(const Payload& payload) {
+  return std::visit(
+      [](const auto& m) -> std::optional<WirePayload> {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, std::monostate>) {
+          return std::nullopt;
+        } else {
+          return WirePayload{m};
+        }
+      },
+      payload);
+}
+
 void accumulate(NetworkStats& into, const NetworkStats& from) {
   into.sent += from.sent;
   into.delivered += from.delivered;
@@ -43,8 +58,13 @@ void accumulate(NetworkStats& into, const NetworkStats& from) {
   into.dropped_dead_node += from.dropped_dead_node;
   into.dropped_partition += from.dropped_partition;
   into.dropped_no_endpoint += from.dropped_no_endpoint;
+  into.dropped_one_way += from.dropped_one_way;
+  into.dropped_corrupt += from.dropped_corrupt;
   into.duplicated += from.duplicated;
   into.reordered += from.reordered;
+  into.corrupted += from.corrupted;
+  into.burst_delayed += from.burst_delayed;
+  into.paused_held += from.paused_held;
   into.node_failures += from.node_failures;
   into.node_recoveries += from.node_recoveries;
   into.payload_bytes_sent += from.payload_bytes_sent;
@@ -73,6 +93,12 @@ Network::Network(sim::ShardedSimulator& engine, NetworkConfig config,
         source_seed(config_.seed, static_cast<NodeId>(n)));
   }
   failed_.assign(shard_of_.size(), 0);
+  asym_from_.assign(shard_of_.size(), 0);
+  asym_to_.assign(shard_of_.size(), 0);
+  bursts_.assign(shard_of_.size(), Burst{});
+  paused_.assign(shard_of_.size(), 0);
+  paused_inbox_.resize(shard_of_.size());
+  paused_outbox_.resize(shard_of_.size());
   engine_->add_barrier_hook([this] { flush_staged(); });
 }
 
@@ -154,6 +180,33 @@ std::uint64_t Network::send(NodeId src, NodeId dst, Payload payload) {
     if (drop_handler_) drop_handler_(msg, DropReason::kPartition);
     return msg.id;
   }
+  if (one_way_blocked(src, dst)) {
+    ++cx.stats.dropped_one_way;
+    if (drop_handler_) drop_handler_(msg, DropReason::kOneWay);
+    return msg.id;
+  }
+
+  // A paused source's NIC holds every copy; it departs at resume with
+  // the delay sampled here (draw sequence is identical either way).
+  const bool src_paused = node_paused(src);
+  const common::Ticks now = msg.sent_at;
+  auto dispatch = [&](const Message& m, common::Ticks delay, bool track) {
+    const Burst& burst =
+        static_cast<std::size_t>(m.src) < bursts_.size()
+            ? bursts_[static_cast<std::size_t>(m.src)]
+            : Burst{};
+    if (burst.extra > 0 && now < burst.until) {
+      delay += burst.extra;
+      ++cx.stats.burst_delayed;
+    }
+    if (src_paused) {
+      paused_outbox_[static_cast<std::size_t>(m.src)].push_back(
+          StagedSend{delay, static_cast<std::uint8_t>(track), m});
+      ++cx.stats.paused_held;
+      return;
+    }
+    schedule_copy(cx, m, delay, track);
+  };
 
   std::uint64_t id = msg.id;
   bool tracked = false;
@@ -167,9 +220,19 @@ std::uint64_t Network::send(NodeId src, NodeId dst, Payload payload) {
     // payload stays immutable because handlers only see `const Message&`.
     Message copy = msg;
     copy.duplicate = true;
-    schedule_copy(cx, copy, sample_copy_delay(source, cx.stats), tracked);
+    dispatch(copy, sample_copy_delay(source, cx.stats), tracked);
   }
-  schedule_copy(cx, msg, sample_copy_delay(source, cx.stats), tracked);
+  // Corruption marks the original copy only (a duplicated copy is an
+  // independent datagram on a real fabric; one clean copy surviving is
+  // exactly the case the copy-tracking drop resolution handles).
+  const std::size_t wire_bytes = payload_wire_bytes(msg.payload);
+  if (wire_bytes > 0 && source.rng.chance(config_.corrupt_probability)) {
+    ++cx.stats.corrupted;
+    const auto frame_bits =
+        static_cast<std::uint32_t>(8 * (kFrameHeaderBytes + wire_bytes));
+    msg.corrupt = 1 + source.rng.next_below(frame_bits);
+  }
+  dispatch(msg, sample_copy_delay(source, cx.stats), tracked);
   return id;
 }
 
@@ -270,6 +333,19 @@ void Network::deliver(std::size_t ctxi, std::uint32_t slot) {
   const Message msg = cx.slab[slot];
   cx.free_slots.push_back(slot);
 
+  // A paused destination queues the frame in its NIC: no drop, no copy
+  // resolution — the tracking entry stays live until the replayed
+  // delivery resolves it after resume. Runs in dst's context, and the
+  // inbox row belongs to dst, so the ownership rule holds.
+  if (node_paused(msg.dst)) {
+    common::Ticks at =
+        engine_ != nullptr ? engine_->context_now() : sim_->now();
+    paused_inbox_[static_cast<std::size_t>(msg.dst)].push_back(StagedSend{
+        at, static_cast<std::uint8_t>(0), msg});
+    ++cx.stats.paused_held;
+    return;
+  }
+
   // A duplicated message strands its payload only if every copy is lost;
   // the tracking entry lives until the last copy resolves. The empty()
   // probe keeps the hash lookup off the hot path entirely when
@@ -299,6 +375,24 @@ void Network::deliver(std::size_t ctxi, std::uint32_t slot) {
   if (handler == nullptr || !*handler) {
     resolve_drop(cx.stats.dropped_no_endpoint, DropReason::kNoEndpoint);
     return;
+  }
+  if (msg.corrupt != 0) {
+    // Run the real wire: encode the frame the sender would have put on
+    // the fabric, flip the drawn bit, and ask the hardened decoder. The
+    // FNV-1a frame checksum catches every single-bit flip, so the frame
+    // is rejected and dropped here; the decode_checked round-trip (not
+    // an assumption) is what this nemesis exists to exercise.
+    const std::optional<WirePayload> wire = wire_payload_of(msg.payload);
+    if (wire.has_value()) {
+      std::vector<std::uint8_t> frame = encode_frame(*wire);
+      const std::uint32_t bit = msg.corrupt - 1;
+      if (bit / 8 < frame.size()) frame[bit / 8] ^= 1u << (bit % 8);
+      CheckedDecode checked = decode_checked(frame.data(), frame.size());
+      if (!checked) {
+        resolve_drop(cx.stats.dropped_corrupt, DropReason::kCorrupt);
+        return;
+      }
+    }
   }
   if (copy_it != cx.copies.end()) {
     copy_it->second.any_delivered = true;
@@ -370,6 +464,152 @@ void Network::set_partition(
 void Network::clear_partition() {
   island_of_.clear();
   partitioned_ = false;
+}
+
+bool Network::one_way_blocked(NodeId src, NodeId dst) const {
+  if (!one_way_active_) return false;
+  auto flagged = [](const std::vector<std::uint8_t>& flags, NodeId n) {
+    return n >= 0 && static_cast<std::size_t>(n) < flags.size() &&
+           flags[static_cast<std::size_t>(n)] != 0;
+  };
+  return flagged(asym_from_, src) && flagged(asym_to_, dst);
+}
+
+void Network::set_one_way_block(const std::vector<NodeId>& from,
+                                const std::vector<NodeId>& to) {
+  std::fill(asym_from_.begin(), asym_from_.end(), 0);
+  std::fill(asym_to_.begin(), asym_to_.end(), 0);
+  for (NodeId n : from) {
+    if (n < 0) continue;
+    ensure_slot(asym_from_, n, std::uint8_t{0});
+    asym_from_[static_cast<std::size_t>(n)] = 1;
+  }
+  for (NodeId n : to) {
+    if (n < 0) continue;
+    ensure_slot(asym_to_, n, std::uint8_t{0});
+    asym_to_[static_cast<std::size_t>(n)] = 1;
+  }
+  one_way_active_ = !from.empty() && !to.empty();
+  PEN_LOG_INFO("network: one-way block %zu->%zu nodes at t=%.3fs",
+               from.size(), to.size(),
+               common::to_seconds(engine_ != nullptr
+                                      ? engine_->context_now()
+                                      : sim_->now()));
+}
+
+void Network::clear_one_way_block() {
+  std::fill(asym_from_.begin(), asym_from_.end(), 0);
+  std::fill(asym_to_.begin(), asym_to_.end(), 0);
+  one_way_active_ = false;
+}
+
+void Network::set_latency_burst(NodeId src, common::Ticks extra,
+                                common::Ticks until) {
+  if (src < 0) return;
+  ensure_slot(bursts_, src, Burst{});
+  bursts_[static_cast<std::size_t>(src)] = Burst{extra, until};
+}
+
+void Network::pause_node(NodeId node) {
+  if (node < 0) return;
+  ensure_slot(paused_, node, std::uint8_t{0});
+  if (paused_.size() > paused_inbox_.size()) {
+    paused_inbox_.resize(paused_.size());
+    paused_outbox_.resize(paused_.size());
+  }
+  if (paused_[static_cast<std::size_t>(node)] != 0) return;
+  paused_[static_cast<std::size_t>(node)] = 1;
+  PEN_LOG_INFO("network: node %d paused at t=%.3fs", node,
+               common::to_seconds(engine_ != nullptr ? engine_->context_now()
+                                                     : sim_->now()));
+}
+
+void Network::resume_node(NodeId node) {
+  if (!node_paused(node)) return;
+  auto idx = static_cast<std::size_t>(node);
+  paused_[idx] = 0;
+  const common::Ticks now =
+      engine_ != nullptr ? engine_->context_now() : sim_->now();
+  // Replay both sides in canonical (arrival, id, duplicate) order so the
+  // unblocked history is independent of the queueing order. Inbox frames
+  // arrive now; outbox frames depart now and arrive after the delay
+  // sampled at send time (StagedSend.at stores that delay).
+  struct Replay {
+    common::Ticks at;
+    StagedSend staged;
+  };
+  std::vector<Replay> replays;
+  replays.reserve(paused_inbox_[idx].size() + paused_outbox_[idx].size());
+  for (const StagedSend& staged : paused_inbox_[idx])
+    replays.push_back(Replay{now, staged});
+  for (const StagedSend& staged : paused_outbox_[idx])
+    replays.push_back(Replay{now + staged.at, staged});
+  paused_inbox_[idx].clear();
+  paused_outbox_[idx].clear();
+  std::sort(replays.begin(), replays.end(),
+            [](const Replay& a, const Replay& b) {
+              if (a.at != b.at) return a.at < b.at;
+              if (a.staged.msg.id != b.staged.msg.id)
+                return a.staged.msg.id < b.staged.msg.id;
+              return a.staged.msg.duplicate < b.staged.msg.duplicate;
+            });
+  for (const Replay& replay : replays) redeliver(replay.staged, replay.at);
+  PEN_LOG_INFO("network: node %d resumed at t=%.3fs (%zu frames replayed)",
+               node, common::to_seconds(now), replays.size());
+}
+
+bool Network::node_paused(NodeId node) const {
+  return node >= 0 && static_cast<std::size_t>(node) < paused_.size() &&
+         paused_[static_cast<std::size_t>(node)] != 0;
+}
+
+void Network::redeliver(const StagedSend& staged, common::Ticks at) {
+  int shard = -1;
+  if (engine_ != nullptr && staged.msg.dst >= 0 &&
+      static_cast<std::size_t>(staged.msg.dst) < shard_of_.size())
+    shard = shard_of_[static_cast<std::size_t>(staged.msg.dst)];
+  const std::size_t ctxi =
+      engine_ == nullptr
+          ? 0
+          : (shard >= 0 ? static_cast<std::size_t>(shard)
+                        : contexts_.size() - 1);
+  ContextState& cx = contexts_[ctxi];
+  std::uint32_t slot;
+  if (cx.free_slots.empty()) {
+    slot = static_cast<std::uint32_t>(cx.slab.size());
+    cx.slab.push_back(staged.msg);
+  } else {
+    slot = cx.free_slots.back();
+    cx.free_slots.pop_back();
+    cx.slab[slot] = staged.msg;
+  }
+  // Serial sends create their duplicate-tracking entry at send time;
+  // sharded sends create it at flush — a held outbox frame skipped that
+  // flush, so the increment happens here instead.
+  if (engine_ != nullptr && staged.tracked != 0)
+    ++cx.copies[staged.msg.id].outstanding;
+  sim::Simulator& dst_sim =
+      engine_ == nullptr
+          ? *sim_
+          : (shard >= 0 ? engine_->shard(shard) : engine_->control());
+  dst_sim.schedule_at(at,
+                      [this, ctx = static_cast<std::uint32_t>(ctxi), slot] {
+                        deliver(ctx, slot);
+                      });
+}
+
+void Network::set_fault_rates(const FaultRates& rates) {
+  config_.loss_probability = rates.loss;
+  config_.duplicate_probability = rates.duplicate;
+  config_.reorder_probability = rates.reorder;
+  config_.corrupt_probability = rates.corrupt;
+}
+
+FaultRates Network::fault_rates() const {
+  return FaultRates{config_.loss_probability,
+                    config_.duplicate_probability,
+                    config_.reorder_probability,
+                    config_.corrupt_probability};
 }
 
 }  // namespace penelope::net

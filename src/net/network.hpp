@@ -91,6 +91,22 @@ struct NetworkConfig {
   /// base latency) inverts ordering against concurrent traffic; chaos
   /// configs raise it past the protocol timeout to force late grants.
   common::Ticks reorder_delay = common::from_millis(5.0);
+  /// Probability a message is corrupted on the wire: one bit of its
+  /// encoded frame is flipped at delivery and the frame must survive
+  /// decode_checked (it never does — the checksum catches every
+  /// single-bit flip), so the message is dropped and counted. Draws
+  /// nothing at zero, like the other fault probabilities.
+  double corrupt_probability = 0.0;
+};
+
+/// The stochastic fault knobs as one value, so a fault schedule can
+/// switch the fabric between calm and hostile regimes mid-run (a
+/// "rates burst" is a pair of set_fault_rates events).
+struct FaultRates {
+  double loss = 0.0;
+  double duplicate = 0.0;
+  double reorder = 0.0;
+  double corrupt = 0.0;
 };
 
 struct NetworkStats {
@@ -100,8 +116,13 @@ struct NetworkStats {
   std::uint64_t dropped_dead_node = 0;   ///< src or dst failed
   std::uint64_t dropped_partition = 0;   ///< src/dst in different islands
   std::uint64_t dropped_no_endpoint = 0; ///< dst never registered
+  std::uint64_t dropped_one_way = 0;     ///< asymmetric (one-way) block
+  std::uint64_t dropped_corrupt = 0;     ///< wire corruption, checksum caught
   std::uint64_t duplicated = 0;          ///< extra copies injected
   std::uint64_t reordered = 0;           ///< copies given a reorder delay
+  std::uint64_t corrupted = 0;           ///< copies given a wire bit flip
+  std::uint64_t burst_delayed = 0;       ///< copies delayed by a latency burst
+  std::uint64_t paused_held = 0;         ///< deliveries queued at a paused node
   std::uint64_t node_failures = 0;   ///< alive->failed transitions
   std::uint64_t node_recoveries = 0; ///< failed->alive transitions
   /// Wire-encoded payload bytes across logical sends (duplicated copies
@@ -111,7 +132,7 @@ struct NetworkStats {
 
   std::uint64_t dropped_total() const {
     return dropped_loss + dropped_dead_node + dropped_partition +
-           dropped_no_endpoint;
+           dropped_no_endpoint + dropped_one_way + dropped_corrupt;
   }
 };
 
@@ -124,6 +145,8 @@ enum class DropReason : std::uint8_t {
   kDeadNode,
   kPartition,
   kNoEndpoint,
+  kOneWay,    ///< asymmetric block: src->dst severed, dst->src intact
+  kCorrupt,   ///< frame corrupted on the wire, rejected by decode_checked
 };
 
 class Network {
@@ -175,6 +198,38 @@ class Network {
   /// each other (island -1). Sharded mode: barrier context only.
   void set_partition(const std::vector<std::vector<NodeId>>& islands);
   void clear_partition();
+
+  /// Asymmetric (one-way) partition: messages from any node in `from`
+  /// to any node in `to` are dropped at send time; the reverse
+  /// direction is untouched. Replaces any previous one-way block.
+  /// Orthogonal to symmetric partitions. Sharded: barrier context only.
+  void set_one_way_block(const std::vector<NodeId>& from,
+                         const std::vector<NodeId>& to);
+  void clear_one_way_block();
+
+  /// Per-link latency burst: every copy sent by `src` while now < until
+  /// gets `extra` ticks added on top of its sampled latency (jitter
+  /// spike / congested uplink). Adds no Rng draws, so a run with no
+  /// bursts armed is bit-identical to one where the feature does not
+  /// exist. Sharded: barrier context only.
+  void set_latency_burst(NodeId src, common::Ticks extra,
+                         common::Ticks until);
+
+  /// Pause a node: a process stall that preserves volatile state.
+  /// Deliveries to it queue instead of invoking the handler, and its
+  /// own sends are held in the NIC; resume_node replays both sides in
+  /// canonical (arrival, id, duplicate) order. Unlike fail_node no
+  /// message is dropped and no watts strand. Idempotent. Sharded:
+  /// barrier context only.
+  void pause_node(NodeId node);
+  void resume_node(NodeId node);
+  bool node_paused(NodeId node) const;
+
+  /// Swap the stochastic fault knobs (loss/duplicate/reorder/corrupt)
+  /// mid-run; a fault schedule uses a pair of these to make a bounded
+  /// "hostile weather" window. Sharded: barrier context only.
+  void set_fault_rates(const FaultRates& rates);
+  FaultRates fault_rates() const;
 
   /// Observer invoked for every dropped message with the message that
   /// was lost and why (loss, dead node, partition, missing endpoint).
@@ -255,11 +310,15 @@ class Network {
   };
 
   bool same_island(NodeId a, NodeId b) const;
+  bool one_way_blocked(NodeId src, NodeId dst) const;
   void deliver(std::size_t ctx, std::uint32_t slot);
   void schedule_copy(ContextState& ctx, const Message& msg,
                      common::Ticks delay, bool tracked);
   common::Ticks sample_copy_delay(SourceState& src, NetworkStats& stats);
   void flush_staged();
+  /// Slab-insert + schedule one replayed message (resume path); does for
+  /// a single message what flush_staged does for a staged batch.
+  void redeliver(const StagedSend& staged, common::Ticks at);
   SourceState& source_state(NodeId src);
   std::size_t context_index() const;
   ContextState& context() { return contexts_[context_index()]; }
@@ -276,6 +335,27 @@ class Network {
   std::vector<Handler> endpoints_;
   std::vector<std::uint8_t> failed_;
   std::vector<std::int32_t> island_of_;
+  /// One-way block membership flags (asymmetric partition). A send is
+  /// dropped iff one_way_active_ && asym_from_[src] && asym_to_[dst].
+  std::vector<std::uint8_t> asym_from_;
+  std::vector<std::uint8_t> asym_to_;
+  bool one_way_active_ = false;
+  /// Per-source latency bursts: copies sent while now < until get extra
+  /// ticks. Zero entries add nothing and draw nothing.
+  struct Burst {
+    common::Ticks extra = 0;
+    common::Ticks until = 0;
+  };
+  std::vector<Burst> bursts_;
+  /// Paused nodes ("process stall"): inbound deliveries and outbound
+  /// sends queue here until resume. The inbox row for node n is only
+  /// touched by n's delivery context, the outbox row by n's send
+  /// context, and pause/resume run at barriers — same ownership rule as
+  /// the context rows. Outbox StagedSend.at stores the *sampled delay*
+  /// (not an absolute arrival): the message departs at resume.
+  std::vector<std::uint8_t> paused_;
+  std::vector<std::vector<StagedSend>> paused_inbox_;
+  std::vector<std::vector<StagedSend>> paused_outbox_;
   /// Per-source-node streams. Serial mode grows lazily; sharded mode is
   /// pre-sized from shard_of_ so windows never resize it.
   std::vector<SourceState> sources_;

@@ -54,7 +54,8 @@ UdpPenelopeNode::UdpPenelopeNode(UdpNodeConfig config,
         dc.txn_node = config.id;
         return dc;
       }(), pool_),
-      rng_(config.seed ^ (0x9e3779b9ULL * (config.id + 1))) {
+      rng_(config.seed ^ (0x9e3779b9ULL * (config.id + 1))),
+      rx_rng_(config.seed ^ (0x85ebca6bULL * (config.id + 1))) {
   if (config_.flight_recorder_capacity > 0)
     recorder_.enable(config_.flight_recorder_capacity);
   telemetry::Labels labels{{"node", std::to_string(config_.id)}};
@@ -76,6 +77,12 @@ UdpPenelopeNode::UdpPenelopeNode(UdpNodeConfig config,
   stale_heartbeats_ =
       registry_.counter("udp_stale_heartbeats_total", labels,
                         "beacons quarantined for an old incarnation");
+  malformed_dropped_ =
+      registry_.counter("udp_malformed_dropped_total", labels,
+                        "datagrams rejected by the frame checksum layer");
+  frames_corrupted_ =
+      registry_.counter("udp_frames_corrupted_total", labels,
+                        "outgoing frames bit-flipped by the nemesis");
   fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
   if (fd_ < 0) {
     error_ = std::string("socket: ") + std::strerror(errno);
@@ -149,6 +156,37 @@ bool UdpPenelopeNode::send_to_port(
   return sent == static_cast<ssize_t>(bytes.size());
 }
 
+bool UdpPenelopeNode::send_frame(std::uint16_t port,
+                                 const net::WirePayload& payload,
+                                 common::Rng& rng, double watts_at_risk) {
+  std::vector<std::uint8_t> bytes = net::encode_frame(payload);
+  bool corrupted = false;
+  if (config_.corrupt_probability > 0.0 &&
+      rng.chance(config_.corrupt_probability)) {
+    // One random bit flip anywhere in the frame. The FNV-1a checksum
+    // (bijective per-byte step) detects every single-bit flip, so the
+    // receiver is guaranteed to drop this frame.
+    std::size_t byte = rng.next_below(
+        static_cast<std::uint32_t>(bytes.size()));
+    bytes[byte] ^= static_cast<std::uint8_t>(1u << rng.next_below(8));
+    corrupted = true;
+  }
+  bool sent = send_to_port(port, bytes);
+  if (corrupted && sent) {
+    frames_corrupted_.inc();
+    if (watts_at_risk > 0.0) {
+      // The grant left this node's ledger (pool_.serve debited it) and
+      // will never arrive: charge the stranded ledger so the cluster's
+      // conservation identity stays exact.
+      double prev = corrupt_stranded_.load(std::memory_order_relaxed);
+      while (!corrupt_stranded_.compare_exchange_weak(
+          prev, prev + watts_at_risk, std::memory_order_relaxed)) {
+      }
+    }
+  }
+  return sent;
+}
+
 void UdpPenelopeNode::crash_restart() {
   crash_requested_.store(true, std::memory_order_release);
 }
@@ -185,12 +223,21 @@ void UdpPenelopeNode::receiver_loop(std::stop_token stop) {
     }
     packets_received_.inc();
 
-    auto payload =
-        net::decode(buffer, static_cast<std::size_t>(received));
-    if (!payload) {
+    net::CheckedDecode checked =
+        net::decode_checked(buffer, static_cast<std::size_t>(received));
+    if (!checked) {
+      // Hostile or bit-flipped bytes: drop, count, keep serving. A real
+      // fault storm can burst this path, so the warning is rate-limited.
+      malformed_dropped_.inc();
       decode_failures_.inc();
+      PEN_LOG_WARN_RATED(64,
+                         "udp node %d: dropping malformed datagram "
+                         "(%s, %zd bytes)",
+                         config_.id,
+                         net::decode_error_name(checked.error), received);
       continue;
     }
+    auto& payload = checked.payload;
 
     if (const auto* request = std::get_if<core::PowerRequest>(&*payload)) {
       if (!request_window_.insert(request->txn_id)) {
@@ -207,8 +254,9 @@ void UdpPenelopeNode::receiver_loop(std::stop_token stop) {
                        telemetry::TxnEventKind::kRequestServed, config_.id,
                        -1, granted);
       core::PowerGrant grant{granted, request->txn_id};
-      auto bytes = net::encode(net::WirePayload{grant});
-      if (!send_to_port(ntohs(from.sin_port), bytes) && granted > 0.0) {
+      if (!send_frame(ntohs(from.sin_port), net::WirePayload{grant},
+                      rx_rng_, granted) &&
+          granted > 0.0) {
         // Could not answer: the watts must not vanish.
         pool_.deposit(granted);
         recorder_.record(wall_ticks(), request->txn_id,
@@ -273,10 +321,10 @@ void UdpPenelopeNode::decider_loop(std::stop_token stop) {
       // Liveness beacon naming this node's current incarnation; fire
       // and forget — a lost beacon just means one more missed period on
       // the peers' suspicion clocks.
-      auto beacon = net::encode(net::WirePayload{core::Heartbeat{
-          config_.id, incarnation_.load(std::memory_order_acquire)}});
+      net::WirePayload beacon{core::Heartbeat{
+          config_.id, incarnation_.load(std::memory_order_acquire)}};
       for (const auto& peer : peers_) {
-        (void)send_to_port(peer.port, beacon);
+        (void)send_frame(peer.port, beacon, rng_, 0.0);
       }
     }
 
@@ -294,9 +342,9 @@ void UdpPenelopeNode::decider_loop(std::stop_token stop) {
     if (outcome.kind == core::StepKind::kNeedsPeer) {
       const UdpPeer& peer = peers_[rng_.next_below(
           static_cast<std::uint32_t>(peers_.size()))];
-      auto bytes = net::encode(net::WirePayload{outcome.request});
       bool matched = false;
-      if (send_to_port(peer.port, bytes)) {
+      if (send_frame(peer.port, net::WirePayload{outcome.request}, rng_,
+                     0.0)) {
         recorder_.record(wall_ticks(), outcome.request.txn_id,
                          telemetry::TxnEventKind::kRequestSent, config_.id,
                          peer.id, outcome.request.alpha_watts);
@@ -355,6 +403,10 @@ UdpNodeReport UdpPenelopeNode::report() const {
   report.duplicates_dropped = duplicates_dropped_.value();
   report.heartbeats_received = heartbeats_received_.value();
   report.stale_heartbeats = stale_heartbeats_.value();
+  report.udp_malformed_dropped = malformed_dropped_.value();
+  report.frames_corrupted = frames_corrupted_.value();
+  report.corrupt_stranded_watts =
+      corrupt_stranded_.load(std::memory_order_relaxed);
   report.incarnation = incarnation_.load(std::memory_order_acquire);
   report.decider = decider_.stats();
   return report;
@@ -424,6 +476,14 @@ double UdpCluster::total_live_watts() const {
 
 double UdpCluster::budget() const {
   return initial_cap_ * static_cast<double>(nodes_.size());
+}
+
+double UdpCluster::corrupt_stranded_watts() const {
+  double total = 0.0;
+  for (const auto& node : nodes_) {
+    total += node->report().corrupt_stranded_watts;
+  }
+  return total;
 }
 
 std::vector<telemetry::MetricSample> UdpCluster::metrics_snapshot() const {

@@ -31,6 +31,7 @@
 #include "core/decider.hpp"
 #include "core/pool.hpp"
 #include "core/txn_window.hpp"
+#include "net/codec.hpp"
 #include "power/simulated_rapl.hpp"
 #include "rt/mailbox.hpp"
 #include "rt/thread_cluster.hpp"
@@ -57,6 +58,13 @@ struct UdpNodeConfig {
   /// incarnations"). Off by default: heartbeats add a datagram per peer
   /// per period, and the pre-membership tests pin packet counts.
   bool heartbeats = false;
+  /// TEST-ONLY wire-corruption nemesis: probability that an outgoing
+  /// frame has one random bit flipped after encoding. The FNV-1a frame
+  /// checksum guarantees the receiver detects and drops every such
+  /// frame, so any watts the frame carried are stranded — tracked in
+  /// corrupt_stranded_watts so conservation stays checkable:
+  ///   total_live + corrupt_stranded == budget.
+  double corrupt_probability = 0.0;
   std::uint64_t seed = 42;
 };
 
@@ -73,6 +81,16 @@ struct UdpNodeReport {
   std::uint64_t timeouts = 0;
   std::uint64_t packets_received = 0;
   std::uint64_t decode_failures = 0;
+  /// Datagrams rejected by the checked frame decoder (bad magic, bad
+  /// checksum, truncated, unknown tag, malformed body). Hostile or
+  /// bit-flipped traffic lands here instead of aborting the node.
+  std::uint64_t udp_malformed_dropped = 0;
+  /// Outgoing frames the corruption nemesis bit-flipped (test-only).
+  std::uint64_t frames_corrupted = 0;
+  /// Watts carried by corrupted grant frames: guaranteed dropped by the
+  /// receiver's checksum, so they leave the live ledger. Conservation
+  /// under corruption: sum(cap + pool) + sum(corrupt_stranded) == budget.
+  double corrupt_stranded_watts = 0.0;
   /// Redelivered datagrams refused by the receive-side TxnWindows. UDP
   /// genuinely duplicates, so this can be nonzero on a healthy run.
   std::uint64_t duplicates_dropped = 0;
@@ -149,6 +167,14 @@ class UdpPenelopeNode {
   void decider_loop(std::stop_token stop);
   bool send_to_port(std::uint16_t port,
                     const std::vector<std::uint8_t>& bytes);
+  /// Encode `payload` as a checksummed frame and send it; applies the
+  /// corruption nemesis when armed. `rng` must belong to the calling
+  /// thread. `watts_at_risk` is the power this frame carries: if the
+  /// frame is corrupted (and the syscall still succeeds) those watts are
+  /// charged to the stranded ledger, because the receiver's checksum is
+  /// guaranteed to reject the frame.
+  bool send_frame(std::uint16_t port, const net::WirePayload& payload,
+                  common::Rng& rng, double watts_at_risk);
 
   UdpNodeConfig config_;
   std::vector<DemandPhase> script_;
@@ -162,6 +188,13 @@ class UdpPenelopeNode {
   core::Decider decider_;
   Mailbox<core::PowerGrant> grant_box_;
   common::Rng rng_;
+  /// Corruption-nemesis draws for frames sent from the receiver thread
+  /// (grant replies); rng_ covers the decider thread's sends. Two
+  /// streams so the threads never share an Rng.
+  common::Rng rx_rng_;
+  /// Watts stranded by corrupted grant frames (receiver + decider
+  /// threads both send grants' worth of power, so this is atomic).
+  std::atomic<double> corrupt_stranded_{0.0};
   /// At-most-once receive windows, both owned by the receiver thread:
   /// every datagram — request or grant — is deduplicated before it can
   /// touch the pool or reach the decider's mailbox.
@@ -185,6 +218,8 @@ class UdpPenelopeNode {
   telemetry::Counter duplicates_dropped_;
   telemetry::Counter heartbeats_received_;
   telemetry::Counter stale_heartbeats_;
+  telemetry::Counter malformed_dropped_;
+  telemetry::Counter frames_corrupted_;
 
   std::jthread receiver_thread_;
   std::jthread decider_thread_;
@@ -206,6 +241,9 @@ class UdpCluster {
   std::vector<UdpNodeReport> reports() const;
   double total_live_watts() const;
   double budget() const;
+  /// Sum of every node's corrupt-stranded ledger; under the corruption
+  /// nemesis, total_live_watts() + corrupt_stranded_watts() == budget().
+  double corrupt_stranded_watts() const;
 
   /// Direct node access, e.g. to inject a crash_restart() mid-run.
   UdpPenelopeNode& node(int i) {

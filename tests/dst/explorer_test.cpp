@@ -1,0 +1,126 @@
+// End-to-end properties of the fault-schedule explorer: byte-identical
+// replay, swarm determinism across worker counts, a quiet verdict on the
+// hardened tree, and the self-test that matters most — the planted
+// grant-dedup regression is found by the swarm and ddmin-shrunk to a
+// handful of fault events with a working repro command.
+#include "dst/explorer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace penelope::dst {
+namespace {
+
+ExplorerConfig small_config() {
+  ExplorerConfig cfg;
+  cfg.n_nodes = 8;
+  cfg.base_seed = 1;
+  cfg.seeds = 2;
+  cfg.schedules = 4;
+  cfg.jobs = 2;
+  return cfg;
+}
+
+TEST(DstSwarm, ReplayIsByteIdentical) {
+  ExplorerConfig cfg = small_config();
+  const std::uint64_t salt = schedule_salt(cfg, 0);
+  auto schedule = generate_schedule(cfg.spec, salt);
+  RunOutcome a = execute_one(cfg, 3, salt, schedule);
+  RunOutcome b = execute_one(cfg, 3, salt, schedule);
+  EXPECT_EQ(a.trace_hash, b.trace_hash);
+  EXPECT_EQ(a.executed_events, b.executed_events);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.violations.size(), b.violations.size());
+  EXPECT_GT(a.executed_events, 0u);
+}
+
+TEST(DstSwarm, SwarmOutcomeIsIndependentOfWorkerCount) {
+  ExplorerConfig cfg = small_config();
+  cfg.jobs = 1;
+  SwarmReport serial = run_swarm(cfg);
+  cfg.jobs = 4;
+  SwarmReport parallel = run_swarm(cfg);
+  EXPECT_EQ(serial.runs, 8u);
+  EXPECT_EQ(serial.outcome_hash, parallel.outcome_hash);
+  EXPECT_EQ(serial.violating_runs, parallel.violating_runs);
+}
+
+TEST(DstSwarm, HardenedClusterSurvivesTheSwarm) {
+  ExplorerConfig cfg = small_config();
+  cfg.seeds = 2;
+  cfg.schedules = 8;
+  SwarmReport report = run_swarm(cfg);
+  EXPECT_EQ(report.runs, 16u);
+  EXPECT_EQ(report.violating_runs, 0u)
+      << "first: seed=" << report.violations.front().seed << " schedule "
+      << report.violations.front().schedule;
+}
+
+TEST(DstSwarm, PlantedBugIsFoundAndShrunkToAMinimalRepro) {
+  // The acceptance test from the issue: revert the PR 2 grant hardening
+  // behind the test hook, let the swarm find it, and shrink the first
+  // violating schedule to <= 5 fault events that still reproduce it.
+  ExplorerConfig cfg = small_config();
+  cfg.plant_bug = true;
+  cfg.seeds = 4;
+  cfg.schedules = 8;
+  cfg.jobs = 0;
+  SwarmReport report = run_swarm(cfg);
+  ASSERT_GT(report.violating_runs, 0u)
+      << "the swarm lost its ability to find the planted bug";
+
+  const RunOutcome& first = report.violations.front();
+  std::vector<cluster::FaultEvent> schedule;
+  ASSERT_TRUE(parse_schedule(first.schedule, &schedule));
+  const std::string& oracle = first.violations.front().oracle;
+
+  std::size_t spent = 0;
+  auto minimal = shrink_schedule(cfg, first.seed, schedule, oracle, &spent);
+  EXPECT_LE(minimal.size(), 5u)
+      << "minimal repro too large: " << format_schedule(minimal);
+  EXPECT_GE(minimal.size(), 1u);
+  EXPECT_GT(spent, 0u);
+  EXPECT_LE(spent, cfg.shrink_budget);
+
+  // The shrunk schedule still violates the SAME oracle.
+  RunOutcome replay = execute_one(cfg, first.seed, 0, minimal);
+  EXPECT_TRUE(has_oracle(replay.violations, oracle))
+      << format_schedule(minimal);
+
+  // ddmin is deterministic: shrinking again lands on the same minimum.
+  std::size_t spent2 = 0;
+  auto minimal2 =
+      shrink_schedule(cfg, first.seed, schedule, oracle, &spent2);
+  EXPECT_EQ(format_schedule(minimal), format_schedule(minimal2));
+  EXPECT_EQ(spent, spent2);
+
+  // And the one-line repro names the run.
+  std::string repro = repro_command(cfg, first.seed, minimal);
+  EXPECT_NE(repro.find("run_experiment"), std::string::npos);
+  EXPECT_NE(repro.find("dst=1"), std::string::npos);
+  EXPECT_NE(repro.find("dst_bug=1"), std::string::npos);
+  EXPECT_NE(repro.find("schedule='" + format_schedule(minimal) + "'"),
+            std::string::npos)
+      << repro;
+}
+
+TEST(DstSwarm, CorruptionWeatherAloneLeavesTheLedgerExact) {
+  // A schedule that is nothing but a 1%-corruption window: every
+  // corrupted frame is dropped by the checksum (never decoded into a
+  // wrong message), watts stay conserved to tolerance, and the run
+  // completes. Mirrors the acceptance criterion for the sim side.
+  ExplorerConfig cfg = small_config();
+  std::vector<cluster::FaultEvent> schedule;
+  ASSERT_TRUE(parse_schedule("rates@2,0,0,0,0.01/rates@30,0,0,0,0",
+                             &schedule));
+  RunOutcome out = execute_one(cfg, 5, 0, schedule);
+  EXPECT_TRUE(out.completed);
+  EXPECT_TRUE(out.violations.empty())
+      << out.violations.front().oracle << ": "
+      << out.violations.front().detail;
+}
+
+}  // namespace
+}  // namespace penelope::dst

@@ -1,0 +1,177 @@
+// Each invariant oracle must fire on a hand-built violating history and
+// stay quiet on a healthy one. OracleFacts is deliberately forgeable —
+// no live Cluster needed — so every oracle's trigger condition is pinned
+// here directly, including the subset-robustness gates (clean-schedule
+// arming, schedule-derived incarnation bounds).
+#include "dst/oracles.hpp"
+
+#include <gtest/gtest.h>
+
+#include "telemetry/flight_recorder.hpp"
+
+namespace penelope::dst {
+namespace {
+
+using telemetry::TxnEventKind;
+using telemetry::TxnRecord;
+
+TxnRecord settle(std::uint64_t txn, TxnEventKind kind) {
+  TxnRecord rec;
+  rec.at = 1000;
+  rec.txn_id = txn;
+  rec.kind = kind;
+  rec.node = 0;
+  rec.peer = 1;
+  rec.watts = 5.0;
+  return rec;
+}
+
+OracleFacts healthy_facts() {
+  OracleFacts facts;
+  facts.audit.max_abs_conservation_error = 1e-13;
+  facts.audit.max_live_overshoot = 0.0;
+  facts.audit.audits = 100;
+  facts.journal = {settle(1, TxnEventKind::kGrantReceived),
+                   settle(2, TxnEventKind::kLateGrant),
+                   settle(3, TxnEventKind::kGrantReceived)};
+  facts.incarnations = {1, 2, 1};
+  facts.allowed_restarts = {0, 1, 0};
+  facts.wedged = false;
+  facts.all_completed = true;
+  facts.clean_schedule = true;
+  facts.reconverged = true;
+  return facts;
+}
+
+TEST(DstOracles, HealthyRunProducesNoViolations) {
+  EXPECT_TRUE(check_oracles(healthy_facts()).empty());
+}
+
+TEST(DstOracles, ConservationFiresOnLedgerDrift) {
+  OracleFacts facts = healthy_facts();
+  facts.audit.max_abs_conservation_error = 0.5;
+  auto v = check_oracles(facts);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].oracle, "conservation");
+  EXPECT_TRUE(has_oracle(v, "conservation"));
+  EXPECT_FALSE(has_oracle(v, "cap-overshoot"));
+  // Sub-tolerance drift is noise, not a violation.
+  facts.audit.max_abs_conservation_error = 1e-9;
+  EXPECT_TRUE(check_oracles(facts).empty());
+}
+
+TEST(DstOracles, CapOvershootFiresOnLiveWattsAboveBudget) {
+  OracleFacts facts = healthy_facts();
+  facts.audit.max_live_overshoot = 2.0;
+  auto v = check_oracles(facts);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].oracle, "cap-overshoot");
+}
+
+TEST(DstOracles, AtMostOnceFiresOnDoubleSettlement) {
+  // The same transaction both applied by the decider AND banked late:
+  // the double-apply the PR 2 dedup window exists to prevent.
+  OracleFacts facts = healthy_facts();
+  facts.journal.push_back(settle(7, TxnEventKind::kGrantReceived));
+  facts.journal.push_back(settle(7, TxnEventKind::kLateGrant));
+  auto v = check_oracles(facts);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].oracle, "at-most-once");
+  EXPECT_NE(v[0].detail.find("txn 7"), std::string::npos) << v[0].detail;
+
+  // Two applications of the same grant is the same violation.
+  facts = healthy_facts();
+  facts.journal.push_back(settle(9, TxnEventKind::kGrantReceived));
+  facts.journal.push_back(settle(9, TxnEventKind::kGrantReceived));
+  EXPECT_TRUE(has_oracle(check_oracles(facts), "at-most-once"));
+
+  // A wrapped ring does not excuse a double-settle that was retained.
+  facts.journal_complete = false;
+  EXPECT_TRUE(has_oracle(check_oracles(facts), "at-most-once"));
+
+  // Non-settlement events never count toward the limit.
+  facts = healthy_facts();
+  facts.journal.push_back(settle(4, TxnEventKind::kRequestSent));
+  facts.journal.push_back(settle(4, TxnEventKind::kRequestServed));
+  facts.journal.push_back(settle(4, TxnEventKind::kGrantReceived));
+  EXPECT_TRUE(check_oracles(facts).empty());
+}
+
+TEST(DstOracles, IncarnationFiresOutsideTheScheduleDerivedBound) {
+  // Node 2 reports incarnation 3 but the schedule only ever recovered
+  // it once: it re-admitted itself through a path that never existed.
+  OracleFacts facts = healthy_facts();
+  facts.incarnations = {1, 1, 3};
+  facts.allowed_restarts = {0, 0, 1};
+  auto v = check_oracles(facts);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].oracle, "incarnation");
+  EXPECT_NE(v[0].detail.find("node 2"), std::string::npos) << v[0].detail;
+
+  // Incarnation 0 is below the floor: monotonicity broke.
+  facts = healthy_facts();
+  facts.incarnations = {0, 1, 1};
+  facts.allowed_restarts = {0, 0, 0};
+  EXPECT_TRUE(has_oracle(check_oracles(facts), "incarnation"));
+
+  // Churn makes the bound void: the churn process restarts nodes
+  // outside the schedule, so the oracle must stand down.
+  facts.churny = true;
+  EXPECT_TRUE(check_oracles(facts).empty());
+}
+
+TEST(DstOracles, WedgeIsReportedRegardlessOfScheduleCleanliness) {
+  OracleFacts facts = healthy_facts();
+  facts.wedged = true;
+  facts.clean_schedule = false;
+  auto v = check_oracles(facts);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].oracle, "liveness-wedged");
+}
+
+TEST(DstOracles, IncompleteRunFiresOnlyOnCleanSchedules) {
+  OracleFacts facts = healthy_facts();
+  facts.all_completed = false;
+  EXPECT_TRUE(has_oracle(check_oracles(facts), "liveness-incomplete"));
+
+  // An unhealed schedule is allowed to leave the cluster degraded: the
+  // shrinker must be able to drop a recover event without inventing a
+  // liveness violation that the original run never had.
+  facts.clean_schedule = false;
+  EXPECT_TRUE(check_oracles(facts).empty());
+
+  // A wedge subsumes mere incompleteness.
+  facts = healthy_facts();
+  facts.all_completed = false;
+  facts.wedged = true;
+  auto v = check_oracles(facts);
+  EXPECT_TRUE(has_oracle(v, "liveness-wedged"));
+  EXPECT_FALSE(has_oracle(v, "liveness-incomplete"));
+}
+
+TEST(DstOracles, NoReconvergenceFiresOnlyOnCleanSchedules) {
+  OracleFacts facts = healthy_facts();
+  facts.reconverged = false;
+  EXPECT_TRUE(
+      has_oracle(check_oracles(facts), "liveness-no-reconvergence"));
+  facts.clean_schedule = false;
+  EXPECT_TRUE(check_oracles(facts).empty());
+}
+
+TEST(DstOracles, ViolationsAccumulateIndependently) {
+  OracleFacts facts = healthy_facts();
+  facts.audit.max_abs_conservation_error = 1.0;
+  facts.audit.max_live_overshoot = 1.0;
+  facts.journal.push_back(settle(5, TxnEventKind::kGrantReceived));
+  facts.journal.push_back(settle(5, TxnEventKind::kLateGrant));
+  facts.wedged = true;
+  auto v = check_oracles(facts);
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_TRUE(has_oracle(v, "conservation"));
+  EXPECT_TRUE(has_oracle(v, "cap-overshoot"));
+  EXPECT_TRUE(has_oracle(v, "at-most-once"));
+  EXPECT_TRUE(has_oracle(v, "liveness-wedged"));
+}
+
+}  // namespace
+}  // namespace penelope::dst

@@ -1,0 +1,159 @@
+// The schedule text format is the repro channel: a violating run is
+// communicated as `schedule='...'` on a run_experiment command line, so
+// format -> parse -> format must be the identity down to the exact tick,
+// and the generator must be a pure function of (spec, salt).
+#include "dst/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace penelope::dst {
+namespace {
+
+using cluster::FaultEvent;
+
+bool events_equal(const FaultEvent& a, const FaultEvent& b) {
+  return a.kind == b.kind && a.at == b.at && a.node == b.node &&
+         a.until == b.until && a.magnitude == b.magnitude &&
+         a.rates.loss == b.rates.loss &&
+         a.rates.duplicate == b.rates.duplicate &&
+         a.rates.reorder == b.rates.reorder &&
+         a.rates.corrupt == b.rates.corrupt;
+}
+
+TEST(DstSchedule, GeneratorIsAPureFunctionOfSpecAndSalt) {
+  ScheduleSpec spec;
+  auto a = generate_schedule(spec, 0x1234);
+  auto b = generate_schedule(spec, 0x1234);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(events_equal(a[i], b[i])) << "event " << i;
+  }
+  EXPECT_FALSE(a.empty());
+  // A different salt draws a different schedule.
+  auto c = generate_schedule(spec, 0x5678);
+  EXPECT_NE(format_schedule(a), format_schedule(c));
+}
+
+TEST(DstSchedule, GeneratedSchedulesAreSortedAndInHorizon) {
+  ScheduleSpec spec;
+  spec.horizon_s = 25.0;
+  spec.episodes = 6;
+  for (std::uint64_t salt = 0; salt < 20; ++salt) {
+    auto events = generate_schedule(spec, salt);
+    for (std::size_t i = 1; i < events.size(); ++i) {
+      EXPECT_LE(events[i - 1].at, events[i].at) << "salt " << salt;
+    }
+    for (const FaultEvent& e : events) {
+      EXPECT_GE(e.at, common::from_seconds(1.0)) << "salt " << salt;
+      // Undo events may overshoot the horizon by the episode length
+      // bound; injected faults may not.
+      EXPECT_LT(e.at, common::from_seconds(spec.horizon_s + 10.0))
+          << "salt " << salt;
+    }
+  }
+}
+
+TEST(DstSchedule, FormatParseRoundTripIsTheIdentity) {
+  ScheduleSpec spec;
+  spec.episodes = 8;
+  for (std::uint64_t salt = 1; salt <= 50; ++salt) {
+    auto events = generate_schedule(spec, salt);
+    std::string text = format_schedule(events);
+    std::vector<FaultEvent> parsed;
+    std::string error;
+    ASSERT_TRUE(parse_schedule(text, &parsed, &error))
+        << "salt " << salt << ": " << error << "\n  " << text;
+    ASSERT_EQ(parsed.size(), events.size()) << text;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      EXPECT_TRUE(events_equal(events[i], parsed[i]))
+          << "salt " << salt << " event " << i << "\n  " << text;
+    }
+    EXPECT_EQ(format_schedule(parsed), text);
+  }
+}
+
+TEST(DstSchedule, TimesRoundTripExactlyAtMicrosecondGranularity) {
+  // 12.502999 s is not representable in binary floating point; the
+  // text format must still name the exact tick.
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kCrashNode;
+  e.at = 12'502'999;  // ticks = microseconds
+  e.node = 3;
+  std::string text = format_schedule({e});
+  EXPECT_NE(text.find("12.502999"), std::string::npos) << text;
+  std::vector<FaultEvent> parsed;
+  ASSERT_TRUE(parse_schedule(text, &parsed));
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].at, 12'502'999);
+}
+
+TEST(DstSchedule, ParseSortsIntoCanonicalOrder) {
+  std::vector<FaultEvent> parsed;
+  ASSERT_TRUE(
+      parse_schedule("recover@14,3/crash@2.5,3/pause@7,1", &parsed));
+  ASSERT_EQ(parsed.size(), 3u);
+  EXPECT_EQ(parsed[0].kind, FaultEvent::Kind::kCrashNode);
+  EXPECT_EQ(parsed[1].kind, FaultEvent::Kind::kPauseNode);
+  EXPECT_EQ(parsed[2].kind, FaultEvent::Kind::kRecoverNode);
+}
+
+TEST(DstSchedule, ParseRejectsMalformedInputAndLeavesOutUntouched) {
+  const char* bad[] = {
+      "frobnicate@3",       // unknown kind
+      "crash@",             // missing time
+      "crash@abc,1",        // non-numeric time
+      "crash@3",            // missing node arg
+      "crash@3,1,9",        // excess args
+      "burst@3,1,50",       // burst needs E and U
+      "rates@3,0.1",        // rates needs all four
+      "crash@3,1/",         // trailing empty event
+      "crash@-1,0",         // negative time
+      "crash@3.1234567,0",  // more than tick precision
+  };
+  for (const char* text : bad) {
+    std::vector<FaultEvent> out;
+    out.push_back(FaultEvent{});  // sentinel: must survive a failed parse
+    std::string error;
+    EXPECT_FALSE(parse_schedule(text, &out, &error)) << text;
+    EXPECT_FALSE(error.empty()) << text;
+    EXPECT_EQ(out.size(), 1u) << text;
+  }
+}
+
+TEST(DstSchedule, CleanlinessTracksWhetherEveryFaultIsUndone) {
+  auto clean = [](const std::string& text) {
+    std::vector<FaultEvent> events;
+    EXPECT_TRUE(parse_schedule(text, &events)) << text;
+    return schedule_is_clean(events);
+  };
+  EXPECT_TRUE(clean("crash@2,1/recover@5,1"));
+  EXPECT_FALSE(clean("crash@2,1"));
+  EXPECT_FALSE(clean("crash@2,1/recover@5,2"));  // wrong node recovered
+  EXPECT_TRUE(clean("part@2,4/heal@6"));
+  EXPECT_FALSE(clean("part@2,4"));
+  EXPECT_TRUE(clean("asym@2,4/asymheal@6"));
+  EXPECT_FALSE(clean("asym@2,4"));
+  EXPECT_TRUE(clean("pause@2,3/resume@4,3"));
+  EXPECT_FALSE(clean("pause@2,3"));
+  EXPECT_TRUE(clean("rates@2,0.1,0.05,0,0/rates@8,0,0,0,0"));
+  EXPECT_FALSE(clean("rates@2,0.1,0.05,0,0"));
+  // Kills are never undone.
+  EXPECT_FALSE(clean("killsrv@3"));
+  EXPECT_FALSE(clean("killmgmt@3,2"));
+  // Bursts self-expire: clean by construction.
+  EXPECT_TRUE(clean("burst@2,1,50,4"));
+  EXPECT_TRUE(clean(""));
+}
+
+TEST(DstSchedule, EmptyScheduleFormatsAndParsesAsEmpty) {
+  EXPECT_EQ(format_schedule({}), "");
+  std::vector<FaultEvent> parsed;
+  EXPECT_TRUE(parse_schedule("", &parsed));
+  EXPECT_TRUE(parsed.empty());
+}
+
+}  // namespace
+}  // namespace penelope::dst

@@ -220,5 +220,105 @@ TEST(Codec, BitFlippedPacketsEitherDecodeOrReject) {
   SUCCEED();
 }
 
+// --- Checksummed frames ---------------------------------------------------
+
+TEST(Frame, RoundTripsEveryWireTag) {
+  WirePayload payloads[] = {
+      core::PowerRequest{}, core::PowerGrant{},
+      central::CentralDonation{}, central::CentralRequest{},
+      central::CentralGrant{}, hierarchy::ProfileReport{},
+      hierarchy::CapAssignment{}, core::PowerPush{}, core::Heartbeat{},
+      hierarchy::FederatedRequest{}, hierarchy::FederatedTransfer{}};
+  for (const auto& p : payloads) {
+    auto bytes = encode_frame(p);
+    EXPECT_EQ(bytes.size(), frame_size(p));
+    EXPECT_EQ(bytes[0], kFrameMagic);
+    CheckedDecode checked = decode_checked(bytes);
+    ASSERT_TRUE(checked) << decode_error_name(checked.error);
+    EXPECT_EQ(checked.error, DecodeError::kOk);
+    EXPECT_EQ(checked.payload->index(), p.index());
+  }
+}
+
+TEST(Frame, EverySingleBitFlipIsDetected) {
+  // The acceptance property of the checksum layer: FNV-1a's per-byte
+  // step is a bijection on the hash state, so no single-bit flip —
+  // header or body, any position — can ever pass decode_checked.
+  auto bytes =
+      encode_frame(WirePayload{core::PowerGrant{42.5, 0xDEADBEEF, 3}});
+  for (std::size_t byte = 0; byte < bytes.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto corrupted = bytes;
+      corrupted[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      CheckedDecode checked = decode_checked(corrupted);
+      EXPECT_FALSE(checked)
+          << "flip at byte " << byte << " bit " << bit << " decoded";
+      EXPECT_NE(checked.error, DecodeError::kOk);
+    }
+  }
+}
+
+TEST(Frame, ClassifiesEveryFailureMode) {
+  auto good = encode_frame(WirePayload{core::PowerRequest{true, 5.0, 7}});
+
+  EXPECT_EQ(decode_checked(good.data(), 0).error, DecodeError::kTruncated);
+  EXPECT_EQ(decode_checked(good.data(), kFrameHeaderBytes - 1).error,
+            DecodeError::kTruncated);
+
+  auto bad_magic = good;
+  bad_magic[0] = static_cast<std::uint8_t>(~kFrameMagic);
+  EXPECT_EQ(decode_checked(bad_magic).error, DecodeError::kBadMagic);
+
+  auto bad_sum = good;
+  bad_sum[kFrameHeaderBytes] ^= 0x10;
+  EXPECT_EQ(decode_checked(bad_sum).error, DecodeError::kBadChecksum);
+
+  // Unknown tag with an honest checksum: only the tag check can reject.
+  std::vector<std::uint8_t> body{0x7F};
+  std::uint32_t sum = fnv1a32(body.data(), body.size());
+  std::vector<std::uint8_t> unknown{
+      kFrameMagic, static_cast<std::uint8_t>(sum),
+      static_cast<std::uint8_t>(sum >> 8),
+      static_cast<std::uint8_t>(sum >> 16),
+      static_cast<std::uint8_t>(sum >> 24), 0x7F};
+  EXPECT_EQ(decode_checked(unknown).error, DecodeError::kUnknownTag);
+
+  // Valid tag, truncated body, honest checksum: structural decode is
+  // the last line of defence.
+  std::vector<std::uint8_t> stub(good.begin() + kFrameHeaderBytes,
+                                 good.begin() + kFrameHeaderBytes + 2);
+  sum = fnv1a32(stub.data(), stub.size());
+  std::vector<std::uint8_t> malformed{
+      kFrameMagic, static_cast<std::uint8_t>(sum),
+      static_cast<std::uint8_t>(sum >> 8),
+      static_cast<std::uint8_t>(sum >> 16),
+      static_cast<std::uint8_t>(sum >> 24)};
+  malformed.insert(malformed.end(), stub.begin(), stub.end());
+  EXPECT_EQ(decode_checked(malformed).error, DecodeError::kMalformed);
+
+  // Every error has a stable printable name.
+  for (DecodeError e :
+       {DecodeError::kOk, DecodeError::kTruncated, DecodeError::kBadMagic,
+        DecodeError::kBadChecksum, DecodeError::kUnknownTag,
+        DecodeError::kMalformed}) {
+    EXPECT_NE(decode_error_name(e), nullptr);
+    EXPECT_GT(std::string(decode_error_name(e)).size(), 0u);
+  }
+}
+
+TEST(Frame, RandomBytesNeverCrashDecodeChecked) {
+  common::Rng rng(7);
+  int ok = 0;
+  for (int trial = 0; trial < 20000; ++trial) {
+    std::size_t len = rng.next_below(48);
+    std::vector<std::uint8_t> bytes(len);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next_u32());
+    if (decode_checked(bytes.data(), len)) ++ok;
+  }
+  // A random 32-bit checksum match is a ~2^-32 event; hostile garbage
+  // essentially never parses, and nothing crashed.
+  EXPECT_EQ(ok, 0);
+}
+
 }  // namespace
 }  // namespace penelope::net
